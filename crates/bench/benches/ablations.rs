@@ -1,0 +1,187 @@
+//! Ablation benches for the design choices called out in DESIGN.md §6:
+//! full vs reduced LP formulation, Dantzig vs Bland pricing, transitive
+//! path-enumeration level scaling, and exact vs fixed-point currency
+//! valuation.
+
+use agreements_bench as b;
+use agreements_flow::{AgreementMatrix, TransitiveFlow, TransitiveOptions};
+use agreements_lp::{PivotRule, SimplexOptions};
+use agreements_sched::lp_model::{solve_allocation, Formulation};
+use agreements_sched::SystemState;
+use agreements_ticket::{AgreementNature, Economy, ResourceId, ValuationMethod};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// A representative allocation state: 10 principals, figure-13 agreement
+/// structure, mixed availability, requester 0 drained.
+fn alloc_state() -> SystemState {
+    let s = agreements_flow::Structure::figure13(b::N).build().expect("structure");
+    let flow = TransitiveFlow::compute(&s, b::N - 1);
+    let avail: Vec<f64> = (0..b::N).map(|i| if i == 0 { 0.0 } else { 5.0 + i as f64 }).collect();
+    SystemState::new(flow, None, avail).expect("state")
+}
+
+/// Full (n²+n+1 variables) vs reduced (n+1) formulations of the §3.1 LP.
+fn ablation_lp_formulation(c: &mut Criterion) {
+    let state = alloc_state();
+    let opts = SimplexOptions::default();
+    let mut g = c.benchmark_group("ablation_lp_formulation");
+    for (name, form) in [("reduced", Formulation::Reduced), ("full", Formulation::Full)] {
+        g.bench_function(name, |bench| {
+            bench.iter(|| {
+                let a = solve_allocation(&state, 0, 10.0, form, &opts).expect("solve");
+                black_box(a.theta)
+            })
+        });
+    }
+    // Same optimum (sanity inside the bench harness).
+    let r = solve_allocation(&state, 0, 10.0, Formulation::Reduced, &opts).unwrap();
+    let f = solve_allocation(&state, 0, 10.0, Formulation::Full, &opts).unwrap();
+    assert!((r.theta - f.theta).abs() < 1e-6);
+    g.finish();
+}
+
+/// Native bounded-variable simplex vs materialized bound rows on the
+/// allocation LP (the draw variables all carry finite entitlements).
+fn ablation_bound_mode(c: &mut Criterion) {
+    use agreements_lp::simplex::BoundMode;
+    let state = alloc_state();
+    let mut g = c.benchmark_group("ablation_bound_mode");
+    for (name, mode) in [("native", BoundMode::Native), ("rows", BoundMode::Rows)] {
+        let opts = SimplexOptions { bound_mode: mode, ..Default::default() };
+        g.bench_function(name, |bench| {
+            bench.iter(|| {
+                let a = solve_allocation(&state, 0, 10.0, Formulation::Reduced, &opts)
+                    .expect("solve");
+                black_box(a.theta)
+            })
+        });
+    }
+    // Identical optima (sanity inside the bench harness).
+    let n = solve_allocation(
+        &state,
+        0,
+        10.0,
+        Formulation::Reduced,
+        &SimplexOptions { bound_mode: BoundMode::Native, ..Default::default() },
+    )
+    .unwrap();
+    let r = solve_allocation(
+        &state,
+        0,
+        10.0,
+        Formulation::Reduced,
+        &SimplexOptions { bound_mode: BoundMode::Rows, ..Default::default() },
+    )
+    .unwrap();
+    assert!((n.theta - r.theta).abs() < 1e-6);
+    g.finish();
+}
+
+/// Dantzig vs Bland pricing on the allocation LP.
+fn ablation_pivot_rules(c: &mut Criterion) {
+    let state = alloc_state();
+    let mut g = c.benchmark_group("ablation_pivot_rules");
+    for (name, rule) in [("dantzig", PivotRule::Dantzig), ("bland", PivotRule::Bland)] {
+        let opts = SimplexOptions { pivot_rule: rule, ..Default::default() };
+        g.bench_function(name, |bench| {
+            bench.iter(|| {
+                let a = solve_allocation(&state, 0, 10.0, Formulation::Full, &opts)
+                    .expect("solve");
+                black_box(a.theta)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Simple-path enumeration cost vs transitivity level cap on the
+/// complete graph (exponential in the cap; motivates the paper's "small
+/// incremental benefit beyond 3 levels").
+fn ablation_path_levels(c: &mut Criterion) {
+    let mut s = AgreementMatrix::zeros(10);
+    for i in 0..10 {
+        for j in 0..10 {
+            if i != j {
+                s.set(i, j, 0.1).unwrap();
+            }
+        }
+    }
+    let mut g = c.benchmark_group("ablation_path_levels");
+    for level in [1usize, 3, 5, 7, 9] {
+        g.bench_function(format!("level_{level}"), |bench| {
+            bench.iter(|| {
+                let t = TransitiveFlow::compute_with(
+                    &s,
+                    &TransitiveOptions { max_level: level, clamp: true, min_product: 0.0 },
+                );
+                black_box(t.coefficient(0, 9))
+            })
+        });
+    }
+    // Pruned variant at full depth, for the accuracy/cost trade-off.
+    g.bench_function("level_9_pruned_1e-6", |bench| {
+        bench.iter(|| {
+            let t = TransitiveFlow::compute_with(
+                &s,
+                &TransitiveOptions { max_level: 9, clamp: true, min_product: 1e-6 },
+            );
+            black_box(t.coefficient(0, 9))
+        })
+    });
+    g.finish();
+}
+
+/// Exact (Gaussian) vs fixed-point currency valuation on a 50-principal
+/// economy with dense mutual agreements.
+fn ablation_valuation_method(c: &mut Criterion) {
+    let n = 50;
+    let mut eco = Economy::new();
+    let r = eco.add_resource("res");
+    let ps: Vec<_> = (0..n).map(|i| eco.add_principal(&format!("P{i}"))).collect();
+    for (i, &p) in ps.iter().enumerate() {
+        eco.deposit_resource(eco.default_currency(p), r, 10.0 + i as f64).unwrap();
+    }
+    for i in 0..n {
+        for d in 1..=4usize {
+            let j = (i + d) % n;
+            eco.issue_relative(
+                eco.default_currency(ps[i]),
+                eco.default_currency(ps[j]),
+                20.0 / d as f64,
+                AgreementNature::Sharing,
+            )
+            .unwrap();
+        }
+    }
+    let rid = ResourceId::from_index(r.index());
+    let mut g = c.benchmark_group("ablation_valuation_method");
+    g.bench_function("exact_gaussian", |bench| {
+        bench.iter(|| {
+            let v = eco.value_report_with(rid, ValuationMethod::Exact).expect("value");
+            black_box(v.currency_value(eco.default_currency(ps[0])))
+        })
+    });
+    g.bench_function("fixed_point", |bench| {
+        bench.iter(|| {
+            let v = eco
+                .value_report_with(
+                    rid,
+                    ValuationMethod::FixedPoint { max_iters: 10_000, tol: 1e-10 },
+                )
+                .expect("value");
+            black_box(v.currency_value(eco.default_currency(ps[0])))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablation_lp_formulation,
+    ablation_bound_mode,
+    ablation_pivot_rules,
+    ablation_path_levels,
+    ablation_valuation_method
+);
+criterion_main!(ablations);

@@ -1,0 +1,152 @@
+//! One Criterion group per paper figure. Each bench runs the full
+//! (reduced-volume) simulation that regenerates the figure's data and
+//! asserts its qualitative shape, so `cargo bench` doubles as a
+//! regression harness for the reproduction.
+
+use agreements_bench as b;
+use agreements_flow::Structure;
+use agreements_proxysim::PolicyKind;
+use criterion::measurement::WallTime;
+use criterion::{criterion_group, criterion_main, BenchmarkGroup, Criterion};
+use std::hint::black_box;
+
+const HOUR: f64 = 3600.0;
+/// Plotted proxy (see the experiments crate for why 9).
+const P: usize = 9;
+
+fn sim_group<'a>(c: &'a mut Criterion, name: &str) -> BenchmarkGroup<'a, WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10);
+    g
+}
+
+fn fig05_no_sharing(c: &mut Criterion) {
+    let mut g = sim_group(c, "fig05_no_sharing");
+    g.bench_function("diurnal_day", |bench| {
+        bench.iter(|| {
+            let r = b::run(None, HOUR, 1.0);
+            assert!(r.peak_slot_avg_wait() > 10.0, "unshared peak must exist");
+            black_box(r.avg_wait())
+        })
+    });
+    g.finish();
+}
+
+fn fig06_gap_sweep(c: &mut Criterion) {
+    let mut g = sim_group(c, "fig06_gap_sweep");
+    for gap in [0.0, 3600.0, 7200.0] {
+        g.bench_function(format!("gap_{gap}s"), |bench| {
+            bench.iter(|| {
+                let r = b::run(
+                    Some((b::complete_10pct(), b::N - 1, PolicyKind::Lp, 0.0)),
+                    gap,
+                    1.0,
+                );
+                black_box(r.proxy_avg_wait(P))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig07_capacity_sweep(c: &mut Criterion) {
+    let mut g = sim_group(c, "fig07_capacity_sweep");
+    for factor in [1.0, 1.25] {
+        g.bench_function(format!("no_sharing_x{factor}"), |bench| {
+            bench.iter(|| black_box(b::run(None, HOUR, factor).proxy_avg_wait(P)))
+        });
+    }
+    g.bench_function("sharing_x1.0", |bench| {
+        bench.iter(|| {
+            black_box(
+                b::run(Some((b::complete_10pct(), b::N - 1, PolicyKind::Lp, 0.0)), HOUR, 1.0)
+                    .proxy_avg_wait(P),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn fig08_transitivity_complete(c: &mut Criterion) {
+    let mut g = sim_group(c, "fig08_transitivity_complete");
+    for level in [1usize, 9] {
+        g.bench_function(format!("level_{level}"), |bench| {
+            bench.iter(|| {
+                let r = b::run(
+                    Some((b::complete_10pct(), level, PolicyKind::Lp, 0.0)),
+                    HOUR,
+                    1.0,
+                );
+                black_box(r.proxy_avg_wait(P))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig09_to_11_loops(c: &mut Criterion) {
+    let mut g = sim_group(c, "fig09_10_11_loops");
+    for skip in [1usize, 3, 7] {
+        for level in [1usize, 9] {
+            g.bench_function(format!("skip_{skip}_level_{level}"), |bench| {
+                bench.iter(|| {
+                    let r = b::run(
+                        Some((b::loop_80pct(skip), level, PolicyKind::Lp, 0.0)),
+                        HOUR,
+                        1.0,
+                    );
+                    black_box(r.proxy_avg_wait(P))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn fig12_redirect_cost(c: &mut Criterion) {
+    let mut g = sim_group(c, "fig12_redirect_cost");
+    for cost in [0.0, 0.1, 0.2] {
+        g.bench_function(format!("cost_{cost}s"), |bench| {
+            bench.iter(|| {
+                let r = b::run(
+                    Some((b::complete_10pct(), b::N - 1, PolicyKind::Lp, cost)),
+                    HOUR,
+                    1.0,
+                );
+                black_box(r.proxy_avg_wait(P))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig13_lp_vs_endpoint(c: &mut Criterion) {
+    let mut g = sim_group(c, "fig13_lp_vs_endpoint");
+    let agreements = Structure::figure13(b::N).build().expect("structure");
+    for (name, policy) in [
+        ("lp", PolicyKind::Lp),
+        ("endpoint", PolicyKind::Proportional),
+        ("greedy", PolicyKind::Greedy),
+    ] {
+        let a = agreements.clone();
+        g.bench_function(name, move |bench| {
+            bench.iter(|| {
+                let r = b::run(Some((a.clone(), b::N - 1, policy, 0.0)), HOUR, 1.0);
+                black_box(r.proxy_avg_wait(P))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    fig05_no_sharing,
+    fig06_gap_sweep,
+    fig07_capacity_sweep,
+    fig08_transitivity_complete,
+    fig09_to_11_loops,
+    fig12_redirect_cost,
+    fig13_lp_vs_endpoint
+);
+criterion_main!(figures);

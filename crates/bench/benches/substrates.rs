@@ -1,0 +1,153 @@
+//! Microbenchmarks of the substrate crates: the simplex solver, the
+//! transitive-flow computation, currency valuation, trace generation, and
+//! raw simulator throughput.
+
+use agreements_bench as b;
+use agreements_lp::{Problem, Relation, Sense};
+use agreements_trace::TraceConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Random-but-deterministic dense LP: maximize a positive objective over
+/// `m` packing constraints in `n` variables.
+fn dense_lp(n: usize, m: usize) -> Problem {
+    let mut p = Problem::new(Sense::Maximize);
+    // Simple LCG so the bench needs no RNG dependency.
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) % 1000) as f64 / 1000.0
+    };
+    let vars: Vec<_> = (0..n)
+        .map(|j| p.add_var(&format!("x{j}"), 0.0, f64::INFINITY, 1.0 + next()))
+        .collect();
+    for _ in 0..m {
+        let terms: Vec<_> = vars.iter().map(|&v| (v, 0.1 + next())).collect();
+        p.add_constraint(&terms, Relation::Le, 5.0 + 10.0 * next());
+    }
+    p
+}
+
+fn simplex_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simplex_scaling");
+    for (n, m) in [(10, 10), (30, 30), (60, 60), (120, 60)] {
+        let p = dense_lp(n, m);
+        g.bench_function(format!("n{n}_m{m}"), |bench| {
+            bench.iter(|| black_box(p.solve().expect("bounded").objective))
+        });
+    }
+    g.finish();
+}
+
+fn transitive_flow_scaling(c: &mut Criterion) {
+    use agreements_flow::{Structure, TransitiveFlow};
+    let mut g = c.benchmark_group("transitive_flow_scaling");
+    g.sample_size(20);
+    for n in [8usize, 10] {
+        let s = Structure::Complete { n, share: 0.5 / n as f64 }.build().unwrap();
+        g.bench_function(format!("complete_n{n}_closure"), |bench| {
+            bench.iter(|| {
+                let t = TransitiveFlow::compute(&s, n - 1);
+                black_box(t.coefficient(0, n - 1))
+            })
+        });
+    }
+    // Larger graphs are capped at level 5: full closure is exponential
+    // (the ablation bench quantifies that growth).
+    let s = Structure::Complete { n: 14, share: 0.03 }.build().unwrap();
+    g.bench_function("complete_n14_level5", |bench| {
+        bench.iter(|| {
+            let t = TransitiveFlow::compute(&s, 5);
+            black_box(t.coefficient(0, 13))
+        })
+    });
+    g.finish();
+}
+
+/// Parallel vs sequential closure. The fan-out is per source, so the
+/// speedup tracks available cores — on a single-CPU host (such as some
+/// CI containers) the parallel variant only shows its scheduling
+/// overhead; on an 8-core workstation it approaches the core count.
+fn transitive_flow_parallel(c: &mut Criterion) {
+    use agreements_flow::{Structure, TransitiveFlow, TransitiveOptions};
+    let mut g = c.benchmark_group("transitive_flow_parallel");
+    g.sample_size(10);
+    let s = Structure::Complete { n: 10, share: 0.05 }.build().unwrap();
+    let opts = TransitiveOptions::exact(9);
+    g.bench_function("sequential_n10_closure", |bench| {
+        bench.iter(|| {
+            black_box(TransitiveFlow::compute_with(&s, &opts).coefficient(0, 9))
+        })
+    });
+    let threads = std::thread::available_parallelism().map_or(2, |p| p.get());
+    g.bench_function(format!("parallel_{threads}_n10_closure"), |bench| {
+        bench.iter(|| {
+            black_box(
+                TransitiveFlow::compute_parallel(&s, &opts, threads).coefficient(0, 9),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_generation");
+    g.bench_function("10k_requests_10_proxies", |bench| {
+        bench.iter(|| {
+            let traces = TraceConfig::paper(10_000, 3).generate(10, 3600.0);
+            black_box(traces[9].requests.len())
+        })
+    });
+    g.finish();
+}
+
+fn trace_serialization(c: &mut Criterion) {
+    use agreements_trace::io;
+    let trace = TraceConfig::paper(10_000, 3).generate(1, 0.0).remove(0);
+    let bytes = io::to_bytes(&trace);
+    let mut g = c.benchmark_group("trace_serialization");
+    g.bench_function("encode_10k", |bench| {
+        bench.iter(|| black_box(io::to_bytes(&trace).len()))
+    });
+    g.bench_function("decode_10k", |bench| {
+        bench.iter(|| black_box(io::from_bytes(bytes.clone()).expect("decode").requests.len()))
+    });
+    g.finish();
+}
+
+fn simulator_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator_throughput");
+    g.sample_size(10);
+    g.bench_function("no_sharing_day", |bench| {
+        bench.iter(|| black_box(b::run(None, 3600.0, 1.0).served))
+    });
+    g.bench_function("lp_sharing_day", |bench| {
+        bench.iter(|| {
+            black_box(
+                b::run(
+                    Some((
+                        b::complete_10pct(),
+                        b::N - 1,
+                        agreements_proxysim::PolicyKind::Lp,
+                        0.0,
+                    )),
+                    3600.0,
+                    1.0,
+                )
+                .served,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    substrates,
+    simplex_scaling,
+    transitive_flow_scaling,
+    transitive_flow_parallel,
+    trace_generation,
+    trace_serialization,
+    simulator_throughput
+);
+criterion_main!(substrates);

@@ -1,0 +1,63 @@
+//! Support crate for the Criterion benchmark suites in `benches/`:
+//!
+//! - `figures` — one bench group per paper figure (5–13), running the
+//!   simulation at a reduced-volume operating point with the same
+//!   calibrated peak utilization.
+//! - `ablations` — design-choice benches called out in DESIGN.md: full vs
+//!   reduced LP formulation, path-enumeration level scaling, pivot rules,
+//!   exact vs fixed-point valuation.
+//! - `substrates` — microbenchmarks of the substrate crates (simplex
+//!   solves, transitive flow, currency valuation, trace generation).
+
+use agreements_flow::{AgreementMatrix, Structure};
+use agreements_proxysim::{PolicyKind, SharingConfig, SimConfig, SimResult, Simulator};
+use agreements_trace::{ProxyTrace, ResponseLenDist, TraceConfig};
+
+/// Proxies in bench workloads (same as the paper).
+pub const N: usize = 10;
+
+/// Reduced bench volume: keeps each simulation run in the tens of
+/// milliseconds so Criterion can sample meaningfully.
+pub const BENCH_REQUESTS: usize = 8_000;
+
+/// Bench traces at the given skew. Like the scaled-down shape tests, the
+/// bench workload drops the Pareto tail so single heavy requests don't
+/// dominate at this volume.
+pub fn bench_traces(gap: f64) -> Vec<ProxyTrace> {
+    let mut cfg = TraceConfig::paper(BENCH_REQUESTS, 7);
+    cfg.lengths = ResponseLenDist { tail_prob: 0.0, ..ResponseLenDist::web1996() };
+    cfg.generate(N, gap)
+}
+
+/// Calibrated bench config (same peak utilization as the experiments,
+/// with the epoch scaled up so per-consultation entitlements stay above a
+/// single request's demand at this volume).
+pub fn bench_config() -> SimConfig {
+    let mut cfg = SimConfig::calibrated(N, BENCH_REQUESTS, 0.105, 1.05);
+    cfg.epoch = 120.0;
+    cfg.threshold_epochs = 1.0;
+    cfg
+}
+
+/// Run one bench-scale simulation.
+pub fn run(
+    sharing: Option<(AgreementMatrix, usize, PolicyKind, f64)>,
+    gap: f64,
+    capacity_factor: f64,
+) -> SimResult {
+    let mut cfg = bench_config().with_capacity_factor(capacity_factor);
+    if let Some((agreements, level, policy, redirect_cost)) = sharing {
+        cfg = cfg.with_sharing(SharingConfig { agreements, level, policy, redirect_cost });
+    }
+    Simulator::new(cfg).expect("valid config").run(&bench_traces(gap)).expect("run")
+}
+
+/// Complete graph at 10% (Figures 6–8, 12).
+pub fn complete_10pct() -> AgreementMatrix {
+    Structure::Complete { n: N, share: 0.10 }.build().expect("structure")
+}
+
+/// Loop at 80% with a skip (Figures 9–11).
+pub fn loop_80pct(skip: usize) -> AgreementMatrix {
+    Structure::Loop { n: N, share: 0.80, skip }.build().expect("structure")
+}

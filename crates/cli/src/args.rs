@@ -1,0 +1,222 @@
+//! Minimal argument parsing: positional words plus `--key value` /
+//! `--flag` options. Deliberately dependency-free.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Argument parsing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// `--key` given twice.
+    Duplicate(String),
+    /// `--key` requires a value but none followed.
+    MissingValue(String),
+    /// A required option was absent.
+    Required(String),
+    /// A value failed to parse.
+    BadValue {
+        /// The option name.
+        key: String,
+        /// The raw value.
+        value: String,
+        /// What it should have been.
+        expected: &'static str,
+    },
+    /// An option this command does not understand.
+    Unknown(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::Duplicate(k) => write!(f, "option --{k} given more than once"),
+            ArgError::MissingValue(k) => write!(f, "option --{k} needs a value"),
+            ArgError::Required(k) => write!(f, "missing required option --{k}"),
+            ArgError::BadValue { key, value, expected } => {
+                write!(f, "--{key} {value:?}: expected {expected}")
+            }
+            ArgError::Unknown(k) => write!(f, "unknown option --{k}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed command line: positionals in order, options by name.
+#[derive(Debug, Clone, Default)]
+pub struct Parsed {
+    /// Positional words, in order.
+    pub positionals: Vec<String>,
+    options: BTreeMap<String, Option<String>>,
+}
+
+impl Parsed {
+    /// Parse a token stream. `flags` lists the options that take no
+    /// value; everything else starting with `--` consumes the next token.
+    pub fn parse<I, S>(tokens: I, flags: &[&str]) -> Result<Parsed, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut out = Parsed::default();
+        let mut iter = tokens.into_iter().map(Into::into).peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let key = key.to_string();
+                if out.options.contains_key(&key) {
+                    return Err(ArgError::Duplicate(key));
+                }
+                if flags.contains(&key.as_str()) {
+                    out.options.insert(key, None);
+                } else {
+                    let value =
+                        iter.next().ok_or_else(|| ArgError::MissingValue(key.clone()))?;
+                    out.options.insert(key, Some(value));
+                }
+            } else {
+                out.positionals.push(tok);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether a no-value flag was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+
+    /// A string option, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).and_then(|v| v.as_deref())
+    }
+
+    /// A required string option.
+    pub fn required(&self, key: &str) -> Result<&str, ArgError> {
+        self.get(key).ok_or_else(|| ArgError::Required(key.to_string()))
+    }
+
+    /// A parsed option with a default.
+    pub fn parse_or<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::BadValue {
+                key: key.to_string(),
+                value: raw.to_string(),
+                expected,
+            }),
+        }
+    }
+
+    /// A required parsed option.
+    pub fn parse_required<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        let raw = self.required(key)?;
+        raw.parse().map_err(|_| ArgError::BadValue {
+            key: key.to_string(),
+            value: raw.to_string(),
+            expected,
+        })
+    }
+
+    /// Reject any option not in `known` (flags and valued alike).
+    pub fn reject_unknown(&self, known: &[&str]) -> Result<(), ArgError> {
+        for key in self.options.keys() {
+            if !known.contains(&key.as_str()) {
+                return Err(ArgError::Unknown(key.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse a comma-separated list of floats (e.g. `--avail 10,0,5.5`).
+    pub fn float_list(&self, key: &str) -> Result<Vec<f64>, ArgError> {
+        let raw = self.required(key)?;
+        raw.split(',')
+            .map(|part| {
+                part.trim().parse().map_err(|_| ArgError::BadValue {
+                    key: key.to_string(),
+                    value: raw.to_string(),
+                    expected: "comma-separated numbers",
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positionals_and_options() {
+        let p = Parsed::parse(
+            ["economy", "value", "--resource", "disk", "--json"],
+            &["json"],
+        )
+        .unwrap();
+        assert_eq!(p.positionals, vec!["economy", "value"]);
+        assert_eq!(p.get("resource"), Some("disk"));
+        assert!(p.flag("json"));
+        assert!(!p.flag("verbose"));
+    }
+
+    #[test]
+    fn missing_value_detected() {
+        let err = Parsed::parse(["--out"], &[]).unwrap_err();
+        assert_eq!(err, ArgError::MissingValue("out".into()));
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let err = Parsed::parse(["--n", "1", "--n", "2"], &[]).unwrap_err();
+        assert_eq!(err, ArgError::Duplicate("n".into()));
+    }
+
+    #[test]
+    fn typed_parsing() {
+        let p = Parsed::parse(["--n", "5", "--rho", "1.05"], &[]).unwrap();
+        assert_eq!(p.parse_or("n", 0usize, "integer").unwrap(), 5);
+        assert_eq!(p.parse_or("missing", 7usize, "integer").unwrap(), 7);
+        let rho: f64 = p.parse_required("rho", "number").unwrap();
+        assert!((rho - 1.05).abs() < 1e-12);
+        assert!(matches!(
+            p.parse_required::<usize>("rho", "integer"),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn required_missing() {
+        let p = Parsed::parse(Vec::<String>::new(), &[]).unwrap();
+        assert!(matches!(p.required("x"), Err(ArgError::Required(_))));
+    }
+
+    #[test]
+    fn float_lists() {
+        let p = Parsed::parse(["--avail", "10, 0,5.5"], &[]).unwrap();
+        assert_eq!(p.float_list("avail").unwrap(), vec![10.0, 0.0, 5.5]);
+        let p = Parsed::parse(["--avail", "10,x"], &[]).unwrap();
+        assert!(p.float_list("avail").is_err());
+    }
+
+    #[test]
+    fn unknown_options_rejected() {
+        let p = Parsed::parse(["--bogus", "1"], &[]).unwrap();
+        assert!(matches!(p.reject_unknown(&["n"]), Err(ArgError::Unknown(_))));
+        assert!(p.reject_unknown(&["bogus"]).is_ok());
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(ArgError::Required("x".into()).to_string().contains("--x"));
+        assert!(ArgError::Unknown("y".into()).to_string().contains("--y"));
+    }
+}

@@ -1,0 +1,236 @@
+//! On-disk JSON specs the CLI consumes.
+
+use agreements_flow::{AbsoluteMatrix, AgreementMatrix, FlowError, Structure, TransitiveFlow};
+use agreements_proxysim::PolicyKind;
+use serde::{Deserialize, Serialize};
+
+/// One relative agreement edge: `from` shares `share` of its resources
+/// with `to`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ShareSpec {
+    /// Sharing principal.
+    pub from: usize,
+    /// Receiving principal.
+    pub to: usize,
+    /// Fraction in `[0, 1]`.
+    pub share: f64,
+}
+
+/// One absolute agreement edge: a fixed quantity.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AbsoluteSpec {
+    /// Sharing principal.
+    pub from: usize,
+    /// Receiving principal.
+    pub to: usize,
+    /// Fixed amount in resource units.
+    pub amount: f64,
+}
+
+/// An agreement scenario: either an explicit edge list or a named
+/// structure, plus optional absolute agreements and a transitivity level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Number of principals.
+    pub n: usize,
+    /// Explicit relative agreements (ignored when `structure` is given).
+    #[serde(default)]
+    pub shares: Vec<ShareSpec>,
+    /// A named structure to generate instead of explicit edges.
+    #[serde(default)]
+    pub structure: Option<Structure>,
+    /// Absolute agreements.
+    #[serde(default)]
+    pub absolute: Vec<AbsoluteSpec>,
+    /// Transitivity level (defaults to full closure `n − 1`).
+    #[serde(default)]
+    pub level: Option<usize>,
+}
+
+impl ScenarioSpec {
+    /// Build the agreement matrix described by this spec.
+    pub fn agreement_matrix(&self) -> Result<AgreementMatrix, FlowError> {
+        match &self.structure {
+            Some(st) => st.build(),
+            None => {
+                let mut s = AgreementMatrix::zeros(self.n);
+                for e in &self.shares {
+                    s.set(e.from, e.to, e.share)?;
+                }
+                Ok(s)
+            }
+        }
+    }
+
+    /// Build the absolute matrix (None when no absolute agreements).
+    pub fn absolute_matrix(&self) -> Result<Option<AbsoluteMatrix>, FlowError> {
+        if self.absolute.is_empty() {
+            return Ok(None);
+        }
+        let mut a = AbsoluteMatrix::zeros(self.n);
+        for e in &self.absolute {
+            a.set(e.from, e.to, e.amount)?;
+        }
+        Ok(Some(a))
+    }
+
+    /// The effective transitivity level.
+    pub fn level(&self) -> usize {
+        self.level.unwrap_or(self.n.saturating_sub(1)).max(1)
+    }
+
+    /// Precompute the transitive flow.
+    pub fn flow(&self) -> Result<TransitiveFlow, FlowError> {
+        Ok(TransitiveFlow::compute(&self.agreement_matrix()?, self.level()))
+    }
+}
+
+/// Scheduler policy named in a simulation spec.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case", tag = "kind")]
+pub enum PolicySpec {
+    /// The paper's LP scheme.
+    Lp,
+    /// Proportional end-point baseline.
+    Proportional,
+    /// Greedy baseline.
+    Greedy,
+    /// Fair-share LP objective.
+    FairShare,
+    /// Cost-aware LP objective with ring-distance costs.
+    CostAware {
+        /// Cost per hop per unit.
+        per_hop: f64,
+        /// Weight against the perturbation term.
+        lambda: f64,
+    },
+}
+
+impl PolicySpec {
+    /// Convert to the simulator's policy kind.
+    pub fn to_kind(self) -> PolicyKind {
+        match self {
+            PolicySpec::Lp => PolicyKind::Lp,
+            PolicySpec::Proportional => PolicyKind::Proportional,
+            PolicySpec::Greedy => PolicyKind::Greedy,
+            PolicySpec::FairShare => PolicyKind::LpFairShare,
+            PolicySpec::CostAware { per_hop, lambda } => {
+                PolicyKind::LpCostAware { per_hop, lambda }
+            }
+        }
+    }
+}
+
+fn default_peak_rho() -> f64 {
+    1.05
+}
+fn default_mean_demand() -> f64 {
+    0.118
+}
+fn default_policy() -> PolicySpec {
+    PolicySpec::Lp
+}
+
+/// A complete case-study simulation spec.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimSpec {
+    /// Number of proxies.
+    pub proxies: usize,
+    /// Requests per proxy per day.
+    pub requests_per_day: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Inter-proxy skew in seconds.
+    pub gap: f64,
+    /// Peak offered-load / capacity calibration target.
+    #[serde(default = "default_peak_rho")]
+    pub peak_rho: f64,
+    /// Mean per-request demand used for calibration.
+    #[serde(default = "default_mean_demand")]
+    pub mean_demand: f64,
+    /// Agreement structure (None disables sharing).
+    #[serde(default)]
+    pub structure: Option<Structure>,
+    /// Transitivity level (defaults to full closure).
+    #[serde(default)]
+    pub level: Option<usize>,
+    /// Scheduler policy.
+    #[serde(default = "default_policy")]
+    pub policy: PolicySpec,
+    /// Per-redirected-request overhead in seconds.
+    #[serde(default)]
+    pub redirect_cost: f64,
+    /// Capacity multiplier (Figure 7 sweeps).
+    #[serde(default)]
+    pub capacity_factor: Option<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_from_explicit_edges() {
+        let spec: ScenarioSpec = serde_json::from_str(
+            r#"{"n": 3, "shares": [{"from": 0, "to": 1, "share": 0.5}]}"#,
+        )
+        .unwrap();
+        let s = spec.agreement_matrix().unwrap();
+        assert_eq!(s.get(0, 1), 0.5);
+        assert_eq!(spec.level(), 2);
+        assert!(spec.absolute_matrix().unwrap().is_none());
+    }
+
+    #[test]
+    fn scenario_from_structure() {
+        let spec: ScenarioSpec = serde_json::from_str(
+            r#"{"n": 4, "structure": {"Complete": {"n": 4, "share": 0.1}}, "level": 1}"#,
+        )
+        .unwrap();
+        let s = spec.agreement_matrix().unwrap();
+        assert_eq!(s.num_edges(), 12);
+        assert_eq!(spec.level(), 1);
+    }
+
+    #[test]
+    fn scenario_with_absolute() {
+        let spec: ScenarioSpec = serde_json::from_str(
+            r#"{"n": 2, "absolute": [{"from": 0, "to": 1, "amount": 3.5}]}"#,
+        )
+        .unwrap();
+        let a = spec.absolute_matrix().unwrap().unwrap();
+        assert_eq!(a.get(0, 1), 3.5);
+    }
+
+    #[test]
+    fn invalid_edges_propagate() {
+        let spec: ScenarioSpec = serde_json::from_str(
+            r#"{"n": 2, "shares": [{"from": 0, "to": 0, "share": 0.5}]}"#,
+        )
+        .unwrap();
+        assert!(spec.agreement_matrix().is_err());
+    }
+
+    #[test]
+    fn sim_spec_defaults() {
+        let spec: SimSpec = serde_json::from_str(
+            r#"{"proxies": 10, "requests_per_day": 1000, "seed": 7, "gap": 3600.0}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.peak_rho, 1.05);
+        assert!(matches!(spec.policy, PolicySpec::Lp));
+        assert_eq!(spec.redirect_cost, 0.0);
+        assert!(spec.structure.is_none());
+    }
+
+    #[test]
+    fn policy_specs_round_trip() {
+        let p: PolicySpec = serde_json::from_str(
+            r#"{"kind": "cost-aware", "per_hop": 1.0, "lambda": 0.5}"#,
+        )
+        .unwrap();
+        assert!(matches!(p.to_kind(), PolicyKind::LpCostAware { .. }));
+        let p: PolicySpec = serde_json::from_str(r#"{"kind": "fair-share"}"#).unwrap();
+        assert!(matches!(p.to_kind(), PolicyKind::LpFairShare));
+    }
+}

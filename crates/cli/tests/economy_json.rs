@@ -1,0 +1,100 @@
+//! The true JSON round-trip for the economy's persistent form: every
+//! entity (principals, resources, currencies, tickets, virtual
+//! currencies, revocations, granting semantics) must survive
+//! serialize → deserialize with identical valuations.
+
+use agreements_ticket::{AgreementNature, Economy, ResourceId, ValuationMethod};
+
+fn rich_economy() -> Economy {
+    let mut eco = Economy::new();
+    let disk = eco.add_resource("disk");
+    let cpu = eco.add_resource("cpu");
+    let a = eco.add_principal("A");
+    let b = eco.add_principal("B");
+    let c = eco.add_principal("C");
+    let (ca, cb, cc) = (
+        eco.default_currency(a),
+        eco.default_currency(b),
+        eco.default_currency(c),
+    );
+    let a1 = eco.add_virtual_currency(a, "A_1");
+    eco.set_face_total(ca, 500.0).unwrap();
+    eco.deposit_resource(ca, disk, 12.0).unwrap();
+    eco.deposit_resource(ca, cpu, 4.0).unwrap();
+    eco.deposit_resource(cb, disk, 7.0).unwrap();
+    eco.issue_relative(ca, a1, 100.0, AgreementNature::Sharing).unwrap();
+    eco.issue_relative(a1, cc, 50.0, AgreementNature::Granting).unwrap();
+    let revoked = eco.issue_absolute(cb, cc, disk, 2.0, AgreementNature::Sharing).unwrap();
+    eco.revoke(revoked).unwrap();
+    eco
+}
+
+#[test]
+fn economy_json_round_trip_preserves_everything() {
+    let eco = rich_economy();
+    let json = serde_json::to_string_pretty(&eco).unwrap();
+    let back: Economy = serde_json::from_str(&json).unwrap();
+
+    assert_eq!(back.num_principals(), eco.num_principals());
+    assert_eq!(back.num_resources(), eco.num_resources());
+    assert_eq!(back.currencies().len(), eco.currencies().len());
+    assert_eq!(back.tickets().len(), eco.tickets().len());
+    for (t1, t2) in eco.tickets().iter().zip(back.tickets()) {
+        assert_eq!(t1, t2);
+    }
+    for (c1, c2) in eco.currencies().iter().zip(back.currencies()) {
+        assert_eq!(c1, c2);
+    }
+    for r in 0..eco.num_resources() {
+        let rid = ResourceId::from_index(r);
+        let v1 = eco.value_report_with(rid, ValuationMethod::Exact).unwrap();
+        let v2 = back.value_report_with(rid, ValuationMethod::Exact).unwrap();
+        for c in eco.currencies() {
+            assert_eq!(v1.currency_value(c.id), v2.currency_value(c.id));
+            assert_eq!(v1.net_value(c.id), v2.net_value(c.id));
+        }
+    }
+}
+
+#[test]
+fn deserialized_economy_remains_mutable() {
+    let eco = rich_economy();
+    let json = serde_json::to_string(&eco).unwrap();
+    let mut back: Economy = serde_json::from_str(&json).unwrap();
+    // Continue operating on the thawed economy: new principal + agreement.
+    let d = back.add_principal("D");
+    let cd = back.default_currency(d);
+    let ca = back.currencies()[0].id;
+    back.issue_relative(ca, cd, 10.0, AgreementNature::Sharing).unwrap();
+    let disk = ResourceId::from_index(0);
+    let v = back.value_report(disk).unwrap();
+    assert!(v.currency_value(cd) > 0.0);
+}
+
+#[test]
+fn scenario_and_sim_specs_round_trip() {
+    use agreements_cli::spec::{ScenarioSpec, SimSpec};
+    let scenario: ScenarioSpec = serde_json::from_str(
+        r#"{"n": 4, "structure": {"Loop": {"n": 4, "share": 0.8, "skip": 1}}}"#,
+    )
+    .unwrap();
+    let json = serde_json::to_string(&scenario).unwrap();
+    let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(
+        back.agreement_matrix().unwrap(),
+        scenario.agreement_matrix().unwrap()
+    );
+
+    let sim: SimSpec = serde_json::from_str(
+        r#"{"proxies": 10, "requests_per_day": 100, "seed": 1, "gap": 0.0,
+            "policy": {"kind": "cost-aware", "per_hop": 2.0, "lambda": 0.1}}"#,
+    )
+    .unwrap();
+    let json = serde_json::to_string(&sim).unwrap();
+    let back: SimSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.proxies, 10);
+    assert!(matches!(
+        back.policy.to_kind(),
+        agreements_proxysim::PolicyKind::LpCostAware { .. }
+    ));
+}

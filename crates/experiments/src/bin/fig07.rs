@@ -1,0 +1,75 @@
+//! Figure 7: average waiting times **without** sharing at increased
+//! processing capacity, vs **with** sharing at baseline capacity.
+//!
+//! Paper: 25–35% more resources are required to match the performance
+//! obtained by resource sharing.
+
+use agreements_experiments as exp;
+use agreements_proxysim::PolicyKind;
+
+fn main() {
+    let factors = [1.0, 1.1, 1.2, 1.25, 1.3, 1.35, 1.5];
+    let unshared: Vec<_> = factors
+        .iter()
+        .map(|&f| (format!("no-sharing x{f}"), exp::run_no_sharing(exp::HOUR, f)))
+        .collect();
+    let shared = exp::run_sharing(
+        exp::complete_10pct(),
+        exp::N_PROXIES - 1,
+        PolicyKind::Lp,
+        exp::HOUR,
+        0.0,
+        1.0,
+    );
+
+    println!("# Figure 7: capacity needed to match sharing");
+    let mut series: Vec<(&str, Vec<f64>)> =
+        vec![("sharing x1.0", exp::local_series(&shared, exp::HOUR))];
+    for (label, r) in &unshared {
+        series.push((label.as_str(), exp::local_series(r, exp::HOUR)));
+    }
+    exp::print_series(&series);
+    println!();
+    let mut cols: Vec<(&str, &agreements_proxysim::SimResult)> =
+        vec![("sharing x1.0", &shared)];
+    for (label, r) in &unshared {
+        cols.push((label.as_str(), r));
+    }
+    exp::print_summary(&cols);
+    println!();
+    // Crossover factors: the smallest capacity multiplier whose unshared
+    // run matches the shared configuration, in average and in peak-slot
+    // wait (the paper's figure compares the whole curves; the peak is
+    // what the eye matches there).
+    for (metric, target, pick) in [
+        (
+            "avg",
+            shared.proxy_avg_wait(exp::PLOTTED_PROXY),
+            (|r: &agreements_proxysim::SimResult| r.proxy_avg_wait(exp::PLOTTED_PROXY))
+                as fn(&agreements_proxysim::SimResult) -> f64,
+        ),
+        (
+            "peak-slot",
+            shared.proxy_peak_slot_avg_wait(exp::PLOTTED_PROXY),
+            (|r: &agreements_proxysim::SimResult| {
+                r.proxy_peak_slot_avg_wait(exp::PLOTTED_PROXY)
+            }) as fn(&agreements_proxysim::SimResult) -> f64,
+        ),
+    ] {
+        let crossover = factors
+            .iter()
+            .zip(&unshared)
+            .find(|(_, (_, r))| pick(r) <= target)
+            .map(|(&f, _)| f);
+        match crossover {
+            Some(f) => println!(
+                "{metric}: sharing at x1.0 ({target:.2} s) is matched by no-sharing at \
+                 x{f} => sharing is worth ~{:.0}% extra capacity",
+                (f - 1.0) * 100.0
+            ),
+            None => println!(
+                "{metric}: no capacity factor up to x1.5 matches sharing ({target:.2} s)"
+            ),
+        }
+    }
+}

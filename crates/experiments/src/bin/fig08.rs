@@ -1,0 +1,43 @@
+//! Figure 8: average waiting time vs transitivity level for the
+//! **complete graph** (10 ISPs, 10% each).
+//!
+//! Paper: sharing helps, but the incremental improvement from considering
+//! indirect transitive agreements is small — every server is already
+//! reachable via a direct agreement.
+
+use agreements_experiments as exp;
+use agreements_proxysim::PolicyKind;
+
+fn main() {
+    let levels = [1usize, 2, 3, 5, 9];
+    let results: Vec<_> = levels
+        .iter()
+        .map(|&level| {
+            let r = exp::run_sharing(
+                exp::complete_10pct(),
+                level,
+                PolicyKind::Lp,
+                exp::HOUR,
+                0.0,
+                1.0,
+            );
+            (format!("level={level}"), r)
+        })
+        .collect();
+    let no_sharing = exp::run_no_sharing(exp::HOUR, 1.0);
+
+    println!("# Figure 8: transitivity levels, complete graph 10%");
+    let mut series: Vec<(&str, Vec<f64>)> =
+        vec![("no-sharing", exp::local_series(&no_sharing, exp::HOUR))];
+    for (label, r) in &results {
+        series.push((label.as_str(), exp::local_series(r, exp::HOUR)));
+    }
+    exp::print_series(&series);
+    println!();
+    let mut cols: Vec<(&str, &agreements_proxysim::SimResult)> =
+        vec![("no-sharing", &no_sharing)];
+    for (label, r) in &results {
+        cols.push((label.as_str(), r));
+    }
+    exp::print_summary(&cols);
+}

@@ -1,0 +1,6 @@
+//! Figure 10: loop agreement structure with the sharing neighbour three
+//! time zones away (skip=3). See `fig09` for the family description.
+
+fn main() {
+    agreements_experiments::run_loop_figure(3, "Figure 10");
+}

@@ -1,0 +1,6 @@
+//! Figure 11: loop agreement structure with the sharing neighbour seven
+//! time zones away (skip=7). See `fig09` for the family description.
+
+fn main() {
+    agreements_experiments::run_loop_figure(7, "Figure 11");
+}

@@ -1,0 +1,66 @@
+//! Figure 13: **centralized LP enforcement vs end-point proportional
+//! enforcement**.
+//!
+//! Agreement structure: complete graph with distance-decaying shares —
+//! 20% with neighbours one time zone away, 10% two away, 5% three away,
+//! 3% further. The baseline redistributes overflow proportionally to the
+//! agreement quantities regardless of remote load; the LP scheme sees
+//! global availability.
+//!
+//! Paper: the LP scheme reduces the average waiting time by more than 50%
+//! at traffic peak time.
+
+use agreements_experiments as exp;
+use agreements_flow::Structure;
+use agreements_proxysim::PolicyKind;
+
+fn main() {
+    let agreements = Structure::figure13(exp::N_PROXIES).build().expect("structure");
+    let lp = exp::run_sharing(
+        agreements.clone(),
+        exp::N_PROXIES - 1,
+        PolicyKind::Lp,
+        exp::HOUR,
+        0.0,
+        1.0,
+    );
+    let endpoint = exp::run_sharing(
+        agreements.clone(),
+        exp::N_PROXIES - 1,
+        PolicyKind::Proportional,
+        exp::HOUR,
+        0.0,
+        1.0,
+    );
+    let greedy = exp::run_sharing(
+        agreements,
+        exp::N_PROXIES - 1,
+        PolicyKind::Greedy,
+        exp::HOUR,
+        0.0,
+        1.0,
+    );
+
+    println!("# Figure 13: LP (centralized) vs proportional end-point enforcement");
+    let series = vec![
+        ("lp-scheme", exp::local_series(&lp, exp::HOUR)),
+        ("endpoint-proportional", exp::local_series(&endpoint, exp::HOUR)),
+        ("greedy (extra baseline)", exp::local_series(&greedy, exp::HOUR)),
+    ];
+    exp::print_series(&series);
+    println!();
+    let cols = vec![
+        ("lp-scheme", &lp),
+        ("endpoint-proportional", &endpoint),
+        ("greedy (extra baseline)", &greedy),
+    ];
+    exp::print_summary(&cols);
+    println!();
+    let peak_lp = lp.proxy_peak_slot_avg_wait(exp::PLOTTED_PROXY);
+    let peak_ep = endpoint.proxy_peak_slot_avg_wait(exp::PLOTTED_PROXY);
+    println!(
+        "peak-slot wait: lp {peak_lp:.2} s vs endpoint {peak_ep:.2} s \
+         => LP reduces the peak by {:.0}%",
+        100.0 * (1.0 - peak_lp / peak_ep)
+    );
+}

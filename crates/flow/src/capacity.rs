@@ -1,0 +1,163 @@
+//! Per-principal capacities `C_i` from availability and transitive flow.
+
+use crate::matrix::AbsoluteMatrix;
+use crate::transitive::TransitiveFlow;
+
+/// Capacity report: how much each principal can reach, and the per-pair
+/// saturated inflows it is built from.
+#[derive(Debug, Clone)]
+pub struct CapacityReport {
+    capacity: Vec<f64>,
+    /// `u[k][i]`: amount principal `i` can draw from owner `k`
+    /// (saturated at `V_k`).
+    u: Vec<Vec<f64>>,
+}
+
+impl CapacityReport {
+    /// Total resources reachable by principal `i`:
+    /// `C_i = V_i + Σ_{k≠i} U[k][i]`.
+    #[inline]
+    pub fn capacity(&self, i: usize) -> f64 {
+        self.capacity[i]
+    }
+
+    /// Saturated inflow `U[k][i]` available to `i` from owner `k`.
+    #[inline]
+    pub fn inflow(&self, k: usize, i: usize) -> f64 {
+        self.u[k][i]
+    }
+
+    /// All capacities, indexed by principal.
+    pub fn capacities(&self) -> &[f64] {
+        &self.capacity
+    }
+}
+
+/// Compute `U[k][i] = min(I[k][i] + A[k][i], V_k)` where
+/// `I[k][i] = V_k · T[k][i]` (paper §3.2). With no absolute matrix this
+/// reduces to the clamped relative flow.
+pub fn saturated_inflow(
+    t: &TransitiveFlow,
+    a: Option<&AbsoluteMatrix>,
+    v: &[f64],
+    k: usize,
+    i: usize,
+) -> f64 {
+    let rel = t.inflow(k, i, v[k]);
+    let abs = a.map_or(0.0, |m| m.get(k, i));
+    (rel + abs).min(v[k])
+}
+
+/// Compute the full capacity report: `C_i = V_i + Σ_{k≠i} U[k][i]`.
+///
+/// # Panics
+///
+/// Panics if `v.len()` differs from the flow table's dimension or, when
+/// provided, the absolute matrix's.
+pub fn capacities(
+    t: &TransitiveFlow,
+    a: Option<&AbsoluteMatrix>,
+    v: &[f64],
+) -> CapacityReport {
+    let n = t.n();
+    assert_eq!(v.len(), n, "availability vector dimension mismatch");
+    if let Some(m) = a {
+        assert_eq!(m.n(), n, "absolute matrix dimension mismatch");
+    }
+    let mut u = vec![vec![0.0; n]; n];
+    for k in 0..n {
+        for i in 0..n {
+            if i != k {
+                u[k][i] = saturated_inflow(t, a, v, k, i);
+            }
+        }
+    }
+    let capacity: Vec<f64> = (0..n)
+        .map(|i| v[i] + (0..n).filter(|&k| k != i).map(|k| u[k][i]).sum::<f64>())
+        .collect();
+    CapacityReport { capacity, u }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::AgreementMatrix;
+    use crate::transitive::TransitiveFlow;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn capacity_includes_own_and_inflows() {
+        let mut s = AgreementMatrix::zeros(3);
+        s.set(0, 1, 0.5).unwrap();
+        s.set(1, 2, 0.4).unwrap();
+        let t = TransitiveFlow::compute(&s, 2);
+        let v = [10.0, 20.0, 5.0];
+        let r = capacities(&t, None, &v);
+        assert!((r.capacity(0) - 10.0).abs() < EPS, "0 receives nothing");
+        assert!((r.capacity(1) - 25.0).abs() < EPS, "20 + 0.5*10");
+        // 2 gets 0.4*20 from 1 plus 0.5*0.4*10 from 0 transitively.
+        assert!((r.capacity(2) - (5.0 + 8.0 + 2.0)).abs() < EPS);
+        assert!((r.inflow(0, 2) - 2.0).abs() < EPS);
+    }
+
+    #[test]
+    fn saturation_limits_inflow_to_owner_availability() {
+        // Overdraft: 0 promises 60% to each of 1 and 2; 1 passes 100% on.
+        let mut s = AgreementMatrix::zeros(3);
+        s.set(0, 1, 0.6).unwrap();
+        s.set(0, 2, 0.6).unwrap();
+        s.set(1, 2, 1.0).unwrap();
+        let t = TransitiveFlow::compute(&s, 2);
+        let v = [10.0, 0.0, 0.0];
+        let r = capacities(&t, None, &v);
+        // Clamped coefficient keeps 2's draw on 0 at V_0 = 10, not 12.
+        assert!((r.capacity(2) - 10.0).abs() < EPS);
+    }
+
+    #[test]
+    fn absolute_agreements_add_but_saturate() {
+        let s = AgreementMatrix::zeros(2);
+        let t = TransitiveFlow::compute(&s, 1);
+        let mut a = AbsoluteMatrix::zeros(2);
+        a.set(0, 1, 7.0).unwrap();
+        let v = [10.0, 1.0];
+        let r = capacities(&t, Some(&a), &v);
+        assert!((r.capacity(1) - 8.0).abs() < EPS, "1 + min(7, 10)");
+        // When the owner has less than promised, the inflow saturates.
+        let v = [4.0, 1.0];
+        let r = capacities(&t, Some(&a), &v);
+        assert!((r.capacity(1) - 5.0).abs() < EPS, "1 + min(7, 4)");
+    }
+
+    #[test]
+    fn absolute_plus_relative_saturate_together() {
+        let mut s = AgreementMatrix::zeros(2);
+        s.set(0, 1, 0.5).unwrap();
+        let t = TransitiveFlow::compute(&s, 1);
+        let mut a = AbsoluteMatrix::zeros(2);
+        a.set(0, 1, 6.0).unwrap();
+        let v = [10.0, 0.0];
+        // I = 5, A = 6, I + A = 11 > V_0 = 10 -> U = 10.
+        assert!((saturated_inflow(&t, Some(&a), &v, 0, 1) - 10.0).abs() < EPS);
+        let r = capacities(&t, Some(&a), &v);
+        assert!((r.capacity(1) - 10.0).abs() < EPS);
+    }
+
+    #[test]
+    fn zero_availability_contributes_nothing_relative() {
+        let mut s = AgreementMatrix::zeros(2);
+        s.set(0, 1, 0.9).unwrap();
+        let t = TransitiveFlow::compute(&s, 1);
+        let r = capacities(&t, None, &[0.0, 3.0]);
+        assert!((r.capacity(1) - 3.0).abs() < EPS);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let s = AgreementMatrix::zeros(2);
+        let t = TransitiveFlow::compute(&s, 1);
+        let _ = capacities(&t, None, &[1.0, 2.0, 3.0]);
+    }
+}

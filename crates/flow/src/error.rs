@@ -1,0 +1,64 @@
+//! Error type for agreement-matrix construction.
+
+use std::fmt;
+
+/// Errors from building agreement matrices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// An index was outside the matrix dimension.
+    OutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The matrix dimension.
+        n: usize,
+    },
+    /// A share must lie in `[0, 1]` (relative) or be a non-negative finite
+    /// quantity (absolute).
+    InvalidShare {
+        /// The rejected value.
+        value: f64,
+    },
+    /// Diagonal entries must stay zero: a principal does not share with
+    /// itself.
+    DiagonalShare {
+        /// The principal attempting to share with itself.
+        index: usize,
+    },
+    /// The per-row share sum exceeded 1 while overdraft was disallowed.
+    RowSumExceeded {
+        /// The violating row (sharing principal).
+        row: usize,
+        /// Its total promised share.
+        sum: f64,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::OutOfRange { index, n } => {
+                write!(f, "index {index} out of range for {n} principals")
+            }
+            FlowError::InvalidShare { value } => write!(f, "invalid share value {value}"),
+            FlowError::DiagonalShare { index } => {
+                write!(f, "principal {index} cannot share with itself")
+            }
+            FlowError::RowSumExceeded { row, sum } => {
+                write!(f, "row {row} shares {sum:.4} > 1 with overdraft disallowed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_specifics() {
+        assert!(FlowError::OutOfRange { index: 5, n: 3 }.to_string().contains('5'));
+        assert!(FlowError::RowSumExceeded { row: 2, sum: 1.5 }.to_string().contains("1.5"));
+    }
+}

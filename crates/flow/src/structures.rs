@@ -1,0 +1,270 @@
+//! Generators for the agreement-graph shapes the paper studies (§2.2
+//! taxonomy and §4.2 experiment configurations).
+
+use crate::error::FlowError;
+use crate::matrix::AgreementMatrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Named agreement-graph structures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Structure {
+    /// Every principal shares `share` with every other (paper Figures 6–8,
+    /// 12: complete graph, 10% each).
+    Complete {
+        /// Number of principals.
+        n: usize,
+        /// Share each principal gives every other.
+        share: f64,
+    },
+    /// Ring: each principal shares `share` with the principal `skip`
+    /// positions ahead (paper Figures 9–11: 80% with one neighbour, skip
+    /// controlling the time-zone distance).
+    Loop {
+        /// Number of principals.
+        n: usize,
+        /// Share given to the single partner.
+        share: f64,
+        /// How many positions ahead the partner sits (0 normalizes to 1).
+        skip: usize,
+    },
+    /// Each ordered pair holds an agreement with probability `p`; present
+    /// agreements all carry `share`. Models the paper's "sparse" taxonomy
+    /// entry.
+    SparseRandom {
+        /// Number of principals.
+        n: usize,
+        /// Share carried by each present agreement.
+        share: f64,
+        /// Probability an ordered pair holds an agreement.
+        p: f64,
+        /// RNG seed (construction is deterministic given this).
+        seed: u64,
+    },
+    /// Principals in groups of `group_size` share `intra` completely
+    /// within the group; each group's representative (first member) shares
+    /// `inter` with the next group's representative. Models the paper's
+    /// "hierarchical" taxonomy entry.
+    Hierarchical {
+        /// Number of principals.
+        n: usize,
+        /// Members per group (last group may be smaller).
+        group_size: usize,
+        /// Share between every pair inside a group.
+        intra: f64,
+        /// Share between consecutive group representatives.
+        inter: f64,
+    },
+    /// Complete graph with shares decaying by circular distance:
+    /// `rates[d-1]` for distance `d`, `default` beyond the table. The
+    /// paper's Figure 13 configuration is
+    /// `rates = [0.20, 0.10, 0.05], default = 0.03`.
+    DistanceDecay {
+        /// Number of principals.
+        n: usize,
+        /// Share by circular distance (`rates[d-1]` for distance `d`).
+        rates: Vec<f64>,
+        /// Share beyond the table's reach.
+        default: f64,
+    },
+}
+
+impl Structure {
+    /// The Figure 13 configuration: 20% one hour away, 10% two hours, 5%
+    /// three hours, 3% further.
+    pub fn figure13(n: usize) -> Self {
+        Structure::DistanceDecay { n, rates: vec![0.20, 0.10, 0.05], default: 0.03 }
+    }
+
+    /// Materialize the structure as an agreement matrix.
+    pub fn build(&self) -> Result<AgreementMatrix, FlowError> {
+        match *self {
+            Structure::Complete { n, share } => {
+                let mut s = AgreementMatrix::zeros(n);
+                for i in 0..n {
+                    for j in 0..n {
+                        if i != j {
+                            s.set(i, j, share)?;
+                        }
+                    }
+                }
+                Ok(s)
+            }
+            Structure::Loop { n, share, skip } => {
+                let mut s = AgreementMatrix::zeros(n);
+                if n > 1 {
+                    let skip = skip % n;
+                    let skip = if skip == 0 { 1 } else { skip };
+                    for i in 0..n {
+                        let j = (i + skip) % n;
+                        if j != i {
+                            s.set(i, j, share)?;
+                        }
+                    }
+                }
+                Ok(s)
+            }
+            Structure::SparseRandom { n, share, p, seed } => {
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(FlowError::InvalidShare { value: p });
+                }
+                use rand::SeedableRng;
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let mut s = AgreementMatrix::zeros(n);
+                for i in 0..n {
+                    for j in 0..n {
+                        if i != j && rng.gen::<f64>() < p {
+                            s.set(i, j, share)?;
+                        }
+                    }
+                }
+                Ok(s)
+            }
+            Structure::Hierarchical { n, group_size, intra, inter } => {
+                if group_size == 0 {
+                    return Err(FlowError::OutOfRange { index: 0, n });
+                }
+                let mut s = AgreementMatrix::zeros(n);
+                let groups = n.div_ceil(group_size);
+                for g in 0..groups {
+                    let start = g * group_size;
+                    let end = (start + group_size).min(n);
+                    for i in start..end {
+                        for j in start..end {
+                            if i != j {
+                                s.set(i, j, intra)?;
+                            }
+                        }
+                    }
+                }
+                // Chain the groups through their representatives.
+                if groups > 1 {
+                    for g in 0..groups {
+                        let rep = g * group_size;
+                        let next_rep = ((g + 1) % groups) * group_size;
+                        if rep != next_rep {
+                            s.set(rep, next_rep, inter)?;
+                        }
+                    }
+                }
+                Ok(s)
+            }
+            Structure::DistanceDecay { n, ref rates, default } => {
+                let mut s = AgreementMatrix::zeros(n);
+                for i in 0..n {
+                    for j in 0..n {
+                        if i == j {
+                            continue;
+                        }
+                        let fwd = (j + n - i) % n;
+                        let d = fwd.min(n - fwd); // circular distance
+                        let share = rates.get(d - 1).copied().unwrap_or(default);
+                        s.set(i, j, share)?;
+                    }
+                }
+                Ok(s)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_structure_has_all_edges() {
+        let s = Structure::Complete { n: 4, share: 0.1 }.build().unwrap();
+        assert_eq!(s.num_edges(), 12);
+        assert_eq!(s.get(1, 3), 0.1);
+        assert_eq!(s.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn loop_skip_one_is_a_ring() {
+        let s = Structure::Loop { n: 5, share: 0.8, skip: 1 }.build().unwrap();
+        assert_eq!(s.num_edges(), 5);
+        for i in 0..5 {
+            assert_eq!(s.get(i, (i + 1) % 5), 0.8);
+        }
+    }
+
+    #[test]
+    fn loop_skip_three_jumps() {
+        let s = Structure::Loop { n: 10, share: 0.8, skip: 3 }.build().unwrap();
+        assert_eq!(s.num_edges(), 10);
+        assert_eq!(s.get(0, 3), 0.8);
+        assert_eq!(s.get(9, 2), 0.8);
+        assert_eq!(s.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn loop_skip_zero_normalizes_to_one() {
+        let s = Structure::Loop { n: 4, share: 0.5, skip: 0 }.build().unwrap();
+        assert_eq!(s.get(0, 1), 0.5);
+    }
+
+    #[test]
+    fn loop_on_single_node_is_empty() {
+        let s = Structure::Loop { n: 1, share: 0.5, skip: 1 }.build().unwrap();
+        assert_eq!(s.num_edges(), 0);
+    }
+
+    #[test]
+    fn sparse_random_is_deterministic_per_seed() {
+        let a = Structure::SparseRandom { n: 8, share: 0.2, p: 0.3, seed: 7 }
+            .build()
+            .unwrap();
+        let b = Structure::SparseRandom { n: 8, share: 0.2, p: 0.3, seed: 7 }
+            .build()
+            .unwrap();
+        assert_eq!(a, b);
+        let c = Structure::SparseRandom { n: 8, share: 0.2, p: 0.3, seed: 8 }
+            .build()
+            .unwrap();
+        assert_ne!(a, c, "different seed should (almost surely) differ");
+    }
+
+    #[test]
+    fn sparse_random_rejects_bad_probability() {
+        assert!(Structure::SparseRandom { n: 4, share: 0.2, p: 1.5, seed: 0 }
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn hierarchical_groups_are_complete_inside() {
+        let s = Structure::Hierarchical { n: 6, group_size: 3, intra: 0.3, inter: 0.1 }
+            .build()
+            .unwrap();
+        // Within group 0: 0,1,2 fully connected.
+        assert_eq!(s.get(0, 1), 0.3);
+        assert_eq!(s.get(2, 0), 0.3);
+        // Across groups only reps 0 and 3 connect.
+        assert_eq!(s.get(0, 3), 0.1);
+        assert_eq!(s.get(3, 0), 0.1, "ring of two groups closes back");
+        assert_eq!(s.get(1, 4), 0.0);
+    }
+
+    #[test]
+    fn figure13_distance_decay_rates() {
+        let s = Structure::figure13(10).build().unwrap();
+        // Distance 1 neighbours (circular).
+        assert_eq!(s.get(0, 1), 0.20);
+        assert_eq!(s.get(0, 9), 0.20);
+        assert_eq!(s.get(0, 2), 0.10);
+        assert_eq!(s.get(0, 3), 0.05);
+        assert_eq!(s.get(0, 4), 0.03);
+        assert_eq!(s.get(0, 5), 0.03, "max circular distance on 10 nodes");
+        // Symmetric by construction.
+        assert_eq!(s.get(7, 0), s.get(0, 7));
+    }
+
+    #[test]
+    fn figure13_row_sums_within_unity() {
+        let s = Structure::figure13(10).build().unwrap();
+        // 2*0.20 + 2*0.10 + 2*0.05 + 2*0.03 + 1*0.03 = 0.79 <= 1.
+        s.validate_row_sums().unwrap();
+        assert!((s.row_sum(0) - 0.79).abs() < 1e-12);
+    }
+}

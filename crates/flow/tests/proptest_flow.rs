@@ -1,0 +1,130 @@
+//! Property tests on transitive-flow and capacity invariants.
+
+// Index-based loops keep the matrix algebra legible in these tests.
+#![allow(clippy::needless_range_loop)]
+
+use agreements_flow::{capacities, AgreementMatrix, TransitiveFlow, TransitiveOptions};
+use proptest::prelude::*;
+
+/// Random agreement matrix with row sums ≤ 1 (basic model).
+fn arb_matrix() -> impl Strategy<Value = AgreementMatrix> {
+    (2usize..=6).prop_flat_map(|n| {
+        proptest::collection::vec(0u32..=30, n * n).prop_map(move |raw| {
+            let mut s = AgreementMatrix::zeros(n);
+            for i in 0..n {
+                let row = &raw[i * n..(i + 1) * n];
+                let total: u32 = row
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, &v)| v)
+                    .sum();
+                if total == 0 {
+                    continue;
+                }
+                // Normalize into [0, 0.95] total.
+                let scale = 0.95 / total.max(30) as f64;
+                for j in 0..n {
+                    if i != j && row[j] > 0 {
+                        s.set(i, j, row[j] as f64 * scale).unwrap();
+                    }
+                }
+            }
+            s
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Coefficients are monotone non-decreasing in the level cap.
+    #[test]
+    fn levels_are_monotone(s in arb_matrix()) {
+        let n = s.n();
+        let mut prev = TransitiveFlow::compute_with(
+            &s, &TransitiveOptions { max_level: 1, clamp: false, min_product: 0.0 });
+        for level in 2..n {
+            let cur = TransitiveFlow::compute_with(
+                &s, &TransitiveOptions { max_level: level, clamp: false, min_product: 0.0 });
+            for i in 0..n {
+                for j in 0..n {
+                    prop_assert!(cur.coefficient(i, j) >= prev.coefficient(i, j) - 1e-15);
+                }
+            }
+            prev = cur;
+        }
+    }
+
+    /// With row sums ≤ 1, every *pairwise* coefficient stays ≤ 1 even
+    /// unclamped: the first hops out of `i` partition its value and each
+    /// continuation forwards at most 100%. (Total outflow Σ_j T[i][j] CAN
+    /// exceed 1 — sharing promises the same units to several parties;
+    /// that is what allocation-time enforcement resolves.)
+    #[test]
+    fn pairwise_coefficient_bounded_without_overdraft(s in arb_matrix()) {
+        let n = s.n();
+        let t = TransitiveFlow::compute_with(
+            &s, &TransitiveOptions { max_level: n - 1, clamp: false, min_product: 0.0 });
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!(t.coefficient(i, j) <= 1.0 + 1e-9,
+                    "T[{i}][{j}] = {} exceeds 1 without overdraft", t.coefficient(i, j));
+            }
+        }
+    }
+
+    /// Diagonal is always zero and all coefficients non-negative.
+    #[test]
+    fn coefficients_well_formed(s in arb_matrix(), level in 1usize..6) {
+        let n = s.n();
+        let t = TransitiveFlow::compute_with(
+            &s, &TransitiveOptions { max_level: level, clamp: true, min_product: 0.0 });
+        for i in 0..n {
+            prop_assert_eq!(t.coefficient(i, i), 0.0);
+            for j in 0..n {
+                let c = t.coefficient(i, j);
+                prop_assert!((0.0..=1.0).contains(&c), "clamped coeff {c}");
+            }
+        }
+    }
+
+    /// Capacity is at least own availability, and with row sums ≤ 1 the
+    /// sum of capacities never exceeds n × total value (each unit usable
+    /// by at most all n principals via sharing).
+    #[test]
+    fn capacity_bounds(s in arb_matrix(), avail in proptest::collection::vec(0u32..=100, 6)) {
+        let n = s.n();
+        let v: Vec<f64> = avail[..n].iter().map(|&x| x as f64).collect();
+        let t = TransitiveFlow::compute(&s, n - 1);
+        let r = capacities(&t, None, &v);
+        let total: f64 = v.iter().sum();
+        for i in 0..n {
+            prop_assert!(r.capacity(i) >= v[i] - 1e-12);
+            prop_assert!(r.capacity(i) <= 2.0 * total + 1e-9,
+                "capacity {} exceeds total value {} (+inflows ≤ total)", r.capacity(i), total);
+        }
+        // Each individual inflow is saturated at the owner's availability.
+        for k in 0..n {
+            for i in 0..n {
+                prop_assert!(r.inflow(k, i) <= v[k] + 1e-12);
+            }
+        }
+    }
+
+    /// Clamping only ever reduces coefficients.
+    #[test]
+    fn clamp_is_a_reduction(s in arb_matrix(), level in 1usize..6) {
+        let n = s.n();
+        let raw = TransitiveFlow::compute_with(
+            &s, &TransitiveOptions { max_level: level, clamp: false, min_product: 0.0 });
+        let clamped = TransitiveFlow::compute_with(
+            &s, &TransitiveOptions { max_level: level, clamp: true, min_product: 0.0 });
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!(clamped.coefficient(i, j) <= raw.coefficient(i, j) + 1e-15);
+                prop_assert!(clamped.coefficient(i, j) <= 1.0);
+            }
+        }
+    }
+}

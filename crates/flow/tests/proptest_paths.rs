@@ -1,0 +1,87 @@
+//! Property tests for chain enumeration: the decomposition must agree
+//! with the aggregate transitive coefficients on random graphs.
+
+use agreements_flow::paths::coefficient_from_chains;
+use agreements_flow::{chains_between, AgreementMatrix, TransitiveFlow, TransitiveOptions};
+use proptest::prelude::*;
+
+fn arb_matrix() -> impl Strategy<Value = AgreementMatrix> {
+    (3usize..=6).prop_flat_map(|n| {
+        proptest::collection::vec(0u32..=20, n * n).prop_map(move |raw| {
+            let mut s = AgreementMatrix::zeros(n);
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j && raw[i * n + j] > 10 {
+                        s.set(i, j, (raw[i * n + j] - 10) as f64 / 20.0).unwrap();
+                    }
+                }
+            }
+            s
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Chain products sum to the unclamped coefficient at every level for
+    /// every ordered pair.
+    #[test]
+    fn chains_decompose_coefficients(s in arb_matrix(), level in 1usize..=5) {
+        let n = s.n();
+        let level = level.min(n - 1);
+        let t = TransitiveFlow::compute_with(
+            &s,
+            &TransitiveOptions { max_level: level, clamp: false, min_product: 0.0 },
+        );
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let chains = chains_between(&s, i, j, level);
+                let sum = coefficient_from_chains(&chains);
+                prop_assert!(
+                    (sum - t.coefficient(i, j)).abs() < 1e-12,
+                    "({i},{j}) level {level}: chains {sum} vs {}",
+                    t.coefficient(i, j)
+                );
+            }
+        }
+    }
+
+    /// Every enumerated chain is simple (no repeated nodes), within the
+    /// level cap, respects edge existence, and the list is sorted by
+    /// descending product.
+    #[test]
+    fn chains_are_simple_and_sorted(s in arb_matrix(), level in 1usize..=5) {
+        let n = s.n();
+        let level = level.min(n - 1);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let chains = chains_between(&s, i, j, level);
+                let mut prev = f64::INFINITY;
+                for c in &chains {
+                    prop_assert!(c.hops() <= level);
+                    prop_assert_eq!(*c.nodes.first().unwrap(), i);
+                    prop_assert_eq!(*c.nodes.last().unwrap(), j);
+                    let unique: std::collections::HashSet<_> =
+                        c.nodes.iter().collect();
+                    prop_assert_eq!(unique.len(), c.nodes.len(), "simple path");
+                    let mut prod = 1.0;
+                    for w in c.nodes.windows(2) {
+                        let share = s.get(w[0], w[1]);
+                        prop_assert!(share > 0.0, "edge {:?} exists", w);
+                        prod *= share;
+                    }
+                    prop_assert!((prod - c.product).abs() < 1e-12);
+                    prop_assert!(c.product <= prev + 1e-15, "sorted descending");
+                    prev = c.product;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! GRM/LRM runtime: the paper's cluster resource-manager architecture
+//! (§3.2, final paragraph), realized on threads and channels.
+//!
+//! > "The resource management system has two components: a centralized
+//! > global resource manager (GRM) and multiple local resource managers
+//! > (LRM). The GRM provides services to manage sharing agreements and to
+//! > schedule resources among local resource managers. LRMs are
+//! > responsible for providing resource availability information to the
+//! > GRM dynamically, and fulfilling resource allocation according to the
+//! > GRM's decisions. The architecture also permits splitting of the GRMs
+//! > into multiple levels, each responsible for a subset of the LRMs."
+//!
+//! - [`server::GrmServer`] runs the global scheduler on its own thread,
+//!   owning the agreement flow table and the last-reported availability
+//!   of every LRM; clients talk to it through a cloneable
+//!   [`server::GrmHandle`] over crossbeam channels (agreement management,
+//!   availability reports, allocation RPCs).
+//! - [`lrm::Lrm`] owns an actual local resource pool and fulfils the
+//!   GRM's reservation directives, reporting availability after every
+//!   local change.
+//! - [`multilevel::TwoLevelGrm`] splits scheduling across group-level
+//!   GRMs coordinated by a coarse root scheduler (multigrid refinement,
+//!   §3.2).
+
+// Index-based loops are idiomatic for the dense matrix math in this
+// crate; clippy's iterator rewrites would obscure the row/column algebra.
+#![allow(clippy::needless_range_loop)]
+
+#![warn(missing_docs)]
+
+pub mod lrm;
+pub mod multilevel;
+pub mod policy_adapter;
+pub mod server;
+
+pub use lrm::Lrm;
+pub use multilevel::TwoLevelGrm;
+pub use policy_adapter::GrmBackedPolicy;
+pub use server::{GrmError, GrmHandle, GrmServer, GrmStats};

@@ -1,0 +1,152 @@
+//! Local resource managers: own a real pool and fulfil GRM decisions.
+
+use crate::server::{GrmError, GrmHandle};
+use agreements_sched::Allocation;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A local resource manager. It owns the authoritative local pool; the
+/// GRM's availability view is only as fresh as the LRM's last report.
+///
+/// Allocation flow: a job arrives at this LRM → the LRM asks the GRM for a
+/// placement → the GRM returns the draw vector → each contributing LRM
+/// fulfils its share via [`Lrm::fulfil`] (decrementing its own pool) →
+/// every touched LRM re-reports.
+pub struct Lrm {
+    /// This LRM's index at the GRM.
+    pub id: usize,
+    pool: Arc<Mutex<f64>>,
+    grm: GrmHandle,
+}
+
+impl Lrm {
+    /// Create an LRM with an initial pool and announce it to the GRM.
+    pub fn new(id: usize, initial: f64, grm: GrmHandle) -> Result<Self, GrmError> {
+        let lrm = Lrm { id, pool: Arc::new(Mutex::new(initial)), grm };
+        lrm.report()?;
+        Ok(lrm)
+    }
+
+    /// Current local pool level.
+    pub fn available(&self) -> f64 {
+        *self.pool.lock()
+    }
+
+    /// Push the current availability to the GRM.
+    pub fn report(&self) -> Result<(), GrmError> {
+        self.grm.report(self.id, self.available())
+    }
+
+    /// Locally produce or reclaim resources (e.g. a job finished), then
+    /// re-report.
+    pub fn credit(&self, amount: f64) -> Result<(), GrmError> {
+        {
+            let mut pool = self.pool.lock();
+            *pool += amount;
+        }
+        self.report()
+    }
+
+    /// Fulfil this LRM's share of a GRM allocation: deduct the draw
+    /// against the local pool. Returns the amount actually deducted
+    /// (clamped at the pool, which can run briefly stale-low if reports
+    /// lag).
+    pub fn fulfil(&self, alloc: &Allocation) -> Result<f64, GrmError> {
+        let want = alloc.draws.get(self.id).copied().unwrap_or(0.0);
+        let taken = {
+            let mut pool = self.pool.lock();
+            let taken = want.min(*pool);
+            *pool -= taken;
+            taken
+        };
+        self.report()?;
+        Ok(taken)
+    }
+
+    /// Submit a job needing `amount` units: asks the GRM for a placement.
+    /// The caller is responsible for routing the returned allocation to
+    /// every contributing LRM's [`Lrm::fulfil`].
+    pub fn submit(&self, amount: f64) -> Result<Allocation, GrmError> {
+        self.grm.request(self.id, amount)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::GrmServer;
+    use agreements_flow::AgreementMatrix;
+
+    fn complete(n: usize, share: f64) -> AgreementMatrix {
+        let mut s = AgreementMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    s.set(i, j, share).unwrap();
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn end_to_end_allocation_fulfilment() {
+        let grm = GrmServer::spawn(complete(3, 0.5), 2);
+        let lrms: Vec<Lrm> = (0..3)
+            .map(|i| Lrm::new(i, if i == 0 { 0.0 } else { 12.0 }, grm.handle()).unwrap())
+            .collect();
+        // LRM 0 has nothing; submits a job for 8 units.
+        let alloc = lrms[0].submit(8.0).unwrap();
+        let mut total = 0.0;
+        for lrm in &lrms {
+            total += lrm.fulfil(&alloc).unwrap();
+        }
+        assert!((total - 8.0).abs() < 1e-9);
+        // Pools actually decreased.
+        let pools: f64 = lrms.iter().map(Lrm::available).sum();
+        assert!((pools - 16.0).abs() < 1e-9);
+        grm.shutdown();
+    }
+
+    #[test]
+    fn credit_updates_grm_view() {
+        let grm = GrmServer::spawn(complete(2, 0.5), 1);
+        let a = Lrm::new(0, 1.0, grm.handle()).unwrap();
+        let _b = Lrm::new(1, 1.0, grm.handle()).unwrap();
+        a.credit(9.0).unwrap();
+        let avail = grm.handle().availability().unwrap();
+        assert!((avail[0] - 10.0).abs() < 1e-9);
+        grm.shutdown();
+    }
+
+    #[test]
+    fn fulfil_clamps_at_pool() {
+        let grm = GrmServer::spawn(complete(2, 1.0), 1);
+        let a = Lrm::new(0, 0.0, grm.handle()).unwrap();
+        let b = Lrm::new(1, 5.0, grm.handle()).unwrap();
+        // Stale view: report 5, then locally drain b's pool out-of-band.
+        {
+            let alloc = a.submit(5.0).unwrap();
+            // Drain b to 2 before it fulfils.
+            b.credit(-0.0).unwrap();
+            {
+                let mut pool = b.pool.lock();
+                *pool = 2.0;
+            }
+            let taken = b.fulfil(&alloc).unwrap();
+            assert!((taken - 2.0).abs() < 1e-9, "clamped at stale pool");
+            assert_eq!(b.available(), 0.0);
+        }
+        grm.shutdown();
+    }
+
+    #[test]
+    fn submit_without_capacity_errors() {
+        let grm = GrmServer::spawn(AgreementMatrix::zeros(2), 1);
+        let a = Lrm::new(0, 1.0, grm.handle()).unwrap();
+        let _b = Lrm::new(1, 100.0, grm.handle()).unwrap();
+        assert!(a.submit(2.0).is_err(), "no agreements, only own 1 unit");
+        assert!(a.submit(1.0).is_ok());
+        grm.shutdown();
+    }
+}

@@ -1,0 +1,218 @@
+//! Two-level GRM: group GRMs under a coarse root scheduler (§3.2's
+//! multigrid refinement, distributed across managers).
+
+use crate::server::{GrmError, GrmHandle, GrmServer};
+use agreements_flow::AgreementMatrix;
+use agreements_sched::hierarchy::HierarchicalScheduler;
+use agreements_sched::{Allocation, SchedError};
+
+/// A root coordinator over per-group GRMs.
+///
+/// Requests go to the requester's group GRM first; if the group cannot
+/// satisfy them, the root runs the coarse inter-group LP (via
+/// [`HierarchicalScheduler`]) over aggregated group availabilities and
+/// splits the request into per-group reservations, each fulfilled by the
+/// group's own GRM.
+pub struct TwoLevelGrm {
+    groups: Vec<Vec<usize>>,
+    group_grms: Vec<GrmServer>,
+    /// Index of each principal inside its group GRM (local index).
+    local_index: Vec<usize>,
+    /// Which group each principal is in.
+    member_of: Vec<usize>,
+    sched: HierarchicalScheduler,
+}
+
+impl TwoLevelGrm {
+    /// Build from a partition, per-group *intra* agreement matrices, and
+    /// the group-level *inter* agreement matrix.
+    pub fn new(
+        groups: Vec<Vec<usize>>,
+        intra: Vec<AgreementMatrix>,
+        inter: &AgreementMatrix,
+        level: usize,
+    ) -> Result<Self, SchedError> {
+        let sched = HierarchicalScheduler::new(groups.clone(), inter, level)?;
+        let n: usize = groups.iter().map(Vec::len).sum();
+        let mut local_index = vec![0usize; n];
+        let mut member_of = vec![0usize; n];
+        let mut group_grms = Vec::with_capacity(groups.len());
+        for (g, members) in groups.iter().enumerate() {
+            let m = intra
+                .get(g)
+                .ok_or(SchedError::DimensionMismatch { expected: groups.len(), got: intra.len() })?;
+            if m.n() != members.len() {
+                return Err(SchedError::DimensionMismatch {
+                    expected: members.len(),
+                    got: m.n(),
+                });
+            }
+            for (li, &p) in members.iter().enumerate() {
+                local_index[p] = li;
+                member_of[p] = g;
+            }
+            let lvl = members.len().saturating_sub(1).max(1);
+            group_grms.push(GrmServer::spawn(m.clone(), lvl));
+        }
+        Ok(TwoLevelGrm { groups, group_grms, local_index, member_of, sched })
+    }
+
+    /// Handle to a group's GRM (for LRM registration and reports).
+    pub fn group_handle(&self, group: usize) -> GrmHandle {
+        self.group_grms[group].handle()
+    }
+
+    /// The group of a principal.
+    pub fn group_of(&self, principal: usize) -> usize {
+        self.member_of[principal]
+    }
+
+    /// A principal's local index within its group GRM.
+    pub fn local_index(&self, principal: usize) -> usize {
+        self.local_index[principal]
+    }
+
+    /// Route a request: group GRM first, root refinement on overflow.
+    /// Returns a *global* draw vector indexed by principal.
+    pub fn request(&self, principal: usize, amount: f64) -> Result<Allocation, GrmError> {
+        let n = self.member_of.len();
+        if principal >= n {
+            return Err(GrmError::UnknownLrm(principal));
+        }
+        let home = self.member_of[principal];
+        // Fast path: the home group alone.
+        match self.group_grms[home].handle().request(self.local_index[principal], amount) {
+            Ok(local) => {
+                let mut draws = vec![0.0; n];
+                for (li, &p) in self.groups[home].iter().enumerate() {
+                    draws[p] = local.draws[li];
+                }
+                return Ok(Allocation {
+                    requester: principal,
+                    amount: local.amount,
+                    draws,
+                    theta: local.theta,
+                });
+            }
+            Err(GrmError::Sched(SchedError::InsufficientCapacity { .. })) => {}
+            Err(e) => return Err(e),
+        }
+        // Coarse path: gather availability from every group GRM, run the
+        // hierarchical scheduler, and commit per-group reservations.
+        let mut availability = vec![0.0; n];
+        for (g, members) in self.groups.iter().enumerate() {
+            let view = self.group_grms[g].handle().availability()?;
+            for (li, &p) in members.iter().enumerate() {
+                availability[p] = view[li];
+            }
+        }
+        let alloc = self
+            .sched
+            .allocate(&availability, principal, amount)
+            .map_err(GrmError::Sched)?;
+        // Commit the draws into each group GRM's view (acting as the
+        // reservation directive).
+        for (g, members) in self.groups.iter().enumerate() {
+            let h = self.group_grms[g].handle();
+            for (li, &p) in members.iter().enumerate() {
+                if alloc.draws[p] > 0.0 {
+                    h.report(li, (availability[p] - alloc.draws[p]).max(0.0))?;
+                }
+            }
+        }
+        Ok(alloc)
+    }
+
+    /// Shut down every group GRM.
+    pub fn shutdown(self) {
+        for g in self.group_grms {
+            g.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: usize, share: f64) -> AgreementMatrix {
+        let mut s = AgreementMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    s.set(i, j, share).unwrap();
+                }
+            }
+        }
+        s
+    }
+
+    fn two_groups() -> TwoLevelGrm {
+        let groups = vec![vec![0, 1, 2], vec![3, 4, 5]];
+        let intra = vec![complete(3, 1.0), complete(3, 1.0)];
+        let mut inter = AgreementMatrix::zeros(2);
+        inter.set(0, 1, 0.5).unwrap();
+        inter.set(1, 0, 0.5).unwrap();
+        TwoLevelGrm::new(groups, intra, &inter, 1).unwrap()
+    }
+
+    fn seed_availability(grm: &TwoLevelGrm, per_member: &[f64; 6]) {
+        for p in 0..6 {
+            let g = grm.group_of(p);
+            grm.group_handle(g).report(grm.local_index(p), per_member[p]).unwrap();
+        }
+    }
+
+    #[test]
+    fn home_group_serves_small_requests() {
+        let grm = two_groups();
+        seed_availability(&grm, &[5.0, 5.0, 5.0, 50.0, 50.0, 50.0]);
+        let alloc = grm.request(0, 12.0).unwrap();
+        assert!((alloc.amount - 12.0).abs() < 1e-9);
+        assert!(alloc.draws[3..].iter().all(|&d| d == 0.0), "{:?}", alloc.draws);
+        grm.shutdown();
+    }
+
+    #[test]
+    fn overflow_escalates_to_root() {
+        let grm = two_groups();
+        seed_availability(&grm, &[2.0, 2.0, 2.0, 10.0, 10.0, 10.0]);
+        let alloc = grm.request(0, 15.0).unwrap();
+        let home: f64 = alloc.draws[..3].iter().sum();
+        let away: f64 = alloc.draws[3..].iter().sum();
+        assert!((home + away - 15.0).abs() < 1e-9);
+        assert!(away > 0.0);
+        // Inter-group cap: at most 50% of the remote group's 30.
+        assert!(away <= 15.0 + 1e-9);
+        // Group GRM views were updated.
+        let remote_view = grm.group_handle(1).availability().unwrap();
+        assert!((remote_view.iter().sum::<f64>() - (30.0 - away)).abs() < 1e-6);
+        grm.shutdown();
+    }
+
+    #[test]
+    fn totally_unreachable_request_fails() {
+        let grm = two_groups();
+        seed_availability(&grm, &[1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        // Reach: 3 own + 50% of 3 = 4.5 < 10.
+        assert!(grm.request(0, 10.0).is_err());
+        grm.shutdown();
+    }
+
+    #[test]
+    fn construction_validates_shapes() {
+        let groups = vec![vec![0, 1], vec![2]];
+        let intra = vec![complete(2, 1.0)]; // missing one group
+        let inter = AgreementMatrix::zeros(2);
+        assert!(TwoLevelGrm::new(groups.clone(), intra, &inter, 1).is_err());
+        let intra_bad = vec![complete(3, 1.0), complete(1, 0.0)];
+        assert!(TwoLevelGrm::new(groups, intra_bad, &inter, 1).is_err());
+    }
+
+    #[test]
+    fn unknown_principal_rejected() {
+        let grm = two_groups();
+        assert!(matches!(grm.request(17, 1.0), Err(GrmError::UnknownLrm(17))));
+        grm.shutdown();
+    }
+}

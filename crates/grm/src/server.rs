@@ -1,0 +1,518 @@
+//! The centralized global resource manager.
+
+use agreements_flow::{AgreementMatrix, FlowError, TransitiveFlow};
+use agreements_sched::{Allocation, AllocationPolicy, LpPolicy, SchedError, SystemState};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::fmt;
+use std::thread::JoinHandle;
+
+/// Errors surfaced to GRM clients.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GrmError {
+    /// The scheduler rejected the request.
+    Sched(SchedError),
+    /// An agreement mutation was invalid.
+    Flow(FlowError),
+    /// Referenced an unregistered LRM.
+    UnknownLrm(usize),
+    /// The server thread is gone (shut down or panicked).
+    Disconnected,
+}
+
+impl fmt::Display for GrmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrmError::Sched(e) => write!(f, "scheduler: {e}"),
+            GrmError::Flow(e) => write!(f, "agreement: {e}"),
+            GrmError::UnknownLrm(i) => write!(f, "unknown LRM {i}"),
+            GrmError::Disconnected => write!(f, "GRM server disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for GrmError {}
+
+enum Msg {
+    Report { lrm: usize, available: f64 },
+    Tick { now: u64, lease: u64 },
+    Join { reply: Sender<usize> },
+    Leave { lrm: usize, reply: Sender<Result<(), GrmError>> },
+    Request { lrm: usize, amount: f64, reply: Sender<Result<Allocation, GrmError>> },
+    Release { alloc: Allocation, reply: Sender<Result<(), GrmError>> },
+    SetAgreement { from: usize, to: usize, share: f64, reply: Sender<Result<(), GrmError>> },
+    Availability { reply: Sender<Vec<f64>> },
+    Stats { reply: Sender<GrmStats> },
+    Shutdown,
+}
+
+/// Operational counters maintained by the GRM server.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GrmStats {
+    /// Allocation requests received.
+    pub requests: usize,
+    /// Requests granted.
+    pub granted: usize,
+    /// Requests rejected for insufficient capacity.
+    pub rejected_capacity: usize,
+    /// Total units granted.
+    pub granted_units: f64,
+    /// Agreement mutations applied.
+    pub agreement_updates: usize,
+    /// Availability reports processed.
+    pub reports: usize,
+}
+
+/// Cloneable client handle to a running GRM.
+#[derive(Clone)]
+pub struct GrmHandle {
+    tx: Sender<Msg>,
+}
+
+impl GrmHandle {
+    /// Dynamic availability report (LRM -> GRM).
+    pub fn report(&self, lrm: usize, available: f64) -> Result<(), GrmError> {
+        self.tx
+            .send(Msg::Report { lrm, available })
+            .map_err(|_| GrmError::Disconnected)
+    }
+
+    /// Advance the GRM's logical clock for lease-based liveness: any LRM
+    /// whose last report is older than `lease` ticks has its availability
+    /// zeroed until it reports again (a crashed or partitioned LRM must
+    /// not be scheduled against). The clock is supplied by the caller so
+    /// tests and simulations stay deterministic.
+    pub fn tick(&self, now: u64, lease: u64) -> Result<(), GrmError> {
+        self.tx
+            .send(Msg::Tick { now, lease })
+            .map_err(|_| GrmError::Disconnected)
+    }
+
+    /// A new LRM joins the federation; returns its index. It starts with
+    /// no agreements and zero reported availability — wire it in with
+    /// [`GrmHandle::set_agreement`] and [`GrmHandle::report`].
+    pub fn join(&self) -> Result<usize, GrmError> {
+        let (reply, rx) = bounded(1);
+        self.tx.send(Msg::Join { reply }).map_err(|_| GrmError::Disconnected)?;
+        rx.recv().map_err(|_| GrmError::Disconnected)
+    }
+
+    /// An LRM leaves: all its agreements are dropped (both directions)
+    /// and its availability zeroed. Its index stays reserved so other
+    /// indices remain stable.
+    pub fn leave(&self, lrm: usize) -> Result<(), GrmError> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(Msg::Leave { lrm, reply })
+            .map_err(|_| GrmError::Disconnected)?;
+        rx.recv().map_err(|_| GrmError::Disconnected)?
+    }
+
+    /// Allocation RPC: LRM `lrm` requests `amount` units under the
+    /// agreements. Blocks for the decision.
+    pub fn request(&self, lrm: usize, amount: f64) -> Result<Allocation, GrmError> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(Msg::Request { lrm, amount, reply })
+            .map_err(|_| GrmError::Disconnected)?;
+        rx.recv().map_err(|_| GrmError::Disconnected)?
+    }
+
+    /// Return a previous allocation's draws to the pool.
+    pub fn release(&self, alloc: Allocation) -> Result<(), GrmError> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(Msg::Release { alloc, reply })
+            .map_err(|_| GrmError::Disconnected)?;
+        rx.recv().map_err(|_| GrmError::Disconnected)?
+    }
+
+    /// Agreement-management service: set `S[from][to] = share` and
+    /// recompute the transitive flow.
+    pub fn set_agreement(&self, from: usize, to: usize, share: f64) -> Result<(), GrmError> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(Msg::SetAgreement { from, to, share, reply })
+            .map_err(|_| GrmError::Disconnected)?;
+        rx.recv().map_err(|_| GrmError::Disconnected)?
+    }
+
+    /// Operational counters since the server started.
+    pub fn stats(&self) -> Result<GrmStats, GrmError> {
+        let (reply, rx) = bounded(1);
+        self.tx.send(Msg::Stats { reply }).map_err(|_| GrmError::Disconnected)?;
+        rx.recv().map_err(|_| GrmError::Disconnected)
+    }
+
+    /// Snapshot of the GRM's current availability view.
+    pub fn availability(&self) -> Result<Vec<f64>, GrmError> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(Msg::Availability { reply })
+            .map_err(|_| GrmError::Disconnected)?;
+        rx.recv().map_err(|_| GrmError::Disconnected)
+    }
+
+    /// Ask the server to exit its loop.
+    pub fn shutdown(&self) {
+        let _ = self.tx.send(Msg::Shutdown);
+    }
+}
+
+/// A running GRM server thread.
+pub struct GrmServer {
+    handle: GrmHandle,
+    join: Option<JoinHandle<()>>,
+}
+
+impl GrmServer {
+    /// Spawn a GRM managing `n` LRMs under the given agreements and
+    /// transitivity level, scheduling with the LP policy.
+    pub fn spawn(agreements: AgreementMatrix, level: usize) -> GrmServer {
+        let (tx, rx) = unbounded();
+        let join = std::thread::Builder::new()
+            .name("grm-server".into())
+            .spawn(move || serve(agreements, level, rx))
+            .expect("spawn GRM thread");
+        GrmServer { handle: GrmHandle { tx }, join: Some(join) }
+    }
+
+    /// Client handle.
+    pub fn handle(&self) -> GrmHandle {
+        self.handle.clone()
+    }
+
+    /// Shut down and join the server thread.
+    pub fn shutdown(mut self) {
+        self.handle.shutdown();
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for GrmServer {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+fn serve(agreements: AgreementMatrix, level: usize, rx: Receiver<Msg>) {
+    let mut s = agreements;
+    let mut flow = TransitiveFlow::compute(&s, level);
+    let mut availability = vec![0.0f64; s.n()];
+    // Logical-clock liveness: last report time per LRM, and the current
+    // clock (updated by Tick messages).
+    let mut last_report = vec![0u64; s.n()];
+    let mut clock = 0u64;
+    let mut stats = GrmStats::default();
+    let policy = LpPolicy::reduced();
+    while let Ok(msg) = rx.recv() {
+        let n = s.n();
+        match msg {
+            Msg::Report { lrm, available } => {
+                if lrm < n && available.is_finite() && available >= 0.0 {
+                    availability[lrm] = available;
+                    last_report[lrm] = clock;
+                    stats.reports += 1;
+                }
+            }
+            Msg::Tick { now, lease } => {
+                clock = clock.max(now);
+                for i in 0..n {
+                    if clock.saturating_sub(last_report[i]) > lease {
+                        availability[i] = 0.0;
+                    }
+                }
+            }
+            Msg::Join { reply } => {
+                s = s.grown();
+                flow = TransitiveFlow::compute(&s, level);
+                availability.push(0.0);
+                last_report.push(clock);
+                let _ = reply.send(s.n() - 1);
+            }
+            Msg::Leave { lrm, reply } => {
+                let res = if lrm < n {
+                    s.isolate(lrm).map_err(GrmError::Flow).map(|()| {
+                        flow = TransitiveFlow::compute(&s, level);
+                        availability[lrm] = 0.0;
+                    })
+                } else {
+                    Err(GrmError::UnknownLrm(lrm))
+                };
+                let _ = reply.send(res);
+            }
+            Msg::Request { lrm, amount, reply } => {
+                stats.requests += 1;
+                let res = if lrm >= n {
+                    Err(GrmError::UnknownLrm(lrm))
+                } else {
+                    match SystemState::new(flow.clone(), None, availability.clone()) {
+                        Ok(state) => match policy.allocate(&state, lrm, amount) {
+                            Ok(alloc) => {
+                                // Commit: deduct the draws from the view.
+                                for (v, d) in availability.iter_mut().zip(&alloc.draws) {
+                                    *v = (*v - d).max(0.0);
+                                }
+                                stats.granted += 1;
+                                stats.granted_units += alloc.amount;
+                                Ok(alloc)
+                            }
+                            Err(e) => {
+                                if matches!(e, SchedError::InsufficientCapacity { .. }) {
+                                    stats.rejected_capacity += 1;
+                                }
+                                Err(GrmError::Sched(e))
+                            }
+                        },
+                        Err(e) => Err(GrmError::Sched(e)),
+                    }
+                };
+                let _ = reply.send(res);
+            }
+            Msg::Release { alloc, reply } => {
+                let res = if alloc.draws.len() != n {
+                    Err(GrmError::Sched(SchedError::DimensionMismatch {
+                        expected: n,
+                        got: alloc.draws.len(),
+                    }))
+                } else {
+                    for (v, d) in availability.iter_mut().zip(&alloc.draws) {
+                        *v += d;
+                    }
+                    Ok(())
+                };
+                let _ = reply.send(res);
+            }
+            Msg::SetAgreement { from, to, share, reply } => {
+                let res = s.set(from, to, share).map_err(GrmError::Flow).map(|()| {
+                    flow = TransitiveFlow::compute(&s, level);
+                    stats.agreement_updates += 1;
+                });
+                let _ = reply.send(res);
+            }
+            Msg::Availability { reply } => {
+                let _ = reply.send(availability.clone());
+            }
+            Msg::Stats { reply } => {
+                let _ = reply.send(stats);
+            }
+            Msg::Shutdown => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: usize, share: f64) -> AgreementMatrix {
+        let mut s = AgreementMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    s.set(i, j, share).unwrap();
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn report_then_request_round_trip() {
+        let grm = GrmServer::spawn(complete(3, 0.5), 2);
+        let h = grm.handle();
+        h.report(0, 0.0).unwrap();
+        h.report(1, 10.0).unwrap();
+        h.report(2, 10.0).unwrap();
+        let alloc = h.request(0, 6.0).unwrap();
+        assert!((alloc.amount - 6.0).abs() < 1e-9);
+        assert!((alloc.draws[1] + alloc.draws[2] - 6.0).abs() < 1e-9);
+        // The GRM's view reflects the commit.
+        let avail = h.availability().unwrap();
+        assert!((avail.iter().sum::<f64>() - 14.0).abs() < 1e-9);
+        grm.shutdown();
+    }
+
+    #[test]
+    fn release_restores_view() {
+        let grm = GrmServer::spawn(complete(2, 0.5), 1);
+        let h = grm.handle();
+        h.report(0, 5.0).unwrap();
+        h.report(1, 5.0).unwrap();
+        let alloc = h.request(0, 4.0).unwrap();
+        h.release(alloc).unwrap();
+        let avail = h.availability().unwrap();
+        assert!((avail.iter().sum::<f64>() - 10.0).abs() < 1e-9);
+        grm.shutdown();
+    }
+
+    #[test]
+    fn insufficient_capacity_propagates() {
+        let grm = GrmServer::spawn(complete(2, 0.1), 1);
+        let h = grm.handle();
+        h.report(0, 1.0).unwrap();
+        h.report(1, 1.0).unwrap();
+        match h.request(0, 5.0) {
+            Err(GrmError::Sched(SchedError::InsufficientCapacity { .. })) => {}
+            other => panic!("expected capacity error, got {other:?}"),
+        }
+        grm.shutdown();
+    }
+
+    #[test]
+    fn agreement_updates_take_effect() {
+        let grm = GrmServer::spawn(AgreementMatrix::zeros(2), 1);
+        let h = grm.handle();
+        h.report(0, 0.0).unwrap();
+        h.report(1, 10.0).unwrap();
+        assert!(h.request(0, 2.0).is_err(), "no agreements yet");
+        h.set_agreement(1, 0, 0.5).unwrap();
+        let alloc = h.request(0, 2.0).unwrap();
+        assert!((alloc.draws[1] - 2.0).abs() < 1e-9);
+        // Invalid mutation is rejected.
+        assert!(matches!(h.set_agreement(0, 0, 0.1), Err(GrmError::Flow(_))));
+        grm.shutdown();
+    }
+
+    #[test]
+    fn unknown_lrm_rejected() {
+        let grm = GrmServer::spawn(complete(2, 0.5), 1);
+        let h = grm.handle();
+        assert!(matches!(h.request(7, 1.0), Err(GrmError::UnknownLrm(7))));
+        grm.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_conserve_resources() {
+        let grm = GrmServer::spawn(complete(4, 0.3), 3);
+        let h = grm.handle();
+        for i in 0..4 {
+            h.report(i, 25.0).unwrap();
+        }
+        // 8 client threads each grab 5 units for a random-ish requester.
+        let total_granted: f64 = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|c| {
+                    let h = grm.handle();
+                    scope.spawn(move |_| {
+                        let mut granted = 0.0;
+                        for _ in 0..3 {
+                            if let Ok(a) = h.request(c % 4, 5.0) {
+                                granted += a.amount;
+                            }
+                        }
+                        granted
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|j| j.join().unwrap()).sum()
+        })
+        .unwrap();
+        let remaining: f64 = h.availability().unwrap().iter().sum();
+        assert!(
+            (total_granted + remaining - 100.0).abs() < 1e-6,
+            "granted {total_granted} + remaining {remaining} != 100"
+        );
+        grm.shutdown();
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let grm = GrmServer::spawn(complete(2, 0.5), 1);
+        let h = grm.handle();
+        h.report(0, 10.0).unwrap();
+        h.report(1, 10.0).unwrap();
+        let ok = h.request(0, 5.0).unwrap();
+        assert!(h.request(0, 100.0).is_err());
+        h.set_agreement(0, 1, 0.4).unwrap();
+        h.release(ok).unwrap();
+        let s = h.stats().unwrap();
+        assert_eq!(s.reports, 2);
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.granted, 1);
+        assert_eq!(s.rejected_capacity, 1);
+        assert!((s.granted_units - 5.0).abs() < 1e-9);
+        assert_eq!(s.agreement_updates, 1);
+        grm.shutdown();
+    }
+
+    #[test]
+    fn stale_lrms_are_excluded_by_lease() {
+        let grm = GrmServer::spawn(complete(2, 1.0), 1);
+        let h = grm.handle();
+        h.report(0, 0.0).unwrap();
+        h.report(1, 10.0).unwrap();
+        h.tick(0, 3).unwrap();
+        // Within the lease: LRM 1's capacity is usable.
+        let a = h.request(0, 4.0).unwrap();
+        h.release(a).unwrap();
+        // LRM 0 keeps reporting; LRM 1 goes silent past the lease.
+        h.tick(2, 3).unwrap();
+        h.report(0, 0.0).unwrap();
+        h.tick(6, 3).unwrap();
+        match h.request(0, 4.0) {
+            Err(GrmError::Sched(SchedError::InsufficientCapacity { capacity, .. })) => {
+                assert!(capacity.abs() < 1e-9, "stale owner zeroed: {capacity}");
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        // A fresh report revives it.
+        h.report(1, 10.0).unwrap();
+        h.tick(7, 3).unwrap();
+        assert!(h.request(0, 4.0).is_ok());
+        grm.shutdown();
+    }
+
+    #[test]
+    fn join_grows_the_federation() {
+        let grm = GrmServer::spawn(complete(2, 0.5), 1);
+        let h = grm.handle();
+        h.report(0, 5.0).unwrap();
+        h.report(1, 5.0).unwrap();
+        let newbie = h.join().unwrap();
+        assert_eq!(newbie, 2);
+        // No agreements yet: the newcomer reaches nothing.
+        h.report(newbie, 0.0).unwrap();
+        assert!(h.request(newbie, 1.0).is_err());
+        // Wire it in and it participates.
+        h.set_agreement(0, newbie, 0.4).unwrap();
+        let alloc = h.request(newbie, 2.0).unwrap();
+        assert!((alloc.draws[0] - 2.0).abs() < 1e-9);
+        assert_eq!(alloc.draws.len(), 3);
+        grm.shutdown();
+    }
+
+    #[test]
+    fn leave_cuts_all_agreements() {
+        let grm = GrmServer::spawn(complete(3, 0.5), 2);
+        let h = grm.handle();
+        for i in 0..3 {
+            h.report(i, 10.0).unwrap();
+        }
+        h.leave(2).unwrap();
+        // Requester 0 can now only reach its own 10 + 50% of LRM 1.
+        match h.request(0, 15.1) {
+            Err(GrmError::Sched(SchedError::InsufficientCapacity { capacity, .. })) => {
+                assert!((capacity - 15.0).abs() < 1e-9, "capacity {capacity}");
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert!(matches!(h.leave(9), Err(GrmError::UnknownLrm(9))));
+        grm.shutdown();
+    }
+
+    #[test]
+    fn handle_survives_clone_and_reports_after_shutdown_fail() {
+        let grm = GrmServer::spawn(complete(2, 0.5), 1);
+        let h1 = grm.handle();
+        let h2 = h1.clone();
+        h1.report(0, 1.0).unwrap();
+        h2.report(1, 1.0).unwrap();
+        grm.shutdown();
+        assert!(matches!(h1.availability(), Err(GrmError::Disconnected)));
+    }
+}

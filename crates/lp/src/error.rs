@@ -1,0 +1,79 @@
+//! Error types for LP construction and solving.
+
+use std::fmt;
+
+/// Errors produced while building or solving a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The feasible region is empty: no assignment satisfies all
+    /// constraints and bounds. Carries the residual phase-1 infeasibility
+    /// (how far the best attempt remained from feasibility).
+    Infeasible {
+        /// Residual phase-1 infeasibility of the best attempt.
+        residual: f64,
+    },
+    /// The objective can be improved without bound within the feasible
+    /// region. Carries the index (in solver-internal standard form) of the
+    /// column that proved unboundedness.
+    Unbounded {
+        /// Standard-form column that proved unboundedness.
+        column: usize,
+    },
+    /// The iteration limit was exhausted before reaching optimality.
+    IterationLimit {
+        /// The configured pivot limit that was exhausted.
+        limit: usize,
+    },
+    /// The model itself is malformed (e.g. a variable's lower bound exceeds
+    /// its upper bound, or a NaN coefficient was supplied).
+    InvalidModel(String),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible { residual } => {
+                write!(f, "infeasible linear program (phase-1 residual {residual:.3e})")
+            }
+            LpError::Unbounded { column } => {
+                write!(f, "unbounded linear program (entering column {column})")
+            }
+            LpError::IterationLimit { limit } => {
+                write!(f, "simplex iteration limit {limit} exhausted")
+            }
+            LpError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LpError::Infeasible { residual: 0.5 };
+        assert!(e.to_string().contains("infeasible"));
+        let e = LpError::Unbounded { column: 3 };
+        assert!(e.to_string().contains("unbounded"));
+        assert!(e.to_string().contains('3'));
+        let e = LpError::IterationLimit { limit: 10 };
+        assert!(e.to_string().contains("10"));
+        let e = LpError::InvalidModel("bad bound".into());
+        assert!(e.to_string().contains("bad bound"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            LpError::Unbounded { column: 1 },
+            LpError::Unbounded { column: 1 }
+        );
+        assert_ne!(
+            LpError::Unbounded { column: 1 },
+            LpError::Unbounded { column: 2 }
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! Minimal dense linear algebra: row-major matrices and vectors.
+//!
+//! The simplex tableau and the agreement-flow computations both need only
+//! a handful of dense operations; rather than pull in a BLAS binding we
+//! provide exactly those, with contiguous row-major storage so hot loops
+//! stay cache-friendly and auto-vectorizable.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense vector of `f64`.
+pub type Vector = Vec<f64>;
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` over equal-length slices.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    if alpha == 0.0 {
+        return;
+    }
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// A dense row-major matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Create a matrix from a nested slice of rows. All rows must have the
+    /// same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows in Matrix::from_rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Borrow two distinct rows, the first immutably and the second
+    /// mutably. Used for pivot row elimination without cloning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn row_pair_mut(&mut self, a: usize, b: usize) -> (&[f64], &mut [f64]) {
+        assert_ne!(a, b, "row_pair_mut requires distinct rows");
+        let c = self.cols;
+        if a < b {
+            let (lo, hi) = self.data.split_at_mut(b * c);
+            (&lo[a * c..(a + 1) * c], &mut hi[..c])
+        } else {
+            let (lo, hi) = self.data.split_at_mut(a * c);
+            (&hi[..c], &mut lo[b * c..(b + 1) * c])
+        }
+    }
+
+    /// Matrix-vector product `self * x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vector {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
+        (0..self.rows).map(|i| dot(self.row(i), x)).collect()
+    }
+
+    /// Matrix-matrix product `self * other`.
+    pub fn mul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "dimension mismatch in mul");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let (orow_ref, dst) = (orow.to_vec(), out.row_mut(i));
+                axpy(a, &orow_ref, dst);
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute entry (infinity norm over all entries); 0 for an
+    /// empty matrix.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, &v| m.max(v.abs()))
+    }
+
+    /// Scale every entry in place.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Elementwise sum `self + other`.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let mut out = self.clone();
+        for (o, v) in out.data.iter_mut().zip(&other.data) {
+            *o += v;
+        }
+        out
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{:>10.4} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert_eq!(z.max_abs(), 0.0);
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        assert_eq!(i.max_abs(), 1.0);
+    }
+
+    #[test]
+    fn from_rows_round_trips() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_rejects_ragged() {
+        let _ = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let y = m.mul_vec(&[1.0, 1.0]);
+        assert_eq!(y, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn mul_identity_is_noop() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let i = Matrix::identity(2);
+        assert_eq!(m.mul(&i), m);
+        assert_eq!(i.mul(&m), m);
+    }
+
+    #[test]
+    fn mul_matches_manual_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]);
+        let b = Matrix::from_rows(&[vec![2.0, 0.0], vec![1.0, 3.0]]);
+        let c = a.mul(&b);
+        assert_eq!(c, Matrix::from_rows(&[vec![4.0, 6.0], vec![1.0, 3.0]]));
+    }
+
+    #[test]
+    fn transpose_swaps_dims() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 1);
+        assert_eq!(t[(2, 0)], 3.0);
+    }
+
+    #[test]
+    fn row_pair_mut_both_orders() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0], vec![10.0, 20.0]]);
+        {
+            let (src, dst) = m.row_pair_mut(0, 1);
+            assert_eq!(src, &[1.0, 2.0]);
+            dst[0] = -1.0;
+        }
+        assert_eq!(m[(1, 0)], -1.0);
+        {
+            let (src, dst) = m.row_pair_mut(1, 0);
+            assert_eq!(src[0], -1.0);
+            dst[1] = 5.0;
+        }
+        assert_eq!(m[(0, 1)], 5.0);
+    }
+
+    #[test]
+    fn axpy_and_dot() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [1.0, 1.0, 1.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [3.0, 5.0, 7.0]);
+        assert_eq!(dot(&x, &y), 3.0 + 10.0 + 21.0);
+    }
+
+    #[test]
+    fn scale_and_add() {
+        let mut m = Matrix::identity(2);
+        m.scale(3.0);
+        assert_eq!(m[(0, 0)], 3.0);
+        let s = m.add(&Matrix::identity(2));
+        assert_eq!(s[(1, 1)], 4.0);
+        assert_eq!(s[(0, 1)], 0.0);
+    }
+}

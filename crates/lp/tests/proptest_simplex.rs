@@ -1,0 +1,214 @@
+//! Property tests: the simplex solver must agree with brute-force vertex
+//! enumeration on small random LPs, and its solutions must always be
+//! feasible.
+
+// Index-based loops keep the matrix algebra legible in these tests.
+#![allow(clippy::needless_range_loop)]
+
+use agreements_lp::{Problem, Relation, Sense};
+use proptest::prelude::*;
+
+/// Solve `max c·x  s.t.  A x ≤ b, 0 ≤ x` by enumerating basic feasible
+/// points: every vertex of the polytope is the intersection of `n` active
+/// hyperplanes drawn from the rows of `A` and the axis planes `x_j = 0`.
+fn brute_force_max(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> Option<f64> {
+    let n = c.len();
+    let m = a.len();
+    // Build the full plane list: m constraint rows then n axis planes.
+    let mut planes: Vec<(Vec<f64>, f64)> = Vec::with_capacity(m + n);
+    for i in 0..m {
+        planes.push((a[i].clone(), b[i]));
+    }
+    for j in 0..n {
+        let mut row = vec![0.0; n];
+        row[j] = 1.0;
+        planes.push((row, 0.0));
+    }
+    let total = planes.len();
+    let mut best: Option<f64> = None;
+    // Enumerate n-subsets (n <= 3, total <= ~9, trivial).
+    let mut idx: Vec<usize> = (0..n).collect();
+    loop {
+        if let Some(x) = solve_square(&idx, &planes, n) {
+            if feasible(&x, a, b) {
+                let val: f64 = x.iter().zip(c).map(|(xi, ci)| xi * ci).sum();
+                best = Some(best.map_or(val, |b: f64| b.max(val)));
+            }
+        }
+        // Next combination.
+        let mut i = n;
+        loop {
+            if i == 0 {
+                return best;
+            }
+            i -= 1;
+            if idx[i] != i + total - n {
+                idx[i] += 1;
+                for k in i + 1..n {
+                    idx[k] = idx[k - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Solve the n×n system given by the selected planes via Gaussian
+/// elimination with partial pivoting; None if singular.
+fn solve_square(sel: &[usize], planes: &[(Vec<f64>, f64)], n: usize) -> Option<Vec<f64>> {
+    let mut m = vec![vec![0.0; n + 1]; n];
+    for (r, &pi) in sel.iter().enumerate() {
+        m[r][..n].copy_from_slice(&planes[pi].0);
+        m[r][n] = planes[pi].1;
+    }
+    for col in 0..n {
+        let piv = (col..n).max_by(|&i, &j| {
+            m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap()
+        })?;
+        if m[piv][col].abs() < 1e-10 {
+            return None;
+        }
+        m.swap(col, piv);
+        let d = m[col][col];
+        for j in col..=n {
+            m[col][j] /= d;
+        }
+        for r in 0..n {
+            if r != col && m[r][col] != 0.0 {
+                let f = m[r][col];
+                for j in col..=n {
+                    m[r][j] -= f * m[col][j];
+                }
+            }
+        }
+    }
+    Some((0..n).map(|i| m[i][n]).collect())
+}
+
+fn feasible(x: &[f64], a: &[Vec<f64>], b: &[f64]) -> bool {
+    const EPS: f64 = 1e-7;
+    if x.iter().any(|&v| v < -EPS) {
+        return false;
+    }
+    a.iter().zip(b).all(|(row, &bi)| {
+        let lhs: f64 = row.iter().zip(x).map(|(aij, xj)| aij * xj).sum();
+        lhs <= bi + EPS * (1.0 + bi.abs())
+    })
+}
+
+fn small_coeff() -> impl Strategy<Value = f64> {
+    // Coefficients in a friendly range, quantized to avoid conditioning
+    // pathologies that would make the brute-force comparison flaky.
+    (-40i32..=40).prop_map(|v| v as f64 / 4.0)
+}
+
+fn pos_rhs() -> impl Strategy<Value = f64> {
+    (1i32..=60).prop_map(|v| v as f64 / 2.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// max c·x over {Ax ≤ b, x ≥ 0} with b > 0 (origin feasible): simplex
+    /// must match brute-force vertex enumeration whenever the brute force
+    /// finds a bounded optimum.
+    #[test]
+    fn simplex_matches_vertex_enumeration(
+        a in proptest::collection::vec(
+            proptest::collection::vec(small_coeff(), 2), 1..=4),
+        b in proptest::collection::vec(pos_rhs(), 4),
+        c in proptest::collection::vec(small_coeff(), 2),
+    ) {
+        let m = a.len();
+        let b = &b[..m];
+        let mut p = Problem::new(Sense::Maximize);
+        let xs: Vec<_> = (0..2)
+            .map(|j| p.add_var(&format!("x{j}"), 0.0, f64::INFINITY, c[j]))
+            .collect();
+        for i in 0..m {
+            let terms: Vec<_> = xs.iter().cloned().zip(a[i].iter().cloned()).collect();
+            p.add_constraint(&terms, Relation::Le, b[i]);
+        }
+        match p.solve() {
+            Ok(sol) => {
+                // Feasibility of the reported point.
+                let x: Vec<f64> = xs.iter().map(|&v| sol.value(v)).collect();
+                prop_assert!(feasible(&x, &a, b), "simplex point infeasible: {x:?}");
+                // Objective consistency.
+                let val: f64 = x.iter().zip(&c).map(|(xi, ci)| xi * ci).sum();
+                prop_assert!((val - sol.objective).abs() < 1e-6 * (1.0 + sol.objective.abs()));
+                // Optimality vs brute force (only meaningful when the brute
+                // force certifies boundedness via a finite vertex max AND
+                // the LP is actually bounded - if simplex said Ok it is).
+                if let Some(bf) = brute_force_max(&a, b, &c) {
+                    prop_assert!(
+                        sol.objective >= bf - 1e-6 * (1.0 + bf.abs()),
+                        "simplex {} < brute force {}", sol.objective, bf
+                    );
+                    // Simplex can exceed the vertex max only if some optimal
+                    // direction is unbounded, which contradicts Ok; so also
+                    // require <=.
+                    prop_assert!(
+                        sol.objective <= bf + 1e-6 * (1.0 + bf.abs()),
+                        "simplex {} > brute force {}", sol.objective, bf
+                    );
+                }
+            }
+            Err(agreements_lp::LpError::Unbounded { .. }) => {
+                // Brute force cannot certify unboundedness; accept.
+            }
+            Err(e) => {
+                // Origin is feasible (b >= 0), so infeasibility is a bug.
+                prop_assert!(false, "unexpected error: {e}");
+            }
+        }
+    }
+
+    /// Minimization over a box is always the obvious corner.
+    #[test]
+    fn box_minimization_picks_corners(
+        lbs in proptest::collection::vec(-10i32..=0, 3),
+        spans in proptest::collection::vec(1i32..=10, 3),
+        costs in proptest::collection::vec(-5i32..=5, 3),
+    ) {
+        let mut p = Problem::new(Sense::Minimize);
+        let mut expect = 0.0;
+        let mut vars = Vec::new();
+        for i in 0..3 {
+            let lb = lbs[i] as f64;
+            let ub = lb + spans[i] as f64;
+            let cost = costs[i] as f64;
+            vars.push(p.add_var(&format!("x{i}"), lb, ub, cost));
+            expect += if cost >= 0.0 { cost * lb } else { cost * ub };
+        }
+        let s = p.solve().unwrap();
+        prop_assert!((s.objective - expect).abs() < 1e-7,
+            "objective {} expected {}", s.objective, expect);
+        for (i, &v) in vars.iter().enumerate() {
+            let val = s.value(v);
+            prop_assert!(val >= lbs[i] as f64 - 1e-9);
+            prop_assert!(val <= (lbs[i] + spans[i]) as f64 + 1e-9);
+        }
+    }
+
+    /// Adding a redundant constraint never changes the optimum.
+    #[test]
+    fn redundant_constraint_is_inert(
+        c1 in 1i32..=10, c2 in 1i32..=10, cap in 2i32..=20,
+    ) {
+        let build = |redundant: bool| {
+            let mut p = Problem::new(Sense::Maximize);
+            let x = p.add_var("x", 0.0, f64::INFINITY, c1 as f64);
+            let y = p.add_var("y", 0.0, f64::INFINITY, c2 as f64);
+            p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, cap as f64);
+            if redundant {
+                // Strictly looser copy.
+                p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 2.0 * cap as f64);
+            }
+            p.solve().unwrap().objective
+        };
+        let base = build(false);
+        let with = build(true);
+        prop_assert!((base - with).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,197 @@
+//! Simulation configuration.
+
+use crate::proxy::QueueDiscipline;
+use agreements_flow::AgreementMatrix;
+use agreements_trace::{DiurnalProfile, ServiceModel};
+
+/// Which allocation policy the global scheduler runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyKind {
+    /// The paper's LP scheme (reduced formulation).
+    Lp,
+    /// The Figure 13 baseline: proportional end-point redistribution.
+    Proportional,
+    /// Greedy most-entitlement-first (extra baseline).
+    Greedy,
+    /// LP with the fairness objective: minimize the worst *relative*
+    /// capacity drop (paper §3.1 "concerns of fairness").
+    LpFairShare,
+    /// LP with a borrowing-cost term proportional to ring distance
+    /// between requester and owner (paper §3.1 "cost of borrowing
+    /// resources from a different site"): minimize
+    /// `θ + λ · Σ distance·draw`.
+    LpCostAware {
+        /// Cost per unit of work per hop of circular distance.
+        per_hop: f64,
+        /// Weight of the cost term against the perturbation term.
+        lambda: f64,
+    },
+}
+
+/// Resource sharing setup: agreement structure + enforcement policy.
+#[derive(Debug, Clone)]
+pub struct SharingConfig {
+    /// Direct agreement matrix `S`.
+    pub agreements: AgreementMatrix,
+    /// Transitivity level enforced (1 = direct only; `n−1` = full
+    /// closure). Swept in Figures 8–11.
+    pub level: usize,
+    /// Scheduler policy.
+    pub policy: PolicyKind,
+    /// Fixed overhead added to each redirected request's demand, seconds
+    /// (Figure 12: 0.0 / 0.1 / 0.2).
+    pub redirect_cost: f64,
+}
+
+impl SharingConfig {
+    /// LP policy over the given agreements at full transitivity, free
+    /// redirection.
+    pub fn lp(agreements: AgreementMatrix) -> Self {
+        let level = agreements.n().saturating_sub(1).max(1);
+        SharingConfig { agreements, level, policy: PolicyKind::Lp, redirect_cost: 0.0 }
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of proxies.
+    pub n: usize,
+    /// Per-proxy server capacity, in work-seconds per wall second
+    /// (1.0 = a server that serves exactly the unit-demand rate).
+    pub capacity: f64,
+    /// Optional per-proxy capacity override (heterogeneous fleets). When
+    /// set, `capacity` is ignored; the length must equal `n`.
+    pub per_proxy_capacity: Option<Vec<f64>>,
+    /// Scheduling epoch, seconds: arrivals batch, scheduler consultations,
+    /// and availability accounting all happen on this grid.
+    pub epoch: f64,
+    /// Consultation threshold, in epochs of backlog: the scheduler is
+    /// consulted when a proxy's pending work exceeds
+    /// `threshold_epochs × capacity × epoch`.
+    pub threshold_epochs: f64,
+    /// Scheduling horizon in epochs: how much idle capacity owners offer
+    /// per consultation.
+    pub horizon_epochs: f64,
+    /// Service-time model.
+    pub service: ServiceModel,
+    /// Sharing setup; `None` disables sharing entirely (Figure 5).
+    pub sharing: Option<SharingConfig>,
+    /// Hard cap on post-trace drain time (seconds) before declaring the
+    /// system unstable.
+    pub max_drain: f64,
+    /// Days of warmup before the measured day: the trace is replayed
+    /// `warmup_days + 1` times and metrics are recorded only for the last
+    /// replay. One warmup day puts the queues in their *cyclic* steady
+    /// state, so the midnight backlog correctly wraps the day boundary
+    /// (the paper's trace is an averaged repeating day).
+    pub warmup_days: usize,
+    /// Record every scheduler consultation (measured day only) in
+    /// [`crate::metrics::SimResult::decisions`]. Off by default: the log
+    /// grows with consultation count.
+    pub record_decisions: bool,
+    /// Service order at every proxy (FIFO unless ablating).
+    pub discipline: QueueDiscipline,
+}
+
+impl SimConfig {
+    /// A configuration calibrated to the paper's operating point: the
+    /// capacity is set so the *peak* offered load is `peak_rho` times
+    /// capacity (paper-like waits need `peak_rho` slightly above 1, e.g.
+    /// 1.05–1.15, which yields ≈ hundreds of seconds of midnight backlog
+    /// without sharing).
+    pub fn calibrated(
+        n: usize,
+        requests_per_day: usize,
+        mean_demand: f64,
+        peak_rho: f64,
+    ) -> Self {
+        let profile = DiurnalProfile::paper();
+        let mean_weight = profile.total_weight() / 86_400.0;
+        let peak_weight = (0..24)
+            .map(|h| profile.rate_at(h as f64 * 3600.0 + 1800.0))
+            .fold(0.0f64, f64::max);
+        let mean_rate = requests_per_day as f64 / 86_400.0;
+        let peak_demand_rate = mean_rate * (peak_weight / mean_weight) * mean_demand;
+        SimConfig {
+            n,
+            capacity: peak_demand_rate / peak_rho,
+            per_proxy_capacity: None,
+            epoch: 10.0,
+            // Consult the global scheduler only when a real backlog has
+            // formed (2 epochs of work): transient Poisson bursts clear on
+            // their own, keeping the redirected fraction in the paper's
+            // < 1.5% regime while still absorbing the diurnal overload.
+            threshold_epochs: 2.0,
+            horizon_epochs: 1.0,
+            service: ServiceModel::PAPER,
+            sharing: None,
+            max_drain: 4.0 * 86_400.0,
+            warmup_days: 1,
+            record_decisions: false,
+            discipline: QueueDiscipline::Fifo,
+        }
+    }
+
+    /// Enable sharing with the given setup.
+    pub fn with_sharing(mut self, sharing: SharingConfig) -> Self {
+        self.sharing = Some(sharing);
+        self
+    }
+
+    /// Scale every proxy's capacity (Figure 7's "more processing power").
+    pub fn with_capacity_factor(mut self, factor: f64) -> Self {
+        self.capacity *= factor;
+        if let Some(per) = &mut self.per_proxy_capacity {
+            for c in per {
+                *c *= factor;
+            }
+        }
+        self
+    }
+
+    /// Give each proxy its own capacity (heterogeneous fleet).
+    pub fn with_per_proxy_capacity(mut self, capacities: Vec<f64>) -> Self {
+        self.per_proxy_capacity = Some(capacities);
+        self
+    }
+
+    /// Capacity of proxy `i` under the current configuration.
+    pub fn capacity_of(&self, i: usize) -> f64 {
+        match &self.per_proxy_capacity {
+            Some(per) => per[i],
+            None => self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_peak_rho_is_honoured() {
+        let cfg = SimConfig::calibrated(10, 100_000, 0.12, 1.1);
+        // Recompute the peak demand rate and check the ratio.
+        let profile = DiurnalProfile::paper();
+        let mean_weight = profile.total_weight() / 86_400.0;
+        let peak_rate = (100_000.0 / 86_400.0) * (1.0 / mean_weight) * 0.12;
+        assert!((peak_rate / cfg.capacity - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_factor_scales() {
+        let cfg = SimConfig::calibrated(10, 100_000, 0.12, 1.1);
+        let c0 = cfg.capacity;
+        let cfg2 = cfg.with_capacity_factor(1.25);
+        assert!((cfg2.capacity - 1.25 * c0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharing_config_defaults() {
+        let s = SharingConfig::lp(AgreementMatrix::zeros(10));
+        assert_eq!(s.level, 9);
+        assert_eq!(s.policy, PolicyKind::Lp);
+        assert_eq!(s.redirect_cost, 0.0);
+    }
+}

@@ -1,0 +1,366 @@
+//! Per-slot and aggregate simulation metrics.
+
+use agreements_trace::{slot_of, SLOTS_PER_DAY};
+
+/// Log-scale waiting-time histogram: bucket `k` covers
+/// `[BASE·G^(k−1), BASE·G^k)` seconds, with bucket 0 for waits below
+/// `BASE` and the last bucket open-ended. 96 buckets at 25% growth span
+/// 1 ms to ≈ 1.6 M s with ≤ 25% relative error — plenty for percentile
+/// reporting without storing every wait.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaitHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+const HIST_BUCKETS: usize = 96;
+const HIST_BASE: f64 = 1e-3;
+const HIST_GROWTH: f64 = 1.25;
+
+impl WaitHistogram {
+    fn new() -> Self {
+        WaitHistogram { buckets: vec![0; HIST_BUCKETS], count: 0 }
+    }
+
+    fn bucket_of(wait: f64) -> usize {
+        if wait < HIST_BASE {
+            return 0;
+        }
+        let k = ((wait / HIST_BASE).ln() / HIST_GROWTH.ln()).floor() as usize + 1;
+        k.min(HIST_BUCKETS - 1)
+    }
+
+    fn record(&mut self, wait: f64) {
+        self.buckets[Self::bucket_of(wait.max(0.0))] += 1;
+        self.count += 1;
+    }
+
+    /// Upper edge of bucket `k`.
+    fn upper_edge(k: usize) -> f64 {
+        if k == 0 {
+            HIST_BASE
+        } else {
+            HIST_BASE * HIST_GROWTH.powi(k as i32)
+        }
+    }
+
+    /// The waiting time at quantile `q ∈ [0, 1]`, as the upper edge of
+    /// the bucket containing it (≤ 25% overestimate). 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::upper_edge(k);
+            }
+        }
+        Self::upper_edge(HIST_BUCKETS - 1)
+    }
+
+    /// Number of recorded waits.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl Default for WaitHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One scheduler consultation, recorded when
+/// [`crate::config::SimConfig::record_decisions`] is set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// Epoch start time (seconds into the measured day).
+    pub time: f64,
+    /// The overloaded proxy that consulted the scheduler.
+    pub proxy: usize,
+    /// Work it asked to shed (work-seconds).
+    pub excess: f64,
+    /// Work actually moved, per destination `(proxy, work-seconds)`.
+    pub moved: Vec<(usize, f64)>,
+}
+
+impl Decision {
+    /// Total work moved across all destinations.
+    pub fn total_moved(&self) -> f64 {
+        self.moved.iter().map(|&(_, w)| w).sum()
+    }
+}
+
+/// Metrics for one 10-minute reporting slot, attributed by a request's
+/// *arrival* time at its home proxy.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SlotMetrics {
+    /// Requests arriving in this slot (across all proxies).
+    pub arrivals: usize,
+    /// Requests served so far whose waiting time is accounted here.
+    pub served: usize,
+    /// Sum of waiting times, seconds.
+    pub total_wait: f64,
+    /// Worst single waiting time, seconds.
+    pub max_wait: f64,
+    /// Requests from this slot that were redirected.
+    pub redirected: usize,
+}
+
+impl SlotMetrics {
+    /// Average waiting time in this slot (0 if nothing served).
+    pub fn avg_wait(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.total_wait / self.served as f64
+        }
+    }
+
+    /// Fraction of this slot's served requests that were redirected.
+    pub fn redirect_fraction(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.redirected as f64 / self.served as f64
+        }
+    }
+}
+
+/// Complete result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Per-slot metrics (144 slots), aggregated over all proxies.
+    pub slots: Vec<SlotMetrics>,
+    /// Per-slot metrics split by *home* proxy (the paper's figures plot a
+    /// single ISP's series).
+    pub proxy_slots: Vec<Vec<SlotMetrics>>,
+    /// Total requests served.
+    pub served: usize,
+    /// Total requests redirected.
+    pub redirected: usize,
+    /// Sum of all waiting times.
+    pub total_wait: f64,
+    /// Worst waiting time observed anywhere.
+    pub worst_wait: f64,
+    /// Number of scheduler consultations performed.
+    pub consultations: usize,
+    /// Requests left unserved when the drain cap hit (0 in a stable run).
+    pub unserved: usize,
+    /// Log-scale histogram of all waiting times (percentile queries).
+    pub wait_histogram: WaitHistogram,
+    /// Consultation log (empty unless
+    /// [`crate::config::SimConfig::record_decisions`] was set).
+    pub decisions: Vec<Decision>,
+}
+
+impl SimResult {
+    pub(crate) fn new(n_proxies: usize) -> Self {
+        SimResult {
+            slots: vec![SlotMetrics::default(); SLOTS_PER_DAY],
+            proxy_slots: vec![vec![SlotMetrics::default(); SLOTS_PER_DAY]; n_proxies],
+            served: 0,
+            redirected: 0,
+            total_wait: 0.0,
+            worst_wait: 0.0,
+            consultations: 0,
+            unserved: 0,
+            wait_histogram: WaitHistogram::new(),
+            decisions: Vec::new(),
+        }
+    }
+
+    pub(crate) fn record_arrival(&mut self, home: usize, arrival: f64) {
+        let s = slot_of(arrival);
+        self.slots[s].arrivals += 1;
+        self.proxy_slots[home][s].arrivals += 1;
+    }
+
+    pub(crate) fn record_service(
+        &mut self,
+        home: usize,
+        arrival: f64,
+        wait: f64,
+        redirected: bool,
+    ) {
+        let s = slot_of(arrival);
+        for slot in [&mut self.slots[s], &mut self.proxy_slots[home][s]] {
+            slot.served += 1;
+            slot.total_wait += wait;
+            slot.max_wait = slot.max_wait.max(wait);
+            if redirected {
+                slot.redirected += 1;
+            }
+        }
+        if redirected {
+            self.redirected += 1;
+        }
+        self.served += 1;
+        self.total_wait += wait;
+        self.worst_wait = self.worst_wait.max(wait);
+        self.wait_histogram.record(wait);
+    }
+
+    /// Waiting time at quantile `q` across all served requests (e.g.
+    /// `0.99` for p99), within the histogram's ≤ 25% bucket error.
+    pub fn wait_quantile(&self, q: f64) -> f64 {
+        self.wait_histogram.quantile(q)
+    }
+
+    /// Average waiting time over all served requests.
+    pub fn avg_wait(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.total_wait / self.served as f64
+        }
+    }
+
+    /// Average waits per slot, aggregated over all proxies.
+    pub fn avg_wait_series(&self) -> Vec<f64> {
+        self.slots.iter().map(SlotMetrics::avg_wait).collect()
+    }
+
+    /// Average waits per slot for requests whose *home* is `proxy` — the
+    /// single-ISP view the paper's figures plot.
+    pub fn proxy_avg_wait_series(&self, proxy: usize) -> Vec<f64> {
+        self.proxy_slots[proxy].iter().map(SlotMetrics::avg_wait).collect()
+    }
+
+    /// Average wait over all requests homed at `proxy`.
+    pub fn proxy_avg_wait(&self, proxy: usize) -> f64 {
+        let (wait, served) = self.proxy_slots[proxy]
+            .iter()
+            .fold((0.0, 0usize), |(w, c), s| (w + s.total_wait, c + s.served));
+        if served == 0 {
+            0.0
+        } else {
+            wait / served as f64
+        }
+    }
+
+    /// Worst single wait among requests homed at `proxy`.
+    pub fn proxy_worst_wait(&self, proxy: usize) -> f64 {
+        self.proxy_slots[proxy].iter().map(|s| s.max_wait).fold(0.0, f64::max)
+    }
+
+    /// Peak of one proxy's per-slot average-wait curve.
+    pub fn proxy_peak_slot_avg_wait(&self, proxy: usize) -> f64 {
+        self.proxy_avg_wait_series(proxy).into_iter().fold(0.0, f64::max)
+    }
+
+    /// Peak of the aggregate per-slot average-wait curve.
+    pub fn peak_slot_avg_wait(&self) -> f64 {
+        self.avg_wait_series().into_iter().fold(0.0, f64::max)
+    }
+
+    /// Overall fraction of served requests that were redirected.
+    pub fn redirect_fraction(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.redirected as f64 / self.served as f64
+        }
+    }
+
+    /// Largest per-slot redirect fraction (paper: "even at peak time,
+    /// this amount is less than 6%").
+    pub fn peak_redirect_fraction(&self) -> f64 {
+        self.slots.iter().map(SlotMetrics::redirect_fraction).fold(0.0, f64::max)
+    }
+
+    /// Was every request served before the drain cap?
+    pub fn is_stable(&self) -> bool {
+        self.unserved == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_metrics_averages() {
+        let mut m = SlotMetrics::default();
+        assert_eq!(m.avg_wait(), 0.0);
+        assert_eq!(m.redirect_fraction(), 0.0);
+        m.served = 4;
+        m.total_wait = 10.0;
+        m.redirected = 1;
+        assert!((m.avg_wait() - 2.5).abs() < 1e-12);
+        assert!((m.redirect_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn result_records_by_arrival_slot() {
+        let mut r = SimResult::new(2);
+        r.record_arrival(0, 650.0); // slot 1
+        r.record_service(0, 650.0, 3.0, true);
+        r.record_service(1, 50.0, 7.0, false); // slot 0
+        assert_eq!(r.slots[1].arrivals, 1);
+        assert_eq!(r.slots[1].served, 1);
+        assert_eq!(r.slots[1].redirected, 1);
+        assert_eq!(r.slots[0].served, 1);
+        assert!((r.avg_wait() - 5.0).abs() < 1e-12);
+        assert_eq!(r.worst_wait, 7.0);
+        assert_eq!(r.redirected, 1);
+        assert!((r.redirect_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = WaitHistogram::new();
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram");
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 100);
+        // p50 should be near 50 (within 25% bucket error).
+        let p50 = h.quantile(0.5);
+        assert!((40.0..=65.0).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((90.0..=130.0).contains(&p99), "p99 {p99}");
+        assert!(h.quantile(1.0) >= p99);
+        assert!(h.quantile(0.0) > 0.0, "lowest bucket edge");
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let mut h = WaitHistogram::new();
+        h.record(0.0);
+        h.record(1e9); // beyond the last bucket: clamped, not lost
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(0.25) <= 1e-3);
+        assert!(h.quantile(1.0) > 1e5);
+    }
+
+    #[test]
+    fn result_quantiles_track_recorded_waits() {
+        let mut r = SimResult::new(1);
+        for _ in 0..99 {
+            r.record_service(0, 0.0, 0.01, false);
+        }
+        r.record_service(0, 0.0, 100.0, false);
+        let p50 = r.wait_quantile(0.5);
+        assert!(p50 < 0.02, "p50 {p50}");
+        let p995 = r.wait_quantile(0.995);
+        assert!(p995 > 50.0, "p995 {p995}");
+    }
+
+    #[test]
+    fn series_and_peaks() {
+        let mut r = SimResult::new(2);
+        r.record_service(0, 0.0, 1.0, false);
+        r.record_service(0, 600.0, 9.0, false);
+        let series = r.avg_wait_series();
+        assert_eq!(series.len(), SLOTS_PER_DAY);
+        assert_eq!(series[0], 1.0);
+        assert_eq!(series[1], 9.0);
+        assert_eq!(r.peak_slot_avg_wait(), 9.0);
+        assert!(r.is_stable());
+    }
+}

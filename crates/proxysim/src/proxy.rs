@@ -1,0 +1,213 @@
+//! Per-proxy server and queue state.
+
+use std::collections::VecDeque;
+
+/// Order in which a proxy's server picks the next queued request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueDiscipline {
+    /// First-come first-served (the paper's implicit model).
+    #[default]
+    Fifo,
+    /// Shortest-job-first: serve the smallest queued demand next.
+    /// Minimizes mean wait at the cost of delaying large requests —
+    /// an ablation against the paper's `c = 30 s` demand cap, which
+    /// exists precisely to keep FIFO spikes bounded.
+    ShortestFirst,
+}
+
+/// A request sitting in some proxy's queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueuedRequest {
+    /// Original arrival time at its home proxy.
+    pub arrival: f64,
+    /// Remaining demand, in work-seconds (includes any redirection
+    /// overhead added when moved).
+    pub demand: f64,
+    /// Home proxy (for metrics attribution).
+    pub home: usize,
+    /// Whether this request has already been redirected once; redirected
+    /// requests are pinned to avoid ping-ponging.
+    pub redirected: bool,
+    /// Whether this request belongs to the measured day (false during
+    /// warmup replays; warmup requests are served but not recorded).
+    pub measured: bool,
+}
+
+/// One proxy: a single logical server of fixed capacity draining a FIFO
+/// queue.
+#[derive(Debug, Clone)]
+pub struct Proxy {
+    /// Queue of admitted-but-unserved requests.
+    pub queue: VecDeque<QueuedRequest>,
+    /// Wall-clock time at which the server finishes everything it has
+    /// already *started*; the in-service residual is not in `queue`.
+    pub server_free_at: f64,
+    /// Capacity in work-seconds per wall second.
+    pub capacity: f64,
+    /// Service order.
+    pub discipline: QueueDiscipline,
+}
+
+impl Proxy {
+    /// New idle proxy (FIFO).
+    pub fn new(capacity: f64) -> Self {
+        Proxy {
+            queue: VecDeque::new(),
+            server_free_at: 0.0,
+            capacity,
+            discipline: QueueDiscipline::Fifo,
+        }
+    }
+
+    /// New idle proxy with an explicit queue discipline.
+    pub fn with_discipline(capacity: f64, discipline: QueueDiscipline) -> Self {
+        Proxy { discipline, ..Proxy::new(capacity) }
+    }
+
+    /// Dequeue the next request per the discipline.
+    fn pop_next(&mut self) -> Option<QueuedRequest> {
+        match self.discipline {
+            QueueDiscipline::Fifo => self.queue.pop_front(),
+            QueueDiscipline::ShortestFirst => {
+                let idx = self
+                    .queue
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        a.demand.partial_cmp(&b.demand).expect("finite demands")
+                    })
+                    .map(|(i, _)| i)?;
+                self.queue.remove(idx)
+            }
+        }
+    }
+
+    /// Queued work in work-seconds (excluding the in-service residual).
+    pub fn queued_work(&self) -> f64 {
+        self.queue.iter().map(|r| r.demand).sum()
+    }
+
+    /// Total pending work at time `now`, in work-seconds: queued work plus
+    /// the residual of the request currently in service.
+    pub fn pending_work(&self, now: f64) -> f64 {
+        self.queued_work() + (self.server_free_at - now).max(0.0) * self.capacity
+    }
+
+    /// Idle capacity over a horizon of `h` wall seconds starting at `now`,
+    /// in work-seconds — what this proxy can offer partners.
+    pub fn idle_capacity(&self, now: f64, h: f64) -> f64 {
+        (self.capacity * h - self.pending_work(now)).max(0.0)
+    }
+
+    /// Serve the queue within the epoch `[now, now + epoch)`. Requests
+    /// whose service *starts* inside the window are dequeued; each
+    /// invocation returns the `(request, waiting_time)` pairs served.
+    pub fn serve_epoch(&mut self, now: f64, epoch: f64) -> Vec<(QueuedRequest, f64)> {
+        let end = now + epoch;
+        let mut served = Vec::new();
+        if self.server_free_at < now {
+            self.server_free_at = now;
+        }
+        while self.server_free_at < end {
+            let Some(req) = self.pop_next() else { break };
+            let start = self.server_free_at.max(req.arrival);
+            let wait = start - req.arrival;
+            self.server_free_at = start + req.demand / self.capacity;
+            served.push((req, wait.max(0.0)));
+        }
+        served
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(arrival: f64, demand: f64) -> QueuedRequest {
+        QueuedRequest { arrival, demand, home: 0, redirected: false, measured: true }
+    }
+
+    #[test]
+    fn fifo_service_and_waiting_times() {
+        let mut p = Proxy::new(1.0);
+        p.queue.push_back(req(0.0, 2.0));
+        p.queue.push_back(req(0.5, 2.0));
+        let served = p.serve_epoch(0.0, 10.0);
+        assert_eq!(served.len(), 2);
+        assert_eq!(served[0].1, 0.0, "first starts immediately");
+        assert!((served[1].1 - 1.5).abs() < 1e-12, "second waits 2.0 - 0.5");
+        assert!((p.server_free_at - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_scales_service_rate() {
+        let mut p = Proxy::new(2.0);
+        p.queue.push_back(req(0.0, 4.0));
+        p.serve_epoch(0.0, 1.0);
+        assert!((p.server_free_at - 2.0).abs() < 1e-12, "4 work-s at 2 w/s");
+    }
+
+    #[test]
+    fn only_starts_within_epoch_are_dequeued() {
+        let mut p = Proxy::new(1.0);
+        p.queue.push_back(req(0.0, 15.0));
+        p.queue.push_back(req(0.0, 1.0));
+        let served = p.serve_epoch(0.0, 10.0);
+        assert_eq!(served.len(), 1, "second request's start is at t=15");
+        assert_eq!(p.queue.len(), 1);
+        // Next epoch (t in [10, 20)): the long request ends at 15.
+        let served = p.serve_epoch(10.0, 10.0);
+        assert_eq!(served.len(), 1);
+        assert!((served[0].1 - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pending_work_includes_in_service_residual() {
+        let mut p = Proxy::new(1.0);
+        p.queue.push_back(req(0.0, 15.0));
+        p.serve_epoch(0.0, 10.0);
+        // At t = 10: residual 5 wall-seconds of the in-service request.
+        assert!((p.pending_work(10.0) - 5.0).abs() < 1e-12);
+        p.queue.push_back(req(10.0, 3.0));
+        assert!((p.pending_work(10.0) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_capacity_saturates_at_zero() {
+        let mut p = Proxy::new(1.0);
+        assert!((p.idle_capacity(0.0, 10.0) - 10.0).abs() < 1e-12);
+        p.queue.push_back(req(0.0, 25.0));
+        assert_eq!(p.idle_capacity(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn server_never_starts_before_arrival() {
+        let mut p = Proxy::new(1.0);
+        p.queue.push_back(req(5.0, 1.0));
+        let served = p.serve_epoch(0.0, 10.0);
+        assert_eq!(served[0].1, 0.0, "no wait for future arrival");
+        assert!((p.server_free_at - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shortest_first_reorders_service() {
+        let mut p = Proxy::with_discipline(1.0, QueueDiscipline::ShortestFirst);
+        p.queue.push_back(req(0.0, 5.0));
+        p.queue.push_back(req(0.1, 1.0));
+        p.queue.push_back(req(0.2, 3.0));
+        let served = p.serve_epoch(0.0, 100.0);
+        let demands: Vec<f64> = served.iter().map(|(r, _)| r.demand).collect();
+        assert_eq!(demands, vec![1.0, 3.0, 5.0]);
+        // The small request waited ~0; the large one absorbed the rest.
+        assert!(served[0].1 < 0.01);
+        assert!((served[2].1 - 4.0).abs() < 0.21, "wait {}", served[2].1);
+    }
+
+    #[test]
+    fn idle_server_clock_advances_with_now() {
+        let mut p = Proxy::new(1.0);
+        let served = p.serve_epoch(100.0, 10.0);
+        assert!(served.is_empty());
+        assert_eq!(p.server_free_at, 100.0);
+    }
+}

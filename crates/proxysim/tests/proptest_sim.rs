@@ -1,0 +1,174 @@
+//! Property tests on simulator invariants: request conservation,
+//! determinism, and sharing sanity under random workloads.
+
+use agreements_flow::AgreementMatrix;
+use agreements_proxysim::{PolicyKind, SharingConfig, SimConfig, Simulator};
+use agreements_trace::{ProxyTrace, Request, ServiceModel};
+use proptest::prelude::*;
+
+/// A random but modest workload: per proxy, a set of bursts (start time,
+/// count, spacing, response length).
+#[derive(Debug, Clone)]
+struct Workload {
+    n: usize,
+    traces: Vec<ProxyTrace>,
+    total: usize,
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    (2usize..=4).prop_flat_map(|n| {
+        proptest::collection::vec(
+            proptest::collection::vec(
+                (
+                    0.0f64..80_000.0,   // burst start
+                    1usize..=40,        // count
+                    0.1f64..5.0,        // spacing
+                    1_000u64..=2_000_000, // response length
+                ),
+                0..=3,
+            ),
+            n,
+        )
+        .prop_map(move |bursts_per_proxy| {
+            let mut traces = Vec::with_capacity(n);
+            let mut total = 0;
+            for (p, bursts) in bursts_per_proxy.into_iter().enumerate() {
+                let mut requests: Vec<Request> = bursts
+                    .into_iter()
+                    .flat_map(|(t0, count, spacing, len)| {
+                        (0..count).map(move |i| Request {
+                            arrival: (t0 + i as f64 * spacing).min(86_399.0),
+                            response_len: len,
+                        })
+                    })
+                    .collect();
+                requests.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).unwrap());
+                total += requests.len();
+                traces.push(ProxyTrace { proxy: p, requests });
+            }
+            Workload { n, traces, total }
+        })
+    })
+}
+
+fn config(n: usize, sharing: bool) -> SimConfig {
+    let mut cfg = SimConfig {
+        n,
+        capacity: 1.0,
+        per_proxy_capacity: None,
+        epoch: 10.0,
+        threshold_epochs: 1.0,
+        horizon_epochs: 1.0,
+        service: ServiceModel::PAPER,
+        sharing: None,
+        max_drain: 4.0 * 86_400.0,
+        warmup_days: 0,
+        record_decisions: false,
+        discipline: agreements_proxysim::QueueDiscipline::Fifo,
+    };
+    if sharing {
+        let mut s = AgreementMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    s.set(i, j, 0.3).unwrap();
+                }
+            }
+        }
+        cfg = cfg.with_sharing(SharingConfig {
+            agreements: s,
+            level: n - 1,
+            policy: PolicyKind::Lp,
+            redirect_cost: 0.0,
+        });
+    }
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every admitted request is served exactly once (conservation), with
+    /// or without sharing.
+    #[test]
+    fn all_requests_served_once(w in arb_workload(), sharing in any::<bool>()) {
+        let sim = Simulator::new(config(w.n, sharing)).unwrap();
+        let r = sim.run(&w.traces).unwrap();
+        prop_assert!(r.is_stable());
+        prop_assert_eq!(r.served, w.total);
+        let slot_arrivals: usize = r.slots.iter().map(|s| s.arrivals).sum();
+        let slot_served: usize = r.slots.iter().map(|s| s.served).sum();
+        prop_assert_eq!(slot_arrivals, w.total);
+        prop_assert_eq!(slot_served, w.total);
+        // Per-proxy slots sum to the same totals.
+        let per_proxy: usize = r.proxy_slots.iter()
+            .flat_map(|slots| slots.iter().map(|s| s.served))
+            .sum();
+        prop_assert_eq!(per_proxy, w.total);
+    }
+
+    /// Runs are bit-for-bit deterministic.
+    #[test]
+    fn runs_are_deterministic(w in arb_workload(), sharing in any::<bool>()) {
+        let sim = Simulator::new(config(w.n, sharing)).unwrap();
+        let a = sim.run(&w.traces).unwrap();
+        let b = sim.run(&w.traces).unwrap();
+        prop_assert_eq!(a.served, b.served);
+        prop_assert_eq!(a.redirected, b.redirected);
+        prop_assert!((a.total_wait - b.total_wait).abs() < 1e-9);
+        prop_assert_eq!(a.consultations, b.consultations);
+    }
+
+    /// Waiting times are non-negative and the worst is at least the
+    /// average.
+    #[test]
+    fn wait_statistics_are_consistent(w in arb_workload(), sharing in any::<bool>()) {
+        let sim = Simulator::new(config(w.n, sharing)).unwrap();
+        let r = sim.run(&w.traces).unwrap();
+        prop_assert!(r.total_wait >= 0.0);
+        prop_assert!(r.worst_wait + 1e-9 >= r.avg_wait());
+        for s in &r.slots {
+            prop_assert!(s.max_wait + 1e-9 >= s.avg_wait());
+            prop_assert!(s.redirected <= s.served);
+        }
+    }
+
+    /// Histogram quantiles are monotone in q, bounded by the worst wait
+    /// times the bucket growth factor, and count every service.
+    #[test]
+    fn histogram_quantiles_consistent(w in arb_workload()) {
+        let sim = Simulator::new(config(w.n, false)).unwrap();
+        let r = sim.run(&w.traces).unwrap();
+        prop_assume!(r.served > 0);
+        prop_assert_eq!(r.wait_histogram.count() as usize, r.served);
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let mut prev = 0.0;
+        for &q in &qs {
+            let v = r.wait_quantile(q);
+            prop_assert!(v >= prev, "quantiles must be monotone");
+            prev = v;
+        }
+        // p100 is within one bucket (25%) of the true worst (or the floor
+        // bucket when everything waited less than a millisecond).
+        let p100 = r.wait_quantile(1.0);
+        prop_assert!(p100 <= (r.worst_wait * 1.25).max(1e-3) + 1e-9,
+            "p100 {p100} vs worst {}", r.worst_wait);
+        prop_assert!(p100 >= r.worst_wait * 0.79 - 1e-9,
+            "p100 {p100} under worst {}", r.worst_wait);
+    }
+
+    /// With free redirection, LP sharing never makes the *total* wait
+    /// dramatically worse than no sharing (it can differ slightly because
+    /// moving the queue tail reorders service).
+    #[test]
+    fn free_sharing_does_not_hurt_much(w in arb_workload()) {
+        let alone = Simulator::new(config(w.n, false)).unwrap().run(&w.traces).unwrap();
+        let shared = Simulator::new(config(w.n, true)).unwrap().run(&w.traces).unwrap();
+        prop_assert!(
+            shared.total_wait <= alone.total_wait * 1.10 + 60.0,
+            "sharing {:.1} vs alone {:.1}",
+            shared.total_wait,
+            alone.total_wait
+        );
+    }
+}

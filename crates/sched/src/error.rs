@@ -1,0 +1,96 @@
+//! Scheduler error type.
+
+use agreements_lp::LpError;
+use std::fmt;
+
+/// Errors from allocation scheduling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedError {
+    /// The requester cannot reach enough resources, directly or
+    /// transitively, to cover the request.
+    InsufficientCapacity {
+        /// Requesting principal.
+        requester: usize,
+        /// Reachable capacity `C_A`.
+        capacity: f64,
+        /// Requested amount `x`.
+        requested: f64,
+    },
+    /// Requester index out of range.
+    UnknownPrincipal {
+        /// The offending index.
+        index: usize,
+        /// The number of principals.
+        n: usize,
+    },
+    /// Request amounts must be positive and finite.
+    InvalidRequest {
+        /// The rejected amount.
+        amount: f64,
+    },
+    /// The underlying LP failed (numerical trouble; infeasibility is
+    /// normally caught by the admission check first).
+    Lp(LpError),
+    /// Mismatched dimensions between flow table, availability, and/or
+    /// absolute matrix.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Actual dimension supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::InsufficientCapacity { requester, capacity, requested } => write!(
+                f,
+                "principal {requester} can reach only {capacity:.4} of the {requested:.4} requested"
+            ),
+            SchedError::UnknownPrincipal { index, n } => {
+                write!(f, "principal {index} out of range for {n} principals")
+            }
+            SchedError::InvalidRequest { amount } => {
+                write!(f, "invalid request amount {amount}")
+            }
+            SchedError::Lp(e) => write!(f, "allocation LP failed: {e}"),
+            SchedError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchedError::Lp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LpError> for SchedError {
+    fn from(e: LpError) -> Self {
+        SchedError::Lp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SchedError::InsufficientCapacity {
+            requester: 2,
+            capacity: 1.5,
+            requested: 3.0,
+        };
+        assert!(e.to_string().contains("principal 2"));
+        let lp = SchedError::Lp(LpError::IterationLimit { limit: 5 });
+        assert!(std::error::Error::source(&lp).is_some());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,248 @@
+//! Hierarchical multigrid allocation (paper §3.2).
+//!
+//! For the "hierarchical" agreement taxonomy — complete sharing inside
+//! groups, sparse agreements between groups — the paper suggests a
+//! multigrid refinement: try the requester's own group first; if it cannot
+//! cover the request, solve a *coarse* LP over group aggregates to split
+//! the draw across groups, then a *fine* LP inside each contributing group
+//! to pick the actual owners. This keeps each LP at group size rather
+//! than system size.
+
+use crate::error::SchedError;
+use crate::lp_model::{solve_allocation, Formulation};
+use crate::state::{Allocation, SystemState};
+use agreements_flow::{AgreementMatrix, TransitiveFlow};
+use agreements_lp::{Problem, Relation, Sense, SimplexOptions, VarId};
+
+/// Hierarchical scheduler: a partition of principals into groups plus the
+/// group-level agreement matrix.
+#[derive(Debug, Clone)]
+pub struct HierarchicalScheduler {
+    groups: Vec<Vec<usize>>,
+    /// Which group each principal belongs to.
+    member_of: Vec<usize>,
+    /// Group-level transitive flow (from the inter-group agreement
+    /// matrix).
+    coarse_flow: TransitiveFlow,
+    opts: SimplexOptions,
+}
+
+impl HierarchicalScheduler {
+    /// Build from a partition and the inter-group agreement matrix.
+    /// `inter.n()` must equal `groups.len()`; groups must partition
+    /// `0..n` exactly.
+    pub fn new(
+        groups: Vec<Vec<usize>>,
+        inter: &AgreementMatrix,
+        level: usize,
+    ) -> Result<Self, SchedError> {
+        if inter.n() != groups.len() {
+            return Err(SchedError::DimensionMismatch {
+                expected: groups.len(),
+                got: inter.n(),
+            });
+        }
+        let n: usize = groups.iter().map(Vec::len).sum();
+        let mut member_of = vec![usize::MAX; n];
+        for (g, members) in groups.iter().enumerate() {
+            for &m in members {
+                if m >= n || member_of[m] != usize::MAX {
+                    return Err(SchedError::UnknownPrincipal { index: m, n });
+                }
+                member_of[m] = g;
+            }
+        }
+        if member_of.contains(&usize::MAX) {
+            return Err(SchedError::DimensionMismatch { expected: n, got: 0 });
+        }
+        let coarse_flow = TransitiveFlow::compute(inter, level);
+        Ok(HierarchicalScheduler {
+            groups,
+            member_of,
+            coarse_flow,
+            opts: SimplexOptions::default(),
+        })
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Allocate `x` units to `requester` given current per-principal
+    /// availability. Tries the requester's group alone first (fine LP
+    /// only); on shortfall, runs the coarse LP over group aggregates and
+    /// refines each group's share.
+    pub fn allocate(
+        &self,
+        availability: &[f64],
+        requester: usize,
+        x: f64,
+    ) -> Result<Allocation, SchedError> {
+        let n = self.member_of.len();
+        if availability.len() != n {
+            return Err(SchedError::DimensionMismatch { expected: n, got: availability.len() });
+        }
+        if requester >= n {
+            return Err(SchedError::UnknownPrincipal { index: requester, n });
+        }
+        if !x.is_finite() || x < 0.0 {
+            return Err(SchedError::InvalidRequest { amount: x });
+        }
+        let home = self.member_of[requester];
+        let home_avail: f64 =
+            self.groups[home].iter().map(|&m| availability[m]).sum();
+
+        let mut draws = vec![0.0; n];
+        if home_avail + 1e-12 >= x {
+            // Fine LP inside the home group only.
+            self.refine_group(home, availability, x, &mut draws)?;
+            let theta = draws.iter().cloned().fold(0.0, f64::max);
+            return Ok(Allocation { requester, amount: x, draws, theta });
+        }
+
+        // Coarse LP over group aggregates: the home group "requests" the
+        // total, drawing on other groups via inter-group agreements.
+        let g = self.groups.len();
+        let group_avail: Vec<f64> = (0..g)
+            .map(|gi| self.groups[gi].iter().map(|&m| availability[m]).sum())
+            .collect();
+        let coarse_state =
+            SystemState::new(self.coarse_flow.clone(), None, group_avail)?;
+        let coarse = solve_allocation(&coarse_state, home, x, Formulation::Reduced, &self.opts)?;
+
+        // Refine each group's share among its members.
+        for (gi, &share) in coarse.draws.iter().enumerate() {
+            if share > 1e-12 {
+                self.refine_group(gi, availability, share, &mut draws)?;
+            }
+        }
+        let theta = coarse.theta;
+        Ok(Allocation { requester, amount: x, draws, theta })
+    }
+
+    /// Split `amount` among members of group `gi`, minimizing the largest
+    /// single draw (complete sharing inside a group makes every member's
+    /// availability reachable).
+    fn refine_group(
+        &self,
+        gi: usize,
+        availability: &[f64],
+        amount: f64,
+        draws: &mut [f64],
+    ) -> Result<(), SchedError> {
+        let members = &self.groups[gi];
+        let mut p = Problem::new(Sense::Minimize);
+        let vars: Vec<VarId> = members
+            .iter()
+            .map(|&m| p.add_var(&format!("d{m}"), 0.0, availability[m], 0.0))
+            .collect();
+        let theta = p.add_var("theta", 0.0, f64::INFINITY, 1.0);
+        let sum: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
+        p.add_constraint(&sum, Relation::Eq, amount);
+        for &v in &vars {
+            p.add_constraint(&[(v, 1.0), (theta, -1.0)], Relation::Le, 0.0);
+        }
+        let sol = p.solve_with(&self.opts).map_err(|e| match e {
+            agreements_lp::LpError::Infeasible { .. } => SchedError::InsufficientCapacity {
+                requester: members[0],
+                capacity: members.iter().map(|&m| availability[m]).sum(),
+                requested: amount,
+            },
+            other => SchedError::Lp(other),
+        })?;
+        for (&m, &v) in members.iter().zip(&vars) {
+            draws[m] += sol.value(v);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-7;
+
+    /// 2 groups of 3; groups share 50% with each other.
+    fn sched() -> HierarchicalScheduler {
+        let groups = vec![vec![0, 1, 2], vec![3, 4, 5]];
+        let mut inter = AgreementMatrix::zeros(2);
+        inter.set(0, 1, 0.5).unwrap();
+        inter.set(1, 0, 0.5).unwrap();
+        HierarchicalScheduler::new(groups, &inter, 1).unwrap()
+    }
+
+    #[test]
+    fn home_group_satisfies_small_requests() {
+        let s = sched();
+        let avail = vec![4.0, 4.0, 4.0, 100.0, 100.0, 100.0];
+        let a = s.allocate(&avail, 0, 9.0).unwrap();
+        // All 9 from group 0, balanced: 3 each.
+        for m in 0..3 {
+            assert!((a.draws[m] - 3.0).abs() < EPS, "{:?}", a.draws);
+        }
+        for m in 3..6 {
+            assert_eq!(a.draws[m], 0.0);
+        }
+    }
+
+    #[test]
+    fn overflow_draws_from_other_group() {
+        let s = sched();
+        let avail = vec![2.0, 2.0, 2.0, 10.0, 10.0, 10.0];
+        let a = s.allocate(&avail, 0, 12.0).unwrap();
+        let home: f64 = a.draws[..3].iter().sum();
+        let away: f64 = a.draws[3..].iter().sum();
+        assert!((home + away - 12.0).abs() < EPS);
+        assert!(away > 0.0, "needs remote group: {:?}", a.draws);
+        // Inter-group agreement caps the remote draw at 50% of 30 = 15.
+        assert!(away <= 15.0 + EPS);
+    }
+
+    #[test]
+    fn inter_group_cap_enforced() {
+        let s = sched();
+        // Home group empty; remote has 10 total; 50% shared -> reach 5.
+        let avail = vec![0.0, 0.0, 0.0, 4.0, 3.0, 3.0];
+        assert!(s.allocate(&avail, 0, 6.0).is_err());
+        let a = s.allocate(&avail, 0, 5.0).unwrap();
+        let away: f64 = a.draws[3..].iter().sum();
+        assert!((away - 5.0).abs() < EPS);
+        // Balanced within the remote group.
+        assert!(a.draws[3..].iter().cloned().fold(0.0, f64::max) < 2.0 + EPS);
+    }
+
+    #[test]
+    fn partition_validation() {
+        let mut inter = AgreementMatrix::zeros(2);
+        inter.set(0, 1, 0.5).unwrap();
+        // Overlapping member.
+        assert!(HierarchicalScheduler::new(
+            vec![vec![0, 1], vec![1, 2]],
+            &inter,
+            1
+        )
+        .is_err());
+        // Wrong matrix size.
+        let inter3 = AgreementMatrix::zeros(3);
+        assert!(HierarchicalScheduler::new(vec![vec![0], vec![1]], &inter3, 1).is_err());
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let s = sched();
+        let avail = vec![1.0; 6];
+        assert!(s.allocate(&avail[..5], 0, 1.0).is_err());
+        assert!(s.allocate(&avail, 9, 1.0).is_err());
+        assert!(s.allocate(&avail, 0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn zero_request_is_empty() {
+        let s = sched();
+        let avail = vec![1.0; 6];
+        let a = s.allocate(&avail, 2, 0.0).unwrap();
+        assert!(a.draws.iter().all(|&d| d == 0.0));
+    }
+}

@@ -1,0 +1,247 @@
+//! Multi-resource requests and coupled-resource binding (paper §3.2).
+//!
+//! A request naming several resource types `⟨r₁, …, r_k⟩` is served by
+//! solving one LP per type against that type's own availability state;
+//! either every component places or the whole request fails and any
+//! partial placement is rolled back. Resources that must be co-located
+//! (the paper's CPU+memory example) are *bound* into a composite type
+//! whose per-owner availability is the binding bottleneck, so they are
+//! always allocated together.
+//!
+//! ```
+//! use agreements_flow::{AgreementMatrix, TransitiveFlow};
+//! use agreements_sched::multi::{MultiState, VectorRequest};
+//! use agreements_sched::{LpPolicy, SystemState};
+//!
+//! let state = |avail: Vec<f64>| {
+//!     let mut s = AgreementMatrix::zeros(2);
+//!     s.set(1, 0, 0.5).unwrap();
+//!     SystemState::new(TransitiveFlow::compute(&s, 1), None, avail).unwrap()
+//! };
+//! let mut ms = MultiState::new(vec![
+//!     state(vec![2.0, 8.0]),   // cpu
+//!     state(vec![64.0, 64.0]), // memory
+//! ]).unwrap();
+//! let req = VectorRequest::new(vec![(0, 5.0), (1, 32.0)]);
+//! let allocs = ms.allocate_vector(&LpPolicy::reduced(), 0, &req).unwrap();
+//! assert_eq!(allocs.len(), 2);
+//! assert!((allocs[0].amount - 5.0).abs() < 1e-9);
+//! ```
+
+use crate::error::SchedError;
+use crate::policy::AllocationPolicy;
+use crate::state::{Allocation, SystemState};
+
+/// A request for multiple resource types at once: `(resource index,
+/// amount)` pairs. Resource indices address [`MultiState::states`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorRequest {
+    /// Component demands.
+    pub demands: Vec<(usize, f64)>,
+}
+
+impl VectorRequest {
+    /// Build from `(resource, amount)` pairs.
+    pub fn new(demands: Vec<(usize, f64)>) -> Self {
+        VectorRequest { demands }
+    }
+}
+
+/// Per-resource-type system states sharing one principal set.
+#[derive(Debug, Clone)]
+pub struct MultiState {
+    /// One state per resource type.
+    pub states: Vec<SystemState>,
+}
+
+impl MultiState {
+    /// Build; all states must agree on the number of principals.
+    pub fn new(states: Vec<SystemState>) -> Result<Self, SchedError> {
+        if let Some(first) = states.first() {
+            let n = first.n();
+            for s in &states {
+                if s.n() != n {
+                    return Err(SchedError::DimensionMismatch { expected: n, got: s.n() });
+                }
+            }
+        }
+        Ok(MultiState { states })
+    }
+
+    /// Allocate every component of `req` (one LP per resource, §3.2) and
+    /// apply the draws. Atomic: on any component failure, previously
+    /// applied components are released and the error returned.
+    pub fn allocate_vector(
+        &mut self,
+        policy: &dyn AllocationPolicy,
+        requester: usize,
+        req: &VectorRequest,
+    ) -> Result<Vec<Allocation>, SchedError> {
+        let mut done: Vec<(usize, Allocation)> = Vec::with_capacity(req.demands.len());
+        for &(resource, amount) in &req.demands {
+            let state = self.states.get(resource).ok_or(SchedError::UnknownPrincipal {
+                index: resource,
+                n: self.states.len(),
+            })?;
+            match policy.allocate(state, requester, amount) {
+                Ok(alloc) => {
+                    self.states[resource].apply(&alloc)?;
+                    done.push((resource, alloc));
+                }
+                Err(e) => {
+                    for (r, a) in done.iter().rev() {
+                        self.states[*r].release(a)?;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(done.into_iter().map(|(_, a)| a).collect())
+    }
+}
+
+/// Bind resource types into a composite that is always allocated together.
+///
+/// `components` lists `(state, units_per_composite_unit)`. The composite's
+/// per-owner availability is the bottleneck
+/// `min_c availability_c[i] / units_c`, and its agreement structure is the
+/// first component's flow table (bound resources live on the same machines
+/// under the same agreements — the paper's premise for binding).
+pub fn bind_coupled(
+    components: &[(&SystemState, f64)],
+) -> Result<SystemState, SchedError> {
+    let (first, _) = components.first().ok_or(SchedError::InvalidRequest { amount: 0.0 })?;
+    let n = first.n();
+    for (s, units) in components {
+        if s.n() != n {
+            return Err(SchedError::DimensionMismatch { expected: n, got: s.n() });
+        }
+        if !units.is_finite() || *units <= 0.0 {
+            return Err(SchedError::InvalidRequest { amount: *units });
+        }
+    }
+    let availability: Vec<f64> = (0..n)
+        .map(|i| {
+            components
+                .iter()
+                .map(|(s, units)| s.availability[i] / units)
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    SystemState::new(first.flow.clone(), first.absolute.clone(), availability)
+}
+
+/// Expand a composite allocation back into per-component draw vectors
+/// (same order as the `bind_coupled` input).
+pub fn split_coupled_draws(alloc: &Allocation, units: &[f64]) -> Vec<Allocation> {
+    units
+        .iter()
+        .map(|&u| Allocation {
+            requester: alloc.requester,
+            amount: alloc.amount * u,
+            draws: alloc.draws.iter().map(|d| d * u).collect(),
+            theta: alloc.theta * u,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::LpPolicy;
+    use agreements_flow::{AgreementMatrix, TransitiveFlow};
+
+    const EPS: f64 = 1e-7;
+
+    fn state(edges: &[(usize, usize, f64)], v: Vec<f64>) -> SystemState {
+        let n = v.len();
+        let mut s = AgreementMatrix::zeros(n);
+        for &(i, j, w) in edges {
+            s.set(i, j, w).unwrap();
+        }
+        let flow = TransitiveFlow::compute(&s, n - 1);
+        SystemState::new(flow, None, v).unwrap()
+    }
+
+    #[test]
+    fn vector_request_allocates_each_component() {
+        let cpu = state(&[(1, 0, 0.5)], vec![4.0, 10.0]);
+        let mem = state(&[(1, 0, 0.5)], vec![100.0, 100.0]);
+        let mut ms = MultiState::new(vec![cpu, mem]).unwrap();
+        let req = VectorRequest::new(vec![(0, 6.0), (1, 50.0)]);
+        let allocs = ms
+            .allocate_vector(&LpPolicy::reduced(), 0, &req)
+            .unwrap();
+        assert_eq!(allocs.len(), 2);
+        assert!((allocs[0].amount - 6.0).abs() < EPS);
+        assert!((allocs[1].amount - 50.0).abs() < EPS);
+        // Applied: availability decreased.
+        assert!((ms.states[0].availability.iter().sum::<f64>() - 8.0).abs() < EPS);
+        assert!((ms.states[1].availability.iter().sum::<f64>() - 150.0).abs() < EPS);
+    }
+
+    #[test]
+    fn vector_request_rolls_back_on_failure() {
+        let cpu = state(&[], vec![4.0, 10.0]);
+        let mem = state(&[], vec![1.0, 1.0]);
+        let mut ms = MultiState::new(vec![cpu, mem]).unwrap();
+        let req = VectorRequest::new(vec![(0, 3.0), (1, 50.0)]); // mem fails
+        let err = ms.allocate_vector(&LpPolicy::reduced(), 0, &req).unwrap_err();
+        assert!(matches!(err, SchedError::InsufficientCapacity { .. }));
+        // CPU draw rolled back.
+        assert_eq!(ms.states[0].availability, vec![4.0, 10.0]);
+        assert_eq!(ms.states[1].availability, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn vector_request_unknown_resource() {
+        let cpu = state(&[], vec![4.0]);
+        let mut ms = MultiState::new(vec![cpu]).unwrap();
+        let req = VectorRequest::new(vec![(7, 1.0)]);
+        assert!(ms.allocate_vector(&LpPolicy::reduced(), 0, &req).is_err());
+    }
+
+    #[test]
+    fn multistate_dimension_check() {
+        let a = state(&[], vec![1.0, 2.0]);
+        let b = state(&[], vec![1.0]);
+        assert!(matches!(
+            MultiState::new(vec![a, b]),
+            Err(SchedError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn coupled_binding_takes_bottleneck() {
+        // 1 composite unit = 1 cpu + 2 mem.
+        let cpu = state(&[(1, 0, 0.5)], vec![4.0, 10.0]);
+        let mem = state(&[(1, 0, 0.5)], vec![6.0, 100.0]);
+        let bound = bind_coupled(&[(&cpu, 1.0), (&mem, 2.0)]).unwrap();
+        // Owner 0: min(4/1, 6/2) = 3 composite units.
+        assert!((bound.availability[0] - 3.0).abs() < EPS);
+        assert!((bound.availability[1] - 10.0).abs() < EPS);
+    }
+
+    #[test]
+    fn coupled_allocation_splits_back() {
+        let cpu = state(&[(1, 0, 1.0)], vec![4.0, 10.0]);
+        let mem = state(&[(1, 0, 1.0)], vec![8.0, 100.0]);
+        let bound = bind_coupled(&[(&cpu, 1.0), (&mem, 2.0)]).unwrap();
+        let alloc = LpPolicy::reduced().allocate(&bound, 0, 5.0).unwrap();
+        let parts = split_coupled_draws(&alloc, &[1.0, 2.0]);
+        assert_eq!(parts.len(), 2);
+        assert!((parts[0].amount - 5.0).abs() < EPS, "cpu units");
+        assert!((parts[1].amount - 10.0).abs() < EPS, "mem units");
+        // Component draws preserve the composite's placement shape.
+        for i in 0..2 {
+            assert!((parts[1].draws[i] - 2.0 * parts[0].draws[i]).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn bind_rejects_bad_units() {
+        let cpu = state(&[], vec![1.0]);
+        assert!(bind_coupled(&[(&cpu, 0.0)]).is_err());
+        assert!(bind_coupled(&[]).is_err());
+    }
+}

@@ -1,0 +1,395 @@
+//! Alternative allocation objectives (paper §3.1):
+//!
+//! > "In general this decision depends on several factors such as the
+//! > cost of borrowing resources from a different site and concerns of
+//! > fairness."
+//!
+//! The paper then restricts itself to the min-θ perturbation objective;
+//! this module supplies the two factors it names as LP variants that
+//! reuse the same constraint structure:
+//!
+//! - [`CostAwareLpPolicy`] minimizes `θ + λ·Σ cost_i·d_i`: perturbation
+//!   plus a borrowing-cost term, trading global head-room against, e.g.,
+//!   WAN transfer expense.
+//! - [`FairShareLpPolicy`] minimizes the worst *relative* capacity drop
+//!   `max_{i≠A} (C_i − C'_i)/C_i`, so small principals are not drained
+//!   proportionally harder than large ones.
+
+use crate::error::SchedError;
+use crate::policy::AllocationPolicy;
+use crate::state::{Allocation, SystemState};
+use agreements_flow::capacity::saturated_inflow;
+use agreements_lp::{Problem, Relation, Sense, SimplexOptions, VarId};
+
+/// Common setup shared by the objective variants: per-owner draw bounds
+/// and the admission check.
+fn draw_bounds(state: &SystemState, a: usize, x: f64) -> Result<Vec<f64>, SchedError> {
+    let n = state.n();
+    if a >= n {
+        return Err(SchedError::UnknownPrincipal { index: a, n });
+    }
+    if !x.is_finite() || x < 0.0 {
+        return Err(SchedError::InvalidRequest { amount: x });
+    }
+    let v = &state.availability;
+    let absolute = state.absolute.as_ref();
+    let bound: Vec<f64> = (0..n)
+        .map(|i| {
+            if i == a {
+                v[a]
+            } else {
+                saturated_inflow(&state.flow, absolute, v, i, a)
+            }
+        })
+        .collect();
+    let reachable: f64 = bound.iter().sum();
+    if x > reachable + 1e-9 {
+        return Err(SchedError::InsufficientCapacity {
+            requester: a,
+            capacity: reachable,
+            requested: x,
+        });
+    }
+    Ok(bound)
+}
+
+/// Min `θ + λ·Σ cost[A][i]·d_i`: the perturbation objective plus a
+/// linear borrowing cost per unit drawn, which may depend on who is
+/// asking (e.g. WAN distance between requester and owner).
+#[derive(Debug, Clone)]
+pub struct CostAwareLpPolicy {
+    /// `cost[requester][owner]`: cost of moving one unit from `owner` to
+    /// `requester`. The diagonal is typically 0.
+    pub costs: Vec<Vec<f64>>,
+    /// Weight of the cost term relative to the perturbation term. 0
+    /// recovers the plain LP policy.
+    pub lambda: f64,
+    /// Simplex configuration.
+    pub opts: SimplexOptions,
+}
+
+impl CostAwareLpPolicy {
+    /// Requester-independent costs: the same per-owner borrowing cost no
+    /// matter who asks.
+    pub fn new(costs: Vec<f64>, lambda: f64) -> Self {
+        let n = costs.len();
+        CostAwareLpPolicy {
+            costs: vec![costs; n.max(1)],
+            lambda,
+            opts: SimplexOptions::default(),
+        }
+    }
+
+    /// Full requester × owner cost matrix.
+    pub fn with_matrix(costs: Vec<Vec<f64>>, lambda: f64) -> Self {
+        CostAwareLpPolicy { costs, lambda, opts: SimplexOptions::default() }
+    }
+
+    /// Costs proportional to circular ring distance (ISPs around time
+    /// zones): `cost[a][i] = per_hop × circular_distance(a, i)`.
+    pub fn ring_distance(n: usize, per_hop: f64, lambda: f64) -> Self {
+        let costs = (0..n)
+            .map(|a| {
+                (0..n)
+                    .map(|i| {
+                        let fwd = (i + n - a) % n;
+                        per_hop * fwd.min(n - fwd) as f64
+                    })
+                    .collect()
+            })
+            .collect();
+        CostAwareLpPolicy::with_matrix(costs, lambda)
+    }
+}
+
+impl AllocationPolicy for CostAwareLpPolicy {
+    fn allocate(
+        &self,
+        state: &SystemState,
+        requester: usize,
+        x: f64,
+    ) -> Result<Allocation, SchedError> {
+        let n = state.n();
+        if self.costs.len() != n || self.costs.iter().any(|row| row.len() != n) {
+            return Err(SchedError::DimensionMismatch { expected: n, got: self.costs.len() });
+        }
+        let bound = draw_bounds(state, requester, x)?;
+        let x = x.min(bound.iter().sum());
+        if x == 0.0 {
+            return Ok(Allocation {
+                requester,
+                amount: 0.0,
+                draws: vec![0.0; n],
+                theta: 0.0,
+            });
+        }
+        let mut p = Problem::new(Sense::Minimize);
+        let d: Vec<VarId> = (0..n)
+            .map(|i| {
+                p.add_var(
+                    &format!("d{i}"),
+                    0.0,
+                    bound[i].max(0.0),
+                    self.lambda * self.costs[requester][i],
+                )
+            })
+            .collect();
+        let theta = p.add_var("theta", 0.0, f64::INFINITY, 1.0);
+        let all: Vec<(VarId, f64)> = d.iter().map(|&v| (v, 1.0)).collect();
+        p.add_constraint(&all, Relation::Eq, x);
+        for i in 0..n {
+            if i == requester {
+                continue;
+            }
+            let mut terms: Vec<(VarId, f64)> = vec![(d[i], 1.0), (theta, -1.0)];
+            for k in 0..n {
+                if k != i {
+                    let t = state.flow.coefficient(k, i);
+                    if t > 0.0 {
+                        terms.push((d[k], t));
+                    }
+                }
+            }
+            p.add_constraint(&terms, Relation::Le, 0.0);
+        }
+        let sol = p.solve_with(&self.opts)?;
+        let draws: Vec<f64> =
+            d.iter().map(|&v| sol.value(v).max(0.0)).collect();
+        Ok(Allocation { requester, amount: x, draws, theta: sol.value(theta) })
+    }
+
+    fn name(&self) -> &'static str {
+        "lp-cost-aware"
+    }
+}
+
+/// Min `max_{i≠A} (C_i − C'_i)/C_i`: the worst *relative* capacity drop.
+/// Constraints divide by pre-allocation capacity, so an owner with little
+/// to begin with is protected from being drained proportionally harder.
+#[derive(Debug, Clone, Default)]
+pub struct FairShareLpPolicy {
+    /// Simplex configuration.
+    pub opts: SimplexOptions,
+}
+
+impl AllocationPolicy for FairShareLpPolicy {
+    fn allocate(
+        &self,
+        state: &SystemState,
+        requester: usize,
+        x: f64,
+    ) -> Result<Allocation, SchedError> {
+        let n = state.n();
+        let bound = draw_bounds(state, requester, x)?;
+        let x = x.min(bound.iter().sum());
+        if x == 0.0 {
+            return Ok(Allocation {
+                requester,
+                amount: 0.0,
+                draws: vec![0.0; n],
+                theta: 0.0,
+            });
+        }
+        // Pre-allocation linear capacities for the relative denominators.
+        let v = &state.availability;
+        let cap_lin: Vec<f64> = (0..n)
+            .map(|i| {
+                v[i] + (0..n)
+                    .filter(|&k| k != i)
+                    .map(|k| v[k] * state.flow.coefficient(k, i))
+                    .sum::<f64>()
+            })
+            .collect();
+        let mut p = Problem::new(Sense::Minimize);
+        let d: Vec<VarId> = (0..n)
+            .map(|i| p.add_var(&format!("d{i}"), 0.0, bound[i].max(0.0), 0.0))
+            .collect();
+        let phi = p.add_var("phi", 0.0, f64::INFINITY, 1.0);
+        let all: Vec<(VarId, f64)> = d.iter().map(|&v| (v, 1.0)).collect();
+        p.add_constraint(&all, Relation::Eq, x);
+        for i in 0..n {
+            if i == requester || cap_lin[i] <= 1e-12 {
+                // An owner with zero capacity cannot lose any; its draws
+                // are already bounded at 0 through `bound`.
+                continue;
+            }
+            // (d_i + Σ T[k][i]·d_k) / C_i ≤ φ.
+            let inv = 1.0 / cap_lin[i];
+            let mut terms: Vec<(VarId, f64)> = vec![(d[i], inv), (phi, -1.0)];
+            for k in 0..n {
+                if k != i {
+                    let t = state.flow.coefficient(k, i);
+                    if t > 0.0 {
+                        terms.push((d[k], t * inv));
+                    }
+                }
+            }
+            p.add_constraint(&terms, Relation::Le, 0.0);
+        }
+        let sol = p.solve_with(&self.opts)?;
+        let draws: Vec<f64> = d.iter().map(|&v| sol.value(v).max(0.0)).collect();
+        // Report the *absolute* worst drop as theta for comparability
+        // with the other policies.
+        let theta = crate::state::perturbation(state, requester, &draws);
+        Ok(Allocation { requester, amount: x, draws, theta })
+    }
+
+    fn name(&self) -> &'static str {
+        "lp-fair-share"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::LpPolicy;
+    use agreements_flow::{AgreementMatrix, TransitiveFlow};
+
+    const EPS: f64 = 1e-7;
+
+    fn state(edges: &[(usize, usize, f64)], v: Vec<f64>) -> SystemState {
+        let n = v.len();
+        let mut s = AgreementMatrix::zeros(n);
+        for &(i, j, w) in edges {
+            s.set(i, j, w).unwrap();
+        }
+        let flow = TransitiveFlow::compute(&s, n - 1);
+        SystemState::new(flow, None, v).unwrap()
+    }
+
+    #[test]
+    fn zero_lambda_matches_plain_lp() {
+        let st = state(&[(1, 0, 0.5), (2, 0, 0.5)], vec![0.0, 10.0, 10.0]);
+        let plain = LpPolicy::reduced().allocate(&st, 0, 6.0).unwrap();
+        let costed =
+            CostAwareLpPolicy::new(vec![0.0, 5.0, 1.0], 0.0).allocate(&st, 0, 6.0).unwrap();
+        assert!((plain.theta - costed.theta).abs() < EPS);
+        let sum: f64 = costed.draws.iter().sum();
+        assert!((sum - 6.0).abs() < EPS);
+    }
+
+    #[test]
+    fn high_cost_owner_is_avoided() {
+        // Symmetric owners, but owner 1 is expensive to borrow from.
+        let st = state(&[(1, 0, 0.5), (2, 0, 0.5)], vec![0.0, 10.0, 10.0]);
+        let plain = LpPolicy::reduced().allocate(&st, 0, 6.0).unwrap();
+        assert!((plain.draws[1] - plain.draws[2]).abs() < EPS, "plain splits evenly");
+        let costed = CostAwareLpPolicy::new(vec![0.0, 10.0, 0.0], 1.0)
+            .allocate(&st, 0, 6.0)
+            .unwrap();
+        assert!(
+            costed.draws[1] < costed.draws[2],
+            "cost-aware shifts away from the expensive owner: {:?}",
+            costed.draws
+        );
+    }
+
+    #[test]
+    fn cost_dimension_checked() {
+        let st = state(&[], vec![5.0, 5.0]);
+        let pol = CostAwareLpPolicy::new(vec![0.0], 1.0);
+        assert!(matches!(
+            pol.allocate(&st, 0, 1.0),
+            Err(SchedError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn ring_distance_costs_prefer_near_owners() {
+        // Ring of 4; requester 0 can draw equally from owners 1 (1 hop)
+        // and 2 (2 hops).
+        let st = state(&[(1, 0, 0.5), (2, 0, 0.5)], vec![0.0, 10.0, 10.0, 0.0]);
+        let pol = CostAwareLpPolicy::ring_distance(4, 1.0, 2.0);
+        assert_eq!(pol.costs[0][1], 1.0);
+        assert_eq!(pol.costs[0][2], 2.0);
+        assert_eq!(pol.costs[0][3], 1.0, "circular distance");
+        let a = pol.allocate(&st, 0, 6.0).unwrap();
+        assert!(
+            a.draws[1] > a.draws[2],
+            "closer owner preferred: {:?}",
+            a.draws
+        );
+    }
+
+    #[test]
+    fn cost_matrix_is_requester_relative() {
+        // Owner 1 is cheap for requester 0 but expensive for requester 2.
+        let st = state(
+            &[(1, 0, 0.5), (1, 2, 0.5), (3, 0, 0.5), (3, 2, 0.5)],
+            vec![0.0, 10.0, 0.0, 10.0],
+        );
+        let mut costs = vec![vec![0.0; 4]; 4];
+        costs[0][1] = 0.0;
+        costs[0][3] = 5.0;
+        costs[2][1] = 5.0;
+        costs[2][3] = 0.0;
+        let pol = CostAwareLpPolicy::with_matrix(costs, 2.0);
+        let a0 = pol.allocate(&st, 0, 4.0).unwrap();
+        let a2 = pol.allocate(&st, 2, 4.0).unwrap();
+        assert!(a0.draws[1] > a0.draws[3], "{:?}", a0.draws);
+        assert!(a2.draws[3] > a2.draws[1], "{:?}", a2.draws);
+    }
+
+    #[test]
+    fn fair_share_protects_small_owners() {
+        // Owner 1 is large (100), owner 2 small (10); both share 50% with
+        // the requester. Absolute min-θ splits the draw evenly; the fair
+        // policy draws more from the large owner.
+        let st = state(&[(1, 0, 0.5), (2, 0, 0.5)], vec![0.0, 100.0, 10.0]);
+        let plain = LpPolicy::reduced().allocate(&st, 0, 8.0).unwrap();
+        let fair = FairShareLpPolicy::default().allocate(&st, 0, 8.0).unwrap();
+        assert!(
+            fair.draws[1] > plain.draws[1] + 1.0,
+            "fair {:?} vs plain {:?}",
+            fair.draws,
+            plain.draws
+        );
+        // Relative drops equalized (within entitlement limits).
+        let rel = |draws: &[f64], i: usize, cap: f64| {
+            (draws[i]
+                + (0..3)
+                    .filter(|&k| k != i)
+                    .map(|k| st.flow.coefficient(k, i) * draws[k])
+                    .sum::<f64>())
+                / cap
+        };
+        let r1 = rel(&fair.draws, 1, 100.0);
+        let r2 = rel(&fair.draws, 2, 10.0 + 0.0);
+        // Capacities: C_1 = 100, C_2 = 10 (no inflows to 1 or 2 here).
+        assert!((r1 - r2).abs() < 0.05, "relative drops {r1:.3} vs {r2:.3}");
+    }
+
+    #[test]
+    fn fair_share_respects_entitlements() {
+        let st = state(&[(1, 0, 0.2), (2, 0, 0.9)], vec![0.0, 10.0, 10.0]);
+        let fair = FairShareLpPolicy::default().allocate(&st, 0, 10.0).unwrap();
+        assert!(fair.draws[1] <= 2.0 + EPS, "entitlement cap: {:?}", fair.draws);
+        let sum: f64 = fair.draws.iter().sum();
+        assert!((sum - 10.0).abs() < EPS);
+    }
+
+    #[test]
+    fn both_policies_admit_and_reject_like_plain_lp() {
+        let st = state(&[(1, 0, 0.5)], vec![1.0, 10.0]);
+        // Reach = 1 + 5 = 6.
+        for pol in [
+            Box::new(CostAwareLpPolicy::new(vec![0.0, 1.0], 0.5)) as Box<dyn AllocationPolicy>,
+            Box::new(FairShareLpPolicy::default()),
+        ] {
+            assert!(pol.allocate(&st, 0, 6.0).is_ok(), "{}", pol.name());
+            assert!(matches!(
+                pol.allocate(&st, 0, 6.5),
+                Err(SchedError::InsufficientCapacity { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn zero_request_short_circuits() {
+        let st = state(&[], vec![1.0]);
+        let a = CostAwareLpPolicy::new(vec![0.0], 1.0).allocate(&st, 0, 0.0).unwrap();
+        assert_eq!(a.draws, vec![0.0]);
+        let b = FairShareLpPolicy::default().allocate(&st, 0, 0.0).unwrap();
+        assert_eq!(b.draws, vec![0.0]);
+    }
+}

@@ -1,0 +1,239 @@
+//! Atomic batches of economy mutations.
+//!
+//! Real agreements are negotiated as packages: "A gives B 30% of its
+//! bandwidth *and in return* B gives A 20% of its CPU" (the paper's §1
+//! example). Applying such a deal as two independent `issue_relative`
+//! calls leaves a half-applied economy if the second call fails
+//! validation. [`Economy::apply_batch`] applies a whole op list
+//! atomically: every op is validated against a scratch copy first, and
+//! the original economy is only replaced if all of them succeed.
+//!
+//! Ops reference entities by their pre-batch ids; ids created *within*
+//! the batch are returned in order via [`BatchOutcome`].
+//!
+//! ```
+//! use agreements_ticket::{AgreementNature, Economy, Op};
+//!
+//! let mut eco = Economy::new();
+//! let bw = eco.add_resource("bw");
+//! let a = eco.add_principal("A");
+//! let b = eco.add_principal("B");
+//! let (ca, cb) = (eco.default_currency(a), eco.default_currency(b));
+//! eco.deposit_resource(ca, bw, 10.0).unwrap();
+//! // Atomic package: the second op is invalid, so the first must not
+//! // apply either.
+//! let err = eco.apply_batch(&[
+//!     Op::IssueRelative { from: ca, to: cb, face: 30.0,
+//!                         nature: AgreementNature::Sharing },
+//!     Op::SetFaceTotal { currency: cb, face_total: -1.0 },
+//! ]).unwrap_err();
+//! assert_eq!(err.index, 1);
+//! assert_eq!(eco.value_report(bw).unwrap().currency_value(cb), 0.0);
+//! ```
+
+use crate::economy::Economy;
+use crate::error::EconomyError;
+use crate::ids::{CurrencyId, ResourceId, TicketId};
+use crate::ticket::AgreementNature;
+use serde::{Deserialize, Serialize};
+
+/// One mutation in a batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// Change a currency's face total (inflation/deflation).
+    SetFaceTotal {
+        /// Target currency.
+        currency: CurrencyId,
+        /// New total face units (must be positive).
+        face_total: f64,
+    },
+    /// Deposit actual resource capacity.
+    Deposit {
+        /// Receiving currency.
+        into: CurrencyId,
+        /// Resource kind.
+        resource: ResourceId,
+        /// Amount in resource units.
+        amount: f64,
+    },
+    /// Issue an absolute agreement ticket.
+    IssueAbsolute {
+        /// Issuing currency.
+        from: CurrencyId,
+        /// Backed currency.
+        to: CurrencyId,
+        /// Resource kind.
+        resource: ResourceId,
+        /// Fixed amount.
+        amount: f64,
+        /// Sharing or granting.
+        nature: AgreementNature,
+    },
+    /// Issue a relative agreement ticket.
+    IssueRelative {
+        /// Issuing currency.
+        from: CurrencyId,
+        /// Backed currency.
+        to: CurrencyId,
+        /// Face value in issuer units.
+        face: f64,
+        /// Sharing or granting.
+        nature: AgreementNature,
+    },
+    /// Revoke a ticket.
+    Revoke {
+        /// The ticket to revoke.
+        ticket: TicketId,
+    },
+}
+
+/// Results of a committed batch: one entry per op, `Some(id)` for ops
+/// that created a ticket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// Created ticket ids, positionally aligned with the op list.
+    pub tickets: Vec<Option<TicketId>>,
+}
+
+/// The failing op's index and its error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchError {
+    /// Index into the op list.
+    pub index: usize,
+    /// What went wrong there.
+    pub error: EconomyError,
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "batch op {} failed: {}", self.index, self.error)
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+impl Economy {
+    /// Apply `ops` atomically: all succeed, or the economy is unchanged
+    /// and the first failure is reported with its position.
+    pub fn apply_batch(&mut self, ops: &[Op]) -> Result<BatchOutcome, BatchError> {
+        let mut scratch = self.clone();
+        let mut tickets = Vec::with_capacity(ops.len());
+        for (index, op) in ops.iter().enumerate() {
+            let created = match op {
+                Op::SetFaceTotal { currency, face_total } => {
+                    scratch.set_face_total(*currency, *face_total).map(|()| None)
+                }
+                Op::Deposit { into, resource, amount } => {
+                    scratch.deposit_resource(*into, *resource, *amount).map(Some)
+                }
+                Op::IssueAbsolute { from, to, resource, amount, nature } => scratch
+                    .issue_absolute(*from, *to, *resource, *amount, *nature)
+                    .map(Some),
+                Op::IssueRelative { from, to, face, nature } => {
+                    scratch.issue_relative(*from, *to, *face, *nature).map(Some)
+                }
+                Op::Revoke { ticket } => scratch.revoke(*ticket).map(|()| None),
+            }
+            .map_err(|error| BatchError { index, error })?;
+            tickets.push(created);
+        }
+        *self = scratch;
+        Ok(BatchOutcome { tickets })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ticket::AgreementNature::Sharing;
+
+    fn two_party() -> (Economy, ResourceId, ResourceId, CurrencyId, CurrencyId) {
+        let mut eco = Economy::new();
+        let bw = eco.add_resource("bandwidth");
+        let cpu = eco.add_resource("cpu");
+        let a = eco.add_principal("A");
+        let b = eco.add_principal("B");
+        let (ca, cb) = (eco.default_currency(a), eco.default_currency(b));
+        eco.deposit_resource(ca, bw, 100.0).unwrap();
+        eco.deposit_resource(cb, cpu, 50.0).unwrap();
+        (eco, bw, cpu, ca, cb)
+    }
+
+    #[test]
+    fn bilateral_deal_commits_atomically() {
+        let (mut eco, bw, cpu, ca, cb) = two_party();
+        // The paper's §1 deal: A -> B 30% (of A's bandwidth-holding
+        // currency), B -> A 20% (of B's CPU-holding currency).
+        let outcome = eco
+            .apply_batch(&[
+                Op::IssueRelative { from: ca, to: cb, face: 30.0, nature: Sharing },
+                Op::IssueRelative { from: cb, to: ca, face: 20.0, nature: Sharing },
+            ])
+            .unwrap();
+        assert_eq!(outcome.tickets.len(), 2);
+        assert!(outcome.tickets.iter().all(Option::is_some));
+        // The two relative tickets form a funding cycle with gain
+        // 0.3 × 0.2 = 0.06; per kind: g_A = base_A / (1 − 0.06),
+        // g_B = 0.3 · g_A (bandwidth), and symmetrically for CPU.
+        let vbw = eco.value_report(bw).unwrap();
+        let vcpu = eco.value_report(cpu).unwrap();
+        let ga_bw = 100.0 / (1.0 - 0.06);
+        assert!((vbw.currency_value(ca) - ga_bw).abs() < 1e-9);
+        assert!((vbw.currency_value(cb) - 0.3 * ga_bw).abs() < 1e-9);
+        let gb_cpu = 50.0 / (1.0 - 0.06);
+        assert!((vcpu.currency_value(ca) - 0.2 * gb_cpu).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failing_op_rolls_back_everything() {
+        let (mut eco, bw, _cpu, ca, cb) = two_party();
+        let before_tickets = eco.tickets().len();
+        let err = eco
+            .apply_batch(&[
+                Op::IssueRelative { from: ca, to: cb, face: 30.0, nature: Sharing },
+                // Self-backing: invalid.
+                Op::IssueRelative { from: cb, to: cb, face: 10.0, nature: Sharing },
+            ])
+            .unwrap_err();
+        assert_eq!(err.index, 1);
+        assert!(matches!(err.error, EconomyError::SelfBacking(_)));
+        // Nothing applied, including the valid first op.
+        assert_eq!(eco.tickets().len(), before_tickets);
+        let v = eco.value_report(bw).unwrap();
+        assert_eq!(v.currency_value(cb), 0.0);
+    }
+
+    #[test]
+    fn batch_can_restructure_agreements() {
+        let (mut eco, bw, _cpu, ca, cb) = two_party();
+        let old = eco.issue_relative(ca, cb, 50.0, Sharing).unwrap();
+        // Renegotiate: revoke the 50% deal and replace with 20% + a fixed
+        // 5-unit absolute floor, atomically.
+        eco.apply_batch(&[
+            Op::Revoke { ticket: old },
+            Op::IssueRelative { from: ca, to: cb, face: 20.0, nature: Sharing },
+            Op::IssueAbsolute { from: ca, to: cb, resource: bw, amount: 5.0, nature: Sharing },
+        ])
+        .unwrap();
+        let v = eco.value_report(bw).unwrap();
+        assert!((v.currency_value(cb) - 25.0).abs() < 1e-9, "20 + 5");
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let (mut eco, _bw, _cpu, _ca, _cb) = two_party();
+        let before = eco.tickets().len();
+        let outcome = eco.apply_batch(&[]).unwrap();
+        assert!(outcome.tickets.is_empty());
+        assert_eq!(eco.tickets().len(), before);
+    }
+
+    #[test]
+    fn error_display_names_the_op() {
+        let (mut eco, _bw, _cpu, ca, _cb) = two_party();
+        let err = eco
+            .apply_batch(&[Op::SetFaceTotal { currency: ca, face_total: -1.0 }])
+            .unwrap_err();
+        assert!(err.to_string().contains("op 0"), "{err}");
+    }
+}

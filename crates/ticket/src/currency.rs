@@ -1,0 +1,60 @@
+//! Currency entities: denomination and funding bookkeeping.
+
+use crate::ids::{CurrencyId, PrincipalId, TicketId};
+use serde::{Deserialize, Serialize};
+
+/// A currency denominates tickets. Default currencies belong to a
+/// principal and represent "all of that principal's resources"; virtual
+/// currencies (paper Example 2) carve out an isolated sub-budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Currency {
+    /// Registry identifier.
+    pub id: CurrencyId,
+    /// Human-readable name ("B", "A_1", ...).
+    pub name: String,
+    /// Owning principal. Virtual currencies also have an owner (their
+    /// creator); the distinction is [`Currency::is_virtual`].
+    pub owner: PrincipalId,
+    /// Whether this is a virtual (non-default) currency.
+    pub is_virtual: bool,
+    /// Total face units in circulation. Issuing more face units than this
+    /// "inflates" the currency: every outstanding relative ticket's real
+    /// value shrinks proportionally (paper §2.2). Must be positive.
+    pub face_total: f64,
+    /// Tickets funding this currency.
+    pub backed_by: Vec<TicketId>,
+    /// Tickets this currency has issued.
+    pub issued: Vec<TicketId>,
+}
+
+impl Currency {
+    /// Sum of face values of currently issued, active, relative tickets.
+    /// If this exceeds `face_total` the currency is *overdrawn*: it has
+    /// promised more shares than it has units. The economy permits this
+    /// (the enforcement layer clamps transitive flow, paper §3.2) but
+    /// flags it.
+    pub fn issued_face(&self, face_of: impl Fn(TicketId) -> Option<f64>) -> f64 {
+        self.issued.iter().filter_map(|&t| face_of(t)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issued_face_sums_only_known_tickets() {
+        let c = Currency {
+            id: CurrencyId(0),
+            name: "A".into(),
+            owner: PrincipalId(0),
+            is_virtual: false,
+            face_total: 100.0,
+            backed_by: vec![],
+            issued: vec![TicketId(0), TicketId(1), TicketId(2)],
+        };
+        // Ticket 1 is "not relative/active" per the closure.
+        let total = c.issued_face(|t| if t == TicketId(1) { None } else { Some(10.0) });
+        assert_eq!(total, 20.0);
+    }
+}

@@ -1,0 +1,454 @@
+//! The economy: registries of principals, resources, currencies, and
+//! tickets, plus the mutation API for expressing agreements.
+
+use crate::currency::Currency;
+use crate::error::EconomyError;
+use crate::ids::{CurrencyId, PrincipalId, ResourceId, TicketId};
+use crate::ticket::{AgreementNature, Ticket, TicketValue};
+use crate::valuation::{self, Valuation, ValuationMethod};
+use serde::{Deserialize, Serialize};
+
+/// Default face total for newly created currencies. The absolute number is
+/// arbitrary (only face *ratios* matter); 100 makes shares read as
+/// percentages.
+pub const DEFAULT_FACE_TOTAL: f64 = 100.0;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PrincipalDef {
+    name: String,
+    default_currency: CurrencyId,
+}
+
+/// A complete ticket-and-currency economy (paper §2.2).
+///
+/// All entities are arena-allocated and referenced by typed ids; revocation
+/// deactivates tickets without perturbing ids.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Economy {
+    principals: Vec<PrincipalDef>,
+    resources: Vec<String>,
+    currencies: Vec<Currency>,
+    tickets: Vec<Ticket>,
+}
+
+impl Economy {
+    /// Create an empty economy.
+    pub fn new() -> Self {
+        Economy::default()
+    }
+
+    /// Register a resource kind (e.g. `"disk-TB"`, `"cpu-s"`).
+    pub fn add_resource(&mut self, name: &str) -> ResourceId {
+        self.resources.push(name.to_string());
+        ResourceId::from_index(self.resources.len() - 1)
+    }
+
+    /// Register a principal; its default currency (same name) is created
+    /// automatically with [`DEFAULT_FACE_TOTAL`] units.
+    pub fn add_principal(&mut self, name: &str) -> PrincipalId {
+        let pid = PrincipalId::from_index(self.principals.len());
+        let cid = CurrencyId::from_index(self.currencies.len());
+        self.currencies.push(Currency {
+            id: cid,
+            name: name.to_string(),
+            owner: pid,
+            is_virtual: false,
+            face_total: DEFAULT_FACE_TOTAL,
+            backed_by: Vec::new(),
+            issued: Vec::new(),
+        });
+        self.principals.push(PrincipalDef { name: name.to_string(), default_currency: cid });
+        pid
+    }
+
+    /// A principal's default currency.
+    pub fn default_currency(&self, p: PrincipalId) -> CurrencyId {
+        self.principals[p.index()].default_currency
+    }
+
+    /// Create a virtual currency owned by `owner` (paper Example 2). It
+    /// starts unfunded; back it by issuing tickets to it.
+    pub fn add_virtual_currency(&mut self, owner: PrincipalId, name: &str) -> CurrencyId {
+        let cid = CurrencyId::from_index(self.currencies.len());
+        self.currencies.push(Currency {
+            id: cid,
+            name: name.to_string(),
+            owner,
+            is_virtual: true,
+            face_total: DEFAULT_FACE_TOTAL,
+            backed_by: Vec::new(),
+            issued: Vec::new(),
+        });
+        cid
+    }
+
+    /// Change a currency's total face units — inflation (increase) makes
+    /// each outstanding relative ticket worth a smaller fraction;
+    /// deflation the opposite.
+    pub fn set_face_total(&mut self, c: CurrencyId, face_total: f64) -> Result<(), EconomyError> {
+        if !face_total.is_finite() {
+            return Err(EconomyError::NotFinite { what: "face_total" });
+        }
+        if face_total <= 0.0 {
+            return Err(EconomyError::NonPositive { what: "face_total", value: face_total });
+        }
+        self.currency_mut(c)?.face_total = face_total;
+        Ok(())
+    }
+
+    /// Deposit actual resource capacity into a currency: an absolute root
+    /// ticket with no issuer (paper: "actual resource capacities are
+    /// expressed using absolute tickets funding the owner's currency").
+    pub fn deposit_resource(
+        &mut self,
+        into: CurrencyId,
+        resource: ResourceId,
+        amount: f64,
+    ) -> Result<TicketId, EconomyError> {
+        self.check_amount(amount, "deposit amount")?;
+        self.currency(into)?;
+        Ok(self.push_ticket(Ticket {
+            id: TicketId::from_index(self.tickets.len()),
+            issuer: None,
+            backing: into,
+            value: TicketValue::Absolute { resource, amount },
+            nature: AgreementNature::Sharing,
+            active: true,
+        }))
+    }
+
+    /// Express an **absolute agreement**: `from` funds `to` with a fixed
+    /// quantity of one resource kind (e.g. "3 TB of disk"), insulated from
+    /// fluctuations in `from`'s fortunes.
+    pub fn issue_absolute(
+        &mut self,
+        from: CurrencyId,
+        to: CurrencyId,
+        resource: ResourceId,
+        amount: f64,
+        nature: AgreementNature,
+    ) -> Result<TicketId, EconomyError> {
+        self.check_amount(amount, "ticket amount")?;
+        self.check_pair(from, to)?;
+        Ok(self.push_ticket(Ticket {
+            id: TicketId::from_index(self.tickets.len()),
+            issuer: Some(from),
+            backing: to,
+            value: TicketValue::Absolute { resource, amount },
+            nature,
+            active: true,
+        }))
+    }
+
+    /// Express a **relative agreement**: `from` funds `to` with
+    /// `face / face_total(from)` of its own dynamic value, across every
+    /// resource kind `from` holds (e.g. "50% of my available resources").
+    pub fn issue_relative(
+        &mut self,
+        from: CurrencyId,
+        to: CurrencyId,
+        face: f64,
+        nature: AgreementNature,
+    ) -> Result<TicketId, EconomyError> {
+        self.check_amount(face, "ticket face")?;
+        self.check_pair(from, to)?;
+        Ok(self.push_ticket(Ticket {
+            id: TicketId::from_index(self.tickets.len()),
+            issuer: Some(from),
+            backing: to,
+            value: TicketValue::Relative { face },
+            nature,
+            active: true,
+        }))
+    }
+
+    /// Revoke a ticket: the agreement (or deposit) it represents ends.
+    /// The ticket stays in the registry, inactive.
+    pub fn revoke(&mut self, t: TicketId) -> Result<(), EconomyError> {
+        let ticket =
+            self.tickets.get_mut(t.index()).ok_or(EconomyError::UnknownTicket(t))?;
+        if !ticket.active {
+            return Err(EconomyError::AlreadyRevoked(t));
+        }
+        ticket.active = false;
+        Ok(())
+    }
+
+    /// Value every currency and ticket for one resource kind using the
+    /// exact (linear-solve) method.
+    pub fn value_report(&self, resource: ResourceId) -> Result<Valuation, EconomyError> {
+        self.value_report_with(resource, ValuationMethod::Exact)
+    }
+
+    /// Value every currency and ticket for one resource kind with an
+    /// explicit method.
+    pub fn value_report_with(
+        &self,
+        resource: ResourceId,
+        method: ValuationMethod,
+    ) -> Result<Valuation, EconomyError> {
+        valuation::value(self, resource, method)
+    }
+
+    /// Usable capacity of a principal for a resource kind: the net value
+    /// of its default currency (gross backing minus granted-away value).
+    pub fn principal_capacity(
+        &self,
+        p: PrincipalId,
+        resource: ResourceId,
+    ) -> Result<f64, EconomyError> {
+        let report = self.value_report(resource)?;
+        Ok(report.net_value(self.default_currency(p)))
+    }
+
+    /// Has this currency promised more relative face than it has units?
+    pub fn is_overdrawn(&self, c: CurrencyId) -> Result<bool, EconomyError> {
+        let cur = self.currency(c)?;
+        let issued = cur.issued_face(|t| match self.tickets.get(t.index()) {
+            Some(tk) if tk.active => match tk.value {
+                TicketValue::Relative { face } => Some(face),
+                TicketValue::Absolute { .. } => None,
+            },
+            _ => None,
+        });
+        Ok(issued > cur.face_total + 1e-12)
+    }
+
+    // ---- accessors ------------------------------------------------------
+
+    /// Look up a currency.
+    pub fn currency(&self, c: CurrencyId) -> Result<&Currency, EconomyError> {
+        self.currencies.get(c.index()).ok_or(EconomyError::UnknownCurrency(c))
+    }
+
+    /// Look up a ticket.
+    pub fn ticket(&self, t: TicketId) -> Result<&Ticket, EconomyError> {
+        self.tickets.get(t.index()).ok_or(EconomyError::UnknownTicket(t))
+    }
+
+    /// All currencies, in id order.
+    pub fn currencies(&self) -> &[Currency] {
+        &self.currencies
+    }
+
+    /// All tickets (active and revoked), in id order.
+    pub fn tickets(&self) -> &[Ticket] {
+        &self.tickets
+    }
+
+    /// Number of registered principals.
+    pub fn num_principals(&self) -> usize {
+        self.principals.len()
+    }
+
+    /// Number of registered resource kinds.
+    pub fn num_resources(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Principal name.
+    pub fn principal_name(&self, p: PrincipalId) -> &str {
+        &self.principals[p.index()].name
+    }
+
+    /// Resource kind name.
+    pub fn resource_name(&self, r: ResourceId) -> &str {
+        &self.resources[r.index()]
+    }
+
+    /// Iterate over all principal ids.
+    pub fn principal_ids(&self) -> impl Iterator<Item = PrincipalId> + '_ {
+        (0..self.principals.len()).map(PrincipalId::from_index)
+    }
+
+    /// Find a principal by name (first match).
+    pub fn find_principal(&self, name: &str) -> Option<PrincipalId> {
+        self.principals
+            .iter()
+            .position(|p| p.name == name)
+            .map(PrincipalId::from_index)
+    }
+
+    /// Find a resource kind by name (first match).
+    pub fn find_resource(&self, name: &str) -> Option<ResourceId> {
+        self.resources.iter().position(|r| r == name).map(ResourceId::from_index)
+    }
+
+    /// Find a currency by name (first match; default currencies share
+    /// their principal's name).
+    pub fn find_currency(&self, name: &str) -> Option<CurrencyId> {
+        self.currencies.iter().find(|c| c.name == name).map(|c| c.id)
+    }
+
+    // ---- internals ------------------------------------------------------
+
+    fn currency_mut(&mut self, c: CurrencyId) -> Result<&mut Currency, EconomyError> {
+        self.currencies.get_mut(c.index()).ok_or(EconomyError::UnknownCurrency(c))
+    }
+
+    fn check_amount(&self, v: f64, what: &'static str) -> Result<(), EconomyError> {
+        if !v.is_finite() {
+            return Err(EconomyError::NotFinite { what });
+        }
+        if v <= 0.0 {
+            return Err(EconomyError::NonPositive { what, value: v });
+        }
+        Ok(())
+    }
+
+    fn check_pair(&self, from: CurrencyId, to: CurrencyId) -> Result<(), EconomyError> {
+        self.currency(from)?;
+        self.currency(to)?;
+        if from == to {
+            return Err(EconomyError::SelfBacking(from));
+        }
+        Ok(())
+    }
+
+    fn push_ticket(&mut self, t: Ticket) -> TicketId {
+        let id = t.id;
+        if let Some(from) = t.issuer {
+            self.currencies[from.index()].issued.push(id);
+        }
+        self.currencies[t.backing.index()].backed_by.push(id);
+        self.tickets.push(t);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_principal_economy() -> (Economy, ResourceId, CurrencyId, CurrencyId) {
+        let mut eco = Economy::new();
+        let r = eco.add_resource("cpu");
+        let a = eco.add_principal("A");
+        let b = eco.add_principal("B");
+        let ca = eco.default_currency(a);
+        let cb = eco.default_currency(b);
+        (eco, r, ca, cb)
+    }
+
+    #[test]
+    fn principals_get_default_currencies() {
+        let (eco, _r, ca, cb) = two_principal_economy();
+        assert_ne!(ca, cb);
+        assert_eq!(eco.currency(ca).unwrap().name, "A");
+        assert!(!eco.currency(ca).unwrap().is_virtual);
+        assert_eq!(eco.currency(ca).unwrap().face_total, DEFAULT_FACE_TOTAL);
+    }
+
+    #[test]
+    fn deposit_creates_root_ticket() {
+        let (mut eco, r, ca, _cb) = two_principal_economy();
+        let t = eco.deposit_resource(ca, r, 10.0).unwrap();
+        let ticket = eco.ticket(t).unwrap();
+        assert!(ticket.is_deposit());
+        assert_eq!(ticket.backing, ca);
+        assert!(eco.currency(ca).unwrap().backed_by.contains(&t));
+    }
+
+    #[test]
+    fn issue_relative_links_both_sides() {
+        let (mut eco, _r, ca, cb) = two_principal_economy();
+        let t = eco.issue_relative(ca, cb, 30.0, AgreementNature::Sharing).unwrap();
+        assert!(eco.currency(ca).unwrap().issued.contains(&t));
+        assert!(eco.currency(cb).unwrap().backed_by.contains(&t));
+    }
+
+    #[test]
+    fn self_backing_rejected() {
+        let (mut eco, r, ca, _cb) = two_principal_economy();
+        assert_eq!(
+            eco.issue_relative(ca, ca, 10.0, AgreementNature::Sharing),
+            Err(EconomyError::SelfBacking(ca))
+        );
+        assert_eq!(
+            eco.issue_absolute(ca, ca, r, 10.0, AgreementNature::Sharing),
+            Err(EconomyError::SelfBacking(ca))
+        );
+    }
+
+    #[test]
+    fn non_positive_amounts_rejected() {
+        let (mut eco, r, ca, cb) = two_principal_economy();
+        assert!(matches!(
+            eco.deposit_resource(ca, r, 0.0),
+            Err(EconomyError::NonPositive { .. })
+        ));
+        assert!(matches!(
+            eco.issue_relative(ca, cb, -5.0, AgreementNature::Sharing),
+            Err(EconomyError::NonPositive { .. })
+        ));
+        assert!(matches!(
+            eco.set_face_total(ca, 0.0),
+            Err(EconomyError::NonPositive { .. })
+        ));
+        assert!(matches!(
+            eco.deposit_resource(ca, r, f64::NAN),
+            Err(EconomyError::NotFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn revoke_twice_fails() {
+        let (mut eco, r, ca, _cb) = two_principal_economy();
+        let t = eco.deposit_resource(ca, r, 10.0).unwrap();
+        eco.revoke(t).unwrap();
+        assert_eq!(eco.revoke(t), Err(EconomyError::AlreadyRevoked(t)));
+    }
+
+    #[test]
+    fn overdraft_detection() {
+        let (mut eco, _r, ca, cb) = two_principal_economy();
+        assert!(!eco.is_overdrawn(ca).unwrap());
+        eco.issue_relative(ca, cb, 60.0, AgreementNature::Sharing).unwrap();
+        assert!(!eco.is_overdrawn(ca).unwrap());
+        let t2 = eco.issue_relative(ca, cb, 60.0, AgreementNature::Sharing).unwrap();
+        assert!(eco.is_overdrawn(ca).unwrap(), "120 of 100 face issued");
+        eco.revoke(t2).unwrap();
+        assert!(!eco.is_overdrawn(ca).unwrap(), "revocation clears overdraft");
+    }
+
+    #[test]
+    fn virtual_currency_is_flagged() {
+        let (mut eco, _r, _ca, _cb) = two_principal_economy();
+        let a = PrincipalId::from_index(0);
+        let v = eco.add_virtual_currency(a, "A_1");
+        assert!(eco.currency(v).unwrap().is_virtual);
+        assert_eq!(eco.currency(v).unwrap().owner, a);
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let (eco, _r, _ca, _cb) = two_principal_economy();
+        let bogus = CurrencyId::from_index(99);
+        assert_eq!(eco.currency(bogus).err(), Some(EconomyError::UnknownCurrency(bogus)));
+        let bogus_t = TicketId::from_index(99);
+        assert_eq!(eco.ticket(bogus_t).err(), Some(EconomyError::UnknownTicket(bogus_t)));
+    }
+
+    #[test]
+    fn names_are_recorded() {
+        let (eco, r, _ca, _cb) = two_principal_economy();
+        assert_eq!(eco.resource_name(r), "cpu");
+        assert_eq!(eco.principal_name(PrincipalId::from_index(1)), "B");
+        assert_eq!(eco.num_principals(), 2);
+        assert_eq!(eco.num_resources(), 1);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let (mut eco, r, ca, _cb) = two_principal_economy();
+        assert_eq!(eco.find_resource("cpu"), Some(r));
+        assert_eq!(eco.find_resource("gpu"), None);
+        let a = eco.find_principal("A").unwrap();
+        assert_eq!(eco.default_currency(a), ca);
+        assert_eq!(eco.find_principal("Z"), None);
+        assert_eq!(eco.find_currency("B"), Some(eco.default_currency(
+            eco.find_principal("B").unwrap())));
+        let v = eco.add_virtual_currency(a, "A_1");
+        assert_eq!(eco.find_currency("A_1"), Some(v));
+    }
+}

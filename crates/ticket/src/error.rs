@@ -1,0 +1,75 @@
+//! Error type for economy operations.
+
+use crate::ids::{CurrencyId, TicketId};
+use std::fmt;
+
+/// Errors from building or valuing an economy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EconomyError {
+    /// Referenced an unknown currency.
+    UnknownCurrency(CurrencyId),
+    /// Referenced an unknown ticket (or one from a different economy).
+    UnknownTicket(TicketId),
+    /// A face value, amount, or face total that must be positive was not.
+    NonPositive {
+        /// What quantity was rejected.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A value that must be finite was NaN or infinite.
+    NotFinite {
+        /// What quantity was rejected.
+        what: &'static str,
+    },
+    /// A ticket was already revoked.
+    AlreadyRevoked(TicketId),
+    /// Self-funding agreement: a currency may not issue a ticket backing
+    /// itself.
+    SelfBacking(CurrencyId),
+    /// Valuation failed to converge: the relative-funding cycle feeds back
+    /// 100% or more of value (e.g. A shares 100% with B and B shares 100%
+    /// with A), making currency values ill-defined.
+    DivergentValuation {
+        /// Largest per-currency outgoing relative weight (>= 1 permits
+        /// non-convergent cycles).
+        spectral_hint: f64,
+    },
+}
+
+impl fmt::Display for EconomyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EconomyError::UnknownCurrency(c) => write!(f, "unknown currency {c}"),
+            EconomyError::UnknownTicket(t) => write!(f, "unknown ticket {t}"),
+            EconomyError::NonPositive { what, value } => {
+                write!(f, "{what} must be positive, got {value}")
+            }
+            EconomyError::NotFinite { what } => write!(f, "{what} must be finite"),
+            EconomyError::AlreadyRevoked(t) => write!(f, "ticket {t} already revoked"),
+            EconomyError::SelfBacking(c) => {
+                write!(f, "currency {c} may not issue a ticket backing itself")
+            }
+            EconomyError::DivergentValuation { spectral_hint } => write!(
+                f,
+                "currency valuation diverges: relative funding cycle gain ≈ {spectral_hint:.3}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EconomyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_entity() {
+        assert!(EconomyError::UnknownCurrency(CurrencyId(5)).to_string().contains("C5"));
+        assert!(EconomyError::UnknownTicket(TicketId(9)).to_string().contains("T9"));
+        assert!(EconomyError::NonPositive { what: "face", value: -1.0 }
+            .to_string()
+            .contains("face"));
+    }
+}

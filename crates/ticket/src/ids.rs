@@ -1,0 +1,88 @@
+//! Typed identifiers for economy entities.
+//!
+//! All entities live in arena-style registries inside
+//! [`crate::economy::Economy`]; these newtypes keep indices from being
+//! mixed up across registries at compile time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Raw index into the owning registry.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct from a raw index. Intended for (de)serialization
+            /// and test fixtures; indices must come from the same
+            /// [`crate::economy::Economy`] that will interpret them.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                $name(i as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $tag, self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A participating principal (organization, user, proxy, ...).
+    PrincipalId, "P"
+);
+id_type!(
+    /// A kind of resource (CPU seconds, disk TB, network bandwidth, ...).
+    ResourceId, "R"
+);
+id_type!(
+    /// A currency: default per-principal or virtual.
+    CurrencyId, "C"
+);
+id_type!(
+    /// A ticket: absolute or relative, funding some currency.
+    TicketId, "T"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_tag() {
+        assert_eq!(PrincipalId(3).to_string(), "P3");
+        assert_eq!(ResourceId(0).to_string(), "R0");
+        assert_eq!(CurrencyId(7).to_string(), "C7");
+        assert_eq!(TicketId(12).to_string(), "T12");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let c = CurrencyId::from_index(42);
+        assert_eq!(c.index(), 42);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(TicketId(1));
+        s.insert(TicketId(1));
+        s.insert(TicketId(2));
+        assert_eq!(s.len(), 2);
+        assert!(TicketId(1) < TicketId(2));
+    }
+}

@@ -1,0 +1,180 @@
+//! Human-auditable renderings of an economy's funding graph.
+//!
+//! Sharing federations are negotiated by people; the funding graph (which
+//! currency backs which, through which tickets, at what values) is the
+//! artifact they audit. This module renders an [`Economy`]:
+//!
+//! - [`to_dot`] — Graphviz DOT, one node per currency (virtual currencies
+//!   dashed), one edge per active ticket labelled with its denomination
+//!   and, when a valuation is supplied, its real value;
+//! - [`summary`] — a plain-text table of currencies, backings, and
+//!   issues.
+
+use crate::economy::Economy;
+use crate::error::EconomyError;
+use crate::ids::ResourceId;
+use crate::ticket::{AgreementNature, TicketValue};
+use crate::valuation::Valuation;
+use std::fmt::Write as _;
+
+/// Render the funding graph as Graphviz DOT. When `valuation` is given,
+/// edges and nodes are annotated with real values for that resource.
+pub fn to_dot(eco: &Economy, valuation: Option<&Valuation>) -> String {
+    let mut out = String::from("digraph economy {\n  rankdir=LR;\n");
+    for c in eco.currencies() {
+        let style = if c.is_virtual { ", style=dashed" } else { "" };
+        let value = valuation
+            .map(|v| format!("\\n= {:.2}", v.currency_value(c.id)))
+            .unwrap_or_default();
+        writeln!(
+            out,
+            "  {} [label=\"{}\\nface {}{}\"{}];",
+            c.id, c.name, c.face_total, value, style
+        )
+        .unwrap();
+    }
+    // Root deposits render as sources.
+    let mut deposit_count = 0usize;
+    for t in eco.tickets() {
+        if !t.active {
+            continue;
+        }
+        let label = match t.value {
+            TicketValue::Absolute { resource, amount } => {
+                format!("{} {}", amount, eco.resource_name(resource))
+            }
+            TicketValue::Relative { face } => {
+                let real = valuation
+                    .map(|v| format!(" (= {:.2})", v.ticket_value(t.id)))
+                    .unwrap_or_default();
+                format!("{face} units{real}")
+            }
+        };
+        let style = match t.nature {
+            AgreementNature::Sharing => "",
+            AgreementNature::Granting => ", color=red",
+        };
+        match t.issuer {
+            Some(from) => {
+                writeln!(out, "  {} -> {} [label=\"{}\"{}];", from, t.backing, label, style)
+                    .unwrap();
+            }
+            None => {
+                let src = format!("deposit{deposit_count}");
+                deposit_count += 1;
+                writeln!(out, "  {src} [shape=box, label=\"{label}\"];").unwrap();
+                writeln!(out, "  {src} -> {};", t.backing).unwrap();
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Plain-text summary: per currency, its face, backings, and issues.
+pub fn summary(eco: &Economy, resource: ResourceId) -> Result<String, EconomyError> {
+    let valuation = eco.value_report(resource)?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<16} {:>10} {:>12} {:>12} {:>8} {:>8}",
+        "currency", "face", "gross", "net", "backed", "issued"
+    )
+    .unwrap();
+    for c in eco.currencies() {
+        let backed = c
+            .backed_by
+            .iter()
+            .filter(|t| eco.ticket(**t).map(|tk| tk.active).unwrap_or(false))
+            .count();
+        let issued = c
+            .issued
+            .iter()
+            .filter(|t| eco.ticket(**t).map(|tk| tk.active).unwrap_or(false))
+            .count();
+        writeln!(
+            out,
+            "{:<16} {:>10} {:>12.4} {:>12.4} {:>8} {:>8}",
+            c.name,
+            c.face_total,
+            valuation.currency_value(c.id),
+            valuation.net_value(c.id),
+            backed,
+            issued
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ticket::AgreementNature::{Granting, Sharing};
+
+    fn example() -> (Economy, ResourceId) {
+        let mut eco = Economy::new();
+        let disk = eco.add_resource("disk");
+        let a = eco.add_principal("A");
+        let b = eco.add_principal("B");
+        let (ca, cb) = (eco.default_currency(a), eco.default_currency(b));
+        eco.deposit_resource(ca, disk, 10.0).unwrap();
+        eco.issue_relative(ca, cb, 50.0, Sharing).unwrap();
+        (eco, disk)
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let (eco, disk) = example();
+        let v = eco.value_report(disk).unwrap();
+        let dot = to_dot(&eco, Some(&v));
+        assert!(dot.starts_with("digraph economy {"));
+        assert!(dot.contains("label=\"A\\nface 100"), "{dot}");
+        assert!(dot.contains("C0 -> C1"), "{dot}");
+        assert!(dot.contains("50 units (= 5.00)"), "{dot}");
+        assert!(dot.contains("deposit0 [shape=box"), "{dot}");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_without_valuation_omits_values() {
+        let (eco, _disk) = example();
+        let dot = to_dot(&eco, None);
+        assert!(!dot.contains("(="), "{dot}");
+    }
+
+    #[test]
+    fn granting_edges_are_red_and_revoked_hidden() {
+        let (mut eco, disk) = example();
+        let c = eco.add_principal("C");
+        let cc = eco.default_currency(c);
+        let ca = eco.currencies()[0].id;
+        let t = eco.issue_relative(ca, cc, 10.0, Granting).unwrap();
+        let dot = to_dot(&eco, None);
+        assert!(dot.contains("color=red"), "{dot}");
+        eco.revoke(t).unwrap();
+        let dot = to_dot(&eco, None);
+        assert!(!dot.contains("color=red"), "revoked edge still rendered: {dot}");
+        let _ = disk;
+    }
+
+    #[test]
+    fn virtual_currencies_dashed() {
+        let (mut eco, _disk) = example();
+        let a = crate::ids::PrincipalId::from_index(0);
+        eco.add_virtual_currency(a, "A_1");
+        let dot = to_dot(&eco, None);
+        assert!(dot.contains("style=dashed"), "{dot}");
+    }
+
+    #[test]
+    fn summary_counts_active_tickets() {
+        let (eco, disk) = example();
+        let text = summary(&eco, disk).unwrap();
+        assert!(text.contains("currency"), "{text}");
+        // A: 1 backing (deposit), 1 issued; B: 1 backing, 0 issued.
+        let a_line = text.lines().find(|l| l.starts_with("A ")).unwrap();
+        assert!(a_line.contains(" 1"), "{a_line}");
+        assert!(text.contains("5.0000"), "B gross 5: {text}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Ticket entities: the quanta of resource rights.
+
+use crate::ids::{CurrencyId, ResourceId, TicketId};
+use serde::{Deserialize, Serialize};
+
+/// Whether the grantor retains the right to use the resource covered by an
+/// agreement (paper §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AgreementNature {
+    /// Both grantor and grantee may use the resource; the grantor's own
+    /// capacity is unchanged by issuing the ticket.
+    Sharing,
+    /// The grantor gives the resource up for the lifetime of the ticket;
+    /// its usable capacity is reduced by the ticket's value until the
+    /// ticket is revoked.
+    Granting,
+}
+
+/// Face denomination of a ticket.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TicketValue {
+    /// Worth exactly `amount` units of a specific resource kind,
+    /// independent of any currency's fortunes.
+    Absolute {
+        /// The resource kind this ticket is denominated in.
+        resource: ResourceId,
+        /// Face (and real) value in resource units.
+        amount: f64,
+    },
+    /// Worth `face / face_total(issuer)` of the issuing currency's value,
+    /// for every resource kind the issuer holds.
+    Relative {
+        /// Face value in issuer currency units.
+        face: f64,
+    },
+}
+
+/// A ticket: issued by at most one currency, backing exactly one currency.
+///
+/// Root resource deposits (actual capacities entering the economy) have no
+/// issuer. Agreement tickets are issued by the grantor's currency and back
+/// the grantee's currency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ticket {
+    /// Registry identifier.
+    pub id: TicketId,
+    /// Issuing currency; `None` for root resource deposits.
+    pub issuer: Option<CurrencyId>,
+    /// The currency this ticket funds.
+    pub backing: CurrencyId,
+    /// Face denomination.
+    pub value: TicketValue,
+    /// Sharing or granting semantics (meaningless for root deposits, which
+    /// are recorded as `Sharing`).
+    pub nature: AgreementNature,
+    /// True until revoked; revoked tickets stay in the registry so ids
+    /// remain stable, but contribute nothing.
+    pub active: bool,
+}
+
+impl Ticket {
+    /// Is this a root resource deposit (actual capacity, not an
+    /// agreement)?
+    #[inline]
+    pub fn is_deposit(&self) -> bool {
+        self.issuer.is_none()
+    }
+
+    /// The resource kind for absolute tickets, `None` for relative ones
+    /// (which span all kinds held by the issuer).
+    #[inline]
+    pub fn resource(&self) -> Option<ResourceId> {
+        match self.value {
+            TicketValue::Absolute { resource, .. } => Some(resource),
+            TicketValue::Relative { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(value: TicketValue, issuer: Option<CurrencyId>) -> Ticket {
+        Ticket {
+            id: TicketId(0),
+            issuer,
+            backing: CurrencyId(1),
+            value,
+            nature: AgreementNature::Sharing,
+            active: true,
+        }
+    }
+
+    #[test]
+    fn deposit_detection() {
+        let t = mk(
+            TicketValue::Absolute { resource: ResourceId(0), amount: 10.0 },
+            None,
+        );
+        assert!(t.is_deposit());
+        let t = mk(
+            TicketValue::Absolute { resource: ResourceId(0), amount: 3.0 },
+            Some(CurrencyId(0)),
+        );
+        assert!(!t.is_deposit());
+    }
+
+    #[test]
+    fn resource_kind_only_for_absolute() {
+        let abs = mk(
+            TicketValue::Absolute { resource: ResourceId(2), amount: 1.0 },
+            None,
+        );
+        assert_eq!(abs.resource(), Some(ResourceId(2)));
+        let rel = mk(TicketValue::Relative { face: 50.0 }, Some(CurrencyId(0)));
+        assert_eq!(rel.resource(), None);
+    }
+}

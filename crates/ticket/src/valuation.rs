@@ -1,0 +1,522 @@
+//! Currency and ticket valuation.
+//!
+//! For one resource kind `r`, each currency `j` has a **gross value**
+//!
+//! ```text
+//! g_j = base_j + Σ_i  (face_ij / face_total_i) · g_i
+//! ```
+//!
+//! where `base_j` sums the active absolute tickets backing `j` (deposits
+//! and absolute agreement tickets) and the sum ranges over active relative
+//! tickets issued by `i` backing `j`. Relative funding can form cycles
+//! (mutual agreements), so this is a linear system `(I − Wᵀ) g = base`,
+//! solved exactly by Gaussian elimination or approximately by fixed-point
+//! iteration. The system has a unique non-negative solution iff every
+//! funding cycle has total gain < 1; otherwise valuation is reported as
+//! divergent.
+//!
+//! The **net value** subtracts value given up through *granting* tickets
+//! (paper §2.1): `net_j = g_j − Σ granted-out value`.
+
+use crate::economy::Economy;
+use crate::error::EconomyError;
+use crate::ids::{CurrencyId, ResourceId, TicketId};
+use crate::ticket::{AgreementNature, TicketValue};
+
+/// How to solve the valuation linear system.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ValuationMethod {
+    /// Gaussian elimination on `(I − Wᵀ)`; exact up to floating point.
+    #[default]
+    Exact,
+    /// Damped Jacobi iteration; useful for very large, sparse economies
+    /// and for cross-checking the exact method.
+    FixedPoint {
+        /// Maximum sweeps before giving up.
+        max_iters: usize,
+        /// Convergence threshold on the max per-currency change.
+        tol: f64,
+    },
+}
+
+/// Valuation of every currency and ticket for one resource kind.
+#[derive(Debug, Clone)]
+pub struct Valuation {
+    resource: ResourceId,
+    gross: Vec<f64>,
+    net: Vec<f64>,
+    ticket_values: Vec<f64>,
+}
+
+impl Valuation {
+    /// The resource kind this report values.
+    pub fn resource(&self) -> ResourceId {
+        self.resource
+    }
+
+    /// Gross value of a currency: everything backing it, before granted-out
+    /// deductions. This is "the value of the currency" in the paper's
+    /// examples (which use sharing agreements throughout).
+    pub fn currency_value(&self, c: CurrencyId) -> f64 {
+        self.gross[c.index()]
+    }
+
+    /// Net (usable) value: gross minus value granted away.
+    pub fn net_value(&self, c: CurrencyId) -> f64 {
+        self.net[c.index()]
+    }
+
+    /// Real value of a ticket for this resource kind. Absolute tickets of
+    /// other kinds value at 0 here; revoked tickets at 0.
+    pub fn ticket_value(&self, t: TicketId) -> f64 {
+        self.ticket_values[t.index()]
+    }
+}
+
+/// Compute the valuation of `resource` across the whole economy.
+pub fn value(
+    eco: &Economy,
+    resource: ResourceId,
+    method: ValuationMethod,
+) -> Result<Valuation, EconomyError> {
+    let currencies = eco.currencies();
+    let tickets = eco.tickets();
+    let n = currencies.len();
+
+    // base_j and the weighted edges i -> j.
+    let mut base = vec![0.0; n];
+    // edges[(i, j)] aggregated weight; kept as a list since economies are
+    // small and weights per pair are simply summed.
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    for t in tickets {
+        if !t.active {
+            continue;
+        }
+        match t.value {
+            TicketValue::Absolute { resource: r, amount } => {
+                if r == resource {
+                    base[t.backing.index()] += amount;
+                }
+            }
+            TicketValue::Relative { face } => {
+                let issuer = t
+                    .issuer
+                    .expect("relative tickets always have an issuer by construction");
+                let ft = currencies[issuer.index()].face_total;
+                edges.push((issuer.index(), t.backing.index(), face / ft));
+            }
+        }
+    }
+
+    let gross = match method {
+        ValuationMethod::Exact => solve_exact(n, &base, &edges)?,
+        ValuationMethod::FixedPoint { max_iters, tol } => {
+            solve_fixpoint(n, &base, &edges, max_iters, tol)?
+        }
+    };
+
+    // Ticket real values for this kind.
+    let mut ticket_values = vec![0.0; tickets.len()];
+    for (ti, t) in tickets.iter().enumerate() {
+        if !t.active {
+            continue;
+        }
+        ticket_values[ti] = match t.value {
+            TicketValue::Absolute { resource: r, amount } => {
+                if r == resource {
+                    amount
+                } else {
+                    0.0
+                }
+            }
+            TicketValue::Relative { face } => {
+                let issuer = t.issuer.expect("relative ticket has issuer");
+                let ft = currencies[issuer.index()].face_total;
+                gross[issuer.index()] * face / ft
+            }
+        };
+    }
+
+    // Net values: deduct granted-out ticket values from the issuer.
+    let mut net = gross.clone();
+    for (ti, t) in tickets.iter().enumerate() {
+        if !t.active || t.nature != AgreementNature::Granting {
+            continue;
+        }
+        if let Some(issuer) = t.issuer {
+            net[issuer.index()] -= ticket_values[ti];
+        }
+    }
+    for v in &mut net {
+        // Over-granting can push net below zero; clamp, since usable
+        // capacity cannot be negative.
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+
+    Ok(Valuation { resource, gross, net, ticket_values })
+}
+
+/// Gaussian elimination on `(I − Wᵀ) g = base` with partial pivoting.
+fn solve_exact(
+    n: usize,
+    base: &[f64],
+    edges: &[(usize, usize, f64)],
+) -> Result<Vec<f64>, EconomyError> {
+    // m[j][i] = coefficient of g_i in equation for g_j.
+    let mut m = vec![vec![0.0; n + 1]; n];
+    for (j, row) in m.iter_mut().enumerate() {
+        row[j] = 1.0;
+        row[n] = base[j];
+    }
+    for &(i, j, w) in edges {
+        m[j][i] -= w;
+    }
+    let hint = cycle_gain_hint(n, edges);
+    for col in 0..n {
+        let piv = (col..n)
+            .max_by(|&a, &b| m[a][col].abs().partial_cmp(&m[b][col].abs()).unwrap())
+            .expect("non-empty range");
+        if m[piv][col].abs() < 1e-12 {
+            return Err(EconomyError::DivergentValuation { spectral_hint: hint });
+        }
+        m.swap(col, piv);
+        let d = m[col][col];
+        for v in m[col][col..].iter_mut() {
+            *v /= d;
+        }
+        for rr in 0..n {
+            if rr != col {
+                let f = m[rr][col];
+                if f != 0.0 {
+                    for k in col..=n {
+                        let sub = f * m[col][k];
+                        m[rr][k] -= sub;
+                    }
+                }
+            }
+        }
+    }
+    let g: Vec<f64> = (0..n).map(|i| m[i][n]).collect();
+    // A valuation with funding gain > 1 can solve to negative "values";
+    // reject it as divergent rather than report nonsense.
+    if g.iter().any(|&v| v < -1e-9) {
+        return Err(EconomyError::DivergentValuation { spectral_hint: hint });
+    }
+    Ok(g.into_iter().map(|v| v.max(0.0)).collect())
+}
+
+/// Jacobi iteration `g ← base + Wᵀ g`; converges iff cycle gain < 1.
+fn solve_fixpoint(
+    n: usize,
+    base: &[f64],
+    edges: &[(usize, usize, f64)],
+    max_iters: usize,
+    tol: f64,
+) -> Result<Vec<f64>, EconomyError> {
+    let mut g = base.to_vec();
+    let mut next = vec![0.0; n];
+    for _ in 0..max_iters {
+        next.copy_from_slice(base);
+        for &(i, j, w) in edges {
+            next[j] += w * g[i];
+        }
+        let delta = g
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        std::mem::swap(&mut g, &mut next);
+        if delta <= tol {
+            return Ok(g);
+        }
+    }
+    Err(EconomyError::DivergentValuation { spectral_hint: cycle_gain_hint(n, edges) })
+}
+
+/// Cheap divergence diagnostic: the maximum over currencies of total
+/// outgoing relative weight. A value ≥ 1 means some currency re-shares
+/// 100% or more of its value, which permits non-convergent cycles.
+fn cycle_gain_hint(n: usize, edges: &[(usize, usize, f64)]) -> f64 {
+    let mut out = vec![0.0f64; n];
+    for &(i, _, w) in edges {
+        out[i] += w;
+    }
+    out.into_iter().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::economy::Economy;
+    use crate::ticket::AgreementNature::{Granting, Sharing};
+
+    const EPS: f64 = 1e-9;
+
+    /// Paper Example 1 (Figure 1) verbatim.
+    fn example1() -> (Economy, ResourceId, [CurrencyId; 4]) {
+        let mut eco = Economy::new();
+        let disk = eco.add_resource("disk-TB");
+        let a = eco.add_principal("A");
+        let b = eco.add_principal("B");
+        let c = eco.add_principal("C");
+        let d = eco.add_principal("D");
+        let ca = eco.default_currency(a);
+        let cb = eco.default_currency(b);
+        let cc = eco.default_currency(c);
+        let cd = eco.default_currency(d);
+        eco.set_face_total(ca, 1000.0).unwrap();
+        eco.set_face_total(cb, 100.0).unwrap();
+        eco.deposit_resource(ca, disk, 10.0).unwrap();
+        eco.deposit_resource(cb, disk, 15.0).unwrap();
+        eco.issue_absolute(ca, cc, disk, 3.0, Sharing).unwrap();
+        eco.issue_relative(ca, cb, 500.0, Sharing).unwrap();
+        eco.issue_relative(cb, cd, 60.0, Sharing).unwrap();
+        (eco, disk, [ca, cb, cc, cd])
+    }
+
+    #[test]
+    fn paper_example_1_values() {
+        let (eco, disk, [ca, cb, cc, cd]) = example1();
+        let v = eco.value_report(disk).unwrap();
+        assert!((v.currency_value(ca) - 10.0).abs() < EPS);
+        // B: own 15 + relative ticket worth 10*500/1000 = 5 -> 20.
+        assert!((v.currency_value(cb) - 20.0).abs() < EPS);
+        // C: absolute ticket worth 3.
+        assert!((v.currency_value(cc) - 3.0).abs() < EPS);
+        // D: 20 * 60/100 = 12 (implicitly includes the transitive share).
+        assert!((v.currency_value(cd) - 12.0).abs() < EPS);
+    }
+
+    #[test]
+    fn paper_example_1_ticket_values() {
+        let (eco, disk, _) = example1();
+        let v = eco.value_report(disk).unwrap();
+        let tickets = eco.tickets();
+        // R-Ticket4 (index 3): 500 face of currency A (1000, value 10) = 5.
+        assert!((v.ticket_value(tickets[3].id) - 5.0).abs() < EPS);
+        // R-Ticket5 (index 4): 60 face of currency B (100, value 20) = 12.
+        assert!((v.ticket_value(tickets[4].id) - 12.0).abs() < EPS);
+    }
+
+    /// Paper Example 2 (Figure 2): virtual currencies A1, A2.
+    #[test]
+    fn paper_example_2_virtual_currencies() {
+        let (mut eco, disk, [ca, cb, cc, cd]) = example1();
+        // Rebuild the agreement layer per Example 2: revoke R-Ticket3..5
+        // (ids 2, 3, 4) and route everything through virtual currencies.
+        for idx in [2usize, 3, 4] {
+            let id = eco.tickets()[idx].id;
+            eco.revoke(id).unwrap();
+        }
+        let a = eco.currency(ca).unwrap().owner;
+        let a1 = eco.add_virtual_currency(a, "A_1");
+        let a2 = eco.add_virtual_currency(a, "A_2");
+        // A funds A1 with 300/1000 (value 3) and A2 with 500/1000 (value 5).
+        eco.issue_relative(ca, a1, 300.0, Sharing).unwrap();
+        eco.issue_relative(ca, a2, 500.0, Sharing).unwrap();
+        // A1 -> C (everything), A2 -> D and B.
+        eco.issue_relative(a1, cc, 100.0, Sharing).unwrap();
+        eco.issue_relative(a2, cd, 40.0, Sharing).unwrap();
+        eco.issue_relative(a2, cb, 60.0, Sharing).unwrap();
+
+        let v = eco.value_report(disk).unwrap();
+        assert!((v.currency_value(a1) - 3.0).abs() < EPS);
+        assert!((v.currency_value(a2) - 5.0).abs() < EPS);
+        assert!((v.currency_value(cc) - 3.0).abs() < EPS);
+        assert!((v.currency_value(cd) - 2.0).abs() < EPS);
+        assert!((v.currency_value(cb) - 18.0).abs() < EPS);
+
+        // Isolation: inflating A1 (devaluing C's ticket) leaves the A2
+        // subset untouched.
+        eco.set_face_total(a1, 200.0).unwrap();
+        let v2 = eco.value_report(disk).unwrap();
+        assert!((v2.currency_value(cc) - 1.5).abs() < EPS, "C's share halves");
+        assert!((v2.currency_value(cd) - 2.0).abs() < EPS, "D unchanged");
+        assert!((v2.currency_value(cb) - 18.0).abs() < EPS, "B unchanged");
+    }
+
+    #[test]
+    fn inflation_devalues_outstanding_tickets() {
+        let mut eco = Economy::new();
+        let r = eco.add_resource("cpu");
+        let a = eco.add_principal("A");
+        let b = eco.add_principal("B");
+        let (ca, cb) = (eco.default_currency(a), eco.default_currency(b));
+        eco.deposit_resource(ca, r, 10.0).unwrap();
+        eco.issue_relative(ca, cb, 50.0, Sharing).unwrap();
+        let v = eco.value_report(r).unwrap();
+        assert!((v.currency_value(cb) - 5.0).abs() < EPS);
+        eco.set_face_total(ca, 200.0).unwrap(); // inflate 2x
+        let v = eco.value_report(r).unwrap();
+        assert!((v.currency_value(cb) - 2.5).abs() < EPS);
+        eco.set_face_total(ca, 50.0).unwrap(); // deflate
+        let v = eco.value_report(r).unwrap();
+        assert!((v.currency_value(cb) - 10.0).abs() < EPS);
+    }
+
+    #[test]
+    fn revocation_removes_value() {
+        let mut eco = Economy::new();
+        let r = eco.add_resource("cpu");
+        let a = eco.add_principal("A");
+        let b = eco.add_principal("B");
+        let (ca, cb) = (eco.default_currency(a), eco.default_currency(b));
+        eco.deposit_resource(ca, r, 10.0).unwrap();
+        let t = eco.issue_relative(ca, cb, 50.0, Sharing).unwrap();
+        eco.revoke(t).unwrap();
+        let v = eco.value_report(r).unwrap();
+        assert!(v.currency_value(cb).abs() < EPS);
+        assert!(v.ticket_value(t).abs() < EPS);
+    }
+
+    #[test]
+    fn granting_reduces_net_not_gross() {
+        let mut eco = Economy::new();
+        let r = eco.add_resource("cpu");
+        let a = eco.add_principal("A");
+        let b = eco.add_principal("B");
+        let (ca, cb) = (eco.default_currency(a), eco.default_currency(b));
+        eco.deposit_resource(ca, r, 10.0).unwrap();
+        eco.issue_relative(ca, cb, 40.0, Granting).unwrap();
+        let v = eco.value_report(r).unwrap();
+        assert!((v.currency_value(ca) - 10.0).abs() < EPS, "gross unchanged");
+        assert!((v.net_value(ca) - 6.0).abs() < EPS, "net loses 4");
+        assert!((v.currency_value(cb) - 4.0).abs() < EPS);
+    }
+
+    #[test]
+    fn sharing_does_not_reduce_net() {
+        let mut eco = Economy::new();
+        let r = eco.add_resource("cpu");
+        let a = eco.add_principal("A");
+        let b = eco.add_principal("B");
+        let (ca, cb) = (eco.default_currency(a), eco.default_currency(b));
+        eco.deposit_resource(ca, r, 10.0).unwrap();
+        eco.issue_relative(ca, cb, 40.0, Sharing).unwrap();
+        let v = eco.value_report(r).unwrap();
+        assert!((v.net_value(ca) - 10.0).abs() < EPS);
+    }
+
+    #[test]
+    fn mutual_agreements_converge_when_gain_below_one() {
+        let mut eco = Economy::new();
+        let r = eco.add_resource("cpu");
+        let a = eco.add_principal("A");
+        let b = eco.add_principal("B");
+        let (ca, cb) = (eco.default_currency(a), eco.default_currency(b));
+        eco.deposit_resource(ca, r, 10.0).unwrap();
+        eco.deposit_resource(cb, r, 20.0).unwrap();
+        eco.issue_relative(ca, cb, 50.0, Sharing).unwrap();
+        eco.issue_relative(cb, ca, 50.0, Sharing).unwrap();
+        // g_a = 10 + 0.5 g_b; g_b = 20 + 0.5 g_a -> g_a = 80/3, g_b = 160/6+20...
+        // Solve: g_a = 10 + 0.5(20 + 0.5 g_a) -> 0.75 g_a = 20 -> 80/3.
+        let v = eco.value_report(r).unwrap();
+        assert!((v.currency_value(ca) - 80.0 / 3.0).abs() < 1e-6);
+        assert!((v.currency_value(cb) - (20.0 + 40.0 / 3.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hundred_percent_cycle_diverges() {
+        let mut eco = Economy::new();
+        let r = eco.add_resource("cpu");
+        let a = eco.add_principal("A");
+        let b = eco.add_principal("B");
+        let (ca, cb) = (eco.default_currency(a), eco.default_currency(b));
+        eco.deposit_resource(ca, r, 10.0).unwrap();
+        eco.issue_relative(ca, cb, 100.0, Sharing).unwrap();
+        eco.issue_relative(cb, ca, 100.0, Sharing).unwrap();
+        match eco.value_report(r) {
+            Err(EconomyError::DivergentValuation { spectral_hint }) => {
+                assert!(spectral_hint >= 1.0 - 1e-12);
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fixpoint_matches_exact() {
+        let (eco, disk, [ca, cb, cc, cd]) = example1();
+        let exact = eco.value_report_with(disk, ValuationMethod::Exact).unwrap();
+        let fix = eco
+            .value_report_with(
+                disk,
+                ValuationMethod::FixedPoint { max_iters: 10_000, tol: 1e-12 },
+            )
+            .unwrap();
+        for c in [ca, cb, cc, cd] {
+            assert!((exact.currency_value(c) - fix.currency_value(c)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fixpoint_detects_divergence() {
+        let mut eco = Economy::new();
+        let r = eco.add_resource("cpu");
+        let a = eco.add_principal("A");
+        let b = eco.add_principal("B");
+        let (ca, cb) = (eco.default_currency(a), eco.default_currency(b));
+        eco.deposit_resource(ca, r, 10.0).unwrap();
+        eco.issue_relative(ca, cb, 100.0, Sharing).unwrap();
+        eco.issue_relative(cb, ca, 100.0, Sharing).unwrap();
+        let res = eco.value_report_with(
+            r,
+            ValuationMethod::FixedPoint { max_iters: 200, tol: 1e-12 },
+        );
+        assert!(matches!(res, Err(EconomyError::DivergentValuation { .. })));
+    }
+
+    #[test]
+    fn multi_resource_kinds_value_independently() {
+        let mut eco = Economy::new();
+        let cpu = eco.add_resource("cpu");
+        let disk = eco.add_resource("disk");
+        let a = eco.add_principal("A");
+        let b = eco.add_principal("B");
+        let (ca, cb) = (eco.default_currency(a), eco.default_currency(b));
+        eco.deposit_resource(ca, cpu, 8.0).unwrap();
+        eco.deposit_resource(ca, disk, 100.0).unwrap();
+        // Relative ticket shares BOTH kinds.
+        eco.issue_relative(ca, cb, 25.0, Sharing).unwrap();
+        let vc = eco.value_report(cpu).unwrap();
+        let vd = eco.value_report(disk).unwrap();
+        assert!((vc.currency_value(cb) - 2.0).abs() < EPS);
+        assert!((vd.currency_value(cb) - 25.0).abs() < EPS);
+        // Absolute ticket only moves its own kind.
+        let mut eco2 = eco.clone();
+        eco2.issue_absolute(ca, cb, disk, 10.0, Sharing).unwrap();
+        let vc2 = eco2.value_report(cpu).unwrap();
+        let vd2 = eco2.value_report(disk).unwrap();
+        assert!((vc2.currency_value(cb) - 2.0).abs() < EPS);
+        assert!((vd2.currency_value(cb) - 35.0).abs() < EPS);
+    }
+
+    #[test]
+    fn principal_capacity_uses_net() {
+        let mut eco = Economy::new();
+        let r = eco.add_resource("cpu");
+        let a = eco.add_principal("A");
+        let b = eco.add_principal("B");
+        let (ca, cb) = (eco.default_currency(a), eco.default_currency(b));
+        eco.deposit_resource(ca, r, 10.0).unwrap();
+        eco.issue_absolute(ca, cb, r, 4.0, Granting).unwrap();
+        assert!((eco.principal_capacity(a, r).unwrap() - 6.0).abs() < EPS);
+        assert!((eco.principal_capacity(b, r).unwrap() - 4.0).abs() < EPS);
+    }
+
+    #[test]
+    fn over_granting_clamps_net_at_zero() {
+        let mut eco = Economy::new();
+        let r = eco.add_resource("cpu");
+        let a = eco.add_principal("A");
+        let b = eco.add_principal("B");
+        let c = eco.add_principal("C");
+        let ca = eco.default_currency(a);
+        eco.deposit_resource(ca, r, 10.0).unwrap();
+        eco.issue_absolute(ca, eco.default_currency(b), r, 8.0, Granting).unwrap();
+        eco.issue_absolute(ca, eco.default_currency(c), r, 8.0, Granting).unwrap();
+        let v = eco.value_report(r).unwrap();
+        assert_eq!(v.net_value(ca), 0.0);
+    }
+}

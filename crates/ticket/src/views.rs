@@ -1,0 +1,220 @@
+//! Multiple views of one resource (paper §2.2, flagged there as future
+//! work):
+//!
+//! > "this mechanism can be extended to handle multiple views of the same
+//! > resources by enabling resources backing multiple ticket types. This
+//! > is useful in several situations. For example, the disk bandwidth
+//! > resource can be viewed as two kinds of resources: read bandwidth and
+//! > write bandwidth."
+//!
+//! A **view** is a derived resource kind: every unit of the base resource
+//! provides `factor` units of the view. Deposits and absolute tickets
+//! denominated in the base automatically value in each of its views;
+//! tickets can also be denominated directly in a view (e.g. "share 3
+//! GB/s of *read* bandwidth"), which affects only that view.
+//!
+//! ```
+//! use agreements_ticket::{Economy, ViewRegistry};
+//!
+//! let mut eco = Economy::new();
+//! let bw = eco.add_resource("disk-bw");
+//! let read = eco.add_resource("disk-read");
+//! let mut views = ViewRegistry::new();
+//! views.register(read, bw, 1.0).unwrap();
+//! let a = eco.add_principal("A");
+//! let ca = eco.default_currency(a);
+//! eco.deposit_resource(ca, bw, 100.0).unwrap();
+//! assert_eq!(views.currency_value_in_view(&eco, read, ca).unwrap(), 100.0);
+//! ```
+
+use crate::economy::Economy;
+use crate::error::EconomyError;
+use crate::ids::ResourceId;
+use serde::{Deserialize, Serialize};
+
+/// A registered view of a base resource.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceView {
+    /// The derived resource id (usable anywhere a resource id is).
+    pub view: ResourceId,
+    /// The base resource it derives from.
+    pub base: ResourceId,
+    /// Units of the view per unit of the base.
+    pub factor: f64,
+}
+
+/// Registry of views, kept alongside an [`Economy`].
+///
+/// Views are deliberately a layer *above* the economy: the economy's
+/// valuation stays single-kind and exact, and a [`ViewRegistry`] answers
+/// view-kind questions by combining base and view-denominated reports.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ViewRegistry {
+    views: Vec<ResourceView>,
+}
+
+impl ViewRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `view` as a view of `base` at `factor` units per base
+    /// unit. The view resource must already exist in the economy (create
+    /// it with [`Economy::add_resource`]).
+    pub fn register(
+        &mut self,
+        view: ResourceId,
+        base: ResourceId,
+        factor: f64,
+    ) -> Result<(), EconomyError> {
+        if !factor.is_finite() {
+            return Err(EconomyError::NotFinite { what: "view factor" });
+        }
+        if factor <= 0.0 {
+            return Err(EconomyError::NonPositive { what: "view factor", value: factor });
+        }
+        if view == base {
+            return Err(EconomyError::NonPositive {
+                what: "view must differ from its base; factor",
+                value: factor,
+            });
+        }
+        // A view of a view is resolved at registration time so lookups
+        // stay one level deep.
+        let (base, factor) = match self.lookup(base) {
+            Some(v) => (v.base, v.factor * factor),
+            None => (base, factor),
+        };
+        if let Some(existing) = self.lookup(view) {
+            let _ = existing;
+            return Err(EconomyError::NonPositive {
+                what: "view already registered; factor",
+                value: factor,
+            });
+        }
+        self.views.push(ResourceView { view, base, factor });
+        Ok(())
+    }
+
+    /// The view record for a resource, if it is a registered view.
+    pub fn lookup(&self, r: ResourceId) -> Option<ResourceView> {
+        self.views.iter().copied().find(|v| v.view == r)
+    }
+
+    /// All views registered over `base`.
+    pub fn views_of(&self, base: ResourceId) -> impl Iterator<Item = ResourceView> + '_ {
+        self.views.iter().copied().filter(move |v| v.base == base)
+    }
+
+    /// Value a currency in view units: `factor ×` its base-resource value
+    /// plus anything denominated directly in the view kind.
+    pub fn currency_value_in_view(
+        &self,
+        eco: &Economy,
+        view: ResourceId,
+        currency: crate::ids::CurrencyId,
+    ) -> Result<f64, EconomyError> {
+        match self.lookup(view) {
+            None => Ok(eco.value_report(view)?.currency_value(currency)),
+            Some(v) => {
+                let base_part =
+                    eco.value_report(v.base)?.currency_value(currency) * v.factor;
+                let direct_part = eco.value_report(view)?.currency_value(currency);
+                Ok(base_part + direct_part)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ticket::AgreementNature::Sharing;
+
+    /// Disk bandwidth split into read and write views.
+    fn setup() -> (Economy, ViewRegistry, ResourceId, ResourceId, ResourceId) {
+        let mut eco = Economy::new();
+        let bw = eco.add_resource("disk-bw-MBps");
+        let read = eco.add_resource("disk-read-MBps");
+        let write = eco.add_resource("disk-write-MBps");
+        let mut views = ViewRegistry::new();
+        views.register(read, bw, 1.0).unwrap();
+        // Writes cost double the raw bandwidth: half a write unit per
+        // base unit.
+        views.register(write, bw, 0.5).unwrap();
+        (eco, views, bw, read, write)
+    }
+
+    #[test]
+    fn base_deposits_value_in_every_view() {
+        let (mut eco, views, bw, read, write) = setup();
+        let a = eco.add_principal("A");
+        let ca = eco.default_currency(a);
+        eco.deposit_resource(ca, bw, 100.0).unwrap();
+        assert_eq!(views.currency_value_in_view(&eco, read, ca).unwrap(), 100.0);
+        assert_eq!(views.currency_value_in_view(&eco, write, ca).unwrap(), 50.0);
+        // The base itself still values normally.
+        assert_eq!(views.currency_value_in_view(&eco, bw, ca).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn view_denominated_tickets_affect_only_their_view() {
+        let (mut eco, views, bw, read, write) = setup();
+        let a = eco.add_principal("A");
+        let b = eco.add_principal("B");
+        let (ca, cb) = (eco.default_currency(a), eco.default_currency(b));
+        eco.deposit_resource(ca, bw, 100.0).unwrap();
+        // A gives B 30 units of *read* bandwidth specifically.
+        eco.issue_absolute(ca, cb, read, 30.0, Sharing).unwrap();
+        assert_eq!(views.currency_value_in_view(&eco, read, cb).unwrap(), 30.0);
+        assert_eq!(views.currency_value_in_view(&eco, write, cb).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn relative_tickets_flow_through_views() {
+        let (mut eco, views, bw, read, write) = setup();
+        let a = eco.add_principal("A");
+        let b = eco.add_principal("B");
+        let (ca, cb) = (eco.default_currency(a), eco.default_currency(b));
+        eco.deposit_resource(ca, bw, 100.0).unwrap();
+        eco.issue_relative(ca, cb, 40.0, Sharing).unwrap(); // 40% of A
+        // B holds 40% of A's base bandwidth -> 40 read units, 20 write.
+        assert_eq!(views.currency_value_in_view(&eco, read, cb).unwrap(), 40.0);
+        assert_eq!(views.currency_value_in_view(&eco, write, cb).unwrap(), 20.0);
+    }
+
+    #[test]
+    fn view_of_view_resolves_to_base() {
+        let mut eco = Economy::new();
+        let bw = eco.add_resource("bw");
+        let read = eco.add_resource("read");
+        let cached_read = eco.add_resource("cached-read");
+        let mut views = ViewRegistry::new();
+        views.register(read, bw, 0.5).unwrap();
+        views.register(cached_read, read, 4.0).unwrap();
+        let v = views.lookup(cached_read).unwrap();
+        assert_eq!(v.base, bw, "chain collapsed to the true base");
+        assert_eq!(v.factor, 2.0, "0.5 * 4.0");
+    }
+
+    #[test]
+    fn registration_validation() {
+        let mut eco = Economy::new();
+        let bw = eco.add_resource("bw");
+        let read = eco.add_resource("read");
+        let mut views = ViewRegistry::new();
+        assert!(views.register(read, bw, 0.0).is_err());
+        assert!(views.register(read, bw, f64::NAN).is_err());
+        assert!(views.register(bw, bw, 1.0).is_err());
+        views.register(read, bw, 1.0).unwrap();
+        assert!(views.register(read, bw, 2.0).is_err(), "double registration");
+    }
+
+    #[test]
+    fn views_of_enumerates() {
+        let (_eco, views, bw, read, write) = setup();
+        let of_bw: Vec<_> = views.views_of(bw).map(|v| v.view).collect();
+        assert_eq!(of_bw, vec![read, write]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for atomic batches and resource views.
+
+use agreements_ticket::{
+    AgreementNature, CurrencyId, Economy, Op, ResourceId, ViewRegistry,
+};
+use proptest::prelude::*;
+
+/// A random op over a 3-principal, 1-resource economy (indices may be
+/// invalid on purpose — that's what atomicity must survive).
+fn arb_op() -> impl Strategy<Value = Op> {
+    let cur = || (0usize..5).prop_map(CurrencyId::from_index);
+    let res = || (0usize..2).prop_map(ResourceId::from_index);
+    prop_oneof![
+        (cur(), -10.0f64..200.0).prop_map(|(currency, face_total)| Op::SetFaceTotal {
+            currency,
+            face_total
+        }),
+        (cur(), res(), -5.0f64..50.0).prop_map(|(into, resource, amount)| Op::Deposit {
+            into,
+            resource,
+            amount
+        }),
+        (cur(), cur(), -5.0f64..80.0).prop_map(|(from, to, face)| Op::IssueRelative {
+            from,
+            to,
+            face,
+            nature: AgreementNature::Sharing,
+        }),
+        (cur(), cur(), res(), 0.1f64..20.0).prop_map(|(from, to, resource, amount)| {
+            Op::IssueAbsolute {
+                from,
+                to,
+                resource,
+                amount,
+                nature: AgreementNature::Granting,
+            }
+        }),
+    ]
+}
+
+fn base_economy() -> Economy {
+    let mut eco = Economy::new();
+    let r = eco.add_resource("res");
+    for name in ["A", "B", "C"] {
+        let p = eco.add_principal(name);
+        eco.deposit_resource(eco.default_currency(p), r, 10.0).unwrap();
+    }
+    eco
+}
+
+/// Digest of an economy's observable state.
+fn digest(eco: &Economy) -> Vec<(u64, bool)> {
+    eco.tickets()
+        .iter()
+        .map(|t| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            use std::hash::{Hash, Hasher};
+            format!("{t:?}").hash(&mut h);
+            (h.finish(), t.active)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A batch either fully applies (matching sequential application) or
+    /// leaves the economy byte-for-byte unchanged.
+    #[test]
+    fn batches_are_atomic(ops in proptest::collection::vec(arb_op(), 0..6)) {
+        let mut batched = base_economy();
+        let before = digest(&batched);
+        let outcome = batched.apply_batch(&ops);
+
+        let mut sequential = base_economy();
+        let mut seq_err = None;
+        for (i, op) in ops.iter().enumerate() {
+            let r = match op {
+                Op::SetFaceTotal { currency, face_total } => {
+                    sequential.set_face_total(*currency, *face_total).map(|_| ())
+                }
+                Op::Deposit { into, resource, amount } => {
+                    sequential.deposit_resource(*into, *resource, *amount).map(|_| ())
+                }
+                Op::IssueAbsolute { from, to, resource, amount, nature } => sequential
+                    .issue_absolute(*from, *to, *resource, *amount, *nature)
+                    .map(|_| ()),
+                Op::IssueRelative { from, to, face, nature } => {
+                    sequential.issue_relative(*from, *to, *face, *nature).map(|_| ())
+                }
+                Op::Revoke { ticket } => sequential.revoke(*ticket),
+            };
+            if let Err(e) = r {
+                seq_err = Some((i, e));
+                break;
+            }
+        }
+
+        match (outcome, seq_err) {
+            (Ok(out), None) => {
+                prop_assert_eq!(out.tickets.len(), ops.len());
+                prop_assert_eq!(digest(&batched), digest(&sequential),
+                    "batch and sequential agree when everything succeeds");
+            }
+            (Err(be), Some((i, e))) => {
+                prop_assert_eq!(be.index, i, "same failing op");
+                prop_assert_eq!(be.error, e, "same error");
+                prop_assert_eq!(digest(&batched), before, "batch rolled back");
+            }
+            (ok, seq) => {
+                prop_assert!(false, "divergence: batch {ok:?} vs sequential {seq:?}");
+            }
+        }
+    }
+
+    /// View valuations scale linearly with the factor and agree with the
+    /// base report.
+    #[test]
+    fn view_values_scale_linearly(deposit in 1.0f64..500.0, factor in 0.01f64..10.0) {
+        let mut eco = Economy::new();
+        let base = eco.add_resource("base");
+        let view = eco.add_resource("view");
+        let mut views = ViewRegistry::new();
+        views.register(view, base, factor).unwrap();
+        let a = eco.add_principal("A");
+        let ca = eco.default_currency(a);
+        eco.deposit_resource(ca, base, deposit).unwrap();
+        let base_value = eco.value_report(base).unwrap().currency_value(ca);
+        let view_value = views.currency_value_in_view(&eco, view, ca).unwrap();
+        prop_assert!((view_value - base_value * factor).abs() < 1e-9 * (1.0 + view_value));
+    }
+}

@@ -1,0 +1,195 @@
+//! Property tests on economy valuation invariants.
+
+use agreements_ticket::{AgreementNature, Economy, EconomyError, ValuationMethod};
+use proptest::prelude::*;
+
+/// Build a random economy: `n` principals each with a deposit, plus a set
+/// of relative sharing agreements whose per-currency total face stays
+/// under 100% (guaranteeing convergent valuation).
+fn arb_economy() -> impl Strategy<Value = (Economy, usize)> {
+    (2usize..=6).prop_flat_map(|n| {
+        let deposits = proptest::collection::vec(1u32..=1000, n);
+        // For each ordered pair (i, j), an optional share portion. We later
+        // normalize so each issuer's total face stays <= 90.
+        let shares = proptest::collection::vec(0u32..=50, n * n);
+        (Just(n), deposits, shares).prop_map(|(n, deposits, shares)| {
+            let mut eco = Economy::new();
+            let r = eco.add_resource("res");
+            let ps: Vec<_> =
+                (0..n).map(|i| eco.add_principal(&format!("P{i}"))).collect();
+            for (i, &d) in deposits.iter().enumerate() {
+                eco.deposit_resource(eco.default_currency(ps[i]), r, d as f64)
+                    .unwrap();
+            }
+            for i in 0..n {
+                let row = &shares[i * n..(i + 1) * n];
+                let total: u32 = row.iter().enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, &s)| s)
+                    .sum();
+                if total == 0 {
+                    continue;
+                }
+                // Scale so the row sums to <= 90 face units (of 100).
+                let scale = if total > 90 { 90.0 / total as f64 } else { 1.0 };
+                for j in 0..n {
+                    if i == j || row[j] == 0 {
+                        continue;
+                    }
+                    let face = row[j] as f64 * scale;
+                    if face <= 0.0 {
+                        continue;
+                    }
+                    eco.issue_relative(
+                        eco.default_currency(ps[i]),
+                        eco.default_currency(ps[j]),
+                        face,
+                        AgreementNature::Sharing,
+                    )
+                    .unwrap();
+                }
+            }
+            (eco, n)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Currency values are always non-negative and at least the currency's
+    /// own absolute backing.
+    #[test]
+    fn values_dominate_own_deposits((eco, n) in arb_economy()) {
+        let r = agreements_ticket::ResourceId::from_index(0);
+        let v = eco.value_report(r).unwrap();
+        for p in eco.principal_ids() {
+            let c = eco.default_currency(p);
+            let own: f64 = eco
+                .tickets()
+                .iter()
+                .filter(|t| t.active && t.is_deposit() && t.backing == c)
+                .map(|t| match t.value {
+                    agreements_ticket::TicketValue::Absolute { amount, .. } => amount,
+                    _ => 0.0,
+                })
+                .sum();
+            prop_assert!(v.currency_value(c) >= own - 1e-9,
+                "currency {c:?} value {} below own deposits {}", v.currency_value(c), own);
+            prop_assert!(v.currency_value(c).is_finite());
+        }
+        let _ = n;
+    }
+
+    /// Exact and fixed-point valuations agree.
+    #[test]
+    fn exact_matches_fixpoint((eco, _n) in arb_economy()) {
+        let r = agreements_ticket::ResourceId::from_index(0);
+        let exact = eco.value_report_with(r, ValuationMethod::Exact).unwrap();
+        let fix = eco
+            .value_report_with(r, ValuationMethod::FixedPoint { max_iters: 100_000, tol: 1e-13 })
+            .unwrap();
+        for c in eco.currencies() {
+            let (a, b) = (exact.currency_value(c.id), fix.currency_value(c.id));
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()),
+                "exact {a} vs fixpoint {b} for {:?}", c.id);
+        }
+    }
+
+    /// Adding one more sharing agreement never decreases any currency's
+    /// gross value (monotonicity of the funding graph).
+    #[test]
+    fn sharing_is_monotone((mut eco, n) in arb_economy(), from in 0usize..6, to in 0usize..6) {
+        let from = from % n;
+        let to = to % n;
+        prop_assume!(from != to);
+        let r = agreements_ticket::ResourceId::from_index(0);
+        let before = eco.value_report(r).unwrap();
+        let cf = eco.default_currency(agreements_ticket::PrincipalId::from_index(from));
+        let ct = eco.default_currency(agreements_ticket::PrincipalId::from_index(to));
+        // Small extra share; may push the issuer into overdraft, which the
+        // economy permits (enforcement clamps later), but valuation can
+        // diverge if a cycle reaches gain 1 - skip those cases.
+        eco.issue_relative(cf, ct, 5.0, AgreementNature::Sharing).unwrap();
+        let after = match eco.value_report(r) {
+            Ok(v) => v,
+            Err(EconomyError::DivergentValuation { .. }) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+        };
+        for c in eco.currencies() {
+            prop_assert!(
+                after.currency_value(c.id) >= before.currency_value(c.id) - 1e-9,
+                "value of {:?} dropped {} -> {}",
+                c.id, before.currency_value(c.id), after.currency_value(c.id)
+            );
+        }
+    }
+
+    /// Revoking the ticket just issued restores all values exactly.
+    #[test]
+    fn issue_then_revoke_is_identity((mut eco, n) in arb_economy(), from in 0usize..6, to in 0usize..6) {
+        let from = from % n;
+        let to = to % n;
+        prop_assume!(from != to);
+        let r = agreements_ticket::ResourceId::from_index(0);
+        let before = eco.value_report(r).unwrap();
+        let cf = eco.default_currency(agreements_ticket::PrincipalId::from_index(from));
+        let ct = eco.default_currency(agreements_ticket::PrincipalId::from_index(to));
+        let t = eco.issue_relative(cf, ct, 7.0, AgreementNature::Sharing).unwrap();
+        eco.revoke(t).unwrap();
+        let after = eco.value_report(r).unwrap();
+        for c in eco.currencies() {
+            prop_assert!((after.currency_value(c.id) - before.currency_value(c.id)).abs() < 1e-12);
+        }
+    }
+
+    /// Scaling a currency's face total together with all its issued faces
+    /// leaves every real value unchanged (denomination independence).
+    #[test]
+    fn denomination_is_arbitrary((eco, _n) in arb_economy(), scale_num in 1u32..=8) {
+        let scale = scale_num as f64;
+        let r = agreements_ticket::ResourceId::from_index(0);
+        let before = eco.value_report(r).unwrap();
+        // Rebuild with every face and face_total multiplied by `scale` for
+        // currency 0.
+        let mut eco2 = Economy::new();
+        let _ = eco2.add_resource("res");
+        for p in eco.principal_ids() {
+            eco2.add_principal(eco.principal_name(p));
+        }
+        let target = eco.currencies()[0].id;
+        for c in eco.currencies() {
+            let ft = if c.id == target { c.face_total * scale } else { c.face_total };
+            eco2.set_face_total(c.id, ft).unwrap();
+        }
+        for t in eco.tickets() {
+            if !t.active {
+                continue;
+            }
+            match t.value {
+                agreements_ticket::TicketValue::Absolute { resource, amount } => {
+                    match t.issuer {
+                        None => {
+                            eco2.deposit_resource(t.backing, resource, amount).unwrap();
+                        }
+                        Some(from) => {
+                            eco2.issue_absolute(from, t.backing, resource, amount, t.nature)
+                                .unwrap();
+                        }
+                    }
+                }
+                agreements_ticket::TicketValue::Relative { face } => {
+                    let from = t.issuer.unwrap();
+                    let f = if from == target { face * scale } else { face };
+                    eco2.issue_relative(from, t.backing, f, t.nature).unwrap();
+                }
+            }
+        }
+        let after = eco2.value_report(r).unwrap();
+        for c in eco.currencies() {
+            let (a, b) = (before.currency_value(c.id), after.currency_value(c.id));
+            prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()),
+                "denomination changed value of {:?}: {a} vs {b}", c.id);
+        }
+    }
+}

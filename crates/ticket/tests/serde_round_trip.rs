@@ -1,0 +1,77 @@
+//! Structural-stability tests for the economy's persistent form: ids,
+//! revocation state, and valuations must be stable under deep copies
+//! (the serde derives mirror the struct fields exactly, so clone
+//! equivalence is the in-crate proxy for (de)serialization equivalence;
+//! the full JSON round-trip is exercised in the `agreements-cli` crate,
+//! which owns the format dependency).
+
+use agreements_ticket::{AgreementNature, Economy, ValuationMethod};
+
+/// Build a moderately rich economy: two resources, virtual currency,
+/// granting ticket, and a revoked ticket.
+fn rich_economy() -> Economy {
+    let mut eco = Economy::new();
+    let disk = eco.add_resource("disk");
+    let cpu = eco.add_resource("cpu");
+    let a = eco.add_principal("A");
+    let b = eco.add_principal("B");
+    let c = eco.add_principal("C");
+    let (ca, cb, cc) = (
+        eco.default_currency(a),
+        eco.default_currency(b),
+        eco.default_currency(c),
+    );
+    let a1 = eco.add_virtual_currency(a, "A_1");
+    eco.set_face_total(ca, 500.0).unwrap();
+    eco.deposit_resource(ca, disk, 12.0).unwrap();
+    eco.deposit_resource(ca, cpu, 4.0).unwrap();
+    eco.deposit_resource(cb, disk, 7.0).unwrap();
+    eco.issue_relative(ca, a1, 100.0, AgreementNature::Sharing).unwrap();
+    eco.issue_relative(a1, cc, 50.0, AgreementNature::Granting).unwrap();
+    let revoked = eco.issue_absolute(cb, cc, disk, 2.0, AgreementNature::Sharing).unwrap();
+    eco.revoke(revoked).unwrap();
+    eco
+}
+
+#[test]
+fn valuations_stable_under_deep_copy() {
+    let eco = rich_economy();
+    let copy = eco.clone();
+    for r in 0..eco.num_resources() {
+        let rid = agreements_ticket::ResourceId::from_index(r);
+        let v1 = eco.value_report_with(rid, ValuationMethod::Exact).unwrap();
+        let v2 = copy.value_report_with(rid, ValuationMethod::Exact).unwrap();
+        for c in eco.currencies() {
+            assert_eq!(v1.currency_value(c.id), v2.currency_value(c.id));
+            assert_eq!(v1.net_value(c.id), v2.net_value(c.id));
+        }
+    }
+}
+
+#[test]
+fn revocation_state_and_ids_are_stable() {
+    let eco = rich_economy();
+    let copy = eco.clone();
+    for (t1, t2) in eco.tickets().iter().zip(copy.tickets()) {
+        assert_eq!(t1.id, t2.id);
+        assert_eq!(t1.active, t2.active);
+        assert_eq!(t1.nature, t2.nature);
+    }
+    let revoked: Vec<_> = eco.tickets().iter().filter(|t| !t.active).collect();
+    assert_eq!(revoked.len(), 1);
+}
+
+#[test]
+fn currency_links_are_consistent() {
+    // Every ticket id recorded on a currency must resolve, and the
+    // back-references must agree with the tickets' own fields.
+    let eco = rich_economy();
+    for c in eco.currencies() {
+        for &t in &c.backed_by {
+            assert_eq!(eco.ticket(t).unwrap().backing, c.id);
+        }
+        for &t in &c.issued {
+            assert_eq!(eco.ticket(t).unwrap().issuer, Some(c.id));
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Workload analysis: offered load and utilization estimates.
+//!
+//! The case-study calibration (and anyone replaying their own traces)
+//! needs to know how hot a workload runs relative to server capacity.
+//! These helpers compute per-slot offered work and utilization `ρ`
+//! directly from a trace and a [`ServiceModel`], making the calibration
+//! in the experiments crate auditable rather than magic.
+
+use crate::generator::ProxyTrace;
+use crate::request::ServiceModel;
+use crate::slots::{slot_of, SLOTS_PER_DAY, SLOT_SECONDS};
+
+/// Total demanded work per reporting slot, in work-seconds.
+pub fn offered_work_per_slot(trace: &ProxyTrace, service: &ServiceModel) -> Vec<f64> {
+    let mut work = vec![0.0; SLOTS_PER_DAY];
+    for r in &trace.requests {
+        work[slot_of(r.arrival)] += service.demand(r);
+    }
+    work
+}
+
+/// Per-slot utilization `ρ = offered work / (capacity × slot length)` for
+/// a server of the given capacity (work-seconds per second).
+pub fn rho_per_slot(trace: &ProxyTrace, service: &ServiceModel, capacity: f64) -> Vec<f64> {
+    offered_work_per_slot(trace, service)
+        .into_iter()
+        .map(|w| w / (capacity * SLOT_SECONDS))
+        .collect()
+}
+
+/// Peak per-slot utilization.
+pub fn peak_rho(trace: &ProxyTrace, service: &ServiceModel, capacity: f64) -> f64 {
+    rho_per_slot(trace, service, capacity).into_iter().fold(0.0, f64::max)
+}
+
+/// Mean per-request demand in work-seconds (0 for an empty trace).
+pub fn mean_demand(trace: &ProxyTrace, service: &ServiceModel) -> f64 {
+    if trace.requests.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = trace.requests.iter().map(|r| service.demand(r)).sum();
+    total / trace.requests.len() as f64
+}
+
+/// The capacity at which this trace's *peak* slot would run at the target
+/// utilization — the calibration equation of the experiments crate,
+/// derivable from any trace.
+pub fn capacity_for_peak_rho(
+    trace: &ProxyTrace,
+    service: &ServiceModel,
+    target_rho: f64,
+) -> f64 {
+    assert!(target_rho > 0.0, "target rho must be positive");
+    let peak_work = offered_work_per_slot(trace, service)
+        .into_iter()
+        .fold(0.0f64, f64::max);
+    peak_work / (SLOT_SECONDS * target_rho)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceConfig;
+    use crate::request::Request;
+
+    fn flat_trace(per_slot: usize, demand_len: u64) -> ProxyTrace {
+        let mut requests = Vec::new();
+        for s in 0..SLOTS_PER_DAY {
+            for k in 0..per_slot {
+                requests.push(Request {
+                    arrival: s as f64 * SLOT_SECONDS + k as f64,
+                    response_len: demand_len,
+                });
+            }
+        }
+        ProxyTrace { proxy: 0, requests }
+    }
+
+    #[test]
+    fn offered_work_sums_demands() {
+        let t = flat_trace(10, 100_000); // each 0.2 work-s
+        let w = offered_work_per_slot(&t, &ServiceModel::PAPER);
+        for slot_work in &w {
+            assert!((slot_work - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rho_scales_inversely_with_capacity() {
+        let t = flat_trace(10, 100_000);
+        let rho1 = peak_rho(&t, &ServiceModel::PAPER, 1.0);
+        let rho2 = peak_rho(&t, &ServiceModel::PAPER, 2.0);
+        assert!((rho1 - 2.0 * rho2).abs() < 1e-9);
+        // 2 work-s per 600 s at capacity 1 -> rho = 1/300.
+        assert!((rho1 - 2.0 / 600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_for_peak_rho_inverts_peak_rho() {
+        let t = TraceConfig::paper(30_000, 5).generate(1, 0.0).remove(0);
+        let svc = ServiceModel::PAPER;
+        let cap = capacity_for_peak_rho(&t, &svc, 1.05);
+        let rho = peak_rho(&t, &svc, cap);
+        assert!((rho - 1.05).abs() < 1e-9, "rho {rho}");
+    }
+
+    #[test]
+    fn paper_trace_peaks_at_midnight() {
+        let t = TraceConfig::paper(50_000, 5).generate(1, 0.0).remove(0);
+        let rho = rho_per_slot(&t, &ServiceModel::PAPER, 1.0);
+        let midnight: f64 = rho[..6].iter().sum();
+        let morning: f64 = rho[36..42].iter().sum();
+        assert!(midnight > 2.5 * morning, "{midnight} vs {morning}");
+    }
+
+    #[test]
+    fn mean_demand_in_expected_range() {
+        let t = TraceConfig::paper(50_000, 5).generate(1, 0.0).remove(0);
+        let m = mean_demand(&t, &ServiceModel::PAPER);
+        assert!(m > 0.10 && m < 0.25, "mean demand {m}");
+        let empty = ProxyTrace { proxy: 0, requests: vec![] };
+        assert_eq!(mean_demand(&empty, &ServiceModel::PAPER), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_target_rho_panics() {
+        let t = flat_trace(1, 1000);
+        let _ = capacity_for_peak_rho(&t, &ServiceModel::PAPER, 0.0);
+    }
+}

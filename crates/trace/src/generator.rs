@@ -1,0 +1,219 @@
+//! Trace generation: Poisson arrivals under the diurnal profile, with
+//! per-proxy time skew.
+
+use crate::lengths::ResponseLenDist;
+use crate::profile::DiurnalProfile;
+use crate::request::Request;
+use crate::slots::{wrap_day, DAY_SECONDS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How the per-proxy streams relate to each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SkewMode {
+    /// One base stream, shifted by `p · gap` seconds for proxy `p`
+    /// (wrapping the day). This matches the paper, which replays the same
+    /// averaged 24 h trace at every ISP with a time-zone offset.
+    SharedShifted,
+    /// Independent streams per proxy (different seeds), each shifted.
+    /// Useful for robustness checks.
+    IndependentShifted,
+}
+
+/// Configuration for a synthetic trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Expected number of requests per proxy per day.
+    pub requests_per_day: usize,
+    /// RNG seed (all generation is deterministic given this).
+    pub seed: u64,
+    /// Diurnal rate shape.
+    pub profile: DiurnalProfile,
+    /// Response length distribution.
+    pub lengths: ResponseLenDist,
+    /// Stream relationship across proxies.
+    pub skew_mode: SkewMode,
+}
+
+impl TraceConfig {
+    /// Paper-shaped config with the given volume and seed.
+    pub fn paper(requests_per_day: usize, seed: u64) -> Self {
+        TraceConfig {
+            requests_per_day,
+            seed,
+            profile: DiurnalProfile::paper(),
+            lengths: ResponseLenDist::web1996(),
+            skew_mode: SkewMode::SharedShifted,
+        }
+    }
+
+    /// Generate streams for `proxies` proxies with `gap` seconds of skew
+    /// between consecutive proxies. Each stream is sorted by arrival.
+    pub fn generate(&self, proxies: usize, gap: f64) -> Vec<ProxyTrace> {
+        match self.skew_mode {
+            SkewMode::SharedShifted => {
+                let base = generate_stream(self, self.seed);
+                (0..proxies)
+                    .map(|p| ProxyTrace {
+                        proxy: p,
+                        requests: shift_stream(&base, p as f64 * gap),
+                    })
+                    .collect()
+            }
+            SkewMode::IndependentShifted => (0..proxies)
+                .map(|p| {
+                    let stream = generate_stream(self, self.seed.wrapping_add(p as u64 + 1));
+                    ProxyTrace { proxy: p, requests: shift_stream(&stream, p as f64 * gap) }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One proxy's request stream for the simulated day.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProxyTrace {
+    /// Proxy index.
+    pub proxy: usize,
+    /// Requests sorted by arrival time.
+    pub requests: Vec<Request>,
+}
+
+impl ProxyTrace {
+    /// Requests per reporting slot (for Figure 5's solid line).
+    pub fn per_slot_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; crate::slots::SLOTS_PER_DAY];
+        for r in &self.requests {
+            counts[crate::slots::slot_of(r.arrival)] += 1;
+        }
+        counts
+    }
+}
+
+/// Generate one day's stream: per-second thinned Poisson arrivals under
+/// the profile, each with a sampled response length.
+fn generate_stream(cfg: &TraceConfig, seed: u64) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total_weight = cfg.profile.total_weight();
+    // rate(t) = requests_per_day * profile(t) / total_weight  [req/s]
+    let scale = cfg.requests_per_day as f64 / total_weight;
+    let peak_rate = (0..24)
+        .map(|h| cfg.profile.rate_at(h as f64 * 3600.0 + 1800.0))
+        .fold(0.0f64, f64::max)
+        * scale;
+    // Thinning: homogeneous Poisson at peak_rate, accept with
+    // rate(t)/peak_rate.
+    let mut requests = Vec::with_capacity(cfg.requests_per_day + 1024);
+    let mut t = 0.0f64;
+    loop {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        t += -u.ln() / peak_rate;
+        if t >= DAY_SECONDS {
+            break;
+        }
+        let accept = cfg.profile.rate_at(t) * scale / peak_rate;
+        if rng.gen::<f64>() < accept {
+            requests.push(Request { arrival: t, response_len: cfg.lengths.sample(&mut rng) });
+        }
+    }
+    requests
+}
+
+/// Shift every arrival by `offset` seconds, wrapping the day, and re-sort.
+fn shift_stream(base: &[Request], offset: f64) -> Vec<Request> {
+    let mut out: Vec<Request> = base
+        .iter()
+        .map(|r| Request { arrival: wrap_day(r.arrival + offset), response_len: r.response_len })
+        .collect();
+    out.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite arrivals"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slots::{slot_of, SLOTS_PER_DAY};
+
+    fn small_cfg() -> TraceConfig {
+        TraceConfig::paper(20_000, 11)
+    }
+
+    #[test]
+    fn volume_is_approximately_requested() {
+        let traces = small_cfg().generate(1, 0.0);
+        let n = traces[0].requests.len();
+        assert!(
+            (n as f64 - 20_000.0).abs() < 20_000.0 * 0.05,
+            "generated {n} requests"
+        );
+    }
+
+    #[test]
+    fn arrivals_sorted_and_in_range() {
+        let traces = small_cfg().generate(3, 3600.0);
+        for t in &traces {
+            for w in t.requests.windows(2) {
+                assert!(w[0].arrival <= w[1].arrival);
+            }
+            assert!(t.requests.iter().all(|r| (0.0..DAY_SECONDS).contains(&r.arrival)));
+        }
+    }
+
+    #[test]
+    fn diurnal_shape_visible_in_slot_counts() {
+        let traces = TraceConfig::paper(100_000, 5).generate(1, 0.0);
+        let counts = traces[0].per_slot_counts();
+        assert_eq!(counts.len(), SLOTS_PER_DAY);
+        // Midnight slots busier than 6 am slots by at least 3x.
+        let midnight: usize = counts[0..6].iter().sum();
+        let morning: usize = counts[36..42].iter().sum(); // 06:00-07:00
+        assert!(
+            midnight > morning * 3,
+            "midnight {midnight} vs morning {morning}"
+        );
+    }
+
+    #[test]
+    fn shared_shifted_streams_are_rotations() {
+        let traces = small_cfg().generate(2, 3600.0);
+        let (a, b) = (&traces[0].requests, &traces[1].requests);
+        assert_eq!(a.len(), b.len());
+        // Total per-slot counts must match after rotating 6 slots (1 h).
+        let ca = traces[0].per_slot_counts();
+        let cb = traces[1].per_slot_counts();
+        for s in 0..SLOTS_PER_DAY {
+            assert_eq!(ca[s], cb[(s + 6) % SLOTS_PER_DAY], "slot {s}");
+        }
+    }
+
+    #[test]
+    fn independent_streams_differ() {
+        let mut cfg = small_cfg();
+        cfg.skew_mode = SkewMode::IndependentShifted;
+        let traces = cfg.generate(2, 0.0);
+        assert_ne!(traces[0].requests, traces[1].requests);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_cfg().generate(2, 1800.0);
+        let b = small_cfg().generate(2, 1800.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_gap_means_identical_streams() {
+        let traces = small_cfg().generate(3, 0.0);
+        assert_eq!(traces[0].requests, traces[1].requests);
+        assert_eq!(traces[1].requests, traces[2].requests);
+    }
+
+    #[test]
+    fn per_slot_counts_total_matches() {
+        let traces = small_cfg().generate(1, 0.0);
+        let counts = traces[0].per_slot_counts();
+        assert_eq!(counts.iter().sum::<usize>(), traces[0].requests.len());
+        let _ = slot_of(0.0);
+    }
+}

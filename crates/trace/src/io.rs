@@ -1,0 +1,258 @@
+//! Trace (de)serialization: a compact binary format plus CSV export.
+//!
+//! Binary layout (little-endian):
+//!
+//! ```text
+//! magic  "AGTR"            4 bytes
+//! version u32              currently 1
+//! proxy   u32
+//! count   u64
+//! count × { arrival f64, response_len u64 }
+//! ```
+
+use crate::generator::ProxyTrace;
+use crate::request::Request;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io;
+
+const MAGIC: &[u8; 4] = b"AGTR";
+const VERSION: u32 = 1;
+
+/// Serialize one proxy trace to the binary format.
+pub fn to_bytes(trace: &ProxyTrace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + 4 + 4 + 8 + trace.requests.len() * 16);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(trace.proxy as u32);
+    buf.put_u64_le(trace.requests.len() as u64);
+    for r in &trace.requests {
+        buf.put_f64_le(r.arrival);
+        buf.put_u64_le(r.response_len);
+    }
+    buf.freeze()
+}
+
+/// Deserialize a proxy trace from the binary format.
+pub fn from_bytes(mut data: Bytes) -> io::Result<ProxyTrace> {
+    let err = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if data.remaining() < 20 {
+        return Err(err("trace too short"));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(err("bad magic"));
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(err(&format!("unsupported version {version}")));
+    }
+    let proxy = data.get_u32_le() as usize;
+    let count = data.get_u64_le() as usize;
+    if data.remaining() < count.saturating_mul(16) {
+        return Err(err("truncated trace body"));
+    }
+    let mut requests = Vec::with_capacity(count);
+    for _ in 0..count {
+        let arrival = data.get_f64_le();
+        let response_len = data.get_u64_le();
+        if !arrival.is_finite() || arrival < 0.0 {
+            return Err(err("invalid arrival time"));
+        }
+        requests.push(Request { arrival, response_len });
+    }
+    Ok(ProxyTrace { proxy, requests })
+}
+
+/// Write a trace as CSV (`arrival,response_len`), with a header row.
+pub fn to_csv(trace: &ProxyTrace) -> String {
+    let mut s = String::with_capacity(trace.requests.len() * 24 + 32);
+    s.push_str("arrival,response_len\n");
+    for r in &trace.requests {
+        s.push_str(&format!("{:.6},{}\n", r.arrival, r.response_len));
+    }
+    s
+}
+
+/// Parse the CSV produced by [`to_csv`].
+pub fn from_csv(proxy: usize, csv: &str) -> io::Result<ProxyTrace> {
+    let err = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let mut requests = Vec::new();
+    for (i, line) in csv.lines().enumerate() {
+        if i == 0 {
+            continue; // header
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(2, ',');
+        let arrival: f64 = parts
+            .next()
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| err(format!("bad arrival on line {}", i + 1)))?;
+        let response_len: u64 = parts
+            .next()
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| err(format!("bad length on line {}", i + 1)))?;
+        requests.push(Request { arrival, response_len });
+    }
+    Ok(ProxyTrace { proxy, requests })
+}
+
+/// Parse an ASCII trace in the style of the UC Berkeley Home-IP HTTP
+/// logs' common text export: whitespace-separated fields per line with
+/// the request timestamp (seconds, possibly fractional) in the first
+/// field and the response size in bytes in the last numeric field.
+/// Lines starting with `#` and blank lines are skipped; timestamps are
+/// normalized so the trace starts at 0 and are wrapped into a 24-hour
+/// day (the paper averages its 18 days into one).
+///
+/// This exists so users holding the original traces the paper used can
+/// feed them directly; the synthetic generator is the default substitute.
+pub fn from_homeip(proxy: usize, text: &str) -> io::Result<ProxyTrace> {
+    let err = |line: usize, msg: &str| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {msg}", line + 1))
+    };
+    let mut raw: Vec<(f64, u64)> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let ts: f64 = fields[0]
+            .parse()
+            .map_err(|_| err(i, "first field is not a timestamp"))?;
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(err(i, "invalid timestamp"));
+        }
+        // Last parseable unsigned field is the response size.
+        let size = fields
+            .iter()
+            .rev()
+            .find_map(|f| f.parse::<u64>().ok())
+            .ok_or_else(|| err(i, "no response size field"))?;
+        raw.push((ts, size));
+    }
+    let t0 = raw.iter().map(|&(t, _)| t).fold(f64::INFINITY, f64::min);
+    let mut requests: Vec<Request> = raw
+        .into_iter()
+        .map(|(t, size)| Request {
+            arrival: crate::slots::wrap_day(t - t0),
+            response_len: size,
+        })
+        .collect();
+    requests.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite"));
+    Ok(ProxyTrace { proxy, requests })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceConfig;
+
+    fn sample_trace() -> ProxyTrace {
+        let mut t = TraceConfig::paper(500, 3).generate(1, 0.0).remove(0);
+        t.proxy = 2;
+        t
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let t = sample_trace();
+        let bytes = to_bytes(&t);
+        let back = from_bytes(bytes).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let t = sample_trace();
+        let mut raw = to_bytes(&t).to_vec();
+        raw[0] = b'X';
+        assert!(from_bytes(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let t = sample_trace();
+        let raw = to_bytes(&t);
+        let cut = raw.slice(0..raw.len() - 8);
+        assert!(from_bytes(cut).is_err());
+        assert!(from_bytes(Bytes::from_static(b"AG")).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_bad_version() {
+        let t = sample_trace();
+        let mut raw = to_bytes(&t).to_vec();
+        raw[4] = 9;
+        assert!(from_bytes(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let t = sample_trace();
+        let csv = to_csv(&t);
+        let back = from_csv(2, &csv).unwrap();
+        assert_eq!(back.requests.len(), t.requests.len());
+        for (a, b) in back.requests.iter().zip(&t.requests) {
+            assert!((a.arrival - b.arrival).abs() < 1e-5);
+            assert_eq!(a.response_len, b.response_len);
+        }
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(from_csv(0, "arrival,response_len\nnot,a,number\n").is_err());
+        assert!(from_csv(0, "arrival,response_len\n1.5\n").is_err());
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t = ProxyTrace { proxy: 0, requests: vec![] };
+        assert_eq!(from_bytes(to_bytes(&t)).unwrap(), t);
+        assert_eq!(from_csv(0, &to_csv(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn homeip_parses_and_normalizes() {
+        let text = "\
+# comment line
+846890400.125 client42 GET http://a/b 200 5120
+846890401.500 client07 GET http://c/d 200 1024
+
+846890400.000 client99 GET http://e/f 304 64
+";
+        let t = from_homeip(3, text).unwrap();
+        assert_eq!(t.proxy, 3);
+        assert_eq!(t.requests.len(), 3);
+        // Normalized: earliest timestamp becomes 0; sorted by arrival.
+        assert_eq!(t.requests[0].arrival, 0.0);
+        assert_eq!(t.requests[0].response_len, 64);
+        assert!((t.requests[1].arrival - 0.125).abs() < 1e-9);
+        assert_eq!(t.requests[1].response_len, 5120);
+        assert!((t.requests[2].arrival - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn homeip_wraps_multi_day_timestamps() {
+        let text = "0.0 x 100\n90000.0 y 200\n"; // 90000 s > one day
+        let t = from_homeip(0, text).unwrap();
+        assert_eq!(t.requests.len(), 2);
+        assert!((t.requests[1].arrival - 3600.0).abs() < 1e-9, "wrapped");
+    }
+
+    #[test]
+    fn homeip_rejects_garbage() {
+        assert!(from_homeip(0, "notanumber field 10\n").is_err());
+        assert!(from_homeip(0, "1.5 no size here at all\n").is_err());
+        assert!(from_homeip(0, "-5.0 x 10\n").is_err());
+    }
+
+    #[test]
+    fn homeip_empty_input_is_empty_trace() {
+        let t = from_homeip(0, "# only comments\n\n").unwrap();
+        assert!(t.requests.is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! Heavy-tailed response-length distribution.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Response lengths: a lognormal body with a Pareto tail, the standard
+/// two-component model for mid-1990s web responses. Defaults are
+/// calibrated so the paper's service model (`0.1 + 1e-6·len`, cap 30 s)
+/// averages ≈ 0.11–0.13 s per request — matching the paper's statement
+/// that a 0.1 s redirection overhead is "approximately the same as the
+/// average processing time".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResponseLenDist {
+    /// Lognormal location (ln bytes).
+    pub mu: f64,
+    /// Lognormal scale.
+    pub sigma: f64,
+    /// Probability that a response is drawn from the Pareto tail instead
+    /// of the body.
+    pub tail_prob: f64,
+    /// Pareto scale (minimum tail length, bytes).
+    pub tail_xm: f64,
+    /// Pareto shape; values slightly above 1 give the classic web heavy
+    /// tail (finite mean, huge variance).
+    pub tail_alpha: f64,
+}
+
+impl ResponseLenDist {
+    /// Calibrated default (see type docs).
+    pub fn web1996() -> Self {
+        ResponseLenDist {
+            mu: 8.0,       // median ≈ 3 kB
+            sigma: 1.4,    // body mean ≈ 8 kB
+            tail_prob: 0.015,
+            tail_xm: 150_000.0,
+            tail_alpha: 1.2,
+        }
+    }
+
+    /// Sample one response length in bytes.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let len = if rng.gen::<f64>() < self.tail_prob {
+            // Pareto via inverse CDF.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            self.tail_xm / u.powf(1.0 / self.tail_alpha)
+        } else {
+            // Lognormal via Box-Muller.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen::<f64>();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (self.mu + self.sigma * z).exp()
+        };
+        // Clamp to a sane byte range (one byte to 1 GB).
+        len.clamp(1.0, 1e9) as u64
+    }
+}
+
+impl Default for ResponseLenDist {
+    fn default() -> Self {
+        Self::web1996()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{Request, ServiceModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_are_positive_and_bounded() {
+        let d = ResponseLenDist::web1996();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let len = d.sample(&mut rng);
+            assert!(len >= 1);
+            assert!(len <= 1_000_000_000);
+        }
+    }
+
+    #[test]
+    fn mean_service_time_matches_paper_claim() {
+        // The paper says the 0.1 s redirection cost is about the average
+        // processing time, i.e. the mean demand should be ≈ 0.1–0.2 s.
+        let d = ResponseLenDist::web1996();
+        let m = ServiceModel::PAPER;
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let total: f64 = (0..n)
+            .map(|_| m.demand(&Request { arrival: 0.0, response_len: d.sample(&mut rng) }))
+            .sum();
+        let mean = total / n as f64;
+        assert!(mean > 0.10 && mean < 0.25, "mean demand {mean}");
+    }
+
+    #[test]
+    fn tail_produces_capped_requests() {
+        // Some requests must hit the 30 s cap (the paper added the cap for
+        // a reason); but they must be rare.
+        let d = ResponseLenDist::web1996();
+        let m = ServiceModel::PAPER;
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 500_000;
+        let capped = (0..n)
+            .filter(|_| {
+                let len = d.sample(&mut rng);
+                m.demand(&Request { arrival: 0.0, response_len: len }) >= 30.0
+            })
+            .count();
+        assert!(capped > 0, "heavy tail must occasionally hit the cap");
+        assert!((capped as f64) < n as f64 * 0.005, "capped {capped} of {n} too common");
+    }
+
+    #[test]
+    fn median_is_a_few_kilobytes() {
+        let d = ResponseLenDist::web1996();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lens: Vec<u64> = (0..50_001).map(|_| d.sample(&mut rng)).collect();
+        lens.sort_unstable();
+        let median = lens[25_000];
+        assert!(median > 1_000 && median < 10_000, "median {median}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = ResponseLenDist::web1996();
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Diurnal load profile: relative request rates across the day.
+
+use crate::slots::DAY_SECONDS;
+use serde::{Deserialize, Serialize};
+
+/// Relative request rates over the 24-hour day, given as 24 hourly
+/// weights, linearly interpolated (wrapping) between hour centers.
+///
+/// The default reproduces the paper's Figure 5 shape for the Berkeley
+/// Home-IP population: heaviest around midnight, quietest around 06:00,
+/// with a peak-to-trough ratio ≈ 5.5.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalProfile {
+    hourly: [f64; 24],
+}
+
+/// Hourly weights, midnight first. Shape transcribed from the paper's
+/// Figure 5 solid line (requests per 10-minute slot): ≈ flat maximum
+/// 23:00–01:00, steep fall to a 05:00–07:00 trough, slow evening climb.
+const FIGURE5_HOURLY: [f64; 24] = [
+    1.00, 0.95, 0.80, 0.55, 0.35, 0.22, 0.18, 0.20, 0.28, 0.35, 0.40, 0.45,
+    0.50, 0.52, 0.55, 0.58, 0.62, 0.68, 0.75, 0.82, 0.88, 0.93, 0.97, 1.00,
+];
+
+impl DiurnalProfile {
+    /// The Figure 5 shape.
+    pub fn paper() -> Self {
+        DiurnalProfile { hourly: FIGURE5_HOURLY }
+    }
+
+    /// A flat profile (no diurnal variation) — the control case.
+    pub fn flat() -> Self {
+        DiurnalProfile { hourly: [1.0; 24] }
+    }
+
+    /// A business-hours profile (enterprise/ASP workloads, paper §1's
+    /// application-service-provider motivation): ramp from 08:00, plateau
+    /// 09:00–17:00, quiet nights. Peak-to-trough ≈ 10:1.
+    pub fn business() -> Self {
+        DiurnalProfile {
+            hourly: [
+                0.12, 0.10, 0.10, 0.10, 0.10, 0.12, 0.20, 0.45, 0.80, 1.00,
+                1.00, 0.95, 0.85, 0.95, 1.00, 1.00, 0.95, 0.80, 0.55, 0.35,
+                0.25, 0.20, 0.16, 0.14,
+            ],
+        }
+    }
+
+    /// Custom hourly weights. All must be positive and finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive or non-finite weights.
+    pub fn from_hourly(hourly: [f64; 24]) -> Self {
+        assert!(
+            hourly.iter().all(|w| w.is_finite() && *w > 0.0),
+            "hourly weights must be positive and finite"
+        );
+        DiurnalProfile { hourly }
+    }
+
+    /// Relative rate at time `t` (seconds into the day), linearly
+    /// interpolated between hour centers with wraparound.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        let t = t.rem_euclid(DAY_SECONDS);
+        let h = t / 3600.0; // fractional hour
+        // Interpolate between hour centers (h + 0.5).
+        let pos = h - 0.5;
+        let pos = if pos < 0.0 { pos + 24.0 } else { pos };
+        let i0 = pos.floor() as usize % 24;
+        let i1 = (i0 + 1) % 24;
+        let frac = pos - pos.floor();
+        self.hourly[i0] * (1.0 - frac) + self.hourly[i1] * frac
+    }
+
+    /// Integral of the rate over the whole day (in weight·seconds); used
+    /// to normalize to a target request count.
+    pub fn total_weight(&self) -> f64 {
+        self.hourly.iter().sum::<f64>() * 3600.0
+    }
+
+    /// Peak-to-trough ratio of the hourly table.
+    pub fn peak_trough_ratio(&self) -> f64 {
+        let max = self.hourly.iter().cloned().fold(f64::MIN, f64::max);
+        let min = self.hourly.iter().cloned().fold(f64::MAX, f64::min);
+        max / min
+    }
+}
+
+impl Default for DiurnalProfile {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_profile_peaks_at_midnight() {
+        let p = DiurnalProfile::paper();
+        let midnight = p.rate_at(0.0);
+        let six_am = p.rate_at(6.5 * 3600.0);
+        let noon = p.rate_at(12.5 * 3600.0);
+        assert!(midnight > noon, "{midnight} vs {noon}");
+        assert!(noon > six_am);
+        assert!(p.peak_trough_ratio() > 5.0);
+        assert!(p.peak_trough_ratio() < 6.5);
+    }
+
+    #[test]
+    fn interpolation_is_continuous_across_wrap() {
+        let p = DiurnalProfile::paper();
+        let before = p.rate_at(DAY_SECONDS - 1.0);
+        let after = p.rate_at(0.0);
+        assert!((before - after).abs() < 0.01, "{before} vs {after}");
+    }
+
+    #[test]
+    fn hour_centers_hit_table_values() {
+        let p = DiurnalProfile::paper();
+        // Hour center of hour 6 is 06:30.
+        assert!((p.rate_at(6.5 * 3600.0) - 0.18).abs() < 1e-12);
+        assert!((p.rate_at(0.5 * 3600.0) - 1.00).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_profile_is_constant() {
+        let p = DiurnalProfile::flat();
+        for h in 0..48 {
+            assert_eq!(p.rate_at(h as f64 * 1800.0), 1.0);
+        }
+        assert_eq!(p.peak_trough_ratio(), 1.0);
+    }
+
+    #[test]
+    fn total_weight_scales_with_table() {
+        let p = DiurnalProfile::flat();
+        assert!((p.total_weight() - 86_400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_rejected() {
+        let mut h = [1.0; 24];
+        h[3] = 0.0;
+        let _ = DiurnalProfile::from_hourly(h);
+    }
+
+    #[test]
+    fn business_profile_peaks_in_work_hours() {
+        let p = DiurnalProfile::business();
+        assert!(p.rate_at(10.5 * 3600.0) > 0.9);
+        assert!(p.rate_at(3.5 * 3600.0) < 0.15);
+        assert!(p.peak_trough_ratio() >= 9.0);
+    }
+
+    #[test]
+    fn negative_time_wraps() {
+        let p = DiurnalProfile::paper();
+        assert!((p.rate_at(-3600.0) - p.rate_at(23.0 * 3600.0)).abs() < 1e-12);
+    }
+}

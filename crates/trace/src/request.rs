@@ -1,0 +1,76 @@
+//! Request records and the paper's linear service-time model.
+
+use serde::{Deserialize, Serialize};
+
+/// One HTTP request in a proxy's stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Arrival time in seconds since the start of the simulated day.
+    pub arrival: f64,
+    /// Response length in bytes (drives resource demand).
+    pub response_len: u64,
+}
+
+/// The paper's per-request resource model (§4.1): a request producing a
+/// response of length `x` needs `min(a + b·x, cap)` seconds of the proxy's
+/// collapsed "general" resource.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceModel {
+    /// Fixed per-request overhead, seconds (paper: 0.1).
+    pub a: f64,
+    /// Per-byte cost, seconds (paper: 1e-6).
+    pub b: f64,
+    /// Cap preventing extreme responses from spiking waits (paper: 30).
+    pub cap: f64,
+}
+
+impl ServiceModel {
+    /// The paper's published parameters.
+    pub const PAPER: ServiceModel = ServiceModel { a: 0.1, b: 1e-6, cap: 30.0 };
+
+    /// Resource demand of a request, in seconds of server time.
+    #[inline]
+    pub fn demand(&self, req: &Request) -> f64 {
+        (self.a + self.b * req.response_len as f64).min(self.cap)
+    }
+}
+
+impl Default for ServiceModel {
+    fn default() -> Self {
+        Self::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameters() {
+        let m = ServiceModel::PAPER;
+        assert_eq!(m.a, 0.1);
+        assert_eq!(m.b, 1e-6);
+        assert_eq!(m.cap, 30.0);
+        assert_eq!(ServiceModel::default(), m);
+    }
+
+    #[test]
+    fn demand_is_linear_until_cap() {
+        let m = ServiceModel::PAPER;
+        let d = m.demand(&Request { arrival: 0.0, response_len: 0 });
+        assert!((d - 0.1).abs() < 1e-12);
+        let d = m.demand(&Request { arrival: 0.0, response_len: 100_000 });
+        assert!((d - 0.2).abs() < 1e-12);
+        // 100 MB would cost 100.1 s; capped at 30.
+        let d = m.demand(&Request { arrival: 0.0, response_len: 100_000_000 });
+        assert_eq!(d, 30.0);
+    }
+
+    #[test]
+    fn cap_boundary() {
+        let m = ServiceModel::PAPER;
+        // Exactly at the cap: a + b*x = 30 -> x = 29.9e6.
+        let d = m.demand(&Request { arrival: 0.0, response_len: 29_900_000 });
+        assert!((d - 30.0).abs() < 1e-9);
+    }
+}

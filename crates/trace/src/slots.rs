@@ -1,0 +1,50 @@
+//! Time-slot helpers: the paper reports everything per 10-minute slot of
+//! a 24-hour day.
+
+/// Seconds in the simulated day.
+pub const DAY_SECONDS: f64 = 86_400.0;
+
+/// Reporting slot width (10 minutes), as in the paper's figures.
+pub const SLOT_SECONDS: f64 = 600.0;
+
+/// Number of reporting slots per day.
+pub const SLOTS_PER_DAY: usize = (DAY_SECONDS / SLOT_SECONDS) as usize;
+
+/// The reporting slot containing time `t` (seconds, wrapped into the day).
+pub fn slot_of(t: f64) -> usize {
+    let t = t.rem_euclid(DAY_SECONDS);
+    ((t / SLOT_SECONDS) as usize).min(SLOTS_PER_DAY - 1)
+}
+
+/// Wrap an absolute time into `[0, DAY_SECONDS)`.
+pub fn wrap_day(t: f64) -> f64 {
+    t.rem_euclid(DAY_SECONDS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_consistent() {
+        assert_eq!(SLOTS_PER_DAY, 144);
+        assert_eq!(SLOT_SECONDS * SLOTS_PER_DAY as f64, DAY_SECONDS);
+    }
+
+    #[test]
+    fn slot_of_boundaries() {
+        assert_eq!(slot_of(0.0), 0);
+        assert_eq!(slot_of(599.9), 0);
+        assert_eq!(slot_of(600.0), 1);
+        assert_eq!(slot_of(86_399.9), 143);
+        assert_eq!(slot_of(86_400.0), 0, "wraps");
+        assert_eq!(slot_of(-1.0), 143, "negative wraps backwards");
+    }
+
+    #[test]
+    fn wrap_day_is_periodic() {
+        assert_eq!(wrap_day(86_400.0 + 5.0), 5.0);
+        assert_eq!(wrap_day(-5.0), 86_395.0);
+        assert_eq!(wrap_day(42.0), 42.0);
+    }
+}

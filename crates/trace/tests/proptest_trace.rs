@@ -1,0 +1,89 @@
+//! Property tests on workload generation and serialization.
+
+use agreements_trace::io;
+use agreements_trace::{
+    DiurnalProfile, ProxyTrace, Request, ResponseLenDist, SkewMode, TraceConfig,
+    DAY_SECONDS,
+};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = TraceConfig> {
+    (500usize..=5000, any::<u64>(), prop_oneof![Just(false), Just(true)]).prop_map(
+        |(requests_per_day, seed, flat)| TraceConfig {
+            requests_per_day,
+            seed,
+            profile: if flat { DiurnalProfile::flat() } else { DiurnalProfile::paper() },
+            lengths: ResponseLenDist::web1996(),
+            skew_mode: SkewMode::SharedShifted,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generated volume concentrates near the requested count (Poisson:
+    /// ±5σ), arrivals stay in-range and sorted, and generation is
+    /// deterministic.
+    #[test]
+    fn generation_is_well_formed(cfg in arb_config(), proxies in 1usize..=4) {
+        let traces = cfg.generate(proxies, 1800.0);
+        prop_assert_eq!(traces.len(), proxies);
+        for t in &traces {
+            let n = t.requests.len() as f64;
+            let expect = cfg.requests_per_day as f64;
+            prop_assert!((n - expect).abs() < 5.0 * expect.sqrt() + 10.0,
+                "volume {n} vs requested {expect}");
+            for w in t.requests.windows(2) {
+                prop_assert!(w[0].arrival <= w[1].arrival);
+            }
+            prop_assert!(t.requests.iter().all(|r|
+                (0.0..DAY_SECONDS).contains(&r.arrival) && r.response_len >= 1));
+        }
+        let again = cfg.generate(proxies, 1800.0);
+        prop_assert_eq!(traces, again);
+    }
+
+    /// Shared-shifted streams are exact rotations: same multiset of
+    /// response lengths, same request count, per-slot counts rotated.
+    #[test]
+    fn skew_preserves_content(cfg in arb_config(), slots_shift in 1usize..=24) {
+        let gap = slots_shift as f64 * 600.0;
+        let traces = cfg.generate(2, gap);
+        prop_assert_eq!(traces[0].requests.len(), traces[1].requests.len());
+        let mut l0: Vec<u64> = traces[0].requests.iter().map(|r| r.response_len).collect();
+        let mut l1: Vec<u64> = traces[1].requests.iter().map(|r| r.response_len).collect();
+        l0.sort_unstable();
+        l1.sort_unstable();
+        prop_assert_eq!(l0, l1);
+        let c0 = traces[0].per_slot_counts();
+        let c1 = traces[1].per_slot_counts();
+        for s in 0..c0.len() {
+            prop_assert_eq!(c0[s], c1[(s + slots_shift) % c0.len()]);
+        }
+    }
+
+    /// Binary serialization round-trips any generated trace exactly.
+    #[test]
+    fn binary_round_trip(cfg in arb_config()) {
+        let t = cfg.generate(1, 0.0).remove(0);
+        let back = io::from_bytes(io::to_bytes(&t)).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    /// Arbitrary (non-generated) traces also round-trip, including edge
+    /// values.
+    #[test]
+    fn binary_round_trip_arbitrary(
+        arrivals in proptest::collection::vec(0.0f64..86_400.0, 0..200),
+        lens in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let n = arrivals.len().min(lens.len());
+        let requests: Vec<Request> = (0..n)
+            .map(|i| Request { arrival: arrivals[i], response_len: lens[i] })
+            .collect();
+        let t = ProxyTrace { proxy: 3, requests };
+        let back = io::from_bytes(io::to_bytes(&t)).unwrap();
+        prop_assert_eq!(back, t);
+    }
+}

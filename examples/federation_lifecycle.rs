@@ -1,0 +1,88 @@
+//! A federation's life, end to end: partners join, negotiate package
+//! deals atomically, audit who can reach what through which chains,
+//! allocate with explanations, renegotiate, and leave — the "dynamically
+//! changing set of partners" the paper's conclusion points at.
+//!
+//! Run with: `cargo run --example federation_lifecycle` —
+//! everything here is the expression + enforcement layers; see
+//! `grm_cluster` for the same flows through the threaded runtime.
+
+use sharing_agreements::flow::{chains_between, AgreementMatrix, TransitiveFlow};
+use sharing_agreements::sched::{explain_allocation, SystemState};
+use sharing_agreements::ticket::{AgreementNature::Sharing, Economy, Op};
+
+fn main() {
+    // ---- Founding members --------------------------------------------
+    let mut eco = Economy::new();
+    let cpu = eco.add_resource("cpu-hours");
+    let uni = eco.add_principal("university");
+    let lab = eco.add_principal("research-lab");
+    let (c_uni, c_lab) = (eco.default_currency(uni), eco.default_currency(lab));
+    eco.deposit_resource(c_uni, cpu, 1000.0).unwrap();
+    eco.deposit_resource(c_lab, cpu, 400.0).unwrap();
+
+    // A bilateral package deal, atomically: 25% each way.
+    eco.apply_batch(&[
+        Op::IssueRelative { from: c_uni, to: c_lab, face: 25.0, nature: Sharing },
+        Op::IssueRelative { from: c_lab, to: c_uni, face: 25.0, nature: Sharing },
+    ])
+    .unwrap();
+    println!("founding deal struck:");
+    print!("{}", sharing_agreements::ticket::summary(&eco, cpu).unwrap());
+
+    // ---- A startup joins, funded only through the lab -----------------
+    let startup = eco.add_principal("startup");
+    let c_start = eco.default_currency(startup);
+    eco.issue_relative(c_lab, c_start, 40.0, Sharing).unwrap();
+    let report = eco.value_report(cpu).unwrap();
+    println!(
+        "\nstartup joins with no hardware; its currency is worth {:.1} cpu-hours\n\
+         (40% of the lab, which itself holds 25% of the university)",
+        report.currency_value(c_start)
+    );
+
+    // ---- Chain audit: how does the startup reach university cycles? ---
+    let mut s = AgreementMatrix::zeros(3);
+    s.set(0, 1, 0.25).unwrap(); // university -> lab
+    s.set(1, 0, 0.25).unwrap();
+    s.set(1, 2, 0.40).unwrap(); // lab -> startup
+    println!("\nchains from university (0) to startup (2):");
+    for chain in chains_between(&s, 0, 2, 2) {
+        let hops: Vec<String> = chain.nodes.iter().map(|n| n.to_string()).collect();
+        println!("  {} forwards {:.3}", hops.join(" -> "), chain.product);
+    }
+
+    // ---- Enforcement: the startup runs a job --------------------------
+    let flow = TransitiveFlow::compute(&s, 2);
+    let state = SystemState::new(flow, None, vec![1000.0, 400.0, 0.0]).unwrap();
+    let explanation = explain_allocation(&state, 2, 200.0).unwrap();
+    println!("\nstartup submits a 200 cpu-hour job:\n{explanation}");
+
+    // ---- Renegotiation: the lab halves the startup's share ------------
+    let startup_ticket = eco
+        .tickets()
+        .iter()
+        .find(|t| t.backing == c_start && t.active)
+        .map(|t| t.id)
+        .expect("startup funding ticket");
+    eco.apply_batch(&[
+        Op::Revoke { ticket: startup_ticket },
+        Op::IssueRelative { from: c_lab, to: c_start, face: 20.0, nature: Sharing },
+    ])
+    .unwrap();
+    let report = eco.value_report(cpu).unwrap();
+    println!(
+        "after renegotiation the startup's currency is worth {:.1} cpu-hours",
+        report.currency_value(c_start)
+    );
+
+    // ---- The lab leaves; the startup is stranded -----------------------
+    let mut s2 = s.clone();
+    s2.isolate(1).unwrap();
+    let flow2 = TransitiveFlow::compute(&s2, 2);
+    let state2 = SystemState::new(flow2, None, vec![1000.0, 0.0, 0.0]).unwrap();
+    match explain_allocation(&state2, 2, 10.0) {
+        Err(e) => println!("\nlab departs; startup's next job: {e}"),
+        Ok(_) => unreachable!("no chain remains"),
+    }
+}

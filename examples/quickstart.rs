@@ -1,0 +1,72 @@
+//! Quickstart: express the paper's Example 1 (Figure 1) with tickets and
+//! currencies, then enforce an allocation with the LP scheduler.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use sharing_agreements::flow::{capacities, AgreementMatrix, TransitiveFlow};
+use sharing_agreements::sched::{AllocationPolicy, LpPolicy, SystemState};
+use sharing_agreements::ticket::{AgreementNature, Economy};
+
+fn main() {
+    // ---- Expression (§2): the Figure 1 economy --------------------------
+    let mut eco = Economy::new();
+    let disk = eco.add_resource("disk-TB");
+    let a = eco.add_principal("A");
+    let b = eco.add_principal("B");
+    let c = eco.add_principal("C");
+    let d = eco.add_principal("D");
+    let (ca, cb, cc, cd) = (
+        eco.default_currency(a),
+        eco.default_currency(b),
+        eco.default_currency(c),
+        eco.default_currency(d),
+    );
+
+    // Currency denominations from the figure.
+    eco.set_face_total(ca, 1000.0).unwrap();
+    eco.set_face_total(cb, 100.0).unwrap();
+
+    // Actual resources: A owns 10 TB, B owns 15 TB (A-Ticket1, A-Ticket2).
+    eco.deposit_resource(ca, disk, 10.0).unwrap();
+    eco.deposit_resource(cb, disk, 15.0).unwrap();
+
+    // Agreements: A gives C an absolute 3 TB (R-Ticket3); A shares 50%
+    // with B (R-Ticket4, face 500 of 1000); B shares 60% with D
+    // (R-Ticket5, face 60 of 100).
+    eco.issue_absolute(ca, cc, disk, 3.0, AgreementNature::Sharing).unwrap();
+    eco.issue_relative(ca, cb, 500.0, AgreementNature::Sharing).unwrap();
+    eco.issue_relative(cb, cd, 60.0, AgreementNature::Sharing).unwrap();
+
+    let report = eco.value_report(disk).unwrap();
+    println!("Currency values (TB of disk):");
+    for (name, cur) in [("A", ca), ("B", cb), ("C", cc), ("D", cd)] {
+        println!("  {name}: {:.2}", report.currency_value(cur));
+    }
+    println!("(paper: A=10, B=20, C=3, D=12 — D's 12 TB transparently");
+    println!(" includes the transitive share of A's disk via B)\n");
+
+    // ---- Enforcement (§3): allocate under the same agreements ----------
+    // Abstract the relative agreements as a share matrix: A -> B at 50%,
+    // B -> D at 60% (indices 0..3 = A, B, C, D).
+    let mut s = AgreementMatrix::zeros(4);
+    s.set(0, 1, 0.5).unwrap();
+    s.set(1, 3, 0.6).unwrap();
+    let flow = TransitiveFlow::compute(&s, 3);
+    let avail = vec![10.0, 15.0, 0.0, 0.0];
+    let report = capacities(&flow, None, &avail);
+    println!("Reachable capacities: C_A={:.1}, C_B={:.1}, C_C={:.1}, C_D={:.1}",
+        report.capacity(0), report.capacity(1), report.capacity(2), report.capacity(3));
+
+    // D requests 10 TB; it owns nothing, so everything flows through the
+    // agreement chain. The LP picks the draw minimizing the worst
+    // capacity perturbation inflicted on others.
+    let state = SystemState::new(flow, None, avail).unwrap();
+    let alloc = LpPolicy::reduced().allocate(&state, 3, 10.0).unwrap();
+    println!("\nD requests 10 TB. LP draws:");
+    for (i, name) in ["A", "B", "C", "D"].iter().enumerate() {
+        if alloc.draws[i] > 0.0 {
+            println!("  {:.2} TB from {name}", alloc.draws[i]);
+        }
+    }
+    println!("worst capacity perturbation theta = {:.2} TB", alloc.theta);
+}

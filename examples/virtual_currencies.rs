@@ -1,0 +1,51 @@
+//! Virtual currencies (paper Example 2, Figure 2): decoupling one subset
+//! of agreements from fluctuations in another.
+//!
+//! Run with: `cargo run --example virtual_currencies`
+
+use sharing_agreements::ticket::{AgreementNature::Sharing, Economy};
+
+fn main() {
+    let mut eco = Economy::new();
+    let disk = eco.add_resource("disk-TB");
+    let a = eco.add_principal("A");
+    let b = eco.add_principal("B");
+    let c = eco.add_principal("C");
+    let d = eco.add_principal("D");
+    let ca = eco.default_currency(a);
+    let (cb, cc, cd) = (
+        eco.default_currency(b),
+        eco.default_currency(c),
+        eco.default_currency(d),
+    );
+    eco.set_face_total(ca, 1000.0).unwrap();
+    eco.deposit_resource(ca, disk, 10.0).unwrap();
+    eco.deposit_resource(cb, disk, 15.0).unwrap();
+
+    // Two virtual currencies partition A's agreements: A_1 backs C alone;
+    // A_2 backs B and D.
+    let a1 = eco.add_virtual_currency(a, "A_1");
+    let a2 = eco.add_virtual_currency(a, "A_2");
+    eco.issue_relative(ca, a1, 300.0, Sharing).unwrap(); // 30% of A
+    eco.issue_relative(ca, a2, 500.0, Sharing).unwrap(); // 50% of A
+    eco.issue_relative(a1, cc, 100.0, Sharing).unwrap(); // all of A_1
+    eco.issue_relative(a2, cd, 40.0, Sharing).unwrap();
+    eco.issue_relative(a2, cb, 60.0, Sharing).unwrap();
+
+    let v = eco.value_report(disk).unwrap();
+    println!("Before inflation of A_1:");
+    println!("  A_1={:.2}  A_2={:.2}  B={:.2}  C={:.2}  D={:.2}",
+        v.currency_value(a1), v.currency_value(a2),
+        v.currency_value(cb), v.currency_value(cc), v.currency_value(cd));
+
+    // A halves what the C-subset is worth by inflating A_1 — without
+    // touching the B/D subset.
+    eco.set_face_total(a1, 200.0).unwrap();
+    let v = eco.value_report(disk).unwrap();
+    println!("After inflating A_1's face total 100 -> 200:");
+    println!("  A_1={:.2}  A_2={:.2}  B={:.2}  C={:.2}  D={:.2}",
+        v.currency_value(a1), v.currency_value(a2),
+        v.currency_value(cb), v.currency_value(cc), v.currency_value(cd));
+    println!("C's ticket halved; B and D are untouched — the virtual");
+    println!("currency isolates the two agreement subsets.");
+}

@@ -1,0 +1,100 @@
+//! Ablation: the two readings of "end-point enforcement" for the
+//! Figure 13 baseline.
+//!
+//! - **Availability quota** (shipped default): an end point accepts at
+//!   most its agreement share of its currently *available* resources —
+//!   relative agreements are defined over available resources (§2.1).
+//!   Overflow aimed at busy neighbours bounces; the LP's global view
+//!   wins at the peak.
+//! - **Capacity quota** (`ProportionalPolicy::with_endpoint_caps`): an
+//!   end point accepts its share of raw *capacity* regardless of load.
+//!   Redirected work queues at busy owners, which then shed their own
+//!   work onward — load diffuses around the ring and the LP's edge
+//!   disappears. This reading does not reproduce the paper's Figure 13,
+//!   which is why it is not the default.
+
+use sharing_agreements::flow::{AgreementMatrix, TransitiveFlow};
+use sharing_agreements::sched::{
+    AllocationPolicy, LpPolicy, ProportionalPolicy, SystemState,
+};
+
+fn distance_decay(n: usize) -> AgreementMatrix {
+    sharing_agreements::flow::Structure::figure13(n).build().unwrap()
+}
+
+/// Availability quotas bounce overflow aimed at drained owners.
+#[test]
+fn availability_quota_bounces_at_busy_owners() {
+    let n = 10;
+    let s = distance_decay(n);
+    let flow = TransitiveFlow::compute(&s, n - 1);
+    // Requester 0 and its near neighbours (the big shares) are drained;
+    // distant owners are idle.
+    let mut avail = vec![0.0; n];
+    for (i, a) in avail.iter_mut().enumerate() {
+        *a = if i == 0 || (1..=2).contains(&i) || (8..=9).contains(&i) { 0.0 } else { 50.0 };
+    }
+    let state = SystemState::new(flow, None, avail).unwrap();
+
+    let availability_based = ProportionalPolicy::new(s.clone());
+    let placed = availability_based.allocate_up_to(&state, 0, 20.0).unwrap();
+    // Shares: 1,2,8,9 are the 20%/10% neighbours but drained -> nothing
+    // from them.
+    assert_eq!(placed.draws[1], 0.0);
+    assert_eq!(placed.draws[9], 0.0);
+    assert!(placed.amount < 20.0, "most of the proportional split bounced");
+
+    let capacity_based =
+        ProportionalPolicy::new(s).with_endpoint_caps(vec![50.0; n]);
+    let blind = capacity_based.allocate_up_to(&state, 0, 20.0).unwrap();
+    assert!(blind.draws[1] > 0.0, "blind quota accepts at the drained owner");
+    assert!(blind.amount > placed.amount);
+}
+
+/// The LP places the whole request in the same scenario by finding the
+/// distant idle owners the proportional split under-weights.
+#[test]
+fn lp_outplaces_availability_quota() {
+    let n = 10;
+    let s = distance_decay(n);
+    let flow = TransitiveFlow::compute(&s, n - 1);
+    let mut avail = vec![0.0; n];
+    for (i, a) in avail.iter_mut().enumerate() {
+        *a = if i == 0 || (1..=2).contains(&i) || (8..=9).contains(&i) { 0.0 } else { 60.0 };
+    }
+    let state = SystemState::new(flow, None, avail).unwrap();
+
+    let lp = LpPolicy::reduced().allocate_up_to(&state, 0, 20.0).unwrap();
+    let ep = ProportionalPolicy::new(s).allocate_up_to(&state, 0, 20.0).unwrap();
+    assert!(
+        lp.amount > ep.amount + 1.0,
+        "lp placed {:.2}, endpoint placed {:.2}",
+        lp.amount,
+        ep.amount
+    );
+}
+
+/// Both readings coincide when every owner is fully idle.
+#[test]
+fn quotas_coincide_at_full_idleness() {
+    let n = 4;
+    let mut s = AgreementMatrix::zeros(n);
+    for k in 1..n {
+        s.set(k, 0, 0.25).unwrap();
+    }
+    let flow = TransitiveFlow::compute(&s, 1);
+    let caps = vec![40.0; n];
+    let state = SystemState::new(flow, None, caps.clone()).unwrap();
+    let avail_based = ProportionalPolicy::new(s.clone());
+    let cap_based = ProportionalPolicy::new(s).with_endpoint_caps(caps);
+    let a = avail_based.allocate(&state, 0, 30.0).unwrap();
+    let b = cap_based.allocate(&state, 0, 30.0).unwrap();
+    for i in 0..n {
+        assert!(
+            (a.draws[i] - b.draws[i]).abs() < 1e-9,
+            "draws differ at {i}: {:?} vs {:?}",
+            a.draws,
+            b.draws
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Full circle: the web-proxy case study scheduled through a **live GRM
+//! server thread** (availability reports + allocation RPCs over
+//! channels) produces exactly the same simulation as the in-process LP
+//! policy. This is the paper's architecture claim made executable: the
+//! GRM service boundary adds no scheduling difference, only distribution.
+
+use sharing_agreements::flow::Structure;
+use sharing_agreements::grm::{GrmBackedPolicy, GrmServer};
+use sharing_agreements::proxysim::{
+    PolicyKind, SharingConfig, SimConfig, Simulator,
+};
+use sharing_agreements::trace::{ResponseLenDist, TraceConfig};
+
+#[test]
+fn simulation_through_live_grm_matches_in_process() {
+    const N: usize = 6;
+    const REQUESTS: usize = 8_000;
+    let mut tcfg = TraceConfig::paper(REQUESTS, 31);
+    tcfg.lengths = ResponseLenDist { tail_prob: 0.0, ..ResponseLenDist::web1996() };
+    let traces = tcfg.generate(N, 3600.0);
+
+    let agreements = Structure::Complete { n: N, share: 0.15 }.build().unwrap();
+    let sharing = SharingConfig {
+        agreements: agreements.clone(),
+        level: N - 1,
+        policy: PolicyKind::Lp,
+        redirect_cost: 0.0,
+    };
+    let mut cfg = SimConfig::calibrated(N, REQUESTS, 0.105, 1.04);
+    cfg.epoch = 60.0;
+    cfg.threshold_epochs = 1.0;
+    cfg = cfg.with_sharing(sharing);
+
+    // In-process LP.
+    let local = Simulator::new(cfg.clone()).unwrap().run(&traces).unwrap();
+
+    // Through the GRM service boundary.
+    let grm = GrmServer::spawn(agreements, N - 1);
+    let sim =
+        Simulator::with_policy(cfg, Box::new(GrmBackedPolicy::new(grm.handle())))
+            .unwrap();
+    let remote = sim.run(&traces).unwrap();
+    grm.shutdown();
+
+    assert!(remote.redirected > 0, "sharing actually happened");
+    assert_eq!(local.served, remote.served);
+    assert_eq!(local.redirected, remote.redirected);
+    assert_eq!(local.consultations, remote.consultations);
+    assert!(
+        (local.total_wait - remote.total_wait).abs() < 1e-6,
+        "waits diverged: local {} vs GRM {}",
+        local.total_wait,
+        remote.total_wait
+    );
+}
+
+#[test]
+fn with_policy_requires_sharing_config() {
+    let cfg = SimConfig::calibrated(2, 100, 0.1, 1.0);
+    let grm = GrmServer::spawn(
+        Structure::Complete { n: 2, share: 0.5 }.build().unwrap(),
+        1,
+    );
+    let res = Simulator::with_policy(cfg, Box::new(GrmBackedPolicy::new(grm.handle())));
+    assert!(res.is_err());
+    grm.shutdown();
+}

@@ -1,0 +1,78 @@
+//! The two-resource simulator must degenerate to the single-resource one
+//! when the network is effectively infinite: service times, thresholds,
+//! scheduling, and redirection all coincide (at unit CPU capacity the
+//! bundle unit equals a work-second).
+
+use sharing_agreements::flow::Structure;
+use sharing_agreements::proxysim::{
+    run_multires, MultiResConfig, PolicyKind, SharingConfig, SimConfig, Simulator,
+};
+use sharing_agreements::trace::{ProxyTrace, Request, ServiceModel};
+
+fn burst(proxy: usize, t0: f64, count: usize, spacing: f64, len: u64) -> ProxyTrace {
+    ProxyTrace {
+        proxy,
+        requests: (0..count)
+            .map(|i| Request { arrival: t0 + i as f64 * spacing, response_len: len })
+            .collect(),
+    }
+}
+
+fn sharing(n: usize) -> SharingConfig {
+    SharingConfig {
+        agreements: Structure::Complete { n, share: 0.4 }.build().unwrap(),
+        level: n - 1,
+        policy: PolicyKind::Lp,
+        redirect_cost: 0.0,
+    }
+}
+
+#[test]
+fn multires_degenerates_to_single_resource() {
+    const N: usize = 3;
+    let traces = vec![
+        burst(0, 0.0, 120, 1.0, 1_900_000),
+        burst(1, 30.0, 40, 2.0, 400_000),
+        burst(2, 0.0, 0, 1.0, 0),
+    ];
+
+    let single_cfg = SimConfig {
+        n: N,
+        capacity: 1.0,
+        per_proxy_capacity: None,
+        epoch: 10.0,
+        threshold_epochs: 1.0,
+        horizon_epochs: 1.0,
+        service: ServiceModel::PAPER,
+        sharing: Some(sharing(N)),
+        max_drain: 4.0 * 86_400.0,
+        warmup_days: 0,
+        record_decisions: false,
+        discipline: sharing_agreements::proxysim::QueueDiscipline::Fifo,
+    };
+    let single = Simulator::new(single_cfg).unwrap().run(&traces).unwrap();
+
+    let multi_cfg = MultiResConfig {
+        n: N,
+        cpu_capacity: 1.0,
+        net_capacity: 1e12, // network never binds
+        service: ServiceModel::PAPER,
+        epoch: 10.0,
+        threshold_epochs: 1.0,
+        sharing: Some(sharing(N)),
+        warmup_days: 0,
+        max_drain: 4.0 * 86_400.0,
+    };
+    let multi = run_multires(&multi_cfg, &traces).unwrap();
+
+    assert_eq!(single.served, multi.served);
+    assert!(single.redirected > 0, "sharing exercised");
+    assert_eq!(single.redirected, multi.redirected);
+    assert_eq!(single.consultations, multi.consultations);
+    assert!(
+        (single.total_wait - multi.total_wait).abs() < 1e-6,
+        "waits diverged: single {} vs multi {}",
+        single.total_wait,
+        multi.total_wait
+    );
+}

@@ -1,0 +1,81 @@
+//! Physical invariants of the case-study simulator that the paper's
+//! methodology depends on.
+
+use sharing_agreements::proxysim::{SimConfig, Simulator};
+use sharing_agreements::trace::{ResponseLenDist, TraceConfig};
+
+fn traces(requests: usize, gap: f64, n: usize) -> Vec<sharing_agreements::trace::ProxyTrace> {
+    let mut cfg = TraceConfig::paper(requests, 77);
+    cfg.lengths = ResponseLenDist { tail_prob: 0.0, ..ResponseLenDist::web1996() };
+    cfg.generate(n, gap)
+}
+
+/// Without sharing, every proxy replays the same day shifted in time, so
+/// in the *cyclic* steady state (one warmup day) the system-wide average
+/// wait must not depend on the skew at all. This is the invariant that
+/// justifies comparing Figure 6's gap sweep against a single no-sharing
+/// baseline — and it only holds because of the warmup day (a cold start
+/// splits the midnight peak across the day boundary differently at each
+/// skew).
+#[test]
+fn no_sharing_average_wait_is_skew_invariant() {
+    const N: usize = 4;
+    const REQUESTS: usize = 15_000;
+    let mut cfg = SimConfig::calibrated(N, REQUESTS, 0.105, 1.03);
+    cfg.epoch = 60.0;
+    let run = |gap: f64| {
+        Simulator::new(cfg.clone())
+            .unwrap()
+            .run(&traces(REQUESTS, gap, N))
+            .unwrap()
+    };
+    let baseline = run(0.0);
+    assert!(baseline.avg_wait() > 0.1, "load hot enough to queue");
+    for gap in [1800.0, 3600.0, 7200.0] {
+        let skewed = run(gap);
+        assert_eq!(baseline.served, skewed.served);
+        assert!(
+            (baseline.avg_wait() - skewed.avg_wait()).abs() < 1e-9,
+            "gap {gap}: {} vs {}",
+            baseline.avg_wait(),
+            skewed.avg_wait()
+        );
+    }
+}
+
+/// Doubling capacity can only reduce every proxy's waits.
+#[test]
+fn more_capacity_never_hurts() {
+    const N: usize = 3;
+    const REQUESTS: usize = 10_000;
+    let mut cfg = SimConfig::calibrated(N, REQUESTS, 0.105, 1.05);
+    cfg.epoch = 60.0;
+    let t = traces(REQUESTS, 3600.0, N);
+    let base = Simulator::new(cfg.clone()).unwrap().run(&t).unwrap();
+    let big = Simulator::new(cfg.with_capacity_factor(2.0)).unwrap().run(&t).unwrap();
+    assert!(big.total_wait <= base.total_wait);
+    for p in 0..N {
+        assert!(big.proxy_avg_wait(p) <= base.proxy_avg_wait(p) + 1e-9);
+    }
+}
+
+/// The warmup day changes measured waits only through queue carry-over:
+/// at trivial load, warmup on/off must agree exactly.
+#[test]
+fn warmup_is_invisible_at_light_load() {
+    const N: usize = 2;
+    const REQUESTS: usize = 2_000;
+    let t = traces(REQUESTS, 3600.0, N);
+    let mut cfg = SimConfig::calibrated(N, REQUESTS, 0.105, 0.2); // very cold
+    cfg.epoch = 60.0;
+    let with = Simulator::new(cfg.clone()).unwrap().run(&t).unwrap();
+    cfg.warmup_days = 0;
+    let without = Simulator::new(cfg).unwrap().run(&t).unwrap();
+    assert_eq!(with.served, without.served);
+    assert!(
+        (with.total_wait - without.total_wait).abs() < 1e-6,
+        "{} vs {}",
+        with.total_wait,
+        without.total_wait
+    );
+}
