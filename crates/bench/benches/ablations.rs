@@ -51,8 +51,8 @@ fn ablation_bound_mode(c: &mut Criterion) {
         let opts = SimplexOptions { bound_mode: mode, ..Default::default() };
         g.bench_function(name, |bench| {
             bench.iter(|| {
-                let a = solve_allocation(&state, 0, 10.0, Formulation::Reduced, &opts)
-                    .expect("solve");
+                let a =
+                    solve_allocation(&state, 0, 10.0, Formulation::Reduced, &opts).expect("solve");
                 black_box(a.theta)
             })
         });
@@ -86,8 +86,7 @@ fn ablation_pivot_rules(c: &mut Criterion) {
         let opts = SimplexOptions { pivot_rule: rule, ..Default::default() };
         g.bench_function(name, |bench| {
             bench.iter(|| {
-                let a = solve_allocation(&state, 0, 10.0, Formulation::Full, &opts)
-                    .expect("solve");
+                let a = solve_allocation(&state, 0, 10.0, Formulation::Full, &opts).expect("solve");
                 black_box(a.theta)
             })
         });

@@ -37,11 +37,8 @@ fn fig06_gap_sweep(c: &mut Criterion) {
     for gap in [0.0, 3600.0, 7200.0] {
         g.bench_function(format!("gap_{gap}s"), |bench| {
             bench.iter(|| {
-                let r = b::run(
-                    Some((b::complete_10pct(), b::N - 1, PolicyKind::Lp, 0.0)),
-                    gap,
-                    1.0,
-                );
+                let r =
+                    b::run(Some((b::complete_10pct(), b::N - 1, PolicyKind::Lp, 0.0)), gap, 1.0);
                 black_box(r.proxy_avg_wait(P))
             })
         });
@@ -72,11 +69,7 @@ fn fig08_transitivity_complete(c: &mut Criterion) {
     for level in [1usize, 9] {
         g.bench_function(format!("level_{level}"), |bench| {
             bench.iter(|| {
-                let r = b::run(
-                    Some((b::complete_10pct(), level, PolicyKind::Lp, 0.0)),
-                    HOUR,
-                    1.0,
-                );
+                let r = b::run(Some((b::complete_10pct(), level, PolicyKind::Lp, 0.0)), HOUR, 1.0);
                 black_box(r.proxy_avg_wait(P))
             })
         });
@@ -90,11 +83,8 @@ fn fig09_to_11_loops(c: &mut Criterion) {
         for level in [1usize, 9] {
             g.bench_function(format!("skip_{skip}_level_{level}"), |bench| {
                 bench.iter(|| {
-                    let r = b::run(
-                        Some((b::loop_80pct(skip), level, PolicyKind::Lp, 0.0)),
-                        HOUR,
-                        1.0,
-                    );
+                    let r =
+                        b::run(Some((b::loop_80pct(skip), level, PolicyKind::Lp, 0.0)), HOUR, 1.0);
                     black_box(r.proxy_avg_wait(P))
                 })
             });
@@ -108,11 +98,8 @@ fn fig12_redirect_cost(c: &mut Criterion) {
     for cost in [0.0, 0.1, 0.2] {
         g.bench_function(format!("cost_{cost}s"), |bench| {
             bench.iter(|| {
-                let r = b::run(
-                    Some((b::complete_10pct(), b::N - 1, PolicyKind::Lp, cost)),
-                    HOUR,
-                    1.0,
-                );
+                let r =
+                    b::run(Some((b::complete_10pct(), b::N - 1, PolicyKind::Lp, cost)), HOUR, 1.0);
                 black_box(r.proxy_avg_wait(P))
             })
         });

@@ -1,0 +1,83 @@
+//! The consultation hot path: stateless cold solves vs the reusable
+//! [`AllocationSolver`] — workspace reuse alone, and workspace plus warm
+//! starting — on the paper's 10-principal reduced allocation LP.
+//!
+//! The amortized solver keeps the standardized skeleton and the simplex
+//! tableau across solves and, with warm starting, resumes phase 2 from
+//! the previous optimal basis; the target is ≥ 2× over the cold path.
+
+use agreements_bench as b;
+use agreements_flow::TransitiveFlow;
+use agreements_lp::SimplexOptions;
+use agreements_sched::lp_model::{solve_allocation, Formulation};
+use agreements_sched::{AllocationSolver, SystemState};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// The same representative state as the formulation ablation: 10
+/// principals, figure-13 agreement structure, requester 0 drained.
+fn alloc_state() -> SystemState {
+    let s = agreements_flow::Structure::figure13(b::N).build().expect("structure");
+    let flow = TransitiveFlow::compute(&s, b::N - 1);
+    let avail: Vec<f64> = (0..b::N).map(|i| if i == 0 { 0.0 } else { 5.0 + i as f64 }).collect();
+    SystemState::new(flow, None, avail).expect("state")
+}
+
+/// Request amounts cycled per iteration so consecutive solves move the
+/// RHS the way real consultations do (same shape, different numbers).
+const AMOUNTS: [f64; 4] = [6.0, 8.0, 10.0, 12.0];
+
+fn bench_allocation_hot_path(c: &mut Criterion) {
+    let state = alloc_state();
+    let opts = SimplexOptions::default();
+    let mut g = c.benchmark_group("allocation_hot_path");
+
+    let mut k = 0usize;
+    g.bench_function("cold", |bench| {
+        bench.iter(|| {
+            let x = AMOUNTS[k % AMOUNTS.len()];
+            k += 1;
+            let a = solve_allocation(&state, 0, x, Formulation::Reduced, &opts).expect("solve");
+            black_box(a.theta)
+        })
+    });
+
+    let mut solver = AllocationSolver::reduced();
+    let mut k = 0usize;
+    g.bench_function("workspace", |bench| {
+        bench.iter(|| {
+            let x = AMOUNTS[k % AMOUNTS.len()];
+            k += 1;
+            let a = solver.allocate(&state, 0, x).expect("solve");
+            black_box(a.theta)
+        })
+    });
+
+    let mut warm = AllocationSolver::reduced();
+    warm.set_warm_start(true);
+    let mut k = 0usize;
+    g.bench_function("workspace_warm", |bench| {
+        bench.iter(|| {
+            let x = AMOUNTS[k % AMOUNTS.len()];
+            k += 1;
+            let a = warm.allocate(&state, 0, x).expect("solve");
+            black_box(a.theta)
+        })
+    });
+
+    // Sanity inside the harness: all three paths place the same draws.
+    let mut solver = AllocationSolver::reduced();
+    let mut warm = AllocationSolver::reduced();
+    warm.set_warm_start(true);
+    for x in AMOUNTS {
+        let cold = solve_allocation(&state, 0, x, Formulation::Reduced, &opts).unwrap();
+        let ws = solver.allocate(&state, 0, x).unwrap();
+        assert_eq!(cold.draws, ws.draws, "workspace path must be bit-identical");
+        let wm = warm.allocate(&state, 0, x).unwrap();
+        assert!((cold.theta - wm.theta).abs() < 1e-7 * (1.0 + cold.theta.abs()));
+    }
+    g.finish();
+}
+
+criterion_group!(hot_path, bench_allocation_hot_path);
+criterion_main!(hot_path);

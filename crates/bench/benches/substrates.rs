@@ -18,9 +18,8 @@ fn dense_lp(n: usize, m: usize) -> Problem {
         state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         ((state >> 33) % 1000) as f64 / 1000.0
     };
-    let vars: Vec<_> = (0..n)
-        .map(|j| p.add_var(&format!("x{j}"), 0.0, f64::INFINITY, 1.0 + next()))
-        .collect();
+    let vars: Vec<_> =
+        (0..n).map(|j| p.add_var(&format!("x{j}"), 0.0, f64::INFINITY, 1.0 + next())).collect();
     for _ in 0..m {
         let terms: Vec<_> = vars.iter().map(|&v| (v, 0.1 + next())).collect();
         p.add_constraint(&terms, Relation::Le, 5.0 + 10.0 * next());
@@ -75,16 +74,12 @@ fn transitive_flow_parallel(c: &mut Criterion) {
     let s = Structure::Complete { n: 10, share: 0.05 }.build().unwrap();
     let opts = TransitiveOptions::exact(9);
     g.bench_function("sequential_n10_closure", |bench| {
-        bench.iter(|| {
-            black_box(TransitiveFlow::compute_with(&s, &opts).coefficient(0, 9))
-        })
+        bench.iter(|| black_box(TransitiveFlow::compute_with(&s, &opts).coefficient(0, 9)))
     });
     let threads = std::thread::available_parallelism().map_or(2, |p| p.get());
     g.bench_function(format!("parallel_{threads}_n10_closure"), |bench| {
         bench.iter(|| {
-            black_box(
-                TransitiveFlow::compute_parallel(&s, &opts, threads).coefficient(0, 9),
-            )
+            black_box(TransitiveFlow::compute_parallel(&s, &opts, threads).coefficient(0, 9))
         })
     });
     g.finish();
@@ -106,9 +101,7 @@ fn trace_serialization(c: &mut Criterion) {
     let trace = TraceConfig::paper(10_000, 3).generate(1, 0.0).remove(0);
     let bytes = io::to_bytes(&trace);
     let mut g = c.benchmark_group("trace_serialization");
-    g.bench_function("encode_10k", |bench| {
-        bench.iter(|| black_box(io::to_bytes(&trace).len()))
-    });
+    g.bench_function("encode_10k", |bench| bench.iter(|| black_box(io::to_bytes(&trace).len())));
     g.bench_function("decode_10k", |bench| {
         bench.iter(|| black_box(io::from_bytes(bytes.clone()).expect("decode").requests.len()))
     });
@@ -125,12 +118,7 @@ fn simulator_throughput(c: &mut Criterion) {
         bench.iter(|| {
             black_box(
                 b::run(
-                    Some((
-                        b::complete_10pct(),
-                        b::N - 1,
-                        agreements_proxysim::PolicyKind::Lp,
-                        0.0,
-                    )),
+                    Some((b::complete_10pct(), b::N - 1, agreements_proxysim::PolicyKind::Lp, 0.0)),
                     3600.0,
                     1.0,
                 )

@@ -69,8 +69,7 @@ impl Parsed {
                 if flags.contains(&key.as_str()) {
                     out.options.insert(key, None);
                 } else {
-                    let value =
-                        iter.next().ok_or_else(|| ArgError::MissingValue(key.clone()))?;
+                    let value = iter.next().ok_or_else(|| ArgError::MissingValue(key.clone()))?;
                     out.options.insert(key, Some(value));
                 }
             } else {
@@ -157,11 +156,8 @@ mod tests {
 
     #[test]
     fn positionals_and_options() {
-        let p = Parsed::parse(
-            ["economy", "value", "--resource", "disk", "--json"],
-            &["json"],
-        )
-        .unwrap();
+        let p =
+            Parsed::parse(["economy", "value", "--resource", "disk", "--json"], &["json"]).unwrap();
         assert_eq!(p.positionals, vec!["economy", "value"]);
         assert_eq!(p.get("resource"), Some("disk"));
         assert!(p.flag("json"));

@@ -4,8 +4,8 @@
 use crate::args::{ArgError, Parsed};
 use crate::spec::{ScenarioSpec, SimSpec};
 use agreements_sched::{
-    explain_allocation, AllocationPolicy, GreedyPolicy, LpPolicy, ProportionalPolicy,
-    SchedError, SystemState,
+    explain_allocation, AllocationPolicy, GreedyPolicy, LpPolicy, ProportionalPolicy, SchedError,
+    SystemState,
 };
 use agreements_ticket::{AgreementNature, Economy, ResourceId};
 use agreements_trace::{ProxyTrace, ServiceModel, TraceConfig};
@@ -100,10 +100,7 @@ pub fn run<S: AsRef<str>>(argv: &[S]) -> Result<String, CliError> {
             Some("value") => economy_value(&parsed),
             Some("overdrawn") => economy_overdrawn(&parsed),
             Some("graph") => economy_graph(&parsed),
-            other => Err(CliError::UnknownCommand(format!(
-                "economy {}",
-                other.unwrap_or("")
-            ))),
+            other => Err(CliError::UnknownCommand(format!("economy {}", other.unwrap_or("")))),
         },
         Some("capacity") => capacity(&parsed),
         Some("chains") => chains(&parsed),
@@ -111,10 +108,7 @@ pub fn run<S: AsRef<str>>(argv: &[S]) -> Result<String, CliError> {
         Some("trace") => match pos.next() {
             Some("gen") => trace_gen(&parsed),
             Some("info") => trace_info(&parsed),
-            other => Err(CliError::UnknownCommand(format!(
-                "trace {}",
-                other.unwrap_or("")
-            ))),
+            other => Err(CliError::UnknownCommand(format!("trace {}", other.unwrap_or("")))),
         },
         Some("simulate") => simulate(&parsed),
         Some(other) => Err(CliError::UnknownCommand(other.to_string())),
@@ -159,18 +153,20 @@ fn economy_new(parsed: &Parsed) -> Result<String, CliError> {
     if let Some(deposits) = parsed.get("deposit") {
         for item in deposits.split(',') {
             let parts: Vec<&str> = item.trim().split(':').collect();
-            let bad = || CliError::Domain(format!(
-                "--deposit entry {item:?} must be PRINCIPAL:RESOURCE:AMOUNT"
-            ));
+            let bad = || {
+                CliError::Domain(format!(
+                    "--deposit entry {item:?} must be PRINCIPAL:RESOURCE:AMOUNT"
+                ))
+            };
             if parts.len() != 3 {
                 return Err(bad());
             }
-            let p = eco.find_principal(parts[0]).ok_or_else(|| {
-                CliError::Domain(format!("unknown principal {:?}", parts[0]))
-            })?;
-            let r = eco.find_resource(parts[1]).ok_or_else(|| {
-                CliError::Domain(format!("unknown resource {:?}", parts[1]))
-            })?;
+            let p = eco
+                .find_principal(parts[0])
+                .ok_or_else(|| CliError::Domain(format!("unknown principal {:?}", parts[0])))?;
+            let r = eco
+                .find_resource(parts[1])
+                .ok_or_else(|| CliError::Domain(format!("unknown resource {:?}", parts[1])))?;
             let amount: f64 = parts[2].parse().map_err(|_| bad())?;
             eco.deposit_resource(eco.default_currency(p), r, amount)
                 .map_err(|e| CliError::Domain(e.to_string()))?;
@@ -194,13 +190,9 @@ fn economy_deal(parsed: &Parsed) -> Result<String, CliError> {
     let from = lookup(from_name)?;
     let to = lookup(to_name)?;
     let face = share * eco.currency(from).map_err(|e| CliError::Domain(e.to_string()))?.face_total;
-    let nature = if parsed.flag("grant") {
-        AgreementNature::Granting
-    } else {
-        AgreementNature::Sharing
-    };
-    eco.issue_relative(from, to, face, nature)
-        .map_err(|e| CliError::Domain(e.to_string()))?;
+    let nature =
+        if parsed.flag("grant") { AgreementNature::Granting } else { AgreementNature::Sharing };
+    eco.issue_relative(from, to, face, nature).map_err(|e| CliError::Domain(e.to_string()))?;
     let json = serde_json::to_string_pretty(&eco)? + "\n";
     match parsed.get("out") {
         Some(path) => {
@@ -225,9 +217,7 @@ fn economy_value(parsed: &Parsed) -> Result<String, CliError> {
     let eco = load_economy(parsed)?;
     let ridx: usize = parsed.parse_or("resource", 0, "resource index")?;
     let resource = ResourceId::from_index(ridx);
-    let report = eco
-        .value_report(resource)
-        .map_err(|e| CliError::Domain(e.to_string()))?;
+    let report = eco.value_report(resource).map_err(|e| CliError::Domain(e.to_string()))?;
     let mut out = String::new();
     writeln!(out, "resource {} ({})", ridx, eco.resource_name(resource)).unwrap();
     writeln!(out, "{:<20} {:>12} {:>12}", "currency", "gross", "net").unwrap();
@@ -267,9 +257,9 @@ fn economy_graph(parsed: &Parsed) -> Result<String, CliError> {
     let valuation = match parsed.get("resource") {
         None => None,
         Some(raw) => {
-            let idx: usize = raw.parse().map_err(|_| {
-                CliError::Domain(format!("--resource {raw:?} is not an index"))
-            })?;
+            let idx: usize = raw
+                .parse()
+                .map_err(|_| CliError::Domain(format!("--resource {raw:?} is not an index")))?;
             Some(
                 eco.value_report(ResourceId::from_index(idx))
                     .map_err(|e| CliError::Domain(e.to_string()))?,
@@ -297,12 +287,8 @@ fn capacity(parsed: &Parsed) -> Result<String, CliError> {
     let mut out = String::new();
     writeln!(out, "{:<10} {:>14} {:>14}", "principal", "availability", "capacity").unwrap();
     for i in 0..state.n() {
-        writeln!(
-            out,
-            "{:<10} {:>14.4} {:>14.4}",
-            i, state.availability[i], report.capacity(i)
-        )
-        .unwrap();
+        writeln!(out, "{:<10} {:>14.4} {:>14.4}", i, state.availability[i], report.capacity(i))
+            .unwrap();
     }
     Ok(out)
 }
@@ -322,11 +308,7 @@ fn chains(parsed: &Parsed) -> Result<String, CliError> {
         writeln!(out, "no chains from {from} to {to} within {level} hops").unwrap();
         return Ok(out);
     }
-    writeln!(
-        out,
-        "chains from {from} (owner) to {to} (user), up to {level} hops:"
-    )
-    .unwrap();
+    writeln!(out, "chains from {from} (owner) to {to} (user), up to {level} hops:").unwrap();
     let mut total = 0.0;
     for chain in &chains {
         let route: Vec<String> = chain.nodes.iter().map(|x| x.to_string()).collect();
@@ -415,9 +397,9 @@ fn trace_info(parsed: &Parsed) -> Result<String, CliError> {
     let cap_for = agreements_trace::capacity_for_peak_rho(&trace, &svc, 1.05);
     writeln!(out, "capacity for peak rho 1.05: {cap_for:.4}").unwrap();
     if let Some(cap) = parsed.get("capacity") {
-        let cap: f64 = cap.parse().map_err(|_| {
-            CliError::Domain(format!("--capacity {cap:?} is not a number"))
-        })?;
+        let cap: f64 = cap
+            .parse()
+            .map_err(|_| CliError::Domain(format!("--capacity {cap:?} is not a number")))?;
         writeln!(
             out,
             "peak rho at capacity {cap}: {:.4}",
@@ -460,8 +442,7 @@ fn simulate(parsed: &Parsed) -> Result<String, CliError> {
         cfg = cfg.with_capacity_factor(factor);
     }
     if let Some(structure) = &spec.structure {
-        let agreements =
-            structure.build().map_err(|e| CliError::Domain(e.to_string()))?;
+        let agreements = structure.build().map_err(|e| CliError::Domain(e.to_string()))?;
         let level = spec.level.unwrap_or(spec.proxies.saturating_sub(1)).max(1);
         cfg = cfg.with_sharing(agreements_proxysim::SharingConfig {
             agreements,
@@ -470,8 +451,8 @@ fn simulate(parsed: &Parsed) -> Result<String, CliError> {
             redirect_cost: spec.redirect_cost,
         });
     }
-    let sim = agreements_proxysim::Simulator::new(cfg)
-        .map_err(|e| CliError::Domain(e.to_string()))?;
+    let sim =
+        agreements_proxysim::Simulator::new(cfg).map_err(|e| CliError::Domain(e.to_string()))?;
     let r = sim.run(&traces).map_err(|e| CliError::Domain(e.to_string()))?;
     let mut out = String::new();
     writeln!(out, "served:            {}", r.served).unwrap();
@@ -527,10 +508,7 @@ mod tests {
     #[test]
     fn unknown_commands_error() {
         assert!(matches!(run(&["bogus"]), Err(CliError::UnknownCommand(_))));
-        assert!(matches!(
-            run(&["economy", "bogus"]),
-            Err(CliError::UnknownCommand(_))
-        ));
+        assert!(matches!(run(&["economy", "bogus"]), Err(CliError::UnknownCommand(_))));
     }
 
     #[test]
@@ -538,15 +516,8 @@ mod tests {
         let json = run(&["economy", "example1"]).unwrap();
         let path = tmp("example1.json");
         std::fs::write(&path, &json).unwrap();
-        let out = run(&[
-            "economy",
-            "value",
-            "--file",
-            path.to_str().unwrap(),
-            "--resource",
-            "0",
-        ])
-        .unwrap();
+        let out = run(&["economy", "value", "--file", path.to_str().unwrap(), "--resource", "0"])
+            .unwrap();
         assert!(out.contains("disk-TB"), "{out}");
         // The Figure 1 values appear in the table.
         assert!(out.contains("20.0000"), "{out}");
@@ -556,42 +527,62 @@ mod tests {
     #[test]
     fn economy_new_and_deal_round_trip() {
         let json = run(&[
-            "economy", "new",
-            "--principals", "A, B",
-            "--resources", "cpu",
-            "--deposit", "A:cpu:10",
+            "economy",
+            "new",
+            "--principals",
+            "A, B",
+            "--resources",
+            "cpu",
+            "--deposit",
+            "A:cpu:10",
         ])
         .unwrap();
         let path = tmp("built.json");
         std::fs::write(&path, &json).unwrap();
         let out = tmp("dealt.json");
         let msg = run(&[
-            "economy", "deal",
-            "--file", path.to_str().unwrap(),
-            "--from", "A",
-            "--to", "B",
-            "--share", "0.5",
-            "--out", out.to_str().unwrap(),
+            "economy",
+            "deal",
+            "--file",
+            path.to_str().unwrap(),
+            "--from",
+            "A",
+            "--to",
+            "B",
+            "--share",
+            "0.5",
+            "--out",
+            out.to_str().unwrap(),
         ])
         .unwrap();
         assert!(msg.contains("50.0%"), "{msg}");
-        let table = run(&[
-            "economy", "value", "--file", out.to_str().unwrap(), "--resource", "0",
-        ])
-        .unwrap();
+        let table =
+            run(&["economy", "value", "--file", out.to_str().unwrap(), "--resource", "0"]).unwrap();
         assert!(table.contains("5.0000"), "B is worth half of A's 10: {table}");
     }
 
     #[test]
     fn economy_new_validates_deposits() {
         assert!(run(&[
-            "economy", "new", "--principals", "A", "--resources", "cpu",
-            "--deposit", "Z:cpu:1",
+            "economy",
+            "new",
+            "--principals",
+            "A",
+            "--resources",
+            "cpu",
+            "--deposit",
+            "Z:cpu:1",
         ])
         .is_err());
         assert!(run(&[
-            "economy", "new", "--principals", "A", "--resources", "cpu",
-            "--deposit", "A:cpu",
+            "economy",
+            "new",
+            "--principals",
+            "A",
+            "--resources",
+            "cpu",
+            "--deposit",
+            "A:cpu",
         ])
         .is_err());
     }
@@ -601,11 +592,8 @@ mod tests {
         let json = run(&["economy", "example1"]).unwrap();
         let path = tmp("example1c.json");
         std::fs::write(&path, &json).unwrap();
-        let out = run(&[
-            "economy", "graph", "--file", path.to_str().unwrap(),
-            "--resource", "0",
-        ])
-        .unwrap();
+        let out = run(&["economy", "graph", "--file", path.to_str().unwrap(), "--resource", "0"])
+            .unwrap();
         assert!(out.starts_with("digraph economy"), "{out}");
         assert!(out.contains("= 20.00"), "B's value annotated: {out}");
     }
@@ -615,8 +603,7 @@ mod tests {
         let json = run(&["economy", "example1"]).unwrap();
         let path = tmp("example1b.json");
         std::fs::write(&path, &json).unwrap();
-        let out =
-            run(&["economy", "overdrawn", "--file", path.to_str().unwrap()]).unwrap();
+        let out = run(&["economy", "overdrawn", "--file", path.to_str().unwrap()]).unwrap();
         assert!(out.contains("no overdrawn"), "{out}");
     }
 
@@ -636,14 +623,8 @@ mod tests {
     #[test]
     fn capacity_command() {
         let path = write_scenario();
-        let out = run(&[
-            "capacity",
-            "--scenario",
-            path.to_str().unwrap(),
-            "--avail",
-            "0,10,10",
-        ])
-        .unwrap();
+        let out =
+            run(&["capacity", "--scenario", path.to_str().unwrap(), "--avail", "0,10,10"]).unwrap();
         assert!(out.contains("10.0000"), "{out}");
         // Principal 0 reaches 0 + 5 + 5.
         assert!(out.lines().nth(1).unwrap().contains("10.0000"), "{out}");
@@ -652,28 +633,14 @@ mod tests {
     #[test]
     fn chains_command_audits_routes() {
         let path = write_scenario();
-        let out = run(&[
-            "chains",
-            "--scenario",
-            path.to_str().unwrap(),
-            "--from",
-            "1",
-            "--to",
-            "0",
-        ])
-        .unwrap();
+        let out =
+            run(&["chains", "--scenario", path.to_str().unwrap(), "--from", "1", "--to", "0"])
+                .unwrap();
         assert!(out.contains("1 -> 0"), "{out}");
         assert!(out.contains("0.500000"), "{out}");
-        let none = run(&[
-            "chains",
-            "--scenario",
-            path.to_str().unwrap(),
-            "--from",
-            "0",
-            "--to",
-            "1",
-        ])
-        .unwrap();
+        let none =
+            run(&["chains", "--scenario", path.to_str().unwrap(), "--from", "0", "--to", "1"])
+                .unwrap();
         assert!(none.contains("no chains"), "{none}");
     }
 
@@ -772,18 +739,10 @@ mod tests {
     #[test]
     fn trace_gen_csv_and_info_round_trip() {
         let dir = tmp("traces-csv");
-        run(&[
-            "trace", "gen", "--requests", "200", "--out",
-            dir.to_str().unwrap(), "--csv",
-        ])
-        .unwrap();
-        let info = run(&[
-            "trace",
-            "info",
-            "--file",
-            dir.join("proxy0.csv").to_str().unwrap(),
-        ])
-        .unwrap();
+        run(&["trace", "gen", "--requests", "200", "--out", dir.to_str().unwrap(), "--csv"])
+            .unwrap();
+        let info =
+            run(&["trace", "info", "--file", dir.join("proxy0.csv").to_str().unwrap()]).unwrap();
         assert!(info.contains("requests:"), "{info}");
     }
 
@@ -810,13 +769,9 @@ mod tests {
     #[test]
     fn simulate_series_prints_slots() {
         let path = tmp("sim_series.json");
-        std::fs::write(
-            &path,
-            r#"{"proxies": 2, "requests_per_day": 800, "seed": 5, "gap": 0.0}"#,
-        )
-        .unwrap();
-        let out =
-            run(&["simulate", "--spec", path.to_str().unwrap(), "--series"]).unwrap();
+        std::fs::write(&path, r#"{"proxies": 2, "requests_per_day": 800, "seed": 5, "gap": 0.0}"#)
+            .unwrap();
+        let out = run(&["simulate", "--spec", path.to_str().unwrap(), "--series"]).unwrap();
         assert!(out.contains("slot,hour,avg_wait_s"), "{out}");
         assert!(out.lines().count() > 144, "one line per slot");
     }

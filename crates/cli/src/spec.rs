@@ -171,10 +171,9 @@ mod tests {
 
     #[test]
     fn scenario_from_explicit_edges() {
-        let spec: ScenarioSpec = serde_json::from_str(
-            r#"{"n": 3, "shares": [{"from": 0, "to": 1, "share": 0.5}]}"#,
-        )
-        .unwrap();
+        let spec: ScenarioSpec =
+            serde_json::from_str(r#"{"n": 3, "shares": [{"from": 0, "to": 1, "share": 0.5}]}"#)
+                .unwrap();
         let s = spec.agreement_matrix().unwrap();
         assert_eq!(s.get(0, 1), 0.5);
         assert_eq!(spec.level(), 2);
@@ -194,20 +193,18 @@ mod tests {
 
     #[test]
     fn scenario_with_absolute() {
-        let spec: ScenarioSpec = serde_json::from_str(
-            r#"{"n": 2, "absolute": [{"from": 0, "to": 1, "amount": 3.5}]}"#,
-        )
-        .unwrap();
+        let spec: ScenarioSpec =
+            serde_json::from_str(r#"{"n": 2, "absolute": [{"from": 0, "to": 1, "amount": 3.5}]}"#)
+                .unwrap();
         let a = spec.absolute_matrix().unwrap().unwrap();
         assert_eq!(a.get(0, 1), 3.5);
     }
 
     #[test]
     fn invalid_edges_propagate() {
-        let spec: ScenarioSpec = serde_json::from_str(
-            r#"{"n": 2, "shares": [{"from": 0, "to": 0, "share": 0.5}]}"#,
-        )
-        .unwrap();
+        let spec: ScenarioSpec =
+            serde_json::from_str(r#"{"n": 2, "shares": [{"from": 0, "to": 0, "share": 0.5}]}"#)
+                .unwrap();
         assert!(spec.agreement_matrix().is_err());
     }
 
@@ -225,10 +222,9 @@ mod tests {
 
     #[test]
     fn policy_specs_round_trip() {
-        let p: PolicySpec = serde_json::from_str(
-            r#"{"kind": "cost-aware", "per_hop": 1.0, "lambda": 0.5}"#,
-        )
-        .unwrap();
+        let p: PolicySpec =
+            serde_json::from_str(r#"{"kind": "cost-aware", "per_hop": 1.0, "lambda": 0.5}"#)
+                .unwrap();
         assert!(matches!(p.to_kind(), PolicyKind::LpCostAware { .. }));
         let p: PolicySpec = serde_json::from_str(r#"{"kind": "fair-share"}"#).unwrap();
         assert!(matches!(p.to_kind(), PolicyKind::LpFairShare));

@@ -12,11 +12,7 @@ fn rich_economy() -> Economy {
     let a = eco.add_principal("A");
     let b = eco.add_principal("B");
     let c = eco.add_principal("C");
-    let (ca, cb, cc) = (
-        eco.default_currency(a),
-        eco.default_currency(b),
-        eco.default_currency(c),
-    );
+    let (ca, cb, cc) = (eco.default_currency(a), eco.default_currency(b), eco.default_currency(c));
     let a1 = eco.add_virtual_currency(a, "A_1");
     eco.set_face_total(ca, 500.0).unwrap();
     eco.deposit_resource(ca, disk, 12.0).unwrap();
@@ -80,10 +76,7 @@ fn scenario_and_sim_specs_round_trip() {
     .unwrap();
     let json = serde_json::to_string(&scenario).unwrap();
     let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
-    assert_eq!(
-        back.agreement_matrix().unwrap(),
-        scenario.agreement_matrix().unwrap()
-    );
+    assert_eq!(back.agreement_matrix().unwrap(), scenario.agreement_matrix().unwrap());
 
     let sim: SimSpec = serde_json::from_str(
         r#"{"proxies": 10, "requests_per_day": 100, "seed": 1, "gap": 0.0,
@@ -93,8 +86,5 @@ fn scenario_and_sim_specs_round_trip() {
     let json = serde_json::to_string(&sim).unwrap();
     let back: SimSpec = serde_json::from_str(&json).unwrap();
     assert_eq!(back.proxies, 10);
-    assert!(matches!(
-        back.policy.to_kind(),
-        agreements_proxysim::PolicyKind::LpCostAware { .. }
-    ));
+    assert!(matches!(back.policy.to_kind(), agreements_proxysim::PolicyKind::LpCostAware { .. }));
 }

@@ -24,8 +24,7 @@ const PEAK_RHO: f64 = 1.02;
 
 fn run(discipline: QueueDiscipline, sharing: bool) -> SimResult {
     let traces = TraceConfig::paper(REQUESTS, exp::SEED).generate(exp::N_PROXIES, exp::HOUR);
-    let mut cfg =
-        SimConfig::calibrated(exp::N_PROXIES, REQUESTS, exp::MEAN_DEMAND, PEAK_RHO);
+    let mut cfg = SimConfig::calibrated(exp::N_PROXIES, REQUESTS, exp::MEAN_DEMAND, PEAK_RHO);
     cfg.discipline = discipline;
     if sharing {
         cfg = cfg.with_sharing(SharingConfig {

@@ -10,9 +10,13 @@ use agreements_proxysim::PolicyKind;
 
 fn main() {
     let gaps = [0.0, 1800.0, 3600.0, 7200.0];
-    let results: Vec<_> = gaps
-        .iter()
-        .map(|&gap| {
+    // One job per gap plus the unshared baseline, all in parallel (each
+    // job builds its own simulator and solver; results come back in
+    // input order, so the output is identical to the sequential sweep).
+    let mut jobs: Vec<Option<f64>> = gaps.iter().copied().map(Some).collect();
+    jobs.push(None);
+    let mut runs = exp::par_map(jobs, |job| match job {
+        Some(gap) => {
             let r = exp::run_sharing(
                 exp::complete_10pct(),
                 exp::N_PROXIES - 1,
@@ -22,9 +26,11 @@ fn main() {
                 1.0,
             );
             (format!("sharing gap={gap}s"), r, gap)
-        })
-        .collect();
-    let no_sharing = exp::run_no_sharing(exp::HOUR, 1.0);
+        }
+        None => ("no-sharing".to_string(), exp::run_no_sharing(exp::HOUR, 1.0), exp::HOUR),
+    });
+    let (_, no_sharing, _) = runs.pop().expect("baseline job");
+    let results = runs;
 
     println!("# Figure 6: avg waiting time vs time skew, complete graph 10%");
     let mut series: Vec<(&str, Vec<f64>)> =
@@ -34,8 +40,7 @@ fn main() {
     }
     exp::print_series(&series);
     println!();
-    let mut cols: Vec<(&str, &agreements_proxysim::SimResult)> =
-        vec![("no-sharing", &no_sharing)];
+    let mut cols: Vec<(&str, &agreements_proxysim::SimResult)> = vec![("no-sharing", &no_sharing)];
     for (label, r, _) in &results {
         cols.push((label.as_str(), r));
     }

@@ -9,18 +9,26 @@ use agreements_proxysim::PolicyKind;
 
 fn main() {
     let factors = [1.0, 1.1, 1.2, 1.25, 1.3, 1.35, 1.5];
-    let unshared: Vec<_> = factors
-        .iter()
-        .map(|&f| (format!("no-sharing x{f}"), exp::run_no_sharing(exp::HOUR, f)))
-        .collect();
-    let shared = exp::run_sharing(
-        exp::complete_10pct(),
-        exp::N_PROXIES - 1,
-        PolicyKind::Lp,
-        exp::HOUR,
-        0.0,
-        1.0,
-    );
+    // The whole capacity ladder plus the shared reference runs in
+    // parallel; order is preserved, so the report is unchanged.
+    let mut jobs: Vec<Option<f64>> = factors.iter().copied().map(Some).collect();
+    jobs.push(None);
+    let mut runs = exp::par_map(jobs, |job| match job {
+        Some(f) => (format!("no-sharing x{f}"), exp::run_no_sharing(exp::HOUR, f)),
+        None => (
+            "sharing x1.0".to_string(),
+            exp::run_sharing(
+                exp::complete_10pct(),
+                exp::N_PROXIES - 1,
+                PolicyKind::Lp,
+                exp::HOUR,
+                0.0,
+                1.0,
+            ),
+        ),
+    });
+    let (_, shared) = runs.pop().expect("shared job");
+    let unshared = runs;
 
     println!("# Figure 7: capacity needed to match sharing");
     let mut series: Vec<(&str, Vec<f64>)> =
@@ -30,8 +38,7 @@ fn main() {
     }
     exp::print_series(&series);
     println!();
-    let mut cols: Vec<(&str, &agreements_proxysim::SimResult)> =
-        vec![("sharing x1.0", &shared)];
+    let mut cols: Vec<(&str, &agreements_proxysim::SimResult)> = vec![("sharing x1.0", &shared)];
     for (label, r) in &unshared {
         cols.push((label.as_str(), r));
     }
@@ -51,25 +58,21 @@ fn main() {
         (
             "peak-slot",
             shared.proxy_peak_slot_avg_wait(exp::PLOTTED_PROXY),
-            (|r: &agreements_proxysim::SimResult| {
-                r.proxy_peak_slot_avg_wait(exp::PLOTTED_PROXY)
-            }) as fn(&agreements_proxysim::SimResult) -> f64,
+            (|r: &agreements_proxysim::SimResult| r.proxy_peak_slot_avg_wait(exp::PLOTTED_PROXY))
+                as fn(&agreements_proxysim::SimResult) -> f64,
         ),
     ] {
-        let crossover = factors
-            .iter()
-            .zip(&unshared)
-            .find(|(_, (_, r))| pick(r) <= target)
-            .map(|(&f, _)| f);
+        let crossover =
+            factors.iter().zip(&unshared).find(|(_, (_, r))| pick(r) <= target).map(|(&f, _)| f);
         match crossover {
             Some(f) => println!(
                 "{metric}: sharing at x1.0 ({target:.2} s) is matched by no-sharing at \
                  x{f} => sharing is worth ~{:.0}% extra capacity",
                 (f - 1.0) * 100.0
             ),
-            None => println!(
-                "{metric}: no capacity factor up to x1.5 matches sharing ({target:.2} s)"
-            ),
+            None => {
+                println!("{metric}: no capacity factor up to x1.5 matches sharing ({target:.2} s)")
+            }
         }
     }
 }

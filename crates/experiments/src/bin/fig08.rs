@@ -10,21 +10,19 @@ use agreements_proxysim::PolicyKind;
 
 fn main() {
     let levels = [1usize, 2, 3, 5, 9];
-    let results: Vec<_> = levels
-        .iter()
-        .map(|&level| {
-            let r = exp::run_sharing(
-                exp::complete_10pct(),
-                level,
-                PolicyKind::Lp,
-                exp::HOUR,
-                0.0,
-                1.0,
-            );
+    // Transitivity sweep plus the unshared baseline, in parallel.
+    let mut jobs: Vec<Option<usize>> = levels.iter().copied().map(Some).collect();
+    jobs.push(None);
+    let mut runs = exp::par_map(jobs, |job| match job {
+        Some(level) => {
+            let r =
+                exp::run_sharing(exp::complete_10pct(), level, PolicyKind::Lp, exp::HOUR, 0.0, 1.0);
             (format!("level={level}"), r)
-        })
-        .collect();
-    let no_sharing = exp::run_no_sharing(exp::HOUR, 1.0);
+        }
+        None => ("no-sharing".to_string(), exp::run_no_sharing(exp::HOUR, 1.0)),
+    });
+    let (_, no_sharing) = runs.pop().expect("baseline job");
+    let results = runs;
 
     println!("# Figure 8: transitivity levels, complete graph 10%");
     let mut series: Vec<(&str, Vec<f64>)> =
@@ -34,8 +32,7 @@ fn main() {
     }
     exp::print_series(&series);
     println!();
-    let mut cols: Vec<(&str, &agreements_proxysim::SimResult)> =
-        vec![("no-sharing", &no_sharing)];
+    let mut cols: Vec<(&str, &agreements_proxysim::SimResult)> = vec![("no-sharing", &no_sharing)];
     for (label, r) in &results {
         cols.push((label.as_str(), r));
     }

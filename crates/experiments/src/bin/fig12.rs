@@ -11,26 +11,21 @@ use agreements_proxysim::PolicyKind;
 
 fn main() {
     let costs = [0.0, 0.1, 0.2];
-    let results: Vec<_> = costs
-        .iter()
-        .map(|&cost| {
-            let r = exp::run_sharing(
-                exp::complete_10pct(),
-                exp::N_PROXIES - 1,
-                PolicyKind::Lp,
-                exp::HOUR,
-                cost,
-                1.0,
-            );
-            (format!("redirect_cost={cost}s"), r)
-        })
-        .collect();
+    let results = exp::par_map(costs.to_vec(), |cost| {
+        let r = exp::run_sharing(
+            exp::complete_10pct(),
+            exp::N_PROXIES - 1,
+            PolicyKind::Lp,
+            exp::HOUR,
+            cost,
+            1.0,
+        );
+        (format!("redirect_cost={cost}s"), r)
+    });
 
     println!("# Figure 12: effect of redirection cost, complete graph 10%");
-    let series: Vec<(&str, Vec<f64>)> = results
-        .iter()
-        .map(|(l, r)| (l.as_str(), exp::local_series(r, exp::HOUR)))
-        .collect();
+    let series: Vec<(&str, Vec<f64>)> =
+        results.iter().map(|(l, r)| (l.as_str(), exp::local_series(r, exp::HOUR))).collect();
     exp::print_series(&series);
     println!();
     let cols: Vec<(&str, &agreements_proxysim::SimResult)> =

@@ -32,14 +32,8 @@ fn main() {
         0.0,
         1.0,
     );
-    let greedy = exp::run_sharing(
-        agreements,
-        exp::N_PROXIES - 1,
-        PolicyKind::Greedy,
-        exp::HOUR,
-        0.0,
-        1.0,
-    );
+    let greedy =
+        exp::run_sharing(agreements, exp::N_PROXIES - 1, PolicyKind::Greedy, exp::HOUR, 0.0, 1.0);
 
     println!("# Figure 13: LP (centralized) vs proportional end-point enforcement");
     let series = vec![

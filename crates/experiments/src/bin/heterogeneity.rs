@@ -30,10 +30,7 @@ fn main() {
     let shared = run(true);
 
     println!("# Heterogeneity: ISP {WEAK} at {WEAK_FACTOR}x capacity, others at 1x");
-    println!(
-        "{:<24} {:>14} {:>14} {:>12}",
-        "config", "weak avg_wait", "weak peak", "weak worst"
-    );
+    println!("{:<24} {:>14} {:>14} {:>12}", "config", "weak avg_wait", "weak peak", "weak worst");
     for (label, r) in [("no-sharing", &alone), ("sharing 10% LP", &shared)] {
         println!(
             "{:<24} {:>14.3} {:>14.2} {:>12.2}",
@@ -45,10 +42,7 @@ fn main() {
     }
     // The strong ISPs pay little for carrying the weak one.
     let strong_avg = |r: &SimResult| {
-        (0..exp::N_PROXIES)
-            .filter(|&p| p != WEAK)
-            .map(|p| r.proxy_avg_wait(p))
-            .sum::<f64>()
+        (0..exp::N_PROXIES).filter(|&p| p != WEAK).map(|p| r.proxy_avg_wait(p)).sum::<f64>()
             / (exp::N_PROXIES - 1) as f64
     };
     println!();

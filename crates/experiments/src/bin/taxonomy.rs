@@ -43,19 +43,11 @@ fn main() {
         ("sparse (0.3 x 3)", sparse(n, 3, 17)),
         (
             "hierarchical (5+5)",
-            Structure::Hierarchical {
-                n,
-                group_size: 5,
-                intra: (BUDGET - 0.2) / 4.0,
-                inter: 0.2,
-            }
-            .build()
-            .unwrap(),
+            Structure::Hierarchical { n, group_size: 5, intra: (BUDGET - 0.2) / 4.0, inter: 0.2 }
+                .build()
+                .unwrap(),
         ),
-        (
-            "loop skip=3 (0.9 x 1)",
-            Structure::Loop { n, share: BUDGET, skip: 3 }.build().unwrap(),
-        ),
+        ("loop skip=3 (0.9 x 1)", Structure::Loop { n, share: BUDGET, skip: 3 }.build().unwrap()),
     ];
 
     println!("# Taxonomy: structures at equal {BUDGET} share budget, LP, full transitivity");
@@ -67,8 +59,7 @@ fn main() {
         })
         .collect();
     let no_sharing = exp::run_no_sharing(exp::HOUR, 1.0);
-    let mut cols: Vec<(&str, &agreements_proxysim::SimResult)> =
-        vec![("no-sharing", &no_sharing)];
+    let mut cols: Vec<(&str, &agreements_proxysim::SimResult)> = vec![("no-sharing", &no_sharing)];
     for (name, r) in &results {
         cols.push((name, r));
     }

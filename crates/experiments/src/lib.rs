@@ -88,11 +88,8 @@ pub const PLOTTED_PROXY: usize = 9;
 /// *local* time (slot 0 = its local midnight) given the run's skew gap.
 pub fn local_series(r: &SimResult, gap: f64) -> Vec<f64> {
     let wall = r.proxy_avg_wait_series(PLOTTED_PROXY);
-    let shift_slots =
-        ((PLOTTED_PROXY as f64 * gap / 600.0) as usize) % SLOTS_PER_DAY;
-    (0..SLOTS_PER_DAY)
-        .map(|s| wall[(s + shift_slots) % SLOTS_PER_DAY])
-        .collect()
+    let shift_slots = ((PLOTTED_PROXY as f64 * gap / 600.0) as usize) % SLOTS_PER_DAY;
+    (0..SLOTS_PER_DAY).map(|s| wall[(s + shift_slots) % SLOTS_PER_DAY]).collect()
 }
 
 /// Print a CSV header plus one row per 10-minute local slot with the
@@ -133,50 +130,49 @@ pub fn print_summary(rows: &[(&str, &SimResult)]) {
     }
 }
 
+/// Apply `f` to every item on its own scoped thread and return the
+/// outputs **in input order**. This is the backbone of every figure
+/// sweep: each job builds its own `Simulator` (hence its own allocation
+/// solver, so no warm-start state crosses configurations), which makes
+/// the parallel output byte-identical to running the jobs back to back.
+pub fn par_map<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    crossbeam::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items.into_iter().map(|item| scope.spawn(move |_| f(item))).collect();
+        handles.into_iter().map(|h| h.join().expect("par_map thread")).collect()
+    })
+    .expect("par_map scope")
+}
+
 /// Run a set of simulation configurations concurrently (one scoped
 /// thread per configuration, all replaying the same traces) and return
 /// results in input order. Parameter sweeps are embarrassingly parallel;
 /// on a multi-core host this turns a figure's sweep into one
 /// wall-clock run. Single-core hosts just run them back to back.
 pub fn run_sweep(configs: Vec<SimConfig>, traces: &[ProxyTrace]) -> Vec<SimResult> {
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = configs
-            .into_iter()
-            .map(|cfg| {
-                scope.spawn(move |_| {
-                    Simulator::new(cfg)
-                        .expect("valid config")
-                        .run(traces)
-                        .expect("run")
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep thread")).collect()
-    })
-    .expect("sweep scope")
+    par_map(configs, |cfg| Simulator::new(cfg).expect("valid config").run(traces).expect("run"))
 }
 
 /// Shared driver for Figures 9, 10, and 11 (loop structures at different
 /// skips): sweeps transitivity levels and prints series + summary.
 pub fn run_loop_figure(skip: usize, figure: &str) {
     let levels = [1usize, 2, 3, 5, 9];
-    let results: Vec<_> = levels
-        .iter()
-        .map(|&level| {
-            let r = run_sharing(loop_80pct(skip), level, PolicyKind::Lp, HOUR, 0.0, 1.0);
-            (format!("level={level}"), r)
-        })
-        .collect();
+    let results: Vec<_> = par_map(levels.to_vec(), |level| {
+        let r = run_sharing(loop_80pct(skip), level, PolicyKind::Lp, HOUR, 0.0, 1.0);
+        (format!("level={level}"), r)
+    });
 
     println!("# {figure}: loop structure, 80% share, skip={skip}");
-    let series: Vec<(&str, Vec<f64>)> = results
-        .iter()
-        .map(|(l, r)| (l.as_str(), local_series(r, HOUR)))
-        .collect();
+    let series: Vec<(&str, Vec<f64>)> =
+        results.iter().map(|(l, r)| (l.as_str(), local_series(r, HOUR))).collect();
     print_series(&series);
     println!();
-    let cols: Vec<(&str, &SimResult)> =
-        results.iter().map(|(l, r)| (l.as_str(), r)).collect();
+    let cols: Vec<(&str, &SimResult)> = results.iter().map(|(l, r)| (l.as_str(), r)).collect();
     print_summary(&cols);
 }
 
@@ -211,19 +207,27 @@ mod tests {
         cfg.warmup_days = 0;
         let seq: Vec<SimResult> = vec![
             Simulator::new(cfg.clone()).unwrap().run(&traces).unwrap(),
-            Simulator::new(cfg.clone().with_capacity_factor(1.5))
-                .unwrap()
-                .run(&traces)
-                .unwrap(),
+            Simulator::new(cfg.clone().with_capacity_factor(1.5)).unwrap().run(&traces).unwrap(),
         ];
-        let par = run_sweep(
-            vec![cfg.clone(), cfg.with_capacity_factor(1.5)],
-            &traces,
-        );
+        let par = run_sweep(vec![cfg.clone(), cfg.with_capacity_factor(1.5)], &traces);
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a.served, b.served);
             assert!((a.total_wait - b.total_wait).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<usize> = (0..32).collect();
+        let out = par_map(items.clone(), |i| {
+            // Uneven work so completion order differs from input order.
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i * i
+        });
+        let expected: Vec<usize> = items.iter().map(|&i| i * i).collect();
+        assert_eq!(out, expected);
     }
 
     #[test]

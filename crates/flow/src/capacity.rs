@@ -54,11 +54,7 @@ pub fn saturated_inflow(
 ///
 /// Panics if `v.len()` differs from the flow table's dimension or, when
 /// provided, the absolute matrix's.
-pub fn capacities(
-    t: &TransitiveFlow,
-    a: Option<&AbsoluteMatrix>,
-    v: &[f64],
-) -> CapacityReport {
+pub fn capacities(t: &TransitiveFlow, a: Option<&AbsoluteMatrix>, v: &[f64]) -> CapacityReport {
     let n = t.n();
     assert_eq!(v.len(), n, "availability vector dimension mismatch");
     if let Some(m) = a {
@@ -72,9 +68,8 @@ pub fn capacities(
             }
         }
     }
-    let capacity: Vec<f64> = (0..n)
-        .map(|i| v[i] + (0..n).filter(|&k| k != i).map(|k| u[k][i]).sum::<f64>())
-        .collect();
+    let capacity: Vec<f64> =
+        (0..n).map(|i| v[i] + (0..n).filter(|&k| k != i).map(|k| u[k][i]).sum::<f64>()).collect();
     CapacityReport { capacity, u }
 }
 

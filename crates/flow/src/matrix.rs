@@ -212,10 +212,7 @@ mod tests {
         assert!(s.validate_row_sums().is_ok());
         assert!(!s.is_overdrawn());
         s.set(0, 2, 0.6).unwrap();
-        assert_eq!(
-            s.validate_row_sums(),
-            Err(FlowError::RowSumExceeded { row: 0, sum: 1.2 })
-        );
+        assert_eq!(s.validate_row_sums(), Err(FlowError::RowSumExceeded { row: 0, sum: 1.2 }));
         assert!(s.is_overdrawn());
     }
 

@@ -39,12 +39,7 @@ impl Chain {
 
 /// All simple chains from `src` to `dst` within `max_level` hops, sorted
 /// by descending product (the dominant routes first).
-pub fn chains_between(
-    s: &AgreementMatrix,
-    src: usize,
-    dst: usize,
-    max_level: usize,
-) -> Vec<Chain> {
+pub fn chains_between(s: &AgreementMatrix, src: usize, dst: usize, max_level: usize) -> Vec<Chain> {
     let n = s.n();
     if src >= n || dst >= n || src == dst {
         return Vec::new();

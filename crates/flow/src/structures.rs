@@ -212,24 +212,16 @@ mod tests {
 
     #[test]
     fn sparse_random_is_deterministic_per_seed() {
-        let a = Structure::SparseRandom { n: 8, share: 0.2, p: 0.3, seed: 7 }
-            .build()
-            .unwrap();
-        let b = Structure::SparseRandom { n: 8, share: 0.2, p: 0.3, seed: 7 }
-            .build()
-            .unwrap();
+        let a = Structure::SparseRandom { n: 8, share: 0.2, p: 0.3, seed: 7 }.build().unwrap();
+        let b = Structure::SparseRandom { n: 8, share: 0.2, p: 0.3, seed: 7 }.build().unwrap();
         assert_eq!(a, b);
-        let c = Structure::SparseRandom { n: 8, share: 0.2, p: 0.3, seed: 8 }
-            .build()
-            .unwrap();
+        let c = Structure::SparseRandom { n: 8, share: 0.2, p: 0.3, seed: 8 }.build().unwrap();
         assert_ne!(a, c, "different seed should (almost surely) differ");
     }
 
     #[test]
     fn sparse_random_rejects_bad_probability() {
-        assert!(Structure::SparseRandom { n: 4, share: 0.2, p: 1.5, seed: 0 }
-            .build()
-            .is_err());
+        assert!(Structure::SparseRandom { n: 4, share: 0.2, p: 1.5, seed: 0 }.build().is_err());
     }
 
     #[test]

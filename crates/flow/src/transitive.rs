@@ -73,11 +73,7 @@ impl TransitiveFlow {
     /// (per-source accumulation is deterministic and rows don't
     /// interact). Worth it from roughly `n ≥ 10` at full closure — the
     /// `substrates` bench quantifies the crossover.
-    pub fn compute_parallel(
-        s: &AgreementMatrix,
-        opts: &TransitiveOptions,
-        threads: usize,
-    ) -> Self {
+    pub fn compute_parallel(s: &AgreementMatrix, opts: &TransitiveOptions, threads: usize) -> Self {
         let n = s.n();
         let level = opts.max_level.min(n.saturating_sub(1)).max(1);
         let threads = threads.clamp(1, n.max(1));

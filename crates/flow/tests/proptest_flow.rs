@@ -13,12 +13,8 @@ fn arb_matrix() -> impl Strategy<Value = AgreementMatrix> {
             let mut s = AgreementMatrix::zeros(n);
             for i in 0..n {
                 let row = &raw[i * n..(i + 1) * n];
-                let total: u32 = row
-                    .iter()
-                    .enumerate()
-                    .filter(|&(j, _)| j != i)
-                    .map(|(_, &v)| v)
-                    .sum();
+                let total: u32 =
+                    row.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &v)| v).sum();
                 if total == 0 {
                     continue;
                 }

@@ -25,7 +25,6 @@
 // Index-based loops are idiomatic for the dense matrix math in this
 // crate; clippy's iterator rewrites would obscure the row/column algebra.
 #![allow(clippy::needless_range_loop)]
-
 #![warn(missing_docs)]
 
 pub mod lrm;

@@ -38,14 +38,12 @@ impl TwoLevelGrm {
         let mut member_of = vec![0usize; n];
         let mut group_grms = Vec::with_capacity(groups.len());
         for (g, members) in groups.iter().enumerate() {
-            let m = intra
-                .get(g)
-                .ok_or(SchedError::DimensionMismatch { expected: groups.len(), got: intra.len() })?;
+            let m = intra.get(g).ok_or(SchedError::DimensionMismatch {
+                expected: groups.len(),
+                got: intra.len(),
+            })?;
             if m.n() != members.len() {
-                return Err(SchedError::DimensionMismatch {
-                    expected: members.len(),
-                    got: m.n(),
-                });
+                return Err(SchedError::DimensionMismatch { expected: members.len(), got: m.n() });
             }
             for (li, &p) in members.iter().enumerate() {
                 local_index[p] = li;
@@ -106,10 +104,8 @@ impl TwoLevelGrm {
                 availability[p] = view[li];
             }
         }
-        let alloc = self
-            .sched
-            .allocate(&availability, principal, amount)
-            .map_err(GrmError::Sched)?;
+        let alloc =
+            self.sched.allocate(&availability, principal, amount).map_err(GrmError::Sched)?;
         // Commit the draws into each group GRM's view (acting as the
         // reservation directive).
         for (g, members) in self.groups.iter().enumerate() {

@@ -37,9 +37,7 @@ fn to_sched_error(e: GrmError) -> SchedError {
         // Transport failures surface as an LP iteration failure: the
         // caller treats it as "no decision this round".
         GrmError::Flow(_) | GrmError::Disconnected => {
-            SchedError::Lp(agreements_lp::LpError::InvalidModel(
-                "GRM unavailable".into(),
-            ))
+            SchedError::Lp(agreements_lp::LpError::InvalidModel("GRM unavailable".into()))
         }
     }
 }
@@ -129,9 +127,6 @@ mod tests {
         let adapter = GrmBackedPolicy::new(grm.handle());
         grm.shutdown();
         let state = SystemState::new(flow, None, vec![1.0, 1.0]).unwrap();
-        assert!(matches!(
-            adapter.allocate(&state, 0, 0.5),
-            Err(SchedError::Lp(_))
-        ));
+        assert!(matches!(adapter.allocate(&state, 0, 0.5), Err(SchedError::Lp(_))));
     }
 }

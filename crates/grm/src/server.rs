@@ -1,7 +1,7 @@
 //! The centralized global resource manager.
 
 use agreements_flow::{AgreementMatrix, FlowError, TransitiveFlow};
-use agreements_sched::{Allocation, AllocationPolicy, LpPolicy, SchedError, SystemState};
+use agreements_sched::{Allocation, AllocationSolver, SchedError, SystemState};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use std::fmt;
 use std::thread::JoinHandle;
@@ -71,9 +71,7 @@ pub struct GrmHandle {
 impl GrmHandle {
     /// Dynamic availability report (LRM -> GRM).
     pub fn report(&self, lrm: usize, available: f64) -> Result<(), GrmError> {
-        self.tx
-            .send(Msg::Report { lrm, available })
-            .map_err(|_| GrmError::Disconnected)
+        self.tx.send(Msg::Report { lrm, available }).map_err(|_| GrmError::Disconnected)
     }
 
     /// Advance the GRM's logical clock for lease-based liveness: any LRM
@@ -82,9 +80,7 @@ impl GrmHandle {
     /// not be scheduled against). The clock is supplied by the caller so
     /// tests and simulations stay deterministic.
     pub fn tick(&self, now: u64, lease: u64) -> Result<(), GrmError> {
-        self.tx
-            .send(Msg::Tick { now, lease })
-            .map_err(|_| GrmError::Disconnected)
+        self.tx.send(Msg::Tick { now, lease }).map_err(|_| GrmError::Disconnected)
     }
 
     /// A new LRM joins the federation; returns its index. It starts with
@@ -101,9 +97,7 @@ impl GrmHandle {
     /// indices remain stable.
     pub fn leave(&self, lrm: usize) -> Result<(), GrmError> {
         let (reply, rx) = bounded(1);
-        self.tx
-            .send(Msg::Leave { lrm, reply })
-            .map_err(|_| GrmError::Disconnected)?;
+        self.tx.send(Msg::Leave { lrm, reply }).map_err(|_| GrmError::Disconnected)?;
         rx.recv().map_err(|_| GrmError::Disconnected)?
     }
 
@@ -111,18 +105,14 @@ impl GrmHandle {
     /// agreements. Blocks for the decision.
     pub fn request(&self, lrm: usize, amount: f64) -> Result<Allocation, GrmError> {
         let (reply, rx) = bounded(1);
-        self.tx
-            .send(Msg::Request { lrm, amount, reply })
-            .map_err(|_| GrmError::Disconnected)?;
+        self.tx.send(Msg::Request { lrm, amount, reply }).map_err(|_| GrmError::Disconnected)?;
         rx.recv().map_err(|_| GrmError::Disconnected)?
     }
 
     /// Return a previous allocation's draws to the pool.
     pub fn release(&self, alloc: Allocation) -> Result<(), GrmError> {
         let (reply, rx) = bounded(1);
-        self.tx
-            .send(Msg::Release { alloc, reply })
-            .map_err(|_| GrmError::Disconnected)?;
+        self.tx.send(Msg::Release { alloc, reply }).map_err(|_| GrmError::Disconnected)?;
         rx.recv().map_err(|_| GrmError::Disconnected)?
     }
 
@@ -146,9 +136,7 @@ impl GrmHandle {
     /// Snapshot of the GRM's current availability view.
     pub fn availability(&self) -> Result<Vec<f64>, GrmError> {
         let (reply, rx) = bounded(1);
-        self.tx
-            .send(Msg::Availability { reply })
-            .map_err(|_| GrmError::Disconnected)?;
+        self.tx.send(Msg::Availability { reply }).map_err(|_| GrmError::Disconnected)?;
         rx.recv().map_err(|_| GrmError::Disconnected)
     }
 
@@ -208,7 +196,11 @@ fn serve(agreements: AgreementMatrix, level: usize, rx: Receiver<Msg>) {
     let mut last_report = vec![0u64; s.n()];
     let mut clock = 0u64;
     let mut stats = GrmStats::default();
-    let policy = LpPolicy::reduced();
+    // The server outlives many requests over one agreement structure, so
+    // it keeps a persistent solver (cached skeleton + workspace). Warm
+    // starting stays off: every grant must be bit-identical to the
+    // stateless LP policy, which is what the adapter tests assert.
+    let mut policy = AllocationSolver::reduced();
     while let Ok(msg) = rx.recv() {
         let n = s.n();
         match msg {

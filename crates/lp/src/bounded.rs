@@ -21,6 +21,29 @@
 //!
 //! Solves `min c·x` s.t. `A x = b`, `0 ≤ x_j ≤ u_j` (`u_j = ∞` allowed),
 //! `b ≥ 0`. Phase 1 uses artificials exactly like the row-based solver.
+//!
+//! # Workspaces and warm starts
+//!
+//! [`solve_bounded`] builds a fresh tableau per call — fine for one-off
+//! solves, wasteful in the scheduler's hot path where the same-shaped LP
+//! is solved per request. [`SimplexWorkspace`] owns every buffer the
+//! solver touches (tableau, basis, bounds, flip flags, pricing scratch);
+//! [`solve_bounded_with`] reuses them, performing **zero heap
+//! allocations** after the first solve of a given shape (outputs
+//! excepted — the returned `x`/`duals` vectors are owned by the caller).
+//! `solve_bounded` itself delegates to `solve_bounded_with` with a
+//! throwaway workspace, so the two are bit-identical by construction
+//! (property-tested anyway).
+//!
+//! With [`SimplexWorkspace::set_warm_start`] enabled, the workspace also
+//! saves the optimal basis (and bound-flip pattern) of each successful
+//! solve. The next same-shaped solve refactorizes that basis against the
+//! fresh `A`/`b` (one pivot per row, largest-pivot row choice) and, if
+//! the result is primal feasible, skips phase 1 entirely and resumes
+//! phase 2 — typically a handful of pivots when only the right-hand side
+//! moved. Any trouble (singular basis, infeasible point, a previously
+//! flipped column losing its finite bound) falls back to a cold solve,
+//! so warm starting never changes what is found, only how fast.
 
 use crate::error::LpError;
 use crate::matrix::Matrix;
@@ -39,61 +62,31 @@ pub fn solve_bounded(
     num_structural: usize,
     opts: &SimplexOptions,
 ) -> Result<StandardSolution, LpError> {
-    let m = a.len();
-    let n = if m == 0 { c.len() } else { a[0].len() };
-    debug_assert_eq!(upper.len(), n, "one upper bound per column");
-    debug_assert!(b.iter().all(|&bi| bi >= 0.0), "standard form requires b >= 0");
-    if upper.iter().any(|&u| u < 0.0 || u.is_nan()) {
-        return Err(LpError::InvalidModel("negative or NaN upper bound".into()));
-    }
-
-    if m == 0 {
-        // Minimize each variable independently over its box.
-        let mut x = vec![0.0; n];
-        let mut objective = 0.0;
-        for j in 0..n {
-            if c[j] < -opts.tol {
-                if upper[j].is_infinite() {
-                    return Err(LpError::Unbounded { column: j });
-                }
-                x[j] = upper[j];
-                objective += c[j] * upper[j];
-            }
-        }
-        return Ok(StandardSolution {
-            x,
-            objective,
-            duals: Vec::new(),
-            stats: SimplexStats::default(),
-        });
-    }
-
-    let mut tab = BoundedTableau::build(a, b, c, upper, num_structural, opts)?;
-    let stats1 = tab.phase1()?;
-    let stats2 = tab.phase2()?;
-    let x = tab.extract(n);
-    let objective: f64 = x.iter().zip(c).map(|(xj, cj)| xj * cj).sum();
-    let duals = tab.duals(m);
-    Ok(StandardSolution {
-        x,
-        objective,
-        duals,
-        stats: SimplexStats {
-            phase1_iters: stats1,
-            phase2_iters: stats2,
-            artificials: tab.num_artificial,
-            dropped_rows: 0,
-        },
-    })
+    let mut ws = SimplexWorkspace::new();
+    solve_bounded_with(&mut ws, a, b, c, upper, num_structural, opts)
 }
 
-struct BoundedTableau {
+/// Saved optimal basis for warm starting the next same-shaped solve.
+#[derive(Debug, Clone)]
+struct WarmBasis {
+    basis: Vec<usize>,
+    flipped: Vec<bool>,
+}
+
+/// Reusable buffers for [`solve_bounded_with`].
+///
+/// One workspace serves any sequence of problems; buffers grow to the
+/// largest shape seen and are then reused without reallocation. A
+/// workspace is cheap to create but not `Clone`/`Send`-shared — give
+/// each thread its own.
+#[derive(Debug)]
+pub struct SimplexWorkspace {
     /// `m × (total + 1)`; the last column is the rhs in *current*
     /// (possibly flipped) coordinates.
     t: Matrix,
     basis: Vec<usize>,
     /// Upper bound per column, in its own (unflipped) units; artificials
-    /// get ∞.
+    /// get ∞ (0 after phase 1).
     upper: Vec<f64>,
     /// Whether column `j` currently uses flipped coordinates
     /// (`x_j = u_j − x̃_j`).
@@ -103,23 +96,103 @@ struct BoundedTableau {
     marker: Vec<usize>,
     art_start: usize,
     num_artificial: usize,
-    opts: SimplexOptions,
+    // Pricing/ratio-test scratch, reused across iterations.
+    z: Vec<f64>,
+    work_cost: Vec<f64>,
+    basic: Vec<bool>,
+    art_rows: Vec<usize>,
+    assigned: Vec<bool>,
+    // Warm-start state.
+    warm_enabled: bool,
+    warm: Option<WarmBasis>,
+    /// `(m, total, num_structural)` of the last prepared model; a warm
+    /// basis is only valid against an identical shape.
+    shape: Option<(usize, usize, usize)>,
+    last_was_warm: bool,
 }
 
-impl BoundedTableau {
-    fn build(
+impl Default for SimplexWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimplexWorkspace {
+    /// An empty workspace (no buffers allocated until the first solve).
+    pub fn new() -> Self {
+        SimplexWorkspace {
+            t: Matrix::zeros(0, 0),
+            basis: Vec::new(),
+            upper: Vec::new(),
+            flipped: Vec::new(),
+            cost: Vec::new(),
+            marker: Vec::new(),
+            art_start: 0,
+            num_artificial: 0,
+            z: Vec::new(),
+            work_cost: Vec::new(),
+            basic: Vec::new(),
+            art_rows: Vec::new(),
+            assigned: Vec::new(),
+            warm_enabled: false,
+            warm: None,
+            shape: None,
+            last_was_warm: false,
+        }
+    }
+
+    /// Enable or disable warm starting. Disabling also drops any saved
+    /// basis.
+    pub fn set_warm_start(&mut self, on: bool) {
+        self.warm_enabled = on;
+        if !on {
+            self.warm = None;
+        }
+    }
+
+    /// Whether warm starting is enabled.
+    pub fn warm_start_enabled(&self) -> bool {
+        self.warm_enabled
+    }
+
+    /// Whether the most recent solve resumed from a saved basis instead
+    /// of running phase 1.
+    pub fn last_solve_was_warm(&self) -> bool {
+        self.last_was_warm
+    }
+
+    /// Drop any saved basis (the next solve will be cold).
+    pub fn invalidate_warm_start(&mut self) {
+        self.warm = None;
+    }
+
+    fn m(&self) -> usize {
+        self.t.rows()
+    }
+
+    fn total_cols(&self) -> usize {
+        self.t.cols() - 1
+    }
+
+    fn rhs(&self, i: usize) -> f64 {
+        self.t[(i, self.t.cols() - 1)]
+    }
+
+    /// Build (or rebuild) the tableau for a model, reusing all buffers.
+    fn prepare(
+        &mut self,
         a: &[Vec<f64>],
         b: &[f64],
         c: &[f64],
         upper: &[f64],
         num_structural: usize,
-        opts: &SimplexOptions,
-    ) -> Result<Self, LpError> {
+    ) -> Result<(), LpError> {
         let m = a.len();
         let n = a[0].len();
         // Slack-region unit columns with infinite bound can serve as the
         // initial basis (in our standard form slacks are unbounded).
-        let mut basis = vec![usize::MAX; m];
+        self.basis.clear();
+        self.basis.resize(m, usize::MAX);
         'col: for j in num_structural..n {
             if upper[j].is_finite() {
                 continue;
@@ -136,71 +209,66 @@ impl BoundedTableau {
                     continue 'col;
                 }
             }
-            if unit_row != usize::MAX && basis[unit_row] == usize::MAX {
-                basis[unit_row] = j;
+            if unit_row != usize::MAX && self.basis[unit_row] == usize::MAX {
+                self.basis[unit_row] = j;
             }
         }
-        let rows_needing_art: Vec<usize> =
-            (0..m).filter(|&i| basis[i] == usize::MAX).collect();
-        let num_artificial = rows_needing_art.len();
+        self.art_rows.clear();
+        self.art_rows.extend((0..m).filter(|&i| self.basis[i] == usize::MAX));
+        let num_artificial = self.art_rows.len();
         let total = n + num_artificial;
-        let mut t = Matrix::zeros(m, total + 1);
+        self.t.reset(m, total + 1);
         for i in 0..m {
-            let row = t.row_mut(i);
+            let row = self.t.row_mut(i);
             row[..n].copy_from_slice(&a[i]);
             row[total] = b[i];
         }
-        let mut marker = basis.clone();
-        for (k, &i) in rows_needing_art.iter().enumerate() {
-            t[(i, n + k)] = 1.0;
-            basis[i] = n + k;
-            marker[i] = n + k;
+        self.marker.clear();
+        self.marker.extend_from_slice(&self.basis);
+        for k in 0..num_artificial {
+            let i = self.art_rows[k];
+            self.t[(i, n + k)] = 1.0;
+            self.basis[i] = n + k;
+            self.marker[i] = n + k;
         }
-        let mut cost = vec![0.0; total];
-        cost[..n].copy_from_slice(c);
-        let mut full_upper = vec![f64::INFINITY; total];
-        full_upper[..n].copy_from_slice(upper);
-        Ok(BoundedTableau {
-            t,
-            basis,
-            upper: full_upper,
-            flipped: vec![false; total],
-            cost,
-            marker,
-            art_start: n,
-            num_artificial,
-            opts: opts.clone(),
-        })
+        self.cost.clear();
+        self.cost.extend_from_slice(c);
+        self.cost.resize(total, 0.0);
+        self.upper.clear();
+        self.upper.extend_from_slice(upper);
+        self.upper.resize(total, f64::INFINITY);
+        self.flipped.clear();
+        self.flipped.resize(total, false);
+        self.art_start = n;
+        self.num_artificial = num_artificial;
+        // Scratch sized once per shape.
+        self.z.clear();
+        self.z.resize(total, 0.0);
+        self.work_cost.clear();
+        self.work_cost.resize(total, 0.0);
+        self.basic.clear();
+        self.basic.resize(total, false);
+        self.assigned.clear();
+        self.assigned.resize(m, false);
+        self.shape = Some((m, total, num_structural));
+        Ok(())
     }
 
-    fn m(&self) -> usize {
-        self.t.rows()
-    }
-
-    fn total_cols(&self) -> usize {
-        self.t.cols() - 1
-    }
-
-    fn rhs(&self, i: usize) -> f64 {
-        self.t[(i, self.t.cols() - 1)]
-    }
-
-    /// Reduced costs in current coordinates for the given (current-
-    /// coordinate) cost vector.
-    fn reduced_costs(&self, cost: &[f64]) -> Vec<f64> {
+    /// Reduced costs for `work_cost` written into `z`.
+    fn reduced_costs_into_z(&mut self) {
         let total = self.total_cols();
-        let mut z = cost.to_vec();
+        self.z.clear();
+        self.z.extend_from_slice(&self.work_cost);
         for i in 0..self.m() {
-            let cb = cost[self.basis[i]];
+            let cb = self.work_cost[self.basis[i]];
             if cb == 0.0 {
                 continue;
             }
             let row = self.t.row(i);
             for j in 0..total {
-                z[j] -= cb * row[j];
+                self.z[j] -= cb * row[j];
             }
         }
-        z
     }
 
     /// Substitute a **nonbasic** column: `x = u − x̃`. Adjusts the rhs for
@@ -239,33 +307,28 @@ impl BoundedTableau {
         self.cost[bj] = -self.cost[bj];
     }
 
-    /// One optimization loop over the given current-coordinate costs.
-    fn optimize(
-        &mut self,
-        cost: &[f64],
-        allow: impl Fn(usize) -> bool,
-    ) -> Result<usize, LpError> {
-        let tol = self.opts.tol;
+    /// One optimization loop over `work_cost` (already loaded by the
+    /// caller). `phase2` bars artificial columns from entering.
+    fn optimize(&mut self, phase2: bool, opts: &SimplexOptions) -> Result<usize, LpError> {
+        let tol = opts.tol;
+        let art_start = self.art_start;
         let mut iters = 0usize;
-        // Phase-1 passes a cost slice that does NOT track flips (it is
-        // artificial-only and artificials never flip), so it can be used
-        // directly; phase 2 passes self.cost which flips in lockstep.
-        let mut cost = cost.to_vec();
         loop {
-            if iters >= self.opts.max_iters {
-                return Err(LpError::IterationLimit { limit: self.opts.max_iters });
+            if iters >= opts.max_iters {
+                return Err(LpError::IterationLimit { limit: opts.max_iters });
             }
-            let z = self.reduced_costs(&cost);
-            let use_bland =
-                self.opts.pivot_rule == PivotRule::Bland || iters >= self.opts.bland_after;
-            let mut basic = vec![false; self.total_cols()];
+            self.reduced_costs_into_z();
+            let use_bland = opts.pivot_rule == PivotRule::Bland || iters >= opts.bland_after;
+            for flag in self.basic.iter_mut() {
+                *flag = false;
+            }
             for &j in &self.basis {
-                basic[j] = true;
+                self.basic[j] = true;
             }
             let mut enter = usize::MAX;
             let mut best = -tol;
-            for (j, &zj) in z.iter().enumerate() {
-                if basic[j] || !allow(j) {
+            for (j, &zj) in self.z.iter().enumerate() {
+                if self.basic[j] || (phase2 && j >= art_start) {
                     continue;
                 }
                 if zj < best {
@@ -290,9 +353,7 @@ impl BoundedTableau {
                 if alpha > tol {
                     let ratio = self.rhs(i) / alpha;
                     if ratio < limit - tol
-                        || (ratio < limit + tol
-                            && leave != usize::MAX
-                            && bi < self.basis[leave])
+                        || (ratio < limit + tol && leave != usize::MAX && bi < self.basis[leave])
                     {
                         limit = ratio.max(0.0);
                         leave = i;
@@ -302,9 +363,7 @@ impl BoundedTableau {
                     let headroom = (self.upper[bi] - self.rhs(i)).max(0.0);
                     let ratio = headroom / (-alpha);
                     if ratio < limit - tol
-                        || (ratio < limit + tol
-                            && leave != usize::MAX
-                            && bi < self.basis[leave])
+                        || (ratio < limit + tol && leave != usize::MAX && bi < self.basis[leave])
                     {
                         limit = ratio.max(0.0);
                         leave = i;
@@ -321,13 +380,13 @@ impl BoundedTableau {
                 // flips in lockstep with self.cost (which flip_nonbasic
                 // toggles for phase 2's benefit).
                 self.flip_nonbasic(enter);
-                cost[enter] = -cost[enter];
+                self.work_cost[enter] = -self.work_cost[enter];
             } else {
                 if leave_at_upper {
                     // Case 3: substitute the leaving basic first.
                     let bj = self.basis[leave];
                     self.flip_basic_row(leave);
-                    cost[bj] = -cost[bj];
+                    self.work_cost[bj] = -self.work_cost[bj];
                 }
                 // Case 2/3: ordinary pivot (Gauss-Jordan handles the
                 // entering movement).
@@ -366,28 +425,27 @@ impl BoundedTableau {
         self.basis[row] = col;
     }
 
-    fn phase1(&mut self) -> Result<usize, LpError> {
+    fn phase1(&mut self, opts: &SimplexOptions) -> Result<usize, LpError> {
         if self.num_artificial == 0 {
             return Ok(0);
         }
         let total = self.total_cols();
-        let mut art_cost = vec![0.0; total];
-        for j in self.art_start..total {
-            art_cost[j] = 1.0;
+        for j in 0..total {
+            self.work_cost[j] = if j >= self.art_start { 1.0 } else { 0.0 };
         }
-        let iters = self.optimize(&art_cost, |_| true)?;
+        let iters = self.optimize(false, opts)?;
         let residual: f64 = (0..self.m())
             .filter(|&i| self.basis[i] >= self.art_start)
             .map(|i| self.rhs(i).abs())
             .sum();
-        if residual > self.opts.tol.max(1e-7) {
+        if residual > opts.tol.max(1e-7) {
             return Err(LpError::Infeasible { residual });
         }
         // Pin every artificial to zero for phase 2. Nonbasic artificials
-        // are barred from entering by `allow`, but an artificial still
-        // *basic* at level 0 could otherwise re-absorb infeasibility (its
-        // ∞ bound lets the ratio test wave moves through its row). With
-        // an upper bound of 0, the headroom test blocks any such move and
+        // are barred from entering, but an artificial still *basic* at
+        // level 0 could otherwise re-absorb infeasibility (its ∞ bound
+        // lets the ratio test wave moves through its row). With an upper
+        // bound of 0, the headroom test blocks any such move and
         // degenerate pivots push the artificial out instead.
         for j in self.art_start..self.total_cols() {
             self.upper[j] = 0.0;
@@ -395,14 +453,113 @@ impl BoundedTableau {
         Ok(iters)
     }
 
-    fn phase2(&mut self) -> Result<usize, LpError> {
-        let art_start = self.art_start;
-        let cost = self.cost.clone();
-        // optimize() mutates its local copy in lockstep with self.cost on
-        // flips; resync self.cost from extraction-relevant state is not
-        // needed because flips inside optimize() already toggled
-        // self.cost via flip_nonbasic / flip_basic_row.
-        self.optimize(&cost, |j| j < art_start)
+    fn phase2(&mut self, opts: &SimplexOptions) -> Result<usize, LpError> {
+        self.work_cost.clear();
+        let cost_snapshot_len = self.cost.len();
+        self.work_cost.resize(cost_snapshot_len, 0.0);
+        self.work_cost.copy_from_slice(&self.cost);
+        self.optimize(true, opts)
+    }
+
+    /// Try to resume from the saved basis: apply its bound flips,
+    /// refactorize one pivot per row (largest-pivot row choice among
+    /// unassigned rows), and accept only a primal-feasible result.
+    /// On `false` the tableau is dirty and must be rebuilt.
+    fn try_warm(&mut self, opts: &SimplexOptions) -> bool {
+        let Some(warm) = self.warm.take() else { return false };
+        let ok = self.apply_warm(&warm, opts);
+        self.warm = Some(warm);
+        ok
+    }
+
+    fn apply_warm(&mut self, warm: &WarmBasis, opts: &SimplexOptions) -> bool {
+        let m = self.m();
+        debug_assert_eq!(warm.basis.len(), m);
+        // Re-apply the saved flip pattern. A column that was flipped must
+        // still have a finite bound; the initial basis columns (unbounded
+        // slacks / artificials) are never flipped, so every flip target
+        // is nonbasic here.
+        for j in 0..warm.flipped.len().min(self.flipped.len()) {
+            if warm.flipped[j] && !self.flipped[j] {
+                if !self.upper[j].is_finite() {
+                    return false;
+                }
+                self.flip_nonbasic(j);
+            }
+        }
+        // Refactorize: drive each saved basic column into the basis with
+        // one pivot, choosing the largest available pivot element among
+        // rows not yet claimed. Fails only if the saved basis is singular
+        // with respect to the new constraint matrix.
+        let pivot_floor = opts.tol.max(1e-8);
+        for flag in self.assigned.iter_mut() {
+            *flag = false;
+        }
+        for &col in &warm.basis {
+            // Already basic in the right place (e.g. a slack that is part
+            // of the fresh initial basis): claim its row without a pivot.
+            if let Some(r) = (0..m).find(|&r| !self.assigned[r] && self.basis[r] == col) {
+                self.assigned[r] = true;
+                continue;
+            }
+            let mut best_row = usize::MAX;
+            let mut best_mag = pivot_floor;
+            for r in 0..m {
+                if self.assigned[r] {
+                    continue;
+                }
+                let mag = self.t[(r, col)].abs();
+                if mag > best_mag {
+                    best_row = r;
+                    best_mag = mag;
+                }
+            }
+            if best_row == usize::MAX {
+                return false;
+            }
+            self.pivot(best_row, col);
+            self.assigned[best_row] = true;
+        }
+        // Primal feasibility of the refactorized point: every basic value
+        // inside its box. Otherwise the saved basis is stale enough that
+        // a cold two-phase solve is the safe route.
+        let feas_tol = opts.tol.max(1e-7);
+        for i in 0..m {
+            let v = self.rhs(i);
+            if v < -feas_tol || v > self.upper[self.basis[i]] + feas_tol {
+                return false;
+            }
+        }
+        // Mirror the post-phase-1 state: artificials pinned to zero.
+        for j in self.art_start..self.total_cols() {
+            self.upper[j] = 0.0;
+        }
+        true
+    }
+
+    /// Save the current basis for the next warm start. Skipped if an
+    /// artificial is still basic (a warm resume could then not skip
+    /// phase 1 soundly).
+    fn save_warm(&mut self) {
+        if self.basis.iter().any(|&j| j >= self.art_start) {
+            self.warm = None;
+            return;
+        }
+        let n_cols = self.total_cols();
+        match &mut self.warm {
+            Some(w) => {
+                w.basis.clear();
+                w.basis.extend_from_slice(&self.basis);
+                w.flipped.clear();
+                w.flipped.extend_from_slice(&self.flipped[..n_cols]);
+            }
+            None => {
+                self.warm = Some(WarmBasis {
+                    basis: self.basis.clone(),
+                    flipped: self.flipped[..n_cols].to_vec(),
+                });
+            }
+        }
     }
 
     fn extract(&self, n: usize) -> Vec<f64> {
@@ -411,24 +568,119 @@ impl BoundedTableau {
             current[self.basis[i]] = self.rhs(i).max(0.0);
         }
         (0..n)
-            .map(|j| {
-                if self.flipped[j] {
-                    (self.upper[j] - current[j]).max(0.0)
-                } else {
-                    current[j]
-                }
-            })
+            .map(
+                |j| {
+                    if self.flipped[j] {
+                        (self.upper[j] - current[j]).max(0.0)
+                    } else {
+                        current[j]
+                    }
+                },
+            )
             .collect()
     }
 
-    fn duals(&self, num_input_rows: usize) -> Vec<f64> {
-        let z = self.reduced_costs(&self.cost);
-        let mut y = vec![0.0; num_input_rows];
-        for (r, yr) in y.iter_mut().enumerate() {
-            *yr = -z[self.marker[r]];
+    fn duals(&self) -> Vec<f64> {
+        // Reduced costs of the phase-2 objective; work_cost still holds
+        // it after optimize() returned optimal.
+        let total = self.total_cols();
+        let mut z: Vec<f64> = self.cost.clone();
+        for i in 0..self.m() {
+            let cb = self.cost[self.basis[i]];
+            if cb == 0.0 {
+                continue;
+            }
+            let row = self.t.row(i);
+            for j in 0..total {
+                z[j] -= cb * row[j];
+            }
         }
-        y
+        self.marker.iter().map(|&mk| -z[mk]).collect()
     }
+}
+
+/// Like [`solve_bounded`], but reusing `ws`'s buffers (and, if enabled,
+/// its saved basis for a warm start). See the module docs for the
+/// guarantees; results are bit-identical to `solve_bounded` when warm
+/// starting is off, and agree to solver tolerance when it is on.
+pub fn solve_bounded_with(
+    ws: &mut SimplexWorkspace,
+    a: &[Vec<f64>],
+    b: &[f64],
+    c: &[f64],
+    upper: &[f64],
+    num_structural: usize,
+    opts: &SimplexOptions,
+) -> Result<StandardSolution, LpError> {
+    let m = a.len();
+    let n = if m == 0 { c.len() } else { a[0].len() };
+    debug_assert_eq!(upper.len(), n, "one upper bound per column");
+    debug_assert!(b.iter().all(|&bi| bi >= 0.0), "standard form requires b >= 0");
+    ws.last_was_warm = false;
+    if upper.iter().any(|&u| u < 0.0 || u.is_nan()) {
+        return Err(LpError::InvalidModel("negative or NaN upper bound".into()));
+    }
+
+    if m == 0 {
+        // Minimize each variable independently over its box.
+        let mut x = vec![0.0; n];
+        let mut objective = 0.0;
+        for j in 0..n {
+            if c[j] < -opts.tol {
+                if upper[j].is_infinite() {
+                    return Err(LpError::Unbounded { column: j });
+                }
+                x[j] = upper[j];
+                objective += c[j] * upper[j];
+            }
+        }
+        return Ok(StandardSolution {
+            x,
+            objective,
+            duals: Vec::new(),
+            stats: SimplexStats::default(),
+        });
+    }
+
+    let prev_shape = ws.shape;
+    ws.prepare(a, b, c, upper, num_structural)?;
+    let warm_eligible = ws.warm_enabled
+        && ws.warm.is_some()
+        && prev_shape == ws.shape
+        && ws.warm.as_ref().map(|w| w.basis.len()) == Some(m);
+
+    let (stats1, stats2) = if warm_eligible && ws.try_warm(opts) {
+        ws.last_was_warm = true;
+        let s2 = ws.phase2(opts)?;
+        (0, s2)
+    } else {
+        if warm_eligible {
+            // The failed warm attempt dirtied the tableau; rebuild.
+            ws.prepare(a, b, c, upper, num_structural)?;
+        }
+        let s1 = ws.phase1(opts)?;
+        let s2 = ws.phase2(opts)?;
+        (s1, s2)
+    };
+
+    if ws.warm_enabled {
+        ws.save_warm();
+    }
+
+    let x = ws.extract(n);
+    let objective: f64 = x.iter().zip(c).map(|(xj, cj)| xj * cj).sum();
+    let duals = ws.duals();
+    Ok(StandardSolution {
+        x,
+        objective,
+        duals,
+        stats: SimplexStats {
+            phase1_iters: stats1,
+            phase2_iters: stats2,
+            artificials: ws.num_artificial,
+            dropped_rows: 0,
+        },
+    })
 }
 
 #[cfg(test)]
@@ -486,10 +738,6 @@ mod tests {
 
     #[test]
     fn basic_variable_leaves_at_upper() {
-        // min -x2 s.t. x1 + x2 + s = 8, x1 <= 5, x2 <= 6.
-        // Increase x2: at x2 = 6 it flips; but force a leave-at-upper by
-        // making x1 basic first: min -x1 - 0.1 x2 drives x1 to 5 basic,
-        // then x2's entry pushes x1... construct directly:
         // min -x1 - 2x2, x1 + x2 + s = 8, x1 <= 5, x2 <= 6:
         // optimum x2 = 6, x1 = 2 -> obj = -14.
         let a = vec![vec![1.0, 1.0, 1.0]];
@@ -520,10 +768,7 @@ mod tests {
         let a = vec![vec![1.0, 1.0]];
         let b = vec![10.0];
         let c = vec![0.0, 0.0];
-        assert!(matches!(
-            solve(&a, &b, &c, &[3.0, 3.0], 2),
-            Err(LpError::Infeasible { .. })
-        ));
+        assert!(matches!(solve(&a, &b, &c, &[3.0, 3.0], 2), Err(LpError::Infeasible { .. })));
     }
 
     #[test]
@@ -532,10 +777,7 @@ mod tests {
         let a = vec![vec![1.0, -1.0, 1.0]];
         let b = vec![1.0];
         let c = vec![-1.0, 0.0, 0.0];
-        assert!(matches!(
-            solve(&a, &b, &c, &[INF; 3], 2),
-            Err(LpError::Unbounded { .. })
-        ));
+        assert!(matches!(solve(&a, &b, &c, &[INF; 3], 2), Err(LpError::Unbounded { .. })));
     }
 
     #[test]
@@ -564,10 +806,7 @@ mod tests {
     #[test]
     fn negative_upper_bound_rejected() {
         let a = vec![vec![1.0]];
-        assert!(matches!(
-            solve(&a, &[1.0], &[0.0], &[-1.0], 1),
-            Err(LpError::InvalidModel(_))
-        ));
+        assert!(matches!(solve(&a, &[1.0], &[0.0], &[-1.0], 1), Err(LpError::InvalidModel(_))));
     }
 
     #[test]
@@ -611,5 +850,159 @@ mod tests {
         for j in 0..3 {
             assert!(s.x[j] <= 2.0 + 1e-9, "draw {} = {}", j, s.x[j]);
         }
+    }
+
+    // --- workspace & warm-start tests ---
+
+    /// The allocation-shaped LP above, parameterized by demand x, as raw
+    /// standard form.
+    #[allow(clippy::type_complexity)]
+    fn alloc_lp(x: f64) -> (Vec<Vec<f64>>, Vec<f64>, Vec<f64>, Vec<f64>) {
+        let a = vec![
+            vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0],
+            vec![1.0, 0.0, 0.0, -1.0, 1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0, -1.0, 0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0, -1.0, 0.0, 0.0, 1.0],
+        ];
+        let b = vec![x, 0.0, 0.0, 0.0];
+        let c = vec![0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0];
+        let upper = vec![5.0, 3.0, 4.0, INF, INF, INF, INF];
+        (a, b, c, upper)
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        let mut ws = SimplexWorkspace::new();
+        let opts = SimplexOptions::default();
+        for x in [6.0, 2.0, 9.0, 0.5, 11.0] {
+            let (a, b, c, u) = alloc_lp(x);
+            let fresh = solve_bounded(&a, &b, &c, &u, 4, &opts).unwrap();
+            let reused = solve_bounded_with(&mut ws, &a, &b, &c, &u, 4, &opts).unwrap();
+            assert_eq!(fresh.x, reused.x, "x mismatch at demand {x}");
+            assert_eq!(fresh.objective, reused.objective);
+            assert_eq!(fresh.duals, reused.duals);
+            assert_eq!(fresh.stats, reused.stats);
+            assert!(!ws.last_solve_was_warm());
+        }
+    }
+
+    #[test]
+    fn workspace_survives_shape_changes() {
+        let mut ws = SimplexWorkspace::new();
+        let opts = SimplexOptions::default();
+        // Big problem, then small, then big again.
+        let (a, b, c, u) = alloc_lp(6.0);
+        let s1 = solve_bounded_with(&mut ws, &a, &b, &c, &u, 4, &opts).unwrap();
+        let small_a = vec![vec![1.0, 1.0]];
+        let s2 =
+            solve_bounded_with(&mut ws, &small_a, &[10.0], &[-1.0, 0.0], &[4.0, INF], 1, &opts)
+                .unwrap();
+        assert!((s2.objective + 4.0).abs() < 1e-9);
+        let s3 = solve_bounded_with(&mut ws, &a, &b, &c, &u, 4, &opts).unwrap();
+        assert_eq!(s1.x, s3.x);
+        assert_eq!(s1.objective, s3.objective);
+    }
+
+    #[test]
+    fn warm_start_matches_cold_across_rhs_sweep() {
+        let mut warm_ws = SimplexWorkspace::new();
+        warm_ws.set_warm_start(true);
+        let opts = SimplexOptions::default();
+        let mut warm_hits = 0;
+        for i in 0..40 {
+            let x = 0.25 + (i as f64) * 0.29; // sweeps 0.25 ..= ~11.5
+            let (a, b, c, u) = alloc_lp(x.min(11.9));
+            let cold = solve_bounded(&a, &b, &c, &u, 4, &opts);
+            let warm = solve_bounded_with(&mut warm_ws, &a, &b, &c, &u, 4, &opts);
+            match (cold, warm) {
+                (Ok(cs), Ok(ws_sol)) => {
+                    assert!(
+                        (cs.objective - ws_sol.objective).abs() < 1e-9,
+                        "objective: cold {} warm {} at x={x}",
+                        cs.objective,
+                        ws_sol.objective
+                    );
+                    for (xc, xw) in cs.x.iter().zip(&ws_sol.x) {
+                        assert!((xc - xw).abs() < 1e-7, "x: cold {xc} warm {xw} at x={x}");
+                    }
+                    if warm_ws.last_solve_was_warm() {
+                        warm_hits += 1;
+                    }
+                }
+                (Err(ce), Err(we)) => {
+                    assert_eq!(
+                        std::mem::discriminant(&ce),
+                        std::mem::discriminant(&we),
+                        "error kind mismatch at x={x}"
+                    );
+                }
+                (c, w) => panic!("cold/warm disagreement at x={x}: {c:?} vs {w:?}"),
+            }
+        }
+        assert!(warm_hits > 20, "warm starts should dominate the sweep: {warm_hits}/40");
+    }
+
+    #[test]
+    fn warm_start_skips_phase1_when_resumed() {
+        let mut ws = SimplexWorkspace::new();
+        ws.set_warm_start(true);
+        let opts = SimplexOptions::default();
+        let (a, b, c, u) = alloc_lp(6.0);
+        let first = solve_bounded_with(&mut ws, &a, &b, &c, &u, 4, &opts).unwrap();
+        assert!(first.stats.artificials > 0, "equality row needs an artificial");
+        assert!(!ws.last_solve_was_warm(), "first solve is cold");
+        let (a2, b2, c2, u2) = alloc_lp(6.3);
+        let second = solve_bounded_with(&mut ws, &a2, &b2, &c2, &u2, 4, &opts).unwrap();
+        assert!(ws.last_solve_was_warm(), "second solve should warm start");
+        assert_eq!(second.stats.phase1_iters, 0);
+        let sum: f64 = second.x[..3].iter().sum();
+        assert!((sum - 6.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_falls_back_on_shape_change() {
+        let mut ws = SimplexWorkspace::new();
+        ws.set_warm_start(true);
+        let opts = SimplexOptions::default();
+        let (a, b, c, u) = alloc_lp(6.0);
+        solve_bounded_with(&mut ws, &a, &b, &c, &u, 4, &opts).unwrap();
+        // Different shape: must cold-solve and still be correct.
+        let small_a = vec![vec![1.0, 1.0]];
+        let s = solve_bounded_with(&mut ws, &small_a, &[10.0], &[-1.0, 0.0], &[4.0, INF], 1, &opts)
+            .unwrap();
+        assert!(!ws.last_solve_was_warm());
+        assert!((s.objective + 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_handles_infeasible_transition() {
+        let mut ws = SimplexWorkspace::new();
+        ws.set_warm_start(true);
+        let opts = SimplexOptions::default();
+        // Feasible, then infeasible with the same shape, then feasible.
+        let a = vec![vec![1.0, 1.0]];
+        let c = vec![0.0, 0.0];
+        let u = vec![3.0, 3.0];
+        assert!(solve_bounded_with(&mut ws, &a, &[5.0], &c, &u, 2, &opts).is_ok());
+        assert!(matches!(
+            solve_bounded_with(&mut ws, &a, &[10.0], &c, &u, 2, &opts),
+            Err(LpError::Infeasible { .. })
+        ));
+        let back = solve_bounded_with(&mut ws, &a, &[4.0], &c, &u, 2, &opts).unwrap();
+        let total: f64 = back.x.iter().sum();
+        assert!((total - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabling_warm_start_clears_saved_basis() {
+        let mut ws = SimplexWorkspace::new();
+        ws.set_warm_start(true);
+        let opts = SimplexOptions::default();
+        let (a, b, c, u) = alloc_lp(6.0);
+        solve_bounded_with(&mut ws, &a, &b, &c, &u, 4, &opts).unwrap();
+        ws.set_warm_start(false);
+        assert!(!ws.warm_start_enabled());
+        solve_bounded_with(&mut ws, &a, &b, &c, &u, 4, &opts).unwrap();
+        assert!(!ws.last_solve_was_warm());
     }
 }

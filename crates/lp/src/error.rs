@@ -67,13 +67,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            LpError::Unbounded { column: 1 },
-            LpError::Unbounded { column: 1 }
-        );
-        assert_ne!(
-            LpError::Unbounded { column: 1 },
-            LpError::Unbounded { column: 2 }
-        );
+        assert_eq!(LpError::Unbounded { column: 1 }, LpError::Unbounded { column: 1 });
+        assert_ne!(LpError::Unbounded { column: 1 }, LpError::Unbounded { column: 2 });
     }
 }

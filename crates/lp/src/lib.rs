@@ -32,7 +32,6 @@
 // Index-based loops are idiomatic for the dense matrix math in this
 // crate; clippy's iterator rewrites would obscure the row/column algebra.
 #![allow(clippy::needless_range_loop)]
-
 #![warn(missing_docs)]
 
 pub mod bounded;
@@ -41,7 +40,7 @@ pub mod matrix;
 pub mod problem;
 pub mod simplex;
 
-pub use bounded::solve_bounded;
+pub use bounded::{solve_bounded, solve_bounded_with, SimplexWorkspace};
 pub use error::LpError;
 pub use matrix::{Matrix, Vector};
 pub use problem::{ConstraintId, Problem, Relation, Sense, Solution, VarId};

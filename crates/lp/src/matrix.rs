@@ -53,6 +53,16 @@ impl Matrix {
         m
     }
 
+    /// Re-shape in place to `rows × cols`, zero-filled. Keeps the backing
+    /// allocation when capacity suffices, so repeated solves of
+    /// same-shaped problems never touch the allocator.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Create a matrix from a nested slice of rows. All rows must have the
     /// same length.
     ///

@@ -118,11 +118,8 @@ impl Problem {
         for &(v, c) in terms {
             coeffs[v.0] += c;
         }
-        let packed: Vec<(usize, f64)> = coeffs
-            .into_iter()
-            .enumerate()
-            .filter(|&(_, c)| c != 0.0)
-            .collect();
+        let packed: Vec<(usize, f64)> =
+            coeffs.into_iter().enumerate().filter(|&(_, c)| c != 0.0).collect();
         self.constraints.push(Constraint { terms: packed, rel, rhs });
         ConstraintId(self.constraints.len() - 1)
     }

@@ -198,8 +198,7 @@ impl Tableau {
                 basis[unit_row] = j;
             }
         }
-        let rows_needing_art: Vec<usize> =
-            (0..m).filter(|&i| basis[i] == usize::MAX).collect();
+        let rows_needing_art: Vec<usize> = (0..m).filter(|&i| basis[i] == usize::MAX).collect();
         let num_artificial = rows_needing_art.len();
         let total = n + num_artificial;
         let mut t = Matrix::zeros(m, total + 1);
@@ -278,11 +277,7 @@ impl Tableau {
 
     /// Run simplex pivots until the reduced costs are non-negative.
     /// `allow(j)` filters which columns may enter. Returns pivot count.
-    fn optimize(
-        &mut self,
-        cost: &[f64],
-        allow: impl Fn(usize) -> bool,
-    ) -> Result<usize, LpError> {
+    fn optimize(&mut self, cost: &[f64], allow: impl Fn(usize) -> bool) -> Result<usize, LpError> {
         let tol = self.opts.tol;
         let mut z = self.reduced_costs(cost);
         let mut iters = 0usize;
@@ -382,10 +377,8 @@ impl Tableau {
         }
         let iters = self.optimize(&art_cost, |_| true)?;
         // Residual infeasibility = current value of the artificial sum.
-        let residual: f64 = (0..self.m())
-            .filter(|&i| self.basis[i] >= self.art_start)
-            .map(|i| self.rhs(i))
-            .sum();
+        let residual: f64 =
+            (0..self.m()).filter(|&i| self.basis[i] >= self.art_start).map(|i| self.rhs(i)).sum();
         if residual > self.opts.tol.max(1e-7) {
             return Err(LpError::Infeasible { residual });
         }
@@ -465,12 +458,7 @@ mod tests {
     use super::*;
 
     /// `ns` = number of structural (non-slack) columns.
-    fn solve(
-        a: &[Vec<f64>],
-        b: &[f64],
-        c: &[f64],
-        ns: usize,
-    ) -> Result<StandardSolution, LpError> {
+    fn solve(a: &[Vec<f64>], b: &[f64], c: &[f64], ns: usize) -> Result<StandardSolution, LpError> {
         solve_standard(a, b, c, ns, &SimplexOptions::default())
     }
 
@@ -537,10 +525,7 @@ mod tests {
     fn no_constraints_zero_or_unbounded() {
         let s = solve(&[], &[], &[1.0, 2.0], 2).unwrap();
         assert_eq!(s.objective, 0.0);
-        assert!(matches!(
-            solve(&[], &[], &[-1.0], 1),
-            Err(LpError::Unbounded { column: 0 })
-        ));
+        assert!(matches!(solve(&[], &[], &[-1.0], 1), Err(LpError::Unbounded { column: 0 })));
     }
 
     #[test]

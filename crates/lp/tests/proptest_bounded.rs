@@ -40,10 +40,7 @@ fn arb_instance() -> impl Strategy<Value = Instance> {
                     a,
                     b: braw.iter().map(|&x| x as f64 / 2.0).collect(),
                     c: craw.iter().map(|&x| x as f64 / 2.0).collect(),
-                    u: uraw
-                        .iter()
-                        .map(|o| o.map(|x| x as f64).unwrap_or(f64::INFINITY))
-                        .collect(),
+                    u: uraw.iter().map(|o| o.map(|x| x as f64).unwrap_or(f64::INFINITY)).collect(),
                 }
             })
     })
@@ -66,8 +63,7 @@ fn bounded_form(inst: &Instance) -> (Vec<Vec<f64>>, Vec<f64>, Vec<f64>, Vec<f64>
 
 /// Encode for the row solver: finite bounds become extra `x + t = u` rows.
 fn row_form(inst: &Instance) -> (Vec<Vec<f64>>, Vec<f64>, Vec<f64>) {
-    let bounded: Vec<usize> =
-        (0..inst.nv).filter(|&j| inst.u[j].is_finite()).collect();
+    let bounded: Vec<usize> = (0..inst.nv).filter(|&j| inst.u[j].is_finite()).collect();
     let rows = inst.m + bounded.len();
     let total = inst.nv + inst.m + bounded.len();
     let mut a = vec![vec![0.0; total]; rows];

@@ -62,9 +62,8 @@ fn solve_square(sel: &[usize], planes: &[(Vec<f64>, f64)], n: usize) -> Option<V
         m[r][n] = planes[pi].1;
     }
     for col in 0..n {
-        let piv = (col..n).max_by(|&i, &j| {
-            m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap()
-        })?;
+        let piv =
+            (col..n).max_by(|&i, &j| m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap())?;
         if m[piv][col].abs() < 1e-10 {
             return None;
         }

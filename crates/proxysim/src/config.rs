@@ -100,17 +100,11 @@ impl SimConfig {
     /// capacity (paper-like waits need `peak_rho` slightly above 1, e.g.
     /// 1.05–1.15, which yields ≈ hundreds of seconds of midnight backlog
     /// without sharing).
-    pub fn calibrated(
-        n: usize,
-        requests_per_day: usize,
-        mean_demand: f64,
-        peak_rho: f64,
-    ) -> Self {
+    pub fn calibrated(n: usize, requests_per_day: usize, mean_demand: f64, peak_rho: f64) -> Self {
         let profile = DiurnalProfile::paper();
         let mean_weight = profile.total_weight() / 86_400.0;
-        let peak_weight = (0..24)
-            .map(|h| profile.rate_at(h as f64 * 3600.0 + 1800.0))
-            .fold(0.0f64, f64::max);
+        let peak_weight =
+            (0..24).map(|h| profile.rate_at(h as f64 * 3600.0 + 1800.0)).fold(0.0f64, f64::max);
         let mean_rate = requests_per_day as f64 / 86_400.0;
         let peak_demand_rate = mean_rate * (peak_weight / mean_weight) * mean_demand;
         SimConfig {

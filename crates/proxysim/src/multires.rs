@@ -82,8 +82,7 @@ struct MrProxy {
 
 impl MrProxy {
     fn pending_wall(&self, now: f64, cpu_cap: f64, net_cap: f64) -> f64 {
-        let queued: f64 =
-            self.queue.iter().map(|r| r.service_time(cpu_cap, net_cap)).sum();
+        let queued: f64 = self.queue.iter().map(|r| r.service_time(cpu_cap, net_cap)).sum();
         queued + (self.server_free_at - now).max(0.0)
     }
 
@@ -111,23 +110,16 @@ pub fn run_multires(
         None => (None, None),
         Some(sh) => {
             if sh.agreements.n() != n {
-                return Err(SimError::AgreementMismatch {
-                    expected: n,
-                    got: sh.agreements.n(),
-                });
+                return Err(SimError::AgreementMismatch { expected: n, got: sh.agreements.n() });
             }
-            (
-                Some(TransitiveFlow::compute(&sh.agreements, sh.level)),
-                Some(LpPolicy::reduced()),
-            )
+            (Some(TransitiveFlow::compute(&sh.agreements, sh.level)), Some(LpPolicy::reduced()))
         }
     };
     let redirect_cost = cfg.sharing.as_ref().map_or(0.0, |s| s.redirect_cost);
 
     let mut result = SimResult::new(n);
-    let mut proxies: Vec<MrProxy> = (0..n)
-        .map(|_| MrProxy { queue: VecDeque::new(), server_free_at: 0.0 })
-        .collect();
+    let mut proxies: Vec<MrProxy> =
+        (0..n).map(|_| MrProxy { queue: VecDeque::new(), server_free_at: 0.0 }).collect();
     let mut cursors = vec![0usize; n];
     let days = cfg.warmup_days + 1;
     let measure_from = cfg.warmup_days as f64 * DAY_SECONDS;
@@ -186,19 +178,14 @@ pub fn run_multires(
                 // Composite: 1 bundle = 1 wall-second of this proxy's
                 // mixed service, costing cpu_capacity CPU units and
                 // net_capacity MB per bundle.
-                let cpu_state = match SystemState::new(
-                    flow.clone(),
-                    None,
-                    cpu_idle.clone(),
-                ) {
+                let cpu_state = match SystemState::new(flow.clone(), None, cpu_idle.clone()) {
                     Ok(s) => s,
                     Err(_) => continue,
                 };
-                let net_state =
-                    match SystemState::new(flow.clone(), None, net_idle.clone()) {
-                        Ok(s) => s,
-                        Err(_) => continue,
-                    };
+                let net_state = match SystemState::new(flow.clone(), None, net_idle.clone()) {
+                    Ok(s) => s,
+                    Err(_) => continue,
+                };
                 let bound = match bind_coupled(&[
                     (&cpu_state, cfg.cpu_capacity),
                     (&net_state, cfg.net_capacity),
@@ -213,14 +200,8 @@ pub fn run_multires(
                 };
                 // Move whole requests, heaviest (by wall time) first.
                 for (k, want_wall) in alloc.remote_draws() {
-                    let moved_wall = move_requests_mr(
-                        &mut proxies,
-                        i,
-                        k,
-                        want_wall,
-                        redirect_cost,
-                        cfg,
-                    );
+                    let moved_wall =
+                        move_requests_mr(&mut proxies, i, k, want_wall, redirect_cost, cfg);
                     let _ = moved_wall;
                 }
             }
@@ -236,8 +217,7 @@ pub fn run_multires(
                 let Some(req) = proxy.queue.pop_front() else { break };
                 let start = proxy.server_free_at.max(req.arrival);
                 let wait = (start - req.arrival).max(0.0);
-                proxy.server_free_at =
-                    start + req.service_time(cfg.cpu_capacity, cfg.net_capacity);
+                proxy.server_free_at = start + req.service_time(cfg.cpu_capacity, cfg.net_capacity);
                 if req.measured {
                     result.record_service(req.home, req.arrival, wait, req.redirected);
                 }
@@ -247,8 +227,7 @@ pub fn run_multires(
         t += cfg.epoch;
         let done = t >= total_span && !any_left;
         if done {
-            let all_idle =
-                proxies.iter().all(|p| p.queue.is_empty() && p.server_free_at <= t);
+            let all_idle = proxies.iter().all(|p| p.queue.is_empty() && p.server_free_at <= t);
             if all_idle {
                 break;
             }
@@ -299,11 +278,7 @@ fn move_requests_mr(
     for (idx, r) in std::mem::take(&mut proxies[from].queue).into_iter().enumerate() {
         if iter.peek() == Some(&&idx) {
             iter.next();
-            proxies[to].queue.push_back(MrRequest {
-                cpu: r.cpu + cost,
-                redirected: true,
-                ..r
-            });
+            proxies[to].queue.push_back(MrRequest { cpu: r.cpu + cost, redirected: true, ..r });
         } else {
             kept.push_back(r);
         }
@@ -360,8 +335,7 @@ mod tests {
 
     #[test]
     fn serves_everything_and_conserves() {
-        let traces =
-            vec![burst(0, 0.0, 80, 1.0, 500_000), burst(1, 10.0, 40, 2.0, 100_000)];
+        let traces = vec![burst(0, 0.0, 80, 1.0, 500_000), burst(1, 10.0, 40, 2.0, 100_000)];
         let r = run_multires(&cfg(2, false), &traces).unwrap();
         assert!(r.is_stable());
         assert_eq!(r.served, 120);
@@ -407,8 +381,7 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let traces =
-            vec![burst(0, 0.0, 60, 1.0, 1_500_000), burst(1, 5.0, 10, 3.0, 200_000)];
+        let traces = vec![burst(0, 0.0, 60, 1.0, 1_500_000), burst(1, 5.0, 10, 3.0, 200_000)];
         let a = run_multires(&cfg(2, true), &traces).unwrap();
         let b = run_multires(&cfg(2, true), &traces).unwrap();
         assert_eq!(a.served, b.served);

@@ -5,7 +5,7 @@ use crate::metrics::SimResult;
 use crate::proxy::{Proxy, QueuedRequest};
 use agreements_flow::TransitiveFlow;
 use agreements_sched::{
-    AllocationPolicy, GreedyPolicy, LpPolicy, ProportionalPolicy, SystemState,
+    AllocationPolicy, CachedLpPolicy, GreedyPolicy, ProportionalPolicy, SystemState,
 };
 use agreements_trace::{ProxyTrace, DAY_SECONDS};
 use std::fmt;
@@ -62,14 +62,10 @@ impl Simulator {
         }
         if let Some(per) = &cfg.per_proxy_capacity {
             if per.len() != cfg.n {
-                return Err(SimError::InvalidConfig(
-                    "per_proxy_capacity length must equal n",
-                ));
+                return Err(SimError::InvalidConfig("per_proxy_capacity length must equal n"));
             }
             if per.iter().any(|c| *c <= 0.0 || !c.is_finite()) {
-                return Err(SimError::InvalidConfig(
-                    "per-proxy capacities must be positive",
-                ));
+                return Err(SimError::InvalidConfig("per-proxy capacities must be positive"));
             }
         }
         if cfg.epoch <= 0.0 || !cfg.epoch.is_finite() {
@@ -86,7 +82,11 @@ impl Simulator {
                 }
                 let flow = TransitiveFlow::compute(&sh.agreements, sh.level);
                 let policy: Box<dyn AllocationPolicy + Send> = match sh.policy {
-                    PolicyKind::Lp => Box::new(LpPolicy::reduced()),
+                    // Consultations solve the same-shaped LP thousands of
+                    // times per day: run them on the cached solver
+                    // (persistent skeleton + workspace, single-solve best
+                    // effort) — bit-identical to the stateless LpPolicy.
+                    PolicyKind::Lp => Box::new(CachedLpPolicy::reduced()),
                     PolicyKind::Proportional => {
                         // End-point enforcement: the proportional split is
                         // blind to load, but each end point enforces its
@@ -102,9 +102,7 @@ impl Simulator {
                         Box::new(agreements_sched::FairShareLpPolicy::default())
                     }
                     PolicyKind::LpCostAware { per_hop, lambda } => Box::new(
-                        agreements_sched::CostAwareLpPolicy::ring_distance(
-                            cfg.n, per_hop, lambda,
-                        ),
+                        agreements_sched::CostAwareLpPolicy::ring_distance(cfg.n, per_hop, lambda),
                     ),
                 };
                 (Some(flow), Some(policy))
@@ -124,9 +122,7 @@ impl Simulator {
     ) -> Result<Self, SimError> {
         let mut sim = Simulator::new(cfg)?;
         if sim.flow.is_none() {
-            return Err(SimError::InvalidConfig(
-                "with_policy requires cfg.sharing to be set",
-            ));
+            return Err(SimError::InvalidConfig("with_policy requires cfg.sharing to be set"));
         }
         sim.policy = Some(policy);
         Ok(sim)
@@ -138,6 +134,12 @@ impl Simulator {
         if traces.len() != n {
             return Err(SimError::TraceCountMismatch { expected: n, got: traces.len() });
         }
+        if let Some(policy) = &self.policy {
+            // Each run is an independent replay: drop any acceleration
+            // state a previous run left in a stateful policy so repeated
+            // runs of one simulator stay bit-identical.
+            policy.begin_run();
+        }
         let mut result = SimResult::new(n);
         let mut proxies: Vec<Proxy> = (0..n)
             .map(|i| Proxy::with_discipline(self.cfg.capacity_of(i), self.cfg.discipline))
@@ -148,12 +150,10 @@ impl Simulator {
         let measure_from = self.cfg.warmup_days as f64 * DAY_SECONDS;
         let total_span = days as f64 * DAY_SECONDS;
         let epoch = self.cfg.epoch;
-        let threshold_work: Vec<f64> = (0..n)
-            .map(|i| self.cfg.threshold_epochs * self.cfg.capacity_of(i) * epoch)
-            .collect();
+        let threshold_work: Vec<f64> =
+            (0..n).map(|i| self.cfg.threshold_epochs * self.cfg.capacity_of(i) * epoch).collect();
         let horizon = self.cfg.horizon_epochs * epoch;
-        let redirect_cost =
-            self.cfg.sharing.as_ref().map_or(0.0, |s| s.redirect_cost);
+        let redirect_cost = self.cfg.sharing.as_ref().map_or(0.0, |s| s.redirect_cost);
 
         let mut t = 0.0f64;
         loop {
@@ -199,12 +199,8 @@ impl Simulator {
                         continue;
                     }
                     // Movable work: non-redirected queued requests only.
-                    let movable: f64 = proxies[i]
-                        .queue
-                        .iter()
-                        .filter(|r| !r.redirected)
-                        .map(|r| r.demand)
-                        .sum();
+                    let movable: f64 =
+                        proxies[i].queue.iter().filter(|r| !r.redirected).map(|r| r.demand).sum();
                     let excess = (pending - threshold_work[i]).min(movable);
                     if excess <= 0.0 {
                         continue;
@@ -247,15 +243,12 @@ impl Simulator {
             // Termination: trace exhausted, queues empty, servers idle.
             let day_done = t >= total_span && !any_left;
             if day_done {
-                let all_idle = proxies
-                    .iter()
-                    .all(|p| p.queue.is_empty() && p.server_free_at <= t);
+                let all_idle = proxies.iter().all(|p| p.queue.is_empty() && p.server_free_at <= t);
                 if all_idle {
                     break;
                 }
                 if t > total_span + self.cfg.max_drain {
-                    result.unserved =
-                        proxies.iter().map(|p| p.queue.len()).sum();
+                    result.unserved = proxies.iter().map(|p| p.queue.len()).sum();
                     break;
                 }
             }
@@ -518,11 +511,8 @@ mod tests {
         let s = complete(3, 0.3);
         let cfg = base_cfg(3).with_sharing(SharingConfig::lp(s));
         let sim = Simulator::new(cfg).unwrap();
-        let traces = vec![
-            burst(0, 0.0, 80, 1.0, 1_500_000),
-            burst(1, 40.0, 30, 2.0, 500_000),
-            empty(2),
-        ];
+        let traces =
+            vec![burst(0, 0.0, 80, 1.0, 1_500_000), burst(1, 40.0, 30, 2.0, 500_000), empty(2)];
         let a = sim.run(&traces).unwrap();
         let b = sim.run(&traces).unwrap();
         assert_eq!(a.served, b.served);

@@ -20,9 +20,9 @@ fn arb_workload() -> impl Strategy<Value = Workload> {
         proptest::collection::vec(
             proptest::collection::vec(
                 (
-                    0.0f64..80_000.0,   // burst start
-                    1usize..=40,        // count
-                    0.1f64..5.0,        // spacing
+                    0.0f64..80_000.0,     // burst start
+                    1usize..=40,          // count
+                    0.1f64..5.0,          // spacing
                     1_000u64..=2_000_000, // response length
                 ),
                 0..=3,

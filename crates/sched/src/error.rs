@@ -83,11 +83,7 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = SchedError::InsufficientCapacity {
-            requester: 2,
-            capacity: 1.5,
-            requested: 3.0,
-        };
+        let e = SchedError::InsufficientCapacity { requester: 2, capacity: 1.5, requested: 3.0 };
         assert!(e.to_string().contains("principal 2"));
         let lp = SchedError::Lp(LpError::IterationLimit { limit: 5 });
         assert!(std::error::Error::source(&lp).is_some());

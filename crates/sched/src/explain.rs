@@ -115,9 +115,8 @@ pub fn explain_allocation(
     // builder) so we can keep hold of the constraint ids for duals.
     let opts = SimplexOptions::default();
     let mut p = Problem::new(Sense::Minimize);
-    let d: Vec<VarId> = (0..n)
-        .map(|i| p.add_var(&format!("d{i}"), 0.0, bound[i].max(0.0), 0.0))
-        .collect();
+    let d: Vec<VarId> =
+        (0..n).map(|i| p.add_var(&format!("d{i}"), 0.0, bound[i].max(0.0), 0.0)).collect();
     let theta = p.add_var("theta", 0.0, f64::INFINITY, 1.0);
     let all: Vec<(VarId, f64)> = d.iter().map(|&var| (var, 1.0)).collect();
     let demand_c = p.add_constraint(&all, Relation::Eq, x);
@@ -163,12 +162,7 @@ pub fn explain_allocation(
         .collect();
 
     Ok(Explanation {
-        allocation: Allocation {
-            requester,
-            amount: x,
-            draws,
-            theta: theta_val,
-        },
+        allocation: Allocation { requester, amount: x, draws, theta: theta_val },
         owners,
         marginal_theta: sol.dual(demand_c),
     })
@@ -252,10 +246,7 @@ mod tests {
             explain_allocation(&st, 7, 1.0),
             Err(SchedError::UnknownPrincipal { .. })
         ));
-        assert!(matches!(
-            explain_allocation(&st, 0, -1.0),
-            Err(SchedError::InvalidRequest { .. })
-        ));
+        assert!(matches!(explain_allocation(&st, 0, -1.0), Err(SchedError::InvalidRequest { .. })));
     }
 
     #[test]

@@ -37,10 +37,7 @@ impl HierarchicalScheduler {
         level: usize,
     ) -> Result<Self, SchedError> {
         if inter.n() != groups.len() {
-            return Err(SchedError::DimensionMismatch {
-                expected: groups.len(),
-                got: inter.n(),
-            });
+            return Err(SchedError::DimensionMismatch { expected: groups.len(), got: inter.n() });
         }
         let n: usize = groups.iter().map(Vec::len).sum();
         let mut member_of = vec![usize::MAX; n];
@@ -90,8 +87,7 @@ impl HierarchicalScheduler {
             return Err(SchedError::InvalidRequest { amount: x });
         }
         let home = self.member_of[requester];
-        let home_avail: f64 =
-            self.groups[home].iter().map(|&m| availability[m]).sum();
+        let home_avail: f64 = self.groups[home].iter().map(|&m| availability[m]).sum();
 
         let mut draws = vec![0.0; n];
         if home_avail + 1e-12 >= x {
@@ -104,11 +100,9 @@ impl HierarchicalScheduler {
         // Coarse LP over group aggregates: the home group "requests" the
         // total, drawing on other groups via inter-group agreements.
         let g = self.groups.len();
-        let group_avail: Vec<f64> = (0..g)
-            .map(|gi| self.groups[gi].iter().map(|&m| availability[m]).sum())
-            .collect();
-        let coarse_state =
-            SystemState::new(self.coarse_flow.clone(), None, group_avail)?;
+        let group_avail: Vec<f64> =
+            (0..g).map(|gi| self.groups[gi].iter().map(|&m| availability[m]).sum()).collect();
+        let coarse_state = SystemState::new(self.coarse_flow.clone(), None, group_avail)?;
         let coarse = solve_allocation(&coarse_state, home, x, Formulation::Reduced, &self.opts)?;
 
         // Refine each group's share among its members.
@@ -218,12 +212,7 @@ mod tests {
         let mut inter = AgreementMatrix::zeros(2);
         inter.set(0, 1, 0.5).unwrap();
         // Overlapping member.
-        assert!(HierarchicalScheduler::new(
-            vec![vec![0, 1], vec![1, 2]],
-            &inter,
-            1
-        )
-        .is_err());
+        assert!(HierarchicalScheduler::new(vec![vec![0, 1], vec![1, 2]], &inter, 1).is_err());
         // Wrong matrix size.
         let inter3 = AgreementMatrix::zeros(3);
         assert!(HierarchicalScheduler::new(vec![vec![0], vec![1]], &inter3, 1).is_err());

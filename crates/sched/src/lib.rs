@@ -54,7 +54,6 @@
 // Index-based loops are idiomatic for the dense matrix math in this
 // crate; clippy's iterator rewrites would obscure the row/column algebra.
 #![allow(clippy::needless_range_loop)]
-
 #![warn(missing_docs)]
 
 pub mod error;
@@ -64,11 +63,13 @@ pub mod lp_model;
 pub mod multi;
 pub mod objectives;
 pub mod policy;
+pub mod solver;
 pub mod state;
 
 pub use error::SchedError;
 pub use explain::{explain_allocation, Explanation};
 pub use lp_model::Formulation;
 pub use objectives::{CostAwareLpPolicy, FairShareLpPolicy};
-pub use policy::{AllocationPolicy, GreedyPolicy, LpPolicy, ProportionalPolicy};
+pub use policy::{AllocationPolicy, CachedLpPolicy, GreedyPolicy, LpPolicy, ProportionalPolicy};
+pub use solver::{AllocationSolver, SolverStats};
 pub use state::{Allocation, SystemState};

@@ -20,7 +20,7 @@ pub enum Formulation {
 }
 
 /// Numerical floor under which a draw is treated as zero.
-const DRAW_EPS: f64 = 1e-9;
+pub(crate) const DRAW_EPS: f64 = 1e-9;
 
 /// Solve the allocation problem: requester `a` asks for `x` units.
 ///
@@ -49,13 +49,7 @@ pub fn solve_allocation(
     let v = &state.availability;
     let absolute = state.absolute.as_ref();
     let bound: Vec<f64> = (0..n)
-        .map(|i| {
-            if i == a {
-                v[a]
-            } else {
-                saturated_inflow(&state.flow, absolute, v, i, a)
-            }
-        })
+        .map(|i| if i == a { v[a] } else { saturated_inflow(&state.flow, absolute, v, i, a) })
         .collect();
     let reachable: f64 = bound.iter().sum();
     if x > reachable + 1e-9 {
@@ -73,8 +67,7 @@ pub fn solve_allocation(
         Formulation::Reduced => solve_reduced(state, a, x, &bound, opts)?,
         Formulation::Full => solve_full(state, a, x, &bound, opts)?,
     };
-    let draws: Vec<f64> =
-        draws.into_iter().map(|d| if d < DRAW_EPS { 0.0 } else { d }).collect();
+    let draws: Vec<f64> = draws.into_iter().map(|d| if d < DRAW_EPS { 0.0 } else { d }).collect();
     Ok(Allocation { requester: a, amount: x, draws, theta })
 }
 
@@ -89,9 +82,8 @@ fn solve_reduced(
 ) -> Result<(Vec<f64>, f64), SchedError> {
     let n = state.n();
     let mut p = Problem::new(Sense::Minimize);
-    let d: Vec<VarId> = (0..n)
-        .map(|i| p.add_var(&format!("d{i}"), 0.0, bound[i].max(0.0), 0.0))
-        .collect();
+    let d: Vec<VarId> =
+        (0..n).map(|i| p.add_var(&format!("d{i}"), 0.0, bound[i].max(0.0), 0.0)).collect();
     let theta = p.add_var("theta", 0.0, f64::INFINITY, 1.0);
 
     let all: Vec<(VarId, f64)> = d.iter().map(|&v| (v, 1.0)).collect();
@@ -121,7 +113,7 @@ fn solve_reduced(
 
 /// Full system, constraints (1)–(6) of §3.1 (with (6) over `i ≠ a`; see
 /// crate docs for why the requester is excluded).
-fn solve_full(
+pub(crate) fn solve_full(
     state: &SystemState,
     a: usize,
     x: f64,
@@ -296,12 +288,7 @@ mod tests {
     fn spreads_draws_to_minimize_max_perturbation() {
         // Requester 0 exhausted; owners 1 and 2 symmetric; drawing all
         // from one would perturb it fully, so the LP splits evenly.
-        let st = mk_state(
-            3,
-            &[(1, 0, 0.5), (2, 0, 0.5)],
-            vec![0.0, 10.0, 10.0],
-            1,
-        );
+        let st = mk_state(3, &[(1, 0, 0.5), (2, 0, 0.5)], vec![0.0, 10.0, 10.0], 1);
         let a = solve_allocation(&st, 0, 6.0, Formulation::Reduced, &opts()).unwrap();
         assert!((a.draws[1] - 3.0).abs() < EPS, "{:?}", a.draws);
         assert!((a.draws[2] - 3.0).abs() < EPS);
@@ -311,12 +298,7 @@ mod tests {
     #[test]
     fn asymmetric_entitlements_respected() {
         // Owner 1 shares 80%, owner 2 shares 10% with requester 0.
-        let st = mk_state(
-            3,
-            &[(1, 0, 0.8), (2, 0, 0.1)],
-            vec![0.0, 10.0, 10.0],
-            1,
-        );
+        let st = mk_state(3, &[(1, 0, 0.8), (2, 0, 0.1)], vec![0.0, 10.0, 10.0], 1);
         let a = solve_allocation(&st, 0, 9.0, Formulation::Reduced, &opts()).unwrap();
         // Entitlements: 8 from 1, 1 from 2. Both must saturate to reach 9.
         assert!((a.draws[1] - 8.0).abs() < EPS);

@@ -79,10 +79,10 @@ impl MultiState {
     ) -> Result<Vec<Allocation>, SchedError> {
         let mut done: Vec<(usize, Allocation)> = Vec::with_capacity(req.demands.len());
         for &(resource, amount) in &req.demands {
-            let state = self.states.get(resource).ok_or(SchedError::UnknownPrincipal {
-                index: resource,
-                n: self.states.len(),
-            })?;
+            let state = self
+                .states
+                .get(resource)
+                .ok_or(SchedError::UnknownPrincipal { index: resource, n: self.states.len() })?;
             match policy.allocate(state, requester, amount) {
                 Ok(alloc) => {
                     self.states[resource].apply(&alloc)?;
@@ -107,9 +107,7 @@ impl MultiState {
 /// `min_c availability_c[i] / units_c`, and its agreement structure is the
 /// first component's flow table (bound resources live on the same machines
 /// under the same agreements — the paper's premise for binding).
-pub fn bind_coupled(
-    components: &[(&SystemState, f64)],
-) -> Result<SystemState, SchedError> {
+pub fn bind_coupled(components: &[(&SystemState, f64)]) -> Result<SystemState, SchedError> {
     let (first, _) = components.first().ok_or(SchedError::InvalidRequest { amount: 0.0 })?;
     let n = first.n();
     for (s, units) in components {
@@ -169,9 +167,7 @@ mod tests {
         let mem = state(&[(1, 0, 0.5)], vec![100.0, 100.0]);
         let mut ms = MultiState::new(vec![cpu, mem]).unwrap();
         let req = VectorRequest::new(vec![(0, 6.0), (1, 50.0)]);
-        let allocs = ms
-            .allocate_vector(&LpPolicy::reduced(), 0, &req)
-            .unwrap();
+        let allocs = ms.allocate_vector(&LpPolicy::reduced(), 0, &req).unwrap();
         assert_eq!(allocs.len(), 2);
         assert!((allocs[0].amount - 6.0).abs() < EPS);
         assert!((allocs[1].amount - 50.0).abs() < EPS);
@@ -205,10 +201,7 @@ mod tests {
     fn multistate_dimension_check() {
         let a = state(&[], vec![1.0, 2.0]);
         let b = state(&[], vec![1.0]);
-        assert!(matches!(
-            MultiState::new(vec![a, b]),
-            Err(SchedError::DimensionMismatch { .. })
-        ));
+        assert!(matches!(MultiState::new(vec![a, b]), Err(SchedError::DimensionMismatch { .. })));
     }
 
     #[test]

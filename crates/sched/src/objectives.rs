@@ -34,13 +34,7 @@ fn draw_bounds(state: &SystemState, a: usize, x: f64) -> Result<Vec<f64>, SchedE
     let v = &state.availability;
     let absolute = state.absolute.as_ref();
     let bound: Vec<f64> = (0..n)
-        .map(|i| {
-            if i == a {
-                v[a]
-            } else {
-                saturated_inflow(&state.flow, absolute, v, i, a)
-            }
-        })
+        .map(|i| if i == a { v[a] } else { saturated_inflow(&state.flow, absolute, v, i, a) })
         .collect();
     let reachable: f64 = bound.iter().sum();
     if x > reachable + 1e-9 {
@@ -73,11 +67,7 @@ impl CostAwareLpPolicy {
     /// matter who asks.
     pub fn new(costs: Vec<f64>, lambda: f64) -> Self {
         let n = costs.len();
-        CostAwareLpPolicy {
-            costs: vec![costs; n.max(1)],
-            lambda,
-            opts: SimplexOptions::default(),
-        }
+        CostAwareLpPolicy { costs: vec![costs; n.max(1)], lambda, opts: SimplexOptions::default() }
     }
 
     /// Full requester × owner cost matrix.
@@ -116,12 +106,7 @@ impl AllocationPolicy for CostAwareLpPolicy {
         let bound = draw_bounds(state, requester, x)?;
         let x = x.min(bound.iter().sum());
         if x == 0.0 {
-            return Ok(Allocation {
-                requester,
-                amount: 0.0,
-                draws: vec![0.0; n],
-                theta: 0.0,
-            });
+            return Ok(Allocation { requester, amount: 0.0, draws: vec![0.0; n], theta: 0.0 });
         }
         let mut p = Problem::new(Sense::Minimize);
         let d: Vec<VarId> = (0..n)
@@ -153,8 +138,7 @@ impl AllocationPolicy for CostAwareLpPolicy {
             p.add_constraint(&terms, Relation::Le, 0.0);
         }
         let sol = p.solve_with(&self.opts)?;
-        let draws: Vec<f64> =
-            d.iter().map(|&v| sol.value(v).max(0.0)).collect();
+        let draws: Vec<f64> = d.iter().map(|&v| sol.value(v).max(0.0)).collect();
         Ok(Allocation { requester, amount: x, draws, theta: sol.value(theta) })
     }
 
@@ -183,12 +167,7 @@ impl AllocationPolicy for FairShareLpPolicy {
         let bound = draw_bounds(state, requester, x)?;
         let x = x.min(bound.iter().sum());
         if x == 0.0 {
-            return Ok(Allocation {
-                requester,
-                amount: 0.0,
-                draws: vec![0.0; n],
-                theta: 0.0,
-            });
+            return Ok(Allocation { requester, amount: 0.0, draws: vec![0.0; n], theta: 0.0 });
         }
         // Pre-allocation linear capacities for the relative denominators.
         let v = &state.availability;
@@ -201,9 +180,8 @@ impl AllocationPolicy for FairShareLpPolicy {
             })
             .collect();
         let mut p = Problem::new(Sense::Minimize);
-        let d: Vec<VarId> = (0..n)
-            .map(|i| p.add_var(&format!("d{i}"), 0.0, bound[i].max(0.0), 0.0))
-            .collect();
+        let d: Vec<VarId> =
+            (0..n).map(|i| p.add_var(&format!("d{i}"), 0.0, bound[i].max(0.0), 0.0)).collect();
         let phi = p.add_var("phi", 0.0, f64::INFINITY, 1.0);
         let all: Vec<(VarId, f64)> = d.iter().map(|&v| (v, 1.0)).collect();
         p.add_constraint(&all, Relation::Eq, x);
@@ -274,9 +252,8 @@ mod tests {
         let st = state(&[(1, 0, 0.5), (2, 0, 0.5)], vec![0.0, 10.0, 10.0]);
         let plain = LpPolicy::reduced().allocate(&st, 0, 6.0).unwrap();
         assert!((plain.draws[1] - plain.draws[2]).abs() < EPS, "plain splits evenly");
-        let costed = CostAwareLpPolicy::new(vec![0.0, 10.0, 0.0], 1.0)
-            .allocate(&st, 0, 6.0)
-            .unwrap();
+        let costed =
+            CostAwareLpPolicy::new(vec![0.0, 10.0, 0.0], 1.0).allocate(&st, 0, 6.0).unwrap();
         assert!(
             costed.draws[1] < costed.draws[2],
             "cost-aware shifts away from the expensive owner: {:?}",
@@ -288,10 +265,7 @@ mod tests {
     fn cost_dimension_checked() {
         let st = state(&[], vec![5.0, 5.0]);
         let pol = CostAwareLpPolicy::new(vec![0.0], 1.0);
-        assert!(matches!(
-            pol.allocate(&st, 0, 1.0),
-            Err(SchedError::DimensionMismatch { .. })
-        ));
+        assert!(matches!(pol.allocate(&st, 0, 1.0), Err(SchedError::DimensionMismatch { .. })));
     }
 
     #[test]
@@ -304,11 +278,7 @@ mod tests {
         assert_eq!(pol.costs[0][2], 2.0);
         assert_eq!(pol.costs[0][3], 1.0, "circular distance");
         let a = pol.allocate(&st, 0, 6.0).unwrap();
-        assert!(
-            a.draws[1] > a.draws[2],
-            "closer owner preferred: {:?}",
-            a.draws
-        );
+        assert!(a.draws[1] > a.draws[2], "closer owner preferred: {:?}", a.draws);
     }
 
     #[test]

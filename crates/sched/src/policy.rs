@@ -7,6 +7,7 @@ use crate::state::{perturbation, Allocation, SystemState};
 use agreements_flow::capacity::saturated_inflow;
 use agreements_flow::AgreementMatrix;
 use agreements_lp::SimplexOptions;
+use std::sync::Mutex;
 
 /// A strategy for placing a resource request across owners under sharing
 /// agreements.
@@ -33,14 +34,23 @@ pub trait AllocationPolicy {
         match self.allocate(state, requester, x) {
             Ok(a) => Ok(a),
             Err(SchedError::InsufficientCapacity { capacity, .. }) => {
-                // Retry at the reachable amount (slightly shaved for
-                // floating-point safety).
-                let y = (capacity - 1e-9).max(0.0);
+                // Retry at exactly the reachable amount. The solver already
+                // shaves `x` to the reachable total internally, so an extra
+                // epsilon here would only under-allocate; clamping to
+                // `[0, x]` guards against a policy reporting capacity
+                // above the request or below zero.
+                let y = capacity.max(0.0).min(x);
                 self.allocate(state, requester, y)
             }
             Err(e) => Err(e),
         }
     }
+
+    /// Called by drivers at the start of each independent run or replay.
+    /// Stateful policies drop cross-run acceleration state here (saved
+    /// simplex bases, counters) so repeated runs of the same driver are
+    /// reproducible. Stateless policies keep the default no-op.
+    fn begin_run(&self) {}
 
     /// Short name for reports.
     fn name(&self) -> &'static str;
@@ -83,6 +93,89 @@ impl AllocationPolicy for LpPolicy {
             Formulation::Full => "lp-full",
             Formulation::Reduced => "lp-reduced",
         }
+    }
+}
+
+/// [`LpPolicy`]'s semantics served by a persistent [`AllocationSolver`]:
+/// the standardized model skeleton and the simplex workspace survive
+/// across consultations and `allocate_up_to` places in a single solve.
+/// This is what the simulator consultation loop runs on.
+///
+/// The [`AllocationPolicy`] trait takes `&self`, so the solver sits
+/// behind a [`Mutex`]; contention is nil because every simulator owns
+/// its policy exclusively (parallel sweeps give each configuration its
+/// own instance). [`AllocationPolicy::begin_run`] drops the saved basis,
+/// which keeps repeated runs of one simulator bit-reproducible.
+///
+/// [`CachedLpPolicy::reduced`] keeps warm starting off and is
+/// bit-identical to [`LpPolicy`]; [`CachedLpPolicy::reduced_warm`]
+/// additionally resumes each same-model solve from the previous optimal
+/// basis, which agrees with [`LpPolicy`] to solver tolerance only.
+#[derive(Debug)]
+pub struct CachedLpPolicy {
+    solver: Mutex<crate::solver::AllocationSolver>,
+}
+
+impl CachedLpPolicy {
+    /// The production configuration: reduced formulation, cached skeleton
+    /// and workspace, warm starting off — bit-identical to [`LpPolicy`].
+    pub fn reduced() -> Self {
+        Self::from_solver(crate::solver::AllocationSolver::reduced())
+    }
+
+    /// Like [`CachedLpPolicy::reduced`] but resuming from the previous
+    /// optimal basis when the model is unchanged. Fastest, but agreement
+    /// with [`LpPolicy`] is to solver tolerance, not bit-exact — opt in
+    /// where that is acceptable (benchmarks, standalone studies).
+    pub fn reduced_warm() -> Self {
+        let mut solver = crate::solver::AllocationSolver::reduced();
+        solver.set_warm_start(true);
+        Self::from_solver(solver)
+    }
+
+    /// Wrap an explicitly configured solver.
+    pub fn from_solver(solver: crate::solver::AllocationSolver) -> Self {
+        CachedLpPolicy { solver: Mutex::new(solver) }
+    }
+
+    /// Usage counters of the underlying solver.
+    pub fn stats(&self) -> crate::solver::SolverStats {
+        self.lock().stats()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, crate::solver::AllocationSolver> {
+        // A poisoned lock means a previous solve panicked mid-update;
+        // the solver re-derives all cached state from the next request,
+        // so continuing is sound.
+        self.solver.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl AllocationPolicy for CachedLpPolicy {
+    fn allocate(
+        &self,
+        state: &SystemState,
+        requester: usize,
+        x: f64,
+    ) -> Result<Allocation, SchedError> {
+        self.lock().allocate(state, requester, x)
+    }
+
+    fn allocate_up_to(
+        &self,
+        state: &SystemState,
+        requester: usize,
+        x: f64,
+    ) -> Result<Allocation, SchedError> {
+        self.lock().allocate_up_to(state, requester, x)
+    }
+
+    fn begin_run(&self) {
+        self.lock().invalidate_warm_start();
+    }
+
+    fn name(&self) -> &'static str {
+        "lp-cached"
     }
 }
 
@@ -173,11 +266,7 @@ impl AllocationPolicy for ProportionalPolicy {
         }
         if overflow > 1e-9 {
             let capacity = x - overflow;
-            return Err(SchedError::InsufficientCapacity {
-                requester,
-                capacity,
-                requested: x,
-            });
+            return Err(SchedError::InsufficientCapacity { requester, capacity, requested: x });
         }
         // Assign residual rounding dust to the requester's local draw.
         let sum: f64 = draws.iter().sum();
@@ -262,8 +351,7 @@ impl AllocationPolicy for GreedyPolicy {
                     (k, saturated_inflow(&state.flow, state.absolute.as_ref(), v, k, requester))
                 })
                 .collect();
-            entitlements
-                .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            entitlements.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
             for (k, ent) in entitlements {
                 if remaining <= 1e-12 {
                     break;
@@ -385,6 +473,25 @@ mod tests {
     }
 
     #[test]
+    fn allocate_up_to_places_exact_reachable_capacity() {
+        // Regression: the retry used to shave the reachable amount by
+        // 1e-9 "for floating-point safety", permanently leaking capacity.
+        // Reachable here is exactly 1 + 0.5·10 = 6.0 and must be placed
+        // in full.
+        let (st, _) = mk(2, &[(1, 0, 0.5)], vec![1.0, 10.0], 1);
+        for pol in
+            [Box::new(LpPolicy::reduced()) as Box<dyn AllocationPolicy>, Box::new(GreedyPolicy)]
+        {
+            let a = pol.allocate_up_to(&st, 0, 100.0).unwrap();
+            assert_eq!(a.amount, 6.0, "{} must not shave the clamp", pol.name());
+            assert!((a.draws.iter().sum::<f64>() - 6.0).abs() < EPS);
+        }
+        // A capacity report above the request is clamped back to x.
+        let a = LpPolicy::reduced().allocate_up_to(&st, 0, 2.0).unwrap();
+        assert_eq!(a.amount, 2.0);
+    }
+
+    #[test]
     fn proportional_partial_placement_keeps_deliverable_part() {
         // Owner 1 (80% share) is drained; owner 2 (10%) has room. The
         // partial best-effort keeps owner 2's full quota instead of
@@ -415,11 +522,52 @@ mod tests {
         let names = [
             LpPolicy::reduced().name(),
             LpPolicy::full().name(),
+            CachedLpPolicy::reduced().name(),
             ProportionalPolicy::new(s).name(),
             GreedyPolicy.name(),
         ];
         let unique: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(unique.len(), names.len());
+    }
+
+    #[test]
+    fn cached_policy_agrees_with_lp_policy() {
+        // Bit-identical with warm starting off; to tolerance with it on.
+        let (mut st, _) = mk(3, &[(1, 0, 0.5), (2, 0, 0.3)], vec![2.0, 10.0, 10.0], 1);
+        let exact = CachedLpPolicy::reduced();
+        let warm = CachedLpPolicy::reduced_warm();
+        let lp = LpPolicy::reduced();
+        for x in [1.5, 4.0, 9.0, 50.0] {
+            let a = lp.allocate_up_to(&st, 0, x).unwrap();
+            let e = exact.allocate_up_to(&st, 0, x).unwrap();
+            assert_eq!(a.draws, e.draws, "x={x}");
+            assert_eq!(a.theta, e.theta);
+            let w = warm.allocate_up_to(&st, 0, x).unwrap();
+            assert!((a.theta - w.theta).abs() < 1e-7 * (1.0 + a.theta.abs()));
+            assert!((a.amount - w.amount).abs() < 1e-9);
+            st.apply(&a).unwrap();
+        }
+        // The skeleton is reused whenever the zero-bound pattern holds
+        // (draining an owner to zero is a legitimate rebuild).
+        assert_eq!(exact.stats().solves, 4);
+        assert!(
+            exact.stats().skeleton_rebuilds < exact.stats().solves,
+            "skeleton must be reused: {:?}",
+            exact.stats()
+        );
+    }
+
+    #[test]
+    fn begin_run_makes_replays_reproducible() {
+        let (st, _) = mk(3, &[(1, 0, 0.5), (2, 0, 0.5)], vec![0.0, 8.0, 6.0], 1);
+        let pol = CachedLpPolicy::reduced_warm();
+        let run = |p: &CachedLpPolicy| -> Vec<Vec<f64>> {
+            p.begin_run();
+            [3.0, 7.0, 11.0].iter().map(|&x| p.allocate_up_to(&st, 0, x).unwrap().draws).collect()
+        };
+        let a = run(&pol);
+        let b = run(&pol);
+        assert_eq!(a, b, "a replay must not inherit the saved basis");
     }
 
     #[test]

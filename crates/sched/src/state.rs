@@ -117,11 +117,7 @@ impl Allocation {
 
     /// Owners drawn from, excluding the requester, with amounts.
     pub fn remote_draws(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
-        self.draws
-            .iter()
-            .copied()
-            .enumerate()
-            .filter(move |&(i, d)| i != self.requester && d > 0.0)
+        self.draws.iter().copied().enumerate().filter(move |&(i, d)| i != self.requester && d > 0.0)
     }
 }
 
@@ -130,12 +126,8 @@ impl Allocation {
 pub fn perturbation(state: &SystemState, requester: usize, draws: &[f64]) -> f64 {
     let n = state.n();
     let before = state.capacity_report();
-    let v_after: Vec<f64> = state
-        .availability
-        .iter()
-        .zip(draws)
-        .map(|(v, d)| (v - d).max(0.0))
-        .collect();
+    let v_after: Vec<f64> =
+        state.availability.iter().zip(draws).map(|(v, d)| (v - d).max(0.0)).collect();
     let after = capacities(&state.flow, state.absolute.as_ref(), &v_after);
     (0..n)
         .filter(|&i| i != requester)
@@ -182,12 +174,7 @@ mod tests {
     #[test]
     fn apply_and_release_round_trip() {
         let mut st = state2();
-        let alloc = Allocation {
-            requester: 0,
-            amount: 4.0,
-            draws: vec![3.0, 1.0],
-            theta: 0.0,
-        };
+        let alloc = Allocation { requester: 0, amount: 4.0, draws: vec![3.0, 1.0], theta: 0.0 };
         st.apply(&alloc).unwrap();
         assert_eq!(st.availability, vec![7.0, 9.0]);
         st.release(&alloc).unwrap();
@@ -197,24 +184,15 @@ mod tests {
     #[test]
     fn apply_clamps_at_zero() {
         let mut st = state2();
-        let alloc = Allocation {
-            requester: 0,
-            amount: 11.0,
-            draws: vec![10.0 + 1e-12, 1.0],
-            theta: 0.0,
-        };
+        let alloc =
+            Allocation { requester: 0, amount: 11.0, draws: vec![10.0 + 1e-12, 1.0], theta: 0.0 };
         st.apply(&alloc).unwrap();
         assert!(st.availability[0] >= 0.0);
     }
 
     #[test]
     fn allocation_local_remote_split() {
-        let alloc = Allocation {
-            requester: 1,
-            amount: 5.0,
-            draws: vec![2.0, 3.0],
-            theta: 0.0,
-        };
+        let alloc = Allocation { requester: 1, amount: 5.0, draws: vec![2.0, 3.0], theta: 0.0 };
         assert_eq!(alloc.local(), 3.0);
         assert_eq!(alloc.remote(), 2.0);
         let remotes: Vec<_> = alloc.remote_draws().collect();

@@ -22,13 +22,8 @@ struct HierScenario {
 fn arb_hier() -> impl Strategy<Value = HierScenario> {
     (2usize..=4, 2usize..=3).prop_flat_map(|(num_groups, group_size)| {
         let n = num_groups * group_size;
-        (
-            proptest::collection::vec(0u32..=40, n),
-            0.1f64..0.5,
-            0usize..n,
-            0.05f64..0.95,
-        )
-            .prop_map(move |(avail, inter_share, requester, frac)| {
+        (proptest::collection::vec(0u32..=40, n), 0.1f64..0.5, 0usize..n, 0.05f64..0.95).prop_map(
+            move |(avail, inter_share, requester, frac)| {
                 let groups: Vec<Vec<usize>> = (0..num_groups)
                     .map(|g| (g * group_size..(g + 1) * group_size).collect())
                     .collect();
@@ -39,7 +34,8 @@ fn arb_hier() -> impl Strategy<Value = HierScenario> {
                     requester,
                     frac,
                 }
-            })
+            },
+        )
     })
 }
 

@@ -4,12 +4,12 @@
 #![allow(clippy::needless_range_loop)]
 
 use agreements_flow::{AgreementMatrix, TransitiveFlow};
+use agreements_lp::SimplexOptions;
 use agreements_sched::lp_model::solve_allocation;
 use agreements_sched::state::perturbation;
 use agreements_sched::{
     AllocationPolicy, Formulation, GreedyPolicy, LpPolicy, SchedError, SystemState,
 };
-use agreements_lp::SimplexOptions;
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -35,12 +35,8 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
                 let mut s = AgreementMatrix::zeros(n);
                 for i in 0..n {
                     let row = &raw[i * n..(i + 1) * n];
-                    let total: u32 = row
-                        .iter()
-                        .enumerate()
-                        .filter(|&(j, _)| j != i)
-                        .map(|(_, &v)| v)
-                        .sum();
+                    let total: u32 =
+                        row.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &v)| v).sum();
                     if total == 0 {
                         continue;
                     }
@@ -66,13 +62,7 @@ fn reachable(state: &SystemState, a: usize) -> f64 {
     use agreements_flow::capacity::saturated_inflow;
     let v = &state.availability;
     (0..state.n())
-        .map(|i| {
-            if i == a {
-                v[a]
-            } else {
-                saturated_inflow(&state.flow, None, v, i, a)
-            }
-        })
+        .map(|i| if i == a { v[a] } else { saturated_inflow(&state.flow, None, v, i, a) })
         .sum()
 }
 

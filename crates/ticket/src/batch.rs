@@ -126,9 +126,9 @@ impl Economy {
                 Op::Deposit { into, resource, amount } => {
                     scratch.deposit_resource(*into, *resource, *amount).map(Some)
                 }
-                Op::IssueAbsolute { from, to, resource, amount, nature } => scratch
-                    .issue_absolute(*from, *to, *resource, *amount, *nature)
-                    .map(Some),
+                Op::IssueAbsolute { from, to, resource, amount, nature } => {
+                    scratch.issue_absolute(*from, *to, *resource, *amount, *nature).map(Some)
+                }
                 Op::IssueRelative { from, to, face, nature } => {
                     scratch.issue_relative(*from, *to, *face, *nature).map(Some)
                 }
@@ -231,9 +231,8 @@ mod tests {
     #[test]
     fn error_display_names_the_op() {
         let (mut eco, _bw, _cpu, ca, _cb) = two_party();
-        let err = eco
-            .apply_batch(&[Op::SetFaceTotal { currency: ca, face_total: -1.0 }])
-            .unwrap_err();
+        let err =
+            eco.apply_batch(&[Op::SetFaceTotal { currency: ca, face_total: -1.0 }]).unwrap_err();
         assert!(err.to_string().contains("op 0"), "{err}");
     }
 }

@@ -165,8 +165,7 @@ impl Economy {
     /// Revoke a ticket: the agreement (or deposit) it represents ends.
     /// The ticket stays in the registry, inactive.
     pub fn revoke(&mut self, t: TicketId) -> Result<(), EconomyError> {
-        let ticket =
-            self.tickets.get_mut(t.index()).ok_or(EconomyError::UnknownTicket(t))?;
+        let ticket = self.tickets.get_mut(t.index()).ok_or(EconomyError::UnknownTicket(t))?;
         if !ticket.active {
             return Err(EconomyError::AlreadyRevoked(t));
         }
@@ -263,10 +262,7 @@ impl Economy {
 
     /// Find a principal by name (first match).
     pub fn find_principal(&self, name: &str) -> Option<PrincipalId> {
-        self.principals
-            .iter()
-            .position(|p| p.name == name)
-            .map(PrincipalId::from_index)
+        self.principals.iter().position(|p| p.name == name).map(PrincipalId::from_index)
     }
 
     /// Find a resource kind by name (first match).
@@ -373,18 +369,12 @@ mod tests {
     #[test]
     fn non_positive_amounts_rejected() {
         let (mut eco, r, ca, cb) = two_principal_economy();
-        assert!(matches!(
-            eco.deposit_resource(ca, r, 0.0),
-            Err(EconomyError::NonPositive { .. })
-        ));
+        assert!(matches!(eco.deposit_resource(ca, r, 0.0), Err(EconomyError::NonPositive { .. })));
         assert!(matches!(
             eco.issue_relative(ca, cb, -5.0, AgreementNature::Sharing),
             Err(EconomyError::NonPositive { .. })
         ));
-        assert!(matches!(
-            eco.set_face_total(ca, 0.0),
-            Err(EconomyError::NonPositive { .. })
-        ));
+        assert!(matches!(eco.set_face_total(ca, 0.0), Err(EconomyError::NonPositive { .. })));
         assert!(matches!(
             eco.deposit_resource(ca, r, f64::NAN),
             Err(EconomyError::NotFinite { .. })
@@ -446,8 +436,10 @@ mod tests {
         let a = eco.find_principal("A").unwrap();
         assert_eq!(eco.default_currency(a), ca);
         assert_eq!(eco.find_principal("Z"), None);
-        assert_eq!(eco.find_currency("B"), Some(eco.default_currency(
-            eco.find_principal("B").unwrap())));
+        assert_eq!(
+            eco.find_currency("B"),
+            Some(eco.default_currency(eco.find_principal("B").unwrap()))
+        );
         let v = eco.add_virtual_currency(a, "A_1");
         assert_eq!(eco.find_currency("A_1"), Some(v));
     }

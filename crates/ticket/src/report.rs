@@ -23,9 +23,8 @@ pub fn to_dot(eco: &Economy, valuation: Option<&Valuation>) -> String {
     let mut out = String::from("digraph economy {\n  rankdir=LR;\n");
     for c in eco.currencies() {
         let style = if c.is_virtual { ", style=dashed" } else { "" };
-        let value = valuation
-            .map(|v| format!("\\n= {:.2}", v.currency_value(c.id)))
-            .unwrap_or_default();
+        let value =
+            valuation.map(|v| format!("\\n= {:.2}", v.currency_value(c.id))).unwrap_or_default();
         writeln!(
             out,
             "  {} [label=\"{}\\nface {}{}\"{}];",

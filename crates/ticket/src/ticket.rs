@@ -94,24 +94,16 @@ mod tests {
 
     #[test]
     fn deposit_detection() {
-        let t = mk(
-            TicketValue::Absolute { resource: ResourceId(0), amount: 10.0 },
-            None,
-        );
+        let t = mk(TicketValue::Absolute { resource: ResourceId(0), amount: 10.0 }, None);
         assert!(t.is_deposit());
-        let t = mk(
-            TicketValue::Absolute { resource: ResourceId(0), amount: 3.0 },
-            Some(CurrencyId(0)),
-        );
+        let t =
+            mk(TicketValue::Absolute { resource: ResourceId(0), amount: 3.0 }, Some(CurrencyId(0)));
         assert!(!t.is_deposit());
     }
 
     #[test]
     fn resource_kind_only_for_absolute() {
-        let abs = mk(
-            TicketValue::Absolute { resource: ResourceId(2), amount: 1.0 },
-            None,
-        );
+        let abs = mk(TicketValue::Absolute { resource: ResourceId(2), amount: 1.0 }, None);
         assert_eq!(abs.resource(), Some(ResourceId(2)));
         let rel = mk(TicketValue::Relative { face: 50.0 }, Some(CurrencyId(0)));
         assert_eq!(rel.resource(), None);

@@ -99,9 +99,8 @@ pub fn value(
                 }
             }
             TicketValue::Relative { face } => {
-                let issuer = t
-                    .issuer
-                    .expect("relative tickets always have an issuer by construction");
+                let issuer =
+                    t.issuer.expect("relative tickets always have an issuer by construction");
                 let ft = currencies[issuer.index()].face_total;
                 edges.push((issuer.index(), t.backing.index(), face / ft));
             }
@@ -222,11 +221,7 @@ fn solve_fixpoint(
         for &(i, j, w) in edges {
             next[j] += w * g[i];
         }
-        let delta = g
-            .iter()
-            .zip(&next)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
+        let delta = g.iter().zip(&next).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
         std::mem::swap(&mut g, &mut next);
         if delta <= tol {
             return Ok(g);
@@ -440,10 +435,7 @@ mod tests {
         let (eco, disk, [ca, cb, cc, cd]) = example1();
         let exact = eco.value_report_with(disk, ValuationMethod::Exact).unwrap();
         let fix = eco
-            .value_report_with(
-                disk,
-                ValuationMethod::FixedPoint { max_iters: 10_000, tol: 1e-12 },
-            )
+            .value_report_with(disk, ValuationMethod::FixedPoint { max_iters: 10_000, tol: 1e-12 })
             .unwrap();
         for c in [ca, cb, cc, cd] {
             assert!((exact.currency_value(c) - fix.currency_value(c)).abs() < 1e-9);
@@ -460,10 +452,8 @@ mod tests {
         eco.deposit_resource(ca, r, 10.0).unwrap();
         eco.issue_relative(ca, cb, 100.0, Sharing).unwrap();
         eco.issue_relative(cb, ca, 100.0, Sharing).unwrap();
-        let res = eco.value_report_with(
-            r,
-            ValuationMethod::FixedPoint { max_iters: 200, tol: 1e-12 },
-        );
+        let res =
+            eco.value_report_with(r, ValuationMethod::FixedPoint { max_iters: 200, tol: 1e-12 });
         assert!(matches!(res, Err(EconomyError::DivergentValuation { .. })));
     }
 

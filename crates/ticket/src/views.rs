@@ -118,8 +118,7 @@ impl ViewRegistry {
         match self.lookup(view) {
             None => Ok(eco.value_report(view)?.currency_value(currency)),
             Some(v) => {
-                let base_part =
-                    eco.value_report(v.base)?.currency_value(currency) * v.factor;
+                let base_part = eco.value_report(v.base)?.currency_value(currency) * v.factor;
                 let direct_part = eco.value_report(view)?.currency_value(currency);
                 Ok(base_part + direct_part)
             }
@@ -179,7 +178,7 @@ mod tests {
         let (ca, cb) = (eco.default_currency(a), eco.default_currency(b));
         eco.deposit_resource(ca, bw, 100.0).unwrap();
         eco.issue_relative(ca, cb, 40.0, Sharing).unwrap(); // 40% of A
-        // B holds 40% of A's base bandwidth -> 40 read units, 20 write.
+                                                            // B holds 40% of A's base bandwidth -> 40 read units, 20 write.
         assert_eq!(views.currency_value_in_view(&eco, read, cb).unwrap(), 40.0);
         assert_eq!(views.currency_value_in_view(&eco, write, cb).unwrap(), 20.0);
     }

@@ -1,8 +1,6 @@
 //! Property tests for atomic batches and resource views.
 
-use agreements_ticket::{
-    AgreementNature, CurrencyId, Economy, Op, ResourceId, ViewRegistry,
-};
+use agreements_ticket::{AgreementNature, CurrencyId, Economy, Op, ResourceId, ViewRegistry};
 use proptest::prelude::*;
 
 /// A random op over a 3-principal, 1-resource economy (indices may be
@@ -11,10 +9,8 @@ fn arb_op() -> impl Strategy<Value = Op> {
     let cur = || (0usize..5).prop_map(CurrencyId::from_index);
     let res = || (0usize..2).prop_map(ResourceId::from_index);
     prop_oneof![
-        (cur(), -10.0f64..200.0).prop_map(|(currency, face_total)| Op::SetFaceTotal {
-            currency,
-            face_total
-        }),
+        (cur(), -10.0f64..200.0)
+            .prop_map(|(currency, face_total)| Op::SetFaceTotal { currency, face_total }),
         (cur(), res(), -5.0f64..50.0).prop_map(|(into, resource, amount)| Op::Deposit {
             into,
             resource,
@@ -27,13 +23,7 @@ fn arb_op() -> impl Strategy<Value = Op> {
             nature: AgreementNature::Sharing,
         }),
         (cur(), cur(), res(), 0.1f64..20.0).prop_map(|(from, to, resource, amount)| {
-            Op::IssueAbsolute {
-                from,
-                to,
-                resource,
-                amount,
-                nature: AgreementNature::Granting,
-            }
+            Op::IssueAbsolute { from, to, resource, amount, nature: AgreementNature::Granting }
         }),
     ]
 }

@@ -15,18 +15,14 @@ fn arb_economy() -> impl Strategy<Value = (Economy, usize)> {
         (Just(n), deposits, shares).prop_map(|(n, deposits, shares)| {
             let mut eco = Economy::new();
             let r = eco.add_resource("res");
-            let ps: Vec<_> =
-                (0..n).map(|i| eco.add_principal(&format!("P{i}"))).collect();
+            let ps: Vec<_> = (0..n).map(|i| eco.add_principal(&format!("P{i}"))).collect();
             for (i, &d) in deposits.iter().enumerate() {
-                eco.deposit_resource(eco.default_currency(ps[i]), r, d as f64)
-                    .unwrap();
+                eco.deposit_resource(eco.default_currency(ps[i]), r, d as f64).unwrap();
             }
             for i in 0..n {
                 let row = &shares[i * n..(i + 1) * n];
-                let total: u32 = row.iter().enumerate()
-                    .filter(|&(j, _)| j != i)
-                    .map(|(_, &s)| s)
-                    .sum();
+                let total: u32 =
+                    row.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &s)| s).sum();
                 if total == 0 {
                     continue;
                 }

@@ -16,11 +16,7 @@ fn rich_economy() -> Economy {
     let a = eco.add_principal("A");
     let b = eco.add_principal("B");
     let c = eco.add_principal("C");
-    let (ca, cb, cc) = (
-        eco.default_currency(a),
-        eco.default_currency(b),
-        eco.default_currency(c),
-    );
+    let (ca, cb, cc) = (eco.default_currency(a), eco.default_currency(b), eco.default_currency(c));
     let a1 = eco.add_virtual_currency(a, "A_1");
     eco.set_face_total(ca, 500.0).unwrap();
     eco.deposit_resource(ca, disk, 12.0).unwrap();

@@ -45,15 +45,9 @@ pub fn mean_demand(trace: &ProxyTrace, service: &ServiceModel) -> f64 {
 /// The capacity at which this trace's *peak* slot would run at the target
 /// utilization — the calibration equation of the experiments crate,
 /// derivable from any trace.
-pub fn capacity_for_peak_rho(
-    trace: &ProxyTrace,
-    service: &ServiceModel,
-    target_rho: f64,
-) -> f64 {
+pub fn capacity_for_peak_rho(trace: &ProxyTrace, service: &ServiceModel, target_rho: f64) -> f64 {
     assert!(target_rho > 0.0, "target rho must be positive");
-    let peak_work = offered_work_per_slot(trace, service)
-        .into_iter()
-        .fold(0.0f64, f64::max);
+    let peak_work = offered_work_per_slot(trace, service).into_iter().fold(0.0f64, f64::max);
     peak_work / (SLOT_SECONDS * target_rho)
 }
 

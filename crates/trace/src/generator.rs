@@ -55,10 +55,7 @@ impl TraceConfig {
             SkewMode::SharedShifted => {
                 let base = generate_stream(self, self.seed);
                 (0..proxies)
-                    .map(|p| ProxyTrace {
-                        proxy: p,
-                        requests: shift_stream(&base, p as f64 * gap),
-                    })
+                    .map(|p| ProxyTrace { proxy: p, requests: shift_stream(&base, p as f64 * gap) })
                     .collect()
             }
             SkewMode::IndependentShifted => (0..proxies)
@@ -98,10 +95,9 @@ fn generate_stream(cfg: &TraceConfig, seed: u64) -> Vec<Request> {
     let total_weight = cfg.profile.total_weight();
     // rate(t) = requests_per_day * profile(t) / total_weight  [req/s]
     let scale = cfg.requests_per_day as f64 / total_weight;
-    let peak_rate = (0..24)
-        .map(|h| cfg.profile.rate_at(h as f64 * 3600.0 + 1800.0))
-        .fold(0.0f64, f64::max)
-        * scale;
+    let peak_rate =
+        (0..24).map(|h| cfg.profile.rate_at(h as f64 * 3600.0 + 1800.0)).fold(0.0f64, f64::max)
+            * scale;
     // Thinning: homogeneous Poisson at peak_rate, accept with
     // rate(t)/peak_rate.
     let mut requests = Vec::with_capacity(cfg.requests_per_day + 1024);
@@ -143,10 +139,7 @@ mod tests {
     fn volume_is_approximately_requested() {
         let traces = small_cfg().generate(1, 0.0);
         let n = traces[0].requests.len();
-        assert!(
-            (n as f64 - 20_000.0).abs() < 20_000.0 * 0.05,
-            "generated {n} requests"
-        );
+        assert!((n as f64 - 20_000.0).abs() < 20_000.0 * 0.05, "generated {n} requests");
     }
 
     #[test]
@@ -168,10 +161,7 @@ mod tests {
         // Midnight slots busier than 6 am slots by at least 3x.
         let midnight: usize = counts[0..6].iter().sum();
         let morning: usize = counts[36..42].iter().sum(); // 06:00-07:00
-        assert!(
-            midnight > morning * 3,
-            "midnight {midnight} vs morning {morning}"
-        );
+        assert!(midnight > morning * 3, "midnight {midnight} vs morning {morning}");
     }
 
     #[test]

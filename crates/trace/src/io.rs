@@ -120,9 +120,7 @@ pub fn from_homeip(proxy: usize, text: &str) -> io::Result<ProxyTrace> {
             continue;
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
-        let ts: f64 = fields[0]
-            .parse()
-            .map_err(|_| err(i, "first field is not a timestamp"))?;
+        let ts: f64 = fields[0].parse().map_err(|_| err(i, "first field is not a timestamp"))?;
         if !ts.is_finite() || ts < 0.0 {
             return Err(err(i, "invalid timestamp"));
         }
@@ -137,10 +135,7 @@ pub fn from_homeip(proxy: usize, text: &str) -> io::Result<ProxyTrace> {
     let t0 = raw.iter().map(|&(t, _)| t).fold(f64::INFINITY, f64::min);
     let mut requests: Vec<Request> = raw
         .into_iter()
-        .map(|(t, size)| Request {
-            arrival: crate::slots::wrap_day(t - t0),
-            response_len: size,
-        })
+        .map(|(t, size)| Request { arrival: crate::slots::wrap_day(t - t0), response_len: size })
         .collect();
     requests.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite"));
     Ok(ProxyTrace { proxy, requests })

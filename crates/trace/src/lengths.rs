@@ -29,8 +29,8 @@ impl ResponseLenDist {
     /// Calibrated default (see type docs).
     pub fn web1996() -> Self {
         ResponseLenDist {
-            mu: 8.0,       // median ≈ 3 kB
-            sigma: 1.4,    // body mean ≈ 8 kB
+            mu: 8.0,    // median ≈ 3 kB
+            sigma: 1.4, // body mean ≈ 8 kB
             tail_prob: 0.015,
             tail_xm: 150_000.0,
             tail_alpha: 1.2,

@@ -18,8 +18,8 @@ pub struct DiurnalProfile {
 /// Figure 5 solid line (requests per 10-minute slot): ≈ flat maximum
 /// 23:00–01:00, steep fall to a 05:00–07:00 trough, slow evening climb.
 const FIGURE5_HOURLY: [f64; 24] = [
-    1.00, 0.95, 0.80, 0.55, 0.35, 0.22, 0.18, 0.20, 0.28, 0.35, 0.40, 0.45,
-    0.50, 0.52, 0.55, 0.58, 0.62, 0.68, 0.75, 0.82, 0.88, 0.93, 0.97, 1.00,
+    1.00, 0.95, 0.80, 0.55, 0.35, 0.22, 0.18, 0.20, 0.28, 0.35, 0.40, 0.45, 0.50, 0.52, 0.55, 0.58,
+    0.62, 0.68, 0.75, 0.82, 0.88, 0.93, 0.97, 1.00,
 ];
 
 impl DiurnalProfile {
@@ -39,9 +39,8 @@ impl DiurnalProfile {
     pub fn business() -> Self {
         DiurnalProfile {
             hourly: [
-                0.12, 0.10, 0.10, 0.10, 0.10, 0.12, 0.20, 0.45, 0.80, 1.00,
-                1.00, 0.95, 0.85, 0.95, 1.00, 1.00, 0.95, 0.80, 0.55, 0.35,
-                0.25, 0.20, 0.16, 0.14,
+                0.12, 0.10, 0.10, 0.10, 0.10, 0.12, 0.20, 0.45, 0.80, 1.00, 1.00, 0.95, 0.85, 0.95,
+                1.00, 1.00, 0.95, 0.80, 0.55, 0.35, 0.25, 0.20, 0.16, 0.14,
             ],
         }
     }
@@ -64,7 +63,7 @@ impl DiurnalProfile {
     pub fn rate_at(&self, t: f64) -> f64 {
         let t = t.rem_euclid(DAY_SECONDS);
         let h = t / 3600.0; // fractional hour
-        // Interpolate between hour centers (h + 0.5).
+                            // Interpolate between hour centers (h + 0.5).
         let pos = h - 0.5;
         let pos = if pos < 0.0 { pos + 24.0 } else { pos };
         let i0 = pos.floor() as usize % 24;

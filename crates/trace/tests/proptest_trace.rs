@@ -2,8 +2,7 @@
 
 use agreements_trace::io;
 use agreements_trace::{
-    DiurnalProfile, ProxyTrace, Request, ResponseLenDist, SkewMode, TraceConfig,
-    DAY_SECONDS,
+    DiurnalProfile, ProxyTrace, Request, ResponseLenDist, SkewMode, TraceConfig, DAY_SECONDS,
 };
 use proptest::prelude::*;
 

@@ -44,9 +44,7 @@ fn main() {
     let caps = vec![4.0 * client_cap, client_cap * 0.6, client_cap * 0.6, client_cap * 0.6];
 
     let run = |sharing: bool| {
-        let mut cfg = base
-            .clone()
-            .with_per_proxy_capacity(caps.clone());
+        let mut cfg = base.clone().with_per_proxy_capacity(caps.clone());
         if sharing {
             cfg = cfg.with_sharing(SharingConfig {
                 agreements: s.clone(),

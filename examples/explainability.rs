@@ -21,17 +21,12 @@ fn main() {
     println!("chains from 4 (owner) to 0 (user), up to 4 hops:");
     for chain in chains_between(&s, 4, 0, 4) {
         let route: Vec<String> = chain.nodes.iter().map(|x| x.to_string()).collect();
-        println!(
-            "  {}  forwards {:.4} of 4's availability",
-            route.join(" -> "),
-            chain.product
-        );
+        println!("  {}  forwards {:.4} of 4's availability", route.join(" -> "), chain.product);
     }
 
     // --- Allocation audit --------------------------------------------
     let flow = TransitiveFlow::compute(&s, n - 1);
-    let state =
-        SystemState::new(flow, None, vec![0.0, 6.0, 10.0, 8.0, 10.0]).unwrap();
+    let state = SystemState::new(flow, None, vec![0.0, 6.0, 10.0, 8.0, 10.0]).unwrap();
     let explanation = explain_allocation(&state, 0, 7.0).unwrap();
     println!("\n{explanation}");
     println!("bottleneck owners (their capacity loss sets theta):");

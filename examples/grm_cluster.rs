@@ -60,16 +60,13 @@ fn main() {
     let tree = TwoLevelGrm::new(groups, intra, &inter, 1).unwrap();
     for p in 0..6 {
         let g = tree.group_of(p);
-        tree.group_handle(g)
-            .report(tree.local_index(p), if p < 3 { 3.0 } else { 30.0 })
-            .unwrap();
+        tree.group_handle(g).report(tree.local_index(p), if p < 3 { 3.0 } else { 30.0 }).unwrap();
     }
     // Principal 0's group holds 9 units; a request for 20 escalates to the
     // root, which draws on group 1 under the 50% inter-group agreement.
     let alloc = tree.request(0, 20.0).unwrap();
     println!("principal 0 requested 20.0; global draws: {:?}", alloc.draws);
     let home: f64 = alloc.draws[..3].iter().sum();
-    println!("  {home:.1} from the home group, {:.1} from the remote group",
-        20.0 - home);
+    println!("  {home:.1} from the home group, {:.1} from the remote group", 20.0 - home);
     tree.shutdown();
 }

@@ -20,40 +20,27 @@ fn main() {
 
     // With sharing: complete graph, each ISP shares 10% with every other.
     let agreements = Structure::Complete { n: N, share: 0.10 }.build().unwrap();
-    let sharing = SharingConfig {
-        agreements,
-        level: N - 1,
-        policy: PolicyKind::Lp,
-        redirect_cost: 0.1,
-    };
-    let shared = Simulator::new(base.with_sharing(sharing))
-        .unwrap()
-        .run(&traces)
-        .unwrap();
+    let sharing =
+        SharingConfig { agreements, level: N - 1, policy: PolicyKind::Lp, redirect_cost: 0.1 };
+    let shared = Simulator::new(base.with_sharing(sharing)).unwrap().run(&traces).unwrap();
 
     println!("10 ISPs, one-hour time zones apart, {REQUESTS} requests/day each");
     println!("metric                         no sharing      sharing(10%)");
-    println!(
-        "avg wait (s)              {:>15.2} {:>15.2}",
-        alone.avg_wait(),
-        shared.avg_wait()
-    );
+    println!("avg wait (s)              {:>15.2} {:>15.2}", alone.avg_wait(), shared.avg_wait());
     println!(
         "peak slot avg wait (s)    {:>15.2} {:>15.2}",
         alone.peak_slot_avg_wait(),
         shared.peak_slot_avg_wait()
     );
-    println!(
-        "worst wait (s)            {:>15.2} {:>15.2}",
-        alone.worst_wait, shared.worst_wait
-    );
+    println!("worst wait (s)            {:>15.2} {:>15.2}", alone.worst_wait, shared.worst_wait);
     println!(
         "requests redirected (%)   {:>15.2} {:>15.2}",
         0.0,
         100.0 * shared.redirect_fraction()
     );
+    println!("\nSharing absorbs the midnight peak using partners in other time");
     println!(
-        "\nSharing absorbs the midnight peak using partners in other time");
-    println!("zones - a {:.0}x improvement in the peak-slot average wait.",
-        alone.peak_slot_avg_wait() / shared.peak_slot_avg_wait().max(0.01));
+        "zones - a {:.0}x improvement in the peak-slot average wait.",
+        alone.peak_slot_avg_wait() / shared.peak_slot_avg_wait().max(0.01)
+    );
 }

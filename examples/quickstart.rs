@@ -54,8 +54,13 @@ fn main() {
     let flow = TransitiveFlow::compute(&s, 3);
     let avail = vec![10.0, 15.0, 0.0, 0.0];
     let report = capacities(&flow, None, &avail);
-    println!("Reachable capacities: C_A={:.1}, C_B={:.1}, C_C={:.1}, C_D={:.1}",
-        report.capacity(0), report.capacity(1), report.capacity(2), report.capacity(3));
+    println!(
+        "Reachable capacities: C_A={:.1}, C_B={:.1}, C_C={:.1}, C_D={:.1}",
+        report.capacity(0),
+        report.capacity(1),
+        report.capacity(2),
+        report.capacity(3)
+    );
 
     // D requests 10 TB; it owns nothing, so everything flows through the
     // agreement chain. The LP picks the draw minimizing the worst

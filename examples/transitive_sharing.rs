@@ -23,10 +23,8 @@ fn main() {
         let cap = capacities(&flow, None, &avail);
         let state = SystemState::new(flow, None, avail.clone()).unwrap();
         let alloc = LpPolicy::reduced().allocate_up_to(&state, 0, 15.0).unwrap();
-        let sources: Vec<String> = alloc
-            .remote_draws()
-            .map(|(k, d)| format!("{d:.1} from {k}"))
-            .collect();
+        let sources: Vec<String> =
+            alloc.remote_draws().map(|(k, d)| format!("{d:.1} from {k}")).collect();
         println!(
             "{level:>5}  {:>6.2}  placed {:.1}: [{}]",
             cap.capacity(0),
@@ -52,10 +50,7 @@ fn main() {
     let clamped = TransitiveFlow::compute(&s, 2);
     let v = [10.0, 0.0, 0.0];
     println!("Overdraft example (A=10 units, shares 60%+60%, B forwards 100%):");
-    println!(
-        "  unclamped: C could claim {:.1} units - more than A owns!",
-        raw.inflow(0, 2, v[0])
-    );
+    println!("  unclamped: C could claim {:.1} units - more than A owns!", raw.inflow(0, 2, v[0]));
     println!(
         "  clamped:   C is limited to {:.1} units (K = min(T, 1))",
         clamped.inflow(0, 2, v[0])

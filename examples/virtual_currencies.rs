@@ -13,11 +13,7 @@ fn main() {
     let c = eco.add_principal("C");
     let d = eco.add_principal("D");
     let ca = eco.default_currency(a);
-    let (cb, cc, cd) = (
-        eco.default_currency(b),
-        eco.default_currency(c),
-        eco.default_currency(d),
-    );
+    let (cb, cc, cd) = (eco.default_currency(b), eco.default_currency(c), eco.default_currency(d));
     eco.set_face_total(ca, 1000.0).unwrap();
     eco.deposit_resource(ca, disk, 10.0).unwrap();
     eco.deposit_resource(cb, disk, 15.0).unwrap();
@@ -34,18 +30,28 @@ fn main() {
 
     let v = eco.value_report(disk).unwrap();
     println!("Before inflation of A_1:");
-    println!("  A_1={:.2}  A_2={:.2}  B={:.2}  C={:.2}  D={:.2}",
-        v.currency_value(a1), v.currency_value(a2),
-        v.currency_value(cb), v.currency_value(cc), v.currency_value(cd));
+    println!(
+        "  A_1={:.2}  A_2={:.2}  B={:.2}  C={:.2}  D={:.2}",
+        v.currency_value(a1),
+        v.currency_value(a2),
+        v.currency_value(cb),
+        v.currency_value(cc),
+        v.currency_value(cd)
+    );
 
     // A halves what the C-subset is worth by inflating A_1 — without
     // touching the B/D subset.
     eco.set_face_total(a1, 200.0).unwrap();
     let v = eco.value_report(disk).unwrap();
     println!("After inflating A_1's face total 100 -> 200:");
-    println!("  A_1={:.2}  A_2={:.2}  B={:.2}  C={:.2}  D={:.2}",
-        v.currency_value(a1), v.currency_value(a2),
-        v.currency_value(cb), v.currency_value(cc), v.currency_value(cd));
+    println!(
+        "  A_1={:.2}  A_2={:.2}  B={:.2}  C={:.2}  D={:.2}",
+        v.currency_value(a1),
+        v.currency_value(a2),
+        v.currency_value(cb),
+        v.currency_value(cc),
+        v.currency_value(cd)
+    );
     println!("C's ticket halved; B and D are untouched — the virtual");
     println!("currency isolates the two agreement subsets.");
 }

@@ -46,15 +46,9 @@ fn currency_values_match_flow_capacities_on_dags() {
         // Chain.
         (vec![10.0, 20.0, 5.0], vec![(0, 1, 0.5), (1, 2, 0.4)]),
         // Diamond: 0 -> {1, 2} -> 3.
-        (
-            vec![16.0, 2.0, 2.0, 1.0],
-            vec![(0, 1, 0.25), (0, 2, 0.5), (1, 3, 0.5), (2, 3, 0.5)],
-        ),
+        (vec![16.0, 2.0, 2.0, 1.0], vec![(0, 1, 0.25), (0, 2, 0.5), (1, 3, 0.5), (2, 3, 0.5)]),
         // Star out of 0.
-        (
-            vec![100.0, 0.0, 0.0, 0.0],
-            vec![(0, 1, 0.2), (0, 2, 0.3), (0, 3, 0.4)],
-        ),
+        (vec![100.0, 0.0, 0.0, 0.0], vec![(0, 1, 0.2), (0, 2, 0.3), (0, 3, 0.4)]),
     ];
     for (deposits, edges) in cases {
         let n = deposits.len();
@@ -79,13 +73,9 @@ fn currency_values_match_flow_capacities_on_dags() {
 /// principal is worth.
 #[test]
 fn scheduler_admission_matches_currency_value() {
-    let (eco, r, s, v) =
-        build_both(&[12.0, 8.0, 0.0], &[(0, 2, 0.5), (1, 2, 0.25)]);
+    let (eco, r, s, v) = build_both(&[12.0, 8.0, 0.0], &[(0, 2, 0.5), (1, 2, 0.25)]);
     let p2 = PrincipalId::from_index(2);
-    let worth = eco
-        .value_report(r)
-        .unwrap()
-        .currency_value(eco.default_currency(p2));
+    let worth = eco.value_report(r).unwrap().currency_value(eco.default_currency(p2));
     assert!((worth - 8.0).abs() < 1e-9, "0.5*12 + 0.25*8");
 
     let flow = TransitiveFlow::compute(&s, 2);
@@ -108,9 +98,7 @@ fn revocation_propagates_to_enforcement() {
     let b = eco.add_principal("B");
     let (ca, cb) = (eco.default_currency(a), eco.default_currency(b));
     eco.deposit_resource(ca, r, 10.0).unwrap();
-    let ticket = eco
-        .issue_relative(ca, cb, 50.0, AgreementNature::Sharing)
-        .unwrap();
+    let ticket = eco.issue_relative(ca, cb, 50.0, AgreementNature::Sharing).unwrap();
     assert!((eco.principal_capacity(b, r).unwrap() - 5.0).abs() < 1e-9);
 
     eco.revoke(ticket).unwrap();
@@ -134,14 +122,10 @@ fn absolute_agreements_agree_across_layers() {
     let b = eco.add_principal("B");
     let ca = eco.default_currency(a);
     eco.deposit_resource(ca, r, 4.0).unwrap();
-    eco.issue_absolute(ca, eco.default_currency(b), r, 7.0, AgreementNature::Sharing)
-        .unwrap();
+    eco.issue_absolute(ca, eco.default_currency(b), r, 7.0, AgreementNature::Sharing).unwrap();
     // Ticket layer: B's currency is worth the full face 7 (tickets record
     // rights; enforcement saturates at allocation time).
-    let worth = eco
-        .value_report(r)
-        .unwrap()
-        .currency_value(eco.default_currency(b));
+    let worth = eco.value_report(r).unwrap().currency_value(eco.default_currency(b));
     assert!((worth - 7.0).abs() < 1e-9);
 
     // Enforcement layer: the draw saturates at A's actual 4 units.

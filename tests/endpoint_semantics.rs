@@ -14,9 +14,7 @@
 //!   which is why it is not the default.
 
 use sharing_agreements::flow::{AgreementMatrix, TransitiveFlow};
-use sharing_agreements::sched::{
-    AllocationPolicy, LpPolicy, ProportionalPolicy, SystemState,
-};
+use sharing_agreements::sched::{AllocationPolicy, LpPolicy, ProportionalPolicy, SystemState};
 
 fn distance_decay(n: usize) -> AgreementMatrix {
     sharing_agreements::flow::Structure::figure13(n).build().unwrap()
@@ -44,8 +42,7 @@ fn availability_quota_bounces_at_busy_owners() {
     assert_eq!(placed.draws[9], 0.0);
     assert!(placed.amount < 20.0, "most of the proportional split bounced");
 
-    let capacity_based =
-        ProportionalPolicy::new(s).with_endpoint_caps(vec![50.0; n]);
+    let capacity_based = ProportionalPolicy::new(s).with_endpoint_caps(vec![50.0; n]);
     let blind = capacity_based.allocate_up_to(&state, 0, 20.0).unwrap();
     assert!(blind.draws[1] > 0.0, "blind quota accepts at the drained owner");
     assert!(blind.amount > placed.amount);

@@ -6,9 +6,7 @@
 
 use sharing_agreements::flow::Structure;
 use sharing_agreements::grm::{GrmBackedPolicy, GrmServer};
-use sharing_agreements::proxysim::{
-    PolicyKind, SharingConfig, SimConfig, Simulator,
-};
+use sharing_agreements::proxysim::{PolicyKind, SharingConfig, SimConfig, Simulator};
 use sharing_agreements::trace::{ResponseLenDist, TraceConfig};
 
 #[test]
@@ -36,9 +34,7 @@ fn simulation_through_live_grm_matches_in_process() {
 
     // Through the GRM service boundary.
     let grm = GrmServer::spawn(agreements, N - 1);
-    let sim =
-        Simulator::with_policy(cfg, Box::new(GrmBackedPolicy::new(grm.handle())))
-            .unwrap();
+    let sim = Simulator::with_policy(cfg, Box::new(GrmBackedPolicy::new(grm.handle()))).unwrap();
     let remote = sim.run(&traces).unwrap();
     grm.shutdown();
 
@@ -57,10 +53,7 @@ fn simulation_through_live_grm_matches_in_process() {
 #[test]
 fn with_policy_requires_sharing_config() {
     let cfg = SimConfig::calibrated(2, 100, 0.1, 1.0);
-    let grm = GrmServer::spawn(
-        Structure::Complete { n: 2, share: 0.5 }.build().unwrap(),
-        1,
-    );
+    let grm = GrmServer::spawn(Structure::Complete { n: 2, share: 0.5 }.build().unwrap(), 1);
     let res = Simulator::with_policy(cfg, Box::new(GrmBackedPolicy::new(grm.handle())));
     assert!(res.is_err());
     grm.shutdown();

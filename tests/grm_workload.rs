@@ -27,9 +27,8 @@ fn concurrent_job_stream_conserves_resources() {
     const N: usize = 6;
     const INITIAL: f64 = 30.0;
     let grm = GrmServer::spawn(complete(N, 0.4), N - 1);
-    let lrms: Arc<Vec<Lrm>> = Arc::new(
-        (0..N).map(|i| Lrm::new(i, INITIAL, grm.handle()).unwrap()).collect(),
-    );
+    let lrms: Arc<Vec<Lrm>> =
+        Arc::new((0..N).map(|i| Lrm::new(i, INITIAL, grm.handle()).unwrap()).collect());
     // Fixed-point arithmetic for exact cross-thread accounting.
     let granted_milli = Arc::new(AtomicU64::new(0));
 
@@ -58,14 +57,10 @@ fn concurrent_job_stream_conserves_resources() {
                                 "fulfilled {total} beyond grant {}",
                                 alloc.amount
                             );
-                            granted_milli.fetch_add(
-                                (total * 1000.0).round() as u64,
-                                Ordering::Relaxed,
-                            );
+                            granted_milli
+                                .fetch_add((total * 1000.0).round() as u64, Ordering::Relaxed);
                         }
-                        Err(GrmError::Sched(SchedError::InsufficientCapacity {
-                            ..
-                        })) => {
+                        Err(GrmError::Sched(SchedError::InsufficientCapacity { .. })) => {
                             // Pool exhausted for this requester: fine.
                         }
                         Err(e) => panic!("unexpected GRM error: {e}"),
@@ -89,10 +84,7 @@ fn concurrent_job_stream_conserves_resources() {
         lrm.report().unwrap();
     }
     let view: f64 = grm.handle().availability().unwrap().iter().sum();
-    assert!(
-        (view - leftover).abs() < 1e-6,
-        "GRM view {view} vs LRM pools {leftover}"
-    );
+    assert!((view - leftover).abs() < 1e-6, "GRM view {view} vs LRM pools {leftover}");
     grm.shutdown();
 }
 

@@ -23,12 +23,8 @@ fn no_sharing_average_wait_is_skew_invariant() {
     const REQUESTS: usize = 15_000;
     let mut cfg = SimConfig::calibrated(N, REQUESTS, 0.105, 1.03);
     cfg.epoch = 60.0;
-    let run = |gap: f64| {
-        Simulator::new(cfg.clone())
-            .unwrap()
-            .run(&traces(REQUESTS, gap, N))
-            .unwrap()
-    };
+    let run =
+        |gap: f64| Simulator::new(cfg.clone()).unwrap().run(&traces(REQUESTS, gap, N)).unwrap();
     let baseline = run(0.0);
     assert!(baseline.avg_wait() > 0.1, "load hot enough to queue");
     for gap in [1800.0, 3600.0, 7200.0] {

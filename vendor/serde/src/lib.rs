@@ -1,0 +1,434 @@
+//! Offline stand-in for `serde` (1.x API subset).
+//!
+//! The real serde is a zero-copy visitor framework; this stand-in is a
+//! value-tree framework, which is all the workspace needs: every consumer
+//! (de)serializes whole documents through `serde_json`. Types convert to
+//! and from a [`Value`] tree:
+//!
+//! - [`Serialize`] renders `self` into a [`Value`];
+//! - [`Deserialize`] parses out of a [`Value`];
+//! - the `#[derive(Serialize, Deserialize)]` macros (re-exported from the
+//!   companion `serde_derive` stand-in) generate those impls with serde's
+//!   data-model conventions: structs as objects, enums externally tagged
+//!   (or internally via `#[serde(tag = "...")]`), newtype structs
+//!   transparent, `#[serde(default)]`/`#[serde(default = "path")]` and
+//!   `#[serde(rename_all = "kebab-case")]` honored.
+//!
+//! Object keys keep insertion order (a `Vec` of pairs, not a map), so
+//! serialized output is deterministic and follows field declaration order
+//! exactly like the real serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the serialization data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Num(Number),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Arr(Vec<Value>),
+    /// JSON object, in insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+/// A JSON number: integers keep exactness, everything else is `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Signed integer (only produced for negative integers).
+    I(i64),
+    /// Unsigned integer.
+    U(u64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    /// Widen to `f64` (always possible).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::I(v) => v as f64,
+            Number::U(v) => v as f64,
+            Number::F(v) => v,
+        }
+    }
+
+    /// As `u64` if exactly representable.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::I(v) => u64::try_from(v).ok(),
+            Number::U(v) => Some(v),
+            Number::F(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Some(v as u64),
+            Number::F(_) => None,
+        }
+    }
+
+    /// As `i64` if exactly representable.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::I(v) => Some(v),
+            Number::U(v) => i64::try_from(v).ok(),
+            Number::F(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 => {
+                Some(v as i64)
+            }
+            Number::F(_) => None,
+        }
+    }
+}
+
+impl Value {
+    /// The object pairs, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// An error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types renderable into a [`Value`].
+pub trait Serialize {
+    /// Render `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types parseable out of a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parse from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::Num(n) => n.as_u64(),
+                    _ => None,
+                };
+                n.and_then(|u| <$t>::try_from(u).ok()).ok_or_else(|| {
+                    DeError::custom(format!(
+                        "expected {}, found {}", stringify!($t), v.kind()
+                    ))
+                })
+            }
+        }
+    )*};
+}
+serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Num(Number::U(v as u64))
+                } else {
+                    Value::Num(Number::I(v))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::Num(n) => n.as_i64(),
+                    _ => None,
+                };
+                n.and_then(|i| <$t>::try_from(i).ok()).ok_or_else(|| {
+                    DeError::custom(format!(
+                        "expected {}, found {}", stringify!($t), v.kind()
+                    ))
+                })
+            }
+        }
+    )*};
+}
+serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(Number::F(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Num(n) => Ok(n.as_f64()),
+            other => Err(DeError::custom(format!("expected number, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Num(Number::F(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::custom(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_arr()
+            .ok_or_else(|| DeError::custom(format!("expected array, found {}", v.kind())))?;
+        if items.len() != N {
+            return Err(DeError::custom(format!(
+                "expected array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(items) {
+            *slot = T::from_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v.as_arr().ok_or_else(|| {
+                    DeError::custom(format!("expected array, found {}", v.kind()))
+                })?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of length {expected}, found {}", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Support plumbing used by the derive-generated code. Not part of the
+/// public serde API surface; the derive macros emit fully qualified paths
+/// into this module.
+pub mod __private {
+    use super::{DeError, Deserialize, Value};
+
+    /// Look up a key in an object's pair list.
+    pub fn obj_get<'a>(pairs: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+        pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Handle an absent field without a `#[serde(default)]`: `Option`
+    /// fields become `None` (they deserialize from `Null`); anything else
+    /// reports a missing field.
+    pub fn missing_field<T: Deserialize>(field: &str, ty: &str) -> Result<T, DeError> {
+        T::from_value(&Value::Null)
+            .map_err(|_| DeError::custom(format!("missing field `{field}` in {ty}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_convert_exactly() {
+        assert_eq!(Number::U(7).as_i64(), Some(7));
+        assert_eq!(Number::I(-3).as_u64(), None);
+        assert_eq!(Number::F(2.0).as_u64(), Some(2));
+        assert_eq!(Number::F(2.5).as_u64(), None);
+        assert_eq!(Number::I(-9).as_f64(), -9.0);
+    }
+
+    #[test]
+    fn options_and_arrays_round_trip() {
+        let v = Some(vec![1u32, 2, 3]).to_value();
+        let back: Option<Vec<u32>> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, Some(vec![1, 2, 3]));
+        let none: Option<u32> = Deserialize::from_value(&Value::Null).unwrap();
+        assert_eq!(none, None);
+        let arr = [1.5f64, 2.5];
+        let back: [f64; 2] = Deserialize::from_value(&arr.to_value()).unwrap();
+        assert_eq!(back, arr);
+    }
+
+    #[test]
+    fn wrong_kinds_error() {
+        assert!(u32::from_value(&Value::Str("x".into())).is_err());
+        assert!(<Vec<u32>>::from_value(&Value::Bool(true)).is_err());
+        assert!(<[f64; 2]>::from_value(&vec![1.0].to_value()).is_err());
+    }
+}

@@ -1,0 +1,650 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize`/`serde::Deserialize` impls against the
+//! value-tree `serde` stand-in. Because `syn`/`quote` are unavailable
+//! offline, parsing walks the raw `proc_macro::TokenStream`: the derive
+//! only needs the type's *shape* — field and variant names plus the serde
+//! attributes — never the field types (generated code lets inference
+//! resolve them).
+//!
+//! Supported shapes and attributes (the subset the workspace uses):
+//!
+//! - named structs, tuple structs (newtype and wider), unit structs;
+//! - enums with unit, newtype/tuple, and struct variants;
+//! - external tagging (default) and `#[serde(tag = "...")]` internal
+//!   tagging;
+//! - `#[serde(default)]`, `#[serde(default = "path")]` on fields;
+//! - `#[serde(rename_all = "kebab-case" | "snake_case" | "lowercase")]`
+//!   on enums (applied to variant names).
+//!
+//! Generics are not supported (nothing in the workspace derives on a
+//! generic type); the macro panics with a clear message if it meets one.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct TypeDef {
+    name: String,
+    attrs: ContainerAttrs,
+    kind: Kind,
+}
+
+#[derive(Default)]
+struct ContainerAttrs {
+    tag: Option<String>,
+    rename_all: Option<String>,
+}
+
+enum Kind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// `None`: required; `Some(None)`: `#[serde(default)]`;
+    /// `Some(Some(path))`: `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_type(input);
+    gen_serialize(&def).parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_type(input);
+    gen_deserialize(&def).parse().expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_type(input: TokenStream) -> TypeDef {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut attrs = ContainerAttrs::default();
+    let mut i = 0;
+    let mut is_enum = false;
+    // Header: attributes and visibility before `struct`/`enum`.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_outer_attr(&g.stream(), &mut attrs);
+                    i += 2;
+                } else {
+                    panic!("serde_derive: `#` not followed by an attribute");
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                i += 1;
+                break;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                is_enum = true;
+                i += 1;
+                break;
+            }
+            other => panic!("serde_derive: unexpected token in item header: {other:?}"),
+        }
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported (deriving on `{name}`)");
+    }
+    let kind = if is_enum {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            other => panic!("serde_derive: expected struct body, found {other:?}"),
+        }
+    };
+    TypeDef { name, attrs, kind }
+}
+
+/// Parse one `#[...]` attribute body; records serde container attributes,
+/// ignores everything else (doc comments, std derives, etc.).
+fn parse_outer_attr(stream: &TokenStream, attrs: &mut ContainerAttrs) {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else { return };
+    for (key, value) in parse_attr_args(args.stream()) {
+        match key.as_str() {
+            "tag" => attrs.tag = value,
+            "rename_all" => attrs.rename_all = value,
+            // Field-level keys handled elsewhere; unknown keys at the
+            // container level are rejected loudly rather than silently
+            // changing the format.
+            other => panic!("serde_derive: unsupported container attribute `{other}`"),
+        }
+    }
+}
+
+/// Parse a field/variant `#[serde(...)]` body into a default spec.
+fn parse_field_attr(stream: &TokenStream, field_default: &mut Option<Option<String>>) {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else { return };
+    for (key, value) in parse_attr_args(args.stream()) {
+        match key.as_str() {
+            "default" => *field_default = Some(value),
+            other => panic!("serde_derive: unsupported field attribute `{other}`"),
+        }
+    }
+}
+
+/// Split `key`, `key = "value"` pairs separated by commas.
+fn parse_attr_args(stream: TokenStream) -> Vec<(String, Option<String>)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected attribute key, found {other:?}"),
+        };
+        i += 1;
+        let mut value = None;
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            match &tokens.get(i) {
+                Some(TokenTree::Literal(lit)) => {
+                    value = Some(unquote(&lit.to_string()));
+                    i += 1;
+                }
+                other => panic!("serde_derive: expected string after `=`, found {other:?}"),
+            }
+        }
+        out.push((key, value));
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pending_default: Option<Option<String>> = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_field_attr(&g.stream(), &mut pending_default);
+                    i += 2;
+                } else {
+                    panic!("serde_derive: `#` not followed by an attribute in field list");
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                match &tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    other => {
+                        panic!("serde_derive: expected `:` after field `{name}`, found {other:?}")
+                    }
+                }
+                // Skip the type: everything up to a comma at angle depth 0.
+                let mut depth = 0i32;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                i += 1; // past the comma (or end)
+                fields.push(Field { name, default: pending_default.take() });
+            }
+            other => panic!("serde_derive: unexpected token in field list: {other:?}"),
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    let mut saw_content_since_comma = true;
+    for (idx, tok) in tokens.iter().enumerate() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                // Trailing comma adds no field.
+                if idx + 1 < tokens.len() {
+                    count += 1;
+                }
+                saw_content_since_comma = false;
+            }
+            _ => saw_content_since_comma = true,
+        }
+    }
+    let _ = saw_content_since_comma;
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Variant attributes: only doc comments occur; serde
+                // variant attributes are unsupported and rejected.
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde")
+                    {
+                        panic!("serde_derive: variant-level serde attributes are not supported");
+                    }
+                    i += 2;
+                } else {
+                    panic!("serde_derive: `#` not followed by an attribute in enum body");
+                }
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let kind = match &tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        VariantKind::Named(parse_named_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        VariantKind::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    _ => VariantKind::Unit,
+                };
+                if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    i += 1;
+                }
+                variants.push(Variant { name, kind });
+            }
+            other => panic!("serde_derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Name transforms
+// ---------------------------------------------------------------------
+
+fn apply_rename(name: &str, rule: Option<&str>) -> String {
+    match rule {
+        None => name.to_string(),
+        Some("lowercase") => name.to_lowercase(),
+        Some("kebab-case") => camel_to_separated(name, '-'),
+        Some("snake_case") => camel_to_separated(name, '_'),
+        Some(other) => panic!("serde_derive: unsupported rename_all rule `{other}`"),
+    }
+}
+
+fn camel_to_separated(name: &str, sep: char) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push(sep);
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------
+
+fn push_field_serialize(out: &mut String, obj: &str, field_expr: &str, key: &str) {
+    out.push_str(&format!(
+        "{obj}.push(({key:?}.to_string(), ::serde::Serialize::to_value({field_expr})));\n"
+    ));
+}
+
+fn gen_serialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let mut body = String::new();
+    match &def.kind {
+        Kind::Unit => body.push_str("::serde::Value::Null\n"),
+        Kind::Tuple(1) => body.push_str("::serde::Serialize::to_value(&self.0)\n"),
+        Kind::Tuple(n) => {
+            body.push_str("::serde::Value::Arr(vec![");
+            for i in 0..*n {
+                body.push_str(&format!("::serde::Serialize::to_value(&self.{i}), "));
+            }
+            body.push_str("])\n");
+        }
+        Kind::Named(fields) => {
+            body.push_str(
+                "let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                push_field_serialize(&mut body, "__obj", &format!("&self.{}", f.name), &f.name);
+            }
+            body.push_str("::serde::Value::Obj(__obj)\n");
+        }
+        Kind::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                if let Some(tag) = &def.attrs.tag {
+                    let renamed = apply_rename(vname, def.attrs.rename_all.as_deref());
+                    match &v.kind {
+                        VariantKind::Unit => body.push_str(&format!(
+                            "{name}::{vname} => ::serde::Value::Obj(vec![({tag:?}.to_string(), \
+                             ::serde::Value::Str({renamed:?}.to_string()))]),\n"
+                        )),
+                        VariantKind::Named(fields) => {
+                            let binders: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            body.push_str(&format!(
+                                "{name}::{vname} {{ {} }} => {{\n",
+                                binders.join(", ")
+                            ));
+                            body.push_str(&format!(
+                                "let mut __obj = vec![({tag:?}.to_string(), \
+                                 ::serde::Value::Str({renamed:?}.to_string()))];\n"
+                            ));
+                            for f in fields {
+                                push_field_serialize(&mut body, "__obj", &f.name, &f.name);
+                            }
+                            body.push_str("::serde::Value::Obj(__obj)\n}\n");
+                        }
+                        VariantKind::Tuple(_) => panic!(
+                            "serde_derive: tuple variants are incompatible with internal tagging"
+                        ),
+                    }
+                } else {
+                    match &v.kind {
+                        VariantKind::Unit => body.push_str(&format!(
+                            "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),\n"
+                        )),
+                        VariantKind::Tuple(1) => body.push_str(&format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Obj(vec![\
+                             ({vname:?}.to_string(), ::serde::Serialize::to_value(__f0))]),\n"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            body.push_str(&format!(
+                                "{name}::{vname}({}) => ::serde::Value::Obj(vec![\
+                                 ({vname:?}.to_string(), ::serde::Value::Arr(vec![",
+                                binders.join(", ")
+                            ));
+                            for b in &binders {
+                                body.push_str(&format!("::serde::Serialize::to_value({b}), "));
+                            }
+                            body.push_str("]))]),\n");
+                        }
+                        VariantKind::Named(fields) => {
+                            let binders: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            body.push_str(&format!(
+                                "{name}::{vname} {{ {} }} => {{\n",
+                                binders.join(", ")
+                            ));
+                            body.push_str(
+                                "let mut __inner: ::std::vec::Vec<(::std::string::String, \
+                                 ::serde::Value)> = ::std::vec::Vec::new();\n",
+                            );
+                            for f in fields {
+                                push_field_serialize(&mut body, "__inner", &f.name, &f.name);
+                            }
+                            body.push_str(&format!(
+                                "::serde::Value::Obj(vec![({vname:?}.to_string(), \
+                                 ::serde::Value::Obj(__inner))])\n}}\n"
+                            ));
+                        }
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------
+
+/// The `field: <expr>,` initializer for one named field read from `obj`.
+fn field_init(f: &Field, obj: &str, ty_name: &str) -> String {
+    let key = &f.name;
+    let fallback = match &f.default {
+        None => format!("::serde::__private::missing_field({key:?}, {ty_name:?})?"),
+        Some(None) => "::std::default::Default::default()".to_string(),
+        Some(Some(path)) => format!("{path}()"),
+    };
+    format!(
+        "{key}: match ::serde::__private::obj_get({obj}, {key:?}) {{\n\
+         ::std::option::Option::Some(__fv) => ::serde::Deserialize::from_value(__fv)?,\n\
+         ::std::option::Option::None => {fallback},\n}},\n"
+    )
+}
+
+fn gen_deserialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let mut body = String::new();
+    match &def.kind {
+        Kind::Unit => {
+            body.push_str(&format!("let _ = __v; ::std::result::Result::Ok({name})\n"));
+        }
+        Kind::Tuple(1) => body.push_str(&format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))\n"
+        )),
+        Kind::Tuple(n) => {
+            body.push_str(&format!(
+                "let __arr = __v.as_arr().ok_or_else(|| ::serde::DeError::custom(\
+                 format!(\"expected array for {name}, found {{}}\", __v.kind())))?;\n\
+                 if __arr.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"expected {n} elements for {name}, found {{}}\", __arr.len())));\n}}\n"
+            ));
+            body.push_str(&format!("::std::result::Result::Ok({name}("));
+            for i in 0..*n {
+                body.push_str(&format!("::serde::Deserialize::from_value(&__arr[{i}])?, "));
+            }
+            body.push_str("))\n");
+        }
+        Kind::Named(fields) => {
+            body.push_str(&format!(
+                "let __obj = __v.as_obj().ok_or_else(|| ::serde::DeError::custom(\
+                 format!(\"expected object for {name}, found {{}}\", __v.kind())))?;\n"
+            ));
+            body.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                body.push_str(&field_init(f, "__obj", name));
+            }
+            body.push_str("})\n");
+        }
+        Kind::Enum(variants) => {
+            if let Some(tag) = &def.attrs.tag {
+                body.push_str(&format!(
+                    "let __obj = __v.as_obj().ok_or_else(|| ::serde::DeError::custom(\
+                     format!(\"expected object for {name}, found {{}}\", __v.kind())))?;\n\
+                     let __tag = ::serde::__private::obj_get(__obj, {tag:?})\
+                     .and_then(::serde::Value::as_str)\
+                     .ok_or_else(|| ::serde::DeError::custom(\
+                     \"missing or non-string tag `{tag}` for {name}\"))?;\n\
+                     match __tag {{\n"
+                ));
+                for v in variants {
+                    let vname = &v.name;
+                    let renamed = apply_rename(vname, def.attrs.rename_all.as_deref());
+                    match &v.kind {
+                        VariantKind::Unit => body.push_str(&format!(
+                            "{renamed:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                        )),
+                        VariantKind::Named(fields) => {
+                            body.push_str(&format!(
+                                "{renamed:?} => ::std::result::Result::Ok({name}::{vname} {{\n"
+                            ));
+                            for f in fields {
+                                body.push_str(&field_init(f, "__obj", name));
+                            }
+                            body.push_str("}),\n");
+                        }
+                        VariantKind::Tuple(_) => panic!(
+                            "serde_derive: tuple variants are incompatible with internal tagging"
+                        ),
+                    }
+                }
+                body.push_str(&format!(
+                    "__other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"unknown {name} variant `{{__other}}`\"))),\n}}\n"
+                ));
+            } else {
+                // External tagging: a plain string for unit variants, a
+                // single-key object otherwise.
+                body.push_str("match __v {\n::serde::Value::Str(__s) => match __s.as_str() {\n");
+                for v in variants {
+                    if matches!(v.kind, VariantKind::Unit) {
+                        let vname = &v.name;
+                        body.push_str(&format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                }
+                body.push_str(&format!(
+                    "__other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"unknown {name} variant `{{__other}}`\"))),\n}},\n"
+                ));
+                body.push_str(
+                    "::serde::Value::Obj(__pairs) if __pairs.len() == 1 => {\n\
+                     let (__k, __content) = &__pairs[0];\nmatch __k.as_str() {\n",
+                );
+                for v in variants {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => body.push_str(&format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                        )),
+                        VariantKind::Tuple(1) => body.push_str(&format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__content)?)),\n"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            body.push_str(&format!(
+                                "{vname:?} => {{\n\
+                                 let __arr = __content.as_arr().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected array for {name}::{vname}\"))?;\n\
+                                 if __arr.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::DeError::custom(\
+                                 \"wrong tuple arity for {name}::{vname}\"));\n}}\n\
+                                 ::std::result::Result::Ok({name}::{vname}("
+                            ));
+                            for i in 0..*n {
+                                body.push_str(&format!(
+                                    "::serde::Deserialize::from_value(&__arr[{i}])?, "
+                                ));
+                            }
+                            body.push_str("))\n},\n");
+                        }
+                        VariantKind::Named(fields) => {
+                            body.push_str(&format!(
+                                "{vname:?} => {{\n\
+                                 let __inner = __content.as_obj().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected object for {name}::{vname}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{\n"
+                            ));
+                            for f in fields {
+                                body.push_str(&field_init(f, "__inner", name));
+                            }
+                            body.push_str("})\n},\n");
+                        }
+                    }
+                }
+                body.push_str(&format!(
+                    "__other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"unknown {name} variant `{{__other}}`\"))),\n}}\n}},\n"
+                ));
+                body.push_str(&format!(
+                    "__other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"expected {name} variant, found {{}}\", __other.kind()))),\n}}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> \
+         {{\n{body}}}\n}}\n"
+    )
+}
