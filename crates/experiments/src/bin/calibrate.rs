@@ -1,0 +1,40 @@
+//! Calibration audit: measures the workload the figures actually run
+//! against the constants in `agreements-experiments`.
+//!
+//! Prints the measured per-request mean demand, the empirical peak-slot
+//! utilization under the current calibrated capacity, and the unshared
+//! peak wait for a small sweep of candidate `MEAN_DEMAND` values — the
+//! evidence behind the constant's current setting. Re-run after any
+//! change to the trace generator or the vendored RNG stream; if the
+//! sweep's ≈ 250 s row moves, update `MEAN_DEMAND` to match it.
+
+use agreements_experiments::*;
+use agreements_proxysim::{SimConfig, Simulator};
+use agreements_trace::{mean_demand, peak_rho, ServiceModel};
+
+fn main() {
+    let svc = ServiceModel::PAPER;
+    let ts = traces(HOUR);
+    let cfg = base_config();
+    println!("measured mean demand    = {:.6} work-s/request", mean_demand(&ts[0], &svc));
+    println!("calibrated capacity     = {:.6} (MEAN_DEMAND = {MEAN_DEMAND})", cfg.capacity);
+    println!(
+        "empirical peak-slot rho = {:.4} (analytic target PEAK_RHO = {PEAK_RHO})",
+        peak_rho(&ts[0], &svc, cfg.capacity)
+    );
+    println!();
+    println!("{:<10} {:>10} {:>14} {:>10}", "MD", "peak_rho", "peak_slot_s", "avg_s");
+    for md in [0.1180, 0.1214, MEAN_DEMAND, 0.1227, 0.1397] {
+        let cfg = SimConfig::calibrated(N_PROXIES, REQUESTS_PER_DAY, md, PEAK_RHO);
+        let rho = peak_rho(&ts[0], &svc, cfg.capacity);
+        let r = Simulator::new(cfg).expect("valid config").run(&ts).expect("run");
+        let marker = if (md - MEAN_DEMAND).abs() < 1e-12 { "  <- MEAN_DEMAND" } else { "" };
+        println!(
+            "{:<10.4} {:>10.4} {:>14.2} {:>10.3}{marker}",
+            md,
+            rho,
+            r.proxy_peak_slot_avg_wait(PLOTTED_PROXY),
+            r.proxy_avg_wait(PLOTTED_PROXY)
+        );
+    }
+}

@@ -19,12 +19,25 @@ pub const N_PROXIES: usize = 10;
 /// not fidelity.
 pub const REQUESTS_PER_DAY: usize = 100_000;
 
-/// Mean per-request demand under the paper's service model and our
-/// response-length distribution (measured; used only for calibration).
-pub const MEAN_DEMAND: f64 = 0.118;
+/// *Effective* per-request demand used by the capacity calibration,
+/// measured against the vendored `rand` stream.
+///
+/// [`SimConfig::calibrated`] estimates the peak offered load analytically
+/// from the hourly diurnal profile, but the actual trace stream is
+/// burstier at 10-minute-slot granularity, so the analytic estimate
+/// undershoots the true peak. The plain measured mean demand is
+/// 0.1182 work-s/request; this constant is tuned slightly above it so
+/// that the *measured* unshared midnight peak lands in the paper's
+/// ≈ 250 s regime (248 s; the measured peak-slot utilization works out
+/// to ρ ≈ 1.20). Re-derive it with
+/// `cargo run --release -p agreements-experiments --bin calibrate`
+/// after any change to the trace generator or RNG stream.
+pub const MEAN_DEMAND: f64 = 0.1220;
 
-/// Peak offered-load over capacity ratio. Slightly above 1 reproduces the
-/// paper's ≈ 250 s unshared midnight peak (validated by `fig05`).
+/// Peak offered-load over capacity ratio fed to the *analytic*
+/// calibration formula. The slot-level burstiness correction on top of
+/// it lives in [`MEAN_DEMAND`]; together they put the measured unshared
+/// peak at ≈ 250 s (validated by `fig05` and the `calibrate` binary).
 pub const PEAK_RHO: f64 = 1.05;
 
 /// Workload seed for every figure (determinism across binaries).

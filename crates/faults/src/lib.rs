@@ -1,0 +1,432 @@
+//! Deterministic chaos plane for the GRM/LRM federation.
+//!
+//! The paper's enforcement architecture (§3.2) is distributed — a
+//! centralized GRM scheduling for many LRMs over a network — and a real
+//! network drops, delays, duplicates, and reorders messages, while
+//! processes crash and restart. This crate provides the machinery to
+//! reproduce those conditions *deterministically*, so a failing fault
+//! schedule is a seed, not a flake:
+//!
+//! - [`FaultPlane`] interposes on any channel [`Sender`] at the GRM↔LRM
+//!   boundary and applies a seeded per-link fault schedule (message drop,
+//!   duplication, and hold-back delay, which also reorders). Decisions
+//!   depend only on the plane seed, the link name, and the message's
+//!   sequence number on that link — never on wall-clock timing.
+//! - [`ChaosClock`] is the logical clock the chaos harness uses to drive
+//!   the GRM's lease-based liveness (`GrmHandle::tick`), so lease expiry
+//!   in a fault schedule is as reproducible as the faults themselves.
+//!
+//! The plane is inert until wired in: production code paths construct
+//! their channels directly and never pay for it. `FaultPlane::heal`
+//! flips a live plane into a transparent pipe (flushing anything held),
+//! which is how chaos tests model a network that has recovered.
+
+#![warn(missing_docs)]
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use rand::prelude::*;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+pub mod clock;
+
+pub use clock::ChaosClock;
+
+/// Per-message fault probabilities applied by a [`FaultPlane`] link.
+///
+/// Fates are evaluated in order drop → duplicate → hold; exactly one
+/// (or none) applies per message. A held message is released only after
+/// `1..=max_hold` *subsequent* messages have passed it on the same link,
+/// which both delays it and reorders it past its successors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultMix {
+    /// Probability a message is silently dropped.
+    pub drop: f64,
+    /// Probability a message is delivered twice.
+    pub dup: f64,
+    /// Probability a message is held back (delayed + reordered).
+    pub hold: f64,
+    /// Maximum hold distance, in later messages that overtake the held
+    /// one (must be ≥ 1 for `hold` to have any effect).
+    pub max_hold: u64,
+}
+
+impl FaultMix {
+    /// A transparent mix: every message delivered exactly once, in order.
+    pub fn none() -> Self {
+        FaultMix { drop: 0.0, dup: 0.0, hold: 0.0, max_hold: 0 }
+    }
+
+    /// A drop-dominated lossy link.
+    pub fn drop_heavy() -> Self {
+        FaultMix { drop: 0.25, dup: 0.0, hold: 0.0, max_hold: 0 }
+    }
+
+    /// A duplication-dominated link (at-least-once transport).
+    pub fn dup_heavy() -> Self {
+        FaultMix { drop: 0.0, dup: 0.35, hold: 0.0, max_hold: 0 }
+    }
+
+    /// A delay/reorder-dominated link.
+    pub fn delay_heavy() -> Self {
+        FaultMix { drop: 0.0, dup: 0.0, hold: 0.35, max_hold: 4 }
+    }
+
+    /// Everything at once: the general mixed-failure network.
+    pub fn mixed() -> Self {
+        FaultMix { drop: 0.12, dup: 0.12, hold: 0.15, max_hold: 3 }
+    }
+}
+
+/// Counters of what a [`FaultPlane`] actually did, across all its links.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlaneStats {
+    /// Messages forwarded to the upstream (duplicates counted twice).
+    pub delivered: u64,
+    /// Messages dropped.
+    pub dropped: u64,
+    /// Messages delivered twice.
+    pub duplicated: u64,
+    /// Messages held back past at least one successor.
+    pub held: u64,
+}
+
+#[derive(Default)]
+struct PlaneCounters {
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    held: AtomicU64,
+}
+
+/// A seeded, schedule-reproducible fault injector for channel links.
+///
+/// One plane can interpose on many links; each link draws an independent
+/// deterministic stream derived from the plane seed and the link name.
+/// Cloning shares the plane (its switches and counters), so a harness
+/// can heal every link at once.
+#[derive(Clone)]
+pub struct FaultPlane {
+    seed: u64,
+    mix: FaultMix,
+    enabled: Arc<AtomicBool>,
+    counters: Arc<PlaneCounters>,
+}
+
+/// How long an idle pump thread waits before re-checking for a heal
+/// (held messages must not outlive a healed plane just because the link
+/// went quiet).
+const PUMP_IDLE: Duration = Duration::from_millis(2);
+
+impl FaultPlane {
+    /// A plane injecting the given mix, seeded for reproducibility.
+    pub fn new(seed: u64, mix: FaultMix) -> Self {
+        FaultPlane {
+            seed,
+            mix,
+            enabled: Arc::new(AtomicBool::new(true)),
+            counters: Arc::new(PlaneCounters::default()),
+        }
+    }
+
+    /// A transparent plane (useful as a control arm: same plumbing, no
+    /// faults).
+    pub fn inert(seed: u64) -> Self {
+        FaultPlane::new(seed, FaultMix::none())
+    }
+
+    /// The network recovers: stop injecting faults on every link and
+    /// flush anything still held back. Irreversible by design — a healed
+    /// schedule stays healed, keeping post-heal invariants meaningful.
+    pub fn heal(&self) {
+        self.enabled.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the plane is still injecting faults.
+    pub fn is_active(&self) -> bool {
+        self.enabled.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot of the plane's counters.
+    pub fn stats(&self) -> PlaneStats {
+        PlaneStats {
+            delivered: self.counters.delivered.load(Ordering::SeqCst),
+            dropped: self.counters.dropped.load(Ordering::SeqCst),
+            duplicated: self.counters.duplicated.load(Ordering::SeqCst),
+            held: self.counters.held.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Interpose on a link: returns a new sender whose traffic passes
+    /// through this plane's fault schedule before reaching `upstream`.
+    ///
+    /// The returned sender is cloneable like any channel sender; all
+    /// clones share one sequence-numbered stream, so the fault schedule
+    /// is a deterministic function of (plane seed, link name, per-link
+    /// message index). Requires `T: Clone` because duplication re-sends
+    /// the same message.
+    pub fn wrap<T: Send + Clone + 'static>(&self, link: &str, upstream: Sender<T>) -> Sender<T> {
+        let (tx, rx) = unbounded::<T>();
+        let rng = StdRng::seed_from_u64(self.seed ^ fnv1a(link.as_bytes()));
+        let plane = self.clone();
+        std::thread::Builder::new()
+            .name(format!("fault-plane:{link}"))
+            .spawn(move || plane.pump(rx, upstream, rng))
+            .expect("spawn fault-plane pump");
+        tx
+    }
+
+    fn pump<T: Clone>(&self, rx: Receiver<T>, upstream: Sender<T>, mut rng: StdRng) {
+        // Held messages keyed by the sequence number at which they are
+        // released (min-heap via Reverse); ties release in arrival order.
+        let mut held: BinaryHeap<Held<T>> = BinaryHeap::new();
+        let mut seq: u64 = 0;
+        loop {
+            let msg = match rx.recv_timeout(PUMP_IDLE) {
+                Ok(m) => m,
+                Err(RecvTimeoutError::Timeout) => {
+                    // A healed plane must not keep messages hostage on a
+                    // quiet link.
+                    if !self.is_active() {
+                        flush_all(&mut held, &upstream, &self.counters);
+                    }
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    flush_all(&mut held, &upstream, &self.counters);
+                    return;
+                }
+            };
+            if !self.is_active() {
+                flush_all(&mut held, &upstream, &self.counters);
+                if upstream.send(msg).is_err() {
+                    return;
+                }
+                self.counters.delivered.fetch_add(1, Ordering::SeqCst);
+                continue;
+            }
+            // Burn a fixed number of draws per message so one message's
+            // fate never shifts the schedule of its successors.
+            let (u_fate, u_hold) = (rng.gen::<f64>(), rng.gen::<f64>());
+            let mix = self.mix;
+            if u_fate < mix.drop {
+                self.counters.dropped.fetch_add(1, Ordering::SeqCst);
+            } else if u_fate < mix.drop + mix.dup {
+                self.counters.duplicated.fetch_add(1, Ordering::SeqCst);
+                for m in [msg.clone(), msg] {
+                    if upstream.send(m).is_err() {
+                        return;
+                    }
+                    self.counters.delivered.fetch_add(1, Ordering::SeqCst);
+                }
+            } else if u_fate < mix.drop + mix.dup + mix.hold && mix.max_hold >= 1 {
+                self.counters.held.fetch_add(1, Ordering::SeqCst);
+                let distance = 1 + (u_hold * mix.max_hold as f64) as u64;
+                held.push(Held { release_at: seq + distance, arrival: seq, msg });
+            } else if upstream.send(msg).is_err() {
+                return;
+            } else {
+                self.counters.delivered.fetch_add(1, Ordering::SeqCst);
+            }
+            seq += 1;
+            // Release everything whose hold distance has elapsed.
+            while held.peek().is_some_and(|h| h.release_at <= seq) {
+                let h = held.pop().expect("peeked");
+                if upstream.send(h.msg).is_err() {
+                    return;
+                }
+                self.counters.delivered.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+fn flush_all<T>(held: &mut BinaryHeap<Held<T>>, upstream: &Sender<T>, counters: &PlaneCounters) {
+    // Drain in (release_at, arrival) order for determinism.
+    while let Some(h) = held.pop() {
+        if upstream.send(h.msg).is_ok() {
+            counters.delivered.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+struct Held<T> {
+    release_at: u64,
+    arrival: u64,
+    msg: T,
+}
+
+impl<T> PartialEq for Held<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.release_at == other.release_at && self.arrival == other.arrival
+    }
+}
+impl<T> Eq for Held<T> {}
+impl<T> PartialOrd for Held<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Held<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest release (then
+        // earliest arrival) pops first.
+        (other.release_at, other.arrival).cmp(&(self.release_at, self.arrival))
+    }
+}
+
+/// FNV-1a over the link name: stable, platform-independent link salt.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_until_quiet(rx: &Receiver<u32>) -> Vec<u32> {
+        let mut out = Vec::new();
+        while let Ok(v) = rx.recv_timeout(Duration::from_millis(50)) {
+            out.push(v);
+            // Keep draining while messages keep arriving.
+            while let Ok(v) = rx.try_recv() {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    fn run_schedule(seed: u64, mix: FaultMix, n: u32) -> Vec<u32> {
+        let (up_tx, up_rx) = unbounded();
+        let plane = FaultPlane::new(seed, mix);
+        let tx = plane.wrap("test", up_tx);
+        for i in 0..n {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        collect_until_quiet(&up_rx)
+    }
+
+    #[test]
+    fn inert_plane_is_transparent() {
+        let got = run_schedule(1, FaultMix::none(), 100);
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedules_are_reproducible_per_seed() {
+        let mix = FaultMix::mixed();
+        let a = run_schedule(42, mix, 200);
+        let b = run_schedule(42, mix, 200);
+        assert_eq!(a, b, "same seed, same schedule");
+        let c = run_schedule(43, mix, 200);
+        assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn links_draw_independent_streams() {
+        let mix = FaultMix::drop_heavy();
+        let plane = FaultPlane::new(7, mix);
+        let (atx, arx) = unbounded();
+        let (btx, brx) = unbounded();
+        let a = plane.wrap("alpha", atx);
+        let b = plane.wrap("beta", btx);
+        for i in 0..200 {
+            a.send(i).unwrap();
+            b.send(i).unwrap();
+        }
+        drop((a, b));
+        let ga = collect_until_quiet(&arx);
+        let gb = collect_until_quiet(&brx);
+        assert_ne!(ga, gb, "independent per-link schedules");
+    }
+
+    #[test]
+    fn drops_lose_messages_and_count_them() {
+        let got = run_schedule(5, FaultMix::drop_heavy(), 400);
+        assert!(got.len() < 400, "some messages dropped");
+        // No invented messages, order preserved among survivors.
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(got, sorted);
+    }
+
+    #[test]
+    fn dups_deliver_twice() {
+        let got = run_schedule(5, FaultMix::dup_heavy(), 300);
+        assert!(got.len() > 300, "some messages duplicated");
+        for w in got.windows(2) {
+            assert!(w[1] == w[0] || w[1] == w[0] + 1, "dups are adjacent: {w:?}");
+        }
+    }
+
+    #[test]
+    fn holds_reorder_but_lose_nothing() {
+        let got = run_schedule(11, FaultMix::delay_heavy(), 300);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..300).collect::<Vec<_>>(), "permutation, no loss");
+        assert_ne!(got, sorted, "actually reordered");
+        let stats = {
+            // Re-run on a fresh plane to read its counters.
+            let (up_tx, up_rx) = unbounded();
+            let plane = FaultPlane::new(11, FaultMix::delay_heavy());
+            let tx = plane.wrap("test", up_tx);
+            for i in 0..300 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let _ = collect_until_quiet(&up_rx);
+            plane.stats()
+        };
+        assert!(stats.held > 0);
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn heal_flushes_and_stops_injecting() {
+        let (up_tx, up_rx) = unbounded();
+        let plane = FaultPlane::new(3, FaultMix { drop: 1.0, dup: 0.0, hold: 0.0, max_hold: 0 });
+        let tx = plane.wrap("test", up_tx);
+        for i in 0..50u32 {
+            tx.send(i).unwrap();
+        }
+        // Give the pump time to drop them all, then heal.
+        std::thread::sleep(Duration::from_millis(20));
+        plane.heal();
+        assert!(!plane.is_active());
+        for i in 50..60u32 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got = collect_until_quiet(&up_rx);
+        assert_eq!(got, (50..60).collect::<Vec<_>>(), "post-heal traffic is clean");
+    }
+
+    #[test]
+    fn heal_releases_held_messages_on_a_quiet_link() {
+        let (up_tx, up_rx) = unbounded();
+        // Hold every message far beyond the traffic we send.
+        let plane = FaultPlane::new(9, FaultMix { drop: 0.0, dup: 0.0, hold: 1.0, max_hold: 1000 });
+        let tx = plane.wrap("test", up_tx);
+        for i in 0..5u32 {
+            tx.send(i).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(up_rx.try_recv().is_err(), "everything is held");
+        plane.heal();
+        let got = collect_until_quiet(&up_rx);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..5).collect::<Vec<_>>(), "heal released the hostages");
+        drop(tx);
+    }
+}

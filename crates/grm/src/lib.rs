@@ -17,10 +17,22 @@
 //!   availability reports, allocation RPCs).
 //! - [`lrm::Lrm`] owns an actual local resource pool and fulfils the
 //!   GRM's reservation directives, reporting availability after every
-//!   local change.
+//!   local change. When the GRM is unreachable it degrades to
+//!   local-pool-only grants, journalling them for reconciliation.
 //! - [`multilevel::TwoLevelGrm`] splits scheduling across group-level
 //!   GRMs coordinated by a coarse root scheduler (multigrid refinement,
 //!   §3.2).
+//! - [`resilient::ResilientGrmClient`] adds per-call deadlines,
+//!   idempotent retries (client-generated [`server::RequestId`]s against
+//!   the server's dedup window), and capped, jittered backoff.
+//! - [`recovery::AgreementJournal`] makes the agreement-management state
+//!   replayable so a cold-standby GRM can be rebuilt after a crash, with
+//!   availability restored from LRM re-reports.
+//!
+//! The whole federation can be run under the deterministic fault plane
+//! of the `agreements-faults` crate ([`server::GrmServer::spawn_chaotic`];
+//! chaos invariants live in `tests/chaos_federation.rs`). See DESIGN.md
+//! §8 for the fault model.
 
 // Index-based loops are idiomatic for the dense matrix math in this
 // crate; clippy's iterator rewrites would obscure the row/column algebra.
@@ -30,9 +42,13 @@
 pub mod lrm;
 pub mod multilevel;
 pub mod policy_adapter;
+pub mod recovery;
+pub mod resilient;
 pub mod server;
 
 pub use lrm::Lrm;
 pub use multilevel::TwoLevelGrm;
 pub use policy_adapter::GrmBackedPolicy;
-pub use server::{GrmError, GrmHandle, GrmServer, GrmStats};
+pub use recovery::AgreementJournal;
+pub use resilient::{ResilientGrmClient, RetryPolicy};
+pub use server::{GrmError, GrmHandle, GrmServer, GrmStats, RequestId};

@@ -1,7 +1,17 @@
 //! Local resource managers: own a real pool and fulfil GRM decisions.
+//!
+//! Besides the happy path (submit → GRM decides → fulfil), an LRM can
+//! run **degraded**: when the GRM is unreachable past the retry budget,
+//! [`Lrm::submit_or_degrade`] falls back to a local-pool-only grant and
+//! journals it under the request id the failed RPC used. Once the GRM
+//! heals (or a cold standby comes up), [`Lrm::reconcile`] re-reports the
+//! pool and replays the journal so the global books settle exactly once
+//! per intent — a retried id that *did* land server-side dedups instead
+//! of double-counting.
 
-use crate::server::{GrmError, GrmHandle};
-use agreements_sched::Allocation;
+use crate::resilient::ResilientGrmClient;
+use crate::server::{GrmError, GrmHandle, RequestId};
+use agreements_sched::{Allocation, SchedError};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -17,12 +27,16 @@ pub struct Lrm {
     pub id: usize,
     pool: Arc<Mutex<f64>>,
     grm: GrmHandle,
+    /// Grants issued while the GRM was unreachable, keyed by the request
+    /// id the failed RPC carried, awaiting [`Lrm::reconcile`].
+    degraded: Mutex<Vec<(RequestId, f64)>>,
 }
 
 impl Lrm {
     /// Create an LRM with an initial pool and announce it to the GRM.
     pub fn new(id: usize, initial: f64, grm: GrmHandle) -> Result<Self, GrmError> {
-        let lrm = Lrm { id, pool: Arc::new(Mutex::new(initial)), grm };
+        let lrm =
+            Lrm { id, pool: Arc::new(Mutex::new(initial)), grm, degraded: Mutex::new(Vec::new()) };
         lrm.report()?;
         Ok(lrm)
     }
@@ -50,17 +64,32 @@ impl Lrm {
     /// Fulfil this LRM's share of a GRM allocation: deduct the draw
     /// against the local pool. Returns the amount actually deducted
     /// (clamped at the pool, which can run briefly stale-low if reports
-    /// lag).
+    /// lag). A clamp is surfaced to the GRM as a fulfil shortfall so the
+    /// gap between decided and delivered units is observable in
+    /// [`crate::GrmStats`].
     pub fn fulfil(&self, alloc: &Allocation) -> Result<f64, GrmError> {
         let want = alloc.draws.get(self.id).copied().unwrap_or(0.0);
-        let taken = {
-            let mut pool = self.pool.lock();
-            let taken = want.min(*pool);
-            *pool -= taken;
-            taken
-        };
+        let taken = self.fulfil_local(alloc);
+        if taken < want - 1e-12 {
+            // Best-effort: the shortfall counter is telemetry, and if the
+            // GRM is down the report below fails loudly anyway.
+            let _ = self.grm.report_fulfil_shortfall(self.id, want, taken);
+        }
         self.report()?;
         Ok(taken)
+    }
+
+    /// Deduct this LRM's share of an allocation from the local pool
+    /// without contacting the GRM. This is the degraded-mode fulfilment
+    /// path: the pool stays authoritative locally and the GRM catches up
+    /// at the next report/[`Lrm::reconcile`]. Returns the amount taken
+    /// (clamped at the pool).
+    pub fn fulfil_local(&self, alloc: &Allocation) -> f64 {
+        let want = alloc.draws.get(self.id).copied().unwrap_or(0.0);
+        let mut pool = self.pool.lock();
+        let taken = want.min(*pool);
+        *pool -= taken;
+        taken
     }
 
     /// Submit a job needing `amount` units: asks the GRM for a placement.
@@ -68,6 +97,73 @@ impl Lrm {
     /// every contributing LRM's [`Lrm::fulfil`].
     pub fn submit(&self, amount: f64) -> Result<Allocation, GrmError> {
         self.grm.request(self.id, amount)
+    }
+
+    /// Submit through a resilient client, degrading to a local-pool-only
+    /// grant when the GRM stays unreachable past the client's retry
+    /// budget.
+    ///
+    /// Returns the allocation plus `true` when it was decided locally.
+    /// A degraded grant draws exclusively from this LRM's own pool (no
+    /// agreements can be consulted without the GRM), is journalled under
+    /// the *same request id the failed RPC carried*, and must be routed
+    /// through [`Lrm::fulfil`] like any other allocation. When the GRM
+    /// heals, [`Lrm::reconcile`] replays the journal: ids that actually
+    /// landed server-side (a "zombie grant" whose reply was lost) dedup
+    /// to a no-op, the rest settle the global books late.
+    pub fn submit_or_degrade(
+        &self,
+        client: &ResilientGrmClient,
+        amount: f64,
+    ) -> Result<(Allocation, bool), GrmError> {
+        let id = client.next_id();
+        match client.request_as(id, self.id, amount) {
+            Ok(alloc) => Ok((alloc, false)),
+            Err(e) if e.is_retryable() || matches!(e, GrmError::RetriesExhausted { .. }) => {
+                let pool = self.available();
+                if amount > pool + 1e-12 {
+                    // Degraded mode cannot reach shared capacity; reject
+                    // the way the GRM would for an isolated principal.
+                    return Err(GrmError::Sched(SchedError::InsufficientCapacity {
+                        requester: self.id,
+                        capacity: pool,
+                        requested: amount,
+                    }));
+                }
+                self.degraded.lock().push((id, amount));
+                let mut draws = vec![0.0; self.id + 1];
+                draws[self.id] = amount;
+                Ok((Allocation { requester: self.id, amount, draws, theta: 0.0 }, true))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Number of degraded-mode grants awaiting reconciliation.
+    pub fn degraded_backlog(&self) -> usize {
+        self.degraded.lock().len()
+    }
+
+    /// Reconcile with a (healed or standby) GRM: re-report the pool,
+    /// then replay every journalled degraded-mode grant so the global
+    /// books account for units granted during the partition. Entries are
+    /// dropped as they settle; on a transport failure the remainder stays
+    /// journalled for the next attempt. Returns the number of grants
+    /// settled this call.
+    pub fn reconcile(&self, client: &ResilientGrmClient) -> Result<usize, GrmError> {
+        client.report(self.id, self.available())?;
+        let backlog: Vec<(RequestId, f64)> = self.degraded.lock().clone();
+        let mut settled = 0;
+        for &(id, amount) in &backlog {
+            match client.replay_grant(id, self.id, amount) {
+                Ok(()) => {
+                    self.degraded.lock().retain(|&(j, _)| j != id);
+                    settled += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(settled)
     }
 }
 
@@ -137,6 +233,79 @@ mod tests {
             assert!((taken - 2.0).abs() < 1e-9, "clamped at stale pool");
             assert_eq!(b.available(), 0.0);
         }
+        grm.shutdown();
+    }
+
+    #[test]
+    fn fulfil_shortfall_reaches_grm_stats() {
+        let grm = GrmServer::spawn(complete(2, 1.0), 1);
+        let a = Lrm::new(0, 0.0, grm.handle()).unwrap();
+        let b = Lrm::new(1, 5.0, grm.handle()).unwrap();
+        let alloc = a.submit(5.0).unwrap();
+        {
+            let mut pool = b.pool.lock();
+            *pool = 2.0;
+        }
+        b.fulfil(&alloc).unwrap();
+        let stats = grm.handle().stats().unwrap();
+        assert_eq!(stats.partial_fulfils, 1);
+        assert!((stats.fulfil_shortfall_units - 3.0).abs() < 1e-9);
+        grm.shutdown();
+    }
+
+    #[test]
+    fn degraded_submit_then_reconcile_settles_books_once() {
+        use crate::recovery::AgreementJournal;
+        use crate::resilient::{ResilientGrmClient, RetryPolicy};
+
+        let grm = GrmServer::spawn(complete(2, 0.5), 1);
+        let journal = AgreementJournal::new(complete(2, 0.5), 1);
+        let a = Lrm::new(0, 10.0, grm.handle()).unwrap();
+        let _b = Lrm::new(1, 10.0, grm.handle()).unwrap();
+        let client = ResilientGrmClient::new(grm.handle(), 0, RetryPolicy::aggressive());
+        grm.crash();
+
+        // GRM gone: the submit degrades to a local-only grant...
+        let (alloc, degraded) = a.submit_or_degrade(&client, 4.0).unwrap();
+        assert!(degraded);
+        assert!((alloc.draws[0] - 4.0).abs() < 1e-9);
+        assert!((a.fulfil_local(&alloc) - 4.0).abs() < 1e-9);
+        assert_eq!(a.degraded_backlog(), 1);
+        // ...but cannot exceed the local pool (no agreements reachable).
+        assert!(matches!(
+            a.submit_or_degrade(&client, 50.0),
+            Err(GrmError::Sched(agreements_sched::SchedError::InsufficientCapacity { .. }))
+        ));
+
+        // Standby comes up from the journal; client rebinds; reconcile.
+        let standby = journal.respawn().unwrap();
+        client.rebind(standby.handle());
+        assert_eq!(a.reconcile(&client).unwrap(), 1);
+        assert_eq!(a.degraded_backlog(), 0);
+        let stats = standby.handle().stats().unwrap();
+        assert_eq!(stats.journaled_grants, 1);
+        assert!((stats.journaled_units - 4.0).abs() < 1e-9);
+        // The re-report carried the post-grant pool.
+        let avail = standby.handle().availability().unwrap();
+        assert!((avail[0] - 6.0).abs() < 1e-9);
+        // Reconcile is idempotent: nothing left to settle.
+        assert_eq!(a.reconcile(&client).unwrap(), 0);
+        let stats = standby.handle().stats().unwrap();
+        assert_eq!(stats.journaled_grants, 1);
+        standby.shutdown();
+    }
+
+    #[test]
+    fn healthy_submit_through_resilient_client_is_not_degraded() {
+        use crate::resilient::{ResilientGrmClient, RetryPolicy};
+        let grm = GrmServer::spawn(complete(2, 0.5), 1);
+        let a = Lrm::new(0, 10.0, grm.handle()).unwrap();
+        let _b = Lrm::new(1, 10.0, grm.handle()).unwrap();
+        let client = ResilientGrmClient::new(grm.handle(), 0, RetryPolicy::default());
+        let (alloc, degraded) = a.submit_or_degrade(&client, 3.0).unwrap();
+        assert!(!degraded);
+        assert!((alloc.amount - 3.0).abs() < 1e-9);
+        assert_eq!(a.degraded_backlog(), 0);
         grm.shutdown();
     }
 

@@ -32,6 +32,31 @@ impl TwoLevelGrm {
         inter: &AgreementMatrix,
         level: usize,
     ) -> Result<Self, SchedError> {
+        Self::with_spawner(groups, intra, inter, level, |m, lvl, _g| GrmServer::spawn(m, lvl))
+    }
+
+    /// Like [`TwoLevelGrm::new`], but every group GRM's client link runs
+    /// through `plane` (one independently-seeded sub-stream per group, so
+    /// the fate schedule of one group never perturbs another's).
+    pub fn new_chaotic(
+        groups: Vec<Vec<usize>>,
+        intra: Vec<AgreementMatrix>,
+        inter: &AgreementMatrix,
+        level: usize,
+        plane: &agreements_faults::FaultPlane,
+    ) -> Result<Self, SchedError> {
+        Self::with_spawner(groups, intra, inter, level, |m, lvl, g| {
+            GrmServer::spawn_chaotic(m, lvl, plane, &format!("group-{g}"))
+        })
+    }
+
+    fn with_spawner(
+        groups: Vec<Vec<usize>>,
+        intra: Vec<AgreementMatrix>,
+        inter: &AgreementMatrix,
+        level: usize,
+        mut spawn: impl FnMut(AgreementMatrix, usize, usize) -> GrmServer,
+    ) -> Result<Self, SchedError> {
         let sched = HierarchicalScheduler::new(groups.clone(), inter, level)?;
         let n: usize = groups.iter().map(Vec::len).sum();
         let mut local_index = vec![0usize; n];
@@ -50,7 +75,7 @@ impl TwoLevelGrm {
                 member_of[p] = g;
             }
             let lvl = members.len().saturating_sub(1).max(1);
-            group_grms.push(GrmServer::spawn(m.clone(), lvl));
+            group_grms.push(spawn(m.clone(), lvl, g));
         }
         Ok(TwoLevelGrm { groups, group_grms, local_index, member_of, sched })
     }
@@ -203,6 +228,26 @@ mod tests {
         assert!(TwoLevelGrm::new(groups.clone(), intra, &inter, 1).is_err());
         let intra_bad = vec![complete(3, 1.0), complete(1, 0.0)];
         assert!(TwoLevelGrm::new(groups, intra_bad, &inter, 1).is_err());
+    }
+
+    #[test]
+    fn chaotic_hierarchy_with_inert_plane_matches_plain() {
+        let plane = agreements_faults::FaultPlane::inert(7);
+        let groups = vec![vec![0, 1, 2], vec![3, 4, 5]];
+        let intra = vec![complete(3, 1.0), complete(3, 1.0)];
+        let mut inter = AgreementMatrix::zeros(2);
+        inter.set(0, 1, 0.5).unwrap();
+        inter.set(1, 0, 0.5).unwrap();
+        let chaotic = TwoLevelGrm::new_chaotic(groups, intra, &inter, 1, &plane).unwrap();
+        let plain = two_groups();
+        let pools = [2.0, 2.0, 2.0, 10.0, 10.0, 10.0];
+        seed_availability(&chaotic, &pools);
+        seed_availability(&plain, &pools);
+        let a = chaotic.request(0, 15.0).unwrap();
+        let b = plain.request(0, 15.0).unwrap();
+        assert_eq!(a.draws, b.draws, "inert plane must be transparent");
+        chaotic.shutdown();
+        plain.shutdown();
     }
 
     #[test]

@@ -36,7 +36,10 @@ fn to_sched_error(e: GrmError) -> SchedError {
         GrmError::UnknownLrm(i) => SchedError::UnknownPrincipal { index: i, n: 0 },
         // Transport failures surface as an LP iteration failure: the
         // caller treats it as "no decision this round".
-        GrmError::Flow(_) | GrmError::Disconnected => {
+        GrmError::Flow(_)
+        | GrmError::Disconnected
+        | GrmError::DeadlineExceeded { .. }
+        | GrmError::RetriesExhausted { .. } => {
             SchedError::Lp(agreements_lp::LpError::InvalidModel("GRM unavailable".into()))
         }
     }

@@ -1,0 +1,350 @@
+//! A retrying, deadline-bounded GRM client.
+//!
+//! A bare [`GrmHandle`] trusts its transport: a dropped reply blocks the
+//! caller forever, and a blind resend would double-grant. The
+//! [`ResilientGrmClient`] assumes the opposite — replies can vanish,
+//! servers can die and be replaced — and recovers with three mechanisms:
+//!
+//! 1. **Per-call deadlines**: every RPC waits at most
+//!    [`RetryPolicy::deadline`] for its reply, then classifies the
+//!    failure through [`GrmError::is_retryable`].
+//! 2. **Idempotent retries**: every logical call carries one
+//!    [`RequestId`] across all its attempts, so the server's dedup
+//!    window turns at-least-once sends into at-most-once effects.
+//! 3. **Capped exponential backoff with deterministic jitter**: retry
+//!    pacing is drawn from a seeded stream, so a chaos schedule
+//!    reproduces byte-for-byte from its seed.
+//!
+//! After a GRM crash, [`ResilientGrmClient::rebind`] points the client
+//! at the cold standby; in-flight ids stay valid (the standby simply has
+//! never seen them, so retried calls execute fresh — and the agreement
+//! journal replay plus LRM re-reports have already rebuilt its state;
+//! see `recovery`).
+
+use crate::server::{GrmError, GrmHandle, RequestId};
+use agreements_sched::Allocation;
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use parking_lot::Mutex;
+use rand::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Deadline and retry pacing for a [`ResilientGrmClient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How long each attempt waits for its reply.
+    pub deadline: Duration,
+    /// Total attempts per logical call (first try + retries), ≥ 1.
+    pub max_attempts: usize,
+    /// Backoff before retry `k` (counted from 1) starts from
+    /// `base_backoff × 2^(k-1)` …
+    pub base_backoff: Duration,
+    /// … and never exceeds this cap.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            deadline: Duration::from_millis(200),
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(80),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy tuned for chaos tests: tight deadlines, fast retries.
+    pub fn aggressive() -> Self {
+        RetryPolicy {
+            deadline: Duration::from_millis(25),
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(8),
+        }
+    }
+}
+
+/// A [`GrmHandle`] wrapper with deadlines, idempotent retries, and
+/// failover rebinding. Shareable across threads (`&self` methods).
+pub struct ResilientGrmClient {
+    handle: Mutex<GrmHandle>,
+    client_id: u64,
+    seq: AtomicU64,
+    policy: RetryPolicy,
+    /// Seeded jitter stream: deterministic backoff schedules per client.
+    jitter: Mutex<StdRng>,
+}
+
+impl ResilientGrmClient {
+    /// Wrap a handle. `client_id` must be unique among clients issuing
+    /// idempotent calls to the same GRM (it namespaces [`RequestId`]s);
+    /// the jitter stream is seeded from it so every client backs off on
+    /// its own deterministic schedule.
+    pub fn new(handle: GrmHandle, client_id: u64, policy: RetryPolicy) -> Self {
+        ResilientGrmClient {
+            handle: Mutex::new(handle),
+            client_id,
+            seq: AtomicU64::new(0),
+            policy,
+            jitter: Mutex::new(StdRng::seed_from_u64(client_id ^ 0x5EED_BACC)),
+        }
+    }
+
+    /// The client id namespacing this client's [`RequestId`]s.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
+    /// The configured retry policy.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Point the client at a new GRM (cold standby after a crash).
+    /// In-flight and future calls use the new handle on their next
+    /// attempt.
+    pub fn rebind(&self, handle: GrmHandle) {
+        *self.handle.lock() = handle;
+    }
+
+    /// Reserve the next request id (used by degraded-mode journaling so
+    /// a local fallback grant settles under a real id on reconcile).
+    pub fn next_id(&self) -> RequestId {
+        RequestId { client: self.client_id, seq: self.seq.fetch_add(1, Ordering::Relaxed) }
+    }
+
+    fn current_handle(&self) -> GrmHandle {
+        self.handle.lock().clone()
+    }
+
+    /// Allocation RPC with deadline + idempotent retries.
+    pub fn request(&self, lrm: usize, amount: f64) -> Result<Allocation, GrmError> {
+        let id = self.next_id();
+        self.request_as(id, lrm, amount)
+    }
+
+    /// Allocation RPC under a caller-chosen id (for resuming a call
+    /// whose earlier attempts already consumed the id).
+    pub fn request_as(
+        &self,
+        id: RequestId,
+        lrm: usize,
+        amount: f64,
+    ) -> Result<Allocation, GrmError> {
+        self.retry_loop(|h| h.issue_request(lrm, amount, Some(id)))
+    }
+
+    /// Release with deadline + idempotent retries.
+    pub fn release(&self, alloc: Allocation) -> Result<(), GrmError> {
+        let id = self.next_id();
+        self.retry_loop(move |h| h.issue_release(alloc.clone(), Some(id)))
+    }
+
+    /// Replay a degraded-mode grant (see `Lrm::reconcile`), idempotently.
+    pub fn replay_grant(&self, id: RequestId, lrm: usize, amount: f64) -> Result<(), GrmError> {
+        self.retry_loop(|h| h.issue_replay(id, lrm, amount))
+    }
+
+    /// Availability report with deadline-less best effort: reports are
+    /// fire-and-forget refreshes, so a send failure is returned but not
+    /// retried (the next report supersedes this one anyway).
+    pub fn report(&self, lrm: usize, available: f64) -> Result<(), GrmError> {
+        self.current_handle().report(lrm, available)
+    }
+
+    /// Lease tick passthrough (fire-and-forget, like reports).
+    pub fn tick(&self, now: u64, lease: u64) -> Result<(), GrmError> {
+        self.current_handle().tick(now, lease)
+    }
+
+    /// One deadline-bounded attempt per loop turn; retries only
+    /// transport-classified failures, with capped exponential backoff
+    /// and deterministic jitter between attempts.
+    fn retry_loop<T, F>(&self, issue: F) -> Result<T, GrmError>
+    where
+        F: Fn(&GrmHandle) -> Result<Receiver<Result<T, GrmError>>, GrmError>,
+    {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            let outcome = match issue(&self.current_handle()) {
+                Ok(rx) => match rx.recv_timeout(self.policy.deadline) {
+                    Ok(decision) => decision,
+                    Err(RecvTimeoutError::Timeout) => Err(GrmError::DeadlineExceeded {
+                        millis: self.policy.deadline.as_millis() as u64,
+                    }),
+                    Err(RecvTimeoutError::Disconnected) => Err(GrmError::Disconnected),
+                },
+                Err(e) => Err(e),
+            };
+            match outcome {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retryable() && attempts < self.policy.max_attempts => {
+                    std::thread::sleep(self.backoff(attempts));
+                }
+                Err(GrmError::DeadlineExceeded { .. }) | Err(GrmError::Disconnected) => {
+                    return Err(GrmError::RetriesExhausted { attempts });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Backoff before the retry following attempt `attempt` (1-based):
+    /// `base × 2^(attempt-1)`, capped, scaled by a jitter factor in
+    /// `[0.5, 1.0)` drawn from the seeded stream.
+    fn backoff(&self, attempt: usize) -> Duration {
+        let exp = attempt.saturating_sub(1).min(16) as u32;
+        let raw = self.policy.base_backoff.saturating_mul(1u32 << exp);
+        let capped = raw.min(self.policy.max_backoff);
+        let factor = 0.5 + 0.5 * self.jitter.lock().gen::<f64>();
+        capped.mul_f64(factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::GrmServer;
+    use agreements_faults::{FaultMix, FaultPlane};
+    use agreements_flow::AgreementMatrix;
+
+    fn complete(n: usize, share: f64) -> AgreementMatrix {
+        let mut s = AgreementMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    s.set(i, j, share).unwrap();
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn clean_network_round_trip() {
+        let grm = GrmServer::spawn(complete(2, 1.0), 1);
+        let client = ResilientGrmClient::new(grm.handle(), 1, RetryPolicy::default());
+        client.report(0, 0.0).unwrap();
+        client.report(1, 10.0).unwrap();
+        let alloc = client.request(0, 4.0).unwrap();
+        assert!((alloc.amount - 4.0).abs() < 1e-9);
+        client.release(alloc).unwrap();
+        let avail = grm.handle().availability().unwrap();
+        assert!((avail.iter().sum::<f64>() - 10.0).abs() < 1e-9);
+        grm.shutdown();
+    }
+
+    #[test]
+    fn dead_server_exhausts_retries() {
+        let grm = GrmServer::spawn(complete(2, 1.0), 1);
+        let handle = grm.handle();
+        grm.shutdown();
+        let client = ResilientGrmClient::new(handle, 2, RetryPolicy::aggressive());
+        match client.request(0, 1.0) {
+            Err(GrmError::RetriesExhausted { attempts }) => {
+                assert_eq!(attempts, RetryPolicy::aggressive().max_attempts);
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lossy_link_retries_to_success_without_double_grant() {
+        // Drop just under half of all messages: several attempts may be
+        // needed, and duplicates of the same id must not double-grant.
+        let plane =
+            FaultPlane::new(1234, FaultMix { drop: 0.45, dup: 0.3, hold: 0.0, max_hold: 0 });
+        let grm = GrmServer::spawn_chaotic(complete(2, 1.0), 1, &plane, "grm");
+        let client = ResilientGrmClient::new(
+            grm.handle(),
+            3,
+            RetryPolicy {
+                deadline: Duration::from_millis(30),
+                max_attempts: 40,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(4),
+            },
+        );
+        // Seed the view through the lossy link until it sticks.
+        let direct = grm.handle();
+        let mut granted = 0usize;
+        for k in 0..6 {
+            // Reports may be dropped; re-push state via the *plane* (the
+            // realistic path), then verify through a direct read.
+            for _ in 0..8 {
+                let _ = client.report(0, 0.0);
+                let _ = client.report(1, 10.0);
+            }
+            match client.request(0, 1.0) {
+                Ok(a) => {
+                    granted += 1;
+                    assert!((a.amount - 1.0).abs() < 1e-9, "attempt {k}");
+                }
+                Err(GrmError::RetriesExhausted { .. }) => {}
+                Err(GrmError::Sched(_)) => {} // stale view mid-schedule
+                Err(e) => panic!("unexpected error: {e:?}"),
+            }
+        }
+        plane.heal();
+        // Let the healed link settle, then check the books directly.
+        for _ in 0..3 {
+            let _ = client.report(0, 0.0);
+            let _ = client.report(1, 10.0);
+        }
+        let stats = direct.stats().unwrap();
+        assert!(granted > 0, "at least one request should eventually land");
+        // Exactly-once effects: the server granted every id the client
+        // observed as granted, and never more ids than were issued (a
+        // grant whose reply outran the very last deadline can leave
+        // stats.granted one ahead of the client's count, but duplication
+        // and retries can never multiply a grant).
+        assert!(stats.granted >= granted, "client saw {granted}, server {}", stats.granted);
+        assert!(stats.granted <= 6, "more grants than logical calls: {}", stats.granted);
+        grm.shutdown();
+    }
+
+    #[test]
+    fn rebind_after_crash_reaches_standby() {
+        let grm = GrmServer::spawn(complete(2, 1.0), 1);
+        let client = ResilientGrmClient::new(grm.handle(), 4, RetryPolicy::aggressive());
+        client.report(0, 0.0).unwrap();
+        client.report(1, 5.0).unwrap();
+        assert!(client.request(0, 1.0).is_ok());
+        grm.crash();
+        assert!(matches!(client.request(0, 1.0), Err(GrmError::RetriesExhausted { .. })));
+        // Cold standby comes up; the client is rebound and recovers.
+        let standby = GrmServer::spawn(complete(2, 1.0), 1);
+        client.rebind(standby.handle());
+        client.report(0, 0.0).unwrap();
+        client.report(1, 5.0).unwrap();
+        assert!(client.request(0, 1.0).is_ok());
+        standby.shutdown();
+    }
+
+    #[test]
+    fn backoff_is_capped_and_deterministic() {
+        let grm = GrmServer::spawn(complete(2, 1.0), 1);
+        let policy = RetryPolicy {
+            deadline: Duration::from_millis(1),
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(10),
+        };
+        let a = ResilientGrmClient::new(grm.handle(), 9, policy);
+        let b = ResilientGrmClient::new(grm.handle(), 9, policy);
+        let seq_a: Vec<Duration> = (1..8).map(|k| a.backoff(k)).collect();
+        let seq_b: Vec<Duration> = (1..8).map(|k| b.backoff(k)).collect();
+        assert_eq!(seq_a, seq_b, "same client id, same jitter schedule");
+        for (k, d) in seq_a.iter().enumerate() {
+            assert!(*d <= Duration::from_millis(10), "cap respected at attempt {k}");
+            assert!(*d >= Duration::from_millis(1), "at least half the base");
+        }
+        let c = ResilientGrmClient::new(grm.handle(), 10, policy);
+        let seq_c: Vec<Duration> = (1..8).map(|k| c.backoff(k)).collect();
+        assert_ne!(seq_a, seq_c, "different clients, different schedules");
+        grm.shutdown();
+    }
+}

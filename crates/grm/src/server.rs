@@ -1,8 +1,17 @@
 //! The centralized global resource manager.
+//!
+//! The server assumes nothing about its transport: requests can be
+//! retried, duplicated, delayed, or reordered on the way in (see the
+//! `agreements-faults` crate and [`GrmServer::spawn_chaotic`]). Exactly-
+//! once *effects* are recovered at the server with client-generated
+//! [`RequestId`]s and a bounded dedup window: a duplicated or retried
+//! `Request`/`Release`/`ReplayGrant` returns the original decision
+//! instead of double-granting (DESIGN.md §8).
 
 use agreements_flow::{AgreementMatrix, FlowError, TransitiveFlow};
 use agreements_sched::{Allocation, AllocationSolver, SchedError, SystemState};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::thread::JoinHandle;
 
@@ -17,6 +26,30 @@ pub enum GrmError {
     UnknownLrm(usize),
     /// The server thread is gone (shut down or panicked).
     Disconnected,
+    /// No reply arrived within the caller's per-call deadline.
+    DeadlineExceeded {
+        /// The deadline that elapsed, in milliseconds.
+        millis: u64,
+    },
+    /// A resilient client gave up after exhausting its retry budget.
+    RetriesExhausted {
+        /// Attempts made before giving up.
+        attempts: usize,
+    },
+}
+
+impl GrmError {
+    /// Whether retrying the *same* call (same [`RequestId`]) can succeed.
+    ///
+    /// Transport-level failures — a missing reply or a dead server that a
+    /// cold standby may replace — are retryable; the server-side dedup
+    /// window makes such retries safe. Decisions the server actually
+    /// made (scheduling rejections, agreement errors, unknown indices)
+    /// are not: retrying them re-asks an already-answered question, and
+    /// an exhausted retry budget is itself final.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, GrmError::Disconnected | GrmError::DeadlineExceeded { .. })
+    }
 }
 
 impl fmt::Display for GrmError {
@@ -26,29 +59,96 @@ impl fmt::Display for GrmError {
             GrmError::Flow(e) => write!(f, "agreement: {e}"),
             GrmError::UnknownLrm(i) => write!(f, "unknown LRM {i}"),
             GrmError::Disconnected => write!(f, "GRM server disconnected"),
+            GrmError::DeadlineExceeded { millis } => {
+                write!(f, "no GRM reply within {millis} ms")
+            }
+            GrmError::RetriesExhausted { attempts } => {
+                write!(f, "GRM unreachable after {attempts} attempts")
+            }
         }
     }
 }
 
 impl std::error::Error for GrmError {}
 
+/// A client-generated identifier making an allocation RPC idempotent.
+///
+/// `client` distinguishes issuers (so independently counting clients
+/// never collide); `seq` is the issuer's call counter. Retries of one
+/// logical call reuse one id; the server's dedup window then guarantees
+/// the call takes effect at most once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestId {
+    /// Issuing client.
+    pub client: u64,
+    /// Per-client sequence number.
+    pub seq: u64,
+}
+
+/// How many decided calls the server remembers for deduplication. A
+/// retry arriving after this many newer calls is treated as new — the
+/// window bounds memory, trading exactly-once for "at most once within
+/// any plausible retry horizon".
+pub const DEDUP_WINDOW: usize = 1024;
+
+#[derive(Clone)]
 enum Msg {
-    Report { lrm: usize, available: f64 },
-    Tick { now: u64, lease: u64 },
-    Join { reply: Sender<usize> },
-    Leave { lrm: usize, reply: Sender<Result<(), GrmError>> },
-    Request { lrm: usize, amount: f64, reply: Sender<Result<Allocation, GrmError>> },
-    Release { alloc: Allocation, reply: Sender<Result<(), GrmError>> },
-    SetAgreement { from: usize, to: usize, share: f64, reply: Sender<Result<(), GrmError>> },
-    Availability { reply: Sender<Vec<f64>> },
-    Stats { reply: Sender<GrmStats> },
+    Report {
+        lrm: usize,
+        available: f64,
+    },
+    Tick {
+        now: u64,
+        lease: u64,
+    },
+    Join {
+        reply: Sender<usize>,
+    },
+    Leave {
+        lrm: usize,
+        reply: Sender<Result<(), GrmError>>,
+    },
+    Request {
+        lrm: usize,
+        amount: f64,
+        req_id: Option<RequestId>,
+        reply: Sender<Result<Allocation, GrmError>>,
+    },
+    Release {
+        alloc: Allocation,
+        req_id: Option<RequestId>,
+        reply: Sender<Result<(), GrmError>>,
+    },
+    ReplayGrant {
+        req_id: RequestId,
+        lrm: usize,
+        amount: f64,
+        reply: Sender<Result<(), GrmError>>,
+    },
+    FulfilShortfall {
+        lrm: usize,
+        want: f64,
+        taken: f64,
+    },
+    SetAgreement {
+        from: usize,
+        to: usize,
+        share: f64,
+        reply: Sender<Result<(), GrmError>>,
+    },
+    Availability {
+        reply: Sender<Vec<f64>>,
+    },
+    Stats {
+        reply: Sender<GrmStats>,
+    },
     Shutdown,
 }
 
 /// Operational counters maintained by the GRM server.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct GrmStats {
-    /// Allocation requests received.
+    /// Allocation requests received (dedup hits excluded).
     pub requests: usize,
     /// Requests granted.
     pub granted: usize,
@@ -60,6 +160,17 @@ pub struct GrmStats {
     pub agreement_updates: usize,
     /// Availability reports processed.
     pub reports: usize,
+    /// Duplicated or retried calls answered from the dedup window.
+    pub duplicate_requests: usize,
+    /// Fulfilments that came up short of the granted draw (LRM pool ran
+    /// stale-low; see `Lrm::fulfil`).
+    pub partial_fulfils: usize,
+    /// Total units of fulfilment shortfall across partial fulfilments.
+    pub fulfil_shortfall_units: f64,
+    /// Degraded-mode grants replayed by reconciling LRMs.
+    pub journaled_grants: usize,
+    /// Total units across replayed degraded-mode grants.
+    pub journaled_units: f64,
 }
 
 /// Cloneable client handle to a running GRM.
@@ -85,9 +196,11 @@ impl GrmHandle {
 
     /// A new LRM joins the federation; returns its index. It starts with
     /// no agreements and zero reported availability — wire it in with
-    /// [`GrmHandle::set_agreement`] and [`GrmHandle::report`].
+    /// [`GrmHandle::set_agreement`] and [`GrmHandle::report`]. Its
+    /// liveness lease starts *now*: joining late does not make it
+    /// instantly lease-expired.
     pub fn join(&self) -> Result<usize, GrmError> {
-        let (reply, rx) = bounded(1);
+        let (reply, rx) = unbounded();
         self.tx.send(Msg::Join { reply }).map_err(|_| GrmError::Disconnected)?;
         rx.recv().map_err(|_| GrmError::Disconnected)
     }
@@ -96,30 +209,110 @@ impl GrmHandle {
     /// and its availability zeroed. Its index stays reserved so other
     /// indices remain stable.
     pub fn leave(&self, lrm: usize) -> Result<(), GrmError> {
-        let (reply, rx) = bounded(1);
+        let (reply, rx) = unbounded();
         self.tx.send(Msg::Leave { lrm, reply }).map_err(|_| GrmError::Disconnected)?;
         rx.recv().map_err(|_| GrmError::Disconnected)?
     }
 
     /// Allocation RPC: LRM `lrm` requests `amount` units under the
-    /// agreements. Blocks for the decision.
+    /// agreements. Blocks for the decision. Carries no request id — use
+    /// [`GrmHandle::request_idempotent`] (or a `ResilientGrmClient`)
+    /// when the call may be retried.
     pub fn request(&self, lrm: usize, amount: f64) -> Result<Allocation, GrmError> {
-        let (reply, rx) = bounded(1);
-        self.tx.send(Msg::Request { lrm, amount, reply }).map_err(|_| GrmError::Disconnected)?;
+        let rx = self.issue_request(lrm, amount, None)?;
         rx.recv().map_err(|_| GrmError::Disconnected)?
+    }
+
+    /// Allocation RPC with an idempotency id: a duplicated or retried
+    /// send inside the server's dedup window returns the original
+    /// decision instead of granting twice.
+    pub fn request_idempotent(
+        &self,
+        lrm: usize,
+        amount: f64,
+        req_id: RequestId,
+    ) -> Result<Allocation, GrmError> {
+        let rx = self.issue_request(lrm, amount, Some(req_id))?;
+        rx.recv().map_err(|_| GrmError::Disconnected)?
+    }
+
+    /// Send a request without waiting: returns the reply channel. The
+    /// resilient client uses this to apply its own deadline.
+    pub(crate) fn issue_request(
+        &self,
+        lrm: usize,
+        amount: f64,
+        req_id: Option<RequestId>,
+    ) -> Result<Receiver<Result<Allocation, GrmError>>, GrmError> {
+        let (reply, rx) = unbounded();
+        self.tx
+            .send(Msg::Request { lrm, amount, req_id, reply })
+            .map_err(|_| GrmError::Disconnected)?;
+        Ok(rx)
     }
 
     /// Return a previous allocation's draws to the pool.
     pub fn release(&self, alloc: Allocation) -> Result<(), GrmError> {
-        let (reply, rx) = bounded(1);
-        self.tx.send(Msg::Release { alloc, reply }).map_err(|_| GrmError::Disconnected)?;
+        let rx = self.issue_release(alloc, None)?;
         rx.recv().map_err(|_| GrmError::Disconnected)?
+    }
+
+    /// Idempotent release: safe to retry or duplicate within the dedup
+    /// window — the draws are returned to the pool at most once.
+    pub fn release_idempotent(&self, alloc: Allocation, req_id: RequestId) -> Result<(), GrmError> {
+        let rx = self.issue_release(alloc, Some(req_id))?;
+        rx.recv().map_err(|_| GrmError::Disconnected)?
+    }
+
+    pub(crate) fn issue_release(
+        &self,
+        alloc: Allocation,
+        req_id: Option<RequestId>,
+    ) -> Result<Receiver<Result<(), GrmError>>, GrmError> {
+        let (reply, rx) = unbounded();
+        self.tx.send(Msg::Release { alloc, req_id, reply }).map_err(|_| GrmError::Disconnected)?;
+        Ok(rx)
+    }
+
+    /// Replay a degraded-mode grant during reconciliation: the units were
+    /// already drawn from the reporting LRM's own pool while the GRM was
+    /// unreachable, so this only settles the books (journaled-grant
+    /// counters), idempotently under `req_id`. If the id turns out to
+    /// have been granted by the live path (the original RPC's reply was
+    /// lost *after* the server granted it), the replay is a no-op.
+    pub fn replay_grant(&self, req_id: RequestId, lrm: usize, amount: f64) -> Result<(), GrmError> {
+        let rx = self.issue_replay(req_id, lrm, amount)?;
+        rx.recv().map_err(|_| GrmError::Disconnected)?
+    }
+
+    pub(crate) fn issue_replay(
+        &self,
+        req_id: RequestId,
+        lrm: usize,
+        amount: f64,
+    ) -> Result<Receiver<Result<(), GrmError>>, GrmError> {
+        let (reply, rx) = unbounded();
+        self.tx
+            .send(Msg::ReplayGrant { req_id, lrm, amount, reply })
+            .map_err(|_| GrmError::Disconnected)?;
+        Ok(rx)
+    }
+
+    /// Report a fulfilment that came up short of the granted draw
+    /// (fire-and-forget; see `Lrm::fulfil`).
+    pub fn report_fulfil_shortfall(
+        &self,
+        lrm: usize,
+        want: f64,
+        taken: f64,
+    ) -> Result<(), GrmError> {
+        self.tx.send(Msg::FulfilShortfall { lrm, want, taken }).map_err(|_| GrmError::Disconnected)
     }
 
     /// Agreement-management service: set `S[from][to] = share` and
     /// recompute the transitive flow.
     pub fn set_agreement(&self, from: usize, to: usize, share: f64) -> Result<(), GrmError> {
-        let (reply, rx) = bounded(1);
+        let (reply, rx) = unbounded();
         self.tx
             .send(Msg::SetAgreement { from, to, share, reply })
             .map_err(|_| GrmError::Disconnected)?;
@@ -128,14 +321,14 @@ impl GrmHandle {
 
     /// Operational counters since the server started.
     pub fn stats(&self) -> Result<GrmStats, GrmError> {
-        let (reply, rx) = bounded(1);
+        let (reply, rx) = unbounded();
         self.tx.send(Msg::Stats { reply }).map_err(|_| GrmError::Disconnected)?;
         rx.recv().map_err(|_| GrmError::Disconnected)
     }
 
     /// Snapshot of the GRM's current availability view.
     pub fn availability(&self) -> Result<Vec<f64>, GrmError> {
-        let (reply, rx) = bounded(1);
+        let (reply, rx) = unbounded();
         self.tx.send(Msg::Availability { reply }).map_err(|_| GrmError::Disconnected)?;
         rx.recv().map_err(|_| GrmError::Disconnected)
     }
@@ -149,6 +342,9 @@ impl GrmHandle {
 /// A running GRM server thread.
 pub struct GrmServer {
     handle: GrmHandle,
+    /// Direct line to the server thread, bypassing any fault plane, so
+    /// shutdown/crash cannot be dropped by the chaos schedule.
+    control: Sender<Msg>,
     join: Option<JoinHandle<()>>,
 }
 
@@ -156,12 +352,39 @@ impl GrmServer {
     /// Spawn a GRM managing `n` LRMs under the given agreements and
     /// transitivity level, scheduling with the LP policy.
     pub fn spawn(agreements: AgreementMatrix, level: usize) -> GrmServer {
+        Self::spawn_inner(agreements, level, None)
+    }
+
+    /// Spawn a GRM whose *client-facing* channel passes through a fault
+    /// plane link named `link`: every message a [`GrmHandle`] sends is
+    /// subject to the plane's seeded drop/duplicate/hold schedule. The
+    /// server's own control line stays direct, so shutdown is reliable
+    /// even on a fully partitioned link. With an inert or healed plane
+    /// the server behaves bit-identically to [`GrmServer::spawn`].
+    pub fn spawn_chaotic(
+        agreements: AgreementMatrix,
+        level: usize,
+        plane: &agreements_faults::FaultPlane,
+        link: &str,
+    ) -> GrmServer {
+        Self::spawn_inner(agreements, level, Some((plane, link)))
+    }
+
+    fn spawn_inner(
+        agreements: AgreementMatrix,
+        level: usize,
+        chaos: Option<(&agreements_faults::FaultPlane, &str)>,
+    ) -> GrmServer {
         let (tx, rx) = unbounded();
         let join = std::thread::Builder::new()
             .name("grm-server".into())
             .spawn(move || serve(agreements, level, rx))
             .expect("spawn GRM thread");
-        GrmServer { handle: GrmHandle { tx }, join: Some(join) }
+        let client_tx = match chaos {
+            Some((plane, link)) => plane.wrap(link, tx.clone()),
+            None => tx.clone(),
+        };
+        GrmServer { handle: GrmHandle { tx: client_tx }, control: tx, join: Some(join) }
     }
 
     /// Client handle.
@@ -171,18 +394,59 @@ impl GrmServer {
 
     /// Shut down and join the server thread.
     pub fn shutdown(mut self) {
-        self.handle.shutdown();
+        let _ = self.control.send(Msg::Shutdown);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+
+    /// Abruptly stop the server, losing all volatile state (availability
+    /// view, stats, dedup window). In-process this is the same mechanism
+    /// as [`GrmServer::shutdown`]; the distinct name marks chaos-harness
+    /// crash points, after which clients see [`GrmError::Disconnected`]
+    /// (or deadline timeouts through a fault plane) until a cold standby
+    /// is rebuilt — see `recovery::AgreementJournal`.
+    pub fn crash(self) {
+        self.shutdown();
+    }
+}
+
+impl Drop for GrmServer {
+    fn drop(&mut self) {
+        let _ = self.control.send(Msg::Shutdown);
         if let Some(j) = self.join.take() {
             let _ = j.join();
         }
     }
 }
 
-impl Drop for GrmServer {
-    fn drop(&mut self) {
-        self.handle.shutdown();
-        if let Some(j) = self.join.take() {
-            let _ = j.join();
+/// What the server remembers about an already-decided idempotent call.
+enum CachedReply {
+    Grant(Result<Allocation, GrmError>),
+    Release(Result<(), GrmError>),
+    Replay(Result<(), GrmError>),
+}
+
+/// Bounded id → decision memory (insertion-ordered eviction).
+#[derive(Default)]
+struct DedupWindow {
+    decisions: HashMap<RequestId, CachedReply>,
+    order: VecDeque<RequestId>,
+}
+
+impl DedupWindow {
+    fn get(&self, id: &RequestId) -> Option<&CachedReply> {
+        self.decisions.get(id)
+    }
+
+    fn insert(&mut self, id: RequestId, reply: CachedReply) {
+        if self.decisions.insert(id, reply).is_none() {
+            self.order.push_back(id);
+            if self.order.len() > DEDUP_WINDOW {
+                if let Some(old) = self.order.pop_front() {
+                    self.decisions.remove(&old);
+                }
+            }
         }
     }
 }
@@ -196,6 +460,7 @@ fn serve(agreements: AgreementMatrix, level: usize, rx: Receiver<Msg>) {
     let mut last_report = vec![0u64; s.n()];
     let mut clock = 0u64;
     let mut stats = GrmStats::default();
+    let mut dedup = DedupWindow::default();
     // The server outlives many requests over one agreement structure, so
     // it keeps a persistent solver (cached skeleton + workspace). Warm
     // starting stays off: every grant must be bit-identical to the
@@ -223,6 +488,9 @@ fn serve(agreements: AgreementMatrix, level: usize, rx: Receiver<Msg>) {
                 s = s.grown();
                 flow = TransitiveFlow::compute(&s, level);
                 availability.push(0.0);
+                // The newcomer's lease starts at the current clock: a
+                // join after the clock has advanced must not be born
+                // lease-expired.
                 last_report.push(clock);
                 let _ = reply.send(s.n() - 1);
             }
@@ -237,7 +505,22 @@ fn serve(agreements: AgreementMatrix, level: usize, rx: Receiver<Msg>) {
                 };
                 let _ = reply.send(res);
             }
-            Msg::Request { lrm, amount, reply } => {
+            Msg::Request { lrm, amount, req_id, reply } => {
+                if let Some(id) = req_id {
+                    if let Some(cached) = dedup.get(&id) {
+                        stats.duplicate_requests += 1;
+                        let res = match cached {
+                            CachedReply::Grant(r) => r.clone(),
+                            // An id reused across call kinds is a client
+                            // bug; fail the request rather than grant.
+                            CachedReply::Release(_) | CachedReply::Replay(_) => {
+                                Err(GrmError::Sched(SchedError::InvalidRequest { amount }))
+                            }
+                        };
+                        let _ = reply.send(res);
+                        continue;
+                    }
+                }
                 stats.requests += 1;
                 let res = if lrm >= n {
                     Err(GrmError::UnknownLrm(lrm))
@@ -263,9 +546,27 @@ fn serve(agreements: AgreementMatrix, level: usize, rx: Receiver<Msg>) {
                         Err(e) => Err(GrmError::Sched(e)),
                     }
                 };
+                if let Some(id) = req_id {
+                    dedup.insert(id, CachedReply::Grant(res.clone()));
+                }
                 let _ = reply.send(res);
             }
-            Msg::Release { alloc, reply } => {
+            Msg::Release { alloc, req_id, reply } => {
+                if let Some(id) = req_id {
+                    if let Some(cached) = dedup.get(&id) {
+                        stats.duplicate_requests += 1;
+                        let res = match cached {
+                            CachedReply::Release(r) => r.clone(),
+                            CachedReply::Grant(_) | CachedReply::Replay(_) => {
+                                Err(GrmError::Sched(SchedError::InvalidRequest {
+                                    amount: alloc.amount,
+                                }))
+                            }
+                        };
+                        let _ = reply.send(res);
+                        continue;
+                    }
+                }
                 let res = if alloc.draws.len() != n {
                     Err(GrmError::Sched(SchedError::DimensionMismatch {
                         expected: n,
@@ -277,7 +578,48 @@ fn serve(agreements: AgreementMatrix, level: usize, rx: Receiver<Msg>) {
                     }
                     Ok(())
                 };
+                if let Some(id) = req_id {
+                    dedup.insert(id, CachedReply::Release(res.clone()));
+                }
                 let _ = reply.send(res);
+            }
+            Msg::ReplayGrant { req_id, lrm, amount, reply } => {
+                if let Some(cached) = dedup.get(&req_id) {
+                    stats.duplicate_requests += 1;
+                    let res = match cached {
+                        CachedReply::Replay(r) => r.clone(),
+                        // The live path already granted this id before
+                        // the client fell back to degraded mode (its
+                        // reply was lost): the intent is settled; the
+                        // replay must not count it a second time.
+                        CachedReply::Grant(Ok(_)) => Ok(()),
+                        CachedReply::Grant(Err(_)) | CachedReply::Release(_) => {
+                            Err(GrmError::Sched(SchedError::InvalidRequest { amount }))
+                        }
+                    };
+                    let _ = reply.send(res);
+                    continue;
+                }
+                let res = if lrm >= n {
+                    Err(GrmError::UnknownLrm(lrm))
+                } else if !(amount.is_finite() && amount > 0.0) {
+                    Err(GrmError::Sched(SchedError::InvalidRequest { amount }))
+                } else {
+                    // The units were drawn from the LRM's own pool while
+                    // the GRM was unreachable and its re-report already
+                    // reflects them; only the books move here.
+                    stats.journaled_grants += 1;
+                    stats.journaled_units += amount;
+                    Ok(())
+                };
+                dedup.insert(req_id, CachedReply::Replay(res.clone()));
+                let _ = reply.send(res);
+            }
+            Msg::FulfilShortfall { lrm, want, taken } => {
+                if lrm < n && want.is_finite() && taken.is_finite() && want > taken {
+                    stats.partial_fulfils += 1;
+                    stats.fulfil_shortfall_units += want - taken;
+                }
             }
             Msg::SetAgreement { from, to, share, reply } => {
                 let res = s.set(from, to, share).map_err(GrmError::Flow).map(|()| {
@@ -429,6 +771,120 @@ mod tests {
         assert_eq!(s.rejected_capacity, 1);
         assert!((s.granted_units - 5.0).abs() < 1e-9);
         assert_eq!(s.agreement_updates, 1);
+        assert_eq!(s.duplicate_requests, 0);
+        assert_eq!(s.partial_fulfils, 0);
+        grm.shutdown();
+    }
+
+    #[test]
+    fn duplicated_request_returns_original_grant_once() {
+        let grm = GrmServer::spawn(complete(2, 1.0), 1);
+        let h = grm.handle();
+        h.report(0, 0.0).unwrap();
+        h.report(1, 10.0).unwrap();
+        let id = RequestId { client: 7, seq: 0 };
+        let first = h.request_idempotent(0, 4.0, id).unwrap();
+        // A retry (lost reply) and a transport duplicate both come back
+        // with the original decision; the pool moved only once.
+        let retry = h.request_idempotent(0, 4.0, id).unwrap();
+        assert_eq!(first.draws, retry.draws);
+        assert!((first.amount - retry.amount).abs() < 1e-12);
+        let avail = h.availability().unwrap();
+        assert!((avail.iter().sum::<f64>() - 6.0).abs() < 1e-9, "single commit: {avail:?}");
+        let s = h.stats().unwrap();
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.granted, 1);
+        assert_eq!(s.duplicate_requests, 1);
+        assert!((s.granted_units - 4.0).abs() < 1e-9);
+        grm.shutdown();
+    }
+
+    #[test]
+    fn duplicated_rejection_is_replayed_not_recomputed() {
+        let grm = GrmServer::spawn(complete(2, 0.1), 1);
+        let h = grm.handle();
+        h.report(0, 1.0).unwrap();
+        h.report(1, 1.0).unwrap();
+        let id = RequestId { client: 1, seq: 9 };
+        assert!(h.request_idempotent(0, 5.0, id).is_err());
+        assert!(h.request_idempotent(0, 5.0, id).is_err());
+        let s = h.stats().unwrap();
+        assert_eq!(s.requests, 1, "decision computed once");
+        assert_eq!(s.rejected_capacity, 1);
+        assert_eq!(s.duplicate_requests, 1);
+        grm.shutdown();
+    }
+
+    #[test]
+    fn duplicated_release_restores_pool_once() {
+        let grm = GrmServer::spawn(complete(2, 0.5), 1);
+        let h = grm.handle();
+        h.report(0, 5.0).unwrap();
+        h.report(1, 5.0).unwrap();
+        let alloc = h.request(0, 4.0).unwrap();
+        let id = RequestId { client: 2, seq: 1 };
+        h.release_idempotent(alloc.clone(), id).unwrap();
+        h.release_idempotent(alloc, id).unwrap();
+        let avail = h.availability().unwrap();
+        assert!((avail.iter().sum::<f64>() - 10.0).abs() < 1e-9, "released once: {avail:?}");
+        grm.shutdown();
+    }
+
+    #[test]
+    fn replay_grant_settles_books_idempotently() {
+        let grm = GrmServer::spawn(complete(2, 0.5), 1);
+        let h = grm.handle();
+        let id = RequestId { client: 3, seq: 0 };
+        h.replay_grant(id, 0, 2.5).unwrap();
+        h.replay_grant(id, 0, 2.5).unwrap();
+        let s = h.stats().unwrap();
+        assert_eq!(s.journaled_grants, 1);
+        assert!((s.journaled_units - 2.5).abs() < 1e-12);
+        // A replay for an id the live path already granted is a no-op.
+        h.report(0, 0.0).unwrap();
+        h.report(1, 10.0).unwrap();
+        let gid = RequestId { client: 3, seq: 1 };
+        let _ = h.request_idempotent(0, 3.0, gid).unwrap();
+        h.replay_grant(gid, 0, 3.0).unwrap();
+        let s = h.stats().unwrap();
+        assert_eq!(s.journaled_grants, 1, "live-granted id not double counted");
+        assert_eq!(s.granted, 1);
+        grm.shutdown();
+    }
+
+    #[test]
+    fn dedup_window_is_bounded() {
+        let grm = GrmServer::spawn(complete(2, 1.0), 1);
+        let h = grm.handle();
+        h.report(0, 0.0).unwrap();
+        h.report(1, 1e9).unwrap();
+        let id = RequestId { client: 0, seq: 0 };
+        let _ = h.request_idempotent(0, 1.0, id).unwrap();
+        // Push the id out of the window with newer decisions.
+        for seq in 1..=(DEDUP_WINDOW as u64 + 1) {
+            let _ = h.request_idempotent(0, 0.001, RequestId { client: 0, seq }).unwrap();
+        }
+        // The evicted id is treated as a fresh request again.
+        let before = h.stats().unwrap();
+        let _ = h.request_idempotent(0, 1.0, id).unwrap();
+        let after = h.stats().unwrap();
+        assert_eq!(after.requests, before.requests + 1, "evicted id recomputed");
+        assert_eq!(after.duplicate_requests, before.duplicate_requests);
+        grm.shutdown();
+    }
+
+    #[test]
+    fn mismatched_id_kind_is_rejected() {
+        let grm = GrmServer::spawn(complete(2, 0.5), 1);
+        let h = grm.handle();
+        h.report(0, 5.0).unwrap();
+        h.report(1, 5.0).unwrap();
+        let id = RequestId { client: 4, seq: 4 };
+        let alloc = h.request_idempotent(0, 2.0, id).unwrap();
+        assert!(matches!(
+            h.release_idempotent(alloc, id),
+            Err(GrmError::Sched(SchedError::InvalidRequest { .. }))
+        ));
         grm.shutdown();
     }
 
@@ -460,6 +916,41 @@ mod tests {
     }
 
     #[test]
+    fn lease_expiry_boundary_is_exclusive() {
+        let grm = GrmServer::spawn(complete(2, 1.0), 1);
+        let h = grm.handle();
+        h.report(0, 0.0).unwrap();
+        h.report(1, 10.0).unwrap(); // last_report = 0
+                                    // now - last_report == lease: still within the lease.
+        h.tick(3, 3).unwrap();
+        let a = h.request(0, 4.0).unwrap();
+        h.release(a).unwrap();
+        assert!((h.availability().unwrap()[1] - 10.0).abs() < 1e-9);
+        // One tick past the lease: expired, availability zeroed.
+        h.tick(4, 3).unwrap();
+        assert!(h.availability().unwrap()[1].abs() < 1e-12);
+        assert!(h.request(0, 4.0).is_err());
+        grm.shutdown();
+    }
+
+    #[test]
+    fn re_report_resurrects_expired_lrm() {
+        let grm = GrmServer::spawn(complete(2, 1.0), 1);
+        let h = grm.handle();
+        h.report(0, 0.0).unwrap();
+        h.report(1, 8.0).unwrap();
+        h.tick(10, 2).unwrap();
+        assert!(h.availability().unwrap()[1].abs() < 1e-12, "expired");
+        // Resurrection: the lease restarts at the report's clock.
+        h.report(1, 8.0).unwrap();
+        h.tick(12, 2).unwrap(); // 12 - 10 == lease: still alive
+        assert!((h.availability().unwrap()[1] - 8.0).abs() < 1e-9);
+        h.tick(13, 2).unwrap(); // one past: expired again
+        assert!(h.availability().unwrap()[1].abs() < 1e-12);
+        grm.shutdown();
+    }
+
+    #[test]
     fn join_grows_the_federation() {
         let grm = GrmServer::spawn(complete(2, 0.5), 1);
         let h = grm.handle();
@@ -475,6 +966,34 @@ mod tests {
         let alloc = h.request(newbie, 2.0).unwrap();
         assert!((alloc.draws[0] - 2.0).abs() < 1e-9);
         assert_eq!(alloc.draws.len(), 3);
+        grm.shutdown();
+    }
+
+    #[test]
+    fn late_joiner_is_not_born_lease_expired() {
+        let grm = GrmServer::spawn(complete(2, 1.0), 1);
+        let h = grm.handle();
+        h.report(0, 5.0).unwrap();
+        h.report(1, 5.0).unwrap();
+        // The clock is already far along when the newcomer joins.
+        h.tick(100, 3).unwrap();
+        h.report(0, 5.0).unwrap();
+        h.report(1, 5.0).unwrap();
+        let newbie = h.join().unwrap();
+        h.set_agreement(newbie, 0, 1.0).unwrap();
+        h.report(newbie, 7.0).unwrap();
+        // A tick *within* the newcomer's lease must not zero it: its
+        // lease began at the join-time clock (100), not 0.
+        h.tick(102, 3).unwrap();
+        assert!(
+            (h.availability().unwrap()[newbie] - 7.0).abs() < 1e-9,
+            "late joiner instantly lease-expired"
+        );
+        // A request beyond the old federation's reach (5 + 5 = 10) can
+        // only succeed because the newcomer's 7 units are schedulable.
+        let alloc = h.request(0, 16.0).unwrap();
+        assert!((alloc.amount - 16.0).abs() < 1e-9);
+        assert!(alloc.draws[newbie] >= 6.0 - 1e-9, "{:?}", alloc.draws);
         grm.shutdown();
     }
 
@@ -498,6 +1017,31 @@ mod tests {
     }
 
     #[test]
+    fn leave_then_rejoin_reserves_old_index_and_appends_new() {
+        let grm = GrmServer::spawn(complete(2, 0.5), 1);
+        let h = grm.handle();
+        h.report(0, 10.0).unwrap();
+        h.report(1, 10.0).unwrap();
+        h.leave(1).unwrap();
+        assert!(h.availability().unwrap()[1].abs() < 1e-12, "left LRM zeroed");
+        // Re-joining is a fresh join: a *new* index is appended; the old
+        // index stays reserved (isolated, zero agreements) so nobody's
+        // indices shift.
+        let rejoined = h.join().unwrap();
+        assert_eq!(rejoined, 2);
+        // The old index still accepts reports (it is a valid principal)
+        // but its pool reaches nobody: requester 0 is on its own.
+        h.report(1, 10.0).unwrap();
+        assert!(h.request(0, 10.5).is_err(), "old index's pool is not reachable");
+        // Wire the new incarnation in and it serves.
+        h.set_agreement(rejoined, 0, 0.5).unwrap();
+        h.report(rejoined, 10.0).unwrap();
+        let alloc = h.request(0, 10.5).unwrap();
+        assert!((alloc.draws[rejoined] - 0.5).abs() < 1e-9, "{:?}", alloc.draws);
+        grm.shutdown();
+    }
+
+    #[test]
     fn handle_survives_clone_and_reports_after_shutdown_fail() {
         let grm = GrmServer::spawn(complete(2, 0.5), 1);
         let h1 = grm.handle();
@@ -506,5 +1050,33 @@ mod tests {
         h2.report(1, 1.0).unwrap();
         grm.shutdown();
         assert!(matches!(h1.availability(), Err(GrmError::Disconnected)));
+    }
+
+    #[test]
+    fn error_taxonomy_classifies_retryability() {
+        assert!(GrmError::Disconnected.is_retryable());
+        assert!(GrmError::DeadlineExceeded { millis: 5 }.is_retryable());
+        assert!(!GrmError::RetriesExhausted { attempts: 3 }.is_retryable());
+        assert!(!GrmError::UnknownLrm(1).is_retryable());
+        assert!(!GrmError::Sched(SchedError::InvalidRequest { amount: -1.0 }).is_retryable());
+        // Display strings exist for the new variants.
+        assert!(GrmError::DeadlineExceeded { millis: 5 }.to_string().contains("5 ms"));
+        assert!(GrmError::RetriesExhausted { attempts: 3 }.to_string().contains("3 attempts"));
+    }
+
+    #[test]
+    fn chaotic_spawn_with_inert_plane_is_transparent() {
+        use agreements_faults::FaultPlane;
+        let plane = FaultPlane::inert(1);
+        let grm = GrmServer::spawn_chaotic(complete(3, 0.5), 2, &plane, "grm");
+        let h = grm.handle();
+        h.report(0, 0.0).unwrap();
+        h.report(1, 10.0).unwrap();
+        h.report(2, 10.0).unwrap();
+        let alloc = h.request(0, 6.0).unwrap();
+        assert!((alloc.amount - 6.0).abs() < 1e-9);
+        let avail = h.availability().unwrap();
+        assert!((avail.iter().sum::<f64>() - 14.0).abs() < 1e-9);
+        grm.shutdown();
     }
 }

@@ -65,8 +65,9 @@ pub mod thread {
 /// Multi-producer channels (mirrors `crossbeam::channel`).
 pub mod channel {
     use std::sync::mpsc;
+    use std::time::Duration;
 
-    pub use std::sync::mpsc::{RecvError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, TryRecvError};
 
     /// Error returned when the receiving side is gone; carries the value.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +127,12 @@ pub mod channel {
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             self.inner.try_recv()
+        }
+
+        /// Block until a value arrives, every sender is dropped, or the
+        /// timeout elapses (mirrors `crossbeam::channel::Receiver::recv_timeout`).
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
         }
 
         /// Blocking iterator over received values.
@@ -189,6 +196,23 @@ mod tests {
         got.sort_unstable();
         assert_eq!(got, vec![1, 2]);
         assert!(rx.recv().is_err(), "all senders dropped");
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_delivers() {
+        use std::time::Duration;
+        let (tx, rx) = super::channel::unbounded();
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(super::channel::RecvTimeoutError::Timeout)
+        ));
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)).unwrap(), 9);
+        drop(tx);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(super::channel::RecvTimeoutError::Disconnected)
+        ));
     }
 
     #[test]
