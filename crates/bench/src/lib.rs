@@ -47,7 +47,13 @@ pub fn run(
 ) -> SimResult {
     let mut cfg = bench_config().with_capacity_factor(capacity_factor);
     if let Some((agreements, level, policy, redirect_cost)) = sharing {
-        cfg = cfg.with_sharing(SharingConfig { agreements, level, policy, redirect_cost });
+        cfg = cfg.with_sharing(SharingConfig {
+            agreements,
+            level,
+            policy,
+            redirect_cost,
+            schedule: Vec::new(),
+        });
     }
     Simulator::new(cfg).expect("valid config").run(&bench_traces(gap)).expect("run")
 }

@@ -449,6 +449,7 @@ fn simulate(parsed: &Parsed) -> Result<String, CliError> {
             level,
             policy: spec.policy.to_kind(),
             redirect_cost: spec.redirect_cost,
+            schedule: Vec::new(),
         });
     }
     let sim =

@@ -68,6 +68,7 @@ fn fig06_job_stateless(job: Option<f64>) -> SimResult {
                 level: exp::N_PROXIES - 1,
                 policy: PolicyKind::Lp,
                 redirect_cost: 0.0,
+                schedule: Vec::new(),
             };
             let cfg = exp::base_config().with_sharing(sharing);
             Simulator::with_policy(cfg, Box::new(LpPolicy::reduced()))

@@ -1,0 +1,287 @@
+//! Performance evidence for the enforcement hot path at scale:
+//!
+//! 1. **Mutation throughput** — maintaining the transitive flow table
+//!    under single-agreement edits, incremental repair
+//!    ([`IncrementalFlow`]) vs full recompute
+//!    ([`TransitiveFlow::compute`]), at n ∈ {10, 32, 64, 128} on a ring
+//!    (sparse: small dirty sets) and a complete graph at level 2 (the
+//!    honest worst case: every row is dirty, so the incremental path
+//!    can only match the full one).
+//! 2. **Request throughput** — the GRM request path at n = 10:
+//!    rebuilding a [`SystemState`] per request with a cloned flow matrix
+//!    (the pre-PR serve-loop cost) vs allocating against one persistent
+//!    zero-clone state, with and without warm starting.
+//!
+//! Writes `BENCH_PR3.json` (or the path given as the first argument).
+//! `--check` runs a reduced iteration count, asserts the correctness
+//! invariants (bit-identical tables, identical allocations), and writes
+//! nothing — CI's bench-smoke job runs that mode.
+//!
+//! Run from the repository root:
+//!
+//! ```text
+//! cargo run --release -p agreements-experiments --bin bench_pr3
+//! ```
+
+use agreements_flow::{AgreementMatrix, IncrementalFlow, Structure, TransitiveFlow};
+use agreements_sched::{AllocationSolver, SystemState};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Principal counts swept by the mutation benchmark.
+const SIZES: [usize; 4] = [10, 32, 64, 128];
+
+/// Request amounts cycled across solves (same cycle as `bench_pr1`, so
+/// the request-path numbers are directly comparable).
+const AMOUNTS: [f64; 4] = [6.0, 8.0, 10.0, 12.0];
+
+struct MutationRow {
+    n: usize,
+    level: usize,
+    structure: &'static str,
+    incremental_per_sec: f64,
+    full_per_sec: f64,
+    speedup: f64,
+    avg_rows_recomputed: f64,
+}
+
+/// The edit stream for one structure: cycle over existing edges,
+/// alternating each edge's share between two values so every edit is a
+/// real change.
+fn edits(structure: &str, n: usize, count: usize) -> Vec<(usize, usize, f64)> {
+    (0..count)
+        .map(|k| {
+            let lo_hi = if (k / n).is_multiple_of(2) { 0.7 } else { 0.8 };
+            match structure {
+                "ring" => (k % n, (k % n + 1) % n, lo_hi),
+                _ => (k % n, (k % n + 3) % n, lo_hi / 8.0),
+            }
+        })
+        .collect()
+}
+
+fn bench_mutations(
+    structure: &'static str,
+    s: AgreementMatrix,
+    level: usize,
+    muts: usize,
+    check: bool,
+) -> MutationRow {
+    let n = s.n();
+    let stream = edits(structure, n, muts);
+
+    // Incremental repair.
+    let mut inc = IncrementalFlow::new(s.clone(), level);
+    let start = Instant::now();
+    for &(from, to, share) in &stream {
+        inc.set(from, to, share).expect("edit in range");
+    }
+    let inc_secs = start.elapsed().as_secs_f64();
+    let rows = inc.rows_recomputed();
+
+    // Full recompute after every edit (the pre-PR cost).
+    let mut reference = s;
+    let mut full = TransitiveFlow::compute(&reference, level);
+    let start = Instant::now();
+    for &(from, to, share) in &stream {
+        reference.set(from, to, share).expect("edit in range");
+        full = TransitiveFlow::compute(&reference, level);
+    }
+    let full_secs = start.elapsed().as_secs_f64();
+
+    // Invariant: after the identical edit stream the repaired table is
+    // bit-identical to the recomputed one.
+    for i in 0..n {
+        for j in 0..n {
+            assert_eq!(
+                inc.coefficient(i, j).to_bits(),
+                full.coefficient(i, j).to_bits(),
+                "{structure} n={n}: incremental diverged at ({i}, {j})"
+            );
+        }
+    }
+    if check {
+        eprintln!("check: {structure} n={n} bit-identical after {muts} edits");
+    }
+
+    MutationRow {
+        n,
+        level,
+        structure,
+        incremental_per_sec: muts as f64 / inc_secs,
+        full_per_sec: muts as f64 / full_secs,
+        speedup: full_secs / inc_secs,
+        avg_rows_recomputed: rows as f64 / muts as f64,
+    }
+}
+
+struct RequestRow {
+    mode: &'static str,
+    seconds: f64,
+    allocations_per_sec: f64,
+}
+
+/// The representative allocation state of `bench_pr1`: 10 principals,
+/// figure-13 structure, requester 0 drained.
+fn request_inputs() -> (Arc<TransitiveFlow>, Vec<f64>) {
+    let s = Structure::figure13(10).build().expect("structure");
+    let flow = Arc::new(TransitiveFlow::compute(&s, 9));
+    let avail: Vec<f64> = (0..10).map(|i| if i == 0 { 0.0 } else { 5.0 + i as f64 }).collect();
+    (flow, avail)
+}
+
+fn time_requests<F: FnMut(f64) -> f64>(solves: usize, mut solve: F) -> (f64, f64) {
+    for x in AMOUNTS {
+        std::hint::black_box(solve(x));
+    }
+    let start = Instant::now();
+    let mut acc = 0.0;
+    for k in 0..solves {
+        acc += solve(AMOUNTS[k % AMOUNTS.len()]);
+    }
+    std::hint::black_box(acc);
+    let secs = start.elapsed().as_secs_f64();
+    (secs, solves as f64 / secs)
+}
+
+fn bench_requests(solves: usize, check: bool) -> Vec<RequestRow> {
+    let (flow, avail) = request_inputs();
+
+    // Old serve-loop cost: a fresh state per request — the flow matrix
+    // is cloned and the solver must re-establish skeleton currency by
+    // structural scan (the new Arc never pointer-matches).
+    let mut clone_solver = AllocationSolver::reduced();
+    let (clone_secs, clone_rate) = time_requests(solves, |x| {
+        let state =
+            SystemState::new(Arc::new((*flow).clone()), None, avail.clone()).expect("state");
+        clone_solver.allocate(&state, 0, x).expect("solve").theta
+    });
+
+    // Zero-clone: one persistent state; skeleton currency is a pointer
+    // compare.
+    let state = SystemState::new(Arc::clone(&flow), None, avail.clone()).expect("state");
+    let mut solver = AllocationSolver::reduced();
+    let (zc_secs, zc_rate) =
+        time_requests(solves, |x| solver.allocate(&state, 0, x).expect("solve").theta);
+
+    let mut warm = AllocationSolver::reduced();
+    warm.set_warm_start(true);
+    let (warm_secs, warm_rate) =
+        time_requests(solves, |x| warm.allocate(&state, 0, x).expect("solve").theta);
+
+    if check {
+        // Invariant: the per-request-clone path and the zero-clone path
+        // produce identical allocations.
+        let mut a = AllocationSolver::reduced();
+        let mut b = AllocationSolver::reduced();
+        for x in AMOUNTS {
+            let fresh =
+                SystemState::new(Arc::new((*flow).clone()), None, avail.clone()).expect("state");
+            let cloned = a.allocate(&fresh, 0, x).expect("solve");
+            let shared = b.allocate(&state, 0, x).expect("solve");
+            assert_eq!(cloned, shared, "zero-clone changed an allocation at x={x}");
+        }
+        eprintln!("check: zero-clone allocations identical to clone-per-request");
+    }
+
+    vec![
+        RequestRow {
+            mode: "clone_per_request",
+            seconds: clone_secs,
+            allocations_per_sec: clone_rate,
+        },
+        RequestRow { mode: "zero_clone", seconds: zc_secs, allocations_per_sec: zc_rate },
+        RequestRow { mode: "zero_clone_warm", seconds: warm_secs, allocations_per_sec: warm_rate },
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
+
+    let muts = if check { 64 } else { 4_000 };
+    let solves = if check { 256 } else { 20_000 };
+
+    let mut rows: Vec<MutationRow> = Vec::new();
+    for n in SIZES {
+        // Ring: constant-size dirty sets; the incremental win grows
+        // linearly with n.
+        let level = (n - 1).min(8);
+        let ring = Structure::Loop { n, share: 0.8, skip: 1 }.build().expect("ring");
+        rows.push(bench_mutations("ring", ring, level, muts, check));
+        // Complete at level 2: every row dirty on every edit — the
+        // incremental path degenerates to a full recompute and must not
+        // be slower than one.
+        let complete = Structure::Complete { n, share: 0.05 }.build().expect("complete");
+        rows.push(bench_mutations("complete_l2", complete, 2, muts, check));
+    }
+    for r in &rows {
+        eprintln!(
+            "mutations {:<12} n={:<4} level={}: incremental {:>9.0}/s, full {:>9.0}/s, \
+             speedup {:>6.2}x, avg dirty rows {:.2}",
+            r.structure,
+            r.n,
+            r.level,
+            r.incremental_per_sec,
+            r.full_per_sec,
+            r.speedup,
+            r.avg_rows_recomputed
+        );
+    }
+
+    let requests = bench_requests(solves, check);
+    for r in &requests {
+        eprintln!("requests {:<18} n=10: {:>9.0} allocations/s", r.mode, r.allocations_per_sec);
+    }
+
+    if check {
+        eprintln!("check mode: all invariants hold; no baseline written");
+        return;
+    }
+
+    let mutation_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"structure\": \"{}\", \"n\": {}, \"level\": {}, \
+                 \"mutations\": {muts}, \"incremental_per_sec\": {:.0}, \
+                 \"full_per_sec\": {:.0}, \"speedup\": {:.2}, \
+                 \"avg_rows_recomputed\": {:.2} }}",
+                r.structure,
+                r.n,
+                r.level,
+                r.incremental_per_sec,
+                r.full_per_sec,
+                r.speedup,
+                r.avg_rows_recomputed
+            )
+        })
+        .collect();
+    let request_json: Vec<String> = requests
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"mode\": \"{}\", \"seconds\": {:.4}, \
+                 \"allocations_per_sec\": {:.0} }}",
+                r.mode, r.seconds, r.allocations_per_sec
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"pr3_enforcement_hot_path\",\n  \
+         \"mutation_throughput\": [\n{}\n  ],\n  \
+         \"request_throughput\": {{\n    \"principals\": 10,\n    \
+         \"formulation\": \"reduced\",\n    \"solves_per_mode\": {solves},\n    \
+         \"modes\": [\n{}\n    ]\n  }}\n}}\n",
+        mutation_json.join(",\n"),
+        request_json.join(",\n"),
+    );
+    std::fs::write(&out_path, json)
+        .unwrap_or_else(|e| panic!("writing baseline to {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

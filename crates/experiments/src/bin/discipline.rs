@@ -32,6 +32,7 @@ fn run(discipline: QueueDiscipline, sharing: bool) -> SimResult {
             level: exp::N_PROXIES - 1,
             policy: PolicyKind::Lp,
             redirect_cost: 0.0,
+            schedule: Vec::new(),
         });
     }
     Simulator::new(cfg).expect("valid config").run(&traces).expect("run")

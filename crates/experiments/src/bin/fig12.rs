@@ -1,17 +1,42 @@
 //! Figure 12: average waiting time as a function of the **redirection
-//! cost** (0, 0.1, 0.2 seconds per redirected request).
+//! cost** (0, 0.1, 0.2 seconds per redirected request), plus an
+//! agreement-fluctuation variant.
 //!
 //! Paper: in the complete agreement graph, the added cost has negligible
 //! impact because fewer than 1.5% of requests are redirected overall
 //! (under 6% even at peak) — the benefit of moving to an idle server
 //! dwarfs the fixed overhead.
+//!
+//! The fluctuation series models the paper's premise that agreements
+//! are *renegotiated while the system runs*: every two hours one ISP
+//! resets all nine of its outgoing shares, alternating 5% and 15%
+//! around the static 10%. The simulator repairs the transitive flow
+//! table incrementally at each renegotiation instead of recomputing it
+//! from scratch.
 
 use agreements_experiments as exp;
-use agreements_proxysim::PolicyKind;
+use agreements_proxysim::{AgreementEvent, PolicyKind};
+
+/// Every two hours one ISP renegotiates its outgoing shares,
+/// alternating 5% / 15% around the static 10%.
+fn renegotiation_schedule() -> Vec<AgreementEvent> {
+    let mut schedule = Vec::new();
+    for cycle in 0..12 {
+        let at = cycle as f64 * 7200.0;
+        let isp = cycle % exp::N_PROXIES;
+        let share = if cycle % 2 == 0 { 0.05 } else { 0.15 };
+        for j in 0..exp::N_PROXIES {
+            if j != isp {
+                schedule.push(AgreementEvent { at, from: isp, to: j, share });
+            }
+        }
+    }
+    schedule
+}
 
 fn main() {
     let costs = [0.0, 0.1, 0.2];
-    let results = exp::par_map(costs.to_vec(), |cost| {
+    let mut results = exp::par_map(costs.to_vec(), |cost| {
         let r = exp::run_sharing(
             exp::complete_10pct(),
             exp::N_PROXIES - 1,
@@ -22,6 +47,15 @@ fn main() {
         );
         (format!("redirect_cost={cost}s"), r)
     });
+    let fluct = exp::run_sharing_scheduled(
+        exp::complete_10pct(),
+        exp::N_PROXIES - 1,
+        PolicyKind::Lp,
+        exp::HOUR,
+        0.0,
+        renegotiation_schedule(),
+    );
+    results.push(("fluctuating_5-15%".to_string(), fluct));
 
     println!("# Figure 12: effect of redirection cost, complete graph 10%");
     let series: Vec<(&str, Vec<f64>)> =

@@ -20,6 +20,7 @@ fn run(sharing: bool) -> SimResult {
             level: exp::N_PROXIES - 1,
             policy: PolicyKind::Lp,
             redirect_cost: 0.0,
+            schedule: Vec::new(),
         });
     }
     Simulator::new(cfg).expect("valid config").run(&exp::traces(exp::HOUR)).expect("run")

@@ -36,6 +36,7 @@ fn config(sharing: bool) -> MultiResConfig {
             level: exp::N_PROXIES - 1,
             policy: PolicyKind::Lp,
             redirect_cost: 0.0,
+            schedule: Vec::new(),
         }),
         warmup_days: 1,
         max_drain: 4.0 * 86_400.0,

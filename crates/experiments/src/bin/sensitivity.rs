@@ -24,6 +24,7 @@ fn main() {
                     level: exp::N_PROXIES - 1,
                     policy: PolicyKind::Lp,
                     redirect_cost: cost,
+                    schedule: Vec::new(),
                 };
                 let mut cfg = exp::base_config().with_sharing(sharing);
                 cfg.threshold_epochs = th;

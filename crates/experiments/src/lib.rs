@@ -71,8 +71,24 @@ pub fn run_sharing(
     redirect_cost: f64,
     capacity_factor: f64,
 ) -> SimResult {
-    let sharing = SharingConfig { agreements, level, policy, redirect_cost };
+    let sharing = SharingConfig { agreements, level, policy, redirect_cost, schedule: Vec::new() };
     let cfg = base_config().with_capacity_factor(capacity_factor).with_sharing(sharing);
+    Simulator::new(cfg).expect("valid config").run(&traces(gap)).expect("run")
+}
+
+/// Run with sharing whose agreements fluctuate mid-day: the schedule's
+/// edits are applied at epoch boundaries and the flow table is repaired
+/// incrementally (Figure 12's renegotiation variant).
+pub fn run_sharing_scheduled(
+    agreements: AgreementMatrix,
+    level: usize,
+    policy: PolicyKind,
+    gap: f64,
+    redirect_cost: f64,
+    schedule: Vec<agreements_proxysim::AgreementEvent>,
+) -> SimResult {
+    let sharing = SharingConfig { agreements, level, policy, redirect_cost, schedule };
+    let cfg = base_config().with_sharing(sharing);
     Simulator::new(cfg).expect("valid config").run(&traces(gap)).expect("run")
 }
 

@@ -1,0 +1,517 @@
+//! Incremental maintenance of the clamped transitive flow `K^(m)`.
+//!
+//! [`TransitiveFlow::compute`] enumerates simple paths from every source
+//! — exact, but a full recompute on *every* agreement mutation, which is
+//! what the GRM used to do on each `SetAgreement`. The key structural
+//! fact making mutations cheap is that row `i` of `T` depends only on
+//! the simple paths *starting* at `i`: after `set(from, to, share)`,
+//! a row can change only if some simple path from its source uses the
+//! mutated edge `(from, to)`, and any such path reaches `from` first.
+//! So the dirty set is exactly
+//!
+//! > `{ src | src can reach `from` within level − 1 hops } ∪ { from }`
+//!
+//! computed by a reverse-reachability BFS over the predecessor lists.
+//! Reachability *to* `from` never traverses an edge out of `from`
+//! (a simple path ending at `from` visits it only once — at the end),
+//! so the dirty set is the same whether it is computed on the graph
+//! before or after the mutation, and rows outside it are untouched
+//! bit-for-bit.
+//!
+//! Dirty rows are recomputed with an iterative DFS (explicit frame
+//! stack, bitset `visited`) that visits edges in exactly the order of
+//! the recursive reference walk in [`crate::transitive`], so the f64
+//! accumulation sequence — and therefore every bit of the result — is
+//! identical to a from-scratch [`TransitiveFlow::compute`]. Membership
+//! changes (`grow`, `isolate`) change `n` or wipe whole rows *and*
+//! columns; those fall back to a full recompute (again row-by-row via
+//! the same walk).
+
+use crate::error::FlowError;
+use crate::matrix::AgreementMatrix;
+use crate::transitive::{adjacency, TransitiveFlow};
+use agreements_lp::Matrix;
+use std::sync::Arc;
+
+/// A compact bit-per-node visited set; clearing is done by the walks
+/// themselves on unwind, so reuse across rows never re-zeroes memory.
+#[derive(Debug, Clone, Default)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn resize(&mut self, n: usize) {
+        self.words.clear();
+        self.words.resize(n.div_ceil(64), 0);
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    #[inline]
+    fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 != 0
+    }
+}
+
+/// One suspended DFS invocation: the node it sits at, the share product
+/// accumulated on the way in, the hops it may still extend, and the
+/// index of the next adjacency edge to try.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    node: usize,
+    prod: f64,
+    left: usize,
+    edge: usize,
+}
+
+/// Incrementally maintained `K^(m) = min(T^(m), 1)` over a mutable
+/// agreement matrix. Holds the agreements, the adjacency (and reverse
+/// adjacency) lists, and the current clamped coefficient table;
+/// [`IncrementalFlow::set`] recomputes only the dirty rows,
+/// [`IncrementalFlow::grow`] / [`IncrementalFlow::isolate`] fall back
+/// to a full recompute. [`IncrementalFlow::snapshot`] publishes the
+/// table as a cached [`Arc<TransitiveFlow>`], so unchanged tables keep
+/// their pointer identity (which the scheduler's skeleton cache keys
+/// on).
+#[derive(Debug, Clone)]
+pub struct IncrementalFlow {
+    s: AgreementMatrix,
+    /// The *requested* level cap; the effective cap is re-derived from
+    /// `n` exactly like [`TransitiveFlow::compute`] derives it.
+    max_level: usize,
+    adj: Vec<Vec<(usize, f64)>>,
+    /// `radj[j]` = sources with a positive share into `j`, ascending.
+    radj: Vec<Vec<usize>>,
+    t: Matrix,
+    snapshot: Option<Arc<TransitiveFlow>>,
+    rows_recomputed: usize,
+    full_recomputes: usize,
+    visited: BitSet,
+    stack: Vec<Frame>,
+    dirty: Vec<usize>,
+    queue: Vec<(usize, usize)>,
+    row_buf: Vec<f64>,
+}
+
+impl IncrementalFlow {
+    /// Build from an initial agreement matrix (one full recompute).
+    pub fn new(s: AgreementMatrix, max_level: usize) -> Self {
+        let n = s.n();
+        let mut inc = IncrementalFlow {
+            s,
+            max_level,
+            adj: Vec::new(),
+            radj: Vec::new(),
+            t: Matrix::zeros(n, n),
+            snapshot: None,
+            rows_recomputed: 0,
+            full_recomputes: 0,
+            visited: BitSet::default(),
+            stack: Vec::new(),
+            dirty: Vec::new(),
+            queue: Vec::new(),
+            row_buf: Vec::new(),
+        };
+        inc.rebuild_all();
+        inc.full_recomputes = 0;
+        inc.rows_recomputed = 0;
+        inc
+    }
+
+    /// Number of principals.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.s.n()
+    }
+
+    /// The effective level cap, matching [`TransitiveFlow::compute`]:
+    /// `max_level` clamped into `1..=n-1`.
+    #[inline]
+    pub fn level(&self) -> usize {
+        self.max_level.min(self.n().saturating_sub(1)).max(1)
+    }
+
+    /// The current agreement matrix.
+    pub fn agreements(&self) -> &AgreementMatrix {
+        &self.s
+    }
+
+    /// The current clamped coefficient `K[i][j]`.
+    #[inline]
+    pub fn coefficient(&self, i: usize, j: usize) -> f64 {
+        self.t[(i, j)]
+    }
+
+    /// Rows recomputed so far across all mutations (full recomputes
+    /// count `n` rows each) — the observability hook behind the GRM's
+    /// `flow_rows_recomputed` counter.
+    pub fn rows_recomputed(&self) -> usize {
+        self.rows_recomputed
+    }
+
+    /// How many mutations fell back to a full recompute.
+    pub fn full_recomputes(&self) -> usize {
+        self.full_recomputes
+    }
+
+    /// Set `S[from][to] = share` and repair the flow table by
+    /// recomputing only the dirty rows. Returns the number of rows
+    /// recomputed. Validation (and its error taxonomy) is exactly
+    /// [`AgreementMatrix::set`]'s; on error nothing changes.
+    pub fn set(&mut self, from: usize, to: usize, share: f64) -> Result<usize, FlowError> {
+        let n = self.s.n();
+        let unchanged = from < n && to < n && self.s.get(from, to) == share;
+        self.s.set(from, to, share)?;
+        if unchanged {
+            return Ok(0);
+        }
+        self.update_edge(from, to, share);
+        self.snapshot = None;
+
+        // Dirty rows: sources that reach `from` within level − 1 hops
+        // (they need at least one hop left for the mutated edge), plus
+        // `from` itself. BFS over predecessors; `visited` doubles as
+        // the dedup set and is cleared behind us.
+        let level = self.level();
+        self.dirty.clear();
+        self.queue.clear();
+        self.visited.set(from);
+        self.dirty.push(from);
+        self.queue.push((from, 0));
+        let mut head = 0;
+        while head < self.queue.len() {
+            let (node, depth) = self.queue[head];
+            head += 1;
+            if depth + 1 > level.saturating_sub(1) {
+                continue;
+            }
+            for p in 0..self.radj[node].len() {
+                let pred = self.radj[node][p];
+                if !self.visited.get(pred) {
+                    self.visited.set(pred);
+                    self.dirty.push(pred);
+                    self.queue.push((pred, depth + 1));
+                }
+            }
+        }
+        for i in 0..self.dirty.len() {
+            self.visited.clear(self.dirty[i]);
+        }
+
+        let mut dirty = std::mem::take(&mut self.dirty);
+        dirty.sort_unstable();
+        for &src in &dirty {
+            self.recompute_row(src, level);
+        }
+        let recomputed = dirty.len();
+        self.dirty = dirty;
+        self.rows_recomputed += recomputed;
+        Ok(recomputed)
+    }
+
+    /// Admit a new principal (index `n`, no agreements yet) — full
+    /// recompute, mirroring [`AgreementMatrix::grown`]. Returns the new
+    /// principal's index.
+    pub fn grow(&mut self) -> usize {
+        self.s = self.s.grown();
+        self.rebuild_all();
+        self.s.n() - 1
+    }
+
+    /// Remove every agreement involving `i` — full recompute, mirroring
+    /// [`AgreementMatrix::isolate`].
+    pub fn isolate(&mut self, i: usize) -> Result<(), FlowError> {
+        self.s.isolate(i)?;
+        self.rebuild_all();
+        Ok(())
+    }
+
+    /// The current table as a shared [`TransitiveFlow`]. Cached: calling
+    /// twice without an intervening mutation returns the same `Arc`, so
+    /// pointer-keyed caches (the allocation solver's skeleton) stay
+    /// warm.
+    pub fn snapshot(&mut self) -> Arc<TransitiveFlow> {
+        if let Some(snap) = &self.snapshot {
+            return Arc::clone(snap);
+        }
+        let snap = Arc::new(TransitiveFlow::from_parts(self.t.clone(), self.level(), true));
+        self.snapshot = Some(Arc::clone(&snap));
+        snap
+    }
+
+    /// Full rebuild: adjacency, reverse adjacency, and every row.
+    fn rebuild_all(&mut self) {
+        let n = self.s.n();
+        self.adj = adjacency(&self.s);
+        self.radj = vec![Vec::new(); n];
+        for (i, edges) in self.adj.iter().enumerate() {
+            for &(j, _) in edges {
+                self.radj[j].push(i);
+            }
+        }
+        self.t.reset(n, n);
+        self.visited.resize(n);
+        self.row_buf.clear();
+        self.row_buf.resize(n, 0.0);
+        let level = self.level();
+        for src in 0..n {
+            self.recompute_row(src, level);
+        }
+        self.rows_recomputed += n;
+        self.full_recomputes += 1;
+        self.snapshot = None;
+    }
+
+    /// Keep `adj`/`radj` in sync with one `set(from, to, share)`.
+    fn update_edge(&mut self, from: usize, to: usize, share: f64) {
+        let edges = &mut self.adj[from];
+        let pos = edges.partition_point(|&(j, _)| j < to);
+        let present = pos < edges.len() && edges[pos].0 == to;
+        if share > 0.0 {
+            if present {
+                edges[pos].1 = share;
+            } else {
+                edges.insert(pos, (to, share));
+                let preds = &mut self.radj[to];
+                let p = preds.partition_point(|&i| i < from);
+                preds.insert(p, from);
+            }
+        } else if present {
+            edges.remove(pos);
+            let preds = &mut self.radj[to];
+            let p = preds.partition_point(|&i| i < from);
+            preds.remove(p);
+        }
+    }
+
+    /// Recompute row `src` from scratch with the iterative walk, then
+    /// clamp it — bit-identical to the recursive reference DFS because
+    /// edges are visited in the same order and products accumulate in
+    /// the same sequence.
+    fn recompute_row(&mut self, src: usize, level: usize) {
+        let row = &mut self.row_buf;
+        for v in row.iter_mut() {
+            *v = 0.0;
+        }
+        let adj = &self.adj;
+        let visited = &mut self.visited;
+        let stack = &mut self.stack;
+        stack.clear();
+        visited.set(src);
+        // The active invocation lives in locals; `stack` holds only the
+        // suspended ancestors, so the hot edge loop touches no frame.
+        let mut node = src;
+        let mut prod = 1.0f64;
+        let mut left = level;
+        let mut edge = 0usize;
+        'walk: loop {
+            let edges = &adj[node];
+            if left == 1 {
+                // Deepest level: a child would have no hops left and
+                // explore nothing, so descending is pure bookkeeping —
+                // accumulate its single contribution directly. (The
+                // reference walk marks the child visited, recurses into
+                // an immediate return, and unmarks it; nothing reads the
+                // mark in between, so skipping it is bit-identical.)
+                while edge < edges.len() {
+                    let (next, w) = edges[edge];
+                    edge += 1;
+                    if visited.get(next) {
+                        continue;
+                    }
+                    let p = prod * w;
+                    if p > 0.0 {
+                        row[next] += p;
+                    }
+                }
+            } else if left != 0 {
+                while edge < edges.len() {
+                    let (next, w) = edges[edge];
+                    edge += 1;
+                    if visited.get(next) {
+                        continue;
+                    }
+                    let p = prod * w;
+                    if p <= 0.0 {
+                        continue;
+                    }
+                    row[next] += p;
+                    visited.set(next);
+                    stack.push(Frame { node, prod, left, edge });
+                    node = next;
+                    prod = p;
+                    left -= 1;
+                    edge = 0;
+                    continue 'walk;
+                }
+            }
+            // Exhausted (or hopless): unwind to the suspended parent.
+            visited.clear(node);
+            match stack.pop() {
+                Some(f) => {
+                    node = f.node;
+                    prod = f.prod;
+                    left = f.left;
+                    edge = f.edge;
+                }
+                None => break,
+            }
+        }
+        // §3.2 overdraft clamp, applied per entry exactly as
+        // `clamp_matrix` does after a full compute.
+        for v in row.iter_mut() {
+            if *v > 1.0 {
+                *v = 1.0;
+            }
+        }
+        self.t.row_mut(src).copy_from_slice(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_bit_identical(inc: &IncrementalFlow) {
+        let full = TransitiveFlow::compute(inc.agreements(), inc.max_level);
+        let n = inc.n();
+        assert_eq!(full.n(), n);
+        assert_eq!(full.level(), inc.level());
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(
+                    inc.coefficient(i, j).to_bits(),
+                    full.coefficient(i, j).to_bits(),
+                    "coefficient ({i},{j}) diverged from full recompute"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn initial_table_matches_full_compute() {
+        let mut s = AgreementMatrix::zeros(5);
+        s.set(0, 1, 0.5).unwrap();
+        s.set(1, 2, 0.4).unwrap();
+        s.set(2, 3, 0.9).unwrap();
+        s.set(3, 0, 0.2).unwrap();
+        let inc = IncrementalFlow::new(s, 4);
+        assert_bit_identical(&inc);
+    }
+
+    #[test]
+    fn single_edge_set_repairs_only_reachable_rows() {
+        // Chain 0 -> 1 -> 2 -> 3; node 4 is isolated and must stay
+        // untouched when the edge (2, 3) changes.
+        let mut s = AgreementMatrix::zeros(5);
+        s.set(0, 1, 0.5).unwrap();
+        s.set(1, 2, 0.4).unwrap();
+        s.set(2, 3, 0.9).unwrap();
+        let mut inc = IncrementalFlow::new(s, 4);
+        let rows = inc.set(2, 3, 0.1).unwrap();
+        // Dirty = {0, 1} (reach 2) ∪ {2} — not 3 or 4.
+        assert_eq!(rows, 3);
+        assert_bit_identical(&inc);
+    }
+
+    #[test]
+    fn edge_insert_and_remove_stay_consistent() {
+        let mut s = AgreementMatrix::zeros(4);
+        s.set(0, 1, 0.6).unwrap();
+        s.set(1, 2, 0.5).unwrap();
+        let mut inc = IncrementalFlow::new(s, 3);
+        inc.set(2, 3, 0.8).unwrap();
+        assert_bit_identical(&inc);
+        inc.set(0, 1, 0.0).unwrap();
+        assert_bit_identical(&inc);
+        inc.set(3, 0, 1.0).unwrap();
+        assert_bit_identical(&inc);
+    }
+
+    #[test]
+    fn level_cap_bounds_the_dirty_set() {
+        // Long chain, level 2: only nodes within 1 hop of the mutated
+        // edge's tail are dirty.
+        let mut s = AgreementMatrix::zeros(8);
+        for i in 0..7 {
+            s.set(i, i + 1, 0.5).unwrap();
+        }
+        let mut inc = IncrementalFlow::new(s, 2);
+        let rows = inc.set(5, 6, 0.9).unwrap();
+        assert_eq!(rows, 2, "only 4 (one hop back) and 5 itself");
+        assert_bit_identical(&inc);
+    }
+
+    #[test]
+    fn noop_set_recomputes_nothing_and_keeps_snapshot() {
+        let mut s = AgreementMatrix::zeros(3);
+        s.set(0, 1, 0.5).unwrap();
+        let mut inc = IncrementalFlow::new(s, 2);
+        let snap = inc.snapshot();
+        assert_eq!(inc.set(0, 1, 0.5).unwrap(), 0);
+        assert!(Arc::ptr_eq(&snap, &inc.snapshot()), "no-op keeps the cached Arc");
+        assert!(inc.set(0, 0, 0.5).is_err(), "diagonal still rejected");
+        assert!(inc.set(9, 1, 0.5).is_err(), "out of range still rejected");
+        assert_bit_identical(&inc);
+    }
+
+    #[test]
+    fn grow_and_isolate_full_recompute() {
+        let mut s = AgreementMatrix::zeros(3);
+        s.set(0, 1, 0.5).unwrap();
+        s.set(1, 2, 0.4).unwrap();
+        let mut inc = IncrementalFlow::new(s, 2);
+        let newcomer = inc.grow();
+        assert_eq!(newcomer, 3);
+        assert_eq!(inc.n(), 4);
+        assert_bit_identical(&inc);
+        inc.set(2, newcomer, 0.3).unwrap();
+        assert_bit_identical(&inc);
+        inc.isolate(1).unwrap();
+        assert_bit_identical(&inc);
+        assert_eq!(inc.full_recomputes(), 2);
+        assert!(inc.isolate(9).is_err());
+    }
+
+    #[test]
+    fn snapshot_is_cached_until_mutation() {
+        let mut s = AgreementMatrix::zeros(3);
+        s.set(0, 1, 0.5).unwrap();
+        let mut inc = IncrementalFlow::new(s, 2);
+        let a = inc.snapshot();
+        let b = inc.snapshot();
+        assert!(Arc::ptr_eq(&a, &b));
+        inc.set(1, 2, 0.2).unwrap();
+        let c = inc.snapshot();
+        assert!(!Arc::ptr_eq(&a, &c), "mutation must invalidate the snapshot");
+        assert_eq!(c.coefficient(1, 2), inc.coefficient(1, 2));
+    }
+
+    #[test]
+    fn dense_mutation_sequence_stays_bit_identical() {
+        let mut s = AgreementMatrix::zeros(6);
+        for i in 0..6 {
+            for j in 0..6 {
+                if i != j {
+                    s.set(i, j, 0.03 + 0.01 * ((i * 5 + j) % 7) as f64).unwrap();
+                }
+            }
+        }
+        let mut inc = IncrementalFlow::new(s, 5);
+        let edits =
+            [(0, 1, 0.09), (3, 4, 0.0), (4, 3, 0.11), (2, 5, 0.0), (5, 2, 0.08), (1, 0, 0.05)];
+        for (i, j, w) in edits {
+            inc.set(i, j, w).unwrap();
+            assert_bit_identical(&inc);
+        }
+    }
+}

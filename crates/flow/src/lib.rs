@@ -54,6 +54,7 @@
 
 pub mod capacity;
 pub mod error;
+pub mod incremental;
 pub mod matrix;
 pub mod paths;
 pub mod structures;
@@ -61,6 +62,7 @@ pub mod transitive;
 
 pub use capacity::{capacities, CapacityReport};
 pub use error::FlowError;
+pub use incremental::IncrementalFlow;
 pub use matrix::{AbsoluteMatrix, AgreementMatrix};
 pub use paths::{chains_between, Chain};
 pub use structures::Structure;

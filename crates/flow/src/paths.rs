@@ -45,17 +45,21 @@ pub fn chains_between(s: &AgreementMatrix, src: usize, dst: usize, max_level: us
         return Vec::new();
     }
     let max_level = max_level.min(n.saturating_sub(1)).max(1);
+    // One adjacency build up front (targets ascending, zero shares
+    // dropped) replaces an O(n) column scan at every DFS node; the visit
+    // order — and with it the output order — is unchanged.
+    let adj = crate::transitive::adjacency(s);
     let mut out = Vec::new();
     let mut visited = vec![false; n];
     let mut stack = vec![src];
     visited[src] = true;
-    dfs(s, dst, max_level, 1.0, &mut stack, &mut visited, &mut out);
+    dfs(&adj, dst, max_level, 1.0, &mut stack, &mut visited, &mut out);
     out.sort_by(|a, b| b.product.partial_cmp(&a.product).expect("finite products"));
     out
 }
 
 fn dfs(
-    s: &AgreementMatrix,
+    adj: &[Vec<(usize, f64)>],
     dst: usize,
     levels_left: usize,
     product: f64,
@@ -67,9 +71,8 @@ fn dfs(
         return;
     }
     let node = *stack.last().expect("non-empty stack");
-    for next in 0..s.n() {
-        let w = s.get(node, next);
-        if w <= 0.0 || visited[next] {
+    for &(next, w) in &adj[node] {
+        if visited[next] {
             continue;
         }
         let p = product * w;
@@ -78,7 +81,7 @@ fn dfs(
             out.push(Chain { nodes: stack.clone(), product: p });
         } else {
             visited[next] = true;
-            dfs(s, dst, levels_left - 1, p, stack, visited, out);
+            dfs(adj, dst, levels_left - 1, p, stack, visited, out);
             visited[next] = false;
         }
         stack.pop();

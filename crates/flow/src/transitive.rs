@@ -67,12 +67,13 @@ impl TransitiveFlow {
     }
 
     /// Parallel variant of [`TransitiveFlow::compute_with`]: the
-    /// per-source DFS walks are independent, so sources are fanned out
-    /// over `threads` scoped workers pulling from a shared counter.
-    /// Produces bit-identical results to the sequential computation
-    /// (per-source accumulation is deterministic and rows don't
-    /// interact). Worth it from roughly `n ≥ 10` at full closure — the
-    /// `substrates` bench quantifies the crossover.
+    /// per-source DFS walks are independent, so the result rows are
+    /// split into disjoint contiguous chunks handed to scoped workers —
+    /// each row is written exactly once by exactly one worker, so no
+    /// locks are involved. Produces bit-identical results to the
+    /// sequential computation (per-source accumulation is deterministic
+    /// and rows don't interact). Worth it from roughly `n ≥ 10` at full
+    /// closure — the `substrates` bench quantifies the crossover.
     pub fn compute_parallel(s: &AgreementMatrix, opts: &TransitiveOptions, threads: usize) -> Self {
         let n = s.n();
         let level = opts.max_level.min(n.saturating_sub(1)).max(1);
@@ -81,32 +82,24 @@ impl TransitiveFlow {
             return Self::compute_with(s, opts);
         }
         let adj = adjacency(s);
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let rows: Vec<std::sync::Mutex<Vec<f64>>> =
-            (0..n).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+        let min_product = opts.min_product;
+        let mut t = Matrix::zeros(n, n);
+        let chunk_rows = n.div_ceil(threads);
         crossbeam::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| {
+            for (c, chunk) in t.as_mut_slice().chunks_mut(chunk_rows * n).enumerate() {
+                let adj = &adj;
+                scope.spawn(move |_| {
                     let mut visited = vec![false; n];
-                    loop {
-                        let src = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if src >= n {
-                            break;
-                        }
-                        let mut row = vec![0.0; n];
+                    for (r, row) in chunk.chunks_mut(n).enumerate() {
+                        let src = c * chunk_rows + r;
                         visited[src] = true;
-                        dfs(src, 1.0, level, opts.min_product, &adj, &mut visited, &mut row);
+                        dfs(src, 1.0, level, min_product, adj, &mut visited, row);
                         visited[src] = false;
-                        *rows[src].lock().expect("row mutex") = row;
                     }
                 });
             }
         })
         .expect("transitive-flow worker panicked");
-        let mut t = Matrix::zeros(n, n);
-        for (src, row) in rows.iter().enumerate() {
-            t.row_mut(src).copy_from_slice(&row.lock().expect("row mutex"));
-        }
         clamp_matrix(&mut t, opts.clamp);
         TransitiveFlow { t, level, clamped: opts.clamp }
     }
@@ -146,10 +139,19 @@ impl TransitiveFlow {
     pub fn matrix(&self) -> &Matrix {
         &self.t
     }
+
+    /// Assemble a flow table from an already-computed coefficient
+    /// matrix — the escape hatch [`crate::incremental`] uses to publish
+    /// its incrementally maintained rows without another full DFS.
+    pub(crate) fn from_parts(t: Matrix, level: usize, clamped: bool) -> Self {
+        TransitiveFlow { t, level, clamped }
+    }
 }
 
-/// Build the adjacency list of positive shares.
-fn adjacency(s: &AgreementMatrix) -> Vec<Vec<(usize, f64)>> {
+/// Build the adjacency list of positive shares (targets ascending — the
+/// DFS visit order every computation in this crate must share for
+/// bit-identical accumulation).
+pub(crate) fn adjacency(s: &AgreementMatrix) -> Vec<Vec<(usize, f64)>> {
     let n = s.n();
     (0..n)
         .map(|i| {

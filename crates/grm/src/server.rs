@@ -8,7 +8,8 @@
 //! `Request`/`Release`/`ReplayGrant` returns the original decision
 //! instead of double-granting (DESIGN.md §8).
 
-use agreements_flow::{AgreementMatrix, FlowError, TransitiveFlow};
+use agreements_flow::capacity::saturated_inflow;
+use agreements_flow::{AgreementMatrix, FlowError, IncrementalFlow};
 use agreements_sched::{Allocation, AllocationSolver, SchedError, SystemState};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::{HashMap, VecDeque};
@@ -171,6 +172,15 @@ pub struct GrmStats {
     pub journaled_grants: usize,
     /// Total units across replayed degraded-mode grants.
     pub journaled_units: f64,
+    /// Availability reports superseded by a later report for the same
+    /// LRM within one serve-loop wakeup (last-writer-wins coalescing).
+    pub coalesced_reports: usize,
+    /// Requests rejected by the capacity pre-check without building an
+    /// LP (a strict subset of `rejected_capacity`).
+    pub fast_rejects: usize,
+    /// Flow-table rows recomputed by the incremental maintainer across
+    /// all agreement/membership mutations since the server started.
+    pub flow_rows_recomputed: usize,
 }
 
 /// Cloneable client handle to a running GRM.
@@ -451,54 +461,190 @@ impl DedupWindow {
     }
 }
 
-fn serve(agreements: AgreementMatrix, level: usize, rx: Receiver<Msg>) {
-    let mut s = agreements;
-    let mut flow = TransitiveFlow::compute(&s, level);
-    let mut availability = vec![0.0f64; s.n()];
-    // Logical-clock liveness: last report time per LRM, and the current
-    // clock (updated by Tick messages).
-    let mut last_report = vec![0u64; s.n()];
-    let mut clock = 0u64;
-    let mut stats = GrmStats::default();
-    let mut dedup = DedupWindow::default();
-    // The server outlives many requests over one agreement structure, so
-    // it keeps a persistent solver (cached skeleton + workspace). Warm
-    // starting stays off: every grant must be bit-identical to the
-    // stateless LP policy, which is what the adapter tests assert.
-    let mut policy = AllocationSolver::reduced();
-    while let Ok(msg) = rx.recv() {
-        let n = s.n();
+/// The GRM's single-threaded state machine, factored out of the serve
+/// thread so the batched and one-at-a-time delivery paths can be tested
+/// against each other deterministically.
+///
+/// Three hot-path properties hold relative to the straightforward
+/// recompute-and-clone loop this replaced, all without moving any grant
+/// decision by a single bit:
+///
+/// - **Incremental flow**: `SetAgreement` repairs only the dirty rows
+///   of the flow table through [`IncrementalFlow`] (join/leave still
+///   full-recompute); the repaired table is bit-identical to a full
+///   recompute by construction.
+/// - **Zero-clone requests**: the [`SystemState`] is persistent — the
+///   flow snapshot is shared by `Arc` and the availability vector *is*
+///   the server's live view, so a request allocates nothing beyond the
+///   returned draw vector, and the solver's skeleton check is one
+///   pointer compare.
+/// - **Capacity fast-reject**: a request exceeding the reachable
+///   capacity is rejected from the same admission arithmetic the solver
+///   would run (same bounds, same summation order, same `1e-9` slack),
+///   skipping LP construction entirely. Because the arithmetic is
+///   replicated exactly, the decision and the error payload are the
+///   ones the solver would have produced.
+struct ServerCore {
+    incflow: IncrementalFlow,
+    /// Persistent request state: shared flow snapshot + live
+    /// availability (`absolute` stays `None` for the centralized GRM).
+    state: SystemState,
+    /// Logical-clock liveness: last report time per LRM.
+    last_report: Vec<u64>,
+    clock: u64,
+    stats: GrmStats,
+    dedup: DedupWindow,
+    /// Persistent solver (cached skeleton + workspace). Warm starting
+    /// stays off: every grant must be bit-identical to the stateless LP
+    /// policy, which is what the adapter tests assert.
+    policy: AllocationSolver,
+    /// Fast-reject bound scratch.
+    bound: Vec<f64>,
+    /// Report-run coalescing: `run_stamp[lrm] == run_gen` marks an LRM
+    /// already written during the current contiguous run of `Report`s.
+    run_stamp: Vec<u64>,
+    run_gen: u64,
+}
+
+impl ServerCore {
+    fn new(agreements: AgreementMatrix, level: usize) -> ServerCore {
+        let n = agreements.n();
+        let mut incflow = IncrementalFlow::new(agreements, level);
+        let state =
+            SystemState { flow: incflow.snapshot(), absolute: None, availability: vec![0.0; n] };
+        ServerCore {
+            incflow,
+            state,
+            last_report: vec![0; n],
+            clock: 0,
+            stats: GrmStats::default(),
+            dedup: DedupWindow::default(),
+            policy: AllocationSolver::reduced(),
+            bound: Vec::new(),
+            run_stamp: vec![0; n],
+            run_gen: 0,
+        }
+    }
+
+    /// Republish the flow snapshot after a mutation. Requests issued
+    /// before the next mutation all share the new `Arc`.
+    fn refresh_flow(&mut self) {
+        self.state.flow = self.incflow.snapshot();
+    }
+
+    /// Apply one availability report. Each call site owns the run
+    /// bookkeeping: `run_gen` must be bumped at the start of a run (a
+    /// lone report is a run of one).
+    fn apply_report(&mut self, lrm: usize, available: f64) {
+        if lrm < self.state.n() && available.is_finite() && available >= 0.0 {
+            if self.run_stamp[lrm] == self.run_gen {
+                // A previous report in this same wakeup run is
+                // superseded; its write was wasted, not wrong —
+                // sequential overwrite IS last-writer-wins.
+                self.stats.coalesced_reports += 1;
+            } else {
+                self.run_stamp[lrm] = self.run_gen;
+            }
+            self.state.availability[lrm] = available;
+            self.last_report[lrm] = self.clock;
+            self.stats.reports += 1;
+        }
+    }
+
+    fn apply_tick(&mut self, now: u64, lease: u64) {
+        self.clock = self.clock.max(now);
+        for i in 0..self.state.n() {
+            if self.clock.saturating_sub(self.last_report[i]) > lease {
+                self.state.availability[i] = 0.0;
+            }
+        }
+    }
+
+    /// Decide an in-range allocation request against the current state.
+    fn decide(&mut self, lrm: usize, amount: f64) -> Result<Allocation, GrmError> {
+        // The persistent view replaces the per-request
+        // `SystemState::new` validation; a poisoned availability (e.g.
+        // a release with non-finite draws) must keep failing requests
+        // exactly as construction used to.
+        if let Some(bad) =
+            self.state.availability.iter().copied().find(|v| !v.is_finite() || *v < 0.0)
+        {
+            return Err(GrmError::Sched(SchedError::InvalidRequest { amount: bad }));
+        }
+        // Capacity fast-reject: the solver's own admission arithmetic —
+        // identical bound terms, summation order, and slack — evaluated
+        // without building the LP. Only definite rejections short-cut;
+        // everything else (including `amount == 0` and invalid amounts,
+        // which the solver answers first) falls through unchanged.
+        if amount.is_finite() && amount > 0.0 {
+            let n = self.state.n();
+            let v = &self.state.availability;
+            let absolute = self.state.absolute.as_ref();
+            self.bound.clear();
+            for i in 0..n {
+                self.bound.push(if i == lrm {
+                    v[lrm]
+                } else {
+                    saturated_inflow(&self.state.flow, absolute, v, i, lrm)
+                });
+            }
+            let reachable: f64 = self.bound.iter().sum();
+            if amount > reachable + 1e-9 {
+                self.stats.fast_rejects += 1;
+                self.stats.rejected_capacity += 1;
+                return Err(GrmError::Sched(SchedError::InsufficientCapacity {
+                    requester: lrm,
+                    capacity: reachable,
+                    requested: amount,
+                }));
+            }
+        }
+        match self.policy.allocate(&self.state, lrm, amount) {
+            Ok(alloc) => {
+                // Commit: deduct the draws from the view.
+                for (v, d) in self.state.availability.iter_mut().zip(&alloc.draws) {
+                    *v = (*v - d).max(0.0);
+                }
+                self.stats.granted += 1;
+                self.stats.granted_units += alloc.amount;
+                Ok(alloc)
+            }
+            Err(e) => {
+                if matches!(e, SchedError::InsufficientCapacity { .. }) {
+                    self.stats.rejected_capacity += 1;
+                }
+                Err(GrmError::Sched(e))
+            }
+        }
+    }
+
+    /// Handle one message. Returns `false` on `Shutdown`.
+    fn handle(&mut self, msg: Msg) -> bool {
+        let n = self.state.n();
         match msg {
             Msg::Report { lrm, available } => {
-                if lrm < n && available.is_finite() && available >= 0.0 {
-                    availability[lrm] = available;
-                    last_report[lrm] = clock;
-                    stats.reports += 1;
-                }
+                self.run_gen += 1;
+                self.apply_report(lrm, available);
             }
             Msg::Tick { now, lease } => {
-                clock = clock.max(now);
-                for i in 0..n {
-                    if clock.saturating_sub(last_report[i]) > lease {
-                        availability[i] = 0.0;
-                    }
-                }
+                self.apply_tick(now, lease);
             }
             Msg::Join { reply } => {
-                s = s.grown();
-                flow = TransitiveFlow::compute(&s, level);
-                availability.push(0.0);
+                let newcomer = self.incflow.grow();
+                self.state.availability.push(0.0);
                 // The newcomer's lease starts at the current clock: a
                 // join after the clock has advanced must not be born
                 // lease-expired.
-                last_report.push(clock);
-                let _ = reply.send(s.n() - 1);
+                self.last_report.push(self.clock);
+                self.run_stamp.push(0);
+                self.refresh_flow();
+                let _ = reply.send(newcomer);
             }
             Msg::Leave { lrm, reply } => {
                 let res = if lrm < n {
-                    s.isolate(lrm).map_err(GrmError::Flow).map(|()| {
-                        flow = TransitiveFlow::compute(&s, level);
-                        availability[lrm] = 0.0;
+                    self.incflow.isolate(lrm).map_err(GrmError::Flow).map(|()| {
+                        self.state.availability[lrm] = 0.0;
+                        self.refresh_flow();
                     })
                 } else {
                     Err(GrmError::UnknownLrm(lrm))
@@ -507,8 +653,8 @@ fn serve(agreements: AgreementMatrix, level: usize, rx: Receiver<Msg>) {
             }
             Msg::Request { lrm, amount, req_id, reply } => {
                 if let Some(id) = req_id {
-                    if let Some(cached) = dedup.get(&id) {
-                        stats.duplicate_requests += 1;
+                    if let Some(cached) = self.dedup.get(&id) {
+                        self.stats.duplicate_requests += 1;
                         let res = match cached {
                             CachedReply::Grant(r) => r.clone(),
                             // An id reused across call kinds is a client
@@ -518,43 +664,24 @@ fn serve(agreements: AgreementMatrix, level: usize, rx: Receiver<Msg>) {
                             }
                         };
                         let _ = reply.send(res);
-                        continue;
+                        return true;
                     }
                 }
-                stats.requests += 1;
+                self.stats.requests += 1;
                 let res = if lrm >= n {
                     Err(GrmError::UnknownLrm(lrm))
                 } else {
-                    match SystemState::new(flow.clone(), None, availability.clone()) {
-                        Ok(state) => match policy.allocate(&state, lrm, amount) {
-                            Ok(alloc) => {
-                                // Commit: deduct the draws from the view.
-                                for (v, d) in availability.iter_mut().zip(&alloc.draws) {
-                                    *v = (*v - d).max(0.0);
-                                }
-                                stats.granted += 1;
-                                stats.granted_units += alloc.amount;
-                                Ok(alloc)
-                            }
-                            Err(e) => {
-                                if matches!(e, SchedError::InsufficientCapacity { .. }) {
-                                    stats.rejected_capacity += 1;
-                                }
-                                Err(GrmError::Sched(e))
-                            }
-                        },
-                        Err(e) => Err(GrmError::Sched(e)),
-                    }
+                    self.decide(lrm, amount)
                 };
                 if let Some(id) = req_id {
-                    dedup.insert(id, CachedReply::Grant(res.clone()));
+                    self.dedup.insert(id, CachedReply::Grant(res.clone()));
                 }
                 let _ = reply.send(res);
             }
             Msg::Release { alloc, req_id, reply } => {
                 if let Some(id) = req_id {
-                    if let Some(cached) = dedup.get(&id) {
-                        stats.duplicate_requests += 1;
+                    if let Some(cached) = self.dedup.get(&id) {
+                        self.stats.duplicate_requests += 1;
                         let res = match cached {
                             CachedReply::Release(r) => r.clone(),
                             CachedReply::Grant(_) | CachedReply::Replay(_) => {
@@ -564,7 +691,7 @@ fn serve(agreements: AgreementMatrix, level: usize, rx: Receiver<Msg>) {
                             }
                         };
                         let _ = reply.send(res);
-                        continue;
+                        return true;
                     }
                 }
                 let res = if alloc.draws.len() != n {
@@ -573,19 +700,19 @@ fn serve(agreements: AgreementMatrix, level: usize, rx: Receiver<Msg>) {
                         got: alloc.draws.len(),
                     }))
                 } else {
-                    for (v, d) in availability.iter_mut().zip(&alloc.draws) {
+                    for (v, d) in self.state.availability.iter_mut().zip(&alloc.draws) {
                         *v += d;
                     }
                     Ok(())
                 };
                 if let Some(id) = req_id {
-                    dedup.insert(id, CachedReply::Release(res.clone()));
+                    self.dedup.insert(id, CachedReply::Release(res.clone()));
                 }
                 let _ = reply.send(res);
             }
             Msg::ReplayGrant { req_id, lrm, amount, reply } => {
-                if let Some(cached) = dedup.get(&req_id) {
-                    stats.duplicate_requests += 1;
+                if let Some(cached) = self.dedup.get(&req_id) {
+                    self.stats.duplicate_requests += 1;
                     let res = match cached {
                         CachedReply::Replay(r) => r.clone(),
                         // The live path already granted this id before
@@ -598,7 +725,7 @@ fn serve(agreements: AgreementMatrix, level: usize, rx: Receiver<Msg>) {
                         }
                     };
                     let _ = reply.send(res);
-                    continue;
+                    return true;
                 }
                 let res = if lrm >= n {
                     Err(GrmError::UnknownLrm(lrm))
@@ -608,33 +735,104 @@ fn serve(agreements: AgreementMatrix, level: usize, rx: Receiver<Msg>) {
                     // The units were drawn from the LRM's own pool while
                     // the GRM was unreachable and its re-report already
                     // reflects them; only the books move here.
-                    stats.journaled_grants += 1;
-                    stats.journaled_units += amount;
+                    self.stats.journaled_grants += 1;
+                    self.stats.journaled_units += amount;
                     Ok(())
                 };
-                dedup.insert(req_id, CachedReply::Replay(res.clone()));
+                self.dedup.insert(req_id, CachedReply::Replay(res.clone()));
                 let _ = reply.send(res);
             }
             Msg::FulfilShortfall { lrm, want, taken } => {
                 if lrm < n && want.is_finite() && taken.is_finite() && want > taken {
-                    stats.partial_fulfils += 1;
-                    stats.fulfil_shortfall_units += want - taken;
+                    self.stats.partial_fulfils += 1;
+                    self.stats.fulfil_shortfall_units += want - taken;
                 }
             }
             Msg::SetAgreement { from, to, share, reply } => {
-                let res = s.set(from, to, share).map_err(GrmError::Flow).map(|()| {
-                    flow = TransitiveFlow::compute(&s, level);
-                    stats.agreement_updates += 1;
+                let res = self.incflow.set(from, to, share).map_err(GrmError::Flow).map(|_rows| {
+                    self.stats.agreement_updates += 1;
+                    self.refresh_flow();
                 });
                 let _ = reply.send(res);
             }
             Msg::Availability { reply } => {
-                let _ = reply.send(availability.clone());
+                let _ = reply.send(self.state.availability.clone());
             }
             Msg::Stats { reply } => {
+                let mut stats = self.stats;
+                stats.flow_rows_recomputed = self.incflow.rows_recomputed();
                 let _ = reply.send(stats);
             }
-            Msg::Shutdown => break,
+            Msg::Shutdown => return false,
+        }
+        true
+    }
+
+    /// Handle one wakeup's worth of drained messages, coalescing
+    /// *contiguous* runs of `Report`s (last valid writer per LRM wins —
+    /// which in-order overwrite yields by construction; superseded
+    /// writes are counted) and of equal-lease `Tick`s (one sweep at the
+    /// maximum clock: with `last_report` frozen across the run and the
+    /// clock monotone, the LRMs an intermediate tick would zero are a
+    /// subset of those the final one zeroes, and zeroing is idempotent
+    /// — so the merged sweep leaves the identical state). Runs never
+    /// extend across a message of another type, so nothing is reordered
+    /// relative to requests, releases, or mutations, and every grant is
+    /// bit-identical to one-at-a-time delivery. Returns `false` once
+    /// `Shutdown` is reached; anything queued behind it is dropped,
+    /// exactly as the old loop's `break` dropped it.
+    fn handle_batch(&mut self, batch: &mut Vec<Msg>) -> bool {
+        let mut it = batch.drain(..).peekable();
+        while let Some(msg) = it.next() {
+            match msg {
+                Msg::Report { lrm, available } => {
+                    self.run_gen += 1;
+                    self.apply_report(lrm, available);
+                    while let Some(Msg::Report { .. }) = it.peek() {
+                        let Some(Msg::Report { lrm, available }) = it.next() else {
+                            unreachable!("peeked a Report");
+                        };
+                        self.apply_report(lrm, available);
+                    }
+                }
+                Msg::Tick { now, lease } => {
+                    let mut latest = now;
+                    while let Some(&Msg::Tick { now: n2, lease: l2 }) = it.peek() {
+                        if l2 != lease {
+                            // A different lease changes which LRMs the
+                            // sweep zeroes; keep it as its own run.
+                            break;
+                        }
+                        latest = latest.max(n2);
+                        it.next();
+                    }
+                    self.apply_tick(latest, lease);
+                }
+                other => {
+                    if !self.handle(other) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+fn serve(agreements: AgreementMatrix, level: usize, rx: Receiver<Msg>) {
+    let mut core = ServerCore::new(agreements, level);
+    // Coalescing drain loop: block for the first message of a wakeup,
+    // then drain everything already queued and hand the batch to the
+    // core, so a burst of reports costs one pass instead of one wakeup
+    // each.
+    let mut batch: Vec<Msg> = Vec::new();
+    while let Ok(first) = rx.recv() {
+        batch.push(first);
+        while let Ok(more) = rx.try_recv() {
+            batch.push(more);
+        }
+        if !core.handle_batch(&mut batch) {
+            break;
         }
     }
 }
@@ -1062,6 +1260,152 @@ mod tests {
         // Display strings exist for the new variants.
         assert!(GrmError::DeadlineExceeded { millis: 5 }.to_string().contains("5 ms"));
         assert!(GrmError::RetriesExhausted { attempts: 3 }.to_string().contains("3 attempts"));
+    }
+
+    /// A chain `0 → 1 → 2`, where an edit at the tail touches only the
+    /// rows upstream of it (exercises the incremental dirty set).
+    fn chain3(share: f64) -> AgreementMatrix {
+        let mut s = AgreementMatrix::zeros(3);
+        s.set(0, 1, share).unwrap();
+        s.set(1, 2, share).unwrap();
+        s
+    }
+
+    #[test]
+    fn batched_delivery_is_bit_identical_to_one_at_a_time() {
+        // One message trace, delivered two ways: one `handle` call per
+        // message vs a single `handle_batch` over the whole vector.
+        // Every reply and the final server state must agree bit for
+        // bit; only `coalesced_reports` (bookkeeping for superseded
+        // writes) may differ.
+        let build_trace = || {
+            let mut msgs = Vec::new();
+            let mut replies = Vec::new();
+            // A report burst with two writers to LRM 1: in a batch the
+            // second supersedes the first.
+            msgs.push(Msg::Report { lrm: 0, available: 4.0 });
+            msgs.push(Msg::Report { lrm: 1, available: 3.0 });
+            msgs.push(Msg::Report { lrm: 1, available: 9.0 });
+            msgs.push(Msg::Report { lrm: 2, available: 2.0 });
+            // Equal-lease ticks arriving out of clock order.
+            msgs.push(Msg::Tick { now: 5, lease: 10 });
+            msgs.push(Msg::Tick { now: 3, lease: 10 });
+            // A request in the middle: runs must not reorder around it.
+            let (tx, rx) = unbounded();
+            msgs.push(Msg::Request { lrm: 0, amount: 6.0, req_id: None, reply: tx });
+            replies.push(rx);
+            // A fresh report, a lease-expiring tick, then an over-ask
+            // that must reject identically on both paths.
+            msgs.push(Msg::Report { lrm: 0, available: 1.0 });
+            msgs.push(Msg::Tick { now: 20, lease: 10 });
+            let (tx, rx) = unbounded();
+            msgs.push(Msg::Request { lrm: 2, amount: 100.0, req_id: None, reply: tx });
+            replies.push(rx);
+            (msgs, replies)
+        };
+
+        let (msgs_one, replies_one) = build_trace();
+        let (msgs_batch, replies_batch) = build_trace();
+
+        let mut one = ServerCore::new(complete(3, 0.5), 2);
+        for m in msgs_one {
+            assert!(one.handle(m));
+        }
+        let mut batched = ServerCore::new(complete(3, 0.5), 2);
+        let mut batch = msgs_batch;
+        assert!(batched.handle_batch(&mut batch));
+        assert!(batch.is_empty(), "batch fully drained");
+
+        for (ra, rb) in replies_one.iter().zip(&replies_batch) {
+            assert_eq!(ra.try_recv().unwrap(), rb.try_recv().unwrap());
+        }
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&one.state.availability), bits(&batched.state.availability));
+        assert_eq!(one.clock, batched.clock);
+        assert_eq!(one.last_report, batched.last_report);
+        let (mut s1, mut s2) = (one.stats, batched.stats);
+        assert_eq!(s1.coalesced_reports, 0, "one-at-a-time never coalesces");
+        assert_eq!(s2.coalesced_reports, 1, "LRM 1's first report superseded in-batch");
+        s1.coalesced_reports = 0;
+        s2.coalesced_reports = 0;
+        assert_eq!(s1, s2, "all other counters agree");
+    }
+
+    #[test]
+    fn batch_stops_at_shutdown_and_drops_the_rest() {
+        let mut core = ServerCore::new(complete(2, 0.5), 1);
+        let mut batch = vec![
+            Msg::Report { lrm: 0, available: 5.0 },
+            Msg::Shutdown,
+            Msg::Report { lrm: 1, available: 7.0 },
+        ];
+        assert!(!core.handle_batch(&mut batch));
+        assert_eq!(core.stats.reports, 1, "messages behind Shutdown are dropped");
+        assert_eq!(core.state.availability[1].to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn capacity_fast_reject_matches_solver_verdict_and_counts() {
+        let mut core = ServerCore::new(complete(3, 0.5), 2);
+        for (lrm, avail) in [(0, 0.0), (1, 10.0), (2, 10.0)] {
+            core.run_gen += 1;
+            core.apply_report(lrm, avail);
+        }
+        // Reachable for 0: clamped two-level flow 0.5 + 0.25 = 0.75 per
+        // peer ⇒ 7.5 + 7.5 = 15. Asking 16 rejects without an LP build,
+        // with the exact error payload the solver would produce.
+        let err = core.decide(0, 16.0).unwrap_err();
+        match err {
+            GrmError::Sched(SchedError::InsufficientCapacity {
+                requester,
+                capacity,
+                requested,
+            }) => {
+                assert_eq!(requester, 0);
+                assert!((capacity - 15.0).abs() < 1e-9, "capacity {capacity}");
+                assert_eq!(requested.to_bits(), 16.0f64.to_bits());
+            }
+            other => panic!("expected capacity rejection, got {other:?}"),
+        }
+        assert_eq!(core.stats.fast_rejects, 1);
+        assert_eq!(core.stats.rejected_capacity, 1);
+        // A feasible request is untouched by the fast path and grants.
+        let alloc = core.decide(0, 6.0).unwrap();
+        assert!((alloc.amount - 6.0).abs() < 1e-9);
+        assert_eq!(core.stats.fast_rejects, 1, "grant path never fast-rejects");
+        assert_eq!(core.stats.granted, 1);
+    }
+
+    #[test]
+    fn poisoned_availability_still_fails_requests() {
+        // A release with non-finite draws poisons the persistent view;
+        // `decide` must keep answering like the removed per-request
+        // `SystemState::new` validation did.
+        let grm = GrmServer::spawn(complete(2, 0.5), 1);
+        let h = grm.handle();
+        h.report(0, 5.0).unwrap();
+        h.report(1, 5.0).unwrap();
+        let poison =
+            Allocation { requester: 0, amount: f64::NAN, draws: vec![f64::NAN, 0.0], theta: 0.0 };
+        h.release(poison).unwrap();
+        assert!(matches!(
+            h.request(0, 1.0),
+            Err(GrmError::Sched(SchedError::InvalidRequest { .. }))
+        ));
+        grm.shutdown();
+    }
+
+    #[test]
+    fn stats_expose_incremental_flow_rows() {
+        let grm = GrmServer::spawn(chain3(0.5), 2);
+        let h = grm.handle();
+        // Editing the tail edge 1 → 2 dirties only rows {0, 1}: row 2's
+        // simple paths cannot traverse an out-edge of their endpoint.
+        h.set_agreement(1, 2, 0.9).unwrap();
+        let stats = h.stats().unwrap();
+        assert_eq!(stats.agreement_updates, 1);
+        assert_eq!(stats.flow_rows_recomputed, 2, "incremental repair, not a full recompute");
+        grm.shutdown();
     }
 
     #[test]

@@ -104,6 +104,20 @@ impl Matrix {
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
+    /// Borrow the whole backing storage, row-major.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the whole backing storage, row-major. Lets callers
+    /// partition the rows into disjoint `chunks_mut` for lock-free
+    /// parallel fills.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Borrow two distinct rows, the first immutably and the second
     /// mutably. Used for pivot row elimination without cloning.
     ///

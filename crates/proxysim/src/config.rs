@@ -28,6 +28,30 @@ pub enum PolicyKind {
     },
 }
 
+/// One scheduled agreement edit during a simulation run: at simulated
+/// time `at` (seconds relative to the start of the *measured* day;
+/// negative times fire during warmup), the direct agreement
+/// `S[from][to]` is set to `share`.
+///
+/// Events let a run model *fluctuating* agreements — the paper's §4
+/// premise that sharing contracts are renegotiated while the system
+/// serves load. The simulator applies each event at the first epoch
+/// boundary at or after its time and repairs the transitive flow table
+/// incrementally (only the affected rows are recomputed), so dense
+/// schedules stay cheap even at full transitivity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgreementEvent {
+    /// Seconds since the start of the measured day (epoch-boundary
+    /// granularity; ties apply in schedule order).
+    pub at: f64,
+    /// Granting principal.
+    pub from: usize,
+    /// Receiving principal.
+    pub to: usize,
+    /// New direct share `S[from][to]`, in `[0, 1]`.
+    pub share: f64,
+}
+
 /// Resource sharing setup: agreement structure + enforcement policy.
 #[derive(Debug, Clone)]
 pub struct SharingConfig {
@@ -41,14 +65,29 @@ pub struct SharingConfig {
     /// Fixed overhead added to each redirected request's demand, seconds
     /// (Figure 12: 0.0 / 0.1 / 0.2).
     pub redirect_cost: f64,
+    /// Scheduled agreement edits applied while the run progresses
+    /// (empty = static agreements, the historical behavior).
+    pub schedule: Vec<AgreementEvent>,
 }
 
 impl SharingConfig {
     /// LP policy over the given agreements at full transitivity, free
-    /// redirection.
+    /// redirection, static agreements.
     pub fn lp(agreements: AgreementMatrix) -> Self {
         let level = agreements.n().saturating_sub(1).max(1);
-        SharingConfig { agreements, level, policy: PolicyKind::Lp, redirect_cost: 0.0 }
+        SharingConfig {
+            agreements,
+            level,
+            policy: PolicyKind::Lp,
+            redirect_cost: 0.0,
+            schedule: Vec::new(),
+        }
+    }
+
+    /// Attach an agreement-fluctuation schedule.
+    pub fn with_schedule(mut self, schedule: Vec<AgreementEvent>) -> Self {
+        self.schedule = schedule;
+        self
     }
 }
 

@@ -29,7 +29,7 @@ pub mod multires;
 pub mod proxy;
 pub mod sim;
 
-pub use config::{PolicyKind, SharingConfig, SimConfig};
+pub use config::{AgreementEvent, PolicyKind, SharingConfig, SimConfig};
 pub use metrics::{SimResult, SlotMetrics, WaitHistogram};
 pub use multires::{run_multires, MultiResConfig};
 pub use proxy::QueueDiscipline;

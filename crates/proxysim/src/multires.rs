@@ -24,6 +24,7 @@ use agreements_sched::multi::bind_coupled;
 use agreements_sched::{AllocationPolicy, LpPolicy, SystemState};
 use agreements_trace::{ProxyTrace, ServiceModel, DAY_SECONDS};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Configuration for the two-resource simulation.
 #[derive(Debug, Clone)]
@@ -106,13 +107,18 @@ pub fn run_multires(
     if cfg.cpu_capacity <= 0.0 || cfg.net_capacity <= 0.0 || cfg.epoch <= 0.0 {
         return Err(SimError::InvalidConfig("capacities and epoch must be positive"));
     }
-    let (flow, policy): (Option<TransitiveFlow>, Option<LpPolicy>) = match &cfg.sharing {
+    // The two per-resource states share one `Arc` snapshot: neither
+    // consultation clones the flow matrix.
+    let (flow, policy): (Option<Arc<TransitiveFlow>>, Option<LpPolicy>) = match &cfg.sharing {
         None => (None, None),
         Some(sh) => {
             if sh.agreements.n() != n {
                 return Err(SimError::AgreementMismatch { expected: n, got: sh.agreements.n() });
             }
-            (Some(TransitiveFlow::compute(&sh.agreements, sh.level)), Some(LpPolicy::reduced()))
+            (
+                Some(Arc::new(TransitiveFlow::compute(&sh.agreements, sh.level))),
+                Some(LpPolicy::reduced()),
+            )
         }
     };
     let redirect_cost = cfg.sharing.as_ref().map_or(0.0, |s| s.redirect_cost);
@@ -318,6 +324,7 @@ mod tests {
                 level: n - 1,
                 policy: PolicyKind::Lp,
                 redirect_cost: 0.0,
+                schedule: Vec::new(),
             }
         });
         MultiResConfig {

@@ -1,14 +1,15 @@
 //! The epoch-driven simulation core.
 
-use crate::config::{PolicyKind, SimConfig};
+use crate::config::{AgreementEvent, PolicyKind, SimConfig};
 use crate::metrics::SimResult;
 use crate::proxy::{Proxy, QueuedRequest};
-use agreements_flow::TransitiveFlow;
+use agreements_flow::{IncrementalFlow, TransitiveFlow};
 use agreements_sched::{
     AllocationPolicy, CachedLpPolicy, GreedyPolicy, ProportionalPolicy, SystemState,
 };
 use agreements_trace::{ProxyTrace, DAY_SECONDS};
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors constructing or running a simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,9 +49,14 @@ impl fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// A configured simulator, ready to run traces.
+///
+/// The flow table is held by `Arc`: consultations share the snapshot
+/// with the scheduler state instead of cloning the n×n matrix per
+/// consultation, and when an agreement-fluctuation schedule is active
+/// each edit republishes a fresh snapshot repaired incrementally.
 pub struct Simulator {
     cfg: SimConfig,
-    flow: Option<TransitiveFlow>,
+    flow: Option<Arc<TransitiveFlow>>,
     policy: Option<Box<dyn AllocationPolicy + Send>>,
 }
 
@@ -80,7 +86,22 @@ impl Simulator {
                         got: sh.agreements.n(),
                     });
                 }
-                let flow = TransitiveFlow::compute(&sh.agreements, sh.level);
+                // Reject an unappliable schedule up front rather than
+                // mid-run: dry-run every event against a scratch matrix.
+                if !sh.schedule.is_empty() {
+                    let mut probe = sh.agreements.clone();
+                    for e in &sh.schedule {
+                        if !e.at.is_finite() {
+                            return Err(SimError::InvalidConfig(
+                                "schedule event time must be finite",
+                            ));
+                        }
+                        probe.set(e.from, e.to, e.share).map_err(|_| {
+                            SimError::InvalidConfig("invalid agreement schedule event")
+                        })?;
+                    }
+                }
+                let flow = Arc::new(TransitiveFlow::compute(&sh.agreements, sh.level));
                 let policy: Box<dyn AllocationPolicy + Send> = match sh.policy {
                     // Consultations solve the same-shaped LP thousands of
                     // times per day: run them on the cached solver
@@ -155,8 +176,36 @@ impl Simulator {
         let horizon = self.cfg.horizon_epochs * epoch;
         let redirect_cost = self.cfg.sharing.as_ref().map_or(0.0, |s| s.redirect_cost);
 
+        // Agreement fluctuation (Figure 12 variants): events repair the
+        // flow table incrementally at epoch boundaries. With an empty
+        // schedule `flow_now` is exactly the precomputed snapshot and the
+        // run is bit-identical to the static-agreement behavior.
+        let mut flow_now = self.flow.clone();
+        let mut churn: Option<(IncrementalFlow, Vec<AgreementEvent>, usize)> =
+            match &self.cfg.sharing {
+                Some(sh) if !sh.schedule.is_empty() => {
+                    let mut events = sh.schedule.clone();
+                    events.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite event times"));
+                    Some((IncrementalFlow::new(sh.agreements.clone(), sh.level), events, 0))
+                }
+                _ => None,
+            };
+
         let mut t = 0.0f64;
         loop {
+            // 0. Apply due agreement edits and republish the snapshot.
+            if let Some((inc, events, cursor)) = &mut churn {
+                let mut changed = false;
+                while *cursor < events.len() && measure_from + events[*cursor].at <= t {
+                    let e = events[*cursor];
+                    *cursor += 1;
+                    inc.set(e.from, e.to, e.share).expect("schedule validated at construction");
+                    changed = true;
+                }
+                if changed {
+                    flow_now = Some(inc.snapshot());
+                }
+            }
             // 1. Admit this epoch's arrivals (cursor indexes the virtual
             //    replayed stream: day d, request i).
             let mut any_left = false;
@@ -190,7 +239,7 @@ impl Simulator {
             }
 
             // 2. Scheduler consultations for overloaded proxies.
-            if let (Some(flow), Some(policy)) = (&self.flow, &self.policy) {
+            if let (Some(flow), Some(policy)) = (&flow_now, &self.policy) {
                 let mut avail: Vec<f64> =
                     proxies.iter().map(|p| p.idle_capacity(t, horizon)).collect();
                 for i in 0..n {
@@ -642,6 +691,80 @@ mod tests {
             shared.avg_wait(),
             alone.avg_wait()
         );
+    }
+
+    #[test]
+    fn schedule_applied_at_start_matches_static_config() {
+        use crate::config::AgreementEvent;
+        // Starting from zero agreements and switching the full complete
+        // structure on at t = 0 must be indistinguishable — bit for bit
+        // — from configuring the complete structure statically.
+        let n = 2;
+        let mut schedule = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    schedule.push(AgreementEvent { at: 0.0, from: i, to: j, share: 0.5 });
+                }
+            }
+        }
+        let fluct = SharingConfig::lp(AgreementMatrix::zeros(n)).with_schedule(schedule);
+        let statc = SharingConfig::lp(complete(n, 0.5));
+        let traces = vec![burst(0, 0.0, 100, 1.0, 1_900_000), empty(1)];
+        let rf = Simulator::new(base_cfg(n).with_sharing(fluct)).unwrap().run(&traces).unwrap();
+        let rs = Simulator::new(base_cfg(n).with_sharing(statc)).unwrap().run(&traces).unwrap();
+        assert!(rf.redirected > 0);
+        assert_eq!(rf.served, rs.served);
+        assert_eq!(rf.redirected, rs.redirected);
+        assert_eq!(rf.consultations, rs.consultations);
+        assert_eq!(rf.total_wait.to_bits(), rs.total_wait.to_bits());
+    }
+
+    #[test]
+    fn mid_run_agreement_revocation_cuts_redirection() {
+        use crate::config::AgreementEvent;
+        // The partnership is cancelled 30 s into a 100 s burst: some
+        // work moves before the cut, none after.
+        let sh = SharingConfig::lp(complete(2, 0.5)).with_schedule(vec![
+            AgreementEvent { at: 30.0, from: 0, to: 1, share: 0.0 },
+            AgreementEvent { at: 30.0, from: 1, to: 0, share: 0.0 },
+        ]);
+        let traces = vec![burst(0, 0.0, 100, 1.0, 1_900_000), empty(1)];
+        let cut = Simulator::new(base_cfg(2).with_sharing(sh)).unwrap().run(&traces).unwrap();
+        let keep = Simulator::new(base_cfg(2).with_sharing(SharingConfig::lp(complete(2, 0.5))))
+            .unwrap()
+            .run(&traces)
+            .unwrap();
+        assert!(cut.redirected > 0, "moves happen before the cut");
+        assert!(
+            cut.redirected < keep.redirected,
+            "revocation must stop redirection: {} vs {}",
+            cut.redirected,
+            keep.redirected
+        );
+    }
+
+    #[test]
+    fn schedule_validation_rejects_bad_events() {
+        use crate::config::AgreementEvent;
+        let bad_share = SharingConfig::lp(AgreementMatrix::zeros(2))
+            .with_schedule(vec![AgreementEvent { at: 0.0, from: 0, to: 1, share: 1.5 }]);
+        assert!(matches!(
+            Simulator::new(base_cfg(2).with_sharing(bad_share)),
+            Err(SimError::InvalidConfig(_))
+        ));
+        let bad_index = SharingConfig::lp(AgreementMatrix::zeros(2))
+            .with_schedule(vec![AgreementEvent { at: 0.0, from: 0, to: 5, share: 0.1 }]);
+        assert!(matches!(
+            Simulator::new(base_cfg(2).with_sharing(bad_index)),
+            Err(SimError::InvalidConfig(_))
+        ));
+        let bad_time = SharingConfig::lp(AgreementMatrix::zeros(2))
+            .with_schedule(vec![AgreementEvent { at: f64::NAN, from: 0, to: 1, share: 0.1 }]);
+        assert!(matches!(
+            Simulator::new(base_cfg(2).with_sharing(bad_time)),
+            Err(SimError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -80,6 +80,7 @@ fn config(n: usize, sharing: bool) -> SimConfig {
             level: n - 1,
             policy: PolicyKind::Lp,
             redirect_cost: 0.0,
+            schedule: Vec::new(),
         });
     }
     cfg

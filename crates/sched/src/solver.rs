@@ -36,7 +36,9 @@ use crate::error::SchedError;
 use crate::lp_model::{solve_full, Formulation, DRAW_EPS};
 use crate::state::{Allocation, SystemState};
 use agreements_flow::capacity::saturated_inflow;
+use agreements_flow::TransitiveFlow;
 use agreements_lp::{solve_bounded_with, SimplexOptions, SimplexWorkspace};
+use std::sync::Arc;
 
 /// Cached standard-form skeleton of the reduced allocation LP for one
 /// `(n, requester, zero-bound pattern, flow)` configuration.
@@ -48,8 +50,16 @@ struct Skeleton {
     /// are substituted out (`Problem` fixes `lb == ub` variables), so the
     /// pattern is part of the model shape.
     fixed: Vec<bool>,
+    /// The flow snapshot the matrix was built from. Holding the `Arc`
+    /// keeps the allocation alive, so `Arc::ptr_eq` against an incoming
+    /// state is an exact O(1) currency test (no ABA reuse possible):
+    /// the GRM and the simulator reuse one snapshot across requests, so
+    /// the steady-state check never touches the n² coefficients.
+    flow: Arc<TransitiveFlow>,
     /// Flattened `n × n` snapshot of the flow coefficients the matrix was
-    /// built from; any drift invalidates the skeleton.
+    /// built from — the structural fallback for callers that rebuild an
+    /// equal flow table into a fresh `Arc`; any drift invalidates the
+    /// skeleton.
     coeffs: Vec<f64>,
     /// Standard-form column of each principal's draw variable (`None` for
     /// fixed ones).
@@ -274,18 +284,26 @@ impl AllocationSolver {
     }
 
     /// The skeleton is reusable iff nothing that shapes the matrix moved:
-    /// dimension, requester, the zero-bound pattern, and every flow
-    /// coefficient.
-    fn skeleton_is_current(&self, state: &SystemState, a: usize) -> bool {
+    /// dimension, requester, the zero-bound pattern, and the flow table.
+    /// Flow currency is decided by `Arc` pointer identity first — the
+    /// hot-path case, one pointer compare — and only falls back to the
+    /// structural coefficient scan when the caller handed a *different*
+    /// snapshot object (adopting its identity when the coefficients turn
+    /// out equal, so the scan runs once per fresh `Arc`, not per solve).
+    fn skeleton_is_current(&mut self, state: &SystemState, a: usize) -> bool {
         let n = state.n();
-        let Some(sk) = &self.skeleton else { return false };
+        let bound = &self.bound;
+        let Some(sk) = &mut self.skeleton else { return false };
         if sk.n != n || sk.requester != a {
             return false;
         }
-        for (i, &b) in self.bound.iter().enumerate() {
+        for (i, &b) in bound.iter().enumerate() {
             if sk.fixed[i] != (b.max(0.0) == 0.0) {
                 return false;
             }
+        }
+        if Arc::ptr_eq(&sk.flow, &state.flow) {
+            return true;
         }
         for k in 0..n {
             for i in 0..n {
@@ -294,6 +312,7 @@ impl AllocationSolver {
                 }
             }
         }
+        sk.flow = Arc::clone(&state.flow);
         true
     }
 
@@ -309,10 +328,11 @@ impl AllocationSolver {
     fn rebuild_skeleton(&mut self, state: &SystemState, a: usize) {
         self.stats.skeleton_rebuilds += 1;
         let n = state.n();
-        let mut sk = self.skeleton.take().unwrap_or(Skeleton {
+        let mut sk = self.skeleton.take().unwrap_or_else(|| Skeleton {
             n: 0,
             requester: 0,
             fixed: Vec::new(),
+            flow: Arc::clone(&state.flow),
             coeffs: Vec::new(),
             col_of: Vec::new(),
             a: Vec::new(),
@@ -323,6 +343,7 @@ impl AllocationSolver {
         });
         sk.n = n;
         sk.requester = a;
+        sk.flow = Arc::clone(&state.flow);
         sk.fixed.clear();
         sk.col_of.clear();
         let mut col = 0usize;
@@ -482,6 +503,19 @@ mod tests {
         let st2 = mk_state(2, &[(0, 1, 0.3), (1, 0, 0.5)], vec![10.0, 10.0], 1);
         solver.allocate(&st2, 1, 1.0).unwrap();
         assert_eq!(solver.stats().skeleton_rebuilds, 3, "flow drift rebuilds");
+    }
+
+    #[test]
+    fn fresh_arc_with_equal_coefficients_reuses_skeleton() {
+        let mut solver = AllocationSolver::reduced();
+        let st = mk_state(2, &[(1, 0, 0.5)], vec![2.0, 10.0], 1);
+        solver.allocate(&st, 0, 1.0).unwrap();
+        // The same coefficients rebuilt into a different snapshot object
+        // must hit the structural fallback, not force a rebuild.
+        let st2 = mk_state(2, &[(1, 0, 0.5)], vec![2.0, 10.0], 1);
+        solver.allocate(&st2, 0, 1.0).unwrap();
+        assert!(!std::sync::Arc::ptr_eq(&st.flow, &st2.flow));
+        assert_eq!(solver.stats().skeleton_rebuilds, 1, "fallback adopts the new Arc");
     }
 
     #[test]

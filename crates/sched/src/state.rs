@@ -2,13 +2,20 @@
 
 use crate::error::SchedError;
 use agreements_flow::{capacities, AbsoluteMatrix, CapacityReport, TransitiveFlow};
+use std::sync::Arc;
 
 /// The scheduler's view of the world for one resource type: the (static)
 /// agreement flow table and the (dynamic) per-owner availability.
+///
+/// The flow table is held by `Arc` so request handling never clones the
+/// n×n coefficient matrix: the GRM serve loop and the proxy simulator
+/// share one snapshot across every request against an unchanged
+/// agreement set, and the allocation solver keys its cached skeleton on
+/// the `Arc`'s pointer identity.
 #[derive(Debug, Clone)]
 pub struct SystemState {
-    /// Precomputed transitive flow coefficients (clamped).
-    pub flow: TransitiveFlow,
+    /// Precomputed transitive flow coefficients (clamped), shared.
+    pub flow: Arc<TransitiveFlow>,
     /// Optional absolute agreements.
     pub absolute: Option<AbsoluteMatrix>,
     /// Current availability `V_i` at each owner, in resource units.
@@ -16,12 +23,15 @@ pub struct SystemState {
 }
 
 impl SystemState {
-    /// Build a state; validates dimensions.
+    /// Build a state; validates dimensions. Accepts either an owned
+    /// [`TransitiveFlow`] or an existing `Arc<TransitiveFlow>` (pass the
+    /// `Arc` to share a snapshot without copying the table).
     pub fn new(
-        flow: TransitiveFlow,
+        flow: impl Into<Arc<TransitiveFlow>>,
         absolute: Option<AbsoluteMatrix>,
         availability: Vec<f64>,
     ) -> Result<Self, SchedError> {
+        let flow = flow.into();
         let n = flow.n();
         if availability.len() != n {
             return Err(SchedError::DimensionMismatch { expected: n, got: availability.len() });

@@ -51,6 +51,7 @@ fn main() {
                 level: N - 1,
                 policy: PolicyKind::Lp,
                 redirect_cost: 0.05,
+                schedule: Vec::new(),
             });
         }
         Simulator::new(cfg).expect("valid").run(&traces).expect("run")

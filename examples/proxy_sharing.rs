@@ -20,8 +20,13 @@ fn main() {
 
     // With sharing: complete graph, each ISP shares 10% with every other.
     let agreements = Structure::Complete { n: N, share: 0.10 }.build().unwrap();
-    let sharing =
-        SharingConfig { agreements, level: N - 1, policy: PolicyKind::Lp, redirect_cost: 0.1 };
+    let sharing = SharingConfig {
+        agreements,
+        level: N - 1,
+        policy: PolicyKind::Lp,
+        redirect_cost: 0.1,
+        schedule: Vec::new(),
+    };
     let shared = Simulator::new(base.with_sharing(sharing)).unwrap().run(&traces).unwrap();
 
     println!("10 ISPs, one-hour time zones apart, {REQUESTS} requests/day each");

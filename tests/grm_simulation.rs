@@ -23,6 +23,7 @@ fn simulation_through_live_grm_matches_in_process() {
         level: N - 1,
         policy: PolicyKind::Lp,
         redirect_cost: 0.0,
+        schedule: Vec::new(),
     };
     let mut cfg = SimConfig::calibrated(N, REQUESTS, 0.105, 1.04);
     cfg.epoch = 60.0;

@@ -24,6 +24,7 @@ fn sharing(n: usize) -> SharingConfig {
         level: n - 1,
         policy: PolicyKind::Lp,
         redirect_cost: 0.0,
+        schedule: Vec::new(),
     }
 }
 

@@ -42,6 +42,7 @@ fn complete_sharing(level: usize) -> SharingConfig {
         level,
         policy: PolicyKind::Lp,
         redirect_cost: 0.0,
+        schedule: Vec::new(),
     }
 }
 
@@ -51,6 +52,7 @@ fn loop_sharing(skip: usize, level: usize) -> SharingConfig {
         level,
         policy: PolicyKind::Lp,
         redirect_cost: 0.0,
+        schedule: Vec::new(),
     }
 }
 
@@ -141,6 +143,7 @@ fn lp_beats_endpoint_at_peak() {
         level: N - 1,
         policy,
         redirect_cost: 0.0,
+        schedule: Vec::new(),
     };
     let lp = run(Some(mk(PolicyKind::Lp)), HOUR);
     let ep = run(Some(mk(PolicyKind::Proportional)), HOUR);
