@@ -82,8 +82,12 @@ USAGE:
              --requester I --amount X [--policy lp|greedy|proportional] [--explain]
   agreements trace gen --requests N --proxies P --gap SECONDS --seed S --out DIR [--csv]
   agreements trace info --file TRACE [--capacity C]
-  agreements simulate --spec SIM.json [--series]
+  agreements simulate --spec SIM.json [--series] [--telemetry-out FILE]
   agreements help
+
+With --telemetry-out, `simulate` records counters, LP-solve/latency
+histograms, and structured events through the unified telemetry plane
+and writes the snapshot to FILE as JSON.
 ";
 
 /// Run a command line (without the binary name); returns stdout text.
@@ -426,7 +430,7 @@ fn read_trace(path: &str) -> Result<ProxyTrace, CliError> {
 }
 
 fn simulate(parsed: &Parsed) -> Result<String, CliError> {
-    parsed.reject_unknown(&["spec", "series"])?;
+    parsed.reject_unknown(&["spec", "series", "telemetry-out"])?;
     let path = parsed.required("spec")?;
     let text = std::fs::read_to_string(path)?;
     let spec: SimSpec = serde_json::from_str(&text)?;
@@ -452,10 +456,20 @@ fn simulate(parsed: &Parsed) -> Result<String, CliError> {
             schedule: Vec::new(),
         });
     }
-    let sim =
+    let mut sim =
         agreements_proxysim::Simulator::new(cfg).map_err(|e| CliError::Domain(e.to_string()))?;
+    let recorder = parsed.get("telemetry-out").map(|_| {
+        let (telemetry, recorder) =
+            agreements_telemetry::Telemetry::recorder(agreements_telemetry::DEFAULT_EVENT_CAPACITY);
+        sim.set_telemetry(telemetry);
+        recorder
+    });
     let r = sim.run(&traces).map_err(|e| CliError::Domain(e.to_string()))?;
     let mut out = String::new();
+    if let (Some(path), Some(recorder)) = (parsed.get("telemetry-out"), recorder) {
+        std::fs::write(path, recorder.snapshot().to_json())?;
+        writeln!(out, "telemetry snapshot written to {path}").unwrap();
+    }
     writeln!(out, "served:            {}", r.served).unwrap();
     writeln!(out, "avg wait:          {:.4} s", r.avg_wait()).unwrap();
     writeln!(out, "peak slot avg:     {:.4} s", r.peak_slot_avg_wait()).unwrap();
@@ -775,6 +789,40 @@ mod tests {
         let out = run(&["simulate", "--spec", path.to_str().unwrap(), "--series"]).unwrap();
         assert!(out.contains("slot,hour,avg_wait_s"), "{out}");
         assert!(out.lines().count() > 144, "one line per slot");
+    }
+
+    #[test]
+    fn simulate_exports_telemetry_snapshot() {
+        let path = tmp("sim_telemetry.json");
+        std::fs::write(
+            &path,
+            r#"{
+                "proxies": 3,
+                "requests_per_day": 2000,
+                "seed": 5,
+                "gap": 3600.0,
+                "structure": {"Complete": {"n": 3, "share": 0.2}},
+                "policy": {"kind": "lp"}
+            }"#,
+        )
+        .unwrap();
+        let snap_path = tmp("sim_telemetry_out.json");
+        let out = run(&[
+            "simulate",
+            "--spec",
+            path.to_str().unwrap(),
+            "--telemetry-out",
+            snap_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("telemetry snapshot written"), "{out}");
+        let snap = agreements_telemetry::Snapshot::from_json(
+            &std::fs::read_to_string(&snap_path).unwrap(),
+        )
+        .unwrap();
+        assert!(snap.counter("proxysim.consultations") > 0, "consultations recorded");
+        let lp = snap.histogram(agreements_telemetry::HistKind::LpSolveSeconds).unwrap();
+        assert!(lp.count > 0, "LP solves timed");
     }
 
     #[test]

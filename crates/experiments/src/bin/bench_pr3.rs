@@ -17,6 +17,11 @@
 //! invariants (bit-identical tables, identical allocations), and writes
 //! nothing — CI's bench-smoke job runs that mode.
 //!
+//! `--telemetry-out PATH` runs one extra *untimed* instrumented pass
+//! (solver + incremental flow recording through the telemetry plane)
+//! and writes its snapshot to PATH as JSON. The timed passes always run
+//! with the disabled sink, so the flag never perturbs the numbers.
+//!
 //! Run from the repository root:
 //!
 //! ```text
@@ -195,8 +200,36 @@ fn bench_requests(solves: usize, check: bool) -> Vec<RequestRow> {
     ]
 }
 
+/// One untimed pass with a live recorder: the canonical solve cycle and
+/// a handful of flow edits, so the exported snapshot exercises counters,
+/// histograms, and the event ring without touching the timed passes.
+fn instrumented_pass(path: &std::path::Path) {
+    use agreements_telemetry::{Telemetry, DEFAULT_EVENT_CAPACITY};
+    let (telemetry, recorder) = Telemetry::recorder(DEFAULT_EVENT_CAPACITY);
+
+    let (flow, avail) = request_inputs();
+    let state = SystemState::new(flow, None, avail).expect("state");
+    let mut solver = AllocationSolver::reduced();
+    solver.set_telemetry(telemetry.clone());
+    for x in AMOUNTS {
+        solver.allocate(&state, 0, x).expect("solve");
+    }
+    // An over-ask exercises the fast-reject event path.
+    let _ = solver.allocate(&state, 0, 1e9);
+
+    let ring = Structure::Loop { n: 10, share: 0.8, skip: 1 }.build().expect("ring");
+    let mut inc = IncrementalFlow::new(ring, 8);
+    inc.set_telemetry(telemetry);
+    for &(from, to, share) in &edits("ring", 10, 16) {
+        inc.set(from, to, share).expect("edit in range");
+    }
+
+    agreements_experiments::write_snapshot(path, &recorder.snapshot());
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry_out = agreements_experiments::take_telemetry_out(&mut args);
     let check = args.iter().any(|a| a == "--check");
     let out_path = args
         .iter()
@@ -237,6 +270,10 @@ fn main() {
     let requests = bench_requests(solves, check);
     for r in &requests {
         eprintln!("requests {:<18} n=10: {:>9.0} allocations/s", r.mode, r.allocations_per_sec);
+    }
+
+    if let Some(path) = &telemetry_out {
+        instrumented_pass(path);
     }
 
     if check {

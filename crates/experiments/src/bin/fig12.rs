@@ -14,8 +14,18 @@
 //! table incrementally at each renegotiation instead of recomputing it
 //! from scratch.
 
+//!
+//! With `--telemetry-out PATH` every run records through the unified
+//! telemetry plane (one recorder per run, merged afterwards so the
+//! parallel sweep stays deterministic) and the merged snapshot —
+//! counters, LP-solve/latency histograms, per-epoch θ records — is
+//! written to PATH as JSON. Without the flag telemetry stays disabled
+//! and the binary's output is bit-identical to before the flag existed.
+
 use agreements_experiments as exp;
 use agreements_proxysim::{AgreementEvent, PolicyKind};
+use agreements_telemetry::{Recorder, Telemetry, DEFAULT_EVENT_CAPACITY};
+use std::sync::Arc;
 
 /// Every two hours one ISP renegotiates its outgoing shares,
 /// alternating 5% / 15% around the static 10%.
@@ -35,27 +45,62 @@ fn renegotiation_schedule() -> Vec<AgreementEvent> {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry_out = exp::take_telemetry_out(&mut args);
+    // One recorder per run: the parallel sweep's interleaving never
+    // touches a shared sink, so each run's event stream stays contiguous
+    // and the merged snapshot is deterministic.
+    let plane = |_label: &str| -> (Telemetry, Option<Arc<Recorder>>) {
+        if telemetry_out.is_some() {
+            let (t, r) = Telemetry::recorder(DEFAULT_EVENT_CAPACITY);
+            (t, Some(r))
+        } else {
+            (Telemetry::default(), None)
+        }
+    };
+
     let costs = [0.0, 0.1, 0.2];
-    let mut results = exp::par_map(costs.to_vec(), |cost| {
-        let r = exp::run_sharing(
+    let jobs: Vec<(f64, Telemetry, Option<Arc<Recorder>>)> = costs
+        .iter()
+        .map(|&cost| {
+            let (t, r) = plane("cost");
+            (cost, t, r)
+        })
+        .collect();
+    let mut recorders: Vec<Option<Arc<Recorder>>> =
+        jobs.iter().map(|(_, _, r)| r.clone()).collect();
+    let mut results = exp::par_map(jobs, |(cost, telemetry, _)| {
+        let r = exp::run_sharing_with_telemetry(
             exp::complete_10pct(),
             exp::N_PROXIES - 1,
             PolicyKind::Lp,
             exp::HOUR,
             cost,
             1.0,
+            telemetry,
         );
         (format!("redirect_cost={cost}s"), r)
     });
-    let fluct = exp::run_sharing_scheduled(
+    let (fluct_telemetry, fluct_recorder) = plane("fluct");
+    recorders.push(fluct_recorder);
+    let fluct = exp::run_sharing_scheduled_with_telemetry(
         exp::complete_10pct(),
         exp::N_PROXIES - 1,
         PolicyKind::Lp,
         exp::HOUR,
         0.0,
         renegotiation_schedule(),
+        fluct_telemetry,
     );
     results.push(("fluctuating_5-15%".to_string(), fluct));
+
+    if let Some(path) = &telemetry_out {
+        let mut merged = agreements_telemetry::Snapshot::empty();
+        for rec in recorders.iter().flatten() {
+            merged.merge(&rec.snapshot());
+        }
+        exp::write_snapshot(path, &merged);
+    }
 
     println!("# Figure 12: effect of redirection cost, complete graph 10%");
     let series: Vec<(&str, Vec<f64>)> =

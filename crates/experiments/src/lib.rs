@@ -9,7 +9,9 @@
 
 use agreements_flow::{AgreementMatrix, Structure};
 use agreements_proxysim::{PolicyKind, SharingConfig, SimConfig, SimResult, Simulator};
+use agreements_telemetry::{Snapshot, Telemetry};
 use agreements_trace::{ProxyTrace, TraceConfig, SLOTS_PER_DAY};
+use std::path::PathBuf;
 
 /// Number of cooperating ISPs in every experiment (paper: 10).
 pub const N_PROXIES: usize = 10;
@@ -71,9 +73,35 @@ pub fn run_sharing(
     redirect_cost: f64,
     capacity_factor: f64,
 ) -> SimResult {
+    run_sharing_with_telemetry(
+        agreements,
+        level,
+        policy,
+        gap,
+        redirect_cost,
+        capacity_factor,
+        Telemetry::default(),
+    )
+}
+
+/// [`run_sharing`] with a telemetry plane attached to the simulator (and
+/// through it the allocation policy). Passing `Telemetry::default()` is
+/// exactly [`run_sharing`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_sharing_with_telemetry(
+    agreements: AgreementMatrix,
+    level: usize,
+    policy: PolicyKind,
+    gap: f64,
+    redirect_cost: f64,
+    capacity_factor: f64,
+    telemetry: Telemetry,
+) -> SimResult {
     let sharing = SharingConfig { agreements, level, policy, redirect_cost, schedule: Vec::new() };
     let cfg = base_config().with_capacity_factor(capacity_factor).with_sharing(sharing);
-    Simulator::new(cfg).expect("valid config").run(&traces(gap)).expect("run")
+    let mut sim = Simulator::new(cfg).expect("valid config");
+    sim.set_telemetry(telemetry);
+    sim.run(&traces(gap)).expect("run")
 }
 
 /// Run with sharing whose agreements fluctuate mid-day: the schedule's
@@ -87,9 +115,62 @@ pub fn run_sharing_scheduled(
     redirect_cost: f64,
     schedule: Vec<agreements_proxysim::AgreementEvent>,
 ) -> SimResult {
+    run_sharing_scheduled_with_telemetry(
+        agreements,
+        level,
+        policy,
+        gap,
+        redirect_cost,
+        schedule,
+        Telemetry::default(),
+    )
+}
+
+/// [`run_sharing_scheduled`] with a telemetry plane attached: the
+/// incremental flow repairs driven by the schedule land in the
+/// `flow_dirty_rows` histogram alongside the policy's solve records.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sharing_scheduled_with_telemetry(
+    agreements: AgreementMatrix,
+    level: usize,
+    policy: PolicyKind,
+    gap: f64,
+    redirect_cost: f64,
+    schedule: Vec<agreements_proxysim::AgreementEvent>,
+    telemetry: Telemetry,
+) -> SimResult {
     let sharing = SharingConfig { agreements, level, policy, redirect_cost, schedule };
     let cfg = base_config().with_sharing(sharing);
-    Simulator::new(cfg).expect("valid config").run(&traces(gap)).expect("run")
+    let mut sim = Simulator::new(cfg).expect("valid config");
+    sim.set_telemetry(telemetry);
+    sim.run(&traces(gap)).expect("run")
+}
+
+/// Pull `--telemetry-out PATH` out of an argument vector, removing both
+/// tokens so positional parsing downstream never sees them. Returns the
+/// path when the flag was present.
+///
+/// Exits with an error message (status 2) when the flag is given
+/// without a value — silently treating the next figure argument as a
+/// path would be worse.
+pub fn take_telemetry_out(args: &mut Vec<String>) -> Option<PathBuf> {
+    let pos = args.iter().position(|a| a == "--telemetry-out")?;
+    if pos + 1 >= args.len() {
+        eprintln!("--telemetry-out requires a path argument");
+        std::process::exit(2);
+    }
+    let path = args.remove(pos + 1);
+    args.remove(pos);
+    Some(PathBuf::from(path))
+}
+
+/// Serialize a merged telemetry snapshot to `path` as pretty JSON.
+pub fn write_snapshot(path: &std::path::Path, snapshot: &Snapshot) {
+    std::fs::write(path, snapshot.to_json()).unwrap_or_else(|e| {
+        eprintln!("failed to write telemetry snapshot {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    eprintln!("telemetry snapshot written to {}", path.display());
 }
 
 /// The complete-graph structure used by Figures 6–8 and 12: every ISP

@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+use agreements_telemetry::{Telemetry, TelemetryEvent};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use rand::prelude::*;
 use std::collections::BinaryHeap;
@@ -113,6 +114,7 @@ pub struct FaultPlane {
     mix: FaultMix,
     enabled: Arc<AtomicBool>,
     counters: Arc<PlaneCounters>,
+    telemetry: Telemetry,
 }
 
 /// How long an idle pump thread waits before re-checking for a heal
@@ -128,7 +130,15 @@ impl FaultPlane {
             mix,
             enabled: Arc::new(AtomicBool::new(true)),
             counters: Arc::new(PlaneCounters::default()),
+            telemetry: Telemetry::default(),
         }
+    }
+
+    /// Attach a telemetry plane: drop/dup/hold/heal land in the event
+    /// trace (and `faults.*` counters). Attach *before* wrapping links —
+    /// pump threads capture the plane at [`FaultPlane::wrap`] time.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// A transparent plane (useful as a control arm: same plumbing, no
@@ -142,6 +152,8 @@ impl FaultPlane {
     /// schedule stays healed, keeping post-heal invariants meaningful.
     pub fn heal(&self) {
         self.enabled.store(false, Ordering::SeqCst);
+        self.telemetry.add("faults.heals", 1);
+        self.telemetry.record_with(|| TelemetryEvent::ChaosHeal {});
     }
 
     /// Whether the plane is still injecting faults.
@@ -171,14 +183,15 @@ impl FaultPlane {
         let (tx, rx) = unbounded::<T>();
         let rng = StdRng::seed_from_u64(self.seed ^ fnv1a(link.as_bytes()));
         let plane = self.clone();
+        let link = link.to_string();
         std::thread::Builder::new()
             .name(format!("fault-plane:{link}"))
-            .spawn(move || plane.pump(rx, upstream, rng))
+            .spawn(move || plane.pump(&link, rx, upstream, rng))
             .expect("spawn fault-plane pump");
         tx
     }
 
-    fn pump<T: Clone>(&self, rx: Receiver<T>, upstream: Sender<T>, mut rng: StdRng) {
+    fn pump<T: Clone>(&self, link: &str, rx: Receiver<T>, upstream: Sender<T>, mut rng: StdRng) {
         // Held messages keyed by the sequence number at which they are
         // released (min-heap via Reverse); ties release in arrival order.
         let mut held: BinaryHeap<Held<T>> = BinaryHeap::new();
@@ -213,8 +226,12 @@ impl FaultPlane {
             let mix = self.mix;
             if u_fate < mix.drop {
                 self.counters.dropped.fetch_add(1, Ordering::SeqCst);
+                self.telemetry.add("faults.dropped", 1);
+                self.telemetry.record_with(|| TelemetryEvent::ChaosDrop { link: link.to_string() });
             } else if u_fate < mix.drop + mix.dup {
                 self.counters.duplicated.fetch_add(1, Ordering::SeqCst);
+                self.telemetry.add("faults.duplicated", 1);
+                self.telemetry.record_with(|| TelemetryEvent::ChaosDup { link: link.to_string() });
                 for m in [msg.clone(), msg] {
                     if upstream.send(m).is_err() {
                         return;
@@ -223,6 +240,8 @@ impl FaultPlane {
                 }
             } else if u_fate < mix.drop + mix.dup + mix.hold && mix.max_hold >= 1 {
                 self.counters.held.fetch_add(1, Ordering::SeqCst);
+                self.telemetry.add("faults.held", 1);
+                self.telemetry.record_with(|| TelemetryEvent::ChaosHold { link: link.to_string() });
                 let distance = 1 + (u_hold * mix.max_hold as f64) as u64;
                 held.push(Held { release_at: seq + distance, arrival: seq, msg });
             } else if upstream.send(msg).is_err() {

@@ -31,6 +31,7 @@ use crate::error::FlowError;
 use crate::matrix::AgreementMatrix;
 use crate::transitive::{adjacency, TransitiveFlow};
 use agreements_lp::Matrix;
+use agreements_telemetry::{HistKind, Telemetry};
 use std::sync::Arc;
 
 /// A compact bit-per-node visited set; clearing is done by the walks
@@ -100,6 +101,7 @@ pub struct IncrementalFlow {
     dirty: Vec<usize>,
     queue: Vec<(usize, usize)>,
     row_buf: Vec<f64>,
+    telemetry: Telemetry,
 }
 
 impl IncrementalFlow {
@@ -120,6 +122,7 @@ impl IncrementalFlow {
             dirty: Vec::new(),
             queue: Vec::new(),
             row_buf: Vec::new(),
+            telemetry: Telemetry::default(),
         };
         inc.rebuild_all();
         inc.full_recomputes = 0;
@@ -161,6 +164,12 @@ impl IncrementalFlow {
     /// How many mutations fell back to a full recompute.
     pub fn full_recomputes(&self) -> usize {
         self.full_recomputes
+    }
+
+    /// Attach a telemetry plane: each repair's dirty-row count feeds the
+    /// `flow_dirty_rows` histogram. Disabled (no-op) by default.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Set `S[from][to] = share` and repair the flow table by
@@ -215,6 +224,8 @@ impl IncrementalFlow {
         let recomputed = dirty.len();
         self.dirty = dirty;
         self.rows_recomputed += recomputed;
+        self.telemetry.add("flow.repairs", 1);
+        self.telemetry.observe(HistKind::FlowDirtyRows, recomputed as f64);
         Ok(recomputed)
     }
 

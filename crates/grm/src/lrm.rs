@@ -12,6 +12,7 @@
 use crate::resilient::ResilientGrmClient;
 use crate::server::{GrmError, GrmHandle, RequestId};
 use agreements_sched::{Allocation, SchedError};
+use agreements_telemetry::{Telemetry, TelemetryEvent};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -30,15 +31,28 @@ pub struct Lrm {
     /// Grants issued while the GRM was unreachable, keyed by the request
     /// id the failed RPC carried, awaiting [`Lrm::reconcile`].
     degraded: Mutex<Vec<(RequestId, f64)>>,
+    /// Telemetry for degraded-mode transitions; disabled by default.
+    telemetry: Telemetry,
 }
 
 impl Lrm {
     /// Create an LRM with an initial pool and announce it to the GRM.
     pub fn new(id: usize, initial: f64, grm: GrmHandle) -> Result<Self, GrmError> {
-        let lrm =
-            Lrm { id, pool: Arc::new(Mutex::new(initial)), grm, degraded: Mutex::new(Vec::new()) };
+        let lrm = Lrm {
+            id,
+            pool: Arc::new(Mutex::new(initial)),
+            grm,
+            degraded: Mutex::new(Vec::new()),
+            telemetry: Telemetry::default(),
+        };
         lrm.report()?;
         Ok(lrm)
+    }
+
+    /// Attach a telemetry plane recording this LRM's degraded-mode
+    /// grants; `Telemetry::default()` restores the no-op behavior.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Current local pool level.
@@ -131,6 +145,8 @@ impl Lrm {
                     }));
                 }
                 self.degraded.lock().push((id, amount));
+                self.telemetry.add("lrm.degraded_grants", 1);
+                self.telemetry.record_with(|| TelemetryEvent::DegradedGrant { amount });
                 let mut draws = vec![0.0; self.id + 1];
                 draws[self.id] = amount;
                 Ok((Allocation { requester: self.id, amount, draws, theta: 0.0 }, true))

@@ -270,7 +270,7 @@ mod tests {
         );
         // Seed the view through the lossy link until it sticks.
         let direct = grm.handle();
-        let mut granted = 0usize;
+        let mut granted = 0u64;
         for k in 0..6 {
             // Reports may be dropped; re-push state via the *plane* (the
             // realistic path), then verify through a direct read.

@@ -8,9 +8,11 @@
 //! `Request`/`Release`/`ReplayGrant` returns the original decision
 //! instead of double-granting (DESIGN.md §8).
 
-use agreements_flow::capacity::saturated_inflow;
 use agreements_flow::{AgreementMatrix, FlowError, IncrementalFlow};
-use agreements_sched::{Allocation, AllocationSolver, SchedError, SystemState};
+use agreements_sched::{
+    admission_bound, exceeds_bound, Allocation, AllocationSolver, SchedError, SystemState,
+};
+use agreements_telemetry::{HistKind, Telemetry, TelemetryEvent};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -147,40 +149,72 @@ enum Msg {
 }
 
 /// Operational counters maintained by the GRM server.
+///
+/// All integral counters are `u64` so their width does not vary with the
+/// host platform and they line up with the telemetry plane's counters;
+/// unit accumulators stay `f64` but are maintained with compensated
+/// (Kahan) summation inside the server, so long runs of small grants do
+/// not silently lose low-order bits.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct GrmStats {
     /// Allocation requests received (dedup hits excluded).
-    pub requests: usize,
+    pub requests: u64,
     /// Requests granted.
-    pub granted: usize,
+    pub granted: u64,
     /// Requests rejected for insufficient capacity.
-    pub rejected_capacity: usize,
+    pub rejected_capacity: u64,
     /// Total units granted.
     pub granted_units: f64,
     /// Agreement mutations applied.
-    pub agreement_updates: usize,
+    pub agreement_updates: u64,
     /// Availability reports processed.
-    pub reports: usize,
+    pub reports: u64,
     /// Duplicated or retried calls answered from the dedup window.
-    pub duplicate_requests: usize,
+    pub duplicate_requests: u64,
     /// Fulfilments that came up short of the granted draw (LRM pool ran
     /// stale-low; see `Lrm::fulfil`).
-    pub partial_fulfils: usize,
+    pub partial_fulfils: u64,
     /// Total units of fulfilment shortfall across partial fulfilments.
     pub fulfil_shortfall_units: f64,
     /// Degraded-mode grants replayed by reconciling LRMs.
-    pub journaled_grants: usize,
+    pub journaled_grants: u64,
     /// Total units across replayed degraded-mode grants.
     pub journaled_units: f64,
     /// Availability reports superseded by a later report for the same
     /// LRM within one serve-loop wakeup (last-writer-wins coalescing).
-    pub coalesced_reports: usize,
+    pub coalesced_reports: u64,
     /// Requests rejected by the capacity pre-check without building an
     /// LP (a strict subset of `rejected_capacity`).
-    pub fast_rejects: usize,
+    pub fast_rejects: u64,
     /// Flow-table rows recomputed by the incremental maintainer across
     /// all agreement/membership mutations since the server started.
-    pub flow_rows_recomputed: usize,
+    pub flow_rows_recomputed: u64,
+}
+
+/// Compensated (Kahan) accumulator for a running `f64` total.
+///
+/// The server's unit accumulators add many small draws to an ever-larger
+/// total; naive summation loses the low-order bits of each addend once
+/// the total dwarfs it. Kahan's correction term carries those bits
+/// forward, keeping the published total within one rounding of the exact
+/// sum regardless of run length.
+#[derive(Debug, Clone, Copy, Default)]
+struct KahanSum {
+    total: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    fn add(&mut self, x: f64) {
+        let y = x - self.compensation;
+        let t = self.total + y;
+        self.compensation = (t - self.total) - y;
+        self.total = t;
+    }
+
+    fn total(&self) -> f64 {
+        self.total
+    }
 }
 
 /// Cloneable client handle to a running GRM.
@@ -362,7 +396,19 @@ impl GrmServer {
     /// Spawn a GRM managing `n` LRMs under the given agreements and
     /// transitivity level, scheduling with the LP policy.
     pub fn spawn(agreements: AgreementMatrix, level: usize) -> GrmServer {
-        Self::spawn_inner(agreements, level, None)
+        Self::spawn_inner(agreements, level, None, Telemetry::default())
+    }
+
+    /// Spawn a GRM with an attached telemetry plane: the serve loop,
+    /// the core's admission/grant path, the solver, and the incremental
+    /// flow maintainer all record through `telemetry`. Passing
+    /// `Telemetry::default()` (disabled) is exactly [`GrmServer::spawn`].
+    pub fn spawn_with_telemetry(
+        agreements: AgreementMatrix,
+        level: usize,
+        telemetry: Telemetry,
+    ) -> GrmServer {
+        Self::spawn_inner(agreements, level, None, telemetry)
     }
 
     /// Spawn a GRM whose *client-facing* channel passes through a fault
@@ -377,18 +423,32 @@ impl GrmServer {
         plane: &agreements_faults::FaultPlane,
         link: &str,
     ) -> GrmServer {
-        Self::spawn_inner(agreements, level, Some((plane, link)))
+        Self::spawn_inner(agreements, level, Some((plane, link)), Telemetry::default())
+    }
+
+    /// [`GrmServer::spawn_chaotic`] with a telemetry plane attached to
+    /// the server side (the fault plane's own drop/dup/hold events are
+    /// recorded by whatever telemetry the *plane* carries).
+    pub fn spawn_chaotic_with_telemetry(
+        agreements: AgreementMatrix,
+        level: usize,
+        plane: &agreements_faults::FaultPlane,
+        link: &str,
+        telemetry: Telemetry,
+    ) -> GrmServer {
+        Self::spawn_inner(agreements, level, Some((plane, link)), telemetry)
     }
 
     fn spawn_inner(
         agreements: AgreementMatrix,
         level: usize,
         chaos: Option<(&agreements_faults::FaultPlane, &str)>,
+        telemetry: Telemetry,
     ) -> GrmServer {
         let (tx, rx) = unbounded();
         let join = std::thread::Builder::new()
             .name("grm-server".into())
-            .spawn(move || serve(agreements, level, rx))
+            .spawn(move || serve(agreements, level, rx, telemetry))
             .expect("spawn GRM thread");
         let client_tx = match chaos {
             Some((plane, link)) => plane.wrap(link, tx.clone()),
@@ -437,7 +497,7 @@ enum CachedReply {
     Replay(Result<(), GrmError>),
 }
 
-/// Bounded id → decision memory (insertion-ordered eviction).
+/// Bounded id → decision memory (recency-ordered eviction).
 #[derive(Default)]
 struct DedupWindow {
     decisions: HashMap<RequestId, CachedReply>,
@@ -450,12 +510,20 @@ impl DedupWindow {
     }
 
     fn insert(&mut self, id: RequestId, reply: CachedReply) {
-        if self.decisions.insert(id, reply).is_none() {
-            self.order.push_back(id);
-            if self.order.len() > DEDUP_WINDOW {
-                if let Some(old) = self.order.pop_front() {
-                    self.decisions.remove(&old);
-                }
+        if self.decisions.insert(id, reply).is_some() {
+            // Re-deciding an id refreshes its recency: without moving it
+            // to the back of `order`, the stale front position would get
+            // the *newest* decision evicted first once the window fills.
+            // Re-inserts are rare (the dedup hit path answers from cache
+            // without re-inserting), so the linear scan is fine.
+            if let Some(pos) = self.order.iter().position(|x| *x == id) {
+                self.order.remove(pos);
+            }
+        }
+        self.order.push_back(id);
+        if self.order.len() > DEDUP_WINDOW {
+            if let Some(old) = self.order.pop_front() {
+                self.decisions.remove(&old);
             }
         }
     }
@@ -504,14 +572,34 @@ struct ServerCore {
     /// already written during the current contiguous run of `Report`s.
     run_stamp: Vec<u64>,
     run_gen: u64,
+    /// Compensated unit accumulators; the raw `f64` fields in `stats`
+    /// are published from these at `Msg::Stats` time.
+    granted_units: KahanSum,
+    fulfil_shortfall_units: KahanSum,
+    journaled_units: KahanSum,
+    /// Telemetry handle; `Telemetry::default()` (disabled) costs one
+    /// branch per call site and keeps the server bit-identical.
+    telemetry: Telemetry,
 }
 
 impl ServerCore {
+    #[cfg(test)]
     fn new(agreements: AgreementMatrix, level: usize) -> ServerCore {
+        Self::with_telemetry(agreements, level, Telemetry::default())
+    }
+
+    fn with_telemetry(
+        agreements: AgreementMatrix,
+        level: usize,
+        telemetry: Telemetry,
+    ) -> ServerCore {
         let n = agreements.n();
         let mut incflow = IncrementalFlow::new(agreements, level);
+        incflow.set_telemetry(telemetry.clone());
         let state =
             SystemState { flow: incflow.snapshot(), absolute: None, availability: vec![0.0; n] };
+        let mut policy = AllocationSolver::reduced();
+        policy.set_telemetry(telemetry.clone());
         ServerCore {
             incflow,
             state,
@@ -519,10 +607,14 @@ impl ServerCore {
             clock: 0,
             stats: GrmStats::default(),
             dedup: DedupWindow::default(),
-            policy: AllocationSolver::reduced(),
+            policy,
             bound: Vec::new(),
             run_stamp: vec![0; n],
             run_gen: 0,
+            granted_units: KahanSum::default(),
+            fulfil_shortfall_units: KahanSum::default(),
+            journaled_units: KahanSum::default(),
+            telemetry,
         }
     }
 
@@ -560,6 +652,17 @@ impl ServerCore {
         }
     }
 
+    /// The externally visible counters: the raw struct plus the
+    /// compensated unit totals and the incremental-flow row count.
+    fn published_stats(&self) -> GrmStats {
+        let mut stats = self.stats;
+        stats.granted_units = self.granted_units.total();
+        stats.fulfil_shortfall_units = self.fulfil_shortfall_units.total();
+        stats.journaled_units = self.journaled_units.total();
+        stats.flow_rows_recomputed = self.incflow.rows_recomputed() as u64;
+        stats
+    }
+
     /// Decide an in-range allocation request against the current state.
     fn decide(&mut self, lrm: usize, amount: f64) -> Result<Allocation, GrmError> {
         // The persistent view replaces the per-request
@@ -571,27 +674,24 @@ impl ServerCore {
         {
             return Err(GrmError::Sched(SchedError::InvalidRequest { amount: bad }));
         }
-        // Capacity fast-reject: the solver's own admission arithmetic —
-        // identical bound terms, summation order, and slack — evaluated
-        // without building the LP. Only definite rejections short-cut;
-        // everything else (including `amount == 0` and invalid amounts,
-        // which the solver answers first) falls through unchanged.
+        // Capacity fast-reject: [`admission_bound`] is the *same
+        // function* the solver runs — one definition, one summation
+        // order, one slack constant — evaluated here without building
+        // the LP. Only definite rejections short-cut; everything else
+        // (including `amount == 0` and invalid amounts, which the
+        // solver answers first) falls through unchanged.
         if amount.is_finite() && amount > 0.0 {
-            let n = self.state.n();
-            let v = &self.state.availability;
-            let absolute = self.state.absolute.as_ref();
-            self.bound.clear();
-            for i in 0..n {
-                self.bound.push(if i == lrm {
-                    v[lrm]
-                } else {
-                    saturated_inflow(&self.state.flow, absolute, v, i, lrm)
-                });
-            }
-            let reachable: f64 = self.bound.iter().sum();
-            if amount > reachable + 1e-9 {
+            let reachable = admission_bound(&self.state, lrm, &mut self.bound);
+            if exceeds_bound(amount, reachable) {
                 self.stats.fast_rejects += 1;
                 self.stats.rejected_capacity += 1;
+                self.telemetry.add("grm.fast_rejects", 1);
+                self.telemetry.record_with(|| TelemetryEvent::FastReject {
+                    requester: lrm,
+                    requested: amount,
+                    bound: reachable,
+                    clamped: false,
+                });
                 return Err(GrmError::Sched(SchedError::InsufficientCapacity {
                     requester: lrm,
                     capacity: reachable,
@@ -606,7 +706,14 @@ impl ServerCore {
                     *v = (*v - d).max(0.0);
                 }
                 self.stats.granted += 1;
-                self.stats.granted_units += alloc.amount;
+                self.granted_units.add(alloc.amount);
+                self.telemetry.add("grm.granted", 1);
+                self.telemetry.record_with(|| TelemetryEvent::Granted {
+                    requester: lrm,
+                    amount: alloc.amount,
+                    theta: alloc.theta,
+                    draws: alloc.draws.clone(),
+                });
                 Ok(alloc)
             }
             Err(e) => {
@@ -668,11 +775,14 @@ impl ServerCore {
                     }
                 }
                 self.stats.requests += 1;
+                self.telemetry.add("grm.requests", 1);
+                let span = self.telemetry.start();
                 let res = if lrm >= n {
                     Err(GrmError::UnknownLrm(lrm))
                 } else {
                     self.decide(lrm, amount)
                 };
+                self.telemetry.stop(HistKind::RequestLatencySeconds, span);
                 if let Some(id) = req_id {
                     self.dedup.insert(id, CachedReply::Grant(res.clone()));
                 }
@@ -736,7 +846,10 @@ impl ServerCore {
                     // the GRM was unreachable and its re-report already
                     // reflects them; only the books move here.
                     self.stats.journaled_grants += 1;
-                    self.stats.journaled_units += amount;
+                    self.journaled_units.add(amount);
+                    self.telemetry.add("grm.journaled_replays", 1);
+                    self.telemetry
+                        .record_with(|| TelemetryEvent::ReconcileReplay { requester: lrm, amount });
                     Ok(())
                 };
                 self.dedup.insert(req_id, CachedReply::Replay(res.clone()));
@@ -745,12 +858,19 @@ impl ServerCore {
             Msg::FulfilShortfall { lrm, want, taken } => {
                 if lrm < n && want.is_finite() && taken.is_finite() && want > taken {
                     self.stats.partial_fulfils += 1;
-                    self.stats.fulfil_shortfall_units += want - taken;
+                    self.fulfil_shortfall_units.add(want - taken);
                 }
             }
             Msg::SetAgreement { from, to, share, reply } => {
-                let res = self.incflow.set(from, to, share).map_err(GrmError::Flow).map(|_rows| {
+                let res = self.incflow.set(from, to, share).map_err(GrmError::Flow).map(|rows| {
                     self.stats.agreement_updates += 1;
+                    self.telemetry.add("grm.agreement_updates", 1);
+                    self.telemetry.record_with(|| TelemetryEvent::AgreementSet {
+                        from,
+                        to,
+                        share,
+                        dirty_rows: rows as u64,
+                    });
                     self.refresh_flow();
                 });
                 let _ = reply.send(res);
@@ -759,9 +879,7 @@ impl ServerCore {
                 let _ = reply.send(self.state.availability.clone());
             }
             Msg::Stats { reply } => {
-                let mut stats = self.stats;
-                stats.flow_rows_recomputed = self.incflow.rows_recomputed();
-                let _ = reply.send(stats);
+                let _ = reply.send(self.published_stats());
             }
             Msg::Shutdown => return false,
         }
@@ -819,8 +937,8 @@ impl ServerCore {
     }
 }
 
-fn serve(agreements: AgreementMatrix, level: usize, rx: Receiver<Msg>) {
-    let mut core = ServerCore::new(agreements, level);
+fn serve(agreements: AgreementMatrix, level: usize, rx: Receiver<Msg>, telemetry: Telemetry) {
+    let mut core = ServerCore::with_telemetry(agreements, level, telemetry.clone());
     // Coalescing drain loop: block for the first message of a wakeup,
     // then drain everything already queued and hand the batch to the
     // core, so a burst of reports costs one pass instead of one wakeup
@@ -831,7 +949,11 @@ fn serve(agreements: AgreementMatrix, level: usize, rx: Receiver<Msg>) {
         while let Ok(more) = rx.try_recv() {
             batch.push(more);
         }
-        if !core.handle_batch(&mut batch) {
+        telemetry.add("grm.wakeups", 1);
+        let span = telemetry.start();
+        let alive = core.handle_batch(&mut batch);
+        telemetry.stop(HistKind::ServeDrainSeconds, span);
+        if !alive {
             break;
         }
     }
@@ -1069,6 +1191,28 @@ mod tests {
         assert_eq!(after.requests, before.requests + 1, "evicted id recomputed");
         assert_eq!(after.duplicate_requests, before.duplicate_requests);
         grm.shutdown();
+    }
+
+    #[test]
+    fn dedup_reinsert_refreshes_recency_at_window_boundary() {
+        // Re-deciding an id must move it to the back of the eviction
+        // order. Regression: the old `insert` kept the stale front
+        // position, so at exactly DEDUP_WINDOW entries the *refreshed*
+        // id was evicted first while an older untouched id survived.
+        let mut w = DedupWindow::default();
+        let id = |seq| RequestId { client: 0, seq };
+        w.insert(id(0), CachedReply::Replay(Ok(())));
+        for seq in 1..DEDUP_WINDOW as u64 {
+            w.insert(id(seq), CachedReply::Replay(Ok(())));
+        }
+        // Window is exactly full; re-insert the oldest id.
+        w.insert(id(0), CachedReply::Replay(Ok(())));
+        assert_eq!(w.order.len(), DEDUP_WINDOW, "re-insert must not grow the window");
+        // One more new id evicts the now-oldest entry: seq 1, not seq 0.
+        w.insert(id(DEDUP_WINDOW as u64), CachedReply::Replay(Ok(())));
+        assert!(w.get(&id(0)).is_some(), "refreshed id survives the eviction");
+        assert!(w.get(&id(1)).is_none(), "stalest untouched id is evicted instead");
+        assert_eq!(w.decisions.len(), w.order.len(), "map and order stay in lock-step");
     }
 
     #[test]
@@ -1323,7 +1467,7 @@ mod tests {
         assert_eq!(bits(&one.state.availability), bits(&batched.state.availability));
         assert_eq!(one.clock, batched.clock);
         assert_eq!(one.last_report, batched.last_report);
-        let (mut s1, mut s2) = (one.stats, batched.stats);
+        let (mut s1, mut s2) = (one.published_stats(), batched.published_stats());
         assert_eq!(s1.coalesced_reports, 0, "one-at-a-time never coalesces");
         assert_eq!(s2.coalesced_reports, 1, "LRM 1's first report superseded in-batch");
         s1.coalesced_reports = 0;

@@ -7,6 +7,7 @@ use agreements_flow::{IncrementalFlow, TransitiveFlow};
 use agreements_sched::{
     AllocationPolicy, CachedLpPolicy, GreedyPolicy, ProportionalPolicy, SystemState,
 };
+use agreements_telemetry::{Telemetry, TelemetryEvent};
 use agreements_trace::{ProxyTrace, DAY_SECONDS};
 use std::fmt;
 use std::sync::Arc;
@@ -58,6 +59,7 @@ pub struct Simulator {
     cfg: SimConfig,
     flow: Option<Arc<TransitiveFlow>>,
     policy: Option<Box<dyn AllocationPolicy + Send>>,
+    telemetry: Telemetry,
 }
 
 impl Simulator {
@@ -129,7 +131,19 @@ impl Simulator {
                 (Some(flow), Some(policy))
             }
         };
-        Ok(Simulator { cfg, flow, policy })
+        Ok(Simulator { cfg, flow, policy, telemetry: Telemetry::default() })
+    }
+
+    /// Attach a telemetry plane: per-consultation θ records flow from
+    /// the epoch loop, the policy records its admission decisions and
+    /// LP-solve timings, and an active fluctuation schedule records its
+    /// incremental flow repairs. `Telemetry::default()` (the initial
+    /// state) keeps every run bit-identical to an uninstrumented one.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        if let Some(policy) = &self.policy {
+            policy.set_telemetry(&telemetry);
+        }
+        self.telemetry = telemetry;
     }
 
     /// Build a simulator that consults a caller-supplied policy instead
@@ -186,7 +200,9 @@ impl Simulator {
                 Some(sh) if !sh.schedule.is_empty() => {
                     let mut events = sh.schedule.clone();
                     events.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite event times"));
-                    Some((IncrementalFlow::new(sh.agreements.clone(), sh.level), events, 0))
+                    let mut inc = IncrementalFlow::new(sh.agreements.clone(), sh.level);
+                    inc.set_telemetry(self.telemetry.clone());
+                    Some((inc, events, 0))
                 }
                 _ => None,
             };
@@ -268,6 +284,14 @@ impl Simulator {
                     for &(k, m) in &moved {
                         avail[k] = (avail[k] - m).max(0.0);
                     }
+                    self.telemetry.add("proxysim.consultations", 1);
+                    self.telemetry.record_with(|| TelemetryEvent::EpochTheta {
+                        time: t,
+                        proxy: i,
+                        excess,
+                        theta: alloc.theta,
+                        moved: moved.iter().map(|&(_, m)| m).sum(),
+                    });
                     if self.cfg.record_decisions && t >= measure_from {
                         result.decisions.push(crate::metrics::Decision {
                             time: t - measure_from,

@@ -1,0 +1,99 @@
+//! The single home of the capacity fast-reject ("admission") arithmetic.
+//!
+//! Admission (§3 intro) asks whether requester `A`'s *reachable* capacity
+//! `C_A = V_A + Σ_{i≠A} saturated_inflow(i → A)` covers the request. The
+//! same bound vector then parameterizes the placement LP (per-draw upper
+//! bounds), and the GRM server uses the same test to refuse hopeless
+//! requests before paying for a solve.
+//!
+//! Every consumer — [`crate::lp_model::solve_allocation`], the cached
+//! [`crate::AllocationSolver`] hot path, and the GRM server's fast-reject
+//! — calls [`admission_bound`] / [`exceeds_bound`], so the arithmetic
+//! (per-principal evaluation order, summation order, and the
+//! floating-point slack) cannot drift between sites: a verdict computed
+//! here *is* the verdict the LP would reach.
+
+use crate::state::SystemState;
+use agreements_flow::capacity::saturated_inflow;
+
+/// Floating-point slack of the admission test: a request within this of
+/// the reachable total is admitted (and clamped to it), so accumulated
+/// rounding in availability bookkeeping never rejects a borderline
+/// request the LP could serve.
+pub const ADMISSION_SLACK: f64 = 1e-9;
+
+/// Fill `bound` with requester `requester`'s per-principal entitlement
+/// bounds — its own availability at `bound[requester]`, each other
+/// owner's saturated inflow elsewhere — and return their sum, the
+/// reachable capacity `C_A`.
+///
+/// `bound` is caller-owned scratch (cleared here) so hot paths reuse one
+/// allocation across requests. Evaluation and summation order are fixed
+/// (ascending principal index); callers rely on the result being
+/// bit-identical across all admission sites.
+#[inline]
+pub fn admission_bound(state: &SystemState, requester: usize, bound: &mut Vec<f64>) -> f64 {
+    let n = state.n();
+    let v = &state.availability;
+    let absolute = state.absolute.as_ref();
+    bound.clear();
+    for i in 0..n {
+        bound.push(if i == requester {
+            v[requester]
+        } else {
+            saturated_inflow(&state.flow, absolute, v, i, requester)
+        });
+    }
+    bound.iter().sum()
+}
+
+/// The admission verdict: does `requested` exceed the reachable capacity
+/// beyond [`ADMISSION_SLACK`]?
+#[inline]
+pub fn exceeds_bound(requested: f64, reachable: f64) -> bool {
+    requested > reachable + ADMISSION_SLACK
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agreements_flow::{AgreementMatrix, TransitiveFlow};
+
+    fn state(n: usize, edges: &[(usize, usize, f64)], v: Vec<f64>) -> SystemState {
+        let mut s = AgreementMatrix::zeros(n);
+        for &(i, j, w) in edges {
+            s.set(i, j, w).unwrap();
+        }
+        let flow = TransitiveFlow::compute(&s, n - 1);
+        SystemState::new(flow, None, v).unwrap()
+    }
+
+    #[test]
+    fn bound_is_own_availability_plus_saturated_inflows() {
+        let st = state(3, &[(1, 0, 0.5), (2, 0, 0.25)], vec![2.0, 8.0, 8.0]);
+        let mut bound = Vec::new();
+        let reachable = admission_bound(&st, 0, &mut bound);
+        assert_eq!(bound.len(), 3);
+        assert!((bound[0] - 2.0).abs() < 1e-12, "own availability");
+        assert!((bound[1] - 4.0).abs() < 1e-12, "50% of 8");
+        assert!((bound[2] - 2.0).abs() < 1e-12, "25% of 8");
+        assert!((reachable - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scratch_is_cleared_between_calls() {
+        let st = state(2, &[(1, 0, 0.5)], vec![1.0, 4.0]);
+        let mut bound = vec![99.0; 7];
+        let reachable = admission_bound(&st, 0, &mut bound);
+        assert_eq!(bound.len(), 2);
+        assert!((reachable - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slack_admits_borderline_requests() {
+        let reachable = 10.0;
+        assert!(!exceeds_bound(10.0, reachable));
+        assert!(!exceeds_bound(10.0 + 0.5 * ADMISSION_SLACK, reachable));
+        assert!(exceeds_bound(10.0 + 2.0 * ADMISSION_SLACK, reachable));
+    }
+}

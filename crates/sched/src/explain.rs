@@ -8,9 +8,9 @@
 //! admission constraint (the marginal θ-cost of requesting one more
 //! unit).
 
+use crate::admission::{admission_bound, exceeds_bound};
 use crate::error::SchedError;
 use crate::state::{Allocation, SystemState};
-use agreements_flow::capacity::saturated_inflow;
 use agreements_lp::{Problem, Relation, Sense, SimplexOptions, VarId};
 use std::fmt;
 
@@ -90,19 +90,9 @@ pub fn explain_allocation(
     if !x.is_finite() || x < 0.0 {
         return Err(SchedError::InvalidRequest { amount: x });
     }
-    let v = &state.availability;
-    let absolute = state.absolute.as_ref();
-    let bound: Vec<f64> = (0..n)
-        .map(|i| {
-            if i == requester {
-                v[requester]
-            } else {
-                saturated_inflow(&state.flow, absolute, v, i, requester)
-            }
-        })
-        .collect();
-    let reachable: f64 = bound.iter().sum();
-    if x > reachable + 1e-9 {
+    let mut bound = Vec::new();
+    let reachable = admission_bound(state, requester, &mut bound);
+    if exceeds_bound(x, reachable) {
         return Err(SchedError::InsufficientCapacity {
             requester,
             capacity: reachable,

@@ -56,6 +56,7 @@
 #![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod error;
 pub mod explain;
 pub mod hierarchy;
@@ -66,6 +67,7 @@ pub mod policy;
 pub mod solver;
 pub mod state;
 
+pub use admission::{admission_bound, exceeds_bound, ADMISSION_SLACK};
 pub use error::SchedError;
 pub use explain::{explain_allocation, Explanation};
 pub use lp_model::Formulation;

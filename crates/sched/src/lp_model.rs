@@ -1,8 +1,8 @@
 //! LP formulations of the allocation problem (paper §3.1).
 
+use crate::admission::{admission_bound, exceeds_bound};
 use crate::error::SchedError;
 use crate::state::{Allocation, SystemState};
-use agreements_flow::capacity::saturated_inflow;
 use agreements_lp::{Problem, Relation, Sense, SimplexOptions, VarId};
 
 /// Which encoding of the §3.1 linear system to solve. Both reach the same
@@ -45,14 +45,10 @@ pub fn solve_allocation(
     }
 
     // Admission: the most `a` can draw is its own availability plus each
-    // owner's saturated inflow.
-    let v = &state.availability;
-    let absolute = state.absolute.as_ref();
-    let bound: Vec<f64> = (0..n)
-        .map(|i| if i == a { v[a] } else { saturated_inflow(&state.flow, absolute, v, i, a) })
-        .collect();
-    let reachable: f64 = bound.iter().sum();
-    if x > reachable + 1e-9 {
+    // owner's saturated inflow (shared arithmetic, `crate::admission`).
+    let mut bound = Vec::with_capacity(n);
+    let reachable = admission_bound(state, a, &mut bound);
+    if exceeds_bound(x, reachable) {
         return Err(SchedError::InsufficientCapacity {
             requester: a,
             capacity: reachable,

@@ -15,10 +15,10 @@
 //!   `max_{i≠A} (C_i − C'_i)/C_i`, so small principals are not drained
 //!   proportionally harder than large ones.
 
+use crate::admission::{admission_bound, exceeds_bound};
 use crate::error::SchedError;
 use crate::policy::AllocationPolicy;
 use crate::state::{Allocation, SystemState};
-use agreements_flow::capacity::saturated_inflow;
 use agreements_lp::{Problem, Relation, Sense, SimplexOptions, VarId};
 
 /// Common setup shared by the objective variants: per-owner draw bounds
@@ -31,13 +31,9 @@ fn draw_bounds(state: &SystemState, a: usize, x: f64) -> Result<Vec<f64>, SchedE
     if !x.is_finite() || x < 0.0 {
         return Err(SchedError::InvalidRequest { amount: x });
     }
-    let v = &state.availability;
-    let absolute = state.absolute.as_ref();
-    let bound: Vec<f64> = (0..n)
-        .map(|i| if i == a { v[a] } else { saturated_inflow(&state.flow, absolute, v, i, a) })
-        .collect();
-    let reachable: f64 = bound.iter().sum();
-    if x > reachable + 1e-9 {
+    let mut bound = Vec::new();
+    let reachable = admission_bound(state, a, &mut bound);
+    if exceeds_bound(x, reachable) {
         return Err(SchedError::InsufficientCapacity {
             requester: a,
             capacity: reachable,

@@ -52,6 +52,11 @@ pub trait AllocationPolicy {
     /// reproducible. Stateless policies keep the default no-op.
     fn begin_run(&self) {}
 
+    /// Attach a telemetry plane. Policies that own an instrumented
+    /// component (the cached LP solver) forward the handle; the default
+    /// ignores it, so stateless baselines stay untouched.
+    fn set_telemetry(&self, _telemetry: &agreements_telemetry::Telemetry) {}
+
     /// Short name for reports.
     fn name(&self) -> &'static str;
 }
@@ -172,6 +177,10 @@ impl AllocationPolicy for CachedLpPolicy {
 
     fn begin_run(&self) {
         self.lock().invalidate_warm_start();
+    }
+
+    fn set_telemetry(&self, telemetry: &agreements_telemetry::Telemetry) {
+        self.lock().set_telemetry(telemetry.clone());
     }
 
     fn name(&self) -> &'static str {

@@ -32,12 +32,13 @@
 //! [`AllocationSolver::set_two_solve_best_effort`] and is property-tested
 //! equivalent.
 
+use crate::admission::{admission_bound, exceeds_bound};
 use crate::error::SchedError;
 use crate::lp_model::{solve_full, Formulation, DRAW_EPS};
 use crate::state::{Allocation, SystemState};
-use agreements_flow::capacity::saturated_inflow;
 use agreements_flow::TransitiveFlow;
 use agreements_lp::{solve_bounded_with, SimplexOptions, SimplexWorkspace};
+use agreements_telemetry::{HistKind, Telemetry, TelemetryEvent};
 use std::sync::Arc;
 
 /// Cached standard-form skeleton of the reduced allocation LP for one
@@ -100,6 +101,8 @@ pub struct AllocationSolver {
     bound: Vec<f64>,
     two_solve_best_effort: bool,
     stats: SolverStats,
+    /// Telemetry plane; disabled (no-op) by default.
+    telemetry: Telemetry,
 }
 
 impl AllocationSolver {
@@ -113,6 +116,7 @@ impl AllocationSolver {
             bound: Vec::new(),
             two_solve_best_effort: false,
             stats: SolverStats::default(),
+            telemetry: Telemetry::default(),
         }
     }
 
@@ -146,6 +150,13 @@ impl AllocationSolver {
     /// The formulation this solver uses.
     pub fn formulation(&self) -> Formulation {
         self.formulation
+    }
+
+    /// Attach a telemetry plane (LP-solve-time histogram plus
+    /// admitted/fast-reject events). The default is the disabled plane,
+    /// whose calls are no-ops on the untimed path.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Usage counters (solves, skeleton rebuilds, warm-start hits).
@@ -208,24 +219,29 @@ impl AllocationSolver {
             return Ok(Allocation { requester: a, amount: 0.0, draws: vec![0.0; n], theta: 0.0 });
         }
 
-        // Admission bounds (same arithmetic as solve_allocation).
+        // Admission bounds (the shared arithmetic, `crate::admission`).
         self.stats.bound_builds += 1;
-        let v = &state.availability;
-        let absolute = state.absolute.as_ref();
-        self.bound.clear();
-        for i in 0..n {
-            self.bound.push(if i == a {
-                v[a]
-            } else {
-                saturated_inflow(&state.flow, absolute, v, i, a)
-            });
-        }
-        let reachable: f64 = self.bound.iter().sum();
-        if !best_effort && x > reachable + 1e-9 {
-            return Err(SchedError::InsufficientCapacity {
+        let reachable = admission_bound(state, a, &mut self.bound);
+        if exceeds_bound(x, reachable) {
+            self.telemetry.add("sched.fast_rejects", 1);
+            self.telemetry.record_with(|| TelemetryEvent::FastReject {
                 requester: a,
-                capacity: reachable,
                 requested: x,
+                bound: reachable,
+                clamped: best_effort,
+            });
+            if !best_effort {
+                return Err(SchedError::InsufficientCapacity {
+                    requester: a,
+                    capacity: reachable,
+                    requested: x,
+                });
+            }
+        } else {
+            self.telemetry.record_with(|| TelemetryEvent::Admitted {
+                requester: a,
+                requested: x,
+                bound: reachable,
             });
         }
         let x = x.min(reachable);
@@ -235,10 +251,12 @@ impl AllocationSolver {
         }
 
         self.stats.solves += 1;
+        let span = self.telemetry.start();
         let (draws, theta) = match self.formulation {
             Formulation::Reduced => self.solve_reduced_cached(state, a, x)?,
             Formulation::Full => solve_full(state, a, x, &self.bound, &self.opts)?,
         };
+        self.telemetry.stop(HistKind::LpSolveSeconds, span);
         let draws: Vec<f64> =
             draws.into_iter().map(|d| if d < DRAW_EPS { 0.0 } else { d }).collect();
         Ok(Allocation { requester: a, amount: x, draws, theta })

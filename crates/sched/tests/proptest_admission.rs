@@ -1,0 +1,152 @@
+//! The admission fast-reject is not a heuristic pre-filter: the bound it
+//! computes is exactly the placement LP's feasibility frontier. On
+//! randomized systems, for any request size (including boundary and
+//! over-capacity sizes):
+//!
+//! * `exceeds_bound(x, admission_bound(..))` ⇔ the full LP solve returns
+//!   [`SchedError::InsufficientCapacity`],
+//! * an admitted request is placed in full (the LP never discovers an
+//!   infeasibility the fast-reject missed),
+//! * a rejected request's error carries the bit-identical reachable
+//!   capacity, so every admission site reports the same number.
+
+#![allow(clippy::needless_range_loop)]
+
+use agreements_flow::{AgreementMatrix, TransitiveFlow};
+use agreements_sched::{
+    admission_bound, exceeds_bound, AllocationSolver, SchedError, SystemState, ADMISSION_SLACK,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    s: AgreementMatrix,
+    v: Vec<f64>,
+    level: usize,
+    requester: usize,
+    /// Request sizes as fractions of reachable capacity; the range
+    /// straddles 1.0 so both verdicts are exercised, and exact 1.0 plus
+    /// slack-sized nudges are appended below to probe the boundary.
+    fracs: Vec<f64>,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (2usize..=6).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec(0u32..=25, n * n),
+            proptest::collection::vec(0u32..=50, n),
+            1usize..n.max(2),
+            0usize..n,
+            proptest::collection::vec(0.0f64..2.0, 1..=5),
+        )
+            .prop_map(|(n, raw, avail, level, requester, mut fracs)| {
+                let mut s = AgreementMatrix::zeros(n);
+                for i in 0..n {
+                    let row = &raw[i * n..(i + 1) * n];
+                    let total: u32 =
+                        row.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &v)| v).sum();
+                    if total == 0 {
+                        continue;
+                    }
+                    let scale = 0.95 / total.max(25) as f64;
+                    for j in 0..n {
+                        if i != j && row[j] > 0 {
+                            s.set(i, j, row[j] as f64 * scale).unwrap();
+                        }
+                    }
+                }
+                // Probe the admission boundary exactly and just past the
+                // slack on every generated system.
+                fracs.push(1.0);
+                let v: Vec<f64> = avail.iter().map(|&a| a as f64).collect();
+                Scenario { s, v, level, requester, fracs }
+            })
+    })
+}
+
+fn build_state(sc: &Scenario) -> SystemState {
+    let flow = TransitiveFlow::compute(&sc.s, sc.level);
+    SystemState::new(flow, None, sc.v.clone()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The standalone fast-reject verdict and the full LP verdict agree
+    /// on every request, and a rejection reports the bit-identical
+    /// reachable capacity.
+    #[test]
+    fn fast_reject_verdict_matches_full_lp(sc in arb_scenario()) {
+        let state = build_state(&sc);
+        let mut solver = AllocationSolver::reduced();
+        let mut bound = Vec::new();
+        for &frac in &sc.fracs {
+            let reachable = admission_bound(&state, sc.requester, &mut bound);
+            prop_assert_eq!(bound.len(), state.n());
+            let x = reachable * frac;
+            let rejected = exceeds_bound(x, reachable);
+            match solver.allocate(&state, sc.requester, x) {
+                Ok(alloc) => {
+                    prop_assert!(
+                        !rejected,
+                        "fast-reject would refuse x={x} but LP placed it (reachable={reachable})"
+                    );
+                    // Admitted requests are served in full (modulo the
+                    // clamp to reachable capacity at the boundary).
+                    prop_assert!((alloc.amount - x.min(reachable)).abs() < 1e-9);
+                    let sum: f64 = alloc.draws.iter().sum();
+                    prop_assert!((sum - alloc.amount).abs() < 1e-6);
+                    for (i, &d) in alloc.draws.iter().enumerate() {
+                        prop_assert!(d >= 0.0);
+                        prop_assert!(
+                            d <= bound[i] + 1e-6,
+                            "draw {d} from {i} exceeds its admission bound {}",
+                            bound[i]
+                        );
+                    }
+                }
+                Err(SchedError::InsufficientCapacity { requester, capacity, requested }) => {
+                    prop_assert!(
+                        rejected,
+                        "LP refused x={x} the fast-reject admitted (reachable={reachable})"
+                    );
+                    prop_assert_eq!(requester, sc.requester);
+                    prop_assert_eq!(requested, x);
+                    // Every admission site computes the same sum in the
+                    // same order, so the reported capacity is the exact
+                    // bits of the standalone bound.
+                    prop_assert_eq!(capacity.to_bits(), reachable.to_bits());
+                }
+                Err(e) => {
+                    return Err(TestCaseError::fail(format!(
+                        "unexpected error for x={x}: {e}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Slack-sized nudges around the exact boundary never flip the LP to
+    /// a different verdict than the fast-reject.
+    #[test]
+    fn boundary_nudges_agree(sc in arb_scenario()) {
+        let state = build_state(&sc);
+        let mut solver = AllocationSolver::reduced();
+        let mut bound = Vec::new();
+        let reachable = admission_bound(&state, sc.requester, &mut bound);
+        for x in [
+            reachable,
+            reachable + 0.5 * ADMISSION_SLACK,
+            reachable + 2.0 * ADMISSION_SLACK,
+            reachable * 1.0000001,
+        ] {
+            let rejected = exceeds_bound(x, reachable);
+            let lp_rejected = matches!(
+                solver.allocate(&state, sc.requester, x),
+                Err(SchedError::InsufficientCapacity { .. })
+            );
+            prop_assert_eq!(rejected, lp_rejected, "verdicts split at x={}", x);
+        }
+    }
+}

@@ -11,11 +11,13 @@
 //! - [`grm`] — the GRM/LRM threaded resource-manager runtime (§3.2).
 //! - [`trace`] — synthetic diurnal web workload generation (§4.1).
 //! - [`proxysim`] — the cooperating web-proxy simulator (§4).
+//! - [`telemetry`] — the unified counters/histograms/event-trace plane.
 
 pub use agreements_flow as flow;
 pub use agreements_grm as grm;
 pub use agreements_lp as lp;
 pub use agreements_proxysim as proxysim;
 pub use agreements_sched as sched;
+pub use agreements_telemetry as telemetry;
 pub use agreements_ticket as ticket;
 pub use agreements_trace as trace;
