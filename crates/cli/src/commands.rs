@@ -3,6 +3,7 @@
 
 use crate::args::{ArgError, Parsed};
 use crate::spec::{ScenarioSpec, SimSpec};
+use agreements_flow::{auto_partition, PartitionOptions};
 use agreements_sched::{
     explain_allocation, AllocationPolicy, GreedyPolicy, LpPolicy, ProportionalPolicy, SchedError,
     SystemState,
@@ -78,6 +79,7 @@ USAGE:
   agreements economy graph --file ECONOMY.json [--resource IDX]
   agreements capacity --scenario SCENARIO.json --avail V0,V1,...
   agreements chains --scenario SCENARIO.json --from OWNER --to USER [--level L]
+  agreements partition --scenario SCENARIO.json [--min-share F] [--max-group N] [--json]
   agreements allocate --scenario SCENARIO.json --avail V0,V1,... \\
              --requester I --amount X [--policy lp|greedy|proportional] [--explain]
   agreements trace gen --requests N --proxies P --gap SECONDS --seed S --out DIR [--csv]
@@ -108,6 +110,7 @@ pub fn run<S: AsRef<str>>(argv: &[S]) -> Result<String, CliError> {
         },
         Some("capacity") => capacity(&parsed),
         Some("chains") => chains(&parsed),
+        Some("partition") => partition(&parsed),
         Some("allocate") => allocate(&parsed),
         Some("trace") => match pos.next() {
             Some("gen") => trace_gen(&parsed),
@@ -282,6 +285,77 @@ fn load_scenario_state(parsed: &Parsed) -> Result<(ScenarioSpec, SystemState), C
     let absolute = spec.absolute_matrix().map_err(|e| CliError::Domain(e.to_string()))?;
     let state = SystemState::new(flow, absolute, avail)?;
     Ok((spec, state))
+}
+
+/// Derive the hierarchical enforcement structure of a scenario: mutual
+/// sharing groups plus the inter-group aggregate matrix, exactly as
+/// `HierarchicalScheduler::auto` would partition it.
+fn partition(parsed: &Parsed) -> Result<String, CliError> {
+    parsed.reject_unknown(&["scenario", "min-share", "max-group", "json"])?;
+    let path = parsed.required("scenario")?;
+    let text = std::fs::read_to_string(path)?;
+    let spec: ScenarioSpec = serde_json::from_str(&text)?;
+    let s = spec.agreement_matrix().map_err(|e| CliError::Domain(e.to_string()))?;
+    let defaults = PartitionOptions::default();
+    let opts = PartitionOptions {
+        min_mutual_share: parsed.parse_or(
+            "min-share",
+            defaults.min_mutual_share,
+            "fraction in (0, 1]",
+        )?,
+        max_group_size: parsed.parse_or("max-group", defaults.max_group_size, "positive size")?,
+    };
+    let p = auto_partition(&s, &opts).map_err(|e| CliError::Domain(e.to_string()))?;
+    let g = p.num_groups();
+    if parsed.flag("json") {
+        #[derive(serde::Serialize)]
+        struct PartitionDoc {
+            principals: usize,
+            min_mutual_share: f64,
+            max_group_size: usize,
+            groups: Vec<Vec<usize>>,
+            inter: Vec<Vec<f64>>,
+        }
+        let doc = PartitionDoc {
+            principals: s.n(),
+            min_mutual_share: opts.min_mutual_share,
+            max_group_size: opts.max_group_size,
+            inter: (0..g).map(|i| (0..g).map(|j| p.inter.get(i, j)).collect()).collect(),
+            groups: p.groups,
+        };
+        return Ok(serde_json::to_string_pretty(&doc)? + "\n");
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} principals -> {g} groups (min mutual share {:.2}, max group size {})",
+        s.n(),
+        opts.min_mutual_share,
+        opts.max_group_size
+    )
+    .unwrap();
+    for (i, members) in p.groups.iter().enumerate() {
+        let list: Vec<String> = members.iter().map(|m| m.to_string()).collect();
+        writeln!(out, "group {i}: {}", list.join(", ")).unwrap();
+    }
+    writeln!(out, "inter-group aggregates:").unwrap();
+    write!(out, "{:>8}", "").unwrap();
+    for j in 0..g {
+        write!(out, " {:>7}", format!("g{j}")).unwrap();
+    }
+    out.push('\n');
+    for i in 0..g {
+        write!(out, "{:>8}", format!("g{i}")).unwrap();
+        for j in 0..g {
+            if i == j {
+                write!(out, " {:>7}", "-").unwrap();
+            } else {
+                write!(out, " {:>7.3}", p.inter.get(i, j)).unwrap();
+            }
+        }
+        out.push('\n');
+    }
+    Ok(out)
 }
 
 fn capacity(parsed: &Parsed) -> Result<String, CliError> {
@@ -633,6 +707,43 @@ mod tests {
         )
         .unwrap();
         path
+    }
+
+    #[test]
+    fn partition_command_reports_groups() {
+        let path = tmp("partition.json");
+        std::fs::write(
+            &path,
+            r#"{"n": 4, "shares": [
+                {"from": 0, "to": 1, "share": 0.8}, {"from": 1, "to": 0, "share": 0.8},
+                {"from": 2, "to": 3, "share": 0.8}, {"from": 3, "to": 2, "share": 0.8},
+                {"from": 0, "to": 2, "share": 0.2}, {"from": 2, "to": 0, "share": 0.2}
+            ]}"#,
+        )
+        .unwrap();
+        let out = run(&["partition", "--scenario", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("4 principals -> 2 groups"), "{out}");
+        assert!(out.contains("group 0: 0, 1"), "{out}");
+        assert!(out.contains("group 1: 2, 3"), "{out}");
+        let json = run(&["partition", "--scenario", path.to_str().unwrap(), "--json"]).unwrap();
+        #[derive(serde::Deserialize)]
+        struct Doc {
+            groups: Vec<Vec<usize>>,
+            inter: Vec<Vec<f64>>,
+        }
+        let doc: Doc = serde_json::from_str(&json).unwrap();
+        assert_eq!(doc.groups[1], vec![2, 3]);
+        // 0→2 carries 0.2, so the g0→g1 aggregate is 0.2 averaged over
+        // g0's two members.
+        assert!((doc.inter[0][1] - 0.1).abs() < 1e-12, "{json}");
+        // A tighter mutual threshold dissolves the weak 0.8 edges too.
+        let singles =
+            run(&["partition", "--scenario", path.to_str().unwrap(), "--min-share", "0.9"])
+                .unwrap();
+        assert!(singles.contains("-> 4 groups"), "{singles}");
+        // Bad options surface as domain errors, not panics.
+        assert!(run(&["partition", "--scenario", path.to_str().unwrap(), "--min-share", "1.5",])
+            .is_err());
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub enum FlowError {
         /// Its total promised share.
         sum: f64,
     },
+    /// Auto-partitioning was given unusable options.
+    InvalidPartition {
+        /// What was wrong with the request.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -45,6 +50,9 @@ impl fmt::Display for FlowError {
             }
             FlowError::RowSumExceeded { row, sum } => {
                 write!(f, "row {row} shares {sum:.4} > 1 with overdraft disallowed")
+            }
+            FlowError::InvalidPartition { reason } => {
+                write!(f, "invalid partition request: {reason}")
             }
         }
     }

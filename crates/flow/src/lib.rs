@@ -56,6 +56,7 @@ pub mod capacity;
 pub mod error;
 pub mod incremental;
 pub mod matrix;
+pub mod partition;
 pub mod paths;
 pub mod structures;
 pub mod transitive;
@@ -64,6 +65,7 @@ pub use capacity::{capacities, CapacityReport};
 pub use error::FlowError;
 pub use incremental::IncrementalFlow;
 pub use matrix::{AbsoluteMatrix, AgreementMatrix};
+pub use partition::{auto_partition, AutoPartition, PartitionOptions};
 pub use paths::{chains_between, Chain};
 pub use structures::Structure;
 pub use transitive::{TransitiveFlow, TransitiveOptions};

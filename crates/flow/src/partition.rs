@@ -1,0 +1,355 @@
+//! Structure-aware auto-partitioning of an agreement economy.
+//!
+//! The hierarchical scheduler (paper §3.2) needs a partition of principals
+//! into groups plus a group-level *aggregate* agreement matrix. Until now
+//! callers wrote both by hand, which does not survive past toy sizes: at
+//! n = 1000 nobody is going to maintain a 125-group partition manually.
+//! [`auto_partition`] derives both directly from the `AgreementMatrix`.
+//!
+//! # Heuristic
+//!
+//! A group should be a set of principals whose resources are mutually
+//! reachable at (near) full strength — that is what lets the fine LP treat
+//! every member's availability as available to every other member. We
+//! therefore build an undirected graph with an edge `i ~ j` whenever the
+//! *mutual* share `min(S[i][j], S[j][i])` reaches
+//! [`PartitionOptions::min_mutual_share`], and take connected components.
+//! One-directional links (e.g. the representative chain of
+//! [`crate::Structure::Hierarchical`]) never merge groups: a group must be
+//! symmetric to be refined symmetrically.
+//!
+//! Components larger than [`PartitionOptions::max_group_size`] are split
+//! into consecutive chunks in ascending principal order, capping the fine
+//! LP size (the whole point of the multigrid scheme is that no solve is
+//! `O(n)`).
+//!
+//! # Determinism contract
+//!
+//! The output is a pure function of the matrix and options: groups are
+//! ordered by their smallest member, members ascend within each group, and
+//! the aggregate matrix is filled in that fixed order. Two runs — or two
+//! federated sites — given the same economy derive the *same* partition,
+//! which the differential test oracle (and the chaos suite) rely on.
+//!
+//! # Aggregate matrix
+//!
+//! For groups `g ≠ h`, the exported fraction is
+//!
+//! ```text
+//! inter[g][h] = (Σ_{k ∈ g} max_{j ∈ h} S[k][j]) / |g|
+//! ```
+//!
+//! i.e. each member of `g` can export at most its strongest single
+//! agreement into `h`, and the group-level share is the availability-
+//! weighted fraction under the uniform-availability assumption. For
+//! uniform block structures (every member of `g` shares `β` with members
+//! of `h`) this is exact: the group exports `β · V_g`. For ragged
+//! structures it is a heuristic summary — the coarse LP splits draws
+//! between groups, and the fine LP never exceeds true per-member
+//! availability, so aggregate error costs optimality, not soundness.
+
+use crate::error::FlowError;
+use crate::matrix::AgreementMatrix;
+
+/// Tuning knobs for [`auto_partition`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionOptions {
+    /// Minimum *mutual* share `min(S[i][j], S[j][i])` for two principals
+    /// to be grouped together. Default `0.5`: the complete-sharing blocks
+    /// of the paper's hierarchical taxonomy use intra shares near 1,
+    /// while inter-group agreements sit well below one half.
+    pub min_mutual_share: f64,
+    /// Upper bound on group size; larger connected components are split
+    /// into consecutive chunks. Default `64` keeps every fine LP small
+    /// enough that its dense simplex stays cache-resident.
+    pub max_group_size: usize,
+}
+
+impl Default for PartitionOptions {
+    fn default() -> Self {
+        PartitionOptions { min_mutual_share: 0.5, max_group_size: 64 }
+    }
+}
+
+/// The result of [`auto_partition`]: a partition of `0..n` plus the
+/// group-level aggregate agreement matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoPartition {
+    /// Groups ordered by smallest member; members ascend within a group.
+    pub groups: Vec<Vec<usize>>,
+    /// `member_of[i]` is the group index of principal `i`.
+    pub member_of: Vec<usize>,
+    /// Group-level aggregate agreement matrix (`inter.n() == groups.len()`).
+    pub inter: AgreementMatrix,
+}
+
+impl AutoPartition {
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Extract the per-group intra agreement submatrices (in group order),
+    /// re-indexed to local member positions. `TwoLevelGrm` hands one of
+    /// these to each group-local GRM.
+    pub fn intra_matrices(&self, s: &AgreementMatrix) -> Result<Vec<AgreementMatrix>, FlowError> {
+        if s.n() != self.member_of.len() {
+            return Err(FlowError::OutOfRange { index: s.n(), n: self.member_of.len() });
+        }
+        let mut out = Vec::with_capacity(self.groups.len());
+        for members in &self.groups {
+            let mut sub = AgreementMatrix::zeros(members.len());
+            for (li, &i) in members.iter().enumerate() {
+                for (lj, &j) in members.iter().enumerate() {
+                    if li != lj {
+                        let w = s.get(i, j);
+                        if w > 0.0 {
+                            sub.set(li, lj, w)?;
+                        }
+                    }
+                }
+            }
+            out.push(sub);
+        }
+        Ok(out)
+    }
+}
+
+/// Minimal union–find over `0..n` (path halving + union by size).
+struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect(), size: vec![1; n] }
+    }
+
+    fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+    }
+}
+
+/// Derive a hierarchical partition and its aggregate inter-group matrix
+/// from an agreement economy (see module docs for the heuristic and the
+/// determinism contract).
+///
+/// Errors when `min_mutual_share` is not in `(0, 1]` or `max_group_size`
+/// is zero.
+pub fn auto_partition(
+    s: &AgreementMatrix,
+    opts: &PartitionOptions,
+) -> Result<AutoPartition, FlowError> {
+    if !(opts.min_mutual_share > 0.0 && opts.min_mutual_share <= 1.0) {
+        return Err(FlowError::InvalidShare { value: opts.min_mutual_share });
+    }
+    if opts.max_group_size == 0 {
+        return Err(FlowError::InvalidPartition { reason: "max_group_size must be at least 1" });
+    }
+    let n = s.n();
+
+    // Connected components of the mutual-edge graph. `edges()` yields only
+    // stored (nonzero) entries, so this is O(E α(n)), not O(n²).
+    let mut uf = UnionFind::new(n);
+    for (i, j, w) in s.edges() {
+        if i < j && w.min(s.get(j, i)) >= opts.min_mutual_share {
+            uf.union(i, j);
+        }
+    }
+
+    // Bucket members by component, components ordered by smallest member
+    // (first-seen while scanning ascending i), members ascending within.
+    let mut bucket_of = vec![usize::MAX; n];
+    let mut buckets: Vec<Vec<usize>> = Vec::new();
+    for i in 0..n {
+        let root = uf.find(i);
+        let b = if bucket_of[root] == usize::MAX {
+            bucket_of[root] = buckets.len();
+            buckets.push(Vec::new());
+            bucket_of[root]
+        } else {
+            bucket_of[root]
+        };
+        buckets[b].push(i);
+    }
+
+    // Size cap: split oversized components into consecutive ascending
+    // chunks, preserving overall group order.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for bucket in buckets {
+        if bucket.len() <= opts.max_group_size {
+            groups.push(bucket);
+        } else {
+            for chunk in bucket.chunks(opts.max_group_size) {
+                groups.push(chunk.to_vec());
+            }
+        }
+    }
+
+    let mut member_of = vec![usize::MAX; n];
+    for (g, members) in groups.iter().enumerate() {
+        for &m in members {
+            member_of[m] = g;
+        }
+    }
+
+    // Aggregate inter-group matrix: mean over members of g of the
+    // strongest single agreement into h (exact for uniform blocks).
+    let ng = groups.len();
+    let mut inter = AgreementMatrix::zeros(ng);
+    for g in 0..ng {
+        for h in 0..ng {
+            if g == h {
+                continue;
+            }
+            let mut sum = 0.0;
+            for &k in &groups[g] {
+                let mut best = 0.0f64;
+                for &j in &groups[h] {
+                    best = best.max(s.get(k, j));
+                }
+                sum += best;
+            }
+            let share = sum / groups[g].len() as f64;
+            if share > 0.0 {
+                inter.set(g, h, share.min(1.0))?;
+            }
+        }
+    }
+
+    Ok(AutoPartition { groups, member_of, inter })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structures::Structure;
+
+    /// Two blocks of 3 with intra share 1.0 and a uniform cross share β.
+    fn two_block(beta: f64) -> AgreementMatrix {
+        let mut s = AgreementMatrix::zeros(6);
+        for g in [0usize, 3] {
+            for i in g..g + 3 {
+                for j in g..g + 3 {
+                    if i != j {
+                        s.set(i, j, 1.0).unwrap();
+                    }
+                }
+            }
+        }
+        for i in 0..3 {
+            for j in 3..6 {
+                s.set(i, j, beta).unwrap();
+                s.set(j, i, beta).unwrap();
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn detects_uniform_blocks_and_exact_aggregate() {
+        let s = two_block(0.25);
+        let p = auto_partition(&s, &PartitionOptions::default()).unwrap();
+        assert_eq!(p.groups, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+        assert_eq!(p.member_of, vec![0, 0, 0, 1, 1, 1]);
+        assert!((p.inter.get(0, 1) - 0.25).abs() < 1e-12);
+        assert!((p.inter.get(1, 0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutual_threshold_requires_both_directions() {
+        let mut s = AgreementMatrix::zeros(2);
+        s.set(0, 1, 0.9).unwrap();
+        // One-directional: no merge.
+        let p = auto_partition(&s, &PartitionOptions::default()).unwrap();
+        assert_eq!(p.num_groups(), 2);
+        s.set(1, 0, 0.9).unwrap();
+        let p = auto_partition(&s, &PartitionOptions::default()).unwrap();
+        assert_eq!(p.num_groups(), 1);
+    }
+
+    #[test]
+    fn hierarchical_structure_rep_links_do_not_merge_groups() {
+        // Structure::Hierarchical wires group representatives into a
+        // one-directional ring; the mutual-edge rule must keep the groups
+        // apart.
+        let s = Structure::Hierarchical { n: 12, group_size: 4, intra: 1.0, inter: 0.9 }
+            .build()
+            .unwrap();
+        let p = auto_partition(&s, &PartitionOptions::default()).unwrap();
+        assert_eq!(p.groups, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9, 10, 11]]);
+    }
+
+    #[test]
+    fn size_cap_splits_components_in_ascending_chunks() {
+        let s = Structure::Complete { n: 10, share: 1.0 }.build().unwrap();
+        let p = auto_partition(&s, &PartitionOptions { min_mutual_share: 0.5, max_group_size: 4 })
+            .unwrap();
+        assert_eq!(p.groups, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]);
+        // Chunks of one component share at full strength.
+        assert!(p.inter.get(0, 1) >= 0.999);
+    }
+
+    #[test]
+    fn isolated_principals_become_singletons() {
+        let mut s = AgreementMatrix::zeros(4);
+        s.set(0, 1, 1.0).unwrap();
+        s.set(1, 0, 1.0).unwrap();
+        let p = auto_partition(&s, &PartitionOptions::default()).unwrap();
+        assert_eq!(p.groups, vec![vec![0, 1], vec![2], vec![3]]);
+        assert_eq!(p.inter.get(1, 2), 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let s = Structure::SparseRandom { n: 24, share: 0.8, p: 0.15, seed: 7 }.build().unwrap();
+        let a = auto_partition(&s, &PartitionOptions::default()).unwrap();
+        let b = auto_partition(&s, &PartitionOptions::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_options() {
+        let s = AgreementMatrix::zeros(2);
+        assert!(auto_partition(&s, &PartitionOptions { min_mutual_share: 0.0, max_group_size: 4 })
+            .is_err());
+        assert!(auto_partition(&s, &PartitionOptions { min_mutual_share: 1.5, max_group_size: 4 })
+            .is_err());
+        assert!(auto_partition(&s, &PartitionOptions { min_mutual_share: 0.5, max_group_size: 0 })
+            .is_err());
+    }
+
+    #[test]
+    fn intra_matrices_reindex_to_local_positions() {
+        let s = two_block(0.25);
+        let p = auto_partition(&s, &PartitionOptions::default()).unwrap();
+        let intra = p.intra_matrices(&s).unwrap();
+        assert_eq!(intra.len(), 2);
+        for sub in &intra {
+            assert_eq!(sub.n(), 3);
+            for i in 0..3 {
+                for j in 0..3 {
+                    let want = if i == j { 0.0 } else { 1.0 };
+                    assert_eq!(sub.get(i, j), want);
+                }
+            }
+        }
+        // Dimension mismatch is rejected.
+        assert!(p.intra_matrices(&AgreementMatrix::zeros(5)).is_err());
+    }
+}

@@ -2,9 +2,15 @@
 //! multigrid refinement, distributed across managers).
 
 use crate::server::{GrmError, GrmHandle, GrmServer};
+use agreements_flow::partition::{auto_partition, PartitionOptions};
 use agreements_flow::AgreementMatrix;
 use agreements_sched::hierarchy::HierarchicalScheduler;
 use agreements_sched::{Allocation, SchedError};
+
+/// Auto-built federations with at least this many groups enable parallel
+/// fine solves: below it, the scoped-thread fan-out costs more than the
+/// handful of tiny LPs it hides.
+const PARALLEL_FINE_GROUPS: usize = 8;
 
 /// A root coordinator over per-group GRMs.
 ///
@@ -33,6 +39,41 @@ impl TwoLevelGrm {
         level: usize,
     ) -> Result<Self, SchedError> {
         Self::with_spawner(groups, intra, inter, level, |m, lvl, _g| GrmServer::spawn(m, lvl))
+    }
+
+    /// Build directly from a flat agreement economy: the partition, the
+    /// per-group intra matrices, and the aggregate inter matrix are all
+    /// derived by [`agreements_flow::auto_partition`]. Federations with
+    /// many groups get parallel fine solves switched on.
+    pub fn new_auto(
+        s: &AgreementMatrix,
+        opts: &PartitionOptions,
+        level: usize,
+    ) -> Result<Self, SchedError> {
+        let p = auto_partition(s, opts).map_err(SchedError::Flow)?;
+        let intra = p.intra_matrices(s).map_err(SchedError::Flow)?;
+        let mut grm = Self::new(p.groups, intra, &p.inter, level)?;
+        if grm.sched.num_groups() >= PARALLEL_FINE_GROUPS {
+            grm.sched.set_parallel_fine(true);
+        }
+        Ok(grm)
+    }
+
+    /// [`TwoLevelGrm::new_auto`] with every group GRM's client link run
+    /// through `plane` (as in [`TwoLevelGrm::new_chaotic`]).
+    pub fn new_auto_chaotic(
+        s: &AgreementMatrix,
+        opts: &PartitionOptions,
+        level: usize,
+        plane: &agreements_faults::FaultPlane,
+    ) -> Result<Self, SchedError> {
+        let p = auto_partition(s, opts).map_err(SchedError::Flow)?;
+        let intra = p.intra_matrices(s).map_err(SchedError::Flow)?;
+        let mut grm = Self::new_chaotic(p.groups, intra, &p.inter, level, plane)?;
+        if grm.sched.num_groups() >= PARALLEL_FINE_GROUPS {
+            grm.sched.set_parallel_fine(true);
+        }
+        Ok(grm)
     }
 
     /// Like [`TwoLevelGrm::new`], but every group GRM's client link runs
@@ -83,6 +124,16 @@ impl TwoLevelGrm {
     /// Handle to a group's GRM (for LRM registration and reports).
     pub fn group_handle(&self, group: usize) -> GrmHandle {
         self.group_grms[group].handle()
+    }
+
+    /// The partition this federation runs over.
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// Number of group GRMs.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
     }
 
     /// The group of a principal.
@@ -248,6 +299,47 @@ mod tests {
         assert_eq!(a.draws, b.draws, "inert plane must be transparent");
         chaotic.shutdown();
         plain.shutdown();
+    }
+
+    #[test]
+    fn auto_federation_matches_hand_built() {
+        // Flat economy: two complete blocks (intra 1.0) with a uniform
+        // 25% cross share. new_auto must derive the same federation a
+        // hand partition describes, and route identically.
+        let mut s = AgreementMatrix::zeros(6);
+        for g in [0usize, 3] {
+            for i in g..g + 3 {
+                for j in g..g + 3 {
+                    if i != j {
+                        s.set(i, j, 1.0).unwrap();
+                    }
+                }
+            }
+        }
+        for i in 0..3 {
+            for j in 3..6 {
+                s.set(i, j, 0.25).unwrap();
+                s.set(j, i, 0.25).unwrap();
+            }
+        }
+        let auto = TwoLevelGrm::new_auto(&s, &PartitionOptions::default(), 1).unwrap();
+        assert_eq!(auto.groups(), &[vec![0, 1, 2], vec![3, 4, 5]]);
+
+        let groups = vec![vec![0, 1, 2], vec![3, 4, 5]];
+        let intra = vec![complete(3, 1.0), complete(3, 1.0)];
+        let mut inter = AgreementMatrix::zeros(2);
+        inter.set(0, 1, 0.25).unwrap();
+        inter.set(1, 0, 0.25).unwrap();
+        let hand = TwoLevelGrm::new(groups, intra, &inter, 1).unwrap();
+
+        let pools = [2.0, 2.0, 2.0, 10.0, 10.0, 10.0];
+        seed_availability(&auto, &pools);
+        seed_availability(&hand, &pools);
+        let a = auto.request(0, 9.0).unwrap();
+        let b = hand.request(0, 9.0).unwrap();
+        assert_eq!(a.draws, b.draws);
+        auto.shutdown();
+        hand.shutdown();
     }
 
     #[test]

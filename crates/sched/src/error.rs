@@ -1,5 +1,6 @@
 //! Scheduler error type.
 
+use agreements_flow::FlowError;
 use agreements_lp::LpError;
 use std::fmt;
 
@@ -39,6 +40,14 @@ pub enum SchedError {
         /// Actual dimension supplied.
         got: usize,
     },
+    /// A hierarchical partition contained an empty group.
+    EmptyGroup {
+        /// Index of the offending group.
+        group: usize,
+    },
+    /// An agreement-matrix operation failed (partition derivation or
+    /// coarse-flow renegotiation).
+    Flow(FlowError),
 }
 
 impl fmt::Display for SchedError {
@@ -58,6 +67,10 @@ impl fmt::Display for SchedError {
             SchedError::DimensionMismatch { expected, got } => {
                 write!(f, "dimension mismatch: expected {expected}, got {got}")
             }
+            SchedError::EmptyGroup { group } => {
+                write!(f, "group {group} of the hierarchical partition is empty")
+            }
+            SchedError::Flow(e) => write!(f, "agreement matrix operation failed: {e}"),
         }
     }
 }
@@ -66,6 +79,7 @@ impl std::error::Error for SchedError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SchedError::Lp(e) => Some(e),
+            SchedError::Flow(e) => Some(e),
             _ => None,
         }
     }

@@ -1,4 +1,4 @@
-//! Hierarchical multigrid allocation (paper §3.2).
+//! Hierarchical multigrid allocation (paper §3.2), scaled out.
 //!
 //! For the "hierarchical" agreement taxonomy — complete sharing inside
 //! groups, sparse agreements between groups — the paper suggests a
@@ -7,30 +7,213 @@
 //! the draw across groups, then a *fine* LP inside each contributing group
 //! to pick the actual owners. This keeps each LP at group size rather
 //! than system size.
+//!
+//! This module is the scale-out revision of that scheduler:
+//!
+//! - **Auto-partitioning** ([`HierarchicalScheduler::auto`]): the partition
+//!   and the aggregate inter-group matrix are derived straight from the
+//!   `AgreementMatrix` by [`agreements_flow::auto_partition`] — no hand
+//!   partitions at n = 1000.
+//! - **Pooled fine solvers**: each group owns a persistent
+//!   [`SimplexWorkspace`] plus a cached standard-form skeleton of its
+//!   min-max refinement LP (the PR 1 pattern), so the steady state
+//!   performs no model construction and no heap allocation beyond the
+//!   per-group draw vector.
+//! - **Parallel fine solves** ([`HierarchicalScheduler::set_parallel_fine`]):
+//!   contributing groups refine concurrently on scoped threads, merged in
+//!   ascending group order. Groups are disjoint and per-group solves are
+//!   cold-started and deterministic, so parallel results are bit-identical
+//!   to sequential — property-tested in `tests/proptest_scale.rs`.
+//! - **Incremental coarse flow**: the group-level transitive flow is
+//!   maintained through [`IncrementalFlow`], so an agreement renegotiation
+//!   ([`HierarchicalScheduler::set_inter`]) repairs only the dirty rows
+//!   instead of recomputing the closure.
 
 use crate::error::SchedError;
-use crate::lp_model::{solve_allocation, Formulation};
+use crate::lp_model::{solve_allocation, Formulation, DRAW_EPS};
 use crate::state::{Allocation, SystemState};
-use agreements_flow::{AgreementMatrix, TransitiveFlow};
-use agreements_lp::{Problem, Relation, Sense, SimplexOptions, VarId};
+use agreements_flow::partition::{auto_partition, PartitionOptions};
+use agreements_flow::{AgreementMatrix, IncrementalFlow};
+use agreements_lp::{solve_bounded_with, LpError, SimplexOptions, SimplexWorkspace};
+use agreements_telemetry::{HistKind, Telemetry};
+use parking_lot::Mutex;
+use std::fmt;
+
+/// A per-group fine solver: persistent simplex workspace plus the cached
+/// standard form of the group's min-max refinement LP
+///
+/// ```text
+/// min θ  s.t.  Σ_i d_i = amount,   d_i − θ ≤ 0,   0 ≤ d_i ≤ avail_i
+/// ```
+///
+/// Column layout (the `AllocationSolver` skeleton convention): one column
+/// per member with positive availability (ascending member order), then
+/// θ, then one slack per drop row. Zero-availability members are
+/// substituted out, so the skeleton is keyed on that pattern and rebuilt
+/// only when it changes. Warm starting stays off: every solve is a cold
+/// start, which is what makes parallel and sequential refinement
+/// bit-identical.
+struct GroupSolver {
+    ws: SimplexWorkspace,
+    /// Zero-availability pattern the skeleton was built for.
+    fixed: Vec<bool>,
+    /// Standard-form column of each member's draw variable.
+    col_of: Vec<Option<usize>>,
+    a: Vec<Vec<f64>>,
+    b: Vec<f64>,
+    c: Vec<f64>,
+    upper: Vec<f64>,
+    num_structural: usize,
+    built: bool,
+}
+
+impl GroupSolver {
+    fn new() -> Self {
+        GroupSolver {
+            ws: SimplexWorkspace::new(),
+            fixed: Vec::new(),
+            col_of: Vec::new(),
+            a: Vec::new(),
+            b: Vec::new(),
+            c: Vec::new(),
+            upper: Vec::new(),
+            num_structural: 0,
+            built: false,
+        }
+    }
+
+    fn skeleton_is_current(&self, mavail: &[f64]) -> bool {
+        self.built
+            && self.fixed.len() == mavail.len()
+            && mavail.iter().zip(&self.fixed).all(|(&v, &f)| f == (v.max(0.0) == 0.0))
+    }
+
+    fn rebuild(&mut self, mavail: &[f64]) {
+        let m = mavail.len();
+        self.fixed.clear();
+        self.col_of.clear();
+        let mut col = 0usize;
+        for &v in mavail {
+            let is_fixed = v.max(0.0) == 0.0;
+            self.fixed.push(is_fixed);
+            if is_fixed {
+                self.col_of.push(None);
+            } else {
+                self.col_of.push(Some(col));
+                col += 1;
+            }
+        }
+        let k = col;
+        let theta_col = k;
+        let num_structural = k + 1;
+        let rows = 1 + k;
+        let total = num_structural + k;
+
+        self.a.resize_with(rows, Vec::new);
+        self.a.truncate(rows);
+        for row in &mut self.a {
+            row.clear();
+            row.resize(total, 0.0);
+        }
+        self.b.clear();
+        self.b.resize(rows, 0.0);
+        // Row 0: Σ d_i = amount (rhs rewritten per solve).
+        for i in 0..m {
+            if let Some(c) = self.col_of[i] {
+                self.a[0][c] = 1.0;
+            }
+        }
+        // Rows 1..=k: d_t − θ + s_t = 0 for each active member t.
+        for t in 0..k {
+            self.a[1 + t][t] = 1.0;
+            self.a[1 + t][theta_col] = -1.0;
+            self.a[1 + t][num_structural + t] = 1.0;
+        }
+        self.c.clear();
+        self.c.resize(total, 0.0);
+        self.c[theta_col] = 1.0;
+        self.upper.clear();
+        self.upper.resize(total, f64::INFINITY);
+        self.num_structural = num_structural;
+        self.built = true;
+        // A rebuilt skeleton is a different model; never seed it from an
+        // old basis (fine solves are cold anyway — defense in depth).
+        self.ws.invalidate_warm_start();
+    }
+
+    /// Solve the refinement LP; returns per-member draws (group-local
+    /// order), with sub-`DRAW_EPS` dust zeroed like the flat path.
+    fn solve(
+        &mut self,
+        mavail: &[f64],
+        amount: f64,
+        opts: &SimplexOptions,
+    ) -> Result<Vec<f64>, LpError> {
+        if !self.skeleton_is_current(mavail) {
+            self.rebuild(mavail);
+        }
+        self.b[0] = amount;
+        for (i, &v) in mavail.iter().enumerate() {
+            if let Some(c) = self.col_of[i] {
+                self.upper[c] = v.max(0.0);
+            }
+        }
+        let sol = solve_bounded_with(
+            &mut self.ws,
+            &self.a,
+            &self.b,
+            &self.c,
+            &self.upper,
+            self.num_structural,
+            opts,
+        )?;
+        Ok((0..mavail.len())
+            .map(|i| {
+                self.col_of[i].map_or(0.0, |c| {
+                    let d = sol.x[c];
+                    if d < DRAW_EPS {
+                        0.0
+                    } else {
+                        d
+                    }
+                })
+            })
+            .collect())
+    }
+}
 
 /// Hierarchical scheduler: a partition of principals into groups plus the
-/// group-level agreement matrix.
-#[derive(Debug, Clone)]
+/// group-level agreement matrix (see module docs).
 pub struct HierarchicalScheduler {
     groups: Vec<Vec<usize>>,
     /// Which group each principal belongs to.
     member_of: Vec<usize>,
-    /// Group-level transitive flow (from the inter-group agreement
-    /// matrix).
-    coarse_flow: TransitiveFlow,
+    /// Group-level transitive flow, incrementally maintained across
+    /// [`Self::set_inter`] renegotiations. Behind a mutex because
+    /// `snapshot()` caches through `&mut self` while `allocate` takes
+    /// `&self` (the GRM serves through a shared handle).
+    coarse: Mutex<IncrementalFlow>,
+    /// One pooled fine solver per group, individually locked so parallel
+    /// refinement of disjoint groups never contends.
+    fine: Vec<Mutex<GroupSolver>>,
     opts: SimplexOptions,
+    parallel_fine: bool,
+    telemetry: Telemetry,
+}
+
+impl fmt::Debug for HierarchicalScheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HierarchicalScheduler")
+            .field("groups", &self.groups)
+            .field("parallel_fine", &self.parallel_fine)
+            .finish_non_exhaustive()
+    }
 }
 
 impl HierarchicalScheduler {
     /// Build from a partition and the inter-group agreement matrix.
     /// `inter.n()` must equal `groups.len()`; groups must partition
-    /// `0..n` exactly.
+    /// `0..n` exactly and be non-empty.
     pub fn new(
         groups: Vec<Vec<usize>>,
         inter: &AgreementMatrix,
@@ -42,6 +225,9 @@ impl HierarchicalScheduler {
         let n: usize = groups.iter().map(Vec::len).sum();
         let mut member_of = vec![usize::MAX; n];
         for (g, members) in groups.iter().enumerate() {
+            if members.is_empty() {
+                return Err(SchedError::EmptyGroup { group: g });
+            }
             for &m in members {
                 if m >= n || member_of[m] != usize::MAX {
                     return Err(SchedError::UnknownPrincipal { index: m, n });
@@ -52,18 +238,78 @@ impl HierarchicalScheduler {
         if member_of.contains(&usize::MAX) {
             return Err(SchedError::DimensionMismatch { expected: n, got: 0 });
         }
-        let coarse_flow = TransitiveFlow::compute(inter, level);
+        let coarse = Mutex::new(IncrementalFlow::new(inter.clone(), level));
+        let fine = groups.iter().map(|_| Mutex::new(GroupSolver::new())).collect();
         Ok(HierarchicalScheduler {
             groups,
             member_of,
-            coarse_flow,
+            coarse,
+            fine,
             opts: SimplexOptions::default(),
+            parallel_fine: false,
+            telemetry: Telemetry::default(),
         })
+    }
+
+    /// Build directly from an agreement economy: derive the partition and
+    /// the aggregate inter-group matrix with
+    /// [`agreements_flow::auto_partition`], then construct the scheduler
+    /// over them. `level` is the coarse transitivity cap.
+    pub fn auto(
+        s: &AgreementMatrix,
+        opts: &PartitionOptions,
+        level: usize,
+    ) -> Result<Self, SchedError> {
+        let p = auto_partition(s, opts).map_err(SchedError::Flow)?;
+        Self::new(p.groups, &p.inter, level)
     }
 
     /// Number of groups.
     pub fn num_groups(&self) -> usize {
         self.groups.len()
+    }
+
+    /// The partition (groups ordered as constructed, members ascending
+    /// when built via [`Self::auto`]).
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// Which group `principal` belongs to.
+    pub fn group_of(&self, principal: usize) -> Option<usize> {
+        self.member_of.get(principal).copied()
+    }
+
+    /// Fan fine solves of contributing groups out onto scoped threads.
+    /// Off by default: the fan-out pays off when the coarse LP regularly
+    /// touches many groups, not for home-group-only traffic. Results are
+    /// bit-identical either way.
+    pub fn set_parallel_fine(&mut self, on: bool) {
+        self.parallel_fine = on;
+    }
+
+    /// Whether parallel fine solves are enabled.
+    pub fn parallel_fine(&self) -> bool {
+        self.parallel_fine
+    }
+
+    /// Attach a telemetry plane: coarse/fine LP solve spans land in the
+    /// [`HistKind::LpSolveSeconds`] histogram, and `hier.home_hits` /
+    /// `hier.coarse_solves` / `hier.fine_solves` count path traffic.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Renegotiate one inter-group agreement: `from_group` now shares
+    /// `share` of its aggregate with `to_group`. The coarse flow is
+    /// repaired incrementally; returns the number of flow rows recomputed.
+    pub fn set_inter(
+        &mut self,
+        from_group: usize,
+        to_group: usize,
+        share: f64,
+    ) -> Result<usize, SchedError> {
+        self.coarse.get_mut().set(from_group, to_group, share).map_err(SchedError::Flow)
     }
 
     /// Allocate `x` units to `requester` given current per-principal
@@ -92,7 +338,10 @@ impl HierarchicalScheduler {
         let mut draws = vec![0.0; n];
         if home_avail + 1e-12 >= x {
             // Fine LP inside the home group only.
-            self.refine_group(home, availability, x, &mut draws)?;
+            self.telemetry.add("hier.home_hits", 1);
+            if x > 0.0 {
+                self.refine_group(home, availability, x.min(home_avail), &mut draws)?;
+            }
             let theta = draws.iter().cloned().fold(0.0, f64::max);
             return Ok(Allocation { requester, amount: x, draws, theta });
         }
@@ -102,12 +351,33 @@ impl HierarchicalScheduler {
         let g = self.groups.len();
         let group_avail: Vec<f64> =
             (0..g).map(|gi| self.groups[gi].iter().map(|&m| availability[m]).sum()).collect();
-        let coarse_state = SystemState::new(self.coarse_flow.clone(), None, group_avail)?;
-        let coarse = solve_allocation(&coarse_state, home, x, Formulation::Reduced, &self.opts)?;
+        let coarse_flow = self.coarse.lock().snapshot();
+        let coarse_state = SystemState::new(coarse_flow, None, group_avail.clone())?;
+        self.telemetry.add("hier.coarse_solves", 1);
+        let span = self.telemetry.start();
+        let coarse = solve_allocation(&coarse_state, home, x, Formulation::Reduced, &self.opts)
+            .map_err(|e| match e {
+                SchedError::InsufficientCapacity { capacity, .. } => {
+                    SchedError::InsufficientCapacity { requester, capacity, requested: x }
+                }
+                other => other,
+            })?;
+        self.telemetry.stop(HistKind::LpSolveSeconds, span);
 
-        // Refine each group's share among its members.
-        for (gi, &share) in coarse.draws.iter().enumerate() {
-            if share > 1e-12 {
+        // Refine each group's share among its members. Shares are clamped
+        // to the group's availability: the coarse optimum can overshoot it
+        // by a rounding epsilon, which must not read as infeasibility.
+        let contributing: Vec<(usize, f64)> = coarse
+            .draws
+            .iter()
+            .enumerate()
+            .filter(|&(_, &share)| share > 1e-12)
+            .map(|(gi, &share)| (gi, share.min(group_avail[gi])))
+            .collect();
+        if self.parallel_fine && contributing.len() >= 2 {
+            self.refine_parallel(&contributing, availability, &mut draws)?;
+        } else {
+            for &(gi, share) in &contributing {
                 self.refine_group(gi, availability, share, &mut draws)?;
             }
         }
@@ -117,7 +387,7 @@ impl HierarchicalScheduler {
 
     /// Split `amount` among members of group `gi`, minimizing the largest
     /// single draw (complete sharing inside a group makes every member's
-    /// availability reachable).
+    /// availability reachable), accumulating into the global draw vector.
     fn refine_group(
         &self,
         gi: usize,
@@ -125,30 +395,62 @@ impl HierarchicalScheduler {
         amount: f64,
         draws: &mut [f64],
     ) -> Result<(), SchedError> {
-        let members = &self.groups[gi];
-        let mut p = Problem::new(Sense::Minimize);
-        let vars: Vec<VarId> = members
-            .iter()
-            .map(|&m| p.add_var(&format!("d{m}"), 0.0, availability[m], 0.0))
-            .collect();
-        let theta = p.add_var("theta", 0.0, f64::INFINITY, 1.0);
-        let sum: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
-        p.add_constraint(&sum, Relation::Eq, amount);
-        for &v in &vars {
-            p.add_constraint(&[(v, 1.0), (theta, -1.0)], Relation::Le, 0.0);
+        let local = self.solve_fine(gi, availability, amount)?;
+        for (&m, d) in self.groups[gi].iter().zip(local) {
+            draws[m] += d;
         }
-        let sol = p.solve_with(&self.opts).map_err(|e| match e {
-            agreements_lp::LpError::Infeasible { .. } => SchedError::InsufficientCapacity {
+        Ok(())
+    }
+
+    /// Refine all contributing groups on scoped threads, merging results
+    /// in ascending group order. Each task locks only its own group's
+    /// solver, groups are disjoint, and solves are cold-started, so this
+    /// is bit-identical to the sequential loop (property-tested).
+    fn refine_parallel(
+        &self,
+        contributing: &[(usize, f64)],
+        availability: &[f64],
+        draws: &mut [f64],
+    ) -> Result<(), SchedError> {
+        let results = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = contributing
+                .iter()
+                .map(|&(gi, share)| scope.spawn(move |_| self.solve_fine(gi, availability, share)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("fine solve thread")).collect::<Vec<_>>()
+        })
+        .expect("fine solve scope");
+        for (&(gi, _), result) in contributing.iter().zip(results) {
+            let local = result?;
+            for (&m, d) in self.groups[gi].iter().zip(local) {
+                draws[m] += d;
+            }
+        }
+        Ok(())
+    }
+
+    /// One group's fine solve through its pooled workspace; maps LP
+    /// infeasibility to `InsufficientCapacity` for that group.
+    fn solve_fine(
+        &self,
+        gi: usize,
+        availability: &[f64],
+        amount: f64,
+    ) -> Result<Vec<f64>, SchedError> {
+        let members = &self.groups[gi];
+        let mavail: Vec<f64> = members.iter().map(|&m| availability[m]).collect();
+        self.telemetry.add("hier.fine_solves", 1);
+        let span = self.telemetry.start();
+        let solved = self.fine[gi].lock().solve(&mavail, amount, &self.opts);
+        self.telemetry.stop(HistKind::LpSolveSeconds, span);
+        solved.map_err(|e| match e {
+            LpError::Infeasible { .. } => SchedError::InsufficientCapacity {
                 requester: members[0],
-                capacity: members.iter().map(|&m| availability[m]).sum(),
+                capacity: mavail.iter().sum(),
                 requested: amount,
             },
             other => SchedError::Lp(other),
-        })?;
-        for (&m, &v) in members.iter().zip(&vars) {
-            draws[m] += sol.value(v);
-        }
-        Ok(())
+        })
     }
 }
 
@@ -233,5 +535,92 @@ mod tests {
         let avail = vec![1.0; 6];
         let a = s.allocate(&avail, 2, 0.0).unwrap();
         assert!(a.draws.iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn auto_constructor_matches_hand_partition() {
+        // Two complete blocks with a uniform 25% cross share: auto must
+        // find the hand partition and allocate identically.
+        let mut s = AgreementMatrix::zeros(6);
+        for g in [0usize, 3] {
+            for i in g..g + 3 {
+                for j in g..g + 3 {
+                    if i != j {
+                        s.set(i, j, 1.0).unwrap();
+                    }
+                }
+            }
+        }
+        for i in 0..3 {
+            for j in 3..6 {
+                s.set(i, j, 0.25).unwrap();
+                s.set(j, i, 0.25).unwrap();
+            }
+        }
+        let auto = HierarchicalScheduler::auto(&s, &PartitionOptions::default(), 1).unwrap();
+        assert_eq!(auto.groups(), &[vec![0, 1, 2], vec![3, 4, 5]]);
+
+        let groups = vec![vec![0, 1, 2], vec![3, 4, 5]];
+        let mut inter = AgreementMatrix::zeros(2);
+        inter.set(0, 1, 0.25).unwrap();
+        inter.set(1, 0, 0.25).unwrap();
+        let hand = HierarchicalScheduler::new(groups, &inter, 1).unwrap();
+
+        let avail = vec![1.0, 2.0, 0.5, 8.0, 8.0, 8.0];
+        let a = auto.allocate(&avail, 0, 5.0).unwrap();
+        let b = hand.allocate(&avail, 0, 5.0).unwrap();
+        assert_eq!(a.draws, b.draws);
+        assert_eq!(a.theta, b.theta);
+    }
+
+    #[test]
+    fn set_inter_renegotiation_takes_effect() {
+        let mut s = sched();
+        let avail = vec![0.0, 0.0, 0.0, 4.0, 3.0, 3.0];
+        // 50% of 10 reachable.
+        assert!(s.allocate(&avail, 0, 5.0).is_ok());
+        // Revoke the agreement: nothing reachable across groups.
+        let dirty = s.set_inter(1, 0, 0.0).unwrap();
+        assert!(dirty > 0);
+        assert!(s.allocate(&avail, 0, 1.0).is_err());
+        // Re-grant at 80%: 8 reachable now.
+        s.set_inter(1, 0, 0.8).unwrap();
+        let a = s.allocate(&avail, 0, 8.0).unwrap();
+        assert!((a.draws[3..].iter().sum::<f64>() - 8.0).abs() < EPS);
+    }
+
+    #[test]
+    fn parallel_fine_is_bit_identical() {
+        let mut par = sched();
+        par.set_parallel_fine(true);
+        let seq = sched();
+        let avail = vec![2.0, 1.0, 0.5, 10.0, 7.0, 3.0];
+        let a = seq.allocate(&avail, 0, 10.0).unwrap();
+        let b = par.allocate(&avail, 0, 10.0).unwrap();
+        assert!(a.draws.iter().zip(&b.draws).all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert_eq!(a.theta.to_bits(), b.theta.to_bits());
+    }
+
+    #[test]
+    fn empty_group_rejected() {
+        let mut inter = AgreementMatrix::zeros(2);
+        inter.set(0, 1, 0.5).unwrap();
+        let err = HierarchicalScheduler::new(vec![vec![0, 1], vec![]], &inter, 1).unwrap_err();
+        assert!(matches!(err, SchedError::EmptyGroup { group: 1 }));
+    }
+
+    #[test]
+    fn repeated_allocations_reuse_fine_skeletons() {
+        // Smoke the skeleton-currency path: same pattern of exhausted
+        // members across calls must keep results stable.
+        let s = sched();
+        let mut avail = vec![5.0, 5.0, 5.0, 5.0, 5.0, 5.0];
+        for _ in 0..4 {
+            let a = s.allocate(&avail, 1, 1.5).unwrap();
+            for (v, d) in avail.iter_mut().zip(&a.draws) {
+                *v -= d;
+            }
+            assert!((a.draws.iter().sum::<f64>() - 1.5).abs() < EPS);
+        }
     }
 }

@@ -70,6 +70,7 @@ pub mod state;
 pub use admission::{admission_bound, exceeds_bound, ADMISSION_SLACK};
 pub use error::SchedError;
 pub use explain::{explain_allocation, Explanation};
+pub use hierarchy::HierarchicalScheduler;
 pub use lp_model::Formulation;
 pub use objectives::{CostAwareLpPolicy, FairShareLpPolicy};
 pub use policy::{AllocationPolicy, CachedLpPolicy, GreedyPolicy, LpPolicy, ProportionalPolicy};

@@ -1,0 +1,172 @@
+//! Differential test oracle for the scale-out sharded enforcement plane.
+//!
+//! On *uniform-block* economies — complete sharing at 1.0 inside each
+//! block, a mutual share β < 0.5 between every cross-block pair — the
+//! auto-partitioned hierarchical scheduler is exactly equivalent to the
+//! flat level-1 LP: the home fine solve sees the same full-intra pool
+//! the flat LP sees, and each coarse inter-group aggregate β·A_G equals
+//! the flat LP's per-member sum Σ β·V_m. Every property below holds with
+//! closed-form reach `home + β·(total − home)`, so admit/deny verdicts,
+//! conservation, and parallel/sequential bit-identity are all checkable
+//! against first principles.
+//!
+//! β stays below the 0.5 mutual-share partition threshold so
+//! `auto_partition` recovers exactly the blocks, and requests keep a
+//! multiplicative margin from the reach boundary so FP noise cannot flip
+//! a verdict.
+
+use agreements_flow::{AgreementMatrix, PartitionOptions, TransitiveFlow};
+use agreements_sched::hierarchy::HierarchicalScheduler;
+use agreements_sched::{AllocationSolver, SchedError, SystemState};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+struct ScaleScenario {
+    num_groups: usize,
+    group_size: usize,
+    beta: f64,
+    avail: Vec<f64>,
+    requester: usize,
+    frac: f64,
+    over: bool,
+}
+
+/// Randomized hierarchical-taxonomy systems, n ≤ 64.
+fn arb_scale() -> impl Strategy<Value = ScaleScenario> {
+    (2usize..=8, 2usize..=8).prop_flat_map(|(num_groups, group_size)| {
+        let n = num_groups * group_size;
+        (
+            proptest::collection::vec(0u32..=40, n),
+            0.05f64..0.45,
+            0usize..n,
+            0.05f64..0.95,
+            any::<bool>(),
+        )
+            .prop_map(move |(avail, beta, requester, frac, over)| ScaleScenario {
+                num_groups,
+                group_size,
+                beta,
+                avail: avail.iter().map(|&a| a as f64).collect(),
+                requester,
+                frac,
+                over,
+            })
+    })
+}
+
+fn economy(sc: &ScaleScenario) -> AgreementMatrix {
+    let n = sc.num_groups * sc.group_size;
+    let mut s = AgreementMatrix::zeros(n);
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if i / sc.group_size == j / sc.group_size {
+                s.set(i, j, 1.0).unwrap();
+            } else {
+                s.set(i, j, sc.beta).unwrap();
+            }
+        }
+    }
+    s
+}
+
+/// Closed-form reach of `requester` in the uniform-block economy: the
+/// whole home block plus β of everything else.
+fn reach(sc: &ScaleScenario) -> f64 {
+    let home = sc.requester / sc.group_size;
+    let home_avail: f64 = sc.avail[home * sc.group_size..(home + 1) * sc.group_size].iter().sum();
+    let total: f64 = sc.avail.iter().sum();
+    home_avail + sc.beta * (total - home_avail)
+}
+
+/// The request amount: a fraction of reach (admit side) or reach plus a
+/// ≥ 1.0 margin (deny side) — never near the boundary.
+fn amount(sc: &ScaleScenario) -> f64 {
+    let r = reach(sc);
+    if sc.over {
+        r + 1.0 + sc.frac
+    } else {
+        r * sc.frac
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The differential oracle: auto-partitioned hierarchical allocation
+    /// agrees with the flat level-1 LP on every admit/deny verdict.
+    #[test]
+    fn hierarchical_verdicts_match_flat_lp(sc in arb_scale()) {
+        let s = economy(&sc);
+        let sched = HierarchicalScheduler::auto(&s, &PartitionOptions::default(), 1).unwrap();
+        prop_assert_eq!(sched.num_groups(), sc.num_groups,
+            "auto partition failed to recover the blocks");
+
+        let flow = Arc::new(TransitiveFlow::compute(&s, 1));
+        let state = SystemState::new(flow, None, sc.avail.clone()).unwrap();
+        let mut flat = AllocationSolver::reduced();
+
+        let x = amount(&sc);
+        prop_assume!(x > 1e-9);
+        let hier_ok = match sched.allocate(&sc.avail, sc.requester, x) {
+            Ok(_) => true,
+            Err(SchedError::InsufficientCapacity { .. }) => false,
+            Err(e) => return Err(TestCaseError::fail(format!("hier failed: {e}"))),
+        };
+        let flat_ok = match flat.allocate(&state, sc.requester, x) {
+            Ok(_) => true,
+            Err(SchedError::InsufficientCapacity { .. }) => false,
+            Err(e) => return Err(TestCaseError::fail(format!("flat oracle failed: {e}"))),
+        };
+        prop_assert_eq!(hier_ok, flat_ok,
+            "verdict diverged: requester {}, x {:.6}, reach {:.6}",
+            sc.requester, x, reach(&sc));
+        // Both sides must match the closed-form reach too.
+        prop_assert_eq!(hier_ok, !sc.over, "verdict contradicts closed-form reach");
+    }
+
+    /// Admitted allocations conserve the pool: draws sum to the grant,
+    /// no member goes below zero or above its availability.
+    #[test]
+    fn admitted_draws_conserve_pool_totals(sc in arb_scale()) {
+        let s = economy(&sc);
+        let sched = HierarchicalScheduler::auto(&s, &PartitionOptions::default(), 1).unwrap();
+        let x = reach(&sc) * sc.frac;
+        prop_assume!(x > 1e-9);
+        let alloc = sched.allocate(&sc.avail, sc.requester, x).unwrap();
+        let drawn: f64 = alloc.draws.iter().sum();
+        prop_assert!((drawn - x).abs() < 1e-6, "drew {drawn}, granted {x}");
+        let mut after = sc.avail.clone();
+        for (v, &d) in after.iter_mut().zip(&alloc.draws) {
+            prop_assert!(d >= -1e-12, "negative draw {d}");
+            *v -= d;
+            prop_assert!(*v > -1e-9, "member oversubscribed by {v}");
+        }
+        let before: f64 = sc.avail.iter().sum();
+        let remaining: f64 = after.iter().sum();
+        prop_assert!((remaining + drawn - before).abs() < 1e-6,
+            "pool total not conserved: {remaining} + {drawn} != {before}");
+    }
+
+    /// Parallel fine solves are bit-identical to sequential, including
+    /// on coarse overflow requests that fan out across several groups.
+    #[test]
+    fn parallel_fine_solves_are_bit_identical(sc in arb_scale()) {
+        let s = economy(&sc);
+        let seq = HierarchicalScheduler::auto(&s, &PartitionOptions::default(), 1).unwrap();
+        let mut par = HierarchicalScheduler::auto(&s, &PartitionOptions::default(), 1).unwrap();
+        par.set_parallel_fine(true);
+        let x = reach(&sc) * sc.frac;
+        prop_assume!(x > 1e-9);
+        let a = seq.allocate(&sc.avail, sc.requester, x).unwrap();
+        let b = par.allocate(&sc.avail, sc.requester, x).unwrap();
+        prop_assert_eq!(a.theta.to_bits(), b.theta.to_bits(), "theta diverged");
+        prop_assert_eq!(a.amount.to_bits(), b.amount.to_bits(), "amount diverged");
+        for (m, (da, db)) in a.draws.iter().zip(&b.draws).enumerate() {
+            prop_assert_eq!(da.to_bits(), db.to_bits(), "draw diverged at member {}", m);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Algebraic properties of [`Snapshot::merge`] — the operation the
+//! parallel experiment sweeps rely on to fold per-thread recorders into
+//! one document in whatever order the threads finish.
+//!
+//! Counters and histograms form a commutative monoid under merge
+//! (identity [`Snapshot::empty`]); the event trace is only *associative*
+//! (concatenation keeps arrival order), so the commutativity property
+//! deliberately excludes events. All generated f64s are multiples of
+//! 0.25 well inside the exact-integer range, so sums reassociate without
+//! rounding and every comparison below can be exact equality.
+
+use agreements_telemetry::{CounterSnapshot, HistogramSnapshot, Snapshot, TelemetryEvent};
+use proptest::prelude::*;
+
+const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+const BUCKETS: usize = 8;
+
+fn quarter(k: u32) -> f64 {
+    k as f64 * 0.25
+}
+
+/// Vary first-touch order between snapshots without a shuffle
+/// combinator: rotate by a generated offset.
+fn rotated<T>(mut v: Vec<T>, by: usize) -> Vec<T> {
+    if !v.is_empty() {
+        let k = by % v.len();
+        v.rotate_left(k);
+    }
+    v
+}
+
+fn arb_counters() -> impl Strategy<Value = Vec<CounterSnapshot>> {
+    (proptest::collection::vec(proptest::option::of(0u64..1_000_000), NAMES.len()), 0usize..4)
+        .prop_map(|(values, rot)| {
+            let counters = values
+                .into_iter()
+                .enumerate()
+                .filter_map(|(i, v)| {
+                    v.map(|value| CounterSnapshot { name: NAMES[i].to_string(), value })
+                })
+                .collect::<Vec<_>>();
+            rotated(counters, rot)
+        })
+}
+
+fn arb_histograms() -> impl Strategy<Value = Vec<HistogramSnapshot>> {
+    let one =
+        (proptest::collection::vec(0u64..100, BUCKETS), 0u32..4000, 0u32..4000, 0u32..4_000_000);
+    (proptest::collection::vec(proptest::option::of(one), NAMES.len()), 0usize..4).prop_map(
+        |(hists, rot)| {
+            let histograms = hists
+                .into_iter()
+                .enumerate()
+                .filter_map(|(i, h)| {
+                    h.map(|(buckets, a, b, sum)| {
+                        let count: u64 = buckets.iter().sum();
+                        let (min, max) = if count == 0 {
+                            (0.0, 0.0)
+                        } else {
+                            (quarter(a.min(b)), quarter(a.max(b)))
+                        };
+                        HistogramSnapshot {
+                            name: NAMES[i].to_string(),
+                            base: 1e-6,
+                            growth: 2.0,
+                            count,
+                            sum: if count == 0 { 0.0 } else { quarter(sum) },
+                            min,
+                            max,
+                            buckets,
+                        }
+                    })
+                })
+                .collect::<Vec<_>>();
+            rotated(histograms, rot)
+        },
+    )
+}
+
+fn arb_events() -> impl Strategy<Value = Vec<TelemetryEvent>> {
+    let one = prop_oneof![
+        (0usize..64, 0u32..400, 0u32..400).prop_map(|(requester, x, b)| {
+            TelemetryEvent::Admitted { requester, requested: quarter(x), bound: quarter(b) }
+        }),
+        (0usize..64, 0u32..400, 0u32..400, any::<bool>()).prop_map(|(requester, x, b, clamped)| {
+            TelemetryEvent::FastReject {
+                requester,
+                requested: quarter(x),
+                bound: quarter(b),
+                clamped,
+            }
+        }),
+    ];
+    proptest::collection::vec(one, 0..5)
+}
+
+fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+    (arb_counters(), arb_histograms(), arb_events(), 0u64..1000).prop_map(
+        |(counters, histograms, events, events_dropped)| Snapshot {
+            counters,
+            histograms,
+            events,
+            events_dropped,
+        },
+    )
+}
+
+/// Canonical form for order-insensitive comparison: counters and
+/// histograms sorted by name, the (order-sensitive) event trace dropped.
+fn canon(mut s: Snapshot) -> Snapshot {
+    s.counters.sort_by(|x, y| x.name.cmp(&y.name));
+    s.histograms.sort_by(|x, y| x.name.cmp(&y.name));
+    s.events.clear();
+    s
+}
+
+fn merged(a: &Snapshot, b: &Snapshot) -> Snapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Counters and histograms merge commutatively (events concatenate,
+    /// so they are excluded by canonicalization).
+    #[test]
+    fn merge_is_commutative_up_to_order(a in arb_snapshot(), b in arb_snapshot()) {
+        prop_assert_eq!(canon(merged(&a, &b)), canon(merged(&b, &a)));
+    }
+
+    /// Merge is fully associative — including the event trace, whose
+    /// concatenation order is a-then-b-then-c either way, and including
+    /// Vec order, since first-touch order only depends on the sequence.
+    #[test]
+    fn merge_is_associative(
+        a in arb_snapshot(),
+        b in arb_snapshot(),
+        c in arb_snapshot(),
+    ) {
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    /// The empty snapshot is a two-sided identity.
+    #[test]
+    fn empty_is_identity(a in arb_snapshot()) {
+        prop_assert_eq!(merged(&a, &Snapshot::empty()), a.clone());
+        prop_assert_eq!(merged(&Snapshot::empty(), &a), a);
+    }
+
+    /// Merged counter totals are the per-name sums of the inputs.
+    #[test]
+    fn merged_counters_are_per_name_sums(a in arb_snapshot(), b in arb_snapshot()) {
+        let m = merged(&a, &b);
+        for name in NAMES {
+            prop_assert_eq!(m.counter(name), a.counter(name) + b.counter(name));
+        }
+        // Histogram observation counts add the same way.
+        for h in &m.histograms {
+            let find = |s: &Snapshot| {
+                s.histograms.iter().find(|x| x.name == h.name).map_or(0, |x| x.count)
+            };
+            prop_assert_eq!(h.count, find(&a) + find(&b));
+        }
+    }
+
+    /// Snapshots survive a JSON round-trip bit-for-bit.
+    #[test]
+    fn json_round_trip_is_lossless(a in arb_snapshot()) {
+        let back = Snapshot::from_json(&a.to_json()).expect("parse");
+        prop_assert_eq!(back, a);
+    }
+}

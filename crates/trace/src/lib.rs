@@ -28,6 +28,7 @@ pub mod io;
 pub mod lengths;
 pub mod profile;
 pub mod request;
+pub mod scale;
 pub mod slots;
 
 pub use analysis::{capacity_for_peak_rho, mean_demand, peak_rho};
@@ -35,4 +36,5 @@ pub use generator::{ProxyTrace, SkewMode, TraceConfig};
 pub use lengths::ResponseLenDist;
 pub use profile::DiurnalProfile;
 pub use request::{Request, ServiceModel};
+pub use scale::{Demand, ScaleConfig, ScaleWorkload};
 pub use slots::{slot_of, DAY_SECONDS, SLOTS_PER_DAY, SLOT_SECONDS};

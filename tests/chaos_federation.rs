@@ -23,7 +23,8 @@
 //! in the assertion message.
 
 use agreements_faults::{ChaosClock, FaultMix, FaultPlane};
-use agreements_flow::AgreementMatrix;
+use agreements_flow::{AgreementMatrix, PartitionOptions};
+use agreements_grm::multilevel::TwoLevelGrm;
 use agreements_grm::recovery::AgreementJournal;
 use agreements_grm::resilient::{ResilientGrmClient, RetryPolicy};
 use agreements_grm::server::GrmServer;
@@ -281,6 +282,156 @@ fn chaos_crash_failover_matrix() {
         let post = clients[0].request(0, 1.0);
         assert!(post.is_ok(), "{ctx}: standby refused a routine request: {post:?}");
         standby.shutdown();
+    }
+}
+
+/// A *partitioned* federation under chaos: [`TwoLevelGrm`] built by the
+/// structure-aware auto-partitioner over a block economy, every group
+/// GRM's link faulty (drop/dup/delay mix). LRMs hold the authoritative
+/// per-principal pools and resilient idempotent clients carry the
+/// traffic, both bound to their group GRM through the partition maps.
+/// Post-heal, per group: pool conservation, at-most-once settlement,
+/// availability convergence — and the healed federation must still route
+/// an overflow request across groups via the coarse LP.
+#[test]
+fn chaos_partitioned_federation_matrix() {
+    const GROUPS: usize = 4;
+    const SIZE: usize = 3;
+    let n = GROUPS * SIZE;
+    let mut s = AgreementMatrix::zeros(n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                s.set(i, j, if i / SIZE == j / SIZE { 1.0 } else { 0.2 }).unwrap();
+            }
+        }
+    }
+
+    for seed in SEEDS {
+        let plane = FaultPlane::new(seed, FaultMix::mixed());
+        let fed = TwoLevelGrm::new_auto_chaotic(&s, &PartitionOptions::default(), 1, &plane)
+            .unwrap_or_else(|e| panic!("partitioned seed {seed}: build: {e}"));
+        assert_eq!(fed.num_groups(), GROUPS, "auto partition must recover the blocks");
+        for (g, members) in fed.groups().iter().enumerate() {
+            for &m in members {
+                assert_eq!(m / SIZE, g, "principal {m} landed in group {g}");
+            }
+        }
+
+        // Per-group authoritative pools and clients, wired through the
+        // auto-derived partition maps.
+        let lrms: Vec<Vec<Lrm>> = (0..GROUPS)
+            .map(|g| (0..SIZE).map(|li| Lrm::new(li, POOL, fed.group_handle(g)).unwrap()).collect())
+            .collect();
+        let clients: Vec<Vec<ResilientGrmClient>> = fed
+            .groups()
+            .iter()
+            .enumerate()
+            .map(|(g, members)| {
+                members
+                    .iter()
+                    .map(|&p| {
+                        ResilientGrmClient::new(
+                            fed.group_handle(g),
+                            p as u64,
+                            RetryPolicy::aggressive(),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(271).wrapping_add(9));
+        let mut ledgers: Vec<Ledger> = (0..GROUPS).map(|_| Ledger::default()).collect();
+        for _ in 0..STEPS {
+            let p = (rng.gen::<u64>() % n as u64) as usize;
+            let (g, li) = (fed.group_of(p), fed.local_index(p));
+            let amount = 0.5 + rng.gen::<f64>() * 1.5;
+            match lrms[g][li].submit_or_degrade(&clients[g][li], amount) {
+                Ok((alloc, degraded)) => {
+                    if degraded {
+                        ledgers[g].degraded_units += alloc.amount;
+                    } else {
+                        ledgers[g].remote_units += alloc.amount;
+                    }
+                    for lrm in &lrms[g] {
+                        ledgers[g].taken_units += lrm.fulfil_local(&alloc);
+                        let _ = lrm.report();
+                    }
+                }
+                Err(GrmError::Sched(SchedError::InsufficientCapacity { .. })) => {
+                    ledgers[g].lost_units += amount;
+                    ledgers[g].rejected += 1;
+                }
+                Err(e) => panic!("partitioned seed {seed}: workload: {e}"),
+            }
+        }
+
+        plane.heal();
+        for (g, group) in lrms.iter().enumerate() {
+            for (lrm, client) in group.iter().zip(&clients[g]) {
+                lrm.reconcile(client)
+                    .unwrap_or_else(|e| panic!("partitioned seed {seed}: reconcile: {e}"));
+                assert_eq!(lrm.degraded_backlog(), 0, "partitioned seed {seed}: backlog");
+            }
+        }
+
+        for (g, group) in lrms.iter().enumerate() {
+            let ctx = format!("partitioned seed {seed} group {g}");
+            // Pool conservation, on the authoritative LRM side.
+            let pooled: f64 = group.iter().map(Lrm::available).sum();
+            let credited = POOL * SIZE as f64;
+            assert!(
+                (pooled + ledgers[g].taken_units - credited).abs() < EPS,
+                "{ctx}: pooled {pooled} + taken {} != credited {credited}",
+                ledgers[g].taken_units,
+            );
+            // At-most-once settlement in the group GRM's books.
+            let stats = fed.group_handle(g).stats().unwrap();
+            let settled = stats.granted_units + stats.journaled_units;
+            let observed = ledgers[g].remote_units + ledgers[g].degraded_units;
+            assert!(
+                settled >= observed - EPS,
+                "{ctx}: books lost a grant: settled {settled} < observed {observed}"
+            );
+            assert!(
+                settled <= observed + ledgers[g].lost_units + EPS,
+                "{ctx}: double settlement: settled {settled} > observed {observed} + lost {}",
+                ledgers[g].lost_units,
+            );
+            // Availability convergence per group GRM.
+            let avail = fed.group_handle(g).availability().unwrap();
+            for (li, lrm) in group.iter().enumerate() {
+                assert!(
+                    (avail[li] - lrm.available()).abs() < EPS,
+                    "{ctx}: availability[{li}] = {} diverged from pool {}",
+                    avail[li],
+                    lrm.available(),
+                );
+            }
+        }
+
+        // The healed federation still shares across groups: an overflow
+        // request from principal 0 must draw on neighbour groups through
+        // the coarse inter-group LP over the auto-derived aggregates.
+        let home: f64 = fed.group_handle(0).availability().unwrap().iter().sum();
+        let others: f64 = (1..GROUPS)
+            .map(|g| fed.group_handle(g).availability().unwrap().iter().sum::<f64>())
+            .sum();
+        if others > 1.0 {
+            let amount = home + 0.2 * others * 0.75;
+            let alloc = fed
+                .request(0, amount)
+                .unwrap_or_else(|e| panic!("partitioned seed {seed}: overflow request: {e}"));
+            let drawn: f64 = alloc.draws.iter().sum();
+            assert!(
+                (drawn - amount).abs() < EPS,
+                "partitioned seed {seed}: overflow drew {drawn}, granted {amount}"
+            );
+            let cross: f64 = alloc.draws[SIZE..].iter().sum();
+            assert!(cross > EPS, "partitioned seed {seed}: overflow never left the home group");
+        }
+        fed.shutdown();
     }
 }
 

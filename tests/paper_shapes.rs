@@ -3,9 +3,11 @@
 //! utilization), so they assert orderings and rough factors rather than
 //! absolute seconds.
 
-use sharing_agreements::flow::Structure;
+use sharing_agreements::flow::{PartitionOptions, Structure};
 use sharing_agreements::proxysim::{PolicyKind, SharingConfig, SimConfig, SimResult, Simulator};
-use sharing_agreements::trace::{ProxyTrace, ResponseLenDist, TraceConfig};
+use sharing_agreements::sched::hierarchy::HierarchicalScheduler;
+use sharing_agreements::sched::SchedError;
+use sharing_agreements::trace::{ProxyTrace, ResponseLenDist, ScaleConfig, TraceConfig};
 
 const N: usize = 10;
 const REQUESTS: usize = 20_000;
@@ -130,6 +132,79 @@ fn redirect_cost_impact_is_modest() {
         "cost 0.2: {:.2} vs free {:.2}",
         costly.proxy_avg_wait(P),
         free.proxy_avg_wait(P)
+    );
+}
+
+/// FNV-1a over f64 bit patterns: the repo's determinism fingerprint.
+fn fnv_f64(acc: u64, v: f64) -> u64 {
+    (acc ^ v.to_bits()).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Golden fingerprint of the Figure 6 series: the plotted proxy's
+/// per-slot average-wait and redirect series under complete sharing must
+/// reproduce bit-for-bit. Any change to the trace generator, the
+/// simulator's event order, or the LP pivoting shows up here before it
+/// silently moves a published figure.
+#[test]
+fn golden_fig06_series_checksum() {
+    let shared = run(Some(complete_sharing(N - 1)), HOUR);
+    let mut sum = FNV_BASIS;
+    for w in shared.proxy_avg_wait_series(P) {
+        sum = fnv_f64(sum, w);
+    }
+    for slot in &shared.proxy_slots[P] {
+        sum = fnv_f64(sum, slot.redirected as f64);
+    }
+    assert_eq!(
+        sum, 0x71ea_81b7_02f1_13b8,
+        "fig06 series fingerprint drifted: got {sum:#018x} \
+         (re-pin only if the change to the pipeline is intentional)"
+    );
+}
+
+/// Golden fingerprint of the fixed-seed scale run at n = 100: the same
+/// hourly-refresh replay the `scale` experiment binary performs, with
+/// every granted draw folded into the checksum. Locks the auto
+/// partitioner, the multigrid scheduler, and the workload generator
+/// together end to end.
+#[test]
+fn golden_scale_run_checksum_at_n100() {
+    const SEED: u64 = 20_000;
+    let cfg = ScaleConfig::isp(100, 2_000, SEED);
+    let workload = cfg.generate();
+    let s = cfg.agreements().unwrap();
+    let sched = HierarchicalScheduler::auto(&s, &PartitionOptions::default(), 1).unwrap();
+
+    let base = workload.availability.clone();
+    let mut avail = base.clone();
+    let mut hour = 0usize;
+    let (mut admitted, mut denied) = (0usize, 0usize);
+    let mut sum = FNV_BASIS;
+    for d in &workload.demands {
+        while d.t >= (hour + 1) as f64 * HOUR {
+            hour += 1;
+            avail.copy_from_slice(&base);
+        }
+        match sched.allocate(&avail, d.requester, d.amount) {
+            Ok(alloc) => {
+                for (v, &dr) in avail.iter_mut().zip(&alloc.draws) {
+                    *v -= dr;
+                    sum = fnv_f64(sum, dr);
+                }
+                admitted += 1;
+            }
+            Err(SchedError::InsufficientCapacity { .. }) => denied += 1,
+            Err(e) => panic!("scale replay failed: {e}"),
+        }
+    }
+    assert_eq!(admitted + denied, 2_000);
+    assert!(admitted > denied, "workload should be mostly admissible");
+    assert_eq!(
+        sum, 0x72e6_1c1e_adb4_20c1,
+        "scale-run fingerprint drifted: got {sum:#018x} \
+         (re-pin only if the change to the pipeline is intentional)"
     );
 }
 
