@@ -1,0 +1,500 @@
+//! Performance evidence for the persistent shard executor and the
+//! batched admission front door: does parallel enforcement actually pay?
+//!
+//! Two comparisons, both on the grown ISP economy
+//! ([`ScaleConfig::isp`]: full sharing inside regional groups of 8, 25%
+//! mutual backup between ring neighbours), at n ∈ {128, 512, 1000}:
+//!
+//! 1. **Admission level** — `BatchedAdmission::admit_batch` on an
+//!    auto-gated scheduler (persistent workers + measured break-even)
+//!    vs the same batches on a sequential scheduler vs `admit_one`
+//!    one-by-one. The auto engine must never lose to sequential: on a
+//!    single-core host it *is* sequential (the executor refuses to
+//!    spawn), and on multi-core hosts the break-even gate falls back
+//!    whenever the fan-out would not pay.
+//! 2. **Serve-loop level** — a GRM server answering a blocking client
+//!    (runs of one by construction) vs a pipelined client whose
+//!    in-flight requests the wakeup-drain loop coalesces into real
+//!    batches, plus the flat LP server for context.
+//!
+//! Writes `BENCH_PR6.json` (or the path given as the first argument).
+//! `--check` runs reduced volumes, asserts the correctness invariants
+//! (batched ≡ one-by-one bit for bit; auto ≥ sequential throughput on
+//! multi-core hosts, skipped with a notice on one core), and writes
+//! nothing — CI's bench-smoke job runs that mode.
+//!
+//! `--telemetry-out PATH` adds one untimed instrumented serve-loop pass
+//! at n = 512 and writes its snapshot (grm.batched_allocations,
+//! batch-size and queue-wait histograms) to PATH; a summary is embedded
+//! in the JSON either way.
+//!
+//! Run from the repository root:
+//!
+//! ```text
+//! cargo run --release -p agreements-experiments --bin bench_pr6
+//! ```
+
+use agreements_flow::PartitionOptions;
+use agreements_grm::{GrmHandle, GrmServer};
+use agreements_sched::hierarchy::HierarchicalScheduler;
+use agreements_sched::{AdmissionRequest, BatchedAdmission};
+use agreements_telemetry::{HistKind, Telemetry, DEFAULT_EVENT_CAPACITY};
+use agreements_trace::ScaleConfig;
+use std::time::Instant;
+
+/// Principal counts swept.
+const SIZES: [usize; 3] = [128, 512, 1000];
+
+/// Request amounts cycled across a batch. All fit inside a home group's
+/// 48-unit pool, so the stream measures the executor's dispatch and the
+/// serve loop's batching — the coarse overflow path has its own
+/// baseline in `BENCH_PR5.json`, and the wave/stall protocol its oracle
+/// in the `proptest_batch` suite.
+const AMOUNTS: [f64; 5] = [2.0, 4.0, 6.0, 3.0, 5.0];
+
+/// Admission batch size: what a busy serve-loop drain plausibly holds.
+const BATCH: usize = 64;
+
+struct Row {
+    n: usize,
+    mode: &'static str,
+    solves: usize,
+    seconds: f64,
+    per_sec: f64,
+}
+
+fn row(n: usize, mode: &'static str, solves: usize, seconds: f64) -> Row {
+    Row { n, mode, solves, seconds, per_sec: solves as f64 / seconds }
+}
+
+/// Deterministic request cycle: requester walks a coprime stride so
+/// every group appears; amounts cycle [`AMOUNTS`].
+fn request_at(k: usize, n: usize) -> (usize, f64) {
+    ((k * 13) % n, AMOUNTS[k % AMOUNTS.len()])
+}
+
+fn build_front(n: usize, auto: bool) -> (BatchedAdmission, Vec<f64>) {
+    let cfg = ScaleConfig::isp(n, 0, 20_000);
+    let s = cfg.agreements().expect("economy");
+    let mut sched = HierarchicalScheduler::auto(&s, &PartitionOptions::default(), 1).expect("auto");
+    assert_eq!(sched.num_groups(), cfg.num_groups(), "auto partition must recover the regions");
+    if auto {
+        sched.set_parallel_auto();
+    }
+    (BatchedAdmission::new(sched), vec![cfg.base_availability; n])
+}
+
+/// Time `solves` admissions in batches of [`BATCH`]. Each batch starts
+/// from the pristine availability (one memcpy of n floats — noise next
+/// to 64 LP solves), so the stream never drains the pools.
+fn time_batched(front: &BatchedAdmission, pristine: &[f64], solves: usize) -> f64 {
+    let n = pristine.len();
+    let mut avail = pristine.to_vec();
+    let reqs: Vec<AdmissionRequest> = (0..BATCH)
+        .map(|k| {
+            let (requester, amount) = request_at(k, n);
+            AdmissionRequest { requester, amount }
+        })
+        .collect();
+    // Warm-up: one full batch (first-touch solver skeletons, executor
+    // calibration is already done at construction).
+    for d in front.admit_batch(&mut avail, &reqs) {
+        d.expect("in capacity");
+    }
+    let start = Instant::now();
+    let mut done = 0;
+    while done < solves {
+        avail.copy_from_slice(pristine);
+        let decisions = front.admit_batch(&mut avail, &reqs);
+        for d in decisions {
+            std::hint::black_box(d.expect("in capacity"));
+        }
+        done += BATCH;
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Time `solves` admissions one `admit_one` at a time, same stream.
+fn time_one_by_one(front: &BatchedAdmission, pristine: &[f64], solves: usize) -> f64 {
+    let n = pristine.len();
+    let mut avail = pristine.to_vec();
+    for k in 0..BATCH.min(solves) {
+        let (r, x) = request_at(k, n);
+        std::hint::black_box(front.admit_one(&mut avail, r, x).expect("in capacity"));
+    }
+    let start = Instant::now();
+    let mut done = 0;
+    while done < solves {
+        avail.copy_from_slice(pristine);
+        for k in 0..BATCH {
+            let (r, x) = request_at(k, n);
+            std::hint::black_box(front.admit_one(&mut avail, r, x).expect("in capacity"));
+        }
+        done += BATCH;
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Best-of-N timing with the modes interleaved round-robin: round 1
+/// times every mode once, round 2 again, and each mode keeps its
+/// minimum. Back-to-back blocks would fold host drift (thermal, cron,
+/// page cache) into the mode ratios; interleaving spreads any drift
+/// across all modes so the committed ratios reflect the code.
+fn best_interleaved(rounds: usize, fns: &mut [&mut dyn FnMut() -> f64]) -> Vec<f64> {
+    let mut best = vec![f64::INFINITY; fns.len()];
+    for _ in 0..rounds {
+        for (b, f) in best.iter_mut().zip(fns.iter_mut()) {
+            *b = b.min(f());
+        }
+    }
+    best
+}
+
+/// Report enormous pools so a long timed request stream never drains
+/// them — the serve-loop rows measure delivery, not refill policy.
+fn report_all(h: &GrmHandle, n: usize) {
+    for i in 0..n {
+        h.report(i, 1e12).expect("report");
+    }
+}
+
+/// Blocking client: every request waits for its decision, so the server
+/// drains runs of one.
+fn time_serve_blocking(h: &GrmHandle, n: usize, requests: usize) -> f64 {
+    for k in 0..64.min(requests) {
+        let (r, x) = request_at(k, n);
+        h.request(r, x).expect("in capacity");
+    }
+    let start = Instant::now();
+    for k in 0..requests {
+        let (r, x) = request_at(k, n);
+        std::hint::black_box(h.request(r, x).expect("in capacity"));
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Pipelined client: `window` requests in flight, collected together —
+/// the server's wakeup drain sees them as one admission batch.
+fn time_serve_pipelined(h: &GrmHandle, n: usize, requests: usize, window: usize) -> f64 {
+    let mut pending = Vec::with_capacity(window);
+    for k in 0..window.min(requests) {
+        let (r, x) = request_at(k, n);
+        pending.push(h.request_async(r, x).expect("send"));
+    }
+    for rx in pending.drain(..) {
+        rx.recv().expect("reply").expect("in capacity");
+    }
+    let start = Instant::now();
+    let mut k = 0;
+    while k < requests {
+        let end = (k + window).min(requests);
+        for j in k..end {
+            let (r, x) = request_at(j, n);
+            pending.push(h.request_async(r, x).expect("send"));
+        }
+        for rx in pending.drain(..) {
+            std::hint::black_box(rx.recv().expect("reply").expect("in capacity"));
+        }
+        k = end;
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn hier_sched(n: usize) -> HierarchicalScheduler {
+    let cfg = ScaleConfig::isp(n, 0, 20_000);
+    let s = cfg.agreements().expect("economy");
+    let mut sched = HierarchicalScheduler::auto(&s, &PartitionOptions::default(), 1).expect("auto");
+    sched.set_parallel_auto();
+    sched
+}
+
+/// Invariant: batched admission on the auto engine is bit-identical to
+/// one-by-one admission on the sequential engine, same stream.
+fn check_bit_identity(n: usize) {
+    let (seq, pristine) = build_front(n, false);
+    let (auto, _) = build_front(n, true);
+    let reqs: Vec<AdmissionRequest> = (0..BATCH)
+        .map(|k| {
+            let (requester, amount) = request_at(k, n);
+            AdmissionRequest { requester, amount }
+        })
+        .collect();
+    let mut avail_one = pristine.clone();
+    let one: Vec<_> =
+        reqs.iter().map(|q| seq.admit_one(&mut avail_one, q.requester, q.amount)).collect();
+    let mut avail_bat = pristine.clone();
+    let bat = auto.admit_batch(&mut avail_bat, &reqs);
+    for (k, (a, b)) in one.iter().zip(&bat).enumerate() {
+        let (a, b) = (a.as_ref().expect("seq"), b.as_ref().expect("auto"));
+        assert_eq!(a.theta.to_bits(), b.theta.to_bits(), "theta diverged at k={k}");
+        for (da, db) in a.draws.iter().zip(&b.draws) {
+            assert_eq!(da.to_bits(), db.to_bits(), "draw diverged at k={k}");
+        }
+    }
+    for (va, vb) in avail_one.iter().zip(&avail_bat) {
+        assert_eq!(va.to_bits(), vb.to_bits(), "availability diverged at n={n}");
+    }
+    eprintln!("check: n={n} batched-auto admission bit-identical to sequential one-by-one");
+}
+
+/// One untimed pass through a telemetry-instrumented hierarchical GRM;
+/// returns the snapshot carrying the batch-size and queue-wait
+/// histograms and the batched-allocations counter.
+fn instrumented_pass() -> agreements_telemetry::Snapshot {
+    let (telemetry, recorder) = Telemetry::recorder(DEFAULT_EVENT_CAPACITY);
+    let n = 512;
+    let grm = GrmServer::spawn_hierarchical_with_telemetry(hier_sched(n), telemetry);
+    let h = grm.handle();
+    report_all(&h, n);
+    time_serve_pipelined(&h, n, 1024, 128);
+    grm.shutdown();
+    recorder.snapshot()
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry_out = agreements_experiments::take_telemetry_out(&mut args);
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
+
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    eprintln!("host parallelism: {cores}");
+
+    let mut rows: Vec<Row> = Vec::new();
+    for n in SIZES {
+        check_bit_identity(n);
+        let solves = if check { 2 * BATCH } else { 25_600 };
+        let rounds = if check { 1 } else { 5 };
+        // Two instances of each engine, constructed in opposite orders:
+        // on a 1-core host the auto engine runs the identical sequential
+        // code path, so any persistent auto-vs-sequential gap is heap
+        // placement, not code. Timing both instances and keeping the
+        // better cancels that bias.
+        let (seq_a, pristine) = build_front(n, false);
+        let (auto_a, _) = build_front(n, true);
+        let (auto_b, _) = build_front(n, true);
+        let (seq_b, _) = build_front(n, false);
+        // On a 1-core host `set_parallel_auto` refuses to spawn the
+        // executor, so the "auto" engine dispatches to literally the
+        // same machine code as the sequential one — timing two engine
+        // instances separately would publish allocator-placement noise
+        // as an engine ratio. When the fallback is active the parallel
+        // row therefore reuses the sequential timing, and says so.
+        let fallback_active = !auto_a.scheduler().parallel_fine();
+        let mut time_one = || {
+            time_one_by_one(&seq_a, &pristine, solves)
+                .min(time_one_by_one(&seq_b, &pristine, solves))
+        };
+        let mut time_seq =
+            || time_batched(&seq_a, &pristine, solves).min(time_batched(&seq_b, &pristine, solves));
+        let mut time_auto = || {
+            time_batched(&auto_a, &pristine, solves).min(time_batched(&auto_b, &pristine, solves))
+        };
+        let (one_secs, seq_secs, auto_secs) = if fallback_active {
+            let best = best_interleaved(rounds, &mut [&mut time_one, &mut time_seq]);
+            eprintln!(
+                "admission n={n}: 1-core fallback active; parallel row reuses the sequential \
+                 timing (identical code path)"
+            );
+            (best[0], best[1], best[1])
+        } else {
+            let best =
+                best_interleaved(rounds, &mut [&mut time_one, &mut time_seq, &mut time_auto]);
+            (best[0], best[1], best[2])
+        };
+        rows.push(row(n, "admit_one_sequential", solves, one_secs));
+        rows.push(row(n, "admit_batch_sequential", solves, seq_secs));
+        rows.push(row(n, "admit_batch_auto", solves, auto_secs));
+        let ratio = seq_secs / auto_secs;
+        eprintln!(
+            "admission n={n}: one-by-one {:>9.0}/s, batch-seq {:>9.0}/s, batch-auto {:>9.0}/s \
+             (auto/seq {ratio:.2}x)",
+            solves as f64 / one_secs,
+            solves as f64 / seq_secs,
+            solves as f64 / auto_secs,
+        );
+        if check {
+            // The gate of record: the auto engine must not lose to the
+            // sequential one. On one core they are the same code path
+            // (the executor refuses to spawn), so the ratio is pure
+            // timer noise and is skipped with a notice.
+            if cores >= 2 {
+                assert!(
+                    ratio >= 0.9,
+                    "parallel admission slower than sequential at n={n}: {ratio:.2}x \
+                     (0.9 floor absorbs timer noise; the committed baseline must show >= 1.0)"
+                );
+            } else {
+                eprintln!(
+                    "check: single-core host, auto==sequential by construction; ratio gate skipped"
+                );
+            }
+        }
+    }
+
+    // Serve-loop comparison: blocking vs pipelined clients against the
+    // hierarchical server, flat LP server for context.
+    let mut serve_rows: Vec<Row> = Vec::new();
+    for n in [128, 1000] {
+        let requests = if check { 256 } else { 20_000 };
+        let window = 256;
+
+        let grm = GrmServer::spawn_hierarchical(hier_sched(n));
+        let h = grm.handle();
+        report_all(&h, n);
+        let rounds = if check { 1 } else { 3 };
+        let best = best_interleaved(
+            rounds,
+            &mut [&mut || time_serve_blocking(&h, n, requests), &mut || {
+                time_serve_pipelined(&h, n, requests, window)
+            }],
+        );
+        let (blocking_secs, pipelined_secs) = (best[0], best[1]);
+        grm.shutdown();
+
+        let cfg = ScaleConfig::isp(n, 0, 20_000);
+        let flat = GrmServer::spawn(cfg.agreements().expect("economy"), 1);
+        let fh = flat.handle();
+        report_all(&fh, n);
+        let flat_requests = if check {
+            4
+        } else if n >= 1000 {
+            16
+        } else {
+            400
+        };
+        let flat_secs = time_serve_blocking(&fh, n, flat_requests);
+        flat.shutdown();
+
+        serve_rows.push(row(n, "flat_unbatched", flat_requests, flat_secs));
+        serve_rows.push(row(n, "hier_unbatched", requests, blocking_secs));
+        serve_rows.push(row(n, "hier_batched", requests, pipelined_secs));
+        eprintln!(
+            "serve loop n={n}: flat {:>9.0}/s, hier blocking {:>9.0}/s, hier pipelined {:>9.0}/s \
+             (batched/unbatched {:.2}x)",
+            flat_requests as f64 / flat_secs,
+            requests as f64 / blocking_secs,
+            requests as f64 / pipelined_secs,
+            blocking_secs / pipelined_secs,
+        );
+    }
+
+    let snapshot = instrumented_pass();
+    if let Some(path) = &telemetry_out {
+        agreements_experiments::write_snapshot(path, &snapshot);
+    }
+    let batch_hist =
+        snapshot.histogram(HistKind::BatchSize).expect("batch-size histogram recorded").clone();
+    let wait_hist = snapshot
+        .histogram(HistKind::QueueWaitSeconds)
+        .expect("queue-wait histogram recorded")
+        .clone();
+    let batched_ctr = snapshot.counter("grm.batched_allocations");
+    assert!(batched_ctr > 0, "instrumented pass recorded no batched allocations");
+    assert!(
+        batch_hist.mean() > 1.0,
+        "pipelined client produced no real batches (mean batch {})",
+        batch_hist.mean()
+    );
+    eprintln!(
+        "telemetry: {} batched allocations, mean batch {:.1}, mean queue wait {:.1} µs",
+        batched_ctr,
+        batch_hist.mean(),
+        wait_hist.mean() * 1e6
+    );
+
+    if check {
+        eprintln!("check mode: all invariants hold; no baseline written");
+        return;
+    }
+
+    let admission_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"n\": {}, \"mode\": \"{}\", \"solves\": {}, \"seconds\": {:.4}, \
+                 \"allocations_per_sec\": {:.1} }}",
+                r.n, r.mode, r.solves, r.seconds, r.per_sec
+            )
+        })
+        .collect();
+    let ratio_json: Vec<String> = SIZES
+        .iter()
+        .map(|&n| {
+            let seq = rows
+                .iter()
+                .find(|r| r.n == n && r.mode == "admit_batch_sequential")
+                .expect("seq row");
+            let auto =
+                rows.iter().find(|r| r.n == n && r.mode == "admit_batch_auto").expect("auto row");
+            format!(
+                "    {{ \"n\": {n}, \"auto_vs_sequential\": {:.3}, \"fallback_active\": {} }}",
+                auto.per_sec / seq.per_sec,
+                cores < 2
+            )
+        })
+        .collect();
+    let serve_json: Vec<String> = serve_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"n\": {}, \"mode\": \"{}\", \"requests\": {}, \"seconds\": {:.4}, \
+                 \"requests_per_sec\": {:.1} }}",
+                r.n, r.mode, r.solves, r.seconds, r.per_sec
+            )
+        })
+        .collect();
+    let batched_ratio_json: Vec<String> = [128usize, 1000]
+        .iter()
+        .map(|&n| {
+            let unb =
+                serve_rows.iter().find(|r| r.n == n && r.mode == "hier_unbatched").expect("unb");
+            let bat =
+                serve_rows.iter().find(|r| r.n == n && r.mode == "hier_batched").expect("bat");
+            format!(
+                "    {{ \"n\": {n}, \"batched_vs_unbatched\": {:.2} }}",
+                bat.per_sec / unb.per_sec
+            )
+        })
+        .collect();
+    // The headline acceptance ratio: what the batched front door admits
+    // per second vs what the unbatched (one request per wakeup) serve
+    // loop delivers per second, both at n = 1000. Batching exists to
+    // amortize exactly the per-request delivery overhead this exposes.
+    let admit_1000 =
+        rows.iter().find(|r| r.n == 1000 && r.mode == "admit_batch_auto").expect("admission row");
+    let serve_1000 =
+        serve_rows.iter().find(|r| r.n == 1000 && r.mode == "hier_unbatched").expect("serve row");
+    let headline = admit_1000.per_sec / serve_1000.per_sec;
+    eprintln!("batched admission vs unbatched serve loop at n=1000: {headline:.2}x");
+    let json = format!(
+        "{{\n  \"bench\": \"pr6_batched_admission\",\n  \
+         \"economy\": \"isp_blocks_of_8_ring_span_2\",\n  \
+         \"host_parallelism\": {cores},\n  \
+         \"admission_throughput\": [\n{}\n  ],\n  \
+         \"parallel_vs_sequential\": [\n{}\n  ],\n  \
+         \"serve_loop_throughput\": [\n{}\n  ],\n  \
+         \"serve_loop_batching\": [\n{}\n  ],\n  \
+         \"batched_admission_vs_unbatched_serve_n1000\": {headline:.2},\n  \
+         \"batch_size_histogram\": {{ \"count\": {}, \"mean\": {:.2}, \"max\": {:.0} }},\n  \
+         \"queue_wait_histogram\": {{ \"count\": {}, \"mean_seconds\": {:.9}, \
+         \"max_seconds\": {:.9} }}\n}}\n",
+        admission_json.join(",\n"),
+        ratio_json.join(",\n"),
+        serve_json.join(",\n"),
+        batched_ratio_json.join(",\n"),
+        batch_hist.count,
+        batch_hist.mean(),
+        batch_hist.max,
+        wait_hist.count,
+        wait_hist.mean(),
+        wait_hist.max,
+    );
+    std::fs::write(&out_path, json)
+        .unwrap_or_else(|e| panic!("writing baseline to {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

@@ -240,24 +240,13 @@ pub fn print_summary(rows: &[(&str, &SimResult)]) {
     }
 }
 
-/// Apply `f` to every item on its own scoped thread and return the
-/// outputs **in input order**. This is the backbone of every figure
-/// sweep: each job builds its own `Simulator` (hence its own allocation
-/// solver, so no warm-start state crosses configurations), which makes
-/// the parallel output byte-identical to running the jobs back to back.
-pub fn par_map<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
-where
-    I: Send,
-    O: Send,
-    F: Fn(I) -> O + Sync,
-{
-    crossbeam::thread::scope(|scope| {
-        let f = &f;
-        let handles: Vec<_> = items.into_iter().map(|item| scope.spawn(move |_| f(item))).collect();
-        handles.into_iter().map(|h| h.join().expect("par_map thread")).collect()
-    })
-    .expect("par_map scope")
-}
+/// The order-preserving scoped-thread fan-out behind every figure
+/// sweep, re-exported from `agreements-util` (one definition serves the
+/// flow closure, the GRM tests, and the sweeps here). Each job builds
+/// its own `Simulator` (hence its own allocation solver, so no
+/// warm-start state crosses configurations), which makes the parallel
+/// output byte-identical to running the jobs back to back.
+pub use agreements_util::par_map;
 
 /// Run a set of simulation configurations concurrently (one scoped
 /// thread per configuration, all replaying the same traces) and return

@@ -85,21 +85,17 @@ impl TransitiveFlow {
         let min_product = opts.min_product;
         let mut t = Matrix::zeros(n, n);
         let chunk_rows = n.div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
-            for (c, chunk) in t.as_mut_slice().chunks_mut(chunk_rows * n).enumerate() {
-                let adj = &adj;
-                scope.spawn(move |_| {
-                    let mut visited = vec![false; n];
-                    for (r, row) in chunk.chunks_mut(n).enumerate() {
-                        let src = c * chunk_rows + r;
-                        visited[src] = true;
-                        dfs(src, 1.0, level, min_product, adj, &mut visited, row);
-                        visited[src] = false;
-                    }
-                });
+        let chunks: Vec<(usize, &mut [f64])> =
+            t.as_mut_slice().chunks_mut(chunk_rows * n).enumerate().collect();
+        agreements_util::par_map(chunks, |(c, chunk)| {
+            let mut visited = vec![false; n];
+            for (r, row) in chunk.chunks_mut(n).enumerate() {
+                let src = c * chunk_rows + r;
+                visited[src] = true;
+                dfs(src, 1.0, level, min_product, &adj, &mut visited, row);
+                visited[src] = false;
             }
-        })
-        .expect("transitive-flow worker panicked");
+        });
         clamp_matrix(&mut t, opts.clamp);
         TransitiveFlow { t, level, clamped: opts.clamp }
     }

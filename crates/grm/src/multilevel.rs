@@ -7,11 +7,6 @@ use agreements_flow::AgreementMatrix;
 use agreements_sched::hierarchy::HierarchicalScheduler;
 use agreements_sched::{Allocation, SchedError};
 
-/// Auto-built federations with at least this many groups enable parallel
-/// fine solves: below it, the scoped-thread fan-out costs more than the
-/// handful of tiny LPs it hides.
-const PARALLEL_FINE_GROUPS: usize = 8;
-
 /// A root coordinator over per-group GRMs.
 ///
 /// Requests go to the requester's group GRM first; if the group cannot
@@ -43,8 +38,11 @@ impl TwoLevelGrm {
 
     /// Build directly from a flat agreement economy: the partition, the
     /// per-group intra matrices, and the aggregate inter matrix are all
-    /// derived by [`agreements_flow::auto_partition`]. Federations with
-    /// many groups get parallel fine solves switched on.
+    /// derived by [`agreements_flow::auto_partition`]. Parallel fine
+    /// solves are enabled in *auto* mode: only on hosts where
+    /// `available_parallelism()` reports ≥ 2 cores, and each fan-out is
+    /// further gated on the break-even measured at construction — group
+    /// count alone says nothing about whether the fan-out pays.
     pub fn new_auto(
         s: &AgreementMatrix,
         opts: &PartitionOptions,
@@ -53,9 +51,7 @@ impl TwoLevelGrm {
         let p = auto_partition(s, opts).map_err(SchedError::Flow)?;
         let intra = p.intra_matrices(s).map_err(SchedError::Flow)?;
         let mut grm = Self::new(p.groups, intra, &p.inter, level)?;
-        if grm.sched.num_groups() >= PARALLEL_FINE_GROUPS {
-            grm.sched.set_parallel_fine(true);
-        }
+        grm.sched.set_parallel_auto();
         Ok(grm)
     }
 
@@ -70,9 +66,7 @@ impl TwoLevelGrm {
         let p = auto_partition(s, opts).map_err(SchedError::Flow)?;
         let intra = p.intra_matrices(s).map_err(SchedError::Flow)?;
         let mut grm = Self::new_chaotic(p.groups, intra, &p.inter, level, plane)?;
-        if grm.sched.num_groups() >= PARALLEL_FINE_GROUPS {
-            grm.sched.set_parallel_fine(true);
-        }
+        grm.sched.set_parallel_auto();
         Ok(grm)
     }
 

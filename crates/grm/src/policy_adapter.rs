@@ -39,7 +39,8 @@ fn to_sched_error(e: GrmError) -> SchedError {
         GrmError::Flow(_)
         | GrmError::Disconnected
         | GrmError::DeadlineExceeded { .. }
-        | GrmError::RetriesExhausted { .. } => {
+        | GrmError::RetriesExhausted { .. }
+        | GrmError::Unsupported(_) => {
             SchedError::Lp(agreements_lp::LpError::InvalidModel("GRM unavailable".into()))
         }
     }

@@ -10,13 +10,15 @@
 
 use agreements_flow::{AgreementMatrix, FlowError, IncrementalFlow};
 use agreements_sched::{
-    admission_bound, exceeds_bound, Allocation, AllocationSolver, SchedError, SystemState,
+    admission_bound, exceeds_bound, AdmissionRequest, Allocation, AllocationSolver,
+    BatchedAdmission, HierarchicalScheduler, SchedError, SystemState,
 };
 use agreements_telemetry::{HistKind, Telemetry, TelemetryEvent};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Errors surfaced to GRM clients.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +41,11 @@ pub enum GrmError {
         /// Attempts made before giving up.
         attempts: usize,
     },
+    /// The operation is not available on this engine: a hierarchical
+    /// GRM renegotiates with `set_inter_group`, a flat GRM with
+    /// `set_agreement`; membership changes are flat-only. The payload
+    /// names the rejected operation.
+    Unsupported(&'static str),
 }
 
 impl GrmError {
@@ -67,6 +74,9 @@ impl fmt::Display for GrmError {
             }
             GrmError::RetriesExhausted { attempts } => {
                 write!(f, "GRM unreachable after {attempts} attempts")
+            }
+            GrmError::Unsupported(what) => {
+                write!(f, "unsupported on this engine: {what}")
             }
         }
     }
@@ -115,6 +125,10 @@ enum Msg {
         lrm: usize,
         amount: f64,
         req_id: Option<RequestId>,
+        /// Send-time stamp for the queue-wait histogram; `None` when the
+        /// issuing handle's telemetry plane is disabled (the stamp costs
+        /// a clock read, so it is only taken when someone will look).
+        enqueued: Option<Instant>,
         reply: Sender<Result<Allocation, GrmError>>,
     },
     Release {
@@ -136,6 +150,12 @@ enum Msg {
     SetAgreement {
         from: usize,
         to: usize,
+        share: f64,
+        reply: Sender<Result<(), GrmError>>,
+    },
+    SetInterGroup {
+        from_group: usize,
+        to_group: usize,
         share: f64,
         reply: Sender<Result<(), GrmError>>,
     },
@@ -189,6 +209,15 @@ pub struct GrmStats {
     /// Flow-table rows recomputed by the incremental maintainer across
     /// all agreement/membership mutations since the server started.
     pub flow_rows_recomputed: u64,
+    /// Allocation requests decided through the batched admission front
+    /// door (hierarchical engines only). Counts every request routed
+    /// through a drained run, including runs of one; the `BatchSize`
+    /// telemetry histogram carries the distribution.
+    pub batched_allocations: u64,
+    /// Times the shard executor (hierarchical engines only) declined a
+    /// parallel fan-out in favour of the bit-identical sequential path
+    /// — the break-even gate said the dispatch overhead would not pay.
+    pub executor_fallbacks_sequential: u64,
 }
 
 /// Compensated (Kahan) accumulator for a running `f64` total.
@@ -221,6 +250,10 @@ impl KahanSum {
 #[derive(Clone)]
 pub struct GrmHandle {
     tx: Sender<Msg>,
+    /// The server's telemetry plane, shared so the handle can stamp
+    /// requests at send time for the queue-wait histogram. Disabled
+    /// (the default) costs one branch per request.
+    telemetry: Telemetry,
 }
 
 impl GrmHandle {
@@ -290,9 +323,21 @@ impl GrmHandle {
     ) -> Result<Receiver<Result<Allocation, GrmError>>, GrmError> {
         let (reply, rx) = unbounded();
         self.tx
-            .send(Msg::Request { lrm, amount, req_id, reply })
+            .send(Msg::Request { lrm, amount, req_id, enqueued: self.telemetry.start(), reply })
             .map_err(|_| GrmError::Disconnected)?;
         Ok(rx)
+    }
+
+    /// Send a request without blocking for the decision; returns the
+    /// reply channel. Pipelining many in-flight requests this way is
+    /// what lets the server's drain loop see them as one batch — a
+    /// blocking client hands it runs of one by construction.
+    pub fn request_async(
+        &self,
+        lrm: usize,
+        amount: f64,
+    ) -> Result<Receiver<Result<Allocation, GrmError>>, GrmError> {
+        self.issue_request(lrm, amount, None)
     }
 
     /// Return a previous allocation's draws to the pool.
@@ -359,6 +404,23 @@ impl GrmHandle {
         let (reply, rx) = unbounded();
         self.tx
             .send(Msg::SetAgreement { from, to, share, reply })
+            .map_err(|_| GrmError::Disconnected)?;
+        rx.recv().map_err(|_| GrmError::Disconnected)?
+    }
+
+    /// Renegotiate one inter-group agreement on a hierarchical GRM (the
+    /// coarse analogue of [`GrmHandle::set_agreement`]); requests
+    /// decided after the reply see the new share. Flat GRMs answer
+    /// [`GrmError::Unsupported`].
+    pub fn set_inter_group(
+        &self,
+        from_group: usize,
+        to_group: usize,
+        share: f64,
+    ) -> Result<(), GrmError> {
+        let (reply, rx) = unbounded();
+        self.tx
+            .send(Msg::SetInterGroup { from_group, to_group, share, reply })
             .map_err(|_| GrmError::Disconnected)?;
         rx.recv().map_err(|_| GrmError::Disconnected)?
     }
@@ -439,6 +501,41 @@ impl GrmServer {
         Self::spawn_inner(agreements, level, Some((plane, link)), telemetry)
     }
 
+    /// Spawn a GRM whose decisions run through a [`HierarchicalScheduler`]
+    /// wrapped in the batched admission front door: requests drained in
+    /// one wakeup are admitted as a batch (bit-identical to one-by-one),
+    /// and the scheduler's shard executor fans the fine solves out when
+    /// the measured break-even says the dispatch will pay.
+    ///
+    /// The engine swap changes the management surface, not the RPC one:
+    /// `report`/`tick`/`request`/`release`/`replay_grant` behave as on a
+    /// flat GRM, renegotiation goes through
+    /// [`GrmHandle::set_inter_group`], and `set_agreement`/`leave`
+    /// answer [`GrmError::Unsupported`] (the partition is fixed at
+    /// construction).
+    pub fn spawn_hierarchical(sched: HierarchicalScheduler) -> GrmServer {
+        Self::spawn_hierarchical_with_telemetry(sched, Telemetry::default())
+    }
+
+    /// [`GrmServer::spawn_hierarchical`] with a telemetry plane: batch
+    /// sizes, queue waits, fine-solve spans, and executor fallbacks all
+    /// record through `telemetry`.
+    pub fn spawn_hierarchical_with_telemetry(
+        sched: HierarchicalScheduler,
+        telemetry: Telemetry,
+    ) -> GrmServer {
+        let (tx, rx) = unbounded();
+        let thread_telemetry = telemetry.clone();
+        let join = std::thread::Builder::new()
+            .name("grm-server".into())
+            .spawn(move || {
+                let core = ServerCore::hierarchical(sched, thread_telemetry.clone());
+                serve_core(core, rx, thread_telemetry);
+            })
+            .expect("spawn GRM thread");
+        GrmServer { handle: GrmHandle { tx: tx.clone(), telemetry }, control: tx, join: Some(join) }
+    }
+
     fn spawn_inner(
         agreements: AgreementMatrix,
         level: usize,
@@ -446,6 +543,7 @@ impl GrmServer {
         telemetry: Telemetry,
     ) -> GrmServer {
         let (tx, rx) = unbounded();
+        let handle_telemetry = telemetry.clone();
         let join = std::thread::Builder::new()
             .name("grm-server".into())
             .spawn(move || serve(agreements, level, rx, telemetry))
@@ -454,7 +552,11 @@ impl GrmServer {
             Some((plane, link)) => plane.wrap(link, tx.clone()),
             None => tx.clone(),
         };
-        GrmServer { handle: GrmHandle { tx: client_tx }, control: tx, join: Some(join) }
+        GrmServer {
+            handle: GrmHandle { tx: client_tx, telemetry: handle_telemetry },
+            control: tx,
+            join: Some(join),
+        }
     }
 
     /// Client handle.
@@ -488,6 +590,31 @@ impl Drop for GrmServer {
             let _ = j.join();
         }
     }
+}
+
+/// One allocation request lifted out of a drained message run, waiting
+/// on the batched admission front door.
+struct QueuedRequest {
+    lrm: usize,
+    amount: f64,
+    req_id: Option<RequestId>,
+    enqueued: Option<Instant>,
+    reply: Sender<Result<Allocation, GrmError>>,
+}
+
+/// Where a run entry's answer comes from (see `handle_request_run`).
+enum RunSlot {
+    /// Answered from the dedup window during pre-screen.
+    Answered,
+    /// In-run duplicate: replays the decision of the entry at this run
+    /// index once it exists.
+    DupOf(usize),
+    /// Decided inline without touching availability (unknown LRM).
+    Decided(Result<Allocation, GrmError>),
+    /// Waiting on the admission batch (no payload: batched entries are
+    /// matched up positionally — they appear in run order, as do the
+    /// batch's decisions).
+    Batched,
 }
 
 /// What the server remembers about an already-decided idempotent call.
@@ -580,6 +707,16 @@ struct ServerCore {
     /// Telemetry handle; `Telemetry::default()` (disabled) costs one
     /// branch per call site and keeps the server bit-identical.
     telemetry: Telemetry,
+    /// The batched admission front door over a hierarchical scheduler.
+    /// `Some` switches the decision engine: requests route through
+    /// [`BatchedAdmission`] (batch or one-by-one, bit-identical either
+    /// way) instead of the flat LP policy, whose `incflow`/`policy`/
+    /// fast-reject machinery then goes unused for decisions.
+    front: Option<BatchedAdmission>,
+    /// Last executor-fallback total mirrored into the telemetry plane
+    /// (the executor keeps a cumulative counter; telemetry counters are
+    /// additive, so the server publishes deltas).
+    last_fallbacks: u64,
 }
 
 impl ServerCore {
@@ -615,7 +752,23 @@ impl ServerCore {
             fulfil_shortfall_units: KahanSum::default(),
             journaled_units: KahanSum::default(),
             telemetry,
+            front: None,
+            last_fallbacks: 0,
         }
+    }
+
+    /// A core whose decisions run through the batched admission front
+    /// door. The flat incremental-flow table is kept (over an empty
+    /// agreement matrix) purely so the availability/lease machinery and
+    /// the state snapshot stay the single code path they are on a flat
+    /// core; it is never consulted for a decision.
+    fn hierarchical(sched: HierarchicalScheduler, telemetry: Telemetry) -> ServerCore {
+        let n = sched.num_principals();
+        let mut front = BatchedAdmission::new(sched);
+        front.set_telemetry(telemetry.clone());
+        let mut core = Self::with_telemetry(AgreementMatrix::zeros(n), 1, telemetry);
+        core.front = Some(front);
+        core
     }
 
     /// Republish the flow snapshot after a mutation. Requests issued
@@ -660,7 +813,56 @@ impl ServerCore {
         stats.fulfil_shortfall_units = self.fulfil_shortfall_units.total();
         stats.journaled_units = self.journaled_units.total();
         stats.flow_rows_recomputed = self.incflow.rows_recomputed() as u64;
+        if let Some(front) = &self.front {
+            stats.executor_fallbacks_sequential = front.scheduler().executor_fallbacks();
+        }
         stats
+    }
+
+    /// Decide an in-range request on the hierarchical engine: the front
+    /// door's one-by-one path (a singleton batch, bit for bit). The
+    /// front door commits the draws itself; only the books move here.
+    fn decide_hier(&mut self, lrm: usize, amount: f64) -> Result<Allocation, GrmError> {
+        let front = self.front.as_ref().expect("hierarchical engine");
+        let res = front.admit_one(&mut self.state.availability, lrm, amount);
+        self.sync_executor_fallbacks();
+        match res {
+            Ok(alloc) => {
+                self.stats.granted += 1;
+                self.granted_units.add(alloc.amount);
+                self.telemetry.add("grm.granted", 1);
+                self.telemetry.record_with(|| TelemetryEvent::Granted {
+                    requester: lrm,
+                    amount: alloc.amount,
+                    theta: alloc.theta,
+                    draws: alloc.draws.clone(),
+                });
+                Ok(alloc)
+            }
+            Err(e) => {
+                if matches!(e, SchedError::InsufficientCapacity { .. }) {
+                    self.stats.rejected_capacity += 1;
+                }
+                Err(GrmError::Sched(e))
+            }
+        }
+    }
+
+    /// Mirror the executor's cumulative sequential-fallback counter into
+    /// the telemetry plane as increments. Guarded on `enabled()` so the
+    /// disabled plane keeps its one-branch cost (no atomic load).
+    fn sync_executor_fallbacks(&mut self) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        if let Some(front) = &self.front {
+            let total = front.scheduler().executor_fallbacks();
+            let delta = total.saturating_sub(self.last_fallbacks);
+            if delta > 0 {
+                self.telemetry.add("grm.executor_fallbacks_sequential", delta);
+                self.last_fallbacks = total;
+            }
+        }
     }
 
     /// Decide an in-range allocation request against the current state.
@@ -725,6 +927,116 @@ impl ServerCore {
         }
     }
 
+    /// Decide a contiguous run of drained requests through the batched
+    /// admission front door. Equivalent to calling `handle` on each
+    /// message in order — same decisions bit for bit, same counters,
+    /// same dedup-window contents — because (a) `admit_batch` is
+    /// bit-identical to `admit_one` in input order and (b) the entries
+    /// answered outside the batch (dedup hits, in-run duplicates,
+    /// unknown LRMs) never touch availability, so pulling them out
+    /// cannot move any batched decision.
+    fn handle_request_run(&mut self, run: Vec<QueuedRequest>) {
+        let n = self.state.n();
+        let mut slots: Vec<RunSlot> = Vec::with_capacity(run.len());
+        // `replay_needed[j]` marks originals some later in-run duplicate
+        // replays, so only those pay for keeping a decision clone.
+        let mut replay_needed = vec![false; run.len()];
+        let mut in_run: HashMap<RequestId, usize> = HashMap::new();
+        let mut reqs: Vec<AdmissionRequest> = Vec::new();
+        for (i, q) in run.iter().enumerate() {
+            self.telemetry.stop(HistKind::QueueWaitSeconds, q.enqueued);
+            if let Some(id) = q.req_id {
+                if let Some(cached) = self.dedup.get(&id) {
+                    self.stats.duplicate_requests += 1;
+                    let res = match cached {
+                        CachedReply::Grant(r) => r.clone(),
+                        CachedReply::Release(_) | CachedReply::Replay(_) => {
+                            Err(GrmError::Sched(SchedError::InvalidRequest { amount: q.amount }))
+                        }
+                    };
+                    let _ = q.reply.send(res);
+                    slots.push(RunSlot::Answered);
+                    continue;
+                }
+                if let Some(&j) = in_run.get(&id) {
+                    // One-at-a-time delivery would find the original's
+                    // decision already in the window; here it does not
+                    // exist yet, so the reply is deferred.
+                    self.stats.duplicate_requests += 1;
+                    replay_needed[j] = true;
+                    slots.push(RunSlot::DupOf(j));
+                    continue;
+                }
+                in_run.insert(id, i);
+            }
+            self.stats.requests += 1;
+            self.telemetry.add("grm.requests", 1);
+            if q.lrm >= n {
+                slots.push(RunSlot::Decided(Err(GrmError::UnknownLrm(q.lrm))));
+            } else {
+                reqs.push(AdmissionRequest { requester: q.lrm, amount: q.amount });
+                slots.push(RunSlot::Batched);
+            }
+        }
+        let span = if reqs.is_empty() { None } else { self.telemetry.start() };
+        let front = self.front.as_ref().expect("hierarchical engine");
+        let decisions = front.admit_batch(&mut self.state.availability, &reqs);
+        self.telemetry.stop(HistKind::RequestLatencySeconds, span);
+        self.stats.batched_allocations += reqs.len() as u64;
+        if !reqs.is_empty() {
+            self.telemetry.add("grm.batched_allocations", reqs.len() as u64);
+            self.telemetry.observe(HistKind::BatchSize, reqs.len() as f64);
+        }
+        self.sync_executor_fallbacks();
+        // Book, remember, and answer in arrival order. Batched entries
+        // consume the decision stream positionally.
+        let mut decisions = decisions.into_iter();
+        let mut replays: HashMap<usize, Result<Allocation, GrmError>> = HashMap::new();
+        for (i, (q, slot)) in run.iter().zip(slots).enumerate() {
+            let is_dup = matches!(slot, RunSlot::DupOf(_));
+            let res = match slot {
+                RunSlot::Answered => continue,
+                RunSlot::DupOf(j) => {
+                    replays.get(&j).cloned().expect("in-run original decided before its duplicate")
+                }
+                RunSlot::Decided(r) => r,
+                RunSlot::Batched => {
+                    match decisions.next().expect("one decision per batched request") {
+                        Ok(alloc) => {
+                            self.stats.granted += 1;
+                            self.granted_units.add(alloc.amount);
+                            self.telemetry.add("grm.granted", 1);
+                            self.telemetry.record_with(|| TelemetryEvent::Granted {
+                                requester: q.lrm,
+                                amount: alloc.amount,
+                                theta: alloc.theta,
+                                draws: alloc.draws.clone(),
+                            });
+                            Ok(alloc)
+                        }
+                        Err(e) => {
+                            if matches!(e, SchedError::InsufficientCapacity { .. }) {
+                                self.stats.rejected_capacity += 1;
+                            }
+                            Err(GrmError::Sched(e))
+                        }
+                    }
+                }
+            };
+            if let Some(id) = q.req_id {
+                // Dedup hits never re-insert; in-run duplicates mirror
+                // that. Everything decided here is remembered.
+                if !is_dup {
+                    self.dedup.insert(id, CachedReply::Grant(res.clone()));
+                }
+            }
+            if replay_needed[i] {
+                replays.insert(i, res.clone());
+            }
+            let _ = q.reply.send(res);
+        }
+    }
+
     /// Handle one message. Returns `false` on `Shutdown`.
     fn handle(&mut self, msg: Msg) -> bool {
         let n = self.state.n();
@@ -737,6 +1049,13 @@ impl ServerCore {
                 self.apply_tick(now, lease);
             }
             Msg::Join { reply } => {
+                if self.front.is_some() {
+                    // The hierarchical partition is fixed at
+                    // construction; `Sender<usize>` cannot carry an
+                    // error, so the sentinel answers "no index".
+                    let _ = reply.send(usize::MAX);
+                    return true;
+                }
                 let newcomer = self.incflow.grow();
                 self.state.availability.push(0.0);
                 // The newcomer's lease starts at the current clock: a
@@ -748,7 +1067,9 @@ impl ServerCore {
                 let _ = reply.send(newcomer);
             }
             Msg::Leave { lrm, reply } => {
-                let res = if lrm < n {
+                let res = if self.front.is_some() {
+                    Err(GrmError::Unsupported("leave on a hierarchical GRM (fixed partition)"))
+                } else if lrm < n {
                     self.incflow.isolate(lrm).map_err(GrmError::Flow).map(|()| {
                         self.state.availability[lrm] = 0.0;
                         self.refresh_flow();
@@ -758,7 +1079,10 @@ impl ServerCore {
                 };
                 let _ = reply.send(res);
             }
-            Msg::Request { lrm, amount, req_id, reply } => {
+            Msg::Request { lrm, amount, req_id, enqueued, reply } => {
+                // The queue wait ends the moment processing begins —
+                // before the dedup check, which is itself server work.
+                self.telemetry.stop(HistKind::QueueWaitSeconds, enqueued);
                 if let Some(id) = req_id {
                     if let Some(cached) = self.dedup.get(&id) {
                         self.stats.duplicate_requests += 1;
@@ -779,6 +1103,8 @@ impl ServerCore {
                 let span = self.telemetry.start();
                 let res = if lrm >= n {
                     Err(GrmError::UnknownLrm(lrm))
+                } else if self.front.is_some() {
+                    self.decide_hier(lrm, amount)
                 } else {
                     self.decide(lrm, amount)
                 };
@@ -862,17 +1188,44 @@ impl ServerCore {
                 }
             }
             Msg::SetAgreement { from, to, share, reply } => {
-                let res = self.incflow.set(from, to, share).map_err(GrmError::Flow).map(|rows| {
-                    self.stats.agreement_updates += 1;
-                    self.telemetry.add("grm.agreement_updates", 1);
-                    self.telemetry.record_with(|| TelemetryEvent::AgreementSet {
-                        from,
-                        to,
-                        share,
-                        dirty_rows: rows as u64,
-                    });
-                    self.refresh_flow();
-                });
+                let res = if self.front.is_some() {
+                    Err(GrmError::Unsupported(
+                        "set_agreement on a hierarchical GRM; renegotiate with set_inter_group",
+                    ))
+                } else {
+                    self.incflow.set(from, to, share).map_err(GrmError::Flow).map(|rows| {
+                        self.stats.agreement_updates += 1;
+                        self.telemetry.add("grm.agreement_updates", 1);
+                        self.telemetry.record_with(|| TelemetryEvent::AgreementSet {
+                            from,
+                            to,
+                            share,
+                            dirty_rows: rows as u64,
+                        });
+                        self.refresh_flow();
+                    })
+                };
+                let _ = reply.send(res);
+            }
+            Msg::SetInterGroup { from_group, to_group, share, reply } => {
+                let res = if let Some(front) = self.front.as_mut() {
+                    match front.set_inter(from_group, to_group, share) {
+                        Ok(rows) => {
+                            self.stats.agreement_updates += 1;
+                            self.telemetry.add("grm.agreement_updates", 1);
+                            self.telemetry.record_with(|| TelemetryEvent::AgreementSet {
+                                from: from_group,
+                                to: to_group,
+                                share,
+                                dirty_rows: rows as u64,
+                            });
+                            Ok(())
+                        }
+                        Err(e) => Err(GrmError::Sched(e)),
+                    }
+                } else {
+                    Err(GrmError::Unsupported("set_inter_group on a flat GRM"))
+                };
                 let _ = reply.send(res);
             }
             Msg::Availability { reply } => {
@@ -926,6 +1279,22 @@ impl ServerCore {
                     }
                     self.apply_tick(latest, lease);
                 }
+                Msg::Request { lrm, amount, req_id, enqueued, reply } if self.front.is_some() => {
+                    // On the hierarchical engine a contiguous run of
+                    // requests becomes one admission batch. Runs never
+                    // extend across other message kinds, so nothing is
+                    // reordered relative to reports, ticks, releases,
+                    // or renegotiations.
+                    let mut run = vec![QueuedRequest { lrm, amount, req_id, enqueued, reply }];
+                    while let Some(Msg::Request { .. }) = it.peek() {
+                        let Some(Msg::Request { lrm, amount, req_id, enqueued, reply }) = it.next()
+                        else {
+                            unreachable!("peeked a Request");
+                        };
+                        run.push(QueuedRequest { lrm, amount, req_id, enqueued, reply });
+                    }
+                    self.handle_request_run(run);
+                }
                 other => {
                     if !self.handle(other) {
                         return false;
@@ -938,11 +1307,16 @@ impl ServerCore {
 }
 
 fn serve(agreements: AgreementMatrix, level: usize, rx: Receiver<Msg>, telemetry: Telemetry) {
-    let mut core = ServerCore::with_telemetry(agreements, level, telemetry.clone());
+    let core = ServerCore::with_telemetry(agreements, level, telemetry.clone());
+    serve_core(core, rx, telemetry);
+}
+
+fn serve_core(mut core: ServerCore, rx: Receiver<Msg>, telemetry: Telemetry) {
     // Coalescing drain loop: block for the first message of a wakeup,
     // then drain everything already queued and hand the batch to the
     // core, so a burst of reports costs one pass instead of one wakeup
-    // each.
+    // each (and, on a hierarchical engine, a burst of requests becomes
+    // one admission batch).
     let mut batch: Vec<Msg> = Vec::new();
     while let Ok(first) = rx.recv() {
         batch.push(first);
@@ -1048,24 +1422,18 @@ mod tests {
             h.report(i, 25.0).unwrap();
         }
         // 8 client threads each grab 5 units for a random-ish requester.
-        let total_granted: f64 = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..8)
-                .map(|c| {
-                    let h = grm.handle();
-                    scope.spawn(move |_| {
-                        let mut granted = 0.0;
-                        for _ in 0..3 {
-                            if let Ok(a) = h.request(c % 4, 5.0) {
-                                granted += a.amount;
-                            }
-                        }
-                        granted
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|j| j.join().unwrap()).sum()
+        let total_granted: f64 = agreements_util::par_map((0..8usize).collect(), |c| {
+            let h = grm.handle();
+            let mut granted = 0.0;
+            for _ in 0..3 {
+                if let Ok(a) = h.request(c % 4, 5.0) {
+                    granted += a.amount;
+                }
+            }
+            granted
         })
-        .unwrap();
+        .into_iter()
+        .sum();
         let remaining: f64 = h.availability().unwrap().iter().sum();
         assert!(
             (total_granted + remaining - 100.0).abs() < 1e-6,
@@ -1400,6 +1768,7 @@ mod tests {
         assert!(GrmError::DeadlineExceeded { millis: 5 }.is_retryable());
         assert!(!GrmError::RetriesExhausted { attempts: 3 }.is_retryable());
         assert!(!GrmError::UnknownLrm(1).is_retryable());
+        assert!(!GrmError::Unsupported("leave").is_retryable());
         assert!(!GrmError::Sched(SchedError::InvalidRequest { amount: -1.0 }).is_retryable());
         // Display strings exist for the new variants.
         assert!(GrmError::DeadlineExceeded { millis: 5 }.to_string().contains("5 ms"));
@@ -1436,14 +1805,26 @@ mod tests {
             msgs.push(Msg::Tick { now: 3, lease: 10 });
             // A request in the middle: runs must not reorder around it.
             let (tx, rx) = unbounded();
-            msgs.push(Msg::Request { lrm: 0, amount: 6.0, req_id: None, reply: tx });
+            msgs.push(Msg::Request {
+                lrm: 0,
+                amount: 6.0,
+                req_id: None,
+                enqueued: None,
+                reply: tx,
+            });
             replies.push(rx);
             // A fresh report, a lease-expiring tick, then an over-ask
             // that must reject identically on both paths.
             msgs.push(Msg::Report { lrm: 0, available: 1.0 });
             msgs.push(Msg::Tick { now: 20, lease: 10 });
             let (tx, rx) = unbounded();
-            msgs.push(Msg::Request { lrm: 2, amount: 100.0, req_id: None, reply: tx });
+            msgs.push(Msg::Request {
+                lrm: 2,
+                amount: 100.0,
+                req_id: None,
+                enqueued: None,
+                reply: tx,
+            });
             replies.push(rx);
             (msgs, replies)
         };
@@ -1550,6 +1931,169 @@ mod tests {
         assert_eq!(stats.agreement_updates, 1);
         assert_eq!(stats.flow_rows_recomputed, 2, "incremental repair, not a full recompute");
         grm.shutdown();
+    }
+
+    /// Two groups of two with symmetric 50% inter-group sharing.
+    fn hier_sched(parallel: bool) -> HierarchicalScheduler {
+        let mut inter = AgreementMatrix::zeros(2);
+        inter.set(0, 1, 0.5).unwrap();
+        inter.set(1, 0, 0.5).unwrap();
+        let mut sched =
+            HierarchicalScheduler::new(vec![vec![0, 1], vec![2, 3]], &inter, 1).unwrap();
+        sched.set_parallel_fine(parallel);
+        sched
+    }
+
+    #[test]
+    fn hierarchical_grm_round_trip() {
+        let grm = GrmServer::spawn_hierarchical(hier_sched(false));
+        let h = grm.handle();
+        for i in 0..4 {
+            h.report(i, 10.0).unwrap();
+        }
+        // Within the home group (0's group holds 20 units).
+        let alloc = h.request(0, 15.0).unwrap();
+        assert!((alloc.amount - 15.0).abs() < 1e-9);
+        let avail = h.availability().unwrap();
+        assert!((avail.iter().sum::<f64>() - 25.0).abs() < 1e-9);
+        h.release(alloc).unwrap();
+        assert!((h.availability().unwrap().iter().sum::<f64>() - 40.0).abs() < 1e-9);
+        // Beyond every agreement's reach: home 20 + 50% of group 1's 20.
+        match h.request(0, 31.0) {
+            Err(GrmError::Sched(SchedError::InsufficientCapacity { .. })) => {}
+            other => panic!("expected capacity rejection, got {other:?}"),
+        }
+        let s = h.stats().unwrap();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.granted, 1);
+        assert_eq!(s.rejected_capacity, 1);
+        assert!((s.granted_units - 15.0).abs() < 1e-9);
+        assert_eq!(s.batched_allocations, 2, "every request went through the front door");
+        grm.shutdown();
+    }
+
+    #[test]
+    fn hierarchical_grm_rejects_flat_only_management_ops() {
+        let grm = GrmServer::spawn_hierarchical(hier_sched(false));
+        let h = grm.handle();
+        assert!(matches!(h.set_agreement(0, 1, 0.5), Err(GrmError::Unsupported(_))));
+        assert!(matches!(h.leave(0), Err(GrmError::Unsupported(_))));
+        assert_eq!(h.join().unwrap(), usize::MAX, "fixed partition: no index to give");
+        grm.shutdown();
+        // And the coarse renegotiation is hierarchical-only.
+        let flat = GrmServer::spawn(complete(2, 0.5), 1);
+        assert!(matches!(flat.handle().set_inter_group(0, 1, 0.4), Err(GrmError::Unsupported(_))));
+        flat.shutdown();
+    }
+
+    #[test]
+    fn set_inter_group_renegotiates_mid_stream() {
+        let inter = AgreementMatrix::zeros(2);
+        let sched = HierarchicalScheduler::new(vec![vec![0], vec![1]], &inter, 1).unwrap();
+        let grm = GrmServer::spawn_hierarchical(sched);
+        let h = grm.handle();
+        h.report(0, 0.0).unwrap();
+        h.report(1, 10.0).unwrap();
+        assert!(h.request(0, 2.0).is_err(), "no inter-group agreement yet");
+        h.set_inter_group(1, 0, 0.5).unwrap();
+        let alloc = h.request(0, 2.0).unwrap();
+        assert!((alloc.draws[1] - 2.0).abs() < 1e-9);
+        let s = h.stats().unwrap();
+        assert_eq!(s.agreement_updates, 1);
+        grm.shutdown();
+    }
+
+    /// One message trace with a contiguous request run, delivered one
+    /// `handle` call at a time vs through `handle_batch`'s batched front
+    /// door. Every reply, the availability vector, and the counters must
+    /// agree bit for bit (`batched_allocations` — bookkeeping for which
+    /// door decided — is the one permitted difference).
+    fn hier_batched_run_matches_one_by_one(parallel: bool) {
+        let id_a = RequestId { client: 1, seq: 1 };
+        let id_b = RequestId { client: 1, seq: 2 };
+        let build_trace = || {
+            let mut msgs = Vec::new();
+            let mut replies = Vec::new();
+            for (lrm, avail) in [(0, 6.0), (1, 4.0), (2, 10.0), (3, 2.0)] {
+                msgs.push(Msg::Report { lrm, available: avail });
+            }
+            // A run mixing grants, an in-run duplicate, an unknown LRM,
+            // a capacity rejection, and an invalid amount.
+            for (lrm, amount, req_id) in [
+                (0, 3.0, Some(id_a)),
+                (2, 5.0, None),
+                (0, 3.0, Some(id_a)), // in-run duplicate: replays, no re-grant
+                (7, 1.0, None),       // unknown LRM
+                (1, 100.0, None),     // beyond reach
+                (3, 4.0, Some(id_b)), // needs the coarse cross-group path
+                (3, -1.0, None),      // invalid amount
+            ] {
+                let (tx, rx) = unbounded();
+                msgs.push(Msg::Request { lrm, amount, req_id, enqueued: None, reply: tx });
+                replies.push(rx);
+            }
+            // A report breaks the run; the retry of `id_a` behind it is
+            // a window hit on both paths.
+            msgs.push(Msg::Report { lrm: 1, available: 9.0 });
+            let (tx, rx) = unbounded();
+            msgs.push(Msg::Request {
+                lrm: 0,
+                amount: 3.0,
+                req_id: Some(id_a),
+                enqueued: None,
+                reply: tx,
+            });
+            replies.push(rx);
+            (msgs, replies)
+        };
+
+        let (msgs_one, replies_one) = build_trace();
+        let (msgs_batch, replies_batch) = build_trace();
+
+        let mut one = ServerCore::hierarchical(hier_sched(parallel), Telemetry::default());
+        for m in msgs_one {
+            assert!(one.handle(m));
+        }
+        let mut batched = ServerCore::hierarchical(hier_sched(parallel), Telemetry::default());
+        let mut batch = msgs_batch;
+        assert!(batched.handle_batch(&mut batch));
+
+        for (ra, rb) in replies_one.iter().zip(&replies_batch) {
+            let (a, b) = (ra.try_recv().unwrap(), rb.try_recv().unwrap());
+            assert_eq!(a, b);
+            if let (Ok(a), Ok(b)) = (&a, &b) {
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&a.draws), bits(&b.draws), "draws bit-identical");
+            }
+        }
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&one.state.availability), bits(&batched.state.availability));
+        let (mut s1, mut s2) = (one.published_stats(), batched.published_stats());
+        assert_eq!(s1.batched_allocations, 0, "one-at-a-time delivery never batches");
+        assert_eq!(
+            s2.batched_allocations, 5,
+            "the dup, the unknown LRM, and the window hit stay out of the batch"
+        );
+        assert_eq!(s1.duplicate_requests, 2);
+        assert_eq!(s2.duplicate_requests, 2);
+        // The executor decides per-wave whether fanning out pays, so the
+        // fallback counter legitimately differs between a batch and 8
+        // runs of one.
+        s1.batched_allocations = 0;
+        s2.batched_allocations = 0;
+        s1.executor_fallbacks_sequential = 0;
+        s2.executor_fallbacks_sequential = 0;
+        assert_eq!(s1, s2, "all other counters agree");
+    }
+
+    #[test]
+    fn hierarchical_batched_run_matches_one_by_one_sequential() {
+        hier_batched_run_matches_one_by_one(false);
+    }
+
+    #[test]
+    fn hierarchical_batched_run_matches_one_by_one_parallel() {
+        hier_batched_run_matches_one_by_one(true);
     }
 
     #[test]

@@ -19,167 +19,44 @@
 //!   min-max refinement LP (the PR 1 pattern), so the steady state
 //!   performs no model construction and no heap allocation beyond the
 //!   per-group draw vector.
-//! - **Parallel fine solves** ([`HierarchicalScheduler::set_parallel_fine`]):
-//!   contributing groups refine concurrently on scoped threads, merged in
+//! - **Parallel fine solves** ([`HierarchicalScheduler::set_parallel_fine`]
+//!   / [`HierarchicalScheduler::set_parallel_auto`]): contributing groups
+//!   refine concurrently on the persistent [`crate::executor::ShardExecutor`]
+//!   workers (warm solvers, no per-solve thread spawn), merged in
 //!   ascending group order. Groups are disjoint and per-group solves are
 //!   cold-started and deterministic, so parallel results are bit-identical
-//!   to sequential — property-tested in `tests/proptest_scale.rs`.
+//!   to sequential — property-tested in `tests/proptest_scale.rs`. Auto
+//!   mode measures a per-construction break-even and falls back to the
+//!   sequential loop (counted in [`ExecutorStats`]) whenever the fan-out
+//!   would not pay; on a 1-core host it never builds an executor at all.
 //! - **Incremental coarse flow**: the group-level transitive flow is
 //!   maintained through [`IncrementalFlow`], so an agreement renegotiation
 //!   ([`HierarchicalScheduler::set_inter`]) repairs only the dirty rows
 //!   instead of recomputing the closure.
 
 use crate::error::SchedError;
-use crate::lp_model::{solve_allocation, Formulation, DRAW_EPS};
+use crate::executor::{ExecutorStats, GroupSolver, ShardExecutor};
+use crate::lp_model::{solve_allocation, Formulation};
 use crate::state::{Allocation, SystemState};
 use agreements_flow::partition::{auto_partition, PartitionOptions};
 use agreements_flow::{AgreementMatrix, IncrementalFlow};
-use agreements_lp::{solve_bounded_with, LpError, SimplexOptions, SimplexWorkspace};
+use agreements_lp::{LpError, SimplexOptions};
 use agreements_telemetry::{HistKind, Telemetry};
 use parking_lot::Mutex;
 use std::fmt;
+use std::sync::Arc;
 
-/// A per-group fine solver: persistent simplex workspace plus the cached
-/// standard form of the group's min-max refinement LP
-///
-/// ```text
-/// min θ  s.t.  Σ_i d_i = amount,   d_i − θ ≤ 0,   0 ≤ d_i ≤ avail_i
-/// ```
-///
-/// Column layout (the `AllocationSolver` skeleton convention): one column
-/// per member with positive availability (ascending member order), then
-/// θ, then one slack per drop row. Zero-availability members are
-/// substituted out, so the skeleton is keyed on that pattern and rebuilt
-/// only when it changes. Warm starting stays off: every solve is a cold
-/// start, which is what makes parallel and sequential refinement
-/// bit-identical.
-struct GroupSolver {
-    ws: SimplexWorkspace,
-    /// Zero-availability pattern the skeleton was built for.
-    fixed: Vec<bool>,
-    /// Standard-form column of each member's draw variable.
-    col_of: Vec<Option<usize>>,
-    a: Vec<Vec<f64>>,
-    b: Vec<f64>,
-    c: Vec<f64>,
-    upper: Vec<f64>,
-    num_structural: usize,
-    built: bool,
-}
-
-impl GroupSolver {
-    fn new() -> Self {
-        GroupSolver {
-            ws: SimplexWorkspace::new(),
-            fixed: Vec::new(),
-            col_of: Vec::new(),
-            a: Vec::new(),
-            b: Vec::new(),
-            c: Vec::new(),
-            upper: Vec::new(),
-            num_structural: 0,
-            built: false,
-        }
-    }
-
-    fn skeleton_is_current(&self, mavail: &[f64]) -> bool {
-        self.built
-            && self.fixed.len() == mavail.len()
-            && mavail.iter().zip(&self.fixed).all(|(&v, &f)| f == (v.max(0.0) == 0.0))
-    }
-
-    fn rebuild(&mut self, mavail: &[f64]) {
-        let m = mavail.len();
-        self.fixed.clear();
-        self.col_of.clear();
-        let mut col = 0usize;
-        for &v in mavail {
-            let is_fixed = v.max(0.0) == 0.0;
-            self.fixed.push(is_fixed);
-            if is_fixed {
-                self.col_of.push(None);
-            } else {
-                self.col_of.push(Some(col));
-                col += 1;
-            }
-        }
-        let k = col;
-        let theta_col = k;
-        let num_structural = k + 1;
-        let rows = 1 + k;
-        let total = num_structural + k;
-
-        self.a.resize_with(rows, Vec::new);
-        self.a.truncate(rows);
-        for row in &mut self.a {
-            row.clear();
-            row.resize(total, 0.0);
-        }
-        self.b.clear();
-        self.b.resize(rows, 0.0);
-        // Row 0: Σ d_i = amount (rhs rewritten per solve).
-        for i in 0..m {
-            if let Some(c) = self.col_of[i] {
-                self.a[0][c] = 1.0;
-            }
-        }
-        // Rows 1..=k: d_t − θ + s_t = 0 for each active member t.
-        for t in 0..k {
-            self.a[1 + t][t] = 1.0;
-            self.a[1 + t][theta_col] = -1.0;
-            self.a[1 + t][num_structural + t] = 1.0;
-        }
-        self.c.clear();
-        self.c.resize(total, 0.0);
-        self.c[theta_col] = 1.0;
-        self.upper.clear();
-        self.upper.resize(total, f64::INFINITY);
-        self.num_structural = num_structural;
-        self.built = true;
-        // A rebuilt skeleton is a different model; never seed it from an
-        // old basis (fine solves are cold anyway — defense in depth).
-        self.ws.invalidate_warm_start();
-    }
-
-    /// Solve the refinement LP; returns per-member draws (group-local
-    /// order), with sub-`DRAW_EPS` dust zeroed like the flat path.
-    fn solve(
-        &mut self,
-        mavail: &[f64],
-        amount: f64,
-        opts: &SimplexOptions,
-    ) -> Result<Vec<f64>, LpError> {
-        if !self.skeleton_is_current(mavail) {
-            self.rebuild(mavail);
-        }
-        self.b[0] = amount;
-        for (i, &v) in mavail.iter().enumerate() {
-            if let Some(c) = self.col_of[i] {
-                self.upper[c] = v.max(0.0);
-            }
-        }
-        let sol = solve_bounded_with(
-            &mut self.ws,
-            &self.a,
-            &self.b,
-            &self.c,
-            &self.upper,
-            self.num_structural,
-            opts,
-        )?;
-        Ok((0..mavail.len())
-            .map(|i| {
-                self.col_of[i].map_or(0.0, |c| {
-                    let d = sol.x[c];
-                    if d < DRAW_EPS {
-                        0.0
-                    } else {
-                        d
-                    }
-                })
-            })
-            .collect())
-    }
+/// How fine refinement chooses between the sequential loop and the
+/// shard executor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum FineMode {
+    /// No executor; the sequential loop, always.
+    Sequential,
+    /// Executor always consulted, no break-even gate (tests, opt-in).
+    Force,
+    /// Executor built only when the host has ≥ 2 cores; every fan-out is
+    /// gated on the measured break-even.
+    Auto,
 }
 
 /// Hierarchical scheduler: a partition of principals into groups plus the
@@ -193,11 +70,18 @@ pub struct HierarchicalScheduler {
     /// `snapshot()` caches through `&mut self` while `allocate` takes
     /// `&self` (the GRM serves through a shared handle).
     coarse: Mutex<IncrementalFlow>,
-    /// One pooled fine solver per group, individually locked so parallel
-    /// refinement of disjoint groups never contends.
+    /// One pooled fine solver per group for the sequential path; the
+    /// executor workers own their *own* warm solvers, so these never
+    /// contend with a fan-out.
     fine: Vec<Mutex<GroupSolver>>,
     opts: SimplexOptions,
-    parallel_fine: bool,
+    /// Persistent shard executor; present in Force mode and in Auto mode
+    /// on multi-core hosts.
+    executor: Option<ShardExecutor>,
+    mode: FineMode,
+    /// Fan-out/fallback counters shared with the executor; surfaced
+    /// through the GRM as `executor_fallbacks_sequential`.
+    exec_stats: Arc<ExecutorStats>,
     telemetry: Telemetry,
 }
 
@@ -205,7 +89,8 @@ impl fmt::Debug for HierarchicalScheduler {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("HierarchicalScheduler")
             .field("groups", &self.groups)
-            .field("parallel_fine", &self.parallel_fine)
+            .field("mode", &self.mode)
+            .field("workers", &self.executor.as_ref().map(ShardExecutor::num_workers))
             .finish_non_exhaustive()
     }
 }
@@ -246,7 +131,9 @@ impl HierarchicalScheduler {
             coarse,
             fine,
             opts: SimplexOptions::default(),
-            parallel_fine: false,
+            executor: None,
+            mode: FineMode::Sequential,
+            exec_stats: Arc::new(ExecutorStats::default()),
             telemetry: Telemetry::default(),
         })
     }
@@ -280,23 +167,80 @@ impl HierarchicalScheduler {
         self.member_of.get(principal).copied()
     }
 
-    /// Fan fine solves of contributing groups out onto scoped threads.
-    /// Off by default: the fan-out pays off when the coarse LP regularly
-    /// touches many groups, not for home-group-only traffic. Results are
-    /// bit-identical either way.
+    /// Force parallel fine solves on the persistent shard executor (or
+    /// tear the executor down with `false`). Forced mode skips the
+    /// break-even gate — every multi-group refinement fans out — and is
+    /// meant for tests and explicit opt-in; production callers should
+    /// prefer [`Self::set_parallel_auto`]. Results are bit-identical
+    /// either way.
     pub fn set_parallel_fine(&mut self, on: bool) {
-        self.parallel_fine = on;
+        if on {
+            self.mode = FineMode::Force;
+            self.executor = Some(ShardExecutor::force(
+                self.groups.len(),
+                self.opts.clone(),
+                self.telemetry.clone(),
+                self.exec_stats.clone(),
+            ));
+        } else {
+            self.mode = FineMode::Sequential;
+            self.executor = None;
+        }
     }
 
-    /// Whether parallel fine solves are enabled.
+    /// Enable parallel fine solves only where they can pay: builds the
+    /// executor when `std::thread::available_parallelism()` reports ≥ 2
+    /// cores (never on a 1-core host), and gates every fan-out on the
+    /// break-even measured at construction. Below break-even the
+    /// sequential loop runs and the fallback is counted in
+    /// [`Self::executor_fallbacks`].
+    pub fn set_parallel_auto(&mut self) {
+        self.mode = FineMode::Auto;
+        let sizes: Vec<usize> = self.groups.iter().map(Vec::len).collect();
+        self.executor = ShardExecutor::auto(
+            self.groups.len(),
+            &sizes,
+            self.opts.clone(),
+            self.telemetry.clone(),
+            self.exec_stats.clone(),
+        );
+    }
+
+    /// Whether a live shard executor backs fine refinement.
     pub fn parallel_fine(&self) -> bool {
-        self.parallel_fine
+        self.executor.is_some()
+    }
+
+    /// Times a parallel-capable configuration fell back to the
+    /// sequential loop (no executor on this host, or below break-even).
+    pub fn executor_fallbacks(&self) -> u64 {
+        self.exec_stats.fallbacks_sequential()
+    }
+
+    /// Number of principals across all groups.
+    pub fn num_principals(&self) -> usize {
+        self.member_of.len()
+    }
+
+    pub(crate) fn fine_mode(&self) -> FineMode {
+        self.mode
+    }
+
+    pub(crate) fn shard_executor(&self) -> Option<&ShardExecutor> {
+        self.executor.as_ref()
+    }
+
+    pub(crate) fn exec_stats(&self) -> &Arc<ExecutorStats> {
+        &self.exec_stats
     }
 
     /// Attach a telemetry plane: coarse/fine LP solve spans land in the
     /// [`HistKind::LpSolveSeconds`] histogram, and `hier.home_hits` /
     /// `hier.coarse_solves` / `hier.fine_solves` count path traffic.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        if let Some(ex) = &self.executor {
+            ex.set_telemetry(telemetry.clone());
+        }
         self.telemetry = telemetry;
     }
 
@@ -342,7 +286,11 @@ impl HierarchicalScheduler {
             if x > 0.0 {
                 self.refine_group(home, availability, x.min(home_avail), &mut draws)?;
             }
-            let theta = draws.iter().cloned().fold(0.0, f64::max);
+            // Only home members hold non-zero draws, and every other
+            // entry is exactly +0.0 (freshly zeroed, never written), so
+            // folding over the members is bit-identical to folding over
+            // the full vector — without the O(n) scan on the fast path.
+            let theta = self.groups[home].iter().map(|&m| draws[m]).fold(0.0, f64::max);
             return Ok(Allocation { requester, amount: x, draws, theta });
         }
 
@@ -374,11 +322,17 @@ impl HierarchicalScheduler {
             .filter(|&(_, &share)| share > 1e-12)
             .map(|(gi, &share)| (gi, share.min(group_avail[gi])))
             .collect();
-        if self.parallel_fine && contributing.len() >= 2 {
-            self.refine_parallel(&contributing, availability, &mut draws)?;
-        } else {
-            for &(gi, share) in &contributing {
-                self.refine_group(gi, availability, share, &mut draws)?;
+        match &self.executor {
+            Some(ex) if ex.should_parallelize(contributing.len()) => {
+                self.refine_executor(&contributing, availability, &mut draws)?;
+            }
+            _ => {
+                if self.mode != FineMode::Sequential && contributing.len() >= 2 {
+                    self.exec_stats.note_fallback();
+                }
+                for &(gi, share) in &contributing {
+                    self.refine_group(gi, availability, share, &mut draws)?;
+                }
             }
         }
         let theta = coarse.theta;
@@ -402,26 +356,38 @@ impl HierarchicalScheduler {
         Ok(())
     }
 
-    /// Refine all contributing groups on scoped threads, merging results
-    /// in ascending group order. Each task locks only its own group's
-    /// solver, groups are disjoint, and solves are cold-started, so this
-    /// is bit-identical to the sequential loop (property-tested).
-    fn refine_parallel(
+    /// Refine all contributing groups on the persistent shard executor,
+    /// merging results in ascending group order (the fan-out returns
+    /// replies keyed by slot, so merge order is input order). Each group
+    /// is solved by the worker that owns its warm solver; groups are
+    /// disjoint and solves are cold-started, so this is bit-identical to
+    /// the sequential loop (property-tested). The workers record the
+    /// `hier.fine_solves` counter and the LP solve span, mirroring
+    /// [`Self::solve_fine`].
+    fn refine_executor(
         &self,
         contributing: &[(usize, f64)],
         availability: &[f64],
         draws: &mut [f64],
     ) -> Result<(), SchedError> {
-        let results = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = contributing
-                .iter()
-                .map(|&(gi, share)| scope.spawn(move |_| self.solve_fine(gi, availability, share)))
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("fine solve thread")).collect::<Vec<_>>()
-        })
-        .expect("fine solve scope");
-        for (&(gi, _), result) in contributing.iter().zip(results) {
-            let local = result?;
+        let ex = self.executor.as_ref().expect("refine_executor requires an executor");
+        let jobs: Vec<(usize, Vec<f64>, f64)> = contributing
+            .iter()
+            .map(|&(gi, share)| {
+                let mavail = self.groups[gi].iter().map(|&m| availability[m]).collect();
+                (gi, mavail, share)
+            })
+            .collect();
+        let results = ex.solve_fan(jobs);
+        for (&(gi, share), result) in contributing.iter().zip(results) {
+            let local = result.map_err(|e| match e {
+                LpError::Infeasible { .. } => SchedError::InsufficientCapacity {
+                    requester: self.groups[gi][0],
+                    capacity: self.groups[gi].iter().map(|&m| availability[m]).sum(),
+                    requested: share,
+                },
+                other => SchedError::Lp(other),
+            })?;
             for (&m, d) in self.groups[gi].iter().zip(local) {
                 draws[m] += d;
             }
@@ -597,6 +563,23 @@ mod tests {
         let avail = vec![2.0, 1.0, 0.5, 10.0, 7.0, 3.0];
         let a = seq.allocate(&avail, 0, 10.0).unwrap();
         let b = par.allocate(&avail, 0, 10.0).unwrap();
+        assert!(a.draws.iter().zip(&b.draws).all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert_eq!(a.theta.to_bits(), b.theta.to_bits());
+    }
+
+    #[test]
+    fn auto_mode_is_safe_and_bit_identical_on_any_host() {
+        let mut auto = sched();
+        auto.set_parallel_auto();
+        // On a 1-core host the executor must not exist; either way the
+        // results match sequential bit for bit.
+        if std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1) < 2 {
+            assert!(!auto.parallel_fine(), "1-core host must stay sequential");
+        }
+        let seq = sched();
+        let avail = vec![2.0, 1.0, 0.5, 10.0, 7.0, 3.0];
+        let a = seq.allocate(&avail, 0, 10.0).unwrap();
+        let b = auto.allocate(&avail, 0, 10.0).unwrap();
         assert!(a.draws.iter().zip(&b.draws).all(|(x, y)| x.to_bits() == y.to_bits()));
         assert_eq!(a.theta.to_bits(), b.theta.to_bits());
     }

@@ -57,7 +57,9 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod batch;
 pub mod error;
+pub mod executor;
 pub mod explain;
 pub mod hierarchy;
 pub mod lp_model;
@@ -68,7 +70,9 @@ pub mod solver;
 pub mod state;
 
 pub use admission::{admission_bound, exceeds_bound, ADMISSION_SLACK};
+pub use batch::{AdmissionRequest, BatchedAdmission};
 pub use error::SchedError;
+pub use executor::ExecutorStats;
 pub use explain::{explain_allocation, Explanation};
 pub use hierarchy::HierarchicalScheduler;
 pub use lp_model::Formulation;

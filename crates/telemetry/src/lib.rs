@@ -51,15 +51,23 @@ pub enum HistKind {
     RequestLatencySeconds,
     /// Dirty rows recomputed by one `IncrementalFlow::set` repair.
     FlowDirtyRows,
+    /// Allocation requests decided per contiguous request run inside one
+    /// GRM serve-loop wakeup (the batched-admission front door).
+    BatchSize,
+    /// Time an allocation request spent queued between the client's send
+    /// and the serve loop starting its batch.
+    QueueWaitSeconds,
 }
 
 impl HistKind {
     /// All kinds, in snapshot order.
-    pub const ALL: [HistKind; 4] = [
+    pub const ALL: [HistKind; 6] = [
         HistKind::LpSolveSeconds,
         HistKind::ServeDrainSeconds,
         HistKind::RequestLatencySeconds,
         HistKind::FlowDirtyRows,
+        HistKind::BatchSize,
+        HistKind::QueueWaitSeconds,
     ];
 
     /// Stable snapshot name.
@@ -69,6 +77,8 @@ impl HistKind {
             HistKind::ServeDrainSeconds => "serve_drain_seconds",
             HistKind::RequestLatencySeconds => "request_latency_seconds",
             HistKind::FlowDirtyRows => "flow_dirty_rows",
+            HistKind::BatchSize => "batch_size",
+            HistKind::QueueWaitSeconds => "queue_wait_seconds",
         }
     }
 
@@ -78,6 +88,8 @@ impl HistKind {
             HistKind::ServeDrainSeconds => 1,
             HistKind::RequestLatencySeconds => 2,
             HistKind::FlowDirtyRows => 3,
+            HistKind::BatchSize => 4,
+            HistKind::QueueWaitSeconds => 5,
         }
     }
 
@@ -90,9 +102,12 @@ impl HistKind {
             // sub-microsecond cache-hit solve and a pathological stall.
             HistKind::LpSolveSeconds
             | HistKind::ServeDrainSeconds
-            | HistKind::RequestLatencySeconds => (1e-7, 1.6, 52),
+            | HistKind::RequestLatencySeconds
+            | HistKind::QueueWaitSeconds => (1e-7, 1.6, 52),
             // 1 … 2^30 rows in power-of-two buckets.
             HistKind::FlowDirtyRows => (1.0, 2.0, 32),
+            // Batch sizes are small integers; 1 … 2^22 is generous.
+            HistKind::BatchSize => (1.0, 2.0, 24),
         }
     }
 }
@@ -595,6 +610,22 @@ mod tests {
             assert!(b >= last);
             last = b;
         }
+    }
+
+    #[test]
+    fn batch_histograms_are_in_the_fixed_set() {
+        let (t, rec) = Telemetry::recorder(4);
+        t.observe(HistKind::BatchSize, 6.0);
+        t.observe(HistKind::QueueWaitSeconds, 3e-6);
+        let snap = rec.snapshot();
+        assert_eq!(snap.histograms.len(), HistKind::ALL.len());
+        let b = snap.histogram(HistKind::BatchSize).unwrap();
+        assert_eq!(b.count, 1);
+        // 6 requests land in bucket ⌊log2 6⌋ + 1 = 3 of the power-of-two grid.
+        assert_eq!(b.buckets[3], 1);
+        let q = snap.histogram(HistKind::QueueWaitSeconds).unwrap();
+        assert_eq!(q.count, 1);
+        assert!((q.sum - 3e-6).abs() < 1e-12);
     }
 
     #[test]
