@@ -85,17 +85,29 @@ USAGE:
   agreements trace gen --requests N --proxies P --gap SECONDS --seed S --out DIR [--csv]
   agreements trace info --file TRACE [--capacity C]
   agreements simulate --spec SIM.json [--series] [--telemetry-out FILE]
+  agreements serve --scenario SCENARIO.json --journal DIR \\
+             (--socket PATH | --tcp ADDR) [--avail V0,V1,...] \\
+             [--fsync everyop|batched:N] [--sequenced] \\
+             [--compact-every N] [--duration SECONDS]
   agreements help
 
 With --telemetry-out, `simulate` records counters, LP-solve/latency
 histograms, and structured events through the unified telemetry plane
 and writes the snapshot to FILE as JSON.
+
+`serve` runs the scenario's GRM as a network daemon: agreement state is
+journaled durably under --journal DIR (recovered on restart, including
+after kill -9), and clients speak the framed wire protocol on the Unix
+socket or TCP address. --avail seeds the pools only when the journal is
+created; on recovery the journal wins. Without --duration it serves
+until killed — crash-safety, not clean shutdown, is the contract.
 ";
 
 /// Run a command line (without the binary name); returns stdout text.
 pub fn run<S: AsRef<str>>(argv: &[S]) -> Result<String, CliError> {
     let tokens: Vec<String> = argv.iter().map(|s| s.as_ref().to_string()).collect();
-    let parsed = Parsed::parse(tokens, &["explain", "csv", "json", "series", "grant"])?;
+    let parsed =
+        Parsed::parse(tokens, &["explain", "csv", "json", "series", "grant", "sequenced"])?;
     let mut pos = parsed.positionals.iter().map(String::as_str);
     match pos.next() {
         None | Some("help") => Ok(HELP.to_string()),
@@ -118,6 +130,7 @@ pub fn run<S: AsRef<str>>(argv: &[S]) -> Result<String, CliError> {
             other => Err(CliError::UnknownCommand(format!("trace {}", other.unwrap_or("")))),
         },
         Some("simulate") => simulate(&parsed),
+        Some("serve") => serve(&parsed),
         Some(other) => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -576,6 +589,121 @@ fn simulate(parsed: &Parsed) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Run the scenario's GRM as a durable network daemon (see `HELP`).
+fn serve(parsed: &Parsed) -> Result<String, CliError> {
+    use agreements_net::journal::{DurableJournal, FsyncPolicy, Snapshot};
+    use agreements_net::listener::{GrmListener, ListenerConfig};
+
+    parsed.reject_unknown(&[
+        "scenario",
+        "journal",
+        "socket",
+        "tcp",
+        "avail",
+        "fsync",
+        "sequenced",
+        "compact-every",
+        "duration",
+    ])?;
+    let path = parsed.required("scenario")?;
+    let text = std::fs::read_to_string(path)?;
+    let spec: ScenarioSpec = serde_json::from_str(&text)?;
+    let matrix = spec.agreement_matrix().map_err(|e| CliError::Domain(e.to_string()))?;
+    let level = spec.level();
+    let avail = match parsed.get("avail") {
+        Some(_) => {
+            let v = parsed.float_list("avail")?;
+            if v.len() != spec.n {
+                return Err(CliError::Domain(format!(
+                    "--avail has {} entries for an n={} scenario",
+                    v.len(),
+                    spec.n
+                )));
+            }
+            v
+        }
+        None => vec![0.0; spec.n],
+    };
+    let policy = match parsed.get("fsync").unwrap_or("everyop") {
+        "everyop" => FsyncPolicy::EveryOp,
+        s => match s.strip_prefix("batched:").and_then(|n| n.parse::<usize>().ok()) {
+            Some(max_pending) if max_pending > 0 => FsyncPolicy::Batched { max_pending },
+            _ => {
+                return Err(CliError::Domain(format!(
+                    "--fsync must be `everyop` or `batched:N`, got {s:?}"
+                )))
+            }
+        },
+    };
+    let journal_dir = std::path::PathBuf::from(parsed.required("journal")?);
+    let fresh = Snapshot { matrix, level, availability: avail, next_seq: 0, dedup: Vec::new() };
+    let (journal, recovered) = DurableJournal::open_or_create(
+        &journal_dir,
+        move || fresh,
+        policy,
+        agreements_telemetry::Telemetry::disabled(),
+    )?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "journal {}: {} records recovered, {} torn bytes truncated, replay cursor {}",
+        journal_dir.display(),
+        recovered.records,
+        recovered.truncated_bytes,
+        recovered.next_seq
+    )
+    .unwrap();
+    let server = recovered.respawn().map_err(|e| CliError::Domain(e.to_string()))?;
+    let config = ListenerConfig {
+        sequenced: parsed.flag("sequenced"),
+        compact_every: parsed.parse_or("compact-every", 8192u64, "record count")?,
+        telemetry: agreements_telemetry::Telemetry::disabled(),
+    };
+    let listener = match (parsed.get("socket"), parsed.get("tcp")) {
+        (Some(sock), None) => {
+            let l = GrmListener::bind_uds(Path::new(sock), server, journal, recovered, config)?;
+            writeln!(out, "serving on unix socket {sock}").unwrap();
+            l
+        }
+        (None, Some(addr)) => {
+            let l = GrmListener::bind_tcp(addr, server, journal, recovered, config)?;
+            writeln!(out, "serving on tcp {}", l.tcp_addr().expect("tcp listener has addr"))
+                .unwrap();
+            l
+        }
+        _ => {
+            return Err(CliError::Domain(
+                "serve needs exactly one of --socket PATH or --tcp ADDR".to_string(),
+            ))
+        }
+    };
+    // The daemon's liveness contract is crash-safety, not clean
+    // shutdown: without --duration it blocks until the process is
+    // killed, and the journal carries the state to the next incarnation.
+    match parsed.get("duration") {
+        Some(_) => {
+            let secs = parsed.parse_or("duration", 0.0f64, "seconds")?;
+            eprint!("{out}");
+            std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+            let stats = listener.handle().stats().map_err(|e| CliError::Domain(e.to_string()))?;
+            listener.shutdown();
+            writeln!(
+                out,
+                "served for {secs}s: {} granted, {} rejected, {} duplicate requests",
+                stats.granted, stats.rejected_capacity, stats.duplicate_requests
+            )
+            .unwrap();
+            Ok(out)
+        }
+        None => {
+            eprint!("{out}");
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -942,5 +1070,83 @@ mod tests {
             run(&["economy", "value", "--file", "/nonexistent/x.json"]),
             Err(CliError::Io(_))
         ));
+    }
+
+    #[test]
+    fn serve_round_trips_and_recovers_its_journal() {
+        let scenario = write_scenario();
+        let journal = tmp(&format!("serve-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&journal);
+        let sock = tmp(&format!("serve-{}.sock", std::process::id()));
+        let args: Vec<String> = [
+            "serve",
+            "--scenario",
+            scenario.to_str().unwrap(),
+            "--journal",
+            journal.to_str().unwrap(),
+            "--socket",
+            sock.to_str().unwrap(),
+            "--avail",
+            "4,4,4",
+            "--duration",
+            "2.5",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let daemon = std::thread::spawn(move || run(&args));
+
+        // Issue one allocation over the socket while the daemon serves.
+        let client = agreements_net::NetGrmClient::uds(&sock);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let id = agreements_grm::RequestId { client: 1, seq: 1 };
+        let alloc = loop {
+            match client.request_seq(0, 1, 1.0, id) {
+                Ok(alloc) => break alloc,
+                Err(e) => {
+                    assert!(e.is_retryable(), "non-retryable serve error: {e}");
+                    assert!(std::time::Instant::now() < deadline, "serve never came up: {e}");
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+            }
+        };
+        assert!((alloc.amount - 1.0).abs() < 1e-12);
+        let out = daemon.join().unwrap().unwrap();
+        assert!(out.contains("1 records recovered"), "fresh journal: {out}");
+        assert!(out.contains("1 granted"), "{out}");
+
+        // A second incarnation recovers the decision from the journal
+        // and replays the same retry without re-executing it.
+        let args: Vec<String> = [
+            "serve",
+            "--scenario",
+            scenario.to_str().unwrap(),
+            "--journal",
+            journal.to_str().unwrap(),
+            "--socket",
+            sock.to_str().unwrap(),
+            "--duration",
+            "2.5",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let daemon = std::thread::spawn(move || run(&args));
+        client.disconnect();
+        let replayed = loop {
+            match client.request_seq(0, 1, 1.0, id) {
+                Ok(a) => break a,
+                Err(e) => {
+                    assert!(e.is_retryable(), "non-retryable serve error: {e}");
+                    assert!(std::time::Instant::now() < deadline, "restart never served: {e}");
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+            }
+        };
+        assert_eq!(replayed.amount.to_bits(), alloc.amount.to_bits(), "dedup replay");
+        let out = daemon.join().unwrap().unwrap();
+        assert!(out.contains("2 records recovered"), "snapshot + decision: {out}");
+        assert!(out.contains("1 duplicate requests"), "{out}");
+        let _ = std::fs::remove_dir_all(&journal);
     }
 }

@@ -1,0 +1,621 @@
+//! Multi-process GRM federation over real sockets, with kill-9 crash
+//! recovery — the distributed twin of the in-process `scale` replay.
+//!
+//! One binary, three roles, selected by `--role` (the orchestrator
+//! re-execs itself for the other two):
+//!
+//! - **orchestrator** (default): computes the in-process *reference*
+//!   decision sequence, launches one `daemon` and `--workers` worker
+//!   processes over a Unix-domain socket, optionally SIGKILLs the daemon
+//!   mid-replay (`--kill-grm`) and respawns it, then merges the workers'
+//!   outcome logs and checks them — decision-for-decision, bit-for-bit —
+//!   against the reference.
+//! - **daemon**: opens (or recovers) the durable agreement journal,
+//!   respawns the `GrmServer` from the recovered state, and serves it on
+//!   the socket in sequenced mode. It never exits on its own; the
+//!   orchestrator kills it, which for `--kill-grm` is the entire point.
+//! - **worker**: replays its residue class of the global event stream
+//!   (`seq % workers == id`), call by call, retrying retryable transport
+//!   errors forever — a crashed daemon looks like a slow network, and
+//!   at-most-once settlement is the journal's job, not the worker's.
+//!
+//! The event stream is a pure function of `(n, requests, seed, epochs)`,
+//! so every process derives it independently; nothing is coordinated but
+//! the socket. Each epoch refreshes every principal's pool to the base
+//! availability (`Report` events), then replays that epoch's slice of
+//! the diurnal [`ScaleConfig::isp`] demand stream (`Request` events,
+//! each carrying a deterministic [`RequestId`] so retries and crash
+//! replays dedup correctly).
+//!
+//! What `--check` asserts after the replay:
+//!
+//! 1. **Coverage / at-most-once**: exactly one outcome line per global
+//!    sequence number — no event lost, none settled twice.
+//! 2. **Decision equality**: every grant's amount *and* an FNV
+//!    fingerprint of its draw vector match the reference bit-for-bit;
+//!    every denial denies where the reference denies.
+//! 3. **State equality**: the daemon's final availability vector equals
+//!    the reference bit-for-bit.
+//! 4. **Pool conservation**: the final pools sum to `n * base` minus
+//!    exactly the units granted since the last refresh.
+//!
+//! With `--kill-grm` the orchestrator additionally asserts the kill
+//! landed mid-replay (before the workload drained), so the recovery path
+//! demonstrably ran.
+//!
+//! ```text
+//! federation [--n 1000] [--workers 8] [--requests 2048] [--epochs 4]
+//!            [--seed 20000] [--dir PATH] [--kill-grm] [--check]
+//!            [--telemetry-out PATH]
+//! ```
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use agreements_grm::{GrmServer, RequestId};
+use agreements_net::journal::{DurableJournal, FsyncPolicy, Snapshot as JournalSnapshot};
+use agreements_net::listener::{GrmListener, ListenerConfig};
+use agreements_net::NetGrmClient;
+use agreements_telemetry::{HistKind, Snapshot, Telemetry};
+use agreements_trace::{ScaleConfig, DAY_SECONDS};
+
+/// Dedup namespace for federation request ids (any stable nonzero tag
+/// works; the id only has to be unique per event and identical between
+/// the reference fold and every worker retry).
+const ID_CLIENT: u64 = 0xFED;
+
+/// GRM request level used throughout the scale experiments.
+const LEVEL: usize = 1;
+
+// ---------------------------------------------------------------------
+// The global event stream (pure function of the flags)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Pool refresh: principal `lrm` reports `available` units.
+    Report { lrm: usize, available: f64 },
+    /// Allocation request by `lrm` for `amount` units.
+    Request { lrm: usize, amount: f64 },
+}
+
+/// Build the global, totally ordered event stream: `epochs` rounds of
+/// (full pool refresh, then that time-window's demands).
+fn event_stream(cfg: &ScaleConfig, epochs: usize) -> Vec<Event> {
+    let workload = cfg.generate();
+    let window = DAY_SECONDS / epochs as f64;
+    let mut events = Vec::with_capacity(cfg.n * epochs + workload.demands.len());
+    let mut next = 0usize;
+    for e in 0..epochs {
+        for (lrm, &available) in workload.availability.iter().enumerate() {
+            events.push(Event::Report { lrm, available });
+        }
+        let end = if e + 1 == epochs { f64::INFINITY } else { (e + 1) as f64 * window };
+        while next < workload.demands.len() && workload.demands[next].t < end {
+            let d = &workload.demands[next];
+            events.push(Event::Request { lrm: d.requester, amount: d.amount });
+            next += 1;
+        }
+    }
+    events
+}
+
+fn request_id(seq: u64) -> RequestId {
+    RequestId { client: ID_CLIENT, seq }
+}
+
+/// FNV-1a over the draw vector's bit patterns — the per-decision
+/// fingerprint workers log and the orchestrator compares.
+fn draws_fingerprint(draws: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for d in draws {
+        for b in d.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Canonical one-token-per-field outcome encoding shared by the
+/// reference fold and the worker logs; comparing the strings compares
+/// the decisions bit-for-bit.
+fn outcome_line(event: &Event, result: &Result<Option<(u64, u64)>, String>) -> String {
+    match (event, result) {
+        (Event::Report { .. }, Ok(None)) => "R".to_string(),
+        (Event::Request { .. }, Ok(Some((amount_bits, fnv)))) => {
+            format!("G {amount_bits:016x} {fnv:016x}")
+        }
+        (Event::Request { .. }, Err(_)) => "D".to_string(),
+        other => unreachable!("event/outcome shape mismatch: {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reference: the same stream folded through an in-process server
+// ---------------------------------------------------------------------
+
+struct Reference {
+    /// Canonical outcome line per global sequence number.
+    outcomes: Vec<String>,
+    /// Final availability, bit-exact.
+    availability: Vec<f64>,
+    /// Units granted since the last pool refresh (for conservation).
+    granted_since_refresh: f64,
+}
+
+fn reference_run(cfg: &ScaleConfig, events: &[Event]) -> Reference {
+    let matrix = cfg.agreements().expect("valid scale agreements");
+    let server = GrmServer::spawn(matrix, LEVEL);
+    let h = server.handle();
+    let mut outcomes = Vec::with_capacity(events.len());
+    let mut granted_since_refresh = 0.0f64;
+    for (seq, ev) in events.iter().enumerate() {
+        let result = match *ev {
+            Event::Report { lrm, available } => {
+                h.report(lrm, available).expect("in-process report");
+                if lrm + 1 == cfg.n {
+                    granted_since_refresh = 0.0;
+                }
+                Ok(None)
+            }
+            Event::Request { lrm, amount } => {
+                match h.request_idempotent(lrm, amount, request_id(seq as u64)) {
+                    Ok(alloc) => {
+                        granted_since_refresh += alloc.amount;
+                        Ok(Some((alloc.amount.to_bits(), draws_fingerprint(&alloc.draws))))
+                    }
+                    Err(e) => Err(e.to_string()),
+                }
+            }
+        };
+        outcomes.push(outcome_line(ev, &result));
+    }
+    let availability = h.availability().expect("in-process availability");
+    server.shutdown();
+    Reference { outcomes, availability, granted_since_refresh }
+}
+
+// ---------------------------------------------------------------------
+// Flags
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Flags {
+    role: String,
+    n: usize,
+    workers: usize,
+    requests: usize,
+    epochs: usize,
+    seed: u64,
+    dir: PathBuf,
+    worker_id: usize,
+    kill_grm: bool,
+    check: bool,
+    telemetry_out: Option<PathBuf>,
+}
+
+fn flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    }
+    let v = args.remove(pos + 1);
+    args.remove(pos);
+    Some(v)
+}
+
+fn flag_present(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    }
+}
+
+fn parse_flags() -> Flags {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry_out = agreements_experiments::take_telemetry_out(&mut args);
+    let parse = |v: Option<String>, what: &str, default: usize| -> usize {
+        v.map(|s| s.parse().unwrap_or_else(|_| panic!("invalid {what}: {s}"))).unwrap_or(default)
+    };
+    let flags = Flags {
+        role: flag_value(&mut args, "--role").unwrap_or_else(|| "orchestrator".into()),
+        n: parse(flag_value(&mut args, "--n"), "--n", 1000),
+        workers: parse(flag_value(&mut args, "--workers"), "--workers", 8),
+        requests: parse(flag_value(&mut args, "--requests"), "--requests", 2048),
+        epochs: parse(flag_value(&mut args, "--epochs"), "--epochs", 4).max(1),
+        seed: flag_value(&mut args, "--seed")
+            .map(|s| s.parse().unwrap_or_else(|_| panic!("invalid --seed: {s}")))
+            .unwrap_or(agreements_experiments::SEED),
+        dir: flag_value(&mut args, "--dir").map(PathBuf::from).unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("agreements-federation-{}", std::process::id()))
+        }),
+        worker_id: parse(flag_value(&mut args, "--worker-id"), "--worker-id", 0),
+        kill_grm: flag_present(&mut args, "--kill-grm"),
+        check: flag_present(&mut args, "--check"),
+        telemetry_out,
+    };
+    if !args.is_empty() {
+        eprintln!("unrecognised arguments: {args:?}");
+        std::process::exit(2);
+    }
+    flags
+}
+
+fn sock_path(dir: &Path) -> PathBuf {
+    dir.join("grm.sock")
+}
+
+fn outcome_path(dir: &Path, worker: usize) -> PathBuf {
+    dir.join(format!("outcome-{worker}.log"))
+}
+
+fn telemetry_path(dir: &Path) -> PathBuf {
+    dir.join("telemetry.json")
+}
+
+fn main() {
+    let flags = parse_flags();
+    match flags.role.as_str() {
+        "orchestrator" => orchestrate(flags),
+        "daemon" => daemon(flags),
+        "worker" => worker(flags),
+        other => {
+            eprintln!("unknown --role {other} (orchestrator | daemon | worker)");
+            std::process::exit(2);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Daemon role
+// ---------------------------------------------------------------------
+
+fn daemon(flags: Flags) {
+    let cfg = ScaleConfig::isp(flags.n, flags.requests, flags.seed);
+    let matrix = cfg.agreements().expect("valid scale agreements");
+    let (telemetry, recorder) = Telemetry::recorder(0);
+    let journal_dir = flags.dir.join("journal");
+    let fresh = JournalSnapshot {
+        matrix,
+        level: LEVEL,
+        availability: vec![0.0; flags.n],
+        next_seq: 0,
+        dedup: Vec::new(),
+    };
+    let (journal, recovered) = DurableJournal::open_or_create(
+        &journal_dir,
+        move || fresh,
+        FsyncPolicy::EveryOp,
+        telemetry.clone(),
+    )
+    .expect("open agreement journal");
+    eprintln!(
+        "[daemon] journal: {} records recovered, {} torn bytes truncated, replay cursor {}",
+        recovered.records, recovered.truncated_bytes, recovered.next_seq
+    );
+    let server = recovered.respawn().expect("respawn GRM from journal");
+    let listener = GrmListener::bind_uds(
+        &sock_path(&flags.dir),
+        server,
+        journal,
+        recovered,
+        ListenerConfig { sequenced: true, compact_every: 16_384, telemetry },
+    )
+    .expect("bind federation socket");
+
+    // Serve until killed — SIGKILL is the expected exit, so telemetry is
+    // exported by periodic atomic snapshot, not at shutdown.
+    let tmp = flags.dir.join("telemetry.json.tmp");
+    loop {
+        std::thread::sleep(Duration::from_millis(200));
+        let snap = recorder.snapshot();
+        if fs::write(&tmp, snap.to_json()).is_ok() {
+            let _ = fs::rename(&tmp, telemetry_path(&flags.dir));
+        }
+        // Unreachable exit keeps `listener` alive for the process's life.
+        if false {
+            listener.shutdown();
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker role
+// ---------------------------------------------------------------------
+
+/// How long a worker keeps retrying one event before declaring the
+/// daemon unrecoverable. Covers a kill-9 plus journal recovery with two
+/// orders of magnitude to spare.
+const EVENT_DEADLINE: Duration = Duration::from_secs(60);
+
+fn worker(flags: Flags) {
+    let cfg = ScaleConfig::isp(flags.n, flags.requests, flags.seed);
+    let events = event_stream(&cfg, flags.epochs);
+    let client = NetGrmClient::uds(&sock_path(&flags.dir));
+    let mut out = std::io::BufWriter::new(
+        fs::File::create(outcome_path(&flags.dir, flags.worker_id)).expect("create outcome log"),
+    );
+    for (seq, ev) in events.iter().enumerate() {
+        if seq % flags.workers != flags.worker_id {
+            continue;
+        }
+        let result = settle(&client, seq as u64, ev);
+        writeln!(out, "{seq} {}", outcome_line(ev, &result)).expect("write outcome");
+        out.flush().expect("flush outcome");
+    }
+}
+
+/// Drive one event to settlement: retry transport errors until the
+/// daemon (or its successor after a crash) produces a decision.
+fn settle(client: &NetGrmClient, seq: u64, ev: &Event) -> Result<Option<(u64, u64)>, String> {
+    let started = Instant::now();
+    loop {
+        let attempt = match *ev {
+            Event::Report { lrm, available } => {
+                client.report_seq(seq, lrm, available).map(|()| None)
+            }
+            Event::Request { lrm, amount } => client
+                .request_seq(seq, lrm, amount, request_id(seq))
+                .map(|alloc| Some((alloc.amount.to_bits(), draws_fingerprint(&alloc.draws)))),
+        };
+        match attempt {
+            Ok(ok) => return Ok(ok),
+            Err(e) if e.is_retryable() => {
+                assert!(
+                    started.elapsed() < EVENT_DEADLINE,
+                    "event {seq} still unsettled after {EVENT_DEADLINE:?}: {e}"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            // A decision error is a settlement — the daemon said no.
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Orchestrator role
+// ---------------------------------------------------------------------
+
+fn respawn_role(flags: &Flags, role: &str, extra: &[(&str, String)]) -> Child {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut cmd = Command::new(exe);
+    cmd.arg("--role")
+        .arg(role)
+        .arg("--n")
+        .arg(flags.n.to_string())
+        .arg("--workers")
+        .arg(flags.workers.to_string())
+        .arg("--requests")
+        .arg(flags.requests.to_string())
+        .arg("--epochs")
+        .arg(flags.epochs.to_string())
+        .arg("--seed")
+        .arg(flags.seed.to_string())
+        .arg("--dir")
+        .arg(&flags.dir);
+    for (k, v) in extra {
+        cmd.arg(k).arg(v);
+    }
+    cmd.stdin(Stdio::null());
+    cmd.spawn().unwrap_or_else(|e| panic!("spawn {role}: {e}"))
+}
+
+/// Block until the daemon answers on the socket (it may be starting up
+/// or replaying its journal).
+fn await_daemon(dir: &Path) -> Vec<f64> {
+    let probe = NetGrmClient::uds(&sock_path(dir));
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match probe.availability() {
+            Ok(avail) => return avail,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "daemon never came up: {e}");
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+}
+
+/// Count settled events across all worker outcome logs.
+fn settled_lines(dir: &Path, workers: usize) -> usize {
+    (0..workers)
+        .map(|w| fs::read_to_string(outcome_path(dir, w)).map(|s| s.lines().count()).unwrap_or(0))
+        .sum()
+}
+
+fn orchestrate(flags: Flags) {
+    let cfg = ScaleConfig::isp(flags.n, flags.requests, flags.seed);
+    let events = event_stream(&cfg, flags.epochs);
+    let total = events.len();
+    println!(
+        "federation: n={} workers={} requests={} epochs={} seed={} -> {} events{}",
+        flags.n,
+        flags.workers,
+        flags.requests,
+        flags.epochs,
+        flags.seed,
+        total,
+        if flags.kill_grm { ", kill-9 mid-replay" } else { "" }
+    );
+
+    // Reference decision sequence, computed before any process exists.
+    let reference = reference_run(&cfg, &events);
+
+    let _ = fs::remove_dir_all(&flags.dir);
+    fs::create_dir_all(&flags.dir).expect("create federation dir");
+
+    let mut grm = respawn_role(&flags, "daemon", &[]);
+    await_daemon(&flags.dir);
+    let started = Instant::now();
+    let mut workers: Vec<Child> = (0..flags.workers)
+        .map(|w| respawn_role(&flags, "worker", &[("--worker-id", w.to_string())]))
+        .collect();
+
+    // Progress monitor; with --kill-grm, SIGKILL the daemon once a third
+    // of the workload has settled, then respawn it over the same journal.
+    let mut killed_at: Option<usize> = None;
+    loop {
+        let done = settled_lines(&flags.dir, flags.workers);
+        if flags.kill_grm && killed_at.is_none() && done >= total / 3 {
+            assert!(done < total, "workload drained before the kill landed; grow --requests");
+            grm.kill().expect("SIGKILL daemon");
+            grm.wait().expect("reap daemon");
+            killed_at = Some(done);
+            println!("  killed GRM daemon after {done}/{total} settled events; respawning");
+            grm = respawn_role(&flags, "daemon", &[]);
+        }
+        if workers.iter_mut().all(|w| w.try_wait().expect("poll worker").is_some()) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    for (w, child) in workers.iter_mut().enumerate() {
+        let status = child.wait().expect("wait worker");
+        assert!(status.success(), "worker {w} failed: {status}");
+    }
+    let elapsed = started.elapsed();
+
+    // Final daemon state, then merged outcomes.
+    let availability = await_daemon(&flags.dir);
+    let mut merged: Vec<Option<String>> = vec![None; total];
+    for w in 0..flags.workers {
+        let text = fs::read_to_string(outcome_path(&flags.dir, w)).expect("read outcome log");
+        for line in text.lines() {
+            let (seq, rest) = line.split_once(' ').expect("malformed outcome line");
+            let seq: usize = seq.parse().expect("outcome seq");
+            assert!(merged[seq].is_none(), "event {seq} settled twice (at-most-once violated)");
+            merged[seq] = Some(rest.to_string());
+        }
+    }
+
+    println!(
+        "  replayed {} events across {} workers in {:.2}s ({:.0} events/s)",
+        total,
+        flags.workers,
+        elapsed.as_secs_f64(),
+        total as f64 / elapsed.as_secs_f64()
+    );
+    let grants = merged.iter().flatten().filter(|l| l.starts_with('G')).count();
+    let denials = merged.iter().flatten().filter(|l| l.as_str() == "D").count();
+    println!("  decisions: {grants} grants, {denials} denials");
+
+    // Telemetry: the daemon's periodic snapshot (it can't export at
+    // exit — we kill it).
+    if let Ok(text) = fs::read_to_string(telemetry_path(&flags.dir)) {
+        if let Ok(snap) = Snapshot::from_json(&text) {
+            for kind in [HistKind::JournalFsyncSeconds, HistKind::FrameBytes] {
+                if let Some(h) = snap.histogram(kind) {
+                    println!(
+                        "  {}: count={} mean={:.6} max={:.6}",
+                        h.name,
+                        h.count,
+                        h.mean(),
+                        h.max
+                    );
+                }
+            }
+            if let Some(out) = &flags.telemetry_out {
+                agreements_experiments::write_snapshot(out, &snap);
+            }
+        }
+    }
+
+    let mut failures = 0usize;
+    if flags.check {
+        failures += check_replay(&flags, &reference, &merged, &availability, killed_at, total);
+    }
+
+    grm.kill().expect("stop daemon");
+    grm.wait().expect("reap daemon");
+    let _ = fs::remove_dir_all(&flags.dir);
+    if failures > 0 {
+        eprintln!("FEDERATION CHECK FAILED: {failures} assertion(s)");
+        std::process::exit(1);
+    }
+    if flags.check {
+        println!("  all checks passed: coverage, decisions, state, conservation");
+    }
+}
+
+/// The `--check` battery; returns the number of failed assertions
+/// (reporting all of them beats stopping at the first).
+fn check_replay(
+    flags: &Flags,
+    reference: &Reference,
+    merged: &[Option<String>],
+    availability: &[f64],
+    killed_at: Option<usize>,
+    total: usize,
+) -> usize {
+    let mut failures = 0usize;
+    let mut fail = |msg: String| {
+        eprintln!("  CHECK FAILED: {msg}");
+        failures += 1;
+    };
+
+    // 1. Coverage: every event settled exactly once (double settlement
+    //    is caught at merge time).
+    let missing = merged.iter().enumerate().filter(|(_, l)| l.is_none()).count();
+    if missing > 0 {
+        fail(format!("{missing}/{total} events never settled"));
+    }
+
+    // 2. Decision equality against the reference, bit-for-bit.
+    let mut diverged = 0usize;
+    for (seq, (got, want)) in merged.iter().zip(&reference.outcomes).enumerate() {
+        if let Some(got) = got {
+            if got != want {
+                if diverged == 0 {
+                    fail(format!("event {seq}: got `{got}`, reference `{want}`"));
+                }
+                diverged += 1;
+            }
+        }
+    }
+    if diverged > 1 {
+        eprintln!("    ({diverged} diverging decisions in total)");
+    }
+
+    // 3. Final availability, bit-for-bit.
+    if availability.len() != reference.availability.len() {
+        fail("availability length mismatch".to_string());
+    } else if let Some(p) = (0..availability.len())
+        .find(|&p| availability[p].to_bits() != reference.availability[p].to_bits())
+    {
+        fail(format!(
+            "availability[{p}] diverged: {} vs reference {}",
+            availability[p], reference.availability[p]
+        ));
+    }
+
+    // 4. Pool conservation: base pools minus exactly the grants since
+    //    the last refresh.
+    let expect = flags.n as f64
+        * ScaleConfig::isp(flags.n, flags.requests, flags.seed).base_availability
+        - reference.granted_since_refresh;
+    let got: f64 = availability.iter().sum();
+    if (got - expect).abs() > 1e-6 * expect.abs().max(1.0) {
+        fail(format!("pool conservation: pools sum to {got}, expected {expect}"));
+    }
+
+    // 5. The kill must have landed mid-replay for the recovery claim to
+    //    mean anything.
+    if flags.kill_grm {
+        match killed_at {
+            Some(at) if at < total => {}
+            Some(at) => fail(format!("daemon killed only after all {at} events settled")),
+            None => fail("daemon was never killed (--kill-grm)".to_string()),
+        }
+    }
+    failures
+}

@@ -81,6 +81,114 @@ impl FaultMix {
     }
 }
 
+/// The fate the schedule assigns one message (or frame) on a link.
+///
+/// Exactly one fate applies per message; a fate never depends on the
+/// fates of earlier messages, only on the (seed, link, index) triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Delivered exactly once, in order.
+    Deliver,
+    /// Silently dropped.
+    Drop,
+    /// Delivered twice, back to back.
+    Duplicate,
+    /// Held back until `distance` later messages have passed it.
+    Hold {
+        /// How many successors overtake the held message (≥ 1).
+        distance: u64,
+    },
+}
+
+/// The seeded per-link fate stream shared by every fault injector in
+/// the system: the in-process channel plane ([`FaultPlane`]) and the
+/// socket-level frame proxy (`agreements-net`) draw from this one
+/// implementation, so "mirroring ChaosPlane semantics" is a structural
+/// fact, not a convention. A schedule is a pure function of the plane
+/// seed, the link name, and the message index on that link: two draws
+/// are burned per message so one message's fate never shifts the
+/// schedule of its successors.
+pub struct FaultSchedule {
+    rng: StdRng,
+    mix: FaultMix,
+}
+
+impl FaultSchedule {
+    /// The deterministic schedule for `link` under `(seed, mix)`.
+    pub fn new(seed: u64, link: &str, mix: FaultMix) -> Self {
+        FaultSchedule { rng: StdRng::seed_from_u64(seed ^ fnv1a(link.as_bytes())), mix }
+    }
+
+    /// The fate of the next message on this link.
+    pub fn next_fate(&mut self) -> Fate {
+        // Burn a fixed number of draws per message so one message's
+        // fate never shifts the schedule of its successors.
+        let (u_fate, u_hold) = (self.rng.gen::<f64>(), self.rng.gen::<f64>());
+        let mix = self.mix;
+        if u_fate < mix.drop {
+            Fate::Drop
+        } else if u_fate < mix.drop + mix.dup {
+            Fate::Duplicate
+        } else if u_fate < mix.drop + mix.dup + mix.hold && mix.max_hold >= 1 {
+            Fate::Hold { distance: 1 + (u_hold * mix.max_hold as f64) as u64 }
+        } else {
+            Fate::Deliver
+        }
+    }
+}
+
+/// Held-back messages awaiting their release index: a min-heap keyed by
+/// `(release_at, arrival)` so ties release in arrival order. Shared by
+/// the channel plane and the socket proxy so hold/reorder semantics are
+/// identical in both.
+pub struct HoldBuffer<T> {
+    heap: BinaryHeap<Held<T>>,
+}
+
+impl<T> Default for HoldBuffer<T> {
+    fn default() -> Self {
+        HoldBuffer { heap: BinaryHeap::new() }
+    }
+}
+
+impl<T> HoldBuffer<T> {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hold `msg`, arriving as message `arrival`, until `distance` later
+    /// messages have passed it.
+    pub fn hold(&mut self, arrival: u64, distance: u64, msg: T) {
+        self.heap.push(Held { release_at: arrival + distance, arrival, msg });
+    }
+
+    /// Pop the next message whose hold distance has elapsed at sequence
+    /// number `seq`, earliest `(release_at, arrival)` first.
+    pub fn release_due(&mut self, seq: u64) -> Option<T> {
+        if self.heap.peek().is_some_and(|h| h.release_at <= seq) {
+            self.heap.pop().map(|h| h.msg)
+        } else {
+            None
+        }
+    }
+
+    /// Drain everything in `(release_at, arrival)` order (heal/flush).
+    pub fn drain(&mut self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(move || self.heap.pop().map(|h| h.msg))
+    }
+
+    /// Number of messages currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
 /// Counters of what a [`FaultPlane`] actually did, across all its links.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PlaneStats {
@@ -181,20 +289,24 @@ impl FaultPlane {
     /// the same message.
     pub fn wrap<T: Send + Clone + 'static>(&self, link: &str, upstream: Sender<T>) -> Sender<T> {
         let (tx, rx) = unbounded::<T>();
-        let rng = StdRng::seed_from_u64(self.seed ^ fnv1a(link.as_bytes()));
+        let schedule = FaultSchedule::new(self.seed, link, self.mix);
         let plane = self.clone();
         let link = link.to_string();
         std::thread::Builder::new()
             .name(format!("fault-plane:{link}"))
-            .spawn(move || plane.pump(&link, rx, upstream, rng))
+            .spawn(move || plane.pump(&link, rx, upstream, schedule))
             .expect("spawn fault-plane pump");
         tx
     }
 
-    fn pump<T: Clone>(&self, link: &str, rx: Receiver<T>, upstream: Sender<T>, mut rng: StdRng) {
-        // Held messages keyed by the sequence number at which they are
-        // released (min-heap via Reverse); ties release in arrival order.
-        let mut held: BinaryHeap<Held<T>> = BinaryHeap::new();
+    fn pump<T: Clone>(
+        &self,
+        link: &str,
+        rx: Receiver<T>,
+        upstream: Sender<T>,
+        mut schedule: FaultSchedule,
+    ) {
+        let mut held: HoldBuffer<T> = HoldBuffer::new();
         let mut seq: u64 = 0;
         loop {
             let msg = match rx.recv_timeout(PUMP_IDLE) {
@@ -220,40 +332,43 @@ impl FaultPlane {
                 self.counters.delivered.fetch_add(1, Ordering::SeqCst);
                 continue;
             }
-            // Burn a fixed number of draws per message so one message's
-            // fate never shifts the schedule of its successors.
-            let (u_fate, u_hold) = (rng.gen::<f64>(), rng.gen::<f64>());
-            let mix = self.mix;
-            if u_fate < mix.drop {
-                self.counters.dropped.fetch_add(1, Ordering::SeqCst);
-                self.telemetry.add("faults.dropped", 1);
-                self.telemetry.record_with(|| TelemetryEvent::ChaosDrop { link: link.to_string() });
-            } else if u_fate < mix.drop + mix.dup {
-                self.counters.duplicated.fetch_add(1, Ordering::SeqCst);
-                self.telemetry.add("faults.duplicated", 1);
-                self.telemetry.record_with(|| TelemetryEvent::ChaosDup { link: link.to_string() });
-                for m in [msg.clone(), msg] {
-                    if upstream.send(m).is_err() {
+            match schedule.next_fate() {
+                Fate::Drop => {
+                    self.counters.dropped.fetch_add(1, Ordering::SeqCst);
+                    self.telemetry.add("faults.dropped", 1);
+                    self.telemetry
+                        .record_with(|| TelemetryEvent::ChaosDrop { link: link.to_string() });
+                }
+                Fate::Duplicate => {
+                    self.counters.duplicated.fetch_add(1, Ordering::SeqCst);
+                    self.telemetry.add("faults.duplicated", 1);
+                    self.telemetry
+                        .record_with(|| TelemetryEvent::ChaosDup { link: link.to_string() });
+                    for m in [msg.clone(), msg] {
+                        if upstream.send(m).is_err() {
+                            return;
+                        }
+                        self.counters.delivered.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                Fate::Hold { distance } => {
+                    self.counters.held.fetch_add(1, Ordering::SeqCst);
+                    self.telemetry.add("faults.held", 1);
+                    self.telemetry
+                        .record_with(|| TelemetryEvent::ChaosHold { link: link.to_string() });
+                    held.hold(seq, distance, msg);
+                }
+                Fate::Deliver => {
+                    if upstream.send(msg).is_err() {
                         return;
                     }
                     self.counters.delivered.fetch_add(1, Ordering::SeqCst);
                 }
-            } else if u_fate < mix.drop + mix.dup + mix.hold && mix.max_hold >= 1 {
-                self.counters.held.fetch_add(1, Ordering::SeqCst);
-                self.telemetry.add("faults.held", 1);
-                self.telemetry.record_with(|| TelemetryEvent::ChaosHold { link: link.to_string() });
-                let distance = 1 + (u_hold * mix.max_hold as f64) as u64;
-                held.push(Held { release_at: seq + distance, arrival: seq, msg });
-            } else if upstream.send(msg).is_err() {
-                return;
-            } else {
-                self.counters.delivered.fetch_add(1, Ordering::SeqCst);
             }
             seq += 1;
             // Release everything whose hold distance has elapsed.
-            while held.peek().is_some_and(|h| h.release_at <= seq) {
-                let h = held.pop().expect("peeked");
-                if upstream.send(h.msg).is_err() {
+            while let Some(msg) = held.release_due(seq) {
+                if upstream.send(msg).is_err() {
                     return;
                 }
                 self.counters.delivered.fetch_add(1, Ordering::SeqCst);
@@ -262,10 +377,10 @@ impl FaultPlane {
     }
 }
 
-fn flush_all<T>(held: &mut BinaryHeap<Held<T>>, upstream: &Sender<T>, counters: &PlaneCounters) {
+fn flush_all<T>(held: &mut HoldBuffer<T>, upstream: &Sender<T>, counters: &PlaneCounters) {
     // Drain in (release_at, arrival) order for determinism.
-    while let Some(h) = held.pop() {
-        if upstream.send(h.msg).is_ok() {
+    for msg in held.drain() {
+        if upstream.send(msg).is_ok() {
             counters.delivered.fetch_add(1, Ordering::SeqCst);
         }
     }

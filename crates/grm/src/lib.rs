@@ -51,4 +51,6 @@ pub use multilevel::TwoLevelGrm;
 pub use policy_adapter::GrmBackedPolicy;
 pub use recovery::AgreementJournal;
 pub use resilient::{ResilientGrmClient, RetryPolicy};
-pub use server::{GrmError, GrmHandle, GrmServer, GrmStats, RequestId};
+pub use server::{
+    GrmClient, GrmError, GrmHandle, GrmServer, GrmStats, RecordedDecision, RequestId,
+};

@@ -10,7 +10,7 @@
 //! of double-counting.
 
 use crate::resilient::ResilientGrmClient;
-use crate::server::{GrmError, GrmHandle, RequestId};
+use crate::server::{GrmClient, GrmError, GrmHandle, RequestId};
 use agreements_sched::{Allocation, SchedError};
 use agreements_telemetry::{Telemetry, TelemetryEvent};
 use parking_lot::Mutex;
@@ -125,9 +125,9 @@ impl Lrm {
     /// heals, [`Lrm::reconcile`] replays the journal: ids that actually
     /// landed server-side (a "zombie grant" whose reply was lost) dedup
     /// to a no-op, the rest settle the global books late.
-    pub fn submit_or_degrade(
+    pub fn submit_or_degrade<C: GrmClient + Clone>(
         &self,
-        client: &ResilientGrmClient,
+        client: &ResilientGrmClient<C>,
         amount: f64,
     ) -> Result<(Allocation, bool), GrmError> {
         let id = client.next_id();
@@ -166,7 +166,10 @@ impl Lrm {
     /// dropped as they settle; on a transport failure the remainder stays
     /// journalled for the next attempt. Returns the number of grants
     /// settled this call.
-    pub fn reconcile(&self, client: &ResilientGrmClient) -> Result<usize, GrmError> {
+    pub fn reconcile<C: GrmClient + Clone>(
+        &self,
+        client: &ResilientGrmClient<C>,
+    ) -> Result<usize, GrmError> {
         client.report(self.id, self.available())?;
         let backlog: Vec<(RequestId, f64)> = self.degraded.lock().clone();
         let mut settled = 0;

@@ -40,6 +40,9 @@ fn to_sched_error(e: GrmError) -> SchedError {
         | GrmError::Disconnected
         | GrmError::DeadlineExceeded { .. }
         | GrmError::RetriesExhausted { .. }
+        | GrmError::ConnectionRefused
+        | GrmError::ConnectionReset
+        | GrmError::FrameDecode { .. }
         | GrmError::Unsupported(_) => {
             SchedError::Lp(agreements_lp::LpError::InvalidModel("GRM unavailable".into()))
         }

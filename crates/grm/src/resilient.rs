@@ -21,7 +21,7 @@
 //! journal replay plus LRM re-reports have already rebuilt its state;
 //! see `recovery`).
 
-use crate::server::{GrmError, GrmHandle, RequestId};
+use crate::server::{GrmClient, GrmError, GrmHandle, RequestId};
 use agreements_sched::Allocation;
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 use parking_lot::Mutex;
@@ -66,10 +66,12 @@ impl RetryPolicy {
     }
 }
 
-/// A [`GrmHandle`] wrapper with deadlines, idempotent retries, and
+/// A [`GrmClient`] wrapper with deadlines, idempotent retries, and
 /// failover rebinding. Shareable across threads (`&self` methods).
-pub struct ResilientGrmClient {
-    handle: Mutex<GrmHandle>,
+/// Generic over the transport — the default `GrmHandle` is the
+/// in-process channel client; a networked client slots in unchanged.
+pub struct ResilientGrmClient<C: GrmClient + Clone = GrmHandle> {
+    handle: Mutex<C>,
     client_id: u64,
     seq: AtomicU64,
     policy: RetryPolicy,
@@ -77,12 +79,12 @@ pub struct ResilientGrmClient {
     jitter: Mutex<StdRng>,
 }
 
-impl ResilientGrmClient {
+impl<C: GrmClient + Clone> ResilientGrmClient<C> {
     /// Wrap a handle. `client_id` must be unique among clients issuing
     /// idempotent calls to the same GRM (it namespaces [`RequestId`]s);
     /// the jitter stream is seeded from it so every client backs off on
     /// its own deterministic schedule.
-    pub fn new(handle: GrmHandle, client_id: u64, policy: RetryPolicy) -> Self {
+    pub fn new(handle: C, client_id: u64, policy: RetryPolicy) -> Self {
         ResilientGrmClient {
             handle: Mutex::new(handle),
             client_id,
@@ -105,7 +107,7 @@ impl ResilientGrmClient {
     /// Point the client at a new GRM (cold standby after a crash).
     /// In-flight and future calls use the new handle on their next
     /// attempt.
-    pub fn rebind(&self, handle: GrmHandle) {
+    pub fn rebind(&self, handle: C) {
         *self.handle.lock() = handle;
     }
 
@@ -115,7 +117,7 @@ impl ResilientGrmClient {
         RequestId { client: self.client_id, seq: self.seq.fetch_add(1, Ordering::Relaxed) }
     }
 
-    fn current_handle(&self) -> GrmHandle {
+    fn current_handle(&self) -> C {
         self.handle.lock().clone()
     }
 
@@ -164,7 +166,7 @@ impl ResilientGrmClient {
     /// and deterministic jitter between attempts.
     fn retry_loop<T, F>(&self, issue: F) -> Result<T, GrmError>
     where
-        F: Fn(&GrmHandle) -> Result<Receiver<Result<T, GrmError>>, GrmError>,
+        F: Fn(&C) -> Result<Receiver<Result<T, GrmError>>, GrmError>,
     {
         let mut attempts = 0;
         loop {
@@ -184,7 +186,10 @@ impl ResilientGrmClient {
                 Err(e) if e.is_retryable() && attempts < self.policy.max_attempts => {
                     std::thread::sleep(self.backoff(attempts));
                 }
-                Err(GrmError::DeadlineExceeded { .. }) | Err(GrmError::Disconnected) => {
+                // Retryable but out of attempts: every transport-class
+                // failure exhausts the same way (including the socket
+                // variants), so callers see one terminal error.
+                Err(e) if e.is_retryable() => {
                     return Err(GrmError::RetriesExhausted { attempts });
                 }
                 Err(e) => return Err(e),

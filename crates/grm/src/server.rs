@@ -46,19 +46,44 @@ pub enum GrmError {
     /// `set_agreement`; membership changes are flat-only. The payload
     /// names the rejected operation.
     Unsupported(&'static str),
+    /// Nothing is listening at the server's address (the daemon is down
+    /// or restarting). The call never reached a server, so retrying the
+    /// same [`RequestId`] is always safe.
+    ConnectionRefused,
+    /// The connection died mid-call (reset, broken pipe, or EOF before
+    /// the reply). The call may or may not have been decided; the dedup
+    /// window makes the retry safe either way.
+    ConnectionReset,
+    /// A frame failed to decode (bad magic, CRC mismatch, malformed
+    /// payload). A poison frame is a protocol bug, not a transient
+    /// fault: resending the same bytes reproduces the same failure, so
+    /// this is **never** retryable.
+    FrameDecode {
+        /// What the decoder objected to.
+        detail: String,
+    },
 }
 
 impl GrmError {
     /// Whether retrying the *same* call (same [`RequestId`]) can succeed.
     ///
-    /// Transport-level failures — a missing reply or a dead server that a
-    /// cold standby may replace — are retryable; the server-side dedup
-    /// window makes such retries safe. Decisions the server actually
-    /// made (scheduling rejections, agreement errors, unknown indices)
-    /// are not: retrying them re-asks an already-answered question, and
-    /// an exhausted retry budget is itself final.
+    /// Transport-level failures — a missing reply, a dead server that a
+    /// cold standby may replace, a refused or reset connection — are
+    /// retryable; the server-side dedup window makes such retries safe.
+    /// Decisions the server actually made (scheduling rejections,
+    /// agreement errors, unknown indices) are not: retrying them re-asks
+    /// an already-answered question, and an exhausted retry budget is
+    /// itself final. A frame-decode failure is deterministic — the same
+    /// bytes fail the same way — so a resilient client must never burn
+    /// its retry budget on a poison frame.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, GrmError::Disconnected | GrmError::DeadlineExceeded { .. })
+        matches!(
+            self,
+            GrmError::Disconnected
+                | GrmError::DeadlineExceeded { .. }
+                | GrmError::ConnectionRefused
+                | GrmError::ConnectionReset
+        )
     }
 }
 
@@ -78,6 +103,9 @@ impl fmt::Display for GrmError {
             GrmError::Unsupported(what) => {
                 write!(f, "unsupported on this engine: {what}")
             }
+            GrmError::ConnectionRefused => write!(f, "GRM connection refused"),
+            GrmError::ConnectionReset => write!(f, "GRM connection reset mid-call"),
+            GrmError::FrameDecode { detail } => write!(f, "undecodable frame: {detail}"),
         }
     }
 }
@@ -103,6 +131,21 @@ pub struct RequestId {
 /// window bounds memory, trading exactly-once for "at most once within
 /// any plausible retry horizon".
 pub const DEDUP_WINDOW: usize = 1024;
+
+/// A decided idempotent call in exportable form: what the dedup window
+/// remembers about a [`RequestId`], made public so a durable journal can
+/// persist decisions and seed them back into a respawned server
+/// ([`GrmHandle::seed_decision`]) — at-most-once then holds across
+/// process death, not just within one lifetime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordedDecision {
+    /// The id decided an allocation request.
+    Grant(Result<Allocation, GrmError>),
+    /// The id decided a release.
+    Release(Result<(), GrmError>),
+    /// The id decided a degraded-grant replay.
+    Replay(Result<(), GrmError>),
+}
 
 #[derive(Clone)]
 enum Msg {
@@ -158,6 +201,11 @@ enum Msg {
         to_group: usize,
         share: f64,
         reply: Sender<Result<(), GrmError>>,
+    },
+    SeedDecision {
+        id: RequestId,
+        decision: RecordedDecision,
+        reply: Sender<()>,
     },
     Availability {
         reply: Sender<Vec<f64>>,
@@ -425,6 +473,21 @@ impl GrmHandle {
         rx.recv().map_err(|_| GrmError::Disconnected)?
     }
 
+    /// Seed one recovered decision into the server's dedup window
+    /// (recovery plumbing: a respawned server replays its durable
+    /// journal through this before serving traffic, so a duplicate RPC
+    /// straddling the restart still replays the original decision
+    /// instead of executing twice). Blocks until the seed is applied;
+    /// seeds count toward the window's [`DEDUP_WINDOW`] capacity in
+    /// insertion order, so replay oldest-first.
+    pub fn seed_decision(&self, id: RequestId, decision: RecordedDecision) -> Result<(), GrmError> {
+        let (reply, rx) = unbounded();
+        self.tx
+            .send(Msg::SeedDecision { id, decision, reply })
+            .map_err(|_| GrmError::Disconnected)?;
+        rx.recv().map_err(|_| GrmError::Disconnected)
+    }
+
     /// Operational counters since the server started.
     pub fn stats(&self) -> Result<GrmStats, GrmError> {
         let (reply, rx) = unbounded();
@@ -442,6 +505,81 @@ impl GrmHandle {
     /// Ask the server to exit its loop.
     pub fn shutdown(&self) {
         let _ = self.tx.send(Msg::Shutdown);
+    }
+}
+
+/// The client-side transport surface the retry/failover layer needs: the
+/// three idempotent RPCs issued *without blocking* (each reply arrives on
+/// the returned channel, so the caller applies its own deadline), plus
+/// the two fire-and-forget refreshes. [`GrmHandle`] implements it over
+/// in-process channels; a networked client implements it over sockets —
+/// and everything layered on top (`ResilientGrmClient`'s deadlines,
+/// backoff, rebind; the LRM's degraded-mode journal) works unchanged,
+/// because nothing above this trait knows what carries the bytes.
+pub trait GrmClient {
+    /// Issue an allocation request; the decision arrives on the channel.
+    fn issue_request(
+        &self,
+        lrm: usize,
+        amount: f64,
+        req_id: Option<RequestId>,
+    ) -> Result<Receiver<Result<Allocation, GrmError>>, GrmError>;
+
+    /// Issue a release of a previous allocation; ack on the channel.
+    fn issue_release(
+        &self,
+        alloc: Allocation,
+        req_id: Option<RequestId>,
+    ) -> Result<Receiver<Result<(), GrmError>>, GrmError>;
+
+    /// Issue a degraded-mode replay settlement; ack on the channel.
+    fn issue_replay(
+        &self,
+        req_id: RequestId,
+        lrm: usize,
+        amount: f64,
+    ) -> Result<Receiver<Result<(), GrmError>>, GrmError>;
+
+    /// Fire-and-forget availability report (LRM → GRM soft state).
+    fn report(&self, lrm: usize, available: f64) -> Result<(), GrmError>;
+
+    /// Fire-and-forget lease-clock tick.
+    fn tick(&self, now: u64, lease: u64) -> Result<(), GrmError>;
+}
+
+impl GrmClient for GrmHandle {
+    fn issue_request(
+        &self,
+        lrm: usize,
+        amount: f64,
+        req_id: Option<RequestId>,
+    ) -> Result<Receiver<Result<Allocation, GrmError>>, GrmError> {
+        GrmHandle::issue_request(self, lrm, amount, req_id)
+    }
+
+    fn issue_release(
+        &self,
+        alloc: Allocation,
+        req_id: Option<RequestId>,
+    ) -> Result<Receiver<Result<(), GrmError>>, GrmError> {
+        GrmHandle::issue_release(self, alloc, req_id)
+    }
+
+    fn issue_replay(
+        &self,
+        req_id: RequestId,
+        lrm: usize,
+        amount: f64,
+    ) -> Result<Receiver<Result<(), GrmError>>, GrmError> {
+        GrmHandle::issue_replay(self, req_id, lrm, amount)
+    }
+
+    fn report(&self, lrm: usize, available: f64) -> Result<(), GrmError> {
+        GrmHandle::report(self, lrm, available)
+    }
+
+    fn tick(&self, now: u64, lease: u64) -> Result<(), GrmError> {
+        GrmHandle::tick(self, now, lease)
     }
 }
 
@@ -622,6 +760,16 @@ enum CachedReply {
     Grant(Result<Allocation, GrmError>),
     Release(Result<(), GrmError>),
     Replay(Result<(), GrmError>),
+}
+
+impl From<RecordedDecision> for CachedReply {
+    fn from(d: RecordedDecision) -> Self {
+        match d {
+            RecordedDecision::Grant(r) => CachedReply::Grant(r),
+            RecordedDecision::Release(r) => CachedReply::Release(r),
+            RecordedDecision::Replay(r) => CachedReply::Replay(r),
+        }
+    }
 }
 
 /// Bounded id → decision memory (recency-ordered eviction).
@@ -1228,6 +1376,14 @@ impl ServerCore {
                 };
                 let _ = reply.send(res);
             }
+            Msg::SeedDecision { id, decision, reply } => {
+                // Recovery plumbing: restore a decision journaled by a
+                // previous incarnation so a duplicate RPC straddling
+                // the restart replays instead of re-executing. Not a
+                // served request — no stats counters move.
+                self.dedup.insert(id, decision.into());
+                let _ = reply.send(());
+            }
             Msg::Availability { reply } => {
                 let _ = reply.send(self.state.availability.clone());
             }
@@ -1770,9 +1926,81 @@ mod tests {
         assert!(!GrmError::UnknownLrm(1).is_retryable());
         assert!(!GrmError::Unsupported("leave").is_retryable());
         assert!(!GrmError::Sched(SchedError::InvalidRequest { amount: -1.0 }).is_retryable());
+        // Transport-level taxonomy: a refused or reset connection is the
+        // socket analogue of a lost message — safe to retry under an
+        // idempotent id. An undecodable frame is *not*: resending the
+        // same poison bytes can never succeed, so the resilient client
+        // must surface it instead of burning its retry budget.
+        assert!(GrmError::ConnectionRefused.is_retryable());
+        assert!(GrmError::ConnectionReset.is_retryable());
+        assert!(!GrmError::FrameDecode { detail: "bad magic".into() }.is_retryable());
         // Display strings exist for the new variants.
         assert!(GrmError::DeadlineExceeded { millis: 5 }.to_string().contains("5 ms"));
         assert!(GrmError::RetriesExhausted { attempts: 3 }.to_string().contains("3 attempts"));
+        assert!(GrmError::ConnectionRefused.to_string().contains("refused"));
+        assert!(GrmError::ConnectionReset.to_string().contains("reset"));
+        assert!(GrmError::FrameDecode { detail: "bad magic".into() }
+            .to_string()
+            .contains("bad magic"));
+    }
+
+    #[test]
+    fn seeded_decision_replays_for_duplicate_across_respawn() {
+        // First incarnation decides a grant under an idempotent id.
+        let grm = GrmServer::spawn(complete(2, 1.0), 1);
+        let h = grm.handle();
+        h.report(0, 0.0).unwrap();
+        h.report(1, 10.0).unwrap();
+        let id = RequestId { client: 7, seq: 0 };
+        let alloc = h.request_idempotent(0, 4.0, id).unwrap();
+        grm.crash();
+
+        // A cold standby is seeded with the journaled decision before it
+        // serves traffic — the durable-journal recovery path in miniature.
+        let standby = GrmServer::spawn(complete(2, 1.0), 1);
+        let h2 = standby.handle();
+        h2.seed_decision(id, RecordedDecision::Grant(Ok(alloc.clone()))).unwrap();
+        h2.report(0, 0.0).unwrap();
+        h2.report(1, 6.0).unwrap();
+
+        // The client's retry of the same id replays the original grant —
+        // bit-identical draws — instead of executing a second time.
+        let before = h2.stats().unwrap();
+        let replayed = h2.request_idempotent(0, 4.0, id).unwrap();
+        assert_eq!(replayed.draws, alloc.draws, "original decision replayed verbatim");
+        let after = h2.stats().unwrap();
+        assert_eq!(after.duplicate_requests, before.duplicate_requests + 1);
+        assert_eq!(after.requests, before.requests, "no second execution");
+        assert_eq!(after.granted, 0, "seeding and replay never move the grant counters");
+        // Availability is untouched by the replay: the standby's pool
+        // still holds the 6 units LRM 1 re-reported.
+        let avail = h2.availability().unwrap();
+        assert!((avail.iter().sum::<f64>() - 6.0).abs() < 1e-9);
+        standby.shutdown();
+    }
+
+    #[test]
+    fn seeded_release_and_replay_decisions_dedup_by_kind() {
+        let grm = GrmServer::spawn(complete(2, 1.0), 1);
+        let h = grm.handle();
+        h.report(0, 2.0).unwrap();
+        h.report(1, 2.0).unwrap();
+        let rid = RequestId { client: 8, seq: 0 };
+        let jid = RequestId { client: 8, seq: 1 };
+        h.seed_decision(rid, RecordedDecision::Release(Ok(()))).unwrap();
+        h.seed_decision(jid, RecordedDecision::Replay(Ok(()))).unwrap();
+        // A duplicate release under the seeded id is answered from the
+        // window without touching the pool.
+        let alloc = Allocation { requester: 0, amount: 1.0, draws: vec![1.0, 0.0], theta: 1.0 };
+        h.release_idempotent(alloc, rid).unwrap();
+        let avail = h.availability().unwrap();
+        assert!((avail.iter().sum::<f64>() - 4.0).abs() < 1e-9, "seeded release not re-applied");
+        // A duplicate degraded-mode replay likewise settles to a no-op.
+        h.replay_grant(jid, 0, 1.0).unwrap();
+        let s = h.stats().unwrap();
+        assert_eq!(s.journaled_grants, 0, "seeded replay not double-counted");
+        assert_eq!(s.duplicate_requests, 2);
+        grm.shutdown();
     }
 
     /// A chain `0 → 1 → 2`, where an edit at the tail touches only the

@@ -1,0 +1,467 @@
+//! Socket-backed [`GrmClient`]: the channel client's trait surface over
+//! a real byte stream.
+//!
+//! [`NetGrmClient`] connects on demand (first call after construction or
+//! after a connection death), multiplexes concurrent in-flight calls
+//! over one connection by correlation id, and demuxes responses on a
+//! background reader thread. It implements [`agreements_grm::GrmClient`],
+//! so `ResilientGrmClient`'s deadline/backoff/rebind machinery — and the
+//! server-side dedup window — work unchanged when "the GRM" is another
+//! process.
+//!
+//! Error mapping follows the retryability taxonomy:
+//!
+//! - connect failure → [`GrmError::ConnectionRefused`] (retryable: the
+//!   daemon may be restarting);
+//! - mid-call socket death → [`GrmError::ConnectionReset`] (retryable:
+//!   the decision may or may not have happened, which is exactly what
+//!   idempotent `RequestId`s exist for);
+//! - an undecodable response payload → [`GrmError::FrameDecode`]
+//!   (**not** retryable: a codec mismatch will not heal by resending).
+//!
+//! Frame-level corruption (bad CRC) is handled below this layer: the
+//! streaming decoder resyncs and the affected call either completes from
+//! a later duplicate or dies with the connection.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use agreements_grm::{GrmClient, GrmError, GrmStats, RequestId};
+use agreements_sched::Allocation;
+use agreements_telemetry::{HistKind, Telemetry};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::frame::{encode_frame, FrameDecoder, FRAME_OVERHEAD};
+use crate::wire::{RequestFrame, ResponseFrame, WireRequest, WireResponse};
+
+/// Where the daemon lives.
+#[derive(Debug, Clone)]
+enum Target {
+    Uds(PathBuf),
+    Tcp(String),
+}
+
+/// One live socket, either flavour. Reads and writes go through
+/// independent clones; `shutdown` kills both so the reader thread
+/// observes EOF promptly.
+enum Socket {
+    Uds(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Socket {
+    fn try_clone(&self) -> io::Result<Socket> {
+        match self {
+            Socket::Uds(s) => Ok(Socket::Uds(s.try_clone()?)),
+            Socket::Tcp(s) => Ok(Socket::Tcp(s.try_clone()?)),
+        }
+    }
+
+    fn shutdown(&self) {
+        match self {
+            Socket::Uds(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            Socket::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for Socket {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Socket::Uds(s) => s.read(buf),
+            Socket::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Socket {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Socket::Uds(s) => s.write(buf),
+            Socket::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Socket::Uds(s) => s.flush(),
+            Socket::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A registered in-flight call, typed by the reply it expects.
+enum Pending {
+    Grant(Sender<Result<Allocation, GrmError>>),
+    Unit(Sender<Result<(), GrmError>>),
+    Availability(Sender<Result<Vec<f64>, GrmError>>),
+    Stats(Sender<Result<GrmStats, GrmError>>),
+}
+
+impl Pending {
+    fn fail(self, e: GrmError) {
+        match self {
+            Pending::Grant(tx) => {
+                let _ = tx.send(Err(e));
+            }
+            Pending::Unit(tx) => {
+                let _ = tx.send(Err(e));
+            }
+            Pending::Availability(tx) => {
+                let _ = tx.send(Err(e));
+            }
+            Pending::Stats(tx) => {
+                let _ = tx.send(Err(e));
+            }
+        }
+    }
+
+    /// Dispatch a decoded response to the waiter. A `Unit(Err)` answers
+    /// any call shape (the listener's fallback for e.g. a failed
+    /// availability query); any other shape mismatch is a protocol bug
+    /// and surfaces as the non-retryable `FrameDecode`.
+    fn complete(self, resp: WireResponse) {
+        match (self, resp) {
+            (Pending::Grant(tx), WireResponse::Grant(r)) => {
+                let _ = tx.send(r);
+            }
+            (Pending::Unit(tx), WireResponse::Unit(r)) => {
+                let _ = tx.send(r);
+            }
+            (Pending::Availability(tx), WireResponse::Availability(v)) => {
+                let _ = tx.send(Ok(v));
+            }
+            (Pending::Stats(tx), WireResponse::Stats(s)) => {
+                let _ = tx.send(Ok(*s));
+            }
+            (p, WireResponse::Unit(Err(e))) => p.fail(e),
+            (p, _) => p.fail(GrmError::FrameDecode {
+                detail: "response kind does not match the call".into(),
+            }),
+        }
+    }
+}
+
+type PendingMap = Arc<Mutex<HashMap<u64, Pending>>>;
+
+struct Conn {
+    writer: Socket,
+    pending: PendingMap,
+}
+
+impl Conn {
+    fn teardown(&self, e: &GrmError) {
+        self.writer.shutdown();
+        fail_all(&self.pending, e);
+    }
+}
+
+fn fail_all(pending: &PendingMap, e: &GrmError) {
+    let drained: Vec<Pending> = {
+        let mut map = pending.lock();
+        map.drain().map(|(_, p)| p).collect()
+    };
+    for p in drained {
+        p.fail(e.clone());
+    }
+}
+
+struct Inner {
+    target: Target,
+    conn: Mutex<Option<Conn>>,
+    next_corr: AtomicU64,
+    telemetry: Telemetry,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        if let Some(conn) = self.conn.get_mut().take() {
+            conn.teardown(&GrmError::Disconnected);
+        }
+    }
+}
+
+/// Socket transport for the GRM protocol; see the module docs.
+#[derive(Clone)]
+pub struct NetGrmClient {
+    inner: Arc<Inner>,
+}
+
+impl NetGrmClient {
+    /// A client for a daemon on a Unix-domain socket.
+    pub fn uds(path: &Path) -> NetGrmClient {
+        Self::with_target(Target::Uds(path.to_path_buf()), Telemetry::disabled())
+    }
+
+    /// A client for a daemon on a TCP address (`host:port`).
+    pub fn tcp(addr: &str) -> NetGrmClient {
+        Self::with_target(Target::Tcp(addr.to_string()), Telemetry::disabled())
+    }
+
+    /// Attach a telemetry plane (frame-size histogram on sends).
+    pub fn with_telemetry(self, telemetry: Telemetry) -> NetGrmClient {
+        NetGrmClient {
+            inner: Arc::new(Inner {
+                target: self.inner.target.clone(),
+                conn: Mutex::new(None),
+                next_corr: AtomicU64::new(self.inner.next_corr.load(Ordering::Relaxed)),
+                telemetry,
+            }),
+        }
+    }
+
+    fn with_target(target: Target, telemetry: Telemetry) -> NetGrmClient {
+        NetGrmClient {
+            inner: Arc::new(Inner {
+                target,
+                conn: Mutex::new(None),
+                next_corr: AtomicU64::new(1),
+                telemetry,
+            }),
+        }
+    }
+
+    /// Drop the current connection (if any), failing in-flight calls
+    /// with [`GrmError::ConnectionReset`]. The next call reconnects.
+    pub fn disconnect(&self) {
+        if let Some(conn) = self.inner.conn.lock().take() {
+            conn.teardown(&GrmError::ConnectionReset);
+        }
+    }
+
+    fn connect(&self) -> Result<Conn, GrmError> {
+        let socket = match &self.inner.target {
+            Target::Uds(path) => UnixStream::connect(path).map(Socket::Uds),
+            Target::Tcp(addr) => TcpStream::connect(addr.as_str()).map(|s| {
+                let _ = s.set_nodelay(true);
+                Socket::Tcp(s)
+            }),
+        }
+        .map_err(|e| match e.kind() {
+            io::ErrorKind::ConnectionRefused | io::ErrorKind::NotFound => {
+                GrmError::ConnectionRefused
+            }
+            _ => GrmError::ConnectionReset,
+        })?;
+        let pending: PendingMap = Arc::new(Mutex::new(HashMap::new()));
+        let reader = socket.try_clone().map_err(|_| GrmError::ConnectionReset)?;
+        let inner = Arc::downgrade(&self.inner);
+        let reader_pending = Arc::clone(&pending);
+        thread::spawn(move || read_loop(reader, reader_pending, inner));
+        Ok(Conn { writer: socket, pending })
+    }
+
+    /// Register `pending` under a fresh correlation id and put the frame
+    /// on the wire, (re)connecting if necessary.
+    fn send(
+        &self,
+        req: WireRequest,
+        replay_seq: Option<u64>,
+        pending: Pending,
+    ) -> Result<(), GrmError> {
+        let mut guard = self.inner.conn.lock();
+        if guard.is_none() {
+            *guard = Some(self.connect()?);
+        }
+        let corr = self.inner.next_corr.fetch_add(1, Ordering::Relaxed);
+        let payload = RequestFrame { corr, replay_seq, req }.encode();
+        let mut framed = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+        encode_frame(&payload, &mut framed)
+            .map_err(|e| GrmError::FrameDecode { detail: format!("unencodable request: {e}") })?;
+        let conn = guard.as_mut().expect("connection just ensured");
+        conn.pending.lock().insert(corr, pending);
+        let wrote = conn.writer.write_all(&framed).and_then(|()| conn.writer.flush());
+        if let Err(_e) = wrote {
+            let conn = guard.take().expect("connection present");
+            // The registered pending is failed along with the rest.
+            conn.teardown(&GrmError::ConnectionReset);
+            return Err(GrmError::ConnectionReset);
+        }
+        self.inner.telemetry.observe(HistKind::FrameBytes, framed.len() as f64);
+        Ok(())
+    }
+
+    // ----- blocking conveniences ------------------------------------
+
+    /// Blocking allocation request carrying a global replay sequence
+    /// (sequenced-federation mode). Retries must reuse both `seq` and
+    /// `id` so the daemon can recognise the event across crashes.
+    pub fn request_seq(
+        &self,
+        seq: u64,
+        lrm: usize,
+        amount: f64,
+        id: RequestId,
+    ) -> Result<Allocation, GrmError> {
+        let (tx, rx) = bounded(1);
+        self.send(
+            WireRequest::Request { lrm: lrm as u64, amount, req_id: Some(id) },
+            Some(seq),
+            Pending::Grant(tx),
+        )?;
+        rx.recv().map_err(|_| GrmError::ConnectionReset)?
+    }
+
+    /// Blocking availability report carrying a global replay sequence;
+    /// returns once the daemon has applied *and journaled* the report.
+    pub fn report_seq(&self, seq: u64, lrm: usize, available: f64) -> Result<(), GrmError> {
+        let (tx, rx) = bounded(1);
+        self.send(
+            WireRequest::Report { lrm: lrm as u64, available },
+            Some(seq),
+            Pending::Unit(tx),
+        )?;
+        rx.recv().map_err(|_| GrmError::ConnectionReset)?
+    }
+
+    /// Blocking release carrying a global replay sequence.
+    pub fn release_seq(&self, seq: u64, alloc: Allocation, id: RequestId) -> Result<(), GrmError> {
+        let (tx, rx) = bounded(1);
+        self.send(WireRequest::Release { alloc, req_id: Some(id) }, Some(seq), Pending::Unit(tx))?;
+        rx.recv().map_err(|_| GrmError::ConnectionReset)?
+    }
+
+    /// Blocking snapshot of the daemon's availability view.
+    pub fn availability(&self) -> Result<Vec<f64>, GrmError> {
+        let (tx, rx) = bounded(1);
+        self.send(WireRequest::Availability, None, Pending::Availability(tx))?;
+        rx.recv().map_err(|_| GrmError::ConnectionReset)?
+    }
+
+    /// Blocking snapshot of the daemon's operational counters.
+    pub fn stats(&self) -> Result<GrmStats, GrmError> {
+        let (tx, rx) = bounded(1);
+        self.send(WireRequest::Stats, None, Pending::Stats(tx))?;
+        rx.recv().map_err(|_| GrmError::ConnectionReset)?
+    }
+}
+
+impl GrmClient for NetGrmClient {
+    fn issue_request(
+        &self,
+        lrm: usize,
+        amount: f64,
+        req_id: Option<RequestId>,
+    ) -> Result<Receiver<Result<Allocation, GrmError>>, GrmError> {
+        let (tx, rx) = bounded(1);
+        self.send(
+            WireRequest::Request { lrm: lrm as u64, amount, req_id },
+            None,
+            Pending::Grant(tx),
+        )?;
+        Ok(rx)
+    }
+
+    fn issue_release(
+        &self,
+        alloc: Allocation,
+        req_id: Option<RequestId>,
+    ) -> Result<Receiver<Result<(), GrmError>>, GrmError> {
+        let (tx, rx) = bounded(1);
+        self.send(WireRequest::Release { alloc, req_id }, None, Pending::Unit(tx))?;
+        Ok(rx)
+    }
+
+    fn issue_replay(
+        &self,
+        req_id: RequestId,
+        lrm: usize,
+        amount: f64,
+    ) -> Result<Receiver<Result<(), GrmError>>, GrmError> {
+        let (tx, rx) = bounded(1);
+        self.send(
+            WireRequest::ReplayGrant { req_id, lrm: lrm as u64, amount },
+            None,
+            Pending::Unit(tx),
+        )?;
+        Ok(rx)
+    }
+
+    fn report(&self, lrm: usize, available: f64) -> Result<(), GrmError> {
+        // Fire-and-forget like the channel client: the daemon's ack is
+        // discarded (the receiver is dropped here).
+        let (tx, _rx) = bounded(1);
+        self.send(WireRequest::Report { lrm: lrm as u64, available }, None, Pending::Unit(tx))
+    }
+
+    fn tick(&self, now: u64, lease: u64) -> Result<(), GrmError> {
+        let (tx, _rx) = bounded(1);
+        self.send(WireRequest::Tick { now, lease }, None, Pending::Unit(tx))
+    }
+}
+
+/// The demux loop: decode frames off the socket, route responses to
+/// their waiters by correlation id. Exits on EOF or a fatal protocol
+/// error, failing every in-flight call.
+fn read_loop(mut socket: Socket, pending: PendingMap, inner: std::sync::Weak<Inner>) {
+    let mut dec = FrameDecoder::new();
+    let mut buf = [0u8; 16 * 1024];
+    let fatal: GrmError = 'outer: loop {
+        match socket.read(&mut buf) {
+            Ok(0) => break GrmError::ConnectionReset,
+            Ok(n) => {
+                dec.push(&buf[..n]);
+                loop {
+                    match dec.next_frame() {
+                        Ok(Some(payload)) => match ResponseFrame::decode(&payload) {
+                            Ok(frame) => {
+                                let waiter = pending.lock().remove(&frame.corr);
+                                if let Some(p) = waiter {
+                                    p.complete(frame.resp);
+                                }
+                            }
+                            Err(e) => {
+                                // A framed-but-undecodable response: a
+                                // codec mismatch. Fail the one call if
+                                // the corr prefix is readable; anything
+                                // beyond that is unrecoverable.
+                                if payload.len() >= 8 {
+                                    let corr = u64::from_le_bytes(
+                                        payload[..8].try_into().expect("8-byte prefix"),
+                                    );
+                                    let waiter = pending.lock().remove(&corr);
+                                    if let Some(p) = waiter {
+                                        p.fail(e.clone());
+                                    }
+                                } else {
+                                    break 'outer e;
+                                }
+                            }
+                        },
+                        Ok(None) => break,
+                        // Bad CRC: decoder resynced past it; the lost
+                        // reply's call completes via a duplicate or
+                        // dies with the connection.
+                        Err(_) => continue,
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break GrmError::ConnectionReset,
+        }
+    };
+    fail_all(&pending, &fatal);
+    // Clear the shared slot iff it still refers to this connection, so
+    // the next call reconnects instead of writing into a corpse.
+    if let Some(inner) = inner.upgrade() {
+        let mut guard = inner.conn.lock();
+        if let Some(conn) = guard.as_ref() {
+            if Arc::ptr_eq(&conn.pending, &pending) {
+                if let Some(conn) = guard.take() {
+                    conn.writer.shutdown();
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,559 @@
+//! The GRM daemon: a `GrmServer` behind a real socket.
+//!
+//! [`GrmListener`] accepts Unix-domain or TCP connections, decodes
+//! [`crate::wire::RequestFrame`]s, drives the in-process [`GrmServer`],
+//! and writes every decision to the [`crate::journal::DurableJournal`]
+//! **before** the response frame leaves the process (write-ahead-of-
+//! reply). Combined with [`crate::journal::FsyncPolicy::EveryOp`] this
+//! gives at-most-once settlement across a kill -9: a decision a client
+//! observed is durable, so a retry straddling the crash replays the
+//! original decision out of the recovered dedup window instead of
+//! re-executing.
+//!
+//! # Duplicate suppression in the journal
+//!
+//! The listener keeps a live [`RecoveredState`] mirror — the exact fold
+//! recovery would compute — alongside the journal. A decision whose
+//! `RequestId` is already in the mirror's dedup window was answered from
+//! the server's cache; journaling it again would double-apply its pool
+//! effect on replay, so it is skipped. The mirror also supplies
+//! compaction snapshots: when the live segment exceeds
+//! [`ListenerConfig::compact_every`] records, the journal rolls to a
+//! fresh segment seeded with the mirror state and deletes the old ones.
+//!
+//! # Sequenced replay mode
+//!
+//! With [`ListenerConfig::sequenced`], request frames carry a global
+//! event sequence and a [`Sequencer`] admits them strictly in order:
+//! event *k* executes, journals, and syncs before *k*+1 starts. This is
+//! what makes a multi-process replay bit-compatible with the in-process
+//! run — the GRM observes the identical event order, so every draw and
+//! every admit/deny decision matches. Events below the cursor (retries
+//! of already-applied events, including retries straddling a restart)
+//! are acked without re-applying: reports are acknowledged as-is, and
+//! idempotent RPCs are forwarded so the dedup window replays the
+//! original decision. A connection must not pipeline sequenced events
+//! out of order with each other (the federation workers are strictly
+//! call-by-call, so this never arises).
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use agreements_grm::{GrmError, GrmHandle, GrmServer};
+use agreements_telemetry::{HistKind, Telemetry};
+use parking_lot::Mutex;
+
+use crate::frame::{encode_frame, FrameDecoder, FRAME_OVERHEAD};
+use crate::journal::{DecisionBody, DurableJournal, JournalRecord, RecoveredState, Snapshot};
+use crate::wire::{RequestFrame, ResponseFrame, WireRequest, WireResponse};
+
+/// How long blocked reads and sequencer waits go between checks of the
+/// shutdown flag.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Listener tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ListenerConfig {
+    /// Enforce global event ordering via `replay_seq` (deterministic
+    /// federation replay). Off by default: normal operation lets
+    /// connections race like the in-process federation's threads do.
+    pub sequenced: bool,
+    /// Compact the journal when the live segment exceeds this many
+    /// records; `0` disables auto-compaction.
+    pub compact_every: u64,
+    /// Telemetry plane for fsync latency and frame-size histograms.
+    pub telemetry: Telemetry,
+}
+
+impl Default for ListenerConfig {
+    fn default() -> Self {
+        ListenerConfig { sequenced: false, compact_every: 8192, telemetry: Telemetry::disabled() }
+    }
+}
+
+/// Admits sequenced events strictly in order (see module docs).
+struct Sequencer {
+    next: std::sync::Mutex<u64>,
+    cv: std::sync::Condvar,
+}
+
+enum Admission {
+    /// This event is the cursor: execute and journal it.
+    Fresh,
+    /// Already applied before (a retry): ack idempotently.
+    Stale,
+    /// The listener is shutting down: drop the frame.
+    Aborted,
+}
+
+impl Sequencer {
+    fn new(next: u64) -> Sequencer {
+        Sequencer { next: std::sync::Mutex::new(next), cv: std::sync::Condvar::new() }
+    }
+
+    fn enter(&self, seq: u64, shutdown: &AtomicBool) -> Admission {
+        let mut next = self.next.lock().expect("sequencer poisoned");
+        while *next < seq {
+            if shutdown.load(Ordering::Relaxed) {
+                return Admission::Aborted;
+            }
+            next = self.cv.wait_timeout(next, POLL).expect("sequencer poisoned").0;
+        }
+        if *next == seq {
+            Admission::Fresh
+        } else {
+            Admission::Stale
+        }
+    }
+
+    fn exit(&self, seq: u64) {
+        let mut next = self.next.lock().expect("sequencer poisoned");
+        if *next == seq {
+            *next = seq + 1;
+        }
+        drop(next);
+        self.cv.notify_all();
+    }
+}
+
+struct Shared {
+    handle: GrmHandle,
+    /// The journal plus its live recovery mirror; one lock so append and
+    /// mirror-fold are atomic with respect to compaction.
+    journal: Mutex<(DurableJournal, RecoveredState)>,
+    sequencer: Option<Sequencer>,
+    telemetry: Telemetry,
+    shutdown: AtomicBool,
+    compact_every: u64,
+    /// Frames that passed CRC but did not decode as a request.
+    undecodable: AtomicU64,
+}
+
+impl Shared {
+    /// Append + fold + maybe compact, atomically. Decisions whose id is
+    /// already in the mirror window are duplicates and are not
+    /// re-journaled. When this returns `Ok` under `FsyncPolicy::EveryOp`
+    /// the record is durable.
+    fn journal_record(&self, rec: &JournalRecord) -> io::Result<()> {
+        let mut guard = self.journal.lock();
+        let (journal, mirror) = &mut *guard;
+        if let JournalRecord::Decision { id: Some(id), .. } = rec {
+            if mirror.dedup.iter().any(|(j, _)| j == id) {
+                return Ok(());
+            }
+        }
+        journal.append(rec)?;
+        mirror.apply(rec);
+        if self.compact_every > 0 && journal.records_in_segment() >= self.compact_every {
+            let snap = mirror.snapshot();
+            journal.compact(&snap)?;
+        }
+        Ok(())
+    }
+}
+
+/// A daemon serving one [`GrmServer`] over a socket, journaling every
+/// decision before it is acknowledged. See the module docs.
+pub struct GrmListener {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    server: Option<GrmServer>,
+    tcp_addr: Option<SocketAddr>,
+    uds_path: Option<PathBuf>,
+}
+
+impl GrmListener {
+    /// Serve `server` on a Unix-domain socket at `path`. A stale socket
+    /// file from a previous (possibly killed) daemon is removed first.
+    /// `journal` and `recovered` come from [`DurableJournal::open_or_create`].
+    pub fn bind_uds(
+        path: &Path,
+        server: GrmServer,
+        journal: DurableJournal,
+        recovered: RecoveredState,
+        config: ListenerConfig,
+    ) -> io::Result<GrmListener> {
+        if path.exists() {
+            fs_remove(path)?;
+        }
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        let mut l = Self::assemble(server, journal, recovered, config);
+        l.uds_path = Some(path.to_path_buf());
+        let shared = Arc::clone(&l.shared);
+        let conns = Arc::clone(&l.conns);
+        l.accept = Some(thread::spawn(move || {
+            accept_loop(shared, conns, move || match listener.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false)?;
+                    s.set_read_timeout(Some(POLL))?;
+                    Ok(Some(Box::new(s) as Box<dyn Stream>))
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            });
+        }));
+        Ok(l)
+    }
+
+    /// Serve `server` on a TCP socket; `addr` may be `"127.0.0.1:0"` to
+    /// let the OS pick a port (see [`GrmListener::tcp_addr`]).
+    pub fn bind_tcp(
+        addr: &str,
+        server: GrmServer,
+        journal: DurableJournal,
+        recovered: RecoveredState,
+        config: ListenerConfig,
+    ) -> io::Result<GrmListener> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let mut l = Self::assemble(server, journal, recovered, config);
+        l.tcp_addr = Some(listener.local_addr()?);
+        let shared = Arc::clone(&l.shared);
+        let conns = Arc::clone(&l.conns);
+        l.accept = Some(thread::spawn(move || {
+            accept_loop(shared, conns, move || match listener.accept() {
+                Ok((s, _)) => {
+                    s.set_nodelay(true)?;
+                    s.set_read_timeout(Some(POLL))?;
+                    Ok(Some(Box::new(s) as Box<dyn Stream>))
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            });
+        }));
+        Ok(l)
+    }
+
+    fn assemble(
+        server: GrmServer,
+        journal: DurableJournal,
+        recovered: RecoveredState,
+        config: ListenerConfig,
+    ) -> GrmListener {
+        let sequencer = config.sequenced.then(|| Sequencer::new(recovered.next_seq));
+        let shared = Arc::new(Shared {
+            handle: server.handle(),
+            journal: Mutex::new((journal, recovered)),
+            sequencer,
+            telemetry: config.telemetry,
+            shutdown: AtomicBool::new(false),
+            compact_every: config.compact_every,
+            undecodable: AtomicU64::new(0),
+        });
+        GrmListener {
+            shared,
+            accept: None,
+            conns: Arc::new(Mutex::new(Vec::new())),
+            server: Some(server),
+            tcp_addr: None,
+            uds_path: None,
+        }
+    }
+
+    /// The bound TCP address (None for a UDS listener).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// In-process handle to the served GRM (for harness assertions).
+    pub fn handle(&self) -> GrmHandle {
+        self.shared.handle.clone()
+    }
+
+    /// A clone of the live recovery mirror — the state a crash right now
+    /// would recover to.
+    pub fn mirror(&self) -> RecoveredState {
+        self.shared.journal.lock().1.clone()
+    }
+
+    /// Snapshot of the live mirror (compaction/inspection helper).
+    pub fn mirror_snapshot(&self) -> Snapshot {
+        self.shared.journal.lock().1.snapshot()
+    }
+
+    /// Frames that passed CRC but failed request decoding.
+    pub fn undecodable_frames(&self) -> u64 {
+        self.shared.undecodable.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, drain connection threads, sync the journal, and
+    /// shut the served GRM down.
+    pub fn shutdown(mut self) {
+        self.stop();
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(j) = self.accept.take() {
+            let _ = j.join();
+        }
+        let joins: Vec<_> = self.conns.lock().drain(..).collect();
+        for j in joins {
+            let _ = j.join();
+        }
+        let _ = self.shared.journal.lock().0.sync();
+        if let Some(path) = self.uds_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for GrmListener {
+    fn drop(&mut self) {
+        self.stop();
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+    }
+}
+
+fn fs_remove(path: &Path) -> io::Result<()> {
+    match std::fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// The two stream types, unified for the connection handler.
+trait Stream: Read + Write + Send {}
+impl Stream for UnixStream {}
+impl Stream for TcpStream {}
+
+fn accept_loop(
+    shared: Arc<Shared>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    mut accept: impl FnMut() -> io::Result<Option<Box<dyn Stream>>>,
+) {
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        match accept() {
+            Ok(Some(stream)) => {
+                let shared = Arc::clone(&shared);
+                conns.lock().push(thread::spawn(move || serve_conn(stream, &shared)));
+            }
+            Ok(None) => thread::sleep(Duration::from_millis(2)),
+            Err(_) => break,
+        }
+    }
+}
+
+fn serve_conn(mut stream: Box<dyn Stream>, shared: &Shared) {
+    let mut dec = FrameDecoder::new();
+    let mut buf = [0u8; 16 * 1024];
+    'conn: loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                dec.push(&buf[..n]);
+                loop {
+                    match dec.next_frame() {
+                        Ok(Some(payload)) => {
+                            shared.telemetry.observe(
+                                HistKind::FrameBytes,
+                                (payload.len() + FRAME_OVERHEAD) as f64,
+                            );
+                            if handle_frame(&payload, &mut stream, shared).is_err() {
+                                break 'conn;
+                            }
+                        }
+                        Ok(None) => break,
+                        // Corrupt frame: the decoder resynced; the lost
+                        // request is the sender's retry problem.
+                        Err(_) => continue,
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Decode, execute, journal (write-ahead), reply. Returns `Err` only
+/// when the response cannot be written (dead connection).
+fn handle_frame(payload: &[u8], out: &mut impl Write, shared: &Shared) -> io::Result<()> {
+    let rf = match RequestFrame::decode(payload) {
+        Ok(rf) => rf,
+        Err(_) => {
+            shared.undecodable.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+    };
+    let resp = match (&shared.sequencer, rf.replay_seq) {
+        (Some(seq), Some(no)) => match seq.enter(no, &shared.shutdown) {
+            Admission::Aborted => return Ok(()),
+            Admission::Stale => execute_stale(&rf.req, shared),
+            Admission::Fresh => {
+                let resp = execute(&rf.req, Some(no), shared);
+                seq.exit(no);
+                resp
+            }
+        },
+        _ => execute(&rf.req, None, shared),
+    };
+    send_response(out, shared, ResponseFrame { corr: rf.corr, resp })
+}
+
+fn send_response(out: &mut impl Write, shared: &Shared, frame: ResponseFrame) -> io::Result<()> {
+    let payload = frame.encode();
+    let mut framed = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+    encode_frame(&payload, &mut framed)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    shared.telemetry.observe(HistKind::FrameBytes, framed.len() as f64);
+    out.write_all(&framed)?;
+    out.flush()
+}
+
+const JOURNAL_DOWN: GrmError = GrmError::Unsupported("agreement journal unavailable");
+
+/// Is this decision outcome worth journaling? Transport-layer errors
+/// (the in-process server died under us) are not decisions.
+fn journalable(err: &GrmError) -> bool {
+    !matches!(
+        err,
+        GrmError::Disconnected
+            | GrmError::DeadlineExceeded { .. }
+            | GrmError::RetriesExhausted { .. }
+            | GrmError::ConnectionRefused
+            | GrmError::ConnectionReset
+    )
+}
+
+fn execute(req: &WireRequest, seq: Option<u64>, shared: &Shared) -> WireResponse {
+    let h = &shared.handle;
+    match req {
+        WireRequest::Report { lrm, available } => {
+            let res = h.report(*lrm as usize, *available);
+            if res.is_ok() {
+                let rec = JournalRecord::Report { seq, lrm: *lrm, available: *available };
+                if shared.journal_record(&rec).is_err() {
+                    return WireResponse::Unit(Err(JOURNAL_DOWN));
+                }
+            }
+            WireResponse::Unit(res)
+        }
+        WireRequest::Tick { now, lease } => {
+            // Lease expiry is soft state, corrected by the next round of
+            // re-reports — never journaled.
+            WireResponse::Unit(h.tick(*now, *lease))
+        }
+        WireRequest::Request { lrm, amount, req_id } => {
+            let result = match req_id {
+                Some(id) => h.request_idempotent(*lrm as usize, *amount, *id),
+                None => h.request(*lrm as usize, *amount),
+            };
+            if result.as_ref().err().is_none_or(journalable) {
+                let rec = JournalRecord::Decision {
+                    seq,
+                    id: *req_id,
+                    body: DecisionBody::Grant(result.clone()),
+                };
+                if shared.journal_record(&rec).is_err() {
+                    return WireResponse::Grant(Err(JOURNAL_DOWN));
+                }
+            }
+            WireResponse::Grant(result)
+        }
+        WireRequest::Release { alloc, req_id } => {
+            let draws = alloc.draws.clone();
+            let result = match req_id {
+                Some(id) => h.release_idempotent(alloc.clone(), *id),
+                None => h.release(alloc.clone()),
+            };
+            if result.as_ref().err().is_none_or(journalable) {
+                let rec = JournalRecord::Decision {
+                    seq,
+                    id: *req_id,
+                    body: DecisionBody::Release { draws, result: result.clone() },
+                };
+                if shared.journal_record(&rec).is_err() {
+                    return WireResponse::Unit(Err(JOURNAL_DOWN));
+                }
+            }
+            WireResponse::Unit(result)
+        }
+        WireRequest::ReplayGrant { req_id, lrm, amount } => {
+            let result = h.replay_grant(*req_id, *lrm as usize, *amount);
+            if result.as_ref().err().is_none_or(journalable) {
+                let rec = JournalRecord::Decision {
+                    seq,
+                    id: Some(*req_id),
+                    body: DecisionBody::Replay {
+                        lrm: *lrm,
+                        amount: *amount,
+                        result: result.clone(),
+                    },
+                };
+                if shared.journal_record(&rec).is_err() {
+                    return WireResponse::Unit(Err(JOURNAL_DOWN));
+                }
+            }
+            WireResponse::Unit(result)
+        }
+        WireRequest::Availability => match h.availability() {
+            Ok(v) => WireResponse::Availability(v),
+            Err(e) => WireResponse::Unit(Err(e)),
+        },
+        WireRequest::Stats => match h.stats() {
+            Ok(s) => WireResponse::Stats(Box::new(s)),
+            Err(e) => WireResponse::Unit(Err(e)),
+        },
+    }
+}
+
+/// An event below the replay cursor: it was applied (and journaled)
+/// before a crash or retransmission. Reports are acked without
+/// re-applying — re-running them would rewind the pools. Idempotent RPCs
+/// are forwarded so the dedup window serves the original decision (the
+/// duplicate-id check keeps the journal clean).
+fn execute_stale(req: &WireRequest, shared: &Shared) -> WireResponse {
+    let h = &shared.handle;
+    match req {
+        WireRequest::Report { .. } | WireRequest::Tick { .. } => WireResponse::Unit(Ok(())),
+        WireRequest::Request { lrm, amount, req_id } => match req_id {
+            Some(id) => WireResponse::Grant(h.request_idempotent(*lrm as usize, *amount, *id)),
+            // A sequenced request without an id cannot be deduplicated;
+            // refuse rather than silently double-grant.
+            None => WireResponse::Grant(Err(GrmError::Unsupported(
+                "stale sequenced request without an idempotency id",
+            ))),
+        },
+        WireRequest::Release { alloc, req_id } => match req_id {
+            Some(id) => WireResponse::Unit(h.release_idempotent(alloc.clone(), *id)),
+            None => WireResponse::Unit(Err(GrmError::Unsupported(
+                "stale sequenced release without an idempotency id",
+            ))),
+        },
+        WireRequest::ReplayGrant { req_id, lrm, amount } => {
+            WireResponse::Unit(h.replay_grant(*req_id, *lrm as usize, *amount))
+        }
+        WireRequest::Availability => match h.availability() {
+            Ok(v) => WireResponse::Availability(v),
+            Err(e) => WireResponse::Unit(Err(e)),
+        },
+        WireRequest::Stats => match h.stats() {
+            Ok(s) => WireResponse::Stats(Box::new(s)),
+            Err(e) => WireResponse::Unit(Err(e)),
+        },
+    }
+}

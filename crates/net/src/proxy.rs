@@ -1,0 +1,345 @@
+//! Socket-level fault injection: the chaos plane for real connections.
+//!
+//! [`FaultProxy`] sits between a [`crate::client::NetGrmClient`] and a
+//! [`crate::listener::GrmListener`] on Unix-domain sockets and subjects
+//! **whole frames** to the same seeded [`FaultSchedule`] the in-process
+//! chaos plane uses: drop, duplicate, hold-and-reorder, plus an explicit
+//! partition switch. Faults apply to the client→server direction only,
+//! mirroring `FaultPlane::wrap`, which interposes on the sender side of
+//! a link; server→client bytes pass through verbatim. Because the unit
+//! of harm is a complete CRC frame (the proxy reframes what it
+//! forwards), dropping or reordering never tears a frame in half — torn
+//! *bytes* are the journal's department, torn *messages* are this one's.
+//!
+//! Determinism: one proxy owns one link name and one
+//! [`FaultSchedule`]; every frame crossing it advances the per-link
+//! sequence exactly as a channel message would, so a socket federation
+//! and a channel federation with the same seed see the same fate
+//! sequence.
+
+use std::io::{self, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use agreements_faults::{Fate, FaultMix, FaultSchedule, HoldBuffer};
+use parking_lot::Mutex;
+
+use crate::frame::{encode_frame, FrameDecoder};
+
+const POLL: Duration = Duration::from_millis(20);
+
+/// What the proxy actually did to the traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProxyStats {
+    /// Frames forwarded upstream (duplicates counted twice).
+    pub delivered: u64,
+    /// Frames dropped by the schedule.
+    pub dropped: u64,
+    /// Frames delivered twice.
+    pub duplicated: u64,
+    /// Frames held back past at least one successor.
+    pub held: u64,
+    /// Frames swallowed by an active partition.
+    pub partitioned: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    held: AtomicU64,
+    partitioned: AtomicU64,
+}
+
+struct ProxyShared {
+    schedule: Mutex<FaultSchedule>,
+    /// Frames crossing the link so far (the schedule's sequence axis;
+    /// shared across connections so reconnects continue the stream).
+    seq: AtomicU64,
+    faults_on: AtomicBool,
+    partitioned: AtomicBool,
+    shutdown: AtomicBool,
+    counters: Counters,
+}
+
+/// A deterministic fault injector for one Unix-domain socket link.
+pub struct FaultProxy {
+    shared: Arc<ProxyShared>,
+    accept: Option<JoinHandle<()>>,
+    listen_path: PathBuf,
+}
+
+impl FaultProxy {
+    /// Listen on `listen`, forwarding each accepted connection to the
+    /// daemon socket at `upstream` through the fault schedule seeded by
+    /// `(seed, link)` with the given `mix`.
+    pub fn spawn_uds(
+        listen: &Path,
+        upstream: &Path,
+        seed: u64,
+        link: &str,
+        mix: FaultMix,
+    ) -> io::Result<FaultProxy> {
+        if listen.exists() {
+            let _ = std::fs::remove_file(listen);
+        }
+        let listener = UnixListener::bind(listen)?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(ProxyShared {
+            schedule: Mutex::new(FaultSchedule::new(seed, link, mix)),
+            seq: AtomicU64::new(0),
+            faults_on: AtomicBool::new(true),
+            partitioned: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+        });
+        let upstream = upstream.to_path_buf();
+        let accept_shared = Arc::clone(&shared);
+        let accept = thread::spawn(move || {
+            while !accept_shared.shutdown.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((client, _)) => {
+                        let shared = Arc::clone(&accept_shared);
+                        let upstream = upstream.clone();
+                        thread::spawn(move || pump_connection(client, &upstream, &shared));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(FaultProxy { shared, accept: Some(accept), listen_path: listen.to_path_buf() })
+    }
+
+    /// Sever the link: every client→server frame is swallowed until
+    /// [`FaultProxy::heal_partition`]. Established connections stay up —
+    /// a partition is silence, not a reset.
+    pub fn partition(&self) {
+        self.shared.partitioned.store(true, Ordering::SeqCst);
+    }
+
+    /// End the partition; traffic (and the fault mix, if still active)
+    /// resumes.
+    pub fn heal_partition(&self) {
+        self.shared.partitioned.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the link is currently partitioned.
+    pub fn is_partitioned(&self) -> bool {
+        self.shared.partitioned.load(Ordering::SeqCst)
+    }
+
+    /// The network recovers: stop injecting faults and end any
+    /// partition. Held frames flush on the next frame or connection
+    /// close. Irreversible, mirroring `FaultPlane::heal`.
+    pub fn heal(&self) {
+        self.shared.faults_on.store(false, Ordering::SeqCst);
+        self.shared.partitioned.store(false, Ordering::SeqCst);
+    }
+
+    /// Snapshot of the proxy's counters.
+    pub fn stats(&self) -> ProxyStats {
+        let c = &self.shared.counters;
+        ProxyStats {
+            delivered: c.delivered.load(Ordering::SeqCst),
+            dropped: c.dropped.load(Ordering::SeqCst),
+            duplicated: c.duplicated.load(Ordering::SeqCst),
+            held: c.held.load(Ordering::SeqCst),
+            partitioned: c.partitioned.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Stop accepting and tear the proxy down. Live pump threads exit
+    /// when their sockets close.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(j) = self.accept.take() {
+            let _ = j.join();
+        }
+        let _ = std::fs::remove_file(&self.listen_path);
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One proxied connection: a faulted client→server pump on this thread,
+/// a verbatim server→client pump on a second.
+fn pump_connection(client: UnixStream, upstream: &Path, shared: &Arc<ProxyShared>) {
+    let server = match UnixStream::connect(upstream) {
+        Ok(s) => s,
+        // Upstream down: refuse by closing, which the client maps to a
+        // retryable reset.
+        Err(_) => return,
+    };
+    let _ = client.set_read_timeout(Some(POLL));
+    let _ = server.set_read_timeout(Some(POLL));
+
+    // Server → client: verbatim byte copy.
+    let s2c = {
+        let mut from = match server.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let mut to = match client.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let shared = Arc::clone(shared);
+        thread::spawn(move || {
+            let mut buf = [0u8; 16 * 1024];
+            loop {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+                match from.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        if to.write_all(&buf[..n]).and_then(|()| to.flush()).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut
+                            || e.kind() == io::ErrorKind::Interrupted =>
+                    {
+                        continue;
+                    }
+                    Err(_) => break,
+                }
+            }
+            let _ = to.shutdown(std::net::Shutdown::Write);
+        })
+    };
+
+    // Client → server: frame-aware fault pipeline.
+    faulted_pump(client, &server, shared);
+    let _ = server.shutdown(std::net::Shutdown::Both);
+    let _ = s2c.join();
+}
+
+fn forward(out: &mut (impl Write + ?Sized), payload: &[u8], c: &Counters) -> io::Result<()> {
+    let mut framed = Vec::with_capacity(payload.len() + crate::frame::FRAME_OVERHEAD);
+    encode_frame(payload, &mut framed)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    out.write_all(&framed)?;
+    out.flush()?;
+    c.delivered.fetch_add(1, Ordering::SeqCst);
+    Ok(())
+}
+
+fn faulted_pump(mut client: UnixStream, server: &UnixStream, shared: &Arc<ProxyShared>) {
+    let mut out = match server.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut dec = FrameDecoder::new();
+    let mut held: HoldBuffer<Vec<u8>> = HoldBuffer::new();
+    let mut buf = [0u8; 16 * 1024];
+    let c = &shared.counters;
+    'conn: loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        match client.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                dec.push(&buf[..n]);
+                loop {
+                    match dec.next_frame() {
+                        Ok(Some(payload)) => {
+                            // Mirror FaultPlane::pump exactly: fate at
+                            // the current sequence, then advance, then
+                            // release what the advance made due.
+                            let seq = shared.seq.load(Ordering::SeqCst);
+                            if shared.partitioned.load(Ordering::SeqCst) {
+                                c.partitioned.fetch_add(1, Ordering::SeqCst);
+                            } else if !shared.faults_on.load(Ordering::SeqCst) {
+                                for m in held.drain() {
+                                    if forward(&mut out, &m, c).is_err() {
+                                        break 'conn;
+                                    }
+                                }
+                                if forward(&mut out, &payload, c).is_err() {
+                                    break 'conn;
+                                }
+                            } else {
+                                match shared.schedule.lock().next_fate() {
+                                    Fate::Deliver => {
+                                        if forward(&mut out, &payload, c).is_err() {
+                                            break 'conn;
+                                        }
+                                    }
+                                    Fate::Drop => {
+                                        c.dropped.fetch_add(1, Ordering::SeqCst);
+                                    }
+                                    Fate::Duplicate => {
+                                        c.duplicated.fetch_add(1, Ordering::SeqCst);
+                                        for _ in 0..2 {
+                                            if forward(&mut out, &payload, c).is_err() {
+                                                break 'conn;
+                                            }
+                                        }
+                                    }
+                                    Fate::Hold { distance } => {
+                                        c.held.fetch_add(1, Ordering::SeqCst);
+                                        held.hold(seq, distance, payload);
+                                    }
+                                }
+                            }
+                            let next = seq + 1;
+                            shared.seq.store(next, Ordering::SeqCst);
+                            while let Some(m) = held.release_due(next) {
+                                if forward(&mut out, &m, c).is_err() {
+                                    break 'conn;
+                                }
+                            }
+                        }
+                        Ok(None) => break,
+                        // The client never sends corrupt frames; if one
+                        // appears, skip it like the listener would.
+                        Err(_) => continue,
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                // A healed link must not keep frames hostage while quiet.
+                if !shared.faults_on.load(Ordering::SeqCst) && !held.is_empty() {
+                    for m in held.drain() {
+                        if forward(&mut out, &m, c).is_err() {
+                            break 'conn;
+                        }
+                    }
+                }
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+    // Held frames were in flight, not lost: flush them before closing.
+    for m in held.drain() {
+        if forward(&mut out, &m, c).is_err() {
+            break;
+        }
+    }
+    let _ = out.shutdown(std::net::Shutdown::Write);
+}

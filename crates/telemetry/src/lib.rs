@@ -57,17 +57,25 @@ pub enum HistKind {
     /// Time an allocation request spent queued between the client's send
     /// and the serve loop starting its batch.
     QueueWaitSeconds,
+    /// Wall-clock time of one durable-journal fsync (the group-commit
+    /// barrier a networked GRM daemon pays before releasing replies).
+    JournalFsyncSeconds,
+    /// Encoded size, in bytes, of one wire frame (payload + envelope)
+    /// crossing a GRM socket in either direction.
+    FrameBytes,
 }
 
 impl HistKind {
     /// All kinds, in snapshot order.
-    pub const ALL: [HistKind; 6] = [
+    pub const ALL: [HistKind; 8] = [
         HistKind::LpSolveSeconds,
         HistKind::ServeDrainSeconds,
         HistKind::RequestLatencySeconds,
         HistKind::FlowDirtyRows,
         HistKind::BatchSize,
         HistKind::QueueWaitSeconds,
+        HistKind::JournalFsyncSeconds,
+        HistKind::FrameBytes,
     ];
 
     /// Stable snapshot name.
@@ -79,6 +87,8 @@ impl HistKind {
             HistKind::FlowDirtyRows => "flow_dirty_rows",
             HistKind::BatchSize => "batch_size",
             HistKind::QueueWaitSeconds => "queue_wait_seconds",
+            HistKind::JournalFsyncSeconds => "journal_fsync_seconds",
+            HistKind::FrameBytes => "frame_bytes",
         }
     }
 
@@ -90,6 +100,8 @@ impl HistKind {
             HistKind::FlowDirtyRows => 3,
             HistKind::BatchSize => 4,
             HistKind::QueueWaitSeconds => 5,
+            HistKind::JournalFsyncSeconds => 6,
+            HistKind::FrameBytes => 7,
         }
     }
 
@@ -103,11 +115,15 @@ impl HistKind {
             HistKind::LpSolveSeconds
             | HistKind::ServeDrainSeconds
             | HistKind::RequestLatencySeconds
-            | HistKind::QueueWaitSeconds => (1e-7, 1.6, 52),
+            | HistKind::QueueWaitSeconds
+            | HistKind::JournalFsyncSeconds => (1e-7, 1.6, 52),
             // 1 … 2^30 rows in power-of-two buckets.
             HistKind::FlowDirtyRows => (1.0, 2.0, 32),
             // Batch sizes are small integers; 1 … 2^22 is generous.
             HistKind::BatchSize => (1.0, 2.0, 24),
+            // Frames span a 6-byte ping to a ~1 MiB availability dump;
+            // power-of-two buckets over 1 … 2^30 bytes.
+            HistKind::FrameBytes => (1.0, 2.0, 32),
         }
     }
 }
