@@ -657,7 +657,7 @@ fn serve(parsed: &Parsed) -> Result<String, CliError> {
     let config = ListenerConfig {
         sequenced: parsed.flag("sequenced"),
         compact_every: parsed.parse_or("compact-every", 8192u64, "record count")?,
-        telemetry: agreements_telemetry::Telemetry::disabled(),
+        ..ListenerConfig::default()
     };
     let listener = match (parsed.get("socket"), parsed.get("tcp")) {
         (Some(sock), None) => {

@@ -4,63 +4,75 @@
 //! One binary, three roles, selected by `--role` (the orchestrator
 //! re-execs itself for the other two):
 //!
-//! - **orchestrator** (default): computes the in-process *reference*
-//!   decision sequence, launches one `daemon` and `--workers` worker
-//!   processes over a Unix-domain socket, optionally SIGKILLs the daemon
-//!   mid-replay (`--kill-grm`) and respawns it, then merges the workers'
-//!   outcome logs and checks them — decision-for-decision, bit-for-bit —
-//!   against the reference.
+//! - **orchestrator** (default): launches one `daemon` and `--workers`
+//!   worker processes over a Unix-domain socket, optionally SIGKILLs the
+//!   daemon mid-replay (`--kill-grm`) and respawns it, then merges the
+//!   workers' outcome logs and checks them.
 //! - **daemon**: opens (or recovers) the durable agreement journal,
 //!   respawns the `GrmServer` from the recovered state, and serves it on
-//!   the socket in sequenced mode. It never exits on its own; the
-//!   orchestrator kills it, which for `--kill-grm` is the entire point.
+//!   the socket. It never exits on its own; the orchestrator kills it,
+//!   which for `--kill-grm` is the entire point.
 //! - **worker**: replays its residue class of the global event stream
-//!   (`seq % workers == id`), call by call, retrying retryable transport
-//!   errors forever — a crashed daemon looks like a slow network, and
+//!   (`seq % workers == id`), retrying retryable transport errors
+//!   forever — a crashed daemon looks like a slow network, and
 //!   at-most-once settlement is the journal's job, not the worker's.
+//!
+//! Three replay modes (`--mode`), in increasing concurrency:
+//!
+//! - **sequenced** (default): workers settle call by call against the
+//!   sequenced listener — the PR 7 baseline, kept verbatim because its
+//!   `--check` compares decision-for-decision, *bit-for-bit* against an
+//!   in-process reference fold of the same stream.
+//! - **pipelined**: same global total order (sequenced listener, same
+//!   bit-for-bit reference check), but each worker keeps `--window`
+//!   calls in flight and harvests replies in issue order, so network
+//!   round trips, decision execution, and journal appends overlap
+//!   across workers. With `--fsync batched:N` the listener's
+//!   group-commit plane amortizes one fsync across many concurrently
+//!   arriving decisions.
+//! - **nonseq**: no global sequencer — connections race, the event
+//!   interleaving is nondeterministic, and the daemon runs the
+//!   *hierarchical* decision engine (the in-process scale winner)
+//!   instead of the flat LP. `--check` switches from bit equality to
+//!   the order-insensitive invariant battery in
+//!   [`agreements_experiments::checker`]: coverage, per-`RequestId`
+//!   at-most-once, grant shape, per-principal pool conservation, and
+//!   granted-units accounting. Epochs are forced to 1 (a refresh
+//!   barrier between epochs would reintroduce global ordering):
+//!   workers push their reports first, barrier on the daemon seeing
+//!   every pool, then race their allocation requests.
 //!
 //! The event stream is a pure function of `(n, requests, seed, epochs)`,
 //! so every process derives it independently; nothing is coordinated but
-//! the socket. Each epoch refreshes every principal's pool to the base
-//! availability (`Report` events), then replays that epoch's slice of
-//! the diurnal [`ScaleConfig::isp`] demand stream (`Request` events,
-//! each carrying a deterministic [`RequestId`] so retries and crash
-//! replays dedup correctly).
-//!
-//! What `--check` asserts after the replay:
-//!
-//! 1. **Coverage / at-most-once**: exactly one outcome line per global
-//!    sequence number — no event lost, none settled twice.
-//! 2. **Decision equality**: every grant's amount *and* an FNV
-//!    fingerprint of its draw vector match the reference bit-for-bit;
-//!    every denial denies where the reference denies.
-//! 3. **State equality**: the daemon's final availability vector equals
-//!    the reference bit-for-bit.
-//! 4. **Pool conservation**: the final pools sum to `n * base` minus
-//!    exactly the units granted since the last refresh.
-//!
-//! With `--kill-grm` the orchestrator additionally asserts the kill
-//! landed mid-replay (before the workload drained), so the recovery path
-//! demonstrably ran.
+//! the socket. Requests carry deterministic [`RequestId`]s so retries
+//! and crash replays dedup correctly in every mode.
 //!
 //! ```text
-//! federation [--n 1000] [--workers 8] [--requests 2048] [--epochs 4]
-//!            [--seed 20000] [--dir PATH] [--kill-grm] [--check]
-//!            [--telemetry-out PATH]
+//! federation [--mode sequenced|pipelined|nonseq] [--fsync everyop|batched:N]
+//!            [--window 32] [--n 1000] [--workers 8] [--requests 2048]
+//!            [--epochs 4] [--seed 20000] [--dir PATH] [--kill-grm]
+//!            [--check] [--json-out PATH] [--telemetry-out PATH]
 //! ```
 
+use std::collections::VecDeque;
 use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
-use agreements_grm::{GrmServer, RequestId};
+use agreements_experiments::checker::{
+    check_order_insensitive, CheckEvent, CheckInputs, CheckOutcome,
+};
+use agreements_flow::PartitionOptions;
+use agreements_grm::{GrmError, GrmServer, RequestId};
 use agreements_net::journal::{DurableJournal, FsyncPolicy, Snapshot as JournalSnapshot};
 use agreements_net::listener::{GrmListener, ListenerConfig};
 use agreements_net::NetGrmClient;
+use agreements_sched::hierarchy::HierarchicalScheduler;
+use agreements_sched::Allocation;
 use agreements_telemetry::{HistKind, Snapshot, Telemetry};
 use agreements_trace::{ScaleConfig, DAY_SECONDS};
+use crossbeam::channel::{Receiver, RecvTimeoutError};
 
 /// Dedup namespace for federation request ids (any stable nonzero tag
 /// works; the id only has to be unique per event and identical between
@@ -121,8 +133,8 @@ fn draws_fingerprint(draws: &[f64]) -> u64 {
 }
 
 /// Canonical one-token-per-field outcome encoding shared by the
-/// reference fold and the worker logs; comparing the strings compares
-/// the decisions bit-for-bit.
+/// reference fold and the sequenced/pipelined worker logs; comparing
+/// the strings compares the decisions bit-for-bit.
 fn outcome_line(event: &Event, result: &Result<Option<(u64, u64)>, String>) -> String {
     match (event, result) {
         (Event::Report { .. }, Ok(None)) => "R".to_string(),
@@ -131,6 +143,49 @@ fn outcome_line(event: &Event, result: &Result<Option<(u64, u64)>, String>) -> S
         }
         (Event::Request { .. }, Err(_)) => "D".to_string(),
         other => unreachable!("event/outcome shape mismatch: {other:?}"),
+    }
+}
+
+/// Non-sequenced grant line: the full (sparse) draw vector in bit-exact
+/// form, because the order-insensitive checker reconstructs
+/// per-principal conservation from the logs instead of comparing
+/// fingerprints. `G <amount_bits> <k> <principal>:<draw_bits> ...`.
+fn nonseq_grant_line(alloc: &Allocation) -> String {
+    let nonzero: Vec<(usize, f64)> =
+        alloc.draws.iter().copied().enumerate().filter(|&(_, d)| d != 0.0).collect();
+    let mut line = format!("G {:016x} {}", alloc.amount.to_bits(), nonzero.len());
+    for (p, d) in nonzero {
+        line.push_str(&format!(" {p}:{:016x}", d.to_bits()));
+    }
+    line
+}
+
+/// Parse one merged nonseq outcome (the part after the seq) back into a
+/// [`CheckEvent`]; reports return `None` (they are not settlement
+/// events — the barrier and base pools account for them).
+fn parse_nonseq_line(seq: u64, requester: usize, rest: &str) -> Option<CheckEvent> {
+    let mut tok = rest.split_whitespace();
+    match tok.next() {
+        Some("R") => None,
+        Some("D") => Some(CheckEvent { seq, requester, outcome: CheckOutcome::Denied }),
+        Some("G") => {
+            let amount = f64::from_bits(
+                u64::from_str_radix(tok.next().expect("grant amount"), 16).expect("amount bits"),
+            );
+            let k: usize = tok.next().expect("draw count").parse().expect("draw count");
+            let draws: Vec<(usize, f64)> = (0..k)
+                .map(|_| {
+                    let (p, bits) =
+                        tok.next().expect("draw entry").split_once(':').expect("p:bits");
+                    (
+                        p.parse().expect("draw principal"),
+                        f64::from_bits(u64::from_str_radix(bits, 16).expect("draw bits")),
+                    )
+                })
+                .collect();
+            Some(CheckEvent { seq, requester, outcome: CheckOutcome::Granted { amount, draws } })
+        }
+        other => panic!("malformed nonseq outcome line: {other:?} in `{rest}`"),
     }
 }
 
@@ -183,9 +238,29 @@ fn reference_run(cfg: &ScaleConfig, events: &[Event]) -> Reference {
 // Flags
 // ---------------------------------------------------------------------
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Sequenced,
+    Pipelined,
+    Nonseq,
+}
+
+impl Mode {
+    fn as_str(self) -> &'static str {
+        match self {
+            Mode::Sequenced => "sequenced",
+            Mode::Pipelined => "pipelined",
+            Mode::Nonseq => "nonseq",
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Flags {
     role: String,
+    mode: Mode,
+    fsync: String,
+    window: usize,
     n: usize,
     workers: usize,
     requests: usize,
@@ -195,7 +270,22 @@ struct Flags {
     worker_id: usize,
     kill_grm: bool,
     check: bool,
+    json_out: Option<PathBuf>,
     telemetry_out: Option<PathBuf>,
+}
+
+fn parse_fsync(s: &str) -> FsyncPolicy {
+    if s == "everyop" {
+        return FsyncPolicy::EveryOp;
+    }
+    if let Some(n) = s.strip_prefix("batched:") {
+        let max_pending: usize = n.parse().unwrap_or(0);
+        if max_pending >= 2 {
+            return FsyncPolicy::Batched { max_pending };
+        }
+    }
+    eprintln!("invalid --fsync `{s}` (everyop | batched:N with N >= 2)");
+    std::process::exit(2);
 }
 
 fn flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
@@ -225,8 +315,22 @@ fn parse_flags() -> Flags {
     let parse = |v: Option<String>, what: &str, default: usize| -> usize {
         v.map(|s| s.parse().unwrap_or_else(|_| panic!("invalid {what}: {s}"))).unwrap_or(default)
     };
-    let flags = Flags {
+    let mode = match flag_value(&mut args, "--mode").as_deref() {
+        None | Some("sequenced") => Mode::Sequenced,
+        Some("pipelined") => Mode::Pipelined,
+        Some("nonseq") => Mode::Nonseq,
+        Some(other) => {
+            eprintln!("invalid --mode `{other}` (sequenced | pipelined | nonseq)");
+            std::process::exit(2);
+        }
+    };
+    let fsync = flag_value(&mut args, "--fsync").unwrap_or_else(|| "everyop".into());
+    parse_fsync(&fsync); // validate eagerly, in every role
+    let mut flags = Flags {
         role: flag_value(&mut args, "--role").unwrap_or_else(|| "orchestrator".into()),
+        mode,
+        fsync,
+        window: parse(flag_value(&mut args, "--window"), "--window", 32).max(1),
         n: parse(flag_value(&mut args, "--n"), "--n", 1000),
         workers: parse(flag_value(&mut args, "--workers"), "--workers", 8),
         requests: parse(flag_value(&mut args, "--requests"), "--requests", 2048),
@@ -240,11 +344,21 @@ fn parse_flags() -> Flags {
         worker_id: parse(flag_value(&mut args, "--worker-id"), "--worker-id", 0),
         kill_grm: flag_present(&mut args, "--kill-grm"),
         check: flag_present(&mut args, "--check"),
+        json_out: flag_value(&mut args, "--json-out").map(PathBuf::from),
         telemetry_out,
     };
     if !args.is_empty() {
         eprintln!("unrecognised arguments: {args:?}");
         std::process::exit(2);
+    }
+    // Non-sequenced mode has no global order, so an epoch's refresh
+    // barrier is meaningless; the stream is one report phase + one
+    // racing request phase.
+    if flags.mode == Mode::Nonseq && flags.epochs != 1 {
+        if flags.role == "orchestrator" {
+            eprintln!("nonseq mode forces --epochs 1 (no global refresh barrier)");
+        }
+        flags.epochs = 1;
     }
     flags
 }
@@ -259,6 +373,16 @@ fn outcome_path(dir: &Path, worker: usize) -> PathBuf {
 
 fn telemetry_path(dir: &Path) -> PathBuf {
     dir.join("telemetry.json")
+}
+
+/// Marker the orchestrator drops once every principal's report landed;
+/// nonseq workers wait on it before racing requests. A worker cannot
+/// poll availability for this itself: by the time the last report
+/// lands, other workers' requests may already have drained a pool back
+/// to zero. The orchestrator observes the all-refreshed state *before*
+/// releasing anyone, so the check cannot race a request.
+fn reports_done_path(dir: &Path) -> PathBuf {
+    dir.join("reports-done")
 }
 
 fn main() {
@@ -293,7 +417,7 @@ fn daemon(flags: Flags) {
     let (journal, recovered) = DurableJournal::open_or_create(
         &journal_dir,
         move || fresh,
-        FsyncPolicy::EveryOp,
+        parse_fsync(&flags.fsync),
         telemetry.clone(),
     )
     .expect("open agreement journal");
@@ -301,13 +425,36 @@ fn daemon(flags: Flags) {
         "[daemon] journal: {} records recovered, {} torn bytes truncated, replay cursor {}",
         recovered.records, recovered.truncated_bytes, recovered.next_seq
     );
-    let server = recovered.respawn().expect("respawn GRM from journal");
+    // Sequenced and pipelined replays keep the flat LP engine (the
+    // bit-for-bit reference is a flat fold); the non-sequenced replay
+    // races connections into the hierarchical engine — the decision
+    // path that actually scales — recovered through the same journal.
+    let server = match flags.mode {
+        Mode::Sequenced | Mode::Pipelined => recovered.respawn().expect("respawn GRM from journal"),
+        Mode::Nonseq => {
+            let mut sched =
+                HierarchicalScheduler::auto(&recovered.matrix, &PartitionOptions::default(), LEVEL)
+                    .expect("partition scale agreements");
+            sched.set_parallel_auto();
+            sched.set_warm_runs(true);
+            recovered
+                .respawn_with(GrmServer::spawn_hierarchical_with_telemetry(
+                    sched,
+                    telemetry.clone(),
+                ))
+                .expect("respawn hierarchical GRM from journal")
+        }
+    };
     let listener = GrmListener::bind_uds(
         &sock_path(&flags.dir),
         server,
         journal,
         recovered,
-        ListenerConfig { sequenced: true, compact_every: 16_384, telemetry },
+        ListenerConfig {
+            sequenced: flags.mode != Mode::Nonseq,
+            compact_every: 16_384,
+            ..ListenerConfig::default()
+        },
     )
     .expect("bind federation socket");
 
@@ -344,11 +491,24 @@ fn worker(flags: Flags) {
     let mut out = std::io::BufWriter::new(
         fs::File::create(outcome_path(&flags.dir, flags.worker_id)).expect("create outcome log"),
     );
+    match flags.mode {
+        Mode::Sequenced => worker_sequenced(&flags, &events, &client, &mut out),
+        Mode::Pipelined => worker_pipelined(&flags, &events, &client, &mut out),
+        Mode::Nonseq => worker_nonseq(&flags, &events, &client, &mut out),
+    }
+}
+
+fn worker_sequenced(
+    flags: &Flags,
+    events: &[Event],
+    client: &NetGrmClient,
+    out: &mut impl std::io::Write,
+) {
     for (seq, ev) in events.iter().enumerate() {
         if seq % flags.workers != flags.worker_id {
             continue;
         }
-        let result = settle(&client, seq as u64, ev);
+        let result = settle(client, seq as u64, ev);
         writeln!(out, "{seq} {}", outcome_line(ev, &result)).expect("write outcome");
         out.flush().expect("flush outcome");
     }
@@ -382,6 +542,272 @@ fn settle(client: &NetGrmClient, seq: u64, ev: &Event) -> Result<Option<(u64, u6
     }
 }
 
+// ----- pipelined / nonseq plumbing -----------------------------------
+
+/// One in-flight call's reply channel, typed by shape.
+enum InflightRx {
+    Grant(Receiver<Result<Allocation, GrmError>>),
+    Unit(Receiver<Result<(), GrmError>>),
+}
+
+/// What harvesting the front of the window produced.
+enum Harvest {
+    /// The daemon decided: a grant, an ack (`None`), or a denial.
+    Settled(Result<Option<Allocation>, String>),
+    /// Transport-level failure — re-issue the same seq + id.
+    Retry,
+}
+
+/// Issue one event asynchronously, retrying *send* failures (the daemon
+/// may be down); the returned receiver resolves when the reply frame
+/// arrives (or the connection dies). Also returns the connection
+/// generation the frame went out on, so [`drive_window`] can detect a
+/// mid-window reconnect.
+fn issue(
+    client: &NetGrmClient,
+    seq: u64,
+    ev: &Event,
+    sequenced: bool,
+    started: Instant,
+) -> (InflightRx, u64) {
+    loop {
+        let attempt = match (*ev, sequenced) {
+            (Event::Report { lrm, available }, true) => client
+                .report_seq_async(seq, lrm, available)
+                .map(|(rx, gen)| (InflightRx::Unit(rx), gen)),
+            (Event::Report { lrm, available }, false) => client
+                .report_acked_async(lrm, available)
+                .map(|(rx, gen)| (InflightRx::Unit(rx), gen)),
+            (Event::Request { lrm, amount }, true) => client
+                .request_seq_async(seq, lrm, amount, request_id(seq))
+                .map(|(rx, gen)| (InflightRx::Grant(rx), gen)),
+            (Event::Request { lrm, amount }, false) => client
+                .request_acked_async(lrm, amount, request_id(seq))
+                .map(|(rx, gen)| (InflightRx::Grant(rx), gen)),
+        };
+        match attempt {
+            Ok(out) => return out,
+            Err(e) if e.is_retryable() => {
+                assert!(
+                    started.elapsed() < EVENT_DEADLINE,
+                    "event {seq} unsendable after {EVENT_DEADLINE:?}: {e}"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => panic!("unretryable send failure for event {seq}: {e}"),
+        }
+    }
+}
+
+/// Wait for one in-flight reply. Transport errors (including a dropped
+/// channel) mean "re-issue"; decision errors are settlements.
+fn harvest(seq: u64, rx: &InflightRx, started: Instant) -> Harvest {
+    let remaining = EVENT_DEADLINE
+        .checked_sub(started.elapsed())
+        .unwrap_or_else(|| panic!("event {seq} still unsettled after {EVENT_DEADLINE:?}"));
+    let outcome: Result<Option<Allocation>, GrmError> = match rx {
+        InflightRx::Grant(rx) => match rx.recv_timeout(remaining) {
+            Ok(r) => r.map(Some),
+            Err(RecvTimeoutError::Timeout) => {
+                panic!("event {seq} still unsettled after {EVENT_DEADLINE:?}")
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(GrmError::ConnectionReset),
+        },
+        InflightRx::Unit(rx) => match rx.recv_timeout(remaining) {
+            Ok(r) => r.map(|()| None),
+            Err(RecvTimeoutError::Timeout) => {
+                panic!("event {seq} still unsettled after {EVENT_DEADLINE:?}")
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(GrmError::ConnectionReset),
+        },
+    };
+    match outcome {
+        Ok(ok) => Harvest::Settled(Ok(ok)),
+        Err(e) if e.is_retryable() => Harvest::Retry,
+        Err(e) => Harvest::Settled(Err(e.to_string())),
+    }
+}
+
+/// One windowed in-flight entry: the event, its reply channel, and when
+/// the worker first tried to settle it (the retry deadline anchor).
+struct Inflight {
+    seq: u64,
+    ev: Event,
+    rx: InflightRx,
+    started: Instant,
+}
+
+/// The in-flight window: entries in ascending seq order, all issued on
+/// one connection generation.
+struct Window<'a> {
+    client: &'a NetGrmClient,
+    inflight: VecDeque<Inflight>,
+    gen: u64,
+    sequenced: bool,
+}
+
+impl Window<'_> {
+    /// Put one event in flight, keeping the whole window on a single
+    /// connection in ascending-seq order. If the send lands on a
+    /// different connection generation than the rest of the window, the
+    /// older in-flight calls died with the previous socket — and, in
+    /// sequenced mode, the frame just written may sit *ahead* of their
+    /// lower-seq retries on the new connection's stream, which would
+    /// block the daemon's per-connection reader in the sequencer and
+    /// wedge the replay cursor (their retries would never be read).
+    /// Resynchronize: tear the connection down and re-issue the whole
+    /// window in ascending order until every entry shares one
+    /// generation. Same seqs, same [`RequestId`]s, so replayed
+    /// decisions come from the dedup window.
+    fn admit(&mut self, seq: u64, ev: Event, started: Instant, front: bool) {
+        let (rx, gen) = issue(self.client, seq, &ev, self.sequenced, started);
+        let solo = self.inflight.is_empty();
+        let entry = Inflight { seq, ev, rx, started };
+        if front {
+            self.inflight.push_front(entry);
+        } else {
+            self.inflight.push_back(entry);
+        }
+        if solo || gen == self.gen {
+            self.gen = gen;
+            return;
+        }
+        let entries: Vec<(u64, Event, Instant)> =
+            self.inflight.drain(..).map(|e| (e.seq, e.ev, e.started)).collect();
+        'resync: loop {
+            self.client.disconnect();
+            self.inflight.clear();
+            let mut batch_gen = None;
+            for &(seq, ev, started) in &entries {
+                let (rx, gen) = issue(self.client, seq, &ev, self.sequenced, started);
+                let stale = batch_gen.is_some_and(|g| g != gen);
+                self.inflight.push_back(Inflight { seq, ev, rx, started });
+                batch_gen = Some(gen);
+                if stale {
+                    // The connection died again mid-batch: start over.
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue 'resync;
+                }
+            }
+            self.gen = batch_gen.expect("window non-empty during resync");
+            return;
+        }
+    }
+}
+
+/// The windowed in-flight loop shared by pipelined and nonseq workers:
+/// keep up to `window` calls outstanding, settle strictly in issue
+/// order (preserving per-connection ascending seq order, which the
+/// sequenced listener's cursor relies on — [`admit`] restores it across
+/// reconnects), and re-issue the front on transport failure — same seq,
+/// same [`RequestId`], so a decision that raced the crash replays from
+/// the dedup window instead of double granting. `line` renders a
+/// settled outcome for the log.
+fn drive_window(
+    flags: &Flags,
+    client: &NetGrmClient,
+    items: &[(u64, Event)],
+    sequenced: bool,
+    out: &mut impl std::io::Write,
+    line: impl Fn(&Event, &Result<Option<Allocation>, String>) -> String,
+) {
+    let mut win = Window { client, inflight: VecDeque::new(), gen: 0, sequenced };
+    let mut next = 0usize;
+    while next < items.len() || !win.inflight.is_empty() {
+        while win.inflight.len() < flags.window && next < items.len() {
+            let (seq, ev) = items[next];
+            win.admit(seq, ev, Instant::now(), false);
+            next += 1;
+        }
+        let Inflight { seq, ev, rx, started } = win.inflight.pop_front().expect("non-empty window");
+        match harvest(seq, &rx, started) {
+            Harvest::Settled(result) => {
+                writeln!(out, "{seq} {}", line(&ev, &result)).expect("write outcome");
+                out.flush().expect("flush outcome");
+            }
+            Harvest::Retry => {
+                std::thread::sleep(Duration::from_millis(20));
+                win.admit(seq, ev, started, true);
+            }
+        }
+    }
+}
+
+/// Render a settled outcome in the sequenced bit-for-bit format.
+fn fingerprint_line(ev: &Event, result: &Result<Option<Allocation>, String>) -> String {
+    let compact = match result {
+        Ok(Some(alloc)) => Ok(Some((alloc.amount.to_bits(), draws_fingerprint(&alloc.draws)))),
+        Ok(None) => Ok(None),
+        Err(e) => Err(e.clone()),
+    };
+    outcome_line(ev, &compact)
+}
+
+/// Render a settled outcome in the nonseq sparse-draws format.
+fn sparse_line(ev: &Event, result: &Result<Option<Allocation>, String>) -> String {
+    match (ev, result) {
+        (Event::Report { .. }, Ok(None)) => "R".to_string(),
+        (Event::Request { .. }, Ok(Some(alloc))) => nonseq_grant_line(alloc),
+        (Event::Request { .. }, Err(_)) => "D".to_string(),
+        other => unreachable!("event/outcome shape mismatch: {other:?}"),
+    }
+}
+
+fn worker_pipelined(
+    flags: &Flags,
+    events: &[Event],
+    client: &NetGrmClient,
+    out: &mut impl std::io::Write,
+) {
+    let mine: Vec<(u64, Event)> = events
+        .iter()
+        .enumerate()
+        .filter(|(seq, _)| seq % flags.workers == flags.worker_id)
+        .map(|(seq, ev)| (seq as u64, *ev))
+        .collect();
+    drive_window(flags, client, &mine, true, out, fingerprint_line);
+}
+
+/// How long a nonseq worker waits at the report barrier (covers a
+/// kill-9 landing inside the report phase).
+const BARRIER_DEADLINE: Duration = Duration::from_secs(60);
+
+fn worker_nonseq(
+    flags: &Flags,
+    events: &[Event],
+    client: &NetGrmClient,
+    out: &mut impl std::io::Write,
+) {
+    let mine = |want_report: bool| -> Vec<(u64, Event)> {
+        events
+            .iter()
+            .enumerate()
+            .filter(|(seq, ev)| {
+                seq % flags.workers == flags.worker_id
+                    && matches!(ev, Event::Report { .. }) == want_report
+            })
+            .map(|(seq, ev)| (seq as u64, *ev))
+            .collect()
+    };
+
+    // Phase 1: pools. Acked (not fire-and-forget) so the barrier below
+    // cannot pass on a report the daemon never saw.
+    drive_window(flags, client, &mine(true), false, out, sparse_line);
+
+    // Barrier: wait until *every* worker's reports landed — the racing
+    // request phase must draw against fully refreshed pools, or the
+    // outcome depends on report/request interleaving across workers.
+    // The orchestrator drops the marker (see [`reports_done_path`]).
+    let deadline = Instant::now() + BARRIER_DEADLINE;
+    while !reports_done_path(&flags.dir).exists() {
+        assert!(Instant::now() < deadline, "report barrier never cleared");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Phase 2: race the allocation requests.
+    drive_window(flags, client, &mine(false), false, out, sparse_line);
+}
+
 // ---------------------------------------------------------------------
 // Orchestrator role
 // ---------------------------------------------------------------------
@@ -391,6 +817,12 @@ fn respawn_role(flags: &Flags, role: &str, extra: &[(&str, String)]) -> Child {
     let mut cmd = Command::new(exe);
     cmd.arg("--role")
         .arg(role)
+        .arg("--mode")
+        .arg(flags.mode.as_str())
+        .arg("--fsync")
+        .arg(&flags.fsync)
+        .arg("--window")
+        .arg(flags.window.to_string())
         .arg("--n")
         .arg(flags.n.to_string())
         .arg("--workers")
@@ -438,7 +870,10 @@ fn orchestrate(flags: Flags) {
     let events = event_stream(&cfg, flags.epochs);
     let total = events.len();
     println!(
-        "federation: n={} workers={} requests={} epochs={} seed={} -> {} events{}",
+        "federation: mode={} fsync={} window={} n={} workers={} requests={} epochs={} seed={} -> {} events{}",
+        flags.mode.as_str(),
+        flags.fsync,
+        flags.window,
         flags.n,
         flags.workers,
         flags.requests,
@@ -449,7 +884,10 @@ fn orchestrate(flags: Flags) {
     );
 
     // Reference decision sequence, computed before any process exists.
-    let reference = reference_run(&cfg, &events);
+    // Only the globally ordered modes have one (and only `--check`
+    // reads it — at n=1000 the flat fold costs real wall-clock).
+    let reference =
+        (flags.check && flags.mode != Mode::Nonseq).then(|| reference_run(&cfg, &events));
 
     let _ = fs::remove_dir_all(&flags.dir);
     fs::create_dir_all(&flags.dir).expect("create federation dir");
@@ -464,7 +902,18 @@ fn orchestrate(flags: Flags) {
     // Progress monitor; with --kill-grm, SIGKILL the daemon once a third
     // of the workload has settled, then respawn it over the same journal.
     let mut killed_at: Option<usize> = None;
+    let mut barrier_probe =
+        (flags.mode == Mode::Nonseq).then(|| NetGrmClient::uds(&sock_path(&flags.dir)));
     loop {
+        // Release the nonseq report barrier once every pool is
+        // refreshed — workers are all parked behind the marker, so no
+        // request can have drained a pool back to zero yet.
+        if let Some(probe) = &barrier_probe {
+            if matches!(probe.availability(), Ok(avail) if avail.iter().all(|&v| v > 0.0)) {
+                fs::write(reports_done_path(&flags.dir), b"ok").expect("write report barrier");
+                barrier_probe = None;
+            }
+        }
         let done = settled_lines(&flags.dir, flags.workers);
         if flags.kill_grm && killed_at.is_none() && done >= total / 3 {
             assert!(done < total, "workload drained before the kill landed; grow --requests");
@@ -487,6 +936,7 @@ fn orchestrate(flags: Flags) {
 
     // Final daemon state, then merged outcomes.
     let availability = await_daemon(&flags.dir);
+    let stats = NetGrmClient::uds(&sock_path(&flags.dir)).stats().ok();
     let mut merged: Vec<Option<String>> = vec![None; total];
     for w in 0..flags.workers {
         let text = fs::read_to_string(outcome_path(&flags.dir, w)).expect("read outcome log");
@@ -498,12 +948,13 @@ fn orchestrate(flags: Flags) {
         }
     }
 
+    let events_per_sec = total as f64 / elapsed.as_secs_f64();
     println!(
         "  replayed {} events across {} workers in {:.2}s ({:.0} events/s)",
         total,
         flags.workers,
         elapsed.as_secs_f64(),
-        total as f64 / elapsed.as_secs_f64()
+        events_per_sec
     );
     let grants = merged.iter().flatten().filter(|l| l.starts_with('G')).count();
     let denials = merged.iter().flatten().filter(|l| l.as_str() == "D").count();
@@ -532,7 +983,46 @@ fn orchestrate(flags: Flags) {
 
     let mut failures = 0usize;
     if flags.check {
-        failures += check_replay(&flags, &reference, &merged, &availability, killed_at, total);
+        failures += match (&reference, flags.mode) {
+            (Some(reference), _) => {
+                check_replay(&flags, reference, &merged, &availability, killed_at, total)
+            }
+            (None, Mode::Nonseq) => check_nonseq(
+                &flags,
+                &cfg,
+                &events,
+                &merged,
+                &availability,
+                // A kill-9 resets the daemon's lifetime counters, so the
+                // accounting cross-check only binds an uninterrupted run.
+                stats.filter(|_| killed_at.is_none()).map(|s| s.granted_units),
+                killed_at,
+                total,
+            ),
+            (None, _) => unreachable!("reference exists whenever an ordered mode checks"),
+        };
+    }
+
+    if let Some(path) = &flags.json_out {
+        let json = format!(
+            "{{\n  \"mode\": \"{}\",\n  \"fsync\": \"{}\",\n  \"window\": {},\n  \"n\": {},\n  \"workers\": {},\n  \"requests\": {},\n  \"epochs\": {},\n  \"events\": {},\n  \"elapsed_s\": {:.4},\n  \"events_per_sec\": {:.1},\n  \"grants\": {},\n  \"denials\": {},\n  \"killed\": {},\n  \"checked\": {},\n  \"check_failures\": {}\n}}\n",
+            flags.mode.as_str(),
+            flags.fsync,
+            flags.window,
+            flags.n,
+            flags.workers,
+            flags.requests,
+            flags.epochs,
+            total,
+            elapsed.as_secs_f64(),
+            events_per_sec,
+            grants,
+            denials,
+            killed_at.is_some(),
+            flags.check,
+            failures
+        );
+        fs::write(path, json).expect("write --json-out");
     }
 
     grm.kill().expect("stop daemon");
@@ -543,12 +1033,19 @@ fn orchestrate(flags: Flags) {
         std::process::exit(1);
     }
     if flags.check {
-        println!("  all checks passed: coverage, decisions, state, conservation");
+        match flags.mode {
+            Mode::Nonseq => println!(
+                "  all checks passed: coverage, at-most-once, grant shape, conservation{}",
+                if killed_at.is_none() { ", accounting" } else { "" }
+            ),
+            _ => println!("  all checks passed: coverage, decisions, state, conservation"),
+        }
     }
 }
 
-/// The `--check` battery; returns the number of failed assertions
-/// (reporting all of them beats stopping at the first).
+/// The sequenced/pipelined `--check` battery; returns the number of
+/// failed assertions (reporting all of them beats stopping at the
+/// first).
 fn check_replay(
     flags: &Flags,
     reference: &Reference,
@@ -610,6 +1107,70 @@ fn check_replay(
 
     // 5. The kill must have landed mid-replay for the recovery claim to
     //    mean anything.
+    if flags.kill_grm {
+        match killed_at {
+            Some(at) if at < total => {}
+            Some(at) => fail(format!("daemon killed only after all {at} events settled")),
+            None => fail("daemon was never killed (--kill-grm)".to_string()),
+        }
+    }
+    failures
+}
+
+/// The nonseq `--check` battery: parse the merged logs into settlement
+/// events and run the order-insensitive invariant checker.
+#[allow(clippy::too_many_arguments)]
+fn check_nonseq(
+    flags: &Flags,
+    cfg: &ScaleConfig,
+    events: &[Event],
+    merged: &[Option<String>],
+    availability: &[f64],
+    granted_units: Option<f64>,
+    killed_at: Option<usize>,
+    total: usize,
+) -> usize {
+    let mut failures = 0usize;
+    let mut fail = |msg: String| {
+        eprintln!("  CHECK FAILED: {msg}");
+        failures += 1;
+    };
+
+    // Coverage over the full stream (reports included) first — the
+    // checker's own coverage pass is scoped to requests.
+    let missing = merged.iter().filter(|l| l.is_none()).count();
+    if missing > 0 {
+        fail(format!("{missing}/{total} events never settled"));
+    }
+
+    let expected: Vec<u64> = events
+        .iter()
+        .enumerate()
+        .filter(|(_, ev)| matches!(ev, Event::Request { .. }))
+        .map(|(seq, _)| seq as u64)
+        .collect();
+    let settled: Vec<CheckEvent> = merged
+        .iter()
+        .enumerate()
+        .filter_map(|(seq, line)| {
+            let line = line.as_ref()?;
+            let requester = match events[seq] {
+                Event::Report { lrm, .. } | Event::Request { lrm, .. } => lrm,
+            };
+            parse_nonseq_line(seq as u64, requester, line)
+        })
+        .collect();
+    let base = cfg.generate().availability;
+    for v in check_order_insensitive(&CheckInputs {
+        base: &base,
+        expected: &expected,
+        events: &settled,
+        final_availability: availability,
+        granted_units,
+    }) {
+        fail(v);
+    }
+
     if flags.kill_grm {
         match killed_at {
             Some(at) if at < total => {}

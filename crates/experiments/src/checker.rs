@@ -1,0 +1,262 @@
+//! Order-insensitive verification of a non-sequenced federation replay.
+//!
+//! In non-sequenced mode the daemon's connections race: the interleaving
+//! of decisions is nondeterministic, so the sequenced harness's
+//! bit-for-bit comparison against a single reference fold is undefined.
+//! What *is* still defined — for every legal interleaving — is a set of
+//! conservation and at-most-once invariants over the merged decision
+//! log. This module states them as a pure function of plain data so the
+//! federation orchestrator and a property test can share one checker:
+//!
+//! 1. **Coverage / at-most-once**: the settled log contains exactly one
+//!    outcome per expected request sequence number — none lost, none
+//!    settled twice (the [`RequestId`](agreements_grm::RequestId) dedup
+//!    window's externally visible contract).
+//! 2. **Grant shape**: every grant's draw vector is non-negative, names
+//!    only live principals, and sums to the granted amount.
+//! 3. **Pool conservation**: for every principal `p`, the daemon's final
+//!    availability equals the post-report base minus the total drawn
+//!    from `p` across all grants, to relative tolerance (the daemon
+//!    subtracts in whatever order its connections raced; we sum in log
+//!    order, so bit equality is not the contract — conservation is).
+//! 4. **Granted-units accounting** (optional): the daemon's lifetime
+//!    `granted_units` counter equals the sum of granted amounts. Only
+//!    meaningful when the daemon ran uninterrupted — a kill-9 resets
+//!    the counter — so the caller passes `None` across a crash.
+//!
+//! All checks are order-insensitive by construction: permuting `events`
+//! never changes the verdict (every aggregate is a sum or a multiset).
+
+/// One settled allocation request from the merged worker logs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckEvent {
+    /// Global event sequence number (identity; also the `RequestId` seq).
+    pub seq: u64,
+    /// Requesting principal.
+    pub requester: usize,
+    /// What the daemon decided.
+    pub outcome: CheckOutcome,
+}
+
+/// The decision half of a [`CheckEvent`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckOutcome {
+    /// Granted `amount` units drawn from the listed principals
+    /// (sparse: only nonzero draws appear).
+    Granted { amount: f64, draws: Vec<(usize, f64)> },
+    /// Denied (insufficient pool / agreement); moves no resources.
+    Denied,
+}
+
+/// Everything the order-insensitive battery needs, as plain slices.
+#[derive(Debug, Clone)]
+pub struct CheckInputs<'a> {
+    /// Post-report-phase availability per principal (the pools every
+    /// grant draws against).
+    pub base: &'a [f64],
+    /// Request sequence numbers that must settle exactly once.
+    pub expected: &'a [u64],
+    /// The merged, settled decision log (any order).
+    pub events: &'a [CheckEvent],
+    /// The daemon's availability vector after the replay drained.
+    pub final_availability: &'a [f64],
+    /// The daemon's lifetime granted-units counter, when it survived
+    /// the whole replay (`None` across a kill-9: the counter resets).
+    pub granted_units: Option<f64>,
+}
+
+/// Relative tolerance for conservation sums: the daemon and the checker
+/// accumulate the same grants in different orders, so agreement is to
+/// floating-point associativity, not bit equality.
+pub const REL_TOL: f64 = 1e-6;
+
+fn close(got: f64, want: f64) -> bool {
+    (got - want).abs() <= REL_TOL * want.abs().max(1.0)
+}
+
+/// Run the full order-insensitive battery; returns one human-readable
+/// line per violated invariant (empty = replay verified). Reporting all
+/// violations beats stopping at the first when a run goes wrong.
+pub fn check_order_insensitive(inp: &CheckInputs) -> Vec<String> {
+    let n = inp.base.len();
+    let mut violations = Vec::new();
+
+    // 1. Coverage / at-most-once: settled seqs == expected seqs as sets,
+    //    with no duplicates on either side of the comparison.
+    let mut expected: Vec<u64> = inp.expected.to_vec();
+    expected.sort_unstable();
+    expected.dedup();
+    if expected.len() != inp.expected.len() {
+        violations.push("expected sequence list itself contains duplicates".to_string());
+    }
+    let mut settled: Vec<u64> = inp.events.iter().map(|e| e.seq).collect();
+    settled.sort_unstable();
+    let dup_count = settled.windows(2).filter(|w| w[0] == w[1]).count();
+    if dup_count > 0 {
+        let dup = settled.windows(2).find(|w| w[0] == w[1]).expect("dup exists")[0];
+        violations.push(format!(
+            "at-most-once violated: {dup_count} sequence(s) settled more than once (e.g. seq {dup})"
+        ));
+    }
+    settled.dedup();
+    if settled != expected {
+        let missing = expected.iter().filter(|s| settled.binary_search(s).is_err()).count();
+        let extra = settled.iter().filter(|s| expected.binary_search(s).is_err()).count();
+        violations.push(format!(
+            "coverage violated: {missing} expected event(s) never settled, {extra} unexpected"
+        ));
+    }
+
+    // 2. Per-grant shape: draws in range, non-negative, summing to the
+    //    granted amount.
+    let mut bad_shape = 0usize;
+    for e in inp.events {
+        if e.requester >= n {
+            bad_shape += 1;
+            continue;
+        }
+        if let CheckOutcome::Granted { amount, draws } = &e.outcome {
+            let mut sum = 0.0;
+            let mut ok = *amount >= 0.0;
+            for &(p, d) in draws {
+                ok &= p < n && d >= 0.0;
+                sum += d;
+            }
+            if !ok || !close(sum, *amount) {
+                bad_shape += 1;
+            }
+        }
+    }
+    if bad_shape > 0 {
+        violations.push(format!(
+            "grant shape violated: {bad_shape} grant(s) malformed or draws != amount"
+        ));
+    }
+
+    // 3. Pool conservation per principal.
+    if inp.final_availability.len() != n {
+        violations.push(format!(
+            "availability length mismatch: {} vs {n} principals",
+            inp.final_availability.len()
+        ));
+    } else {
+        let mut drawn = vec![0.0f64; n];
+        for e in inp.events {
+            if let CheckOutcome::Granted { draws, .. } = &e.outcome {
+                for &(p, d) in draws {
+                    if p < n {
+                        drawn[p] += d;
+                    }
+                }
+            }
+        }
+        let mut bad = 0usize;
+        let mut first = String::new();
+        for (p, &d) in drawn.iter().enumerate() {
+            let want = inp.base[p] - d;
+            let got = inp.final_availability[p];
+            if !close(got, want) {
+                if bad == 0 {
+                    first = format!(
+                        "conservation violated at principal {p}: final {got}, expected {} - {d} = {want}",
+                        inp.base[p]
+                    );
+                }
+                bad += 1;
+            }
+        }
+        if bad > 0 {
+            violations.push(if bad == 1 {
+                first
+            } else {
+                format!("{first} ({bad} principals diverge in total)")
+            });
+        }
+    }
+
+    // 4. Granted-units accounting (uninterrupted daemons only).
+    if let Some(counter) = inp.granted_units {
+        let total: f64 = inp
+            .events
+            .iter()
+            .map(|e| match &e.outcome {
+                CheckOutcome::Granted { amount, .. } => *amount,
+                CheckOutcome::Denied => 0.0,
+            })
+            .sum();
+        if !close(counter, total) {
+            violations.push(format!(
+                "granted-units accounting violated: daemon counter {counter}, log total {total}"
+            ));
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grant(seq: u64, requester: usize, draws: Vec<(usize, f64)>) -> CheckEvent {
+        let amount = draws.iter().map(|&(_, d)| d).sum();
+        CheckEvent { seq, requester, outcome: CheckOutcome::Granted { amount, draws } }
+    }
+
+    fn deny(seq: u64, requester: usize) -> CheckEvent {
+        CheckEvent { seq, requester, outcome: CheckOutcome::Denied }
+    }
+
+    #[test]
+    fn clean_log_passes_in_any_order() {
+        let base = [6.0, 6.0, 6.0];
+        let events =
+            vec![grant(10, 0, vec![(0, 2.0), (1, 1.0)]), deny(11, 2), grant(12, 1, vec![(1, 0.5)])];
+        let final_availability = [4.0, 4.5, 6.0];
+        let expected = [10, 11, 12];
+        let mut reversed = events.clone();
+        reversed.reverse();
+        for evs in [&events, &reversed] {
+            let v = check_order_insensitive(&CheckInputs {
+                base: &base,
+                expected: &expected,
+                events: evs,
+                final_availability: &final_availability,
+                granted_units: Some(3.5),
+            });
+            assert!(v.is_empty(), "unexpected violations: {v:?}");
+        }
+    }
+
+    #[test]
+    fn mutations_are_caught() {
+        let base = [6.0, 6.0];
+        let ok = vec![grant(0, 0, vec![(0, 1.0)]), deny(1, 1)];
+        let fin = [5.0, 6.0];
+        let check = |events: &[CheckEvent], fin: &[f64], units: Option<f64>| {
+            check_order_insensitive(&CheckInputs {
+                base: &base,
+                expected: &[0, 1],
+                events,
+                final_availability: fin,
+                granted_units: units,
+            })
+        };
+        assert!(check(&ok, &fin, Some(1.0)).is_empty());
+        // Dropped settlement.
+        assert!(!check(&ok[..1], &fin, Some(1.0)).is_empty());
+        // Duplicated grant.
+        let dup = [ok.clone(), vec![ok[0].clone()]].concat();
+        assert!(!check(&dup, &fin, Some(1.0)).is_empty());
+        // Altered units (draws no longer sum to the amount).
+        let mut altered = ok.clone();
+        if let CheckOutcome::Granted { amount, .. } = &mut altered[0].outcome {
+            *amount += 0.25;
+        }
+        assert!(!check(&altered, &fin, Some(1.0)).is_empty());
+        // Stolen resources (final pool does not match the log).
+        assert!(!check(&ok, &[4.5, 6.0], Some(1.0)).is_empty());
+        // Counter mismatch.
+        assert!(!check(&ok, &fin, Some(2.0)).is_empty());
+    }
+}

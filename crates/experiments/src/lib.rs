@@ -7,6 +7,8 @@
 //! series/summary printers whose rows can be diffed against
 //! `EXPERIMENTS.md`.
 
+pub mod checker;
+
 use agreements_flow::{AgreementMatrix, Structure};
 use agreements_proxysim::{PolicyKind, SharingConfig, SimConfig, SimResult, Simulator};
 use agreements_telemetry::{Snapshot, Telemetry};

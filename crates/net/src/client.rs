@@ -181,6 +181,12 @@ struct Inner {
     target: Target,
     conn: Mutex<Option<Conn>>,
     next_corr: AtomicU64,
+    /// Bumped each time a fresh socket is established (under the `conn`
+    /// lock). Async callers compare generations to learn whether two
+    /// sends shared one connection — calls from an older generation are
+    /// dead and their frames' wire ordering says nothing about the
+    /// current socket.
+    generation: AtomicU64,
     telemetry: Telemetry,
 }
 
@@ -216,6 +222,7 @@ impl NetGrmClient {
                 target: self.inner.target.clone(),
                 conn: Mutex::new(None),
                 next_corr: AtomicU64::new(self.inner.next_corr.load(Ordering::Relaxed)),
+                generation: AtomicU64::new(self.inner.generation.load(Ordering::Relaxed)),
                 telemetry,
             }),
         }
@@ -227,6 +234,7 @@ impl NetGrmClient {
                 target,
                 conn: Mutex::new(None),
                 next_corr: AtomicU64::new(1),
+                generation: AtomicU64::new(0),
                 telemetry,
             }),
         }
@@ -263,16 +271,19 @@ impl NetGrmClient {
     }
 
     /// Register `pending` under a fresh correlation id and put the frame
-    /// on the wire, (re)connecting if necessary.
+    /// on the wire, (re)connecting if necessary. Returns the connection
+    /// generation the frame was written on (exact: the generation only
+    /// changes under the `conn` lock held here).
     fn send(
         &self,
         req: WireRequest,
         replay_seq: Option<u64>,
         pending: Pending,
-    ) -> Result<(), GrmError> {
+    ) -> Result<u64, GrmError> {
         let mut guard = self.inner.conn.lock();
         if guard.is_none() {
             *guard = Some(self.connect()?);
+            self.inner.generation.fetch_add(1, Ordering::Relaxed);
         }
         let corr = self.inner.next_corr.fetch_add(1, Ordering::Relaxed);
         let payload = RequestFrame { corr, replay_seq, req }.encode();
@@ -289,7 +300,7 @@ impl NetGrmClient {
             return Err(GrmError::ConnectionReset);
         }
         self.inner.telemetry.observe(HistKind::FrameBytes, framed.len() as f64);
-        Ok(())
+        Ok(self.inner.generation.load(Ordering::Relaxed))
     }
 
     // ----- blocking conveniences ------------------------------------
@@ -330,6 +341,89 @@ impl NetGrmClient {
         let (tx, rx) = bounded(1);
         self.send(WireRequest::Release { alloc, req_id: Some(id) }, Some(seq), Pending::Unit(tx))?;
         rx.recv().map_err(|_| GrmError::ConnectionReset)?
+    }
+
+    // ----- pipelined (windowed in-flight) variants -------------------
+
+    /// Start a sequenced allocation request without waiting for the
+    /// decision: the daemon's reply arrives on the returned receiver,
+    /// demuxed by correlation id. A worker keeps a window of these in
+    /// flight to pipeline the socket, the journal append, and the
+    /// group-commit fsync. Retries must reuse both `seq` and `id`.
+    ///
+    /// Also returns the connection generation the frame went out on:
+    /// windowed callers compare it against their window's generation to
+    /// detect a mid-window reconnect (every older in-flight call died
+    /// with the previous socket and must be re-issued *before* any
+    /// higher sequence number, or the daemon's replay cursor wedges
+    /// behind the out-of-order frame).
+    pub fn request_seq_async(
+        &self,
+        seq: u64,
+        lrm: usize,
+        amount: f64,
+        id: RequestId,
+    ) -> Result<(Receiver<Result<Allocation, GrmError>>, u64), GrmError> {
+        let (tx, rx) = bounded(1);
+        let gen = self.send(
+            WireRequest::Request { lrm: lrm as u64, amount, req_id: Some(id) },
+            Some(seq),
+            Pending::Grant(tx),
+        )?;
+        Ok((rx, gen))
+    }
+
+    /// Start a sequenced availability report without waiting for the
+    /// (journaled) ack. Returns the reply receiver and the connection
+    /// generation (see [`NetGrmClient::request_seq_async`]).
+    pub fn report_seq_async(
+        &self,
+        seq: u64,
+        lrm: usize,
+        available: f64,
+    ) -> Result<(Receiver<Result<(), GrmError>>, u64), GrmError> {
+        let (tx, rx) = bounded(1);
+        let gen = self.send(
+            WireRequest::Report { lrm: lrm as u64, available },
+            Some(seq),
+            Pending::Unit(tx),
+        )?;
+        Ok((rx, gen))
+    }
+
+    /// Start an *unsequenced* availability report, keeping the ack
+    /// receiver (unlike the fire-and-forget [`GrmClient::report`]): the
+    /// ack proves the daemon applied and journaled the report, which the
+    /// non-sequenced federation needs before letting requests race.
+    /// Returns the reply receiver and the connection generation.
+    pub fn report_acked_async(
+        &self,
+        lrm: usize,
+        available: f64,
+    ) -> Result<(Receiver<Result<(), GrmError>>, u64), GrmError> {
+        let (tx, rx) = bounded(1);
+        let gen =
+            self.send(WireRequest::Report { lrm: lrm as u64, available }, None, Pending::Unit(tx))?;
+        Ok((rx, gen))
+    }
+
+    /// Start an *unsequenced* idempotent allocation request, returning
+    /// the reply receiver and the connection generation — the windowed
+    /// variant of [`GrmClient::issue_request`] for non-sequenced
+    /// federation workers.
+    pub fn request_acked_async(
+        &self,
+        lrm: usize,
+        amount: f64,
+        id: RequestId,
+    ) -> Result<(Receiver<Result<Allocation, GrmError>>, u64), GrmError> {
+        let (tx, rx) = bounded(1);
+        let gen = self.send(
+            WireRequest::Request { lrm: lrm as u64, amount, req_id: Some(id) },
+            None,
+            Pending::Grant(tx),
+        )?;
+        Ok((rx, gen))
     }
 
     /// Blocking snapshot of the daemon's availability view.
@@ -393,11 +487,12 @@ impl GrmClient for NetGrmClient {
         // discarded (the receiver is dropped here).
         let (tx, _rx) = bounded(1);
         self.send(WireRequest::Report { lrm: lrm as u64, available }, None, Pending::Unit(tx))
+            .map(|_gen| ())
     }
 
     fn tick(&self, now: u64, lease: u64) -> Result<(), GrmError> {
         let (tx, _rx) = bounded(1);
-        self.send(WireRequest::Tick { now, lease }, None, Pending::Unit(tx))
+        self.send(WireRequest::Tick { now, lease }, None, Pending::Unit(tx)).map(|_gen| ())
     }
 }
 

@@ -482,7 +482,17 @@ impl RecoveredState {
     /// reports, and seed the dedup window so retries straddling the
     /// crash replay their original decisions.
     pub fn respawn(&self) -> Result<GrmServer, GrmError> {
-        let server = GrmServer::spawn(self.matrix.clone(), self.level);
+        self.respawn_with(GrmServer::spawn(self.matrix.clone(), self.level))
+    }
+
+    /// Seed an already-spawned server (any decision engine — flat LP or
+    /// hierarchical batched) with the recovered soft state: availability
+    /// as synthetic reports, dedup window so retries straddling the
+    /// crash replay their original decisions. The caller is responsible
+    /// for spawning the server on [`RecoveredState::matrix`]; this lets
+    /// a daemon choose `spawn_hierarchical` while sharing one recovery
+    /// path.
+    pub fn respawn_with(&self, server: GrmServer) -> Result<GrmServer, GrmError> {
         let h = server.handle();
         for (i, &v) in self.availability.iter().enumerate() {
             h.report(i, v)?;
@@ -543,6 +553,12 @@ pub struct DurableJournal {
     policy: FsyncPolicy,
     /// Appends not yet covered by an fsync.
     pending: usize,
+    /// Log sequence number: total records appended through this handle,
+    /// monotone across compactions. A record's LSN names it in the
+    /// group-commit protocol ("durable once `synced_lsn() >= lsn`").
+    lsn: u64,
+    /// Highest LSN known covered by an fsync.
+    synced_lsn: u64,
     telemetry: Telemetry,
     /// Total bytes appended by this handle (telemetry/monitoring).
     bytes_written: u64,
@@ -580,6 +596,8 @@ impl DurableJournal {
             seg_records: 0,
             policy,
             pending: 0,
+            lsn: 0,
+            synced_lsn: 0,
             telemetry,
             bytes_written: 0,
         };
@@ -630,6 +648,8 @@ impl DurableJournal {
                     seg_records: state.records,
                     policy,
                     pending: 0,
+                    lsn: 0,
+                    synced_lsn: 0,
                     telemetry,
                     bytes_written: 0,
                 };
@@ -664,14 +684,7 @@ impl DurableJournal {
     /// Append one record, fsyncing per policy. When this returns under
     /// [`FsyncPolicy::EveryOp`], the record is durable.
     pub fn append(&mut self, rec: &JournalRecord) -> io::Result<()> {
-        let payload = rec.encode();
-        let mut framed = Vec::new();
-        encode_frame_limited(&payload, &mut framed, MAX_JOURNAL_FRAME_LEN)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
-        self.file.write_all(&framed)?;
-        self.bytes_written += framed.len() as u64;
-        self.seg_records += 1;
-        self.pending += 1;
+        self.write_record(rec)?;
         match self.policy {
             FsyncPolicy::EveryOp => self.sync()?,
             FsyncPolicy::Batched { max_pending } => {
@@ -680,6 +693,32 @@ impl DurableJournal {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Append one record *without* any inline fsync, regardless of
+    /// policy, and return its LSN. The group-commit path: a caller
+    /// (the listener's syncer thread) later covers the record via
+    /// [`DurableJournal::sync_handle`] + [`DurableJournal::note_synced`]
+    /// — or an explicit [`DurableJournal::sync`] barrier.
+    pub fn append_wal(&mut self, rec: &JournalRecord) -> io::Result<u64> {
+        self.write_record(rec)?;
+        Ok(self.lsn)
+    }
+
+    fn write_record(&mut self, rec: &JournalRecord) -> io::Result<()> {
+        let payload = rec.encode();
+        let mut framed = Vec::new();
+        encode_frame_limited(&payload, &mut framed, MAX_JOURNAL_FRAME_LEN)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        // One `write_all` per record: a kill -9 (which preserves the page
+        // cache) can never leave a record half-appended, only a power
+        // loss can tear one mid-frame.
+        self.file.write_all(&framed)?;
+        self.bytes_written += framed.len() as u64;
+        self.seg_records += 1;
+        self.pending += 1;
+        self.lsn += 1;
         Ok(())
     }
 
@@ -692,7 +731,37 @@ impl DurableJournal {
         self.file.sync_data()?;
         self.telemetry.stop(HistKind::JournalFsyncSeconds, span);
         self.pending = 0;
+        self.synced_lsn = self.lsn;
         Ok(())
+    }
+
+    /// LSN of the most recently appended record (0 before any append
+    /// through this handle).
+    pub fn appended_lsn(&self) -> u64 {
+        self.lsn
+    }
+
+    /// Highest LSN known durable.
+    pub fn synced_lsn(&self) -> u64 {
+        self.synced_lsn
+    }
+
+    /// A duplicate handle to the current segment file, for fsyncing
+    /// *outside* whatever lock guards the journal. Safe with compaction:
+    /// [`DurableJournal::compact`] syncs everything before rolling
+    /// segments, so any record not in the current file is already
+    /// durable — fsyncing a clone taken together with
+    /// [`DurableJournal::appended_lsn`] therefore covers every record up
+    /// to that LSN.
+    pub fn sync_handle(&self) -> io::Result<File> {
+        self.file.try_clone()
+    }
+
+    /// Record that an out-of-lock fsync (on a clone from
+    /// [`DurableJournal::sync_handle`]) covered everything up to `lsn`.
+    pub fn note_synced(&mut self, lsn: u64) {
+        self.synced_lsn = self.synced_lsn.max(lsn.min(self.lsn));
+        self.pending = (self.lsn - self.synced_lsn) as usize;
     }
 
     /// Roll to a new segment seeded with `snapshot`, then delete every
@@ -718,6 +787,11 @@ impl DurableJournal {
         }
         sync_dir(&self.dir)?;
         Ok(())
+    }
+
+    /// The fsync policy this journal was opened with.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
     }
 
     /// Records appended to the current segment (snapshot included).

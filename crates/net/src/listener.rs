@@ -10,47 +10,88 @@
 //! original decision out of the recovered dedup window instead of
 //! re-executing.
 //!
+//! # Pipelined connections
+//!
+//! Each connection runs two threads. The *reader* decodes frames and
+//! executes them serially in arrival order; the *writer* releases the
+//! encoded replies. Splitting them means a connection can have many
+//! RPCs in flight: the reader keeps executing (and appending journal
+//! records) while earlier replies are still parked waiting for their
+//! covering fsync. Clients multiplex by correlation id, so reply order
+//! within a connection carries no meaning — the writer simply drains
+//! its queue in FIFO order.
+//!
+//! # Group commit
+//!
+//! Under [`crate::journal::FsyncPolicy::Batched`] the execute path never
+//! fsyncs. Every state-mutating record is appended (write-ahead) and its
+//! reply is tagged with the record's LSN; a dedicated *syncer* thread
+//! accumulates appends until the group fills (`max_pending`) or the
+//! oldest append has waited [`ListenerConfig::max_hold`], then issues
+//! **one** fsync — on a duplicate fd, outside the journal lock, so
+//! execution never stalls behind the disk — and advances the durable
+//! watermark. Writers release a reply only once the watermark covers its
+//! LSN, so the write-ahead-of-reply invariant (and with it at-most-once
+//! settlement across kill -9) holds under group commit exactly as it
+//! does under `EveryOp`; the fsync cost is simply amortized over the
+//! whole group. If an fsync fails the watermark is frozen, gated replies
+//! are dropped, and their connections are torn down: the client retries
+//! and observes `JOURNAL_DOWN` instead of an undurable decision.
+//!
 //! # Duplicate suppression in the journal
 //!
 //! The listener keeps a live [`RecoveredState`] mirror — the exact fold
 //! recovery would compute — alongside the journal. A decision whose
 //! `RequestId` is already in the mirror's dedup window was answered from
 //! the server's cache; journaling it again would double-apply its pool
-//! effect on replay, so it is skipped. The mirror also supplies
-//! compaction snapshots: when the live segment exceeds
-//! [`ListenerConfig::compact_every`] records, the journal rolls to a
-//! fresh segment seeded with the mirror state and deletes the old ones.
+//! effect on replay, so it is skipped. The reply to a suppressed
+//! duplicate still gates on the current append cursor: the *original*
+//! decision's covering fsync may be outstanding, and the duplicate must
+//! not leak it early. The mirror also supplies compaction snapshots:
+//! when the live segment exceeds [`ListenerConfig::compact_every`]
+//! records, the journal rolls to a fresh segment seeded with the mirror
+//! state and deletes the old ones.
 //!
 //! # Sequenced replay mode
 //!
 //! With [`ListenerConfig::sequenced`], request frames carry a global
 //! event sequence and a [`Sequencer`] admits them strictly in order:
-//! event *k* executes, journals, and syncs before *k*+1 starts. This is
-//! what makes a multi-process replay bit-compatible with the in-process
-//! run — the GRM observes the identical event order, so every draw and
-//! every admit/deny decision matches. Events below the cursor (retries
-//! of already-applied events, including retries straddling a restart)
-//! are acked without re-applying: reports are acknowledged as-is, and
-//! idempotent RPCs are forwarded so the dedup window replays the
-//! original decision. A connection must not pipeline sequenced events
-//! out of order with each other (the federation workers are strictly
-//! call-by-call, so this never arises).
+//! event *k* executes and journals before *k*+1 starts. This is what
+//! makes a multi-process replay bit-compatible with the in-process run —
+//! the GRM observes the identical event order, so every draw and every
+//! admit/deny decision matches. The cursor advances as soon as the
+//! record is *appended*; the reply still waits for its covering fsync,
+//! so sequencing composes with group commit (execution stays totally
+//! ordered while fsyncs amortize across the pipeline). Events below the
+//! cursor (retries of already-applied events, including retries
+//! straddling a restart) are acked without re-applying. A connection
+//! must not pipeline sequenced events out of order *with each other*;
+//! pipelined federation workers keep per-connection sends in ascending
+//! sequence order, which is all the serial reader needs.
+//!
+//! Without a sequencer, connections race like the in-process
+//! federation's threads do and the journal records execution order (the
+//! execute+append pair is atomic under the journal lock, so the
+//! recovery fold replays exactly the interleaving that happened).
 
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use agreements_grm::{GrmError, GrmHandle, GrmServer};
 use agreements_telemetry::{HistKind, Telemetry};
 use parking_lot::Mutex;
 
 use crate::frame::{encode_frame, FrameDecoder, FRAME_OVERHEAD};
-use crate::journal::{DecisionBody, DurableJournal, JournalRecord, RecoveredState, Snapshot};
+use crate::journal::{
+    DecisionBody, DurableJournal, FsyncPolicy, JournalRecord, RecoveredState, Snapshot,
+};
 use crate::wire::{RequestFrame, ResponseFrame, WireRequest, WireResponse};
 
 /// How long blocked reads and sequencer waits go between checks of the
@@ -67,19 +108,37 @@ pub struct ListenerConfig {
     /// Compact the journal when the live segment exceeds this many
     /// records; `0` disables auto-compaction.
     pub compact_every: u64,
+    /// Group-commit hold timer: under `FsyncPolicy::Batched`, how long
+    /// the syncer lets a partial group wait for more appends before
+    /// fsyncing it anyway. Bounds reply latency when load is light.
+    pub max_hold: Duration,
     /// Telemetry plane for fsync latency and frame-size histograms.
     pub telemetry: Telemetry,
 }
 
 impl Default for ListenerConfig {
     fn default() -> Self {
-        ListenerConfig { sequenced: false, compact_every: 8192, telemetry: Telemetry::disabled() }
+        ListenerConfig {
+            sequenced: false,
+            compact_every: 8192,
+            max_hold: Duration::from_millis(2),
+            telemetry: Telemetry::disabled(),
+        }
     }
 }
 
 /// Admits sequenced events strictly in order (see module docs).
+struct SeqState {
+    next: u64,
+    /// The cursor event is currently executing on some connection: a
+    /// second copy of the same seq (a retry racing on another socket
+    /// after a reconnect) must wait for the execution to finish and then
+    /// take the stale path, not execute Fresh a second time.
+    claimed: bool,
+}
+
 struct Sequencer {
-    next: std::sync::Mutex<u64>,
+    state: std::sync::Mutex<SeqState>,
     cv: std::sync::Condvar,
 }
 
@@ -94,67 +153,186 @@ enum Admission {
 
 impl Sequencer {
     fn new(next: u64) -> Sequencer {
-        Sequencer { next: std::sync::Mutex::new(next), cv: std::sync::Condvar::new() }
+        Sequencer {
+            state: std::sync::Mutex::new(SeqState { next, claimed: false }),
+            cv: std::sync::Condvar::new(),
+        }
     }
 
     fn enter(&self, seq: u64, shutdown: &AtomicBool) -> Admission {
-        let mut next = self.next.lock().expect("sequencer poisoned");
-        while *next < seq {
+        let mut st = self.state.lock().expect("sequencer poisoned");
+        loop {
+            if st.next > seq {
+                return Admission::Stale;
+            }
+            if st.next == seq && !st.claimed {
+                st.claimed = true;
+                return Admission::Fresh;
+            }
             if shutdown.load(Ordering::Relaxed) {
                 return Admission::Aborted;
             }
-            next = self.cv.wait_timeout(next, POLL).expect("sequencer poisoned").0;
-        }
-        if *next == seq {
-            Admission::Fresh
-        } else {
-            Admission::Stale
+            st = self.cv.wait_timeout(st, POLL).expect("sequencer poisoned").0;
         }
     }
 
     fn exit(&self, seq: u64) {
-        let mut next = self.next.lock().expect("sequencer poisoned");
-        if *next == seq {
-            *next = seq + 1;
+        let mut st = self.state.lock().expect("sequencer poisoned");
+        if st.next == seq {
+            st.next = seq + 1;
+            st.claimed = false;
         }
-        drop(next);
+        drop(st);
         self.cv.notify_all();
+    }
+}
+
+/// The group-commit watermarks: how far the journal has appended, how
+/// far fsyncs cover. Replies gate on `synced`; the syncer thread waits
+/// on `work` for the gap to reopen.
+#[derive(Default)]
+struct DurState {
+    appended: u64,
+    synced: u64,
+    /// An fsync failed: nothing past `synced` will ever be durable.
+    failed: bool,
+}
+
+struct Durability {
+    state: std::sync::Mutex<DurState>,
+    /// Wakes the syncer when appends arrive.
+    work: std::sync::Condvar,
+    /// Wakes reply gates when the durable watermark advances.
+    done: std::sync::Condvar,
+}
+
+impl Durability {
+    fn new() -> Durability {
+        Durability {
+            state: std::sync::Mutex::new(DurState::default()),
+            work: std::sync::Condvar::new(),
+            done: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Fold fresh journal counters in (both watermarks only ever move
+    /// forward). Returns how many records the `synced` watermark
+    /// advanced over.
+    fn advance(&self, appended: u64, synced: u64) -> u64 {
+        let mut st = self.state.lock().expect("durability poisoned");
+        if appended > st.appended {
+            st.appended = appended;
+            self.work.notify_one();
+        }
+        let covered = synced.saturating_sub(st.synced);
+        if covered > 0 {
+            st.synced = synced;
+            self.done.notify_all();
+        }
+        covered
+    }
+
+    fn fail(&self) {
+        let mut st = self.state.lock().expect("durability poisoned");
+        st.failed = true;
+        drop(st);
+        self.work.notify_all();
+        self.done.notify_all();
     }
 }
 
 struct Shared {
     handle: GrmHandle,
-    /// The journal plus its live recovery mirror; one lock so append and
-    /// mirror-fold are atomic with respect to compaction.
+    /// The journal plus its live recovery mirror; one lock so execute,
+    /// append, and mirror-fold are atomic with respect to each other and
+    /// to compaction — the journal records the exact execution order.
     journal: Mutex<(DurableJournal, RecoveredState)>,
     sequencer: Option<Sequencer>,
+    durability: Durability,
     telemetry: Telemetry,
     shutdown: AtomicBool,
     compact_every: u64,
     /// Frames that passed CRC but did not decode as a request.
     undecodable: AtomicU64,
+    /// Completed group-commit fsyncs (syncer thread only).
+    group_syncs: AtomicU64,
+    /// Records covered by those fsyncs.
+    group_records: AtomicU64,
 }
 
 impl Shared {
-    /// Append + fold + maybe compact, atomically. Decisions whose id is
-    /// already in the mirror window are duplicates and are not
-    /// re-journaled. When this returns `Ok` under `FsyncPolicy::EveryOp`
-    /// the record is durable.
-    fn journal_record(&self, rec: &JournalRecord) -> io::Result<()> {
-        let mut guard = self.journal.lock();
-        let (journal, mirror) = &mut *guard;
+    /// Append + fold + maybe compact, under the already-held journal
+    /// lock. Returns the reply's durability gate: the record's LSN —
+    /// or, for a decision whose id is already in the mirror window (a
+    /// duplicate answered from cache, not re-journaled), the current
+    /// append cursor, which conservatively covers the original record.
+    fn journal_locked(
+        &self,
+        guard: &mut (DurableJournal, RecoveredState),
+        rec: &JournalRecord,
+    ) -> io::Result<u64> {
+        let (journal, mirror) = guard;
         if let JournalRecord::Decision { id: Some(id), .. } = rec {
             if mirror.dedup.iter().any(|(j, _)| j == id) {
-                return Ok(());
+                return Ok(journal.appended_lsn());
             }
         }
-        journal.append(rec)?;
+        let lsn = match journal.policy() {
+            FsyncPolicy::EveryOp => {
+                journal.append(rec)?;
+                journal.appended_lsn()
+            }
+            // Group commit: append only; the syncer thread owns fsync.
+            FsyncPolicy::Batched { .. } => journal.append_wal(rec)?,
+        };
         mirror.apply(rec);
         if self.compact_every > 0 && journal.records_in_segment() >= self.compact_every {
             let snap = mirror.snapshot();
             journal.compact(&snap)?;
         }
-        Ok(())
+        Ok(lsn)
+    }
+
+    /// Propagate the journal's LSN counters into the durability plane
+    /// (call right before or after dropping the journal lock).
+    fn publish_durability(&self, guard: &(DurableJournal, RecoveredState)) {
+        self.durability.advance(guard.0.appended_lsn(), guard.0.synced_lsn());
+    }
+
+    /// Block until everything up to `lsn` is durable. Returns `false`
+    /// when it never will be (fsync failure): the caller must drop the
+    /// reply rather than leak an undurable decision. On shutdown the
+    /// waiter forces a final inline sync so queued replies flush.
+    fn wait_durable(&self, lsn: u64) -> bool {
+        loop {
+            {
+                let mut st = self.durability.state.lock().expect("durability poisoned");
+                loop {
+                    if st.synced >= lsn {
+                        return true;
+                    }
+                    if st.failed {
+                        return false;
+                    }
+                    if self.shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    st =
+                        self.durability.done.wait_timeout(st, POLL).expect("durability poisoned").0;
+                }
+            }
+            // Shutting down: sync inline instead of waiting for a syncer
+            // that may already have exited.
+            let mut guard = self.journal.lock();
+            let ok = guard.0.sync().is_ok();
+            let counters = (guard.0.appended_lsn(), guard.0.synced_lsn());
+            drop(guard);
+            self.durability.advance(counters.0, counters.1);
+            if !ok {
+                self.durability.fail();
+                return false;
+            }
+        }
     }
 }
 
@@ -163,6 +341,7 @@ impl Shared {
 pub struct GrmListener {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
+    syncer: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
     server: Option<GrmServer>,
     tcp_addr: Option<SocketAddr>,
@@ -239,18 +418,31 @@ impl GrmListener {
         config: ListenerConfig,
     ) -> GrmListener {
         let sequencer = config.sequenced.then(|| Sequencer::new(recovered.next_seq));
+        let policy = journal.policy();
         let shared = Arc::new(Shared {
             handle: server.handle(),
             journal: Mutex::new((journal, recovered)),
             sequencer,
+            durability: Durability::new(),
             telemetry: config.telemetry,
             shutdown: AtomicBool::new(false),
             compact_every: config.compact_every,
             undecodable: AtomicU64::new(0),
+            group_syncs: AtomicU64::new(0),
+            group_records: AtomicU64::new(0),
         });
+        let syncer = match policy {
+            FsyncPolicy::EveryOp => None,
+            FsyncPolicy::Batched { max_pending } => {
+                let shared = Arc::clone(&shared);
+                let max_hold = config.max_hold;
+                Some(thread::spawn(move || syncer_loop(&shared, max_pending, max_hold)))
+            }
+        };
         GrmListener {
             shared,
             accept: None,
+            syncer,
             conns: Arc::new(Mutex::new(Vec::new())),
             server: Some(server),
             tcp_addr: None,
@@ -284,6 +476,15 @@ impl GrmListener {
         self.shared.undecodable.load(Ordering::Relaxed)
     }
 
+    /// Group-commit amortization counters: `(fsyncs, records covered)`.
+    /// Both zero under `FsyncPolicy::EveryOp`.
+    pub fn group_commit_stats(&self) -> (u64, u64) {
+        (
+            self.shared.group_syncs.load(Ordering::Relaxed),
+            self.shared.group_records.load(Ordering::Relaxed),
+        )
+    }
+
     /// Stop accepting, drain connection threads, sync the journal, and
     /// shut the served GRM down.
     pub fn shutdown(mut self) {
@@ -302,7 +503,13 @@ impl GrmListener {
         for j in joins {
             let _ = j.join();
         }
-        let _ = self.shared.journal.lock().0.sync();
+        if let Some(j) = self.syncer.take() {
+            let _ = j.join();
+        }
+        let mut guard = self.shared.journal.lock();
+        let _ = guard.0.sync();
+        self.shared.publish_durability(&guard);
+        drop(guard);
         if let Some(path) = self.uds_path.take() {
             let _ = std::fs::remove_file(path);
         }
@@ -326,10 +533,33 @@ fn fs_remove(path: &Path) -> io::Result<()> {
     }
 }
 
-/// The two stream types, unified for the connection handler.
-trait Stream: Read + Write + Send {}
-impl Stream for UnixStream {}
-impl Stream for TcpStream {}
+/// The two stream types, unified for the connection handler. Reader and
+/// writer threads work independent clones; `shutdown_both` kills the
+/// underlying socket so the peer (and the sibling thread) unblocks.
+trait Stream: Read + Write + Send {
+    fn try_clone_box(&self) -> io::Result<Box<dyn Stream>>;
+    fn shutdown_both(&self);
+}
+
+impl Stream for UnixStream {
+    fn try_clone_box(&self) -> io::Result<Box<dyn Stream>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+
+    fn shutdown_both(&self) {
+        let _ = self.shutdown(Shutdown::Both);
+    }
+}
+
+impl Stream for TcpStream {
+    fn try_clone_box(&self) -> io::Result<Box<dyn Stream>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+
+    fn shutdown_both(&self) {
+        let _ = self.shutdown(Shutdown::Both);
+    }
+}
 
 fn accept_loop(
     shared: Arc<Shared>,
@@ -348,7 +578,85 @@ fn accept_loop(
     }
 }
 
-fn serve_conn(mut stream: Box<dyn Stream>, shared: &Shared) {
+/// The group-commit syncer: waits for the append watermark to pass the
+/// durable one, lets a group accumulate (up to `max_pending` records or
+/// `max_hold`, whichever first), then fsyncs once for the whole group —
+/// on a duplicate fd, outside the journal lock, so execution continues
+/// appending the next group while the disk works on this one.
+fn syncer_loop(shared: &Shared, max_pending: usize, max_hold: Duration) {
+    loop {
+        {
+            let mut st = shared.durability.state.lock().expect("durability poisoned");
+            while st.appended == st.synced && !st.failed {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                st = shared.durability.work.wait_timeout(st, POLL).expect("durability poisoned").0;
+            }
+            if st.failed {
+                return;
+            }
+            // Hold the partial group open for stragglers.
+            let deadline = Instant::now() + max_hold;
+            while ((st.appended - st.synced) as usize) < max_pending && !st.failed {
+                let now = Instant::now();
+                if now >= deadline || shared.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+                st = shared
+                    .durability
+                    .work
+                    .wait_timeout(st, deadline - now)
+                    .expect("durability poisoned")
+                    .0;
+            }
+            if st.failed {
+                return;
+            }
+        }
+        // Capture the sync target and a duplicate fd together, then
+        // fsync without any lock held. Compaction syncs before rolling
+        // segments, so everything up to `target` that is not in this fd
+        // is durable already (see `DurableJournal::sync_handle`).
+        let (target, handle) = {
+            let guard = shared.journal.lock();
+            (guard.0.appended_lsn(), guard.0.sync_handle())
+        };
+        let file = match handle {
+            Ok(f) => f,
+            Err(_) => {
+                shared.durability.fail();
+                return;
+            }
+        };
+        let span = shared.telemetry.start();
+        if file.sync_data().is_err() {
+            shared.durability.fail();
+            return;
+        }
+        shared.telemetry.stop(HistKind::JournalFsyncSeconds, span);
+        {
+            let mut guard = shared.journal.lock();
+            guard.0.note_synced(target);
+        }
+        let covered = shared.durability.advance(0, target);
+        shared.group_syncs.fetch_add(1, Ordering::Relaxed);
+        shared.group_records.fetch_add(covered, Ordering::Relaxed);
+    }
+}
+
+/// One queued reply: the durability gate (0 = none) and the already
+/// encoded response frame.
+type QueuedReply = (u64, Vec<u8>);
+
+fn serve_conn(mut stream: Box<dyn Stream>, shared: &Arc<Shared>) {
+    let writer_stream = match stream.try_clone_box() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::channel::<QueuedReply>();
+    let writer_shared = Arc::clone(shared);
+    let writer = thread::spawn(move || reply_writer(writer_stream, rx, &writer_shared));
     let mut dec = FrameDecoder::new();
     let mut buf = [0u8; 16 * 1024];
     'conn: loop {
@@ -366,7 +674,7 @@ fn serve_conn(mut stream: Box<dyn Stream>, shared: &Shared) {
                                 HistKind::FrameBytes,
                                 (payload.len() + FRAME_OVERHEAD) as f64,
                             );
-                            if handle_frame(&payload, &mut stream, shared).is_err() {
+                            if handle_frame(&payload, &tx, shared).is_err() {
                                 break 'conn;
                             }
                         }
@@ -387,11 +695,35 @@ fn serve_conn(mut stream: Box<dyn Stream>, shared: &Shared) {
             Err(_) => break,
         }
     }
+    drop(tx);
+    let _ = writer.join();
 }
 
-/// Decode, execute, journal (write-ahead), reply. Returns `Err` only
-/// when the response cannot be written (dead connection).
-fn handle_frame(payload: &[u8], out: &mut impl Write, shared: &Shared) -> io::Result<()> {
+/// The reply side of a connection: waits each queued reply's durability
+/// gate, then puts it on the wire. A reply whose gate can never be
+/// satisfied (fsync failure) is dropped and the connection killed — the
+/// client must retry rather than observe an undurable decision.
+fn reply_writer(mut out: Box<dyn Stream>, rx: mpsc::Receiver<QueuedReply>, shared: &Shared) {
+    loop {
+        let (gate, bytes) = match rx.recv_timeout(POLL) {
+            Ok(v) => v,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        if gate > 0 && !shared.wait_durable(gate) {
+            out.shutdown_both();
+            return;
+        }
+        if out.write_all(&bytes).and_then(|()| out.flush()).is_err() {
+            out.shutdown_both();
+            return;
+        }
+    }
+}
+
+/// Decode, execute, journal (write-ahead), queue the reply. Returns
+/// `Err` only when the reply cannot be queued (writer thread died).
+fn handle_frame(payload: &[u8], tx: &mpsc::Sender<QueuedReply>, shared: &Shared) -> io::Result<()> {
     let rf = match RequestFrame::decode(payload) {
         Ok(rf) => rf,
         Err(_) => {
@@ -399,29 +731,35 @@ fn handle_frame(payload: &[u8], out: &mut impl Write, shared: &Shared) -> io::Re
             return Ok(());
         }
     };
-    let resp = match (&shared.sequencer, rf.replay_seq) {
+    let (resp, gate) = match (&shared.sequencer, rf.replay_seq) {
         (Some(seq), Some(no)) => match seq.enter(no, &shared.shutdown) {
             Admission::Aborted => return Ok(()),
             Admission::Stale => execute_stale(&rf.req, shared),
             Admission::Fresh => {
-                let resp = execute(&rf.req, Some(no), shared);
+                let out = execute(&rf.req, Some(no), shared);
+                // The cursor advances on append, not on fsync: the next
+                // event executes while this reply waits for its group.
                 seq.exit(no);
-                resp
+                out
             }
         },
         _ => execute(&rf.req, None, shared),
     };
-    send_response(out, shared, ResponseFrame { corr: rf.corr, resp })
+    queue_response(tx, shared, ResponseFrame { corr: rf.corr, resp }, gate)
 }
 
-fn send_response(out: &mut impl Write, shared: &Shared, frame: ResponseFrame) -> io::Result<()> {
+fn queue_response(
+    tx: &mpsc::Sender<QueuedReply>,
+    shared: &Shared,
+    frame: ResponseFrame,
+    gate: u64,
+) -> io::Result<()> {
     let payload = frame.encode();
     let mut framed = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
     encode_frame(&payload, &mut framed)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
     shared.telemetry.observe(HistKind::FrameBytes, framed.len() as f64);
-    out.write_all(&framed)?;
-    out.flush()
+    tx.send((gate, framed)).map_err(|_| io::Error::from(io::ErrorKind::BrokenPipe))
 }
 
 const JOURNAL_DOWN: GrmError = GrmError::Unsupported("agreement journal unavailable");
@@ -439,62 +777,86 @@ fn journalable(err: &GrmError) -> bool {
     )
 }
 
-fn execute(req: &WireRequest, seq: Option<u64>, shared: &Shared) -> WireResponse {
+/// Execute one request and journal its record, atomically under the
+/// journal lock — the journal records the exact execution interleaving,
+/// so the recovery fold replays what actually happened even when
+/// non-sequenced connections race. Returns the response and its
+/// durability gate (0 for reads and for ops that journaled nothing).
+fn execute(req: &WireRequest, seq: Option<u64>, shared: &Shared) -> (WireResponse, u64) {
     let h = &shared.handle;
     match req {
         WireRequest::Report { lrm, available } => {
+            let mut guard = shared.journal.lock();
             let res = h.report(*lrm as usize, *available);
-            if res.is_ok() {
+            let gate = if res.is_ok() {
                 let rec = JournalRecord::Report { seq, lrm: *lrm, available: *available };
-                if shared.journal_record(&rec).is_err() {
-                    return WireResponse::Unit(Err(JOURNAL_DOWN));
+                match shared.journal_locked(&mut guard, &rec) {
+                    Ok(g) => g,
+                    Err(_) => return (WireResponse::Unit(Err(JOURNAL_DOWN)), 0),
                 }
-            }
-            WireResponse::Unit(res)
+            } else {
+                0
+            };
+            shared.publish_durability(&guard);
+            drop(guard);
+            (WireResponse::Unit(res), gate)
         }
         WireRequest::Tick { now, lease } => {
             // Lease expiry is soft state, corrected by the next round of
             // re-reports — never journaled.
-            WireResponse::Unit(h.tick(*now, *lease))
+            (WireResponse::Unit(h.tick(*now, *lease)), 0)
         }
         WireRequest::Request { lrm, amount, req_id } => {
+            let mut guard = shared.journal.lock();
             let result = match req_id {
                 Some(id) => h.request_idempotent(*lrm as usize, *amount, *id),
                 None => h.request(*lrm as usize, *amount),
             };
-            if result.as_ref().err().is_none_or(journalable) {
+            let gate = if result.as_ref().err().is_none_or(journalable) {
                 let rec = JournalRecord::Decision {
                     seq,
                     id: *req_id,
                     body: DecisionBody::Grant(result.clone()),
                 };
-                if shared.journal_record(&rec).is_err() {
-                    return WireResponse::Grant(Err(JOURNAL_DOWN));
+                match shared.journal_locked(&mut guard, &rec) {
+                    Ok(g) => g,
+                    Err(_) => return (WireResponse::Grant(Err(JOURNAL_DOWN)), 0),
                 }
-            }
-            WireResponse::Grant(result)
+            } else {
+                0
+            };
+            shared.publish_durability(&guard);
+            drop(guard);
+            (WireResponse::Grant(result), gate)
         }
         WireRequest::Release { alloc, req_id } => {
             let draws = alloc.draws.clone();
+            let mut guard = shared.journal.lock();
             let result = match req_id {
                 Some(id) => h.release_idempotent(alloc.clone(), *id),
                 None => h.release(alloc.clone()),
             };
-            if result.as_ref().err().is_none_or(journalable) {
+            let gate = if result.as_ref().err().is_none_or(journalable) {
                 let rec = JournalRecord::Decision {
                     seq,
                     id: *req_id,
                     body: DecisionBody::Release { draws, result: result.clone() },
                 };
-                if shared.journal_record(&rec).is_err() {
-                    return WireResponse::Unit(Err(JOURNAL_DOWN));
+                match shared.journal_locked(&mut guard, &rec) {
+                    Ok(g) => g,
+                    Err(_) => return (WireResponse::Unit(Err(JOURNAL_DOWN)), 0),
                 }
-            }
-            WireResponse::Unit(result)
+            } else {
+                0
+            };
+            shared.publish_durability(&guard);
+            drop(guard);
+            (WireResponse::Unit(result), gate)
         }
         WireRequest::ReplayGrant { req_id, lrm, amount } => {
+            let mut guard = shared.journal.lock();
             let result = h.replay_grant(*req_id, *lrm as usize, *amount);
-            if result.as_ref().err().is_none_or(journalable) {
+            let gate = if result.as_ref().err().is_none_or(journalable) {
                 let rec = JournalRecord::Decision {
                     seq,
                     id: Some(*req_id),
@@ -504,19 +866,24 @@ fn execute(req: &WireRequest, seq: Option<u64>, shared: &Shared) -> WireResponse
                         result: result.clone(),
                     },
                 };
-                if shared.journal_record(&rec).is_err() {
-                    return WireResponse::Unit(Err(JOURNAL_DOWN));
+                match shared.journal_locked(&mut guard, &rec) {
+                    Ok(g) => g,
+                    Err(_) => return (WireResponse::Unit(Err(JOURNAL_DOWN)), 0),
                 }
-            }
-            WireResponse::Unit(result)
+            } else {
+                0
+            };
+            shared.publish_durability(&guard);
+            drop(guard);
+            (WireResponse::Unit(result), gate)
         }
         WireRequest::Availability => match h.availability() {
-            Ok(v) => WireResponse::Availability(v),
-            Err(e) => WireResponse::Unit(Err(e)),
+            Ok(v) => (WireResponse::Availability(v), 0),
+            Err(e) => (WireResponse::Unit(Err(e)), 0),
         },
         WireRequest::Stats => match h.stats() {
-            Ok(s) => WireResponse::Stats(Box::new(s)),
-            Err(e) => WireResponse::Unit(Err(e)),
+            Ok(s) => (WireResponse::Stats(Box::new(s)), 0),
+            Err(e) => (WireResponse::Unit(Err(e)), 0),
         },
     }
 }
@@ -525,35 +892,51 @@ fn execute(req: &WireRequest, seq: Option<u64>, shared: &Shared) -> WireResponse
 /// before a crash or retransmission. Reports are acked without
 /// re-applying — re-running them would rewind the pools. Idempotent RPCs
 /// are forwarded so the dedup window serves the original decision (the
-/// duplicate-id check keeps the journal clean).
-fn execute_stale(req: &WireRequest, shared: &Shared) -> WireResponse {
+/// duplicate-id check keeps the journal clean). Replayed decisions gate
+/// on the current append cursor: the original record's covering fsync
+/// may still be outstanding.
+fn execute_stale(req: &WireRequest, shared: &Shared) -> (WireResponse, u64) {
     let h = &shared.handle;
+    let cursor_gate = |shared: &Shared| shared.journal.lock().0.appended_lsn();
     match req {
-        WireRequest::Report { .. } | WireRequest::Tick { .. } => WireResponse::Unit(Ok(())),
+        WireRequest::Report { .. } | WireRequest::Tick { .. } => (WireResponse::Unit(Ok(())), 0),
         WireRequest::Request { lrm, amount, req_id } => match req_id {
-            Some(id) => WireResponse::Grant(h.request_idempotent(*lrm as usize, *amount, *id)),
+            Some(id) => {
+                let res = h.request_idempotent(*lrm as usize, *amount, *id);
+                (WireResponse::Grant(res), cursor_gate(shared))
+            }
             // A sequenced request without an id cannot be deduplicated;
             // refuse rather than silently double-grant.
-            None => WireResponse::Grant(Err(GrmError::Unsupported(
-                "stale sequenced request without an idempotency id",
-            ))),
+            None => (
+                WireResponse::Grant(Err(GrmError::Unsupported(
+                    "stale sequenced request without an idempotency id",
+                ))),
+                0,
+            ),
         },
         WireRequest::Release { alloc, req_id } => match req_id {
-            Some(id) => WireResponse::Unit(h.release_idempotent(alloc.clone(), *id)),
-            None => WireResponse::Unit(Err(GrmError::Unsupported(
-                "stale sequenced release without an idempotency id",
-            ))),
+            Some(id) => {
+                let res = h.release_idempotent(alloc.clone(), *id);
+                (WireResponse::Unit(res), cursor_gate(shared))
+            }
+            None => (
+                WireResponse::Unit(Err(GrmError::Unsupported(
+                    "stale sequenced release without an idempotency id",
+                ))),
+                0,
+            ),
         },
         WireRequest::ReplayGrant { req_id, lrm, amount } => {
-            WireResponse::Unit(h.replay_grant(*req_id, *lrm as usize, *amount))
+            let res = h.replay_grant(*req_id, *lrm as usize, *amount);
+            (WireResponse::Unit(res), cursor_gate(shared))
         }
         WireRequest::Availability => match h.availability() {
-            Ok(v) => WireResponse::Availability(v),
-            Err(e) => WireResponse::Unit(Err(e)),
+            Ok(v) => (WireResponse::Availability(v), 0),
+            Err(e) => (WireResponse::Unit(Err(e)), 0),
         },
         WireRequest::Stats => match h.stats() {
-            Ok(s) => WireResponse::Stats(Box::new(s)),
-            Err(e) => WireResponse::Unit(Err(e)),
+            Ok(s) => (WireResponse::Stats(Box::new(s)), 0),
+            Err(e) => (WireResponse::Unit(Err(e)), 0),
         },
     }
 }

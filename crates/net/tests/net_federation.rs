@@ -62,7 +62,7 @@ fn spawn_daemon(dir: &Path, sock: &Path, n: usize, pool: f64, sequenced: bool) -
         server,
         journal,
         state,
-        ListenerConfig { sequenced, compact_every: 0, telemetry: Telemetry::disabled() },
+        ListenerConfig { sequenced, compact_every: 0, ..ListenerConfig::default() },
     )
     .unwrap()
 }

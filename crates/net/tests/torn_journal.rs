@@ -11,7 +11,7 @@
 //! from torn bytes) would corrupt the pools *and* the dedup window.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use agreements_flow::AgreementMatrix;
 use agreements_grm::RequestId;
@@ -21,6 +21,7 @@ use agreements_net::journal::{
 };
 use agreements_sched::Allocation;
 use agreements_telemetry::Telemetry;
+use proptest::prelude::*;
 
 fn complete(n: usize, share: f64) -> AgreementMatrix {
     let mut m = AgreementMatrix::zeros(n);
@@ -200,4 +201,180 @@ fn recovery_never_invents_a_decision_from_torn_bytes() {
     assert_eq!(stats.duplicate_requests, 0, "fresh execution, not a dedup replay");
     server.shutdown();
     let _ = fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Group commit (FsyncPolicy::Batched + append_wal)
+// ---------------------------------------------------------------------
+
+/// Kill-9 (as opposed to power loss) preserves the page cache, so the
+/// whole appended tail survives — including records whose covering
+/// fsync had not yet run, and whose replies were therefore never
+/// released. Those *unacked* decisions must still rebuild the dedup
+/// window: the client never saw the reply and will retry the same
+/// `RequestId`, and the retry must replay the original decision instead
+/// of double-granting.
+#[test]
+fn unacked_group_commit_records_rebuild_the_dedup_window() {
+    let snap = Snapshot {
+        matrix: complete(2, 0.5),
+        level: 1,
+        availability: vec![8.0, 8.0],
+        next_seq: 0,
+        dedup: Vec::new(),
+    };
+    let id = RequestId { client: 11, seq: 1 };
+    let grant = JournalRecord::Decision {
+        seq: None,
+        id: Some(id),
+        body: DecisionBody::Grant(Ok(Allocation {
+            requester: 0,
+            amount: 3.0,
+            draws: vec![3.0, 0.0],
+            theta: 1.0,
+        })),
+    };
+    let dir = scratch("unacked");
+    let mut j = DurableJournal::create(
+        &dir,
+        &snap,
+        FsyncPolicy::Batched { max_pending: 64 },
+        Telemetry::disabled(),
+    )
+    .unwrap();
+    // Write-ahead append, NO covering sync: the decision is appended
+    // but its reply is still gated when the kill lands.
+    let lsn = j.append_wal(&grant).unwrap();
+    assert!(j.synced_lsn() < lsn, "covering fsync must still be outstanding");
+    drop(j); // kill-9: the file content (page cache) survives as written
+
+    let (_, state) =
+        DurableJournal::open(&dir, FsyncPolicy::Batched { max_pending: 64 }, Telemetry::disabled())
+            .unwrap();
+    assert_eq!(state.dedup.len(), 1, "unacked decision must seed the dedup window");
+    let server = state.respawn().unwrap();
+    let h = server.handle();
+    // The client retry replays the original decision — same draws, no
+    // second debit.
+    let alloc = h.request_idempotent(0, 3.0, id).unwrap();
+    assert_eq!(alloc.amount.to_bits(), 3.0f64.to_bits());
+    let avail = h.availability().unwrap();
+    assert_eq!(avail[0].to_bits(), 5.0f64.to_bits(), "pool debited exactly once");
+    assert_eq!(h.stats().unwrap().duplicate_requests, 1, "retry answered from the window");
+    server.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Build `total` grant decisions, group-commit style: every record goes
+/// in via `append_wal`, with one explicit `sync()` barrier after the
+/// first `synced` records (the covering fsync of the first group).
+/// Returns the segment bytes plus the file length after each record.
+fn grouped_journal(dir: &Path, snap: &Snapshot, ids: &[RequestId], synced: usize) -> Vec<u64> {
+    let mut j = DurableJournal::create(
+        dir,
+        snap,
+        FsyncPolicy::Batched { max_pending: usize::MAX },
+        Telemetry::disabled(),
+    )
+    .unwrap();
+    let seg = dir.join("segment-000000.log");
+    // The snapshot written by `create` consumed the first LSN; WAL
+    // records count densely from there.
+    let base = j.appended_lsn();
+    let mut len_after = Vec::with_capacity(ids.len() + 1);
+    len_after.push(fs::metadata(&seg).unwrap().len());
+    for (i, id) in ids.iter().enumerate() {
+        let rec = JournalRecord::Decision {
+            seq: None,
+            id: Some(*id),
+            body: DecisionBody::Grant(Ok(Allocation {
+                requester: 0,
+                amount: 0.25,
+                draws: vec![0.25, 0.0, 0.0],
+                theta: 1.0,
+            })),
+        };
+        let lsn = j.append_wal(&rec).unwrap();
+        assert_eq!(lsn, base + i as u64 + 1, "append_wal LSNs are dense");
+        if i + 1 == synced {
+            j.sync().unwrap();
+            assert_eq!(j.synced_lsn(), lsn, "sync advances the watermark");
+        }
+        len_after.push(fs::metadata(&seg).unwrap().len());
+    }
+    assert_eq!(j.appended_lsn(), base + ids.len() as u64);
+    len_after
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Power loss at an arbitrary point between append and covering
+    /// fsync: any byte cut at or beyond the synced prefix must (a) lose
+    /// at most the unsynced loss window — never a synced record — and
+    /// (b) never double-grant: every surviving decision replays from
+    /// the dedup window on retry, every lost one re-executes freshly,
+    /// and the pools balance either way.
+    #[test]
+    fn group_commit_loss_window_is_bounded_and_grants_never_double(
+        total in 1usize..14,
+        synced_frac in 0.0f64..=1.0,
+        cut_frac in 0.0f64..=1.0,
+    ) {
+        let synced = (synced_frac * total as f64).round() as usize;
+        let snap = Snapshot {
+            matrix: complete(3, 0.5),
+            level: 1,
+            availability: vec![16.0, 16.0, 16.0],
+            next_seq: 0,
+            dedup: Vec::new(),
+        };
+        let ids: Vec<RequestId> =
+            (0..total).map(|i| RequestId { client: 21, seq: i as u64 }).collect();
+        let dir = scratch(&format!("group-{total}-{synced}"));
+        let len_after = grouped_journal(&dir, &snap, &ids, synced);
+
+        // The kill can truncate anywhere at or after the synced prefix
+        // (fsync'd bytes are stable by definition).
+        let seg = dir.join("segment-000000.log");
+        let lo = len_after[synced];
+        let hi = len_after[total];
+        let cut = lo + ((hi - lo) as f64 * cut_frac) as u64;
+        let full = fs::read(&seg).unwrap();
+        fs::write(&seg, &full[..cut as usize]).unwrap();
+
+        let (_, state) = DurableJournal::open(
+            &dir,
+            FsyncPolicy::Batched { max_pending: usize::MAX },
+            Telemetry::disabled(),
+        )
+        .unwrap();
+        // (a) Bounded loss: exactly the complete records within the cut
+        // survive — at least the synced prefix, never a phantom.
+        let survived = len_after.iter().filter(|&&l| l <= cut).count() - 1;
+        prop_assert!(survived >= synced, "synced prefix lost: {survived} < {synced}");
+        prop_assert!(survived <= total);
+        prop_assert_eq!(state.dedup.len(), survived, "dedup window == surviving decisions");
+
+        // (b) Never double-grant: retry every id against the respawned
+        // server.
+        let server = state.respawn().unwrap();
+        let h = server.handle();
+        for id in &ids {
+            let alloc = h.request_idempotent(0, 0.25, *id).unwrap();
+            prop_assert_eq!(alloc.amount.to_bits(), 0.25f64.to_bits());
+        }
+        let stats = h.stats().unwrap();
+        prop_assert_eq!(stats.duplicate_requests, survived as u64, "survivors replay");
+        let avail = h.availability().unwrap();
+        let want = 48.0 - 0.25 * total as f64;
+        prop_assert!(
+            (avail.iter().sum::<f64>() - want).abs() < 1e-9,
+            "each grant debited exactly once: {} vs {}",
+            avail.iter().sum::<f64>(),
+            want
+        );
+        server.shutdown();
+        let _ = fs::remove_dir_all(&dir);
+    }
 }
