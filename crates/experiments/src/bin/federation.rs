@@ -47,8 +47,21 @@
 //! the socket. Requests carry deterministic [`RequestId`]s so retries
 //! and crash replays dedup correctly in every mode.
 //!
+//! The transport is selectable (`--transport uds|tcp`) and optionally
+//! hostile: `--chaos <seed>` routes every worker connection through the
+//! bidirectional [`FaultProxy`] with a seeded drop/dup/hold/delay mix on
+//! *both* directions (lost Grants exercise the client deadline sweeper
+//! and the daemon's dedup replay), and `--latency <micros>` injects
+//! deterministic per-frame jitter even without the rest of the chaos
+//! mix. TCP runs always interpose the proxy — the daemon binds an
+//! ephemeral port and publishes it in `daemon.addr`, and the proxy
+//! re-resolves that file per connection, so a kill-9'd daemon can
+//! respawn on a fresh port without the workers ever re-dialing.
+//!
 //! ```text
 //! federation [--mode sequenced|pipelined|nonseq] [--fsync everyop|batched:N]
+//!            [--transport uds|tcp] [--chaos SEED] [--latency MICROS]
+//!            [--max-hold-ms 2] [--rpc-deadline-ms N]
 //!            [--window 32] [--n 1000] [--workers 8] [--requests 2048]
 //!            [--epochs 4] [--seed 20000] [--dir PATH] [--kill-grm]
 //!            [--check] [--json-out PATH] [--telemetry-out PATH]
@@ -63,11 +76,12 @@ use std::time::{Duration, Instant};
 use agreements_experiments::checker::{
     check_order_insensitive, CheckEvent, CheckInputs, CheckOutcome,
 };
+use agreements_faults::FaultMix;
 use agreements_flow::PartitionOptions;
 use agreements_grm::{GrmError, GrmServer, RequestId};
 use agreements_net::journal::{DurableJournal, FsyncPolicy, Snapshot as JournalSnapshot};
 use agreements_net::listener::{GrmListener, ListenerConfig};
-use agreements_net::NetGrmClient;
+use agreements_net::{FaultProxy, NetGrmClient, ProxyUpstream};
 use agreements_sched::hierarchy::HierarchicalScheduler;
 use agreements_sched::Allocation;
 use agreements_telemetry::{HistKind, Snapshot, Telemetry};
@@ -255,11 +269,38 @@ impl Mode {
     }
 }
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Transport {
+    Uds,
+    Tcp,
+}
+
+impl Transport {
+    fn as_str(self) -> &'static str {
+        match self {
+            Transport::Uds => "uds",
+            Transport::Tcp => "tcp",
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Flags {
     role: String,
     mode: Mode,
     fsync: String,
+    transport: Transport,
+    /// Seed for the bidirectional chaos mix; `None` = clean link.
+    chaos: Option<u64>,
+    /// Deterministic per-frame latency injection cap (0 = off).
+    latency_us: u64,
+    /// Group-commit hold timer forwarded to the listener.
+    max_hold_ms: u64,
+    /// Worker RPC deadline override (defaults depend on chaos).
+    rpc_deadline_ms: Option<u64>,
+    /// Where a spawned role dials the GRM (`uds:<path>` | `tcp:<addr>`);
+    /// the orchestrator fills it in when it re-execs the workers.
+    endpoint: Option<String>,
     window: usize,
     n: usize,
     workers: usize,
@@ -272,6 +313,40 @@ struct Flags {
     check: bool,
     json_out: Option<PathBuf>,
     telemetry_out: Option<PathBuf>,
+}
+
+impl Flags {
+    /// A hostile (or at least jittered) link was requested.
+    fn chaotic(&self) -> bool {
+        self.chaos.is_some() || self.latency_us > 0
+    }
+
+    /// Whether worker traffic goes through the fault proxy. TCP always
+    /// does, even with a clean mix: the proxy re-resolves `daemon.addr`
+    /// per connection, which is what keeps the workers' endpoint stable
+    /// across a kill-9 respawn onto a fresh ephemeral port.
+    fn proxied(&self) -> bool {
+        self.transport == Transport::Tcp || self.chaotic()
+    }
+}
+
+/// The (forward, reply) fault mixes the `--chaos` / `--latency` flags
+/// ask for. Modest rates: retries, dedup replay, and the deadline
+/// sweeper should fire constantly without starving progress.
+fn chaos_mixes(flags: &Flags) -> (FaultMix, FaultMix) {
+    let mut fwd = FaultMix::none();
+    let mut rep = FaultMix::none();
+    if flags.chaos.is_some() {
+        fwd = FaultMix { drop: 0.05, dup: 0.05, hold: 0.06, max_hold: 3, ..FaultMix::none() }
+            .with_latency(0.20, 600);
+        rep = FaultMix { drop: 0.04, dup: 0.04, hold: 0.05, max_hold: 3, ..FaultMix::none() }
+            .with_latency(0.20, 600);
+    }
+    if flags.latency_us > 0 {
+        fwd = fwd.with_latency(1.0, flags.latency_us);
+        rep = rep.with_latency(1.0, flags.latency_us);
+    }
+    (fwd, rep)
 }
 
 fn parse_fsync(s: &str) -> FsyncPolicy {
@@ -326,10 +401,27 @@ fn parse_flags() -> Flags {
     };
     let fsync = flag_value(&mut args, "--fsync").unwrap_or_else(|| "everyop".into());
     parse_fsync(&fsync); // validate eagerly, in every role
+    let transport = match flag_value(&mut args, "--transport").as_deref() {
+        None | Some("uds") => Transport::Uds,
+        Some("tcp") => Transport::Tcp,
+        Some(other) => {
+            eprintln!("invalid --transport `{other}` (uds | tcp)");
+            std::process::exit(2);
+        }
+    };
     let mut flags = Flags {
         role: flag_value(&mut args, "--role").unwrap_or_else(|| "orchestrator".into()),
         mode,
         fsync,
+        transport,
+        chaos: flag_value(&mut args, "--chaos")
+            .map(|s| s.parse().unwrap_or_else(|_| panic!("invalid --chaos: {s}"))),
+        latency_us: parse(flag_value(&mut args, "--latency"), "--latency", 0) as u64,
+        max_hold_ms: parse(flag_value(&mut args, "--max-hold-ms"), "--max-hold-ms", 2).max(1)
+            as u64,
+        rpc_deadline_ms: flag_value(&mut args, "--rpc-deadline-ms")
+            .map(|s| s.parse().unwrap_or_else(|_| panic!("invalid --rpc-deadline-ms: {s}"))),
+        endpoint: flag_value(&mut args, "--endpoint"),
         window: parse(flag_value(&mut args, "--window"), "--window", 32).max(1),
         n: parse(flag_value(&mut args, "--n"), "--n", 1000),
         workers: parse(flag_value(&mut args, "--workers"), "--workers", 8),
@@ -365,6 +457,28 @@ fn parse_flags() -> Flags {
 
 fn sock_path(dir: &Path) -> PathBuf {
     dir.join("grm.sock")
+}
+
+/// Where the fault proxy listens when fronting a UDS daemon.
+fn proxy_sock_path(dir: &Path) -> PathBuf {
+    dir.join("grm-proxy.sock")
+}
+
+/// Where a TCP daemon publishes its ephemeral address (atomically, via
+/// tmp + rename); the proxy re-reads it per accepted connection.
+fn daemon_addr_path(dir: &Path) -> PathBuf {
+    dir.join("daemon.addr")
+}
+
+/// Dial an endpoint string (`uds:<path>` | `tcp:<host:port>`).
+fn connect_endpoint(ep: &str) -> NetGrmClient {
+    if let Some(path) = ep.strip_prefix("uds:") {
+        NetGrmClient::uds(Path::new(path))
+    } else if let Some(addr) = ep.strip_prefix("tcp:") {
+        NetGrmClient::tcp(addr)
+    } else {
+        panic!("malformed endpoint `{ep}` (uds:<path> | tcp:<addr>)")
+    }
 }
 
 fn outcome_path(dir: &Path, worker: usize) -> PathBuf {
@@ -445,18 +559,30 @@ fn daemon(flags: Flags) {
                 .expect("respawn hierarchical GRM from journal")
         }
     };
-    let listener = GrmListener::bind_uds(
-        &sock_path(&flags.dir),
-        server,
-        journal,
-        recovered,
-        ListenerConfig {
-            sequenced: flags.mode != Mode::Nonseq,
-            compact_every: 16_384,
-            ..ListenerConfig::default()
-        },
-    )
-    .expect("bind federation socket");
+    let config = ListenerConfig {
+        sequenced: flags.mode != Mode::Nonseq,
+        compact_every: 16_384,
+        max_hold: Duration::from_millis(flags.max_hold_ms),
+        telemetry: telemetry.clone(),
+    };
+    let listener = match flags.transport {
+        Transport::Uds => {
+            GrmListener::bind_uds(&sock_path(&flags.dir), server, journal, recovered, config)
+                .expect("bind federation socket")
+        }
+        Transport::Tcp => {
+            // Bind an ephemeral port, then publish it atomically: a
+            // respawned daemon gets a *different* port, and the fault
+            // proxy re-resolves this file per connection.
+            let l = GrmListener::bind_tcp("127.0.0.1:0", server, journal, recovered, config)
+                .expect("bind federation TCP socket");
+            let addr = l.tcp_addr().expect("TCP listener has an address");
+            let tmp = flags.dir.join("daemon.addr.tmp");
+            fs::write(&tmp, addr.to_string()).expect("write daemon addr");
+            fs::rename(&tmp, daemon_addr_path(&flags.dir)).expect("publish daemon addr");
+            l
+        }
+    };
 
     // Serve until killed — SIGKILL is the expected exit, so telemetry is
     // exported by periodic atomic snapshot, not at shutdown.
@@ -484,10 +610,25 @@ fn daemon(flags: Flags) {
 /// orders of magnitude to spare.
 const EVENT_DEADLINE: Duration = Duration::from_secs(60);
 
+/// Worker RPC deadline on a chaotic link: short enough that a dropped
+/// Grant retries promptly (the retry is what flushes held frames and
+/// unwedges a reordered window), long enough to ride out injected
+/// latency and a group-commit hold.
+const CHAOS_RPC_DEADLINE_MS: u64 = 500;
+
 fn worker(flags: Flags) {
     let cfg = ScaleConfig::isp(flags.n, flags.requests, flags.seed);
     let events = event_stream(&cfg, flags.epochs);
-    let client = NetGrmClient::uds(&sock_path(&flags.dir));
+    let endpoint = flags
+        .endpoint
+        .clone()
+        .unwrap_or_else(|| format!("uds:{}", sock_path(&flags.dir).display()));
+    let deadline_ms = flags.rpc_deadline_ms.unwrap_or(if flags.chaotic() {
+        CHAOS_RPC_DEADLINE_MS
+    } else {
+        10_000
+    });
+    let client = connect_endpoint(&endpoint).with_rpc_deadline(Duration::from_millis(deadline_ms));
     let mut out = std::io::BufWriter::new(
         fs::File::create(outcome_path(&flags.dir, flags.worker_id)).expect("create outcome log"),
     );
@@ -726,6 +867,15 @@ fn drive_window(
                 out.flush().expect("flush outcome");
             }
             Harvest::Retry => {
+                // A lost *reply* (crash, chaos drop, or RPC deadline)
+                // does not mean the request was lost: re-sending seq on
+                // the same connection behind the already-queued higher
+                // seqs would wedge the daemon's serial sequencer reader.
+                // Tear the connection down so `admit`'s generation
+                // resync re-issues the whole window ascending on a
+                // fresh one; already-executed seqs replay Stale from
+                // the dedup mirror.
+                client.disconnect();
                 std::thread::sleep(Duration::from_millis(20));
                 win.admit(seq, ev, started, true);
             }
@@ -834,7 +984,20 @@ fn respawn_role(flags: &Flags, role: &str, extra: &[(&str, String)]) -> Child {
         .arg("--seed")
         .arg(flags.seed.to_string())
         .arg("--dir")
-        .arg(&flags.dir);
+        .arg(&flags.dir)
+        .arg("--transport")
+        .arg(flags.transport.as_str())
+        .arg("--max-hold-ms")
+        .arg(flags.max_hold_ms.to_string());
+    if let Some(c) = flags.chaos {
+        cmd.arg("--chaos").arg(c.to_string());
+    }
+    if flags.latency_us > 0 {
+        cmd.arg("--latency").arg(flags.latency_us.to_string());
+    }
+    if let Some(d) = flags.rpc_deadline_ms {
+        cmd.arg("--rpc-deadline-ms").arg(d.to_string());
+    }
     for (k, v) in extra {
         cmd.arg(k).arg(v);
     }
@@ -842,10 +1005,11 @@ fn respawn_role(flags: &Flags, role: &str, extra: &[(&str, String)]) -> Child {
     cmd.spawn().unwrap_or_else(|e| panic!("spawn {role}: {e}"))
 }
 
-/// Block until the daemon answers on the socket (it may be starting up
-/// or replaying its journal).
-fn await_daemon(dir: &Path) -> Vec<f64> {
-    let probe = NetGrmClient::uds(&sock_path(dir));
+/// Block until the daemon answers on the endpoint (it may be starting
+/// up or replaying its journal; on a chaotic link the probe's reply may
+/// also just have been eaten — the short deadline keeps it retrying).
+fn await_daemon(endpoint: &str) -> Vec<f64> {
+    let probe = connect_endpoint(endpoint).with_rpc_deadline(Duration::from_secs(1));
     let deadline = Instant::now() + Duration::from_secs(30);
     loop {
         match probe.availability() {
@@ -870,8 +1034,9 @@ fn orchestrate(flags: Flags) {
     let events = event_stream(&cfg, flags.epochs);
     let total = events.len();
     println!(
-        "federation: mode={} fsync={} window={} n={} workers={} requests={} epochs={} seed={} -> {} events{}",
+        "federation: mode={} transport={} fsync={} window={} n={} workers={} requests={} epochs={} seed={} -> {} events{}{}{}",
         flags.mode.as_str(),
+        flags.transport.as_str(),
         flags.fsync,
         flags.window,
         flags.n,
@@ -880,7 +1045,13 @@ fn orchestrate(flags: Flags) {
         flags.epochs,
         flags.seed,
         total,
-        if flags.kill_grm { ", kill-9 mid-replay" } else { "" }
+        if flags.kill_grm { ", kill-9 mid-replay" } else { "" },
+        flags.chaos.map(|c| format!(", chaos seed {c}")).unwrap_or_default(),
+        if flags.latency_us > 0 {
+            format!(", +{}us injected latency", flags.latency_us)
+        } else {
+            String::new()
+        }
     );
 
     // Reference decision sequence, computed before any process exists.
@@ -892,18 +1063,60 @@ fn orchestrate(flags: Flags) {
     let _ = fs::remove_dir_all(&flags.dir);
     fs::create_dir_all(&flags.dir).expect("create federation dir");
 
+    // The transport the workers see. TCP, chaos, or latency interposes
+    // the bidirectional fault proxy; otherwise workers dial the daemon's
+    // UDS socket directly.
+    let (fwd_mix, rep_mix) = chaos_mixes(&flags);
+    let chaos_seed = flags.chaos.unwrap_or(0);
+    let mut endpoint = format!("uds:{}", sock_path(&flags.dir).display());
+    let proxy = if flags.proxied() {
+        let p = match flags.transport {
+            Transport::Uds => FaultProxy::spawn_uds_bidir(
+                &proxy_sock_path(&flags.dir),
+                &sock_path(&flags.dir),
+                chaos_seed,
+                "fed",
+                fwd_mix,
+                rep_mix,
+            )
+            .expect("spawn UDS fault proxy"),
+            Transport::Tcp => FaultProxy::spawn_tcp(
+                "127.0.0.1:0",
+                ProxyUpstream::TcpAddrFile(daemon_addr_path(&flags.dir)),
+                chaos_seed,
+                "fed",
+                fwd_mix,
+                rep_mix,
+            )
+            .expect("spawn TCP fault proxy"),
+        };
+        endpoint = match flags.transport {
+            Transport::Uds => format!("uds:{}", proxy_sock_path(&flags.dir).display()),
+            Transport::Tcp => format!("tcp:{}", p.local_addr().expect("proxy TCP address")),
+        };
+        Some(p)
+    } else {
+        None
+    };
+
     let mut grm = respawn_role(&flags, "daemon", &[]);
-    await_daemon(&flags.dir);
+    await_daemon(&endpoint);
     let started = Instant::now();
     let mut workers: Vec<Child> = (0..flags.workers)
-        .map(|w| respawn_role(&flags, "worker", &[("--worker-id", w.to_string())]))
+        .map(|w| {
+            respawn_role(
+                &flags,
+                "worker",
+                &[("--worker-id", w.to_string()), ("--endpoint", endpoint.clone())],
+            )
+        })
         .collect();
 
     // Progress monitor; with --kill-grm, SIGKILL the daemon once a third
     // of the workload has settled, then respawn it over the same journal.
     let mut killed_at: Option<usize> = None;
-    let mut barrier_probe =
-        (flags.mode == Mode::Nonseq).then(|| NetGrmClient::uds(&sock_path(&flags.dir)));
+    let mut barrier_probe = (flags.mode == Mode::Nonseq)
+        .then(|| connect_endpoint(&endpoint).with_rpc_deadline(Duration::from_secs(1)));
     loop {
         // Release the nonseq report barrier once every pool is
         // refreshed — workers are all parked behind the marker, so no
@@ -934,9 +1147,15 @@ fn orchestrate(flags: Flags) {
     }
     let elapsed = started.elapsed();
 
+    // The chaos is over: stop injecting faults before the final state
+    // reads (the replay itself is done, so nothing left to harden).
+    if let Some(p) = &proxy {
+        p.heal();
+    }
+
     // Final daemon state, then merged outcomes.
-    let availability = await_daemon(&flags.dir);
-    let stats = NetGrmClient::uds(&sock_path(&flags.dir)).stats().ok();
+    let availability = await_daemon(&endpoint);
+    let stats = connect_endpoint(&endpoint).stats().ok();
     let mut merged: Vec<Option<String>> = vec![None; total];
     for w in 0..flags.workers {
         let text = fs::read_to_string(outcome_path(&flags.dir, w)).expect("read outcome log");
@@ -959,12 +1178,30 @@ fn orchestrate(flags: Flags) {
     let grants = merged.iter().flatten().filter(|l| l.starts_with('G')).count();
     let denials = merged.iter().flatten().filter(|l| l.as_str() == "D").count();
     println!("  decisions: {grants} grants, {denials} denials");
+    if let Some(p) = &proxy {
+        let s = p.stats();
+        println!(
+            "  proxy: {} delivered, {} dropped, {} duplicated, {} held, {} delayed",
+            s.delivered, s.dropped, s.duplicated, s.held, s.delayed
+        );
+    }
 
     // Telemetry: the daemon's periodic snapshot (it can't export at
-    // exit — we kill it).
+    // exit — we kill it). The group-commit records histogram is the
+    // loss-window curve's raw material: each observation is the
+    // unsynced tail one fsync retired. The daemon snapshots every
+    // 200ms, so wait out a full period (plus slack) — a short run can
+    // otherwise finish before the first snapshot ever lands. This sits
+    // outside the timed section.
+    std::thread::sleep(Duration::from_millis(450));
+    let mut group_fsyncs = 0u64;
+    let mut group_records_mean = 0.0f64;
+    let mut group_records_max = 0.0f64;
     if let Ok(text) = fs::read_to_string(telemetry_path(&flags.dir)) {
         if let Ok(snap) = Snapshot::from_json(&text) {
-            for kind in [HistKind::JournalFsyncSeconds, HistKind::FrameBytes] {
+            for kind in
+                [HistKind::JournalFsyncSeconds, HistKind::GroupCommitRecords, HistKind::FrameBytes]
+            {
                 if let Some(h) = snap.histogram(kind) {
                     println!(
                         "  {}: count={} mean={:.6} max={:.6}",
@@ -974,6 +1211,11 @@ fn orchestrate(flags: Flags) {
                         h.max
                     );
                 }
+            }
+            if let Some(h) = snap.histogram(HistKind::GroupCommitRecords) {
+                group_fsyncs = h.count;
+                group_records_mean = h.mean();
+                group_records_max = h.max;
             }
             if let Some(out) = &flags.telemetry_out {
                 agreements_experiments::write_snapshot(out, &snap);
@@ -1004,20 +1246,33 @@ fn orchestrate(flags: Flags) {
     }
 
     if let Some(path) = &flags.json_out {
+        let proxy_stats = proxy.as_ref().map(|p| p.stats());
         let json = format!(
-            "{{\n  \"mode\": \"{}\",\n  \"fsync\": \"{}\",\n  \"window\": {},\n  \"n\": {},\n  \"workers\": {},\n  \"requests\": {},\n  \"epochs\": {},\n  \"events\": {},\n  \"elapsed_s\": {:.4},\n  \"events_per_sec\": {:.1},\n  \"grants\": {},\n  \"denials\": {},\n  \"killed\": {},\n  \"checked\": {},\n  \"check_failures\": {}\n}}\n",
+            "{{\n  \"mode\": \"{}\",\n  \"transport\": \"{}\",\n  \"fsync\": \"{}\",\n  \"window\": {},\n  \"n\": {},\n  \"workers\": {},\n  \"requests\": {},\n  \"epochs\": {},\n  \"chaos\": {},\n  \"chaos_seed\": {},\n  \"latency_us\": {},\n  \"max_hold_ms\": {},\n  \"events\": {},\n  \"elapsed_s\": {:.4},\n  \"events_per_sec\": {:.1},\n  \"grants\": {},\n  \"denials\": {},\n  \"group_fsyncs\": {},\n  \"group_records_mean\": {:.3},\n  \"group_records_max\": {},\n  \"proxy_dropped\": {},\n  \"proxy_duplicated\": {},\n  \"proxy_held\": {},\n  \"proxy_delayed\": {},\n  \"killed\": {},\n  \"checked\": {},\n  \"check_failures\": {}\n}}\n",
             flags.mode.as_str(),
+            flags.transport.as_str(),
             flags.fsync,
             flags.window,
             flags.n,
             flags.workers,
             flags.requests,
             flags.epochs,
+            flags.chaos.is_some(),
+            chaos_seed,
+            flags.latency_us,
+            flags.max_hold_ms,
             total,
             elapsed.as_secs_f64(),
             events_per_sec,
             grants,
             denials,
+            group_fsyncs,
+            group_records_mean,
+            group_records_max,
+            proxy_stats.as_ref().map_or(0, |s| s.dropped),
+            proxy_stats.as_ref().map_or(0, |s| s.duplicated),
+            proxy_stats.as_ref().map_or(0, |s| s.held),
+            proxy_stats.as_ref().map_or(0, |s| s.delayed),
             killed_at.is_some(),
             flags.check,
             failures

@@ -37,10 +37,14 @@ pub use clock::ChaosClock;
 
 /// Per-message fault probabilities applied by a [`FaultPlane`] link.
 ///
-/// Fates are evaluated in order drop → duplicate → hold; exactly one
-/// (or none) applies per message. A held message is released only after
-/// `1..=max_hold` *subsequent* messages have passed it on the same link,
-/// which both delays it and reorders it past its successors.
+/// Fates are evaluated in order drop → duplicate → hold → delay;
+/// exactly one (or none) applies per message. A held message is
+/// released only after `1..=max_hold` *subsequent* messages have passed
+/// it on the same link, which both delays it and reorders it past its
+/// successors. A delayed message keeps its place in line but waits a
+/// seeded `1..=max_delay_us` microseconds of wall clock before being
+/// forwarded — injected latency/jitter without reordering (head-of-line
+/// delay, like a slow in-order transport).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultMix {
     /// Probability a message is silently dropped.
@@ -52,32 +56,53 @@ pub struct FaultMix {
     /// Maximum hold distance, in later messages that overtake the held
     /// one (must be ≥ 1 for `hold` to have any effect).
     pub max_hold: u64,
+    /// Probability a message is delayed in place (latency, no reorder).
+    pub delay: f64,
+    /// Maximum injected delay in microseconds (must be ≥ 1 for `delay`
+    /// to have any effect).
+    pub max_delay_us: u64,
 }
 
 impl FaultMix {
     /// A transparent mix: every message delivered exactly once, in order.
     pub fn none() -> Self {
-        FaultMix { drop: 0.0, dup: 0.0, hold: 0.0, max_hold: 0 }
+        FaultMix { drop: 0.0, dup: 0.0, hold: 0.0, max_hold: 0, delay: 0.0, max_delay_us: 0 }
     }
 
     /// A drop-dominated lossy link.
     pub fn drop_heavy() -> Self {
-        FaultMix { drop: 0.25, dup: 0.0, hold: 0.0, max_hold: 0 }
+        FaultMix { drop: 0.25, dup: 0.0, hold: 0.0, max_hold: 0, delay: 0.0, max_delay_us: 0 }
     }
 
     /// A duplication-dominated link (at-least-once transport).
     pub fn dup_heavy() -> Self {
-        FaultMix { drop: 0.0, dup: 0.35, hold: 0.0, max_hold: 0 }
+        FaultMix { drop: 0.0, dup: 0.35, hold: 0.0, max_hold: 0, delay: 0.0, max_delay_us: 0 }
     }
 
     /// A delay/reorder-dominated link.
     pub fn delay_heavy() -> Self {
-        FaultMix { drop: 0.0, dup: 0.0, hold: 0.35, max_hold: 4 }
+        FaultMix { drop: 0.0, dup: 0.0, hold: 0.35, max_hold: 4, delay: 0.0, max_delay_us: 0 }
     }
 
     /// Everything at once: the general mixed-failure network.
     pub fn mixed() -> Self {
-        FaultMix { drop: 0.12, dup: 0.12, hold: 0.15, max_hold: 3 }
+        FaultMix { drop: 0.12, dup: 0.12, hold: 0.15, max_hold: 3, delay: 0.0, max_delay_us: 0 }
+    }
+
+    /// Pure injected latency: every message waits a seeded
+    /// `1..=max_delay_us` microseconds, none are lost or reordered.
+    pub fn latency(max_delay_us: u64) -> Self {
+        FaultMix { drop: 0.0, dup: 0.0, hold: 0.0, max_hold: 0, delay: 1.0, max_delay_us }
+    }
+
+    /// Layer seeded latency/jitter onto this mix: `delay` probability of
+    /// a `1..=max_delay_us` µs in-place stall per message. The delay
+    /// threshold sits *after* drop/dup/hold, so adding latency to an
+    /// existing mix never changes which messages those fates hit.
+    pub fn with_latency(mut self, delay: f64, max_delay_us: u64) -> Self {
+        self.delay = delay;
+        self.max_delay_us = max_delay_us;
+        self
     }
 }
 
@@ -97,6 +122,12 @@ pub enum Fate {
     Hold {
         /// How many successors overtake the held message (≥ 1).
         distance: u64,
+    },
+    /// Delivered in order, but only after `micros` microseconds of wall
+    /// clock — injected latency without reordering.
+    Delay {
+        /// How long the message stalls at the head of the line (≥ 1 µs).
+        micros: u64,
     },
 }
 
@@ -131,6 +162,11 @@ impl FaultSchedule {
             Fate::Duplicate
         } else if u_fate < mix.drop + mix.dup + mix.hold && mix.max_hold >= 1 {
             Fate::Hold { distance: 1 + (u_hold * mix.max_hold as f64) as u64 }
+        } else if u_fate < mix.drop + mix.dup + mix.hold + mix.delay && mix.max_delay_us >= 1 {
+            // Delay re-parameterizes the second draw (a delayed message
+            // has no hold distance), so a mix with `delay: 0.0` is
+            // bit-identical to the pre-delay schedule for the same seed.
+            Fate::Delay { micros: 1 + (u_hold * mix.max_delay_us as f64) as u64 }
         } else {
             Fate::Deliver
         }
@@ -200,6 +236,8 @@ pub struct PlaneStats {
     pub duplicated: u64,
     /// Messages held back past at least one successor.
     pub held: u64,
+    /// Messages delayed in place (latency injected, order preserved).
+    pub delayed: u64,
 }
 
 #[derive(Default)]
@@ -208,6 +246,7 @@ struct PlaneCounters {
     dropped: AtomicU64,
     duplicated: AtomicU64,
     held: AtomicU64,
+    delayed: AtomicU64,
 }
 
 /// A seeded, schedule-reproducible fault injector for channel links.
@@ -276,6 +315,7 @@ impl FaultPlane {
             dropped: self.counters.dropped.load(Ordering::SeqCst),
             duplicated: self.counters.duplicated.load(Ordering::SeqCst),
             held: self.counters.held.load(Ordering::SeqCst),
+            delayed: self.counters.delayed.load(Ordering::SeqCst),
         }
     }
 
@@ -357,6 +397,19 @@ impl FaultPlane {
                     self.telemetry
                         .record_with(|| TelemetryEvent::ChaosHold { link: link.to_string() });
                     held.hold(seq, distance, msg);
+                }
+                Fate::Delay { micros } => {
+                    self.counters.delayed.fetch_add(1, Ordering::SeqCst);
+                    self.telemetry.add("faults.delayed", 1);
+                    self.telemetry
+                        .record_with(|| TelemetryEvent::ChaosDelay { link: link.to_string() });
+                    // Head-of-line stall: successors wait behind the
+                    // delayed message, so order (and determinism) hold.
+                    std::thread::sleep(Duration::from_micros(micros));
+                    if upstream.send(msg).is_err() {
+                        return;
+                    }
+                    self.counters.delivered.fetch_add(1, Ordering::SeqCst);
                 }
                 Fate::Deliver => {
                     if upstream.send(msg).is_err() {
@@ -526,9 +579,58 @@ mod tests {
     }
 
     #[test]
+    fn delays_preserve_order_and_lose_nothing() {
+        let mix = FaultMix::none().with_latency(0.5, 300);
+        let got = run_schedule(17, mix, 200);
+        assert_eq!(got, (0..200).collect::<Vec<_>>(), "delay never drops or reorders");
+        let (up_tx, up_rx) = unbounded();
+        let plane = FaultPlane::new(17, mix);
+        let tx = plane.wrap("test", up_tx);
+        for i in 0..200u32 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let _ = collect_until_quiet(&up_rx);
+        let stats = plane.stats();
+        assert!(stats.delayed > 0, "some messages delayed: {stats:?}");
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.delivered, 200);
+    }
+
+    #[test]
+    fn adding_delay_never_shifts_other_fates() {
+        // Same seed, same link: the set of dropped/dup'd/held messages
+        // must be identical with and without a layered delay term,
+        // because delay re-uses the two draws already burned per
+        // message and its threshold sits after the existing fates.
+        let base = FaultMix::mixed();
+        let laced = FaultMix::mixed().with_latency(0.3, 50);
+        let mut a = FaultSchedule::new(99, "link", base);
+        let mut b = FaultSchedule::new(99, "link", laced);
+        for _ in 0..500 {
+            let (fa, fb) = (a.next_fate(), b.next_fate());
+            match fa {
+                Fate::Deliver => assert!(matches!(fb, Fate::Deliver | Fate::Delay { .. })),
+                other => assert_eq!(other, fb, "non-deliver fates are unchanged"),
+            }
+        }
+    }
+
+    #[test]
+    fn delay_schedule_is_deterministic() {
+        let mix = FaultMix::mixed().with_latency(0.4, 700);
+        let mut a = FaultSchedule::new(1234, "l", mix);
+        let mut b = FaultSchedule::new(1234, "l", mix);
+        let fa: Vec<Fate> = (0..400).map(|_| a.next_fate()).collect();
+        let fb: Vec<Fate> = (0..400).map(|_| b.next_fate()).collect();
+        assert_eq!(fa, fb, "same seed ⇒ same delays, to the microsecond");
+        assert!(fa.iter().any(|f| matches!(f, Fate::Delay { .. })));
+    }
+
+    #[test]
     fn heal_flushes_and_stops_injecting() {
         let (up_tx, up_rx) = unbounded();
-        let plane = FaultPlane::new(3, FaultMix { drop: 1.0, dup: 0.0, hold: 0.0, max_hold: 0 });
+        let plane = FaultPlane::new(3, FaultMix { drop: 1.0, ..FaultMix::none() });
         let tx = plane.wrap("test", up_tx);
         for i in 0..50u32 {
             tx.send(i).unwrap();
@@ -549,7 +651,7 @@ mod tests {
     fn heal_releases_held_messages_on_a_quiet_link() {
         let (up_tx, up_rx) = unbounded();
         // Hold every message far beyond the traffic we send.
-        let plane = FaultPlane::new(9, FaultMix { drop: 0.0, dup: 0.0, hold: 1.0, max_hold: 1000 });
+        let plane = FaultPlane::new(9, FaultMix { hold: 1.0, max_hold: 1000, ..FaultMix::none() });
         let tx = plane.wrap("test", up_tx);
         for i in 0..5u32 {
             tx.send(i).unwrap();

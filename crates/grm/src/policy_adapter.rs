@@ -43,6 +43,7 @@ fn to_sched_error(e: GrmError) -> SchedError {
         | GrmError::ConnectionRefused
         | GrmError::ConnectionReset
         | GrmError::FrameDecode { .. }
+        | GrmError::BadEndpoint { .. }
         | GrmError::Unsupported(_) => {
             SchedError::Lp(agreements_lp::LpError::InvalidModel("GRM unavailable".into()))
         }

@@ -260,8 +260,7 @@ mod tests {
     fn lossy_link_retries_to_success_without_double_grant() {
         // Drop just under half of all messages: several attempts may be
         // needed, and duplicates of the same id must not double-grant.
-        let plane =
-            FaultPlane::new(1234, FaultMix { drop: 0.45, dup: 0.3, hold: 0.0, max_hold: 0 });
+        let plane = FaultPlane::new(1234, FaultMix { drop: 0.45, dup: 0.3, ..FaultMix::none() });
         let grm = GrmServer::spawn_chaotic(complete(2, 1.0), 1, &plane, "grm");
         let client = ResilientGrmClient::new(
             grm.handle(),

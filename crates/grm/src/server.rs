@@ -62,6 +62,13 @@ pub enum GrmError {
         /// What the decoder objected to.
         detail: String,
     },
+    /// The server address itself is unusable — e.g. a Unix-socket path
+    /// longer than the kernel's `sun_path` limit. Deterministic, so
+    /// never retryable: the same endpoint fails the same way.
+    BadEndpoint {
+        /// What is wrong with the endpoint (names the path and limit).
+        detail: String,
+    },
 }
 
 impl GrmError {
@@ -106,6 +113,7 @@ impl fmt::Display for GrmError {
             GrmError::ConnectionRefused => write!(f, "GRM connection refused"),
             GrmError::ConnectionReset => write!(f, "GRM connection reset mid-call"),
             GrmError::FrameDecode { detail } => write!(f, "undecodable frame: {detail}"),
+            GrmError::BadEndpoint { detail } => write!(f, "bad endpoint: {detail}"),
         }
     }
 }

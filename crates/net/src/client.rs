@@ -17,7 +17,16 @@
 //!   the decision may or may not have happened, which is exactly what
 //!   idempotent `RequestId`s exist for);
 //! - an undecodable response payload → [`GrmError::FrameDecode`]
-//!   (**not** retryable: a codec mismatch will not heal by resending).
+//!   (**not** retryable: a codec mismatch will not heal by resending);
+//! - a peer that stalls without closing (e.g. a partitioned proxy
+//!   holding the connection open) → [`GrmError::DeadlineExceeded`]
+//!   (retryable) once the per-RPC deadline elapses. The reader thread
+//!   polls its socket with a short timeout and sweeps overdue in-flight
+//!   calls, so a silent peer can never hang an RPC forever — the
+//!   connection itself stays up in case the reply is merely late;
+//! - a Unix-socket path over the kernel's `sun_path` limit →
+//!   [`GrmError::BadEndpoint`] naming the path and limit (**not**
+//!   retryable: the same endpoint fails the same way).
 //!
 //! Frame-level corruption (bad CRC) is handled below this layer: the
 //! streaming decoder resyncs and the affected call either completes from
@@ -31,6 +40,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
 
 use agreements_grm::{GrmClient, GrmError, GrmStats, RequestId};
 use agreements_sched::Allocation;
@@ -39,7 +49,19 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::frame::{encode_frame, FrameDecoder, FRAME_OVERHEAD};
+use crate::uds_path_check;
 use crate::wire::{RequestFrame, ResponseFrame, WireRequest, WireResponse};
+
+/// How often the reader thread wakes to check for overdue in-flight
+/// calls while the socket is quiet (and the sweep cadence under
+/// continuous traffic).
+const POLL: Duration = Duration::from_millis(20);
+
+/// Default per-RPC deadline: generous enough for a group-commit fsync
+/// queue at full depth, short enough that a wedged peer surfaces as a
+/// retryable error rather than a hung worker. Override with
+/// [`NetGrmClient::with_rpc_deadline`].
+const DEFAULT_RPC_DEADLINE: Duration = Duration::from_secs(10);
 
 /// Where the daemon lives.
 #[derive(Debug, Clone)]
@@ -61,6 +83,23 @@ impl Socket {
         match self {
             Socket::Uds(s) => Ok(Socket::Uds(s.try_clone()?)),
             Socket::Tcp(s) => Ok(Socket::Tcp(s.try_clone()?)),
+        }
+    }
+
+    /// Socket options live on the shared file description, so setting
+    /// them once here covers every clone: the reader polls at `read`,
+    /// the writer gives up at `write` instead of blocking forever into
+    /// a stalled peer's full buffer.
+    fn set_timeouts(&self, read: Duration, write: Duration) -> io::Result<()> {
+        match self {
+            Socket::Uds(s) => {
+                s.set_read_timeout(Some(read))?;
+                s.set_write_timeout(Some(write))
+            }
+            Socket::Tcp(s) => {
+                s.set_read_timeout(Some(read))?;
+                s.set_write_timeout(Some(write))
+            }
         }
     }
 
@@ -153,7 +192,37 @@ impl Pending {
     }
 }
 
-type PendingMap = Arc<Mutex<HashMap<u64, Pending>>>;
+/// A [`Pending`] plus the wall-clock instant after which the reader
+/// thread's sweep fails it with a retryable `DeadlineExceeded` — the
+/// guarantee that a stalled-but-open peer cannot park a call forever.
+struct InFlight {
+    waiter: Pending,
+    deadline: Instant,
+    deadline_millis: u64,
+}
+
+type PendingMap = Arc<Mutex<HashMap<u64, InFlight>>>;
+
+/// Fail every in-flight call whose deadline has passed. The entry is
+/// removed first, so a reply that limps in later is simply dropped (the
+/// corr id no longer resolves) — the caller has already been told to
+/// retry under the same `RequestId`, which the daemon's dedup window
+/// makes safe.
+fn sweep_expired(pending: &PendingMap) {
+    let now = Instant::now();
+    let expired: Vec<InFlight> = {
+        let mut map = pending.lock();
+        if map.values().all(|p| p.deadline > now) {
+            return;
+        }
+        let corrs: Vec<u64> =
+            map.iter().filter(|(_, p)| p.deadline <= now).map(|(c, _)| *c).collect();
+        corrs.into_iter().filter_map(|c| map.remove(&c)).collect()
+    };
+    for p in expired {
+        p.waiter.fail(GrmError::DeadlineExceeded { millis: p.deadline_millis });
+    }
+}
 
 struct Conn {
     writer: Socket,
@@ -168,12 +237,12 @@ impl Conn {
 }
 
 fn fail_all(pending: &PendingMap, e: &GrmError) {
-    let drained: Vec<Pending> = {
+    let drained: Vec<InFlight> = {
         let mut map = pending.lock();
         map.drain().map(|(_, p)| p).collect()
     };
     for p in drained {
-        p.fail(e.clone());
+        p.waiter.fail(e.clone());
     }
 }
 
@@ -187,6 +256,9 @@ struct Inner {
     /// dead and their frames' wire ordering says nothing about the
     /// current socket.
     generation: AtomicU64,
+    /// Per-RPC deadline in milliseconds, applied by the reader thread's
+    /// sweep to every in-flight call registered after it was set.
+    rpc_deadline_millis: AtomicU64,
     telemetry: Telemetry,
 }
 
@@ -223,9 +295,22 @@ impl NetGrmClient {
                 conn: Mutex::new(None),
                 next_corr: AtomicU64::new(self.inner.next_corr.load(Ordering::Relaxed)),
                 generation: AtomicU64::new(self.inner.generation.load(Ordering::Relaxed)),
+                rpc_deadline_millis: AtomicU64::new(
+                    self.inner.rpc_deadline_millis.load(Ordering::Relaxed),
+                ),
                 telemetry,
             }),
         }
+    }
+
+    /// Set the per-RPC deadline: an in-flight call with no reply after
+    /// this long fails with the retryable [`GrmError::DeadlineExceeded`]
+    /// instead of waiting on a stalled peer forever. Applies to calls
+    /// issued after the change; resolution is the reader's ~20 ms poll.
+    pub fn with_rpc_deadline(self, deadline: Duration) -> NetGrmClient {
+        let millis = deadline.as_millis().clamp(1, u64::MAX as u128) as u64;
+        self.inner.rpc_deadline_millis.store(millis, Ordering::Relaxed);
+        self
     }
 
     fn with_target(target: Target, telemetry: Telemetry) -> NetGrmClient {
@@ -235,6 +320,7 @@ impl NetGrmClient {
                 conn: Mutex::new(None),
                 next_corr: AtomicU64::new(1),
                 generation: AtomicU64::new(0),
+                rpc_deadline_millis: AtomicU64::new(DEFAULT_RPC_DEADLINE.as_millis() as u64),
                 telemetry,
             }),
         }
@@ -249,6 +335,9 @@ impl NetGrmClient {
     }
 
     fn connect(&self) -> Result<Conn, GrmError> {
+        if let Target::Uds(path) = &self.inner.target {
+            uds_path_check(path).map_err(|e| GrmError::BadEndpoint { detail: e.to_string() })?;
+        }
         let socket = match &self.inner.target {
             Target::Uds(path) => UnixStream::connect(path).map(Socket::Uds),
             Target::Tcp(addr) => TcpStream::connect(addr.as_str()).map(|s| {
@@ -262,6 +351,9 @@ impl NetGrmClient {
             }
             _ => GrmError::ConnectionReset,
         })?;
+        let deadline =
+            Duration::from_millis(self.inner.rpc_deadline_millis.load(Ordering::Relaxed));
+        socket.set_timeouts(POLL, deadline).map_err(|_| GrmError::ConnectionReset)?;
         let pending: PendingMap = Arc::new(Mutex::new(HashMap::new()));
         let reader = socket.try_clone().map_err(|_| GrmError::ConnectionReset)?;
         let inner = Arc::downgrade(&self.inner);
@@ -291,7 +383,15 @@ impl NetGrmClient {
         encode_frame(&payload, &mut framed)
             .map_err(|e| GrmError::FrameDecode { detail: format!("unencodable request: {e}") })?;
         let conn = guard.as_mut().expect("connection just ensured");
-        conn.pending.lock().insert(corr, pending);
+        let deadline_millis = self.inner.rpc_deadline_millis.load(Ordering::Relaxed);
+        conn.pending.lock().insert(
+            corr,
+            InFlight {
+                waiter: pending,
+                deadline: Instant::now() + Duration::from_millis(deadline_millis),
+                deadline_millis,
+            },
+        );
         let wrote = conn.writer.write_all(&framed).and_then(|()| conn.writer.flush());
         if let Err(_e) = wrote {
             let conn = guard.take().expect("connection present");
@@ -497,12 +597,21 @@ impl GrmClient for NetGrmClient {
 }
 
 /// The demux loop: decode frames off the socket, route responses to
-/// their waiters by correlation id. Exits on EOF or a fatal protocol
-/// error, failing every in-flight call.
+/// their waiters by correlation id. The socket is read with a short
+/// poll timeout; every ~20 ms (quiet or busy) the loop sweeps in-flight
+/// calls whose deadline has passed, failing them with the retryable
+/// `DeadlineExceeded` — so a peer that stalls without closing cannot
+/// hang a call forever. Exits on EOF or a fatal protocol error, failing
+/// every in-flight call.
 fn read_loop(mut socket: Socket, pending: PendingMap, inner: std::sync::Weak<Inner>) {
     let mut dec = FrameDecoder::new();
     let mut buf = [0u8; 16 * 1024];
+    let mut last_sweep = Instant::now();
     let fatal: GrmError = 'outer: loop {
+        if last_sweep.elapsed() >= POLL {
+            sweep_expired(&pending);
+            last_sweep = Instant::now();
+        }
         match socket.read(&mut buf) {
             Ok(0) => break GrmError::ConnectionReset,
             Ok(n) => {
@@ -513,7 +622,7 @@ fn read_loop(mut socket: Socket, pending: PendingMap, inner: std::sync::Weak<Inn
                             Ok(frame) => {
                                 let waiter = pending.lock().remove(&frame.corr);
                                 if let Some(p) = waiter {
-                                    p.complete(frame.resp);
+                                    p.waiter.complete(frame.resp);
                                 }
                             }
                             Err(e) => {
@@ -527,7 +636,7 @@ fn read_loop(mut socket: Socket, pending: PendingMap, inner: std::sync::Weak<Inn
                                     );
                                     let waiter = pending.lock().remove(&corr);
                                     if let Some(p) = waiter {
-                                        p.fail(e.clone());
+                                        p.waiter.fail(e.clone());
                                     }
                                 } else {
                                     break 'outer e;
@@ -542,7 +651,13 @@ fn read_loop(mut socket: Socket, pending: PendingMap, inner: std::sync::Weak<Inn
                     }
                 }
             }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::Interrupted
+                    || e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
             Err(_) => break GrmError::ConnectionReset,
         }
     };

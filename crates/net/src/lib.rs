@@ -48,5 +48,27 @@ pub use journal::{
     MAX_JOURNAL_FRAME_LEN,
 };
 pub use listener::{GrmListener, ListenerConfig};
-pub use proxy::{FaultProxy, ProxyStats};
+pub use proxy::{FaultProxy, ProxyStats, ProxyUpstream};
 pub use wire::{RequestFrame, ResponseFrame, WireRequest, WireResponse};
+
+/// Usable bytes in `sockaddr_un.sun_path` (108 on Linux, minus the NUL).
+/// Paths past this bind with an opaque `EINVAL`/`ENAMETOOLONG`; we check
+/// up front and name the path and the limit instead.
+pub const MAX_UDS_PATH: usize = 107;
+
+/// Reject a Unix-socket path that exceeds the kernel's `sun_path` limit
+/// with an error naming the path and the limit — nested tmp dirs in CI
+/// hit this constantly and the raw bind error doesn't say why.
+pub(crate) fn uds_path_check(path: &std::path::Path) -> std::io::Result<()> {
+    let len = path.as_os_str().len();
+    if len > MAX_UDS_PATH {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "unix socket path {} is {len} bytes, over the sun_path limit of {MAX_UDS_PATH}",
+                path.display()
+            ),
+        ));
+    }
+    Ok(())
+}

@@ -441,6 +441,10 @@ fn put_grm_error(w: &mut Writer, e: &GrmError) {
             w.u8(9);
             w.str(detail);
         }
+        GrmError::BadEndpoint { detail } => {
+            w.u8(10);
+            w.str(detail);
+        }
     }
 }
 
@@ -456,6 +460,7 @@ fn get_grm_error(r: &mut Reader) -> WireResult<GrmError> {
         7 => GrmError::ConnectionRefused,
         8 => GrmError::ConnectionReset,
         9 => GrmError::FrameDecode { detail: r.str()? },
+        10 => GrmError::BadEndpoint { detail: r.str()? },
         t => return Err(format!("bad GrmError tag {t}")),
     })
 }
@@ -784,6 +789,7 @@ mod tests {
             GrmError::ConnectionRefused,
             GrmError::ConnectionReset,
             GrmError::FrameDecode { detail: "bad tag".into() },
+            GrmError::BadEndpoint { detail: "path too long".into() },
         ];
         for e in errors {
             let f = ResponseFrame { corr: 9, resp: WireResponse::Grant(Err(e.clone())) };

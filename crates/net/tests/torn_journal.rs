@@ -13,6 +13,7 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use agreements_faults::{Fate, FaultMix, FaultSchedule};
 use agreements_flow::AgreementMatrix;
 use agreements_grm::RequestId;
 use agreements_net::frame::FRAME_OVERHEAD;
@@ -358,6 +359,109 @@ proptest! {
 
         // (b) Never double-grant: retry every id against the respawned
         // server.
+        let server = state.respawn().unwrap();
+        let h = server.handle();
+        for id in &ids {
+            let alloc = h.request_idempotent(0, 0.25, *id).unwrap();
+            prop_assert_eq!(alloc.amount.to_bits(), 0.25f64.to_bits());
+        }
+        let stats = h.stats().unwrap();
+        prop_assert_eq!(stats.duplicate_requests, survived as u64, "survivors replay");
+        let avail = h.availability().unwrap();
+        let want = 48.0 - 0.25 * total as f64;
+        prop_assert!(
+            (avail.iter().sum::<f64>() - want).abs() < 1e-9,
+            "each grant debited exactly once: {} vs {}",
+            avail.iter().sum::<f64>(),
+            want
+        );
+        server.shutdown();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The same loss bound on the latency-injected batched-fsync path:
+    /// under a jittered link the hold timer — not the group fill —
+    /// paces the syncer, so covering fsyncs land at arrival-jitter-
+    /// determined points scattered through the stream rather than at
+    /// one clean barrier. Derive those sync points from a seeded Delay
+    /// schedule (a frame stalling past half the latency cap models the
+    /// hold timer firing), and prove that wherever they land, a cut at
+    /// or beyond the *last* synced byte loses at most the tail behind
+    /// it — and retries still never double-grant.
+    #[test]
+    fn latency_jittered_sync_points_keep_the_loss_window_bounded(
+        total in 1usize..14,
+        seed in proptest::prelude::any::<u64>(),
+        cut_frac in 0.0f64..=1.0,
+    ) {
+        let mut jitter =
+            FaultSchedule::new(seed, "fsync-jitter", FaultMix::none().with_latency(0.6, 1_000));
+        let sync_after: Vec<bool> = (0..total)
+            .map(|_| matches!(jitter.next_fate(), Fate::Delay { micros } if micros > 500))
+            .collect();
+
+        let snap = Snapshot {
+            matrix: complete(3, 0.5),
+            level: 1,
+            availability: vec![16.0, 16.0, 16.0],
+            next_seq: 0,
+            dedup: Vec::new(),
+        };
+        let ids: Vec<RequestId> =
+            (0..total).map(|i| RequestId { client: 23, seq: i as u64 }).collect();
+        let dir = scratch(&format!("jitter-{total}"));
+        let _ = fs::remove_dir_all(&dir);
+        let mut j = DurableJournal::create(
+            &dir,
+            &snap,
+            FsyncPolicy::Batched { max_pending: usize::MAX },
+            Telemetry::disabled(),
+        )
+        .unwrap();
+        let seg = dir.join("segment-000000.log");
+        let mut len_after = vec![fs::metadata(&seg).unwrap().len()];
+        let mut last_synced = 0usize;
+        for (i, id) in ids.iter().enumerate() {
+            let rec = JournalRecord::Decision {
+                seq: None,
+                id: Some(*id),
+                body: DecisionBody::Grant(Ok(Allocation {
+                    requester: 0,
+                    amount: 0.25,
+                    draws: vec![0.25, 0.0, 0.0],
+                    theta: 1.0,
+                })),
+            };
+            let lsn = j.append_wal(&rec).unwrap();
+            if sync_after[i] {
+                j.sync().unwrap();
+                prop_assert_eq!(j.synced_lsn(), lsn, "sync advances the watermark");
+                last_synced = i + 1;
+            }
+            len_after.push(fs::metadata(&seg).unwrap().len());
+        }
+        drop(j);
+
+        // Cut anywhere at or beyond the last jitter-driven fsync.
+        let lo = len_after[last_synced];
+        let hi = len_after[total];
+        let cut = lo + ((hi - lo) as f64 * cut_frac) as u64;
+        let full = fs::read(&seg).unwrap();
+        fs::write(&seg, &full[..cut as usize]).unwrap();
+
+        let (_, state) = DurableJournal::open(
+            &dir,
+            FsyncPolicy::Batched { max_pending: usize::MAX },
+            Telemetry::disabled(),
+        )
+        .unwrap();
+        let survived = len_after.iter().filter(|&&l| l <= cut).count() - 1;
+        prop_assert!(
+            survived >= last_synced,
+            "a jitter-paced fsync was lost: {survived} < {last_synced}"
+        );
+        prop_assert_eq!(state.dedup.len(), survived, "dedup window == surviving decisions");
+
         let server = state.respawn().unwrap();
         let h = server.handle();
         for id in &ids {

@@ -63,11 +63,14 @@ pub enum HistKind {
     /// Encoded size, in bytes, of one wire frame (payload + envelope)
     /// crossing a GRM socket in either direction.
     FrameBytes,
+    /// Journal records covered by one group-commit fsync (the unsynced
+    /// tail a power cut at that instant would have lost).
+    GroupCommitRecords,
 }
 
 impl HistKind {
     /// All kinds, in snapshot order.
-    pub const ALL: [HistKind; 8] = [
+    pub const ALL: [HistKind; 9] = [
         HistKind::LpSolveSeconds,
         HistKind::ServeDrainSeconds,
         HistKind::RequestLatencySeconds,
@@ -76,6 +79,7 @@ impl HistKind {
         HistKind::QueueWaitSeconds,
         HistKind::JournalFsyncSeconds,
         HistKind::FrameBytes,
+        HistKind::GroupCommitRecords,
     ];
 
     /// Stable snapshot name.
@@ -89,6 +93,7 @@ impl HistKind {
             HistKind::QueueWaitSeconds => "queue_wait_seconds",
             HistKind::JournalFsyncSeconds => "journal_fsync_seconds",
             HistKind::FrameBytes => "frame_bytes",
+            HistKind::GroupCommitRecords => "group_commit_records",
         }
     }
 
@@ -102,6 +107,7 @@ impl HistKind {
             HistKind::QueueWaitSeconds => 5,
             HistKind::JournalFsyncSeconds => 6,
             HistKind::FrameBytes => 7,
+            HistKind::GroupCommitRecords => 8,
         }
     }
 
@@ -120,7 +126,9 @@ impl HistKind {
             // 1 … 2^30 rows in power-of-two buckets.
             HistKind::FlowDirtyRows => (1.0, 2.0, 32),
             // Batch sizes are small integers; 1 … 2^22 is generous.
-            HistKind::BatchSize => (1.0, 2.0, 24),
+            // Group-commit windows are bounded by `max_pending`, which
+            // shares the same range.
+            HistKind::BatchSize | HistKind::GroupCommitRecords => (1.0, 2.0, 24),
             // Frames span a 6-byte ping to a ~1 MiB availability dump;
             // power-of-two buckets over 1 … 2^30 bytes.
             HistKind::FrameBytes => (1.0, 2.0, 32),
@@ -190,6 +198,11 @@ pub enum TelemetryEvent {
     },
     /// The chaos plane delayed a message on `link`.
     ChaosHold {
+        /// Fault-plane link name.
+        link: String,
+    },
+    /// The chaos plane injected in-place latency on `link`.
+    ChaosDelay {
         /// Fault-plane link name.
         link: String,
     },

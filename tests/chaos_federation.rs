@@ -202,7 +202,7 @@ fn chaos_mixed_matrix() {
 fn chaos_severe_loss_forces_degraded_grants() {
     // Loss heavy enough that some intents exhaust their retry budget:
     // degraded mode and journal replay must carry the federation.
-    let severe = FaultMix { drop: 0.65, dup: 0.0, hold: 0.0, max_hold: 0 };
+    let severe = FaultMix { drop: 0.65, ..FaultMix::none() };
     let mut journaled = 0u64;
     for seed in SEEDS {
         journaled += run_lossy_scenario(seed, severe, "severe_loss").journaled_grants;
