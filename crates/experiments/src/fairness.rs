@@ -1,0 +1,335 @@
+//! Dominant-resource fairness metrics over a multi-resource epoch, and a
+//! checker that audits a reported [`FairnessReport`] against the raw
+//! allocation log it claims to summarize.
+//!
+//! The multi-resource enforcement stack admits a request only when every
+//! resource lane's LP admits it, so the natural fairness question is the
+//! DRF one (Ghodsi et al., NSDI 2011) rather than a per-lane share: a
+//! principal's **dominant share** is its largest per-resource fraction
+//! of the pool,
+//!
+//! ```text
+//! s_i = max_r allocated[i][r] / capacity[r]
+//! ```
+//!
+//! and the grievances worth counting are relative to it:
+//!
+//! - an **envy pair** `(i, j)` is an ordered pair where `i` had at least
+//!   one request rejected this epoch yet `j` holds a strictly larger
+//!   dominant share (beyond [`SHARE_EPS`]) — `i` can point at `j` and
+//!   ask why `j` got more of *its own* bottleneck than `i` did;
+//! - a **justified complaint** is a rejected principal with at least one
+//!   envy pair. A rejected principal who already holds the (weakly)
+//!   largest dominant share has no justified complaint: the system is
+//!   out of room, not unfair.
+//!
+//! [`analyze_epoch`] computes these from an [`EpochLog`];
+//! [`check_fairness`] is the audit half, in the style of
+//! [`crate::checker`]: a pure function of plain data returning one
+//! human-readable line per violated invariant, so the scaled replay, the
+//! CI smoke run, and a property test over mutated logs share one
+//! checker. It catches the three mutation classes the replay could
+//! plausibly emit if buggy: **stolen units** (a lane's allocations
+//! exceed its pool, or go negative), **drifted shares** (the report's
+//! dominant shares disagree with recomputation), and **fabricated envy**
+//! (the report's envy-pair or complaint counts disagree with a recount).
+
+/// Strict-inequality slack for dominant-share comparisons: `j` is envied
+/// by `i` only when `s_j > s_i + SHARE_EPS`, so ties produced by
+/// symmetric workloads never register as envy.
+pub const SHARE_EPS: f64 = 1e-9;
+
+/// Relative tolerance when auditing a report against recomputation
+/// (shares are sums of grant draws accumulated in replay order; the
+/// auditor re-sums in log order, so agreement is to floating-point
+/// associativity, not bit equality).
+pub const REL_TOL: f64 = 1e-6;
+
+/// One epoch of multi-resource allocation history, as plain data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochLog {
+    /// Per-resource pool capacity for the epoch (lane order).
+    pub capacity: Vec<f64>,
+    /// `allocated[i][r]`: units principal `i` holds in resource `r` at
+    /// epoch end (sum of its granted amounts this epoch).
+    pub allocated: Vec<Vec<f64>>,
+    /// Principals that had at least one request rejected for capacity
+    /// this epoch (deduplicated; order irrelevant).
+    pub rejected: Vec<usize>,
+}
+
+/// The fairness summary of one epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FairnessReport {
+    /// Dominant share `s_i` per principal.
+    pub dominant_shares: Vec<f64>,
+    /// Ordered envy pairs `(i, j)`: `i` rejected, `s_j > s_i + eps`.
+    pub envy_pairs: usize,
+    /// Rejected principals with at least one envy pair.
+    pub justified_complaints: usize,
+}
+
+fn close(got: f64, want: f64) -> bool {
+    (got - want).abs() <= REL_TOL * want.abs().max(1.0)
+}
+
+/// Dominant share per principal: `max_r allocated[i][r] / capacity[r]`.
+/// Lanes with non-positive capacity contribute no share (an empty pool
+/// cannot be a bottleneck anyone holds a fraction of).
+pub fn dominant_shares(capacity: &[f64], allocated: &[Vec<f64>]) -> Vec<f64> {
+    allocated
+        .iter()
+        .map(|row| {
+            row.iter()
+                .zip(capacity)
+                .filter(|&(_, &c)| c > 0.0)
+                .map(|(&a, &c)| a / c)
+                .fold(0.0f64, f64::max)
+        })
+        .collect()
+}
+
+/// Count the epoch's envy pairs and justified complaints given the
+/// dominant shares and the rejected set.
+fn count_envy(shares: &[f64], rejected: &[usize]) -> (usize, usize) {
+    let mut pairs = 0usize;
+    let mut complaints = 0usize;
+    for &i in rejected {
+        if i >= shares.len() {
+            continue;
+        }
+        let envied = shares
+            .iter()
+            .enumerate()
+            .filter(|&(j, &s)| j != i && s > shares[i] + SHARE_EPS)
+            .count();
+        pairs += envied;
+        if envied > 0 {
+            complaints += 1;
+        }
+    }
+    (pairs, complaints)
+}
+
+/// Compute the epoch's [`FairnessReport`] from its raw log.
+pub fn analyze_epoch(log: &EpochLog) -> FairnessReport {
+    let shares = dominant_shares(&log.capacity, &log.allocated);
+    let (envy_pairs, justified_complaints) = count_envy(&shares, &log.rejected);
+    FairnessReport { dominant_shares: shares, envy_pairs, justified_complaints }
+}
+
+/// Audit `report` against the raw `log`; returns one human-readable line
+/// per violated invariant (empty = the report is faithful). Reporting
+/// all violations beats stopping at the first when a replay goes wrong.
+pub fn check_fairness(log: &EpochLog, report: &FairnessReport) -> Vec<String> {
+    let n = log.allocated.len();
+    let rk = log.capacity.len();
+    let mut violations = Vec::new();
+
+    // 1. Log shape: every principal row spans every lane, rejected
+    //    indices name real principals, exactly once each.
+    let bad_rows = log.allocated.iter().filter(|row| row.len() != rk).count();
+    if bad_rows > 0 {
+        violations
+            .push(format!("log shape violated: {bad_rows} principal row(s) not {rk} lanes wide"));
+    }
+    let out_of_range = log.rejected.iter().filter(|&&p| p >= n).count();
+    if out_of_range > 0 {
+        violations.push(format!(
+            "log shape violated: {out_of_range} rejected entr(ies) name unknown principals"
+        ));
+    }
+    let mut seen = log.rejected.to_vec();
+    seen.sort_unstable();
+    seen.dedup();
+    if seen.len() != log.rejected.len() {
+        violations.push("log shape violated: rejected list contains duplicates".to_string());
+    }
+    if bad_rows > 0 {
+        return violations; // per-lane sums below would be meaningless
+    }
+
+    // 2. Conservation ("stolen units"): each lane's allocations are
+    //    non-negative and sum to at most its pool.
+    for r in 0..rk {
+        let total: f64 = log.allocated.iter().map(|row| row[r]).sum();
+        let negatives = log.allocated.iter().filter(|row| row[r] < 0.0).count();
+        if negatives > 0 {
+            violations.push(format!(
+                "conservation violated in lane {r}: {negatives} negative allocation(s)"
+            ));
+        }
+        if total > log.capacity[r] * (1.0 + REL_TOL) + REL_TOL {
+            violations.push(format!(
+                "conservation violated in lane {r}: {total} allocated of {} capacity",
+                log.capacity[r]
+            ));
+        }
+    }
+
+    // 3. Share fidelity ("drifted shares"): the reported dominant shares
+    //    match recomputation from the log.
+    let shares = dominant_shares(&log.capacity, &log.allocated);
+    if report.dominant_shares.len() != n {
+        violations.push(format!(
+            "share fidelity violated: report covers {} principals, log has {n}",
+            report.dominant_shares.len()
+        ));
+    } else {
+        let drifted = shares
+            .iter()
+            .zip(&report.dominant_shares)
+            .filter(|&(&want, &got)| !close(got, want))
+            .count();
+        if drifted > 0 {
+            let (p, (&want, &got)) = shares
+                .iter()
+                .zip(&report.dominant_shares)
+                .enumerate()
+                .find(|(_, (&want, &got))| !close(got, want))
+                .expect("drifted share exists");
+            violations.push(format!(
+                "share fidelity violated: {drifted} share(s) drifted \
+                 (e.g. principal {p}: reported {got}, recomputed {want})"
+            ));
+        }
+    }
+
+    // 4. Envy accounting ("fabricated envy"): the reported counts match
+    //    a recount from the recomputed shares.
+    let (pairs, complaints) = count_envy(&shares, &log.rejected);
+    if report.envy_pairs != pairs {
+        violations.push(format!(
+            "envy accounting violated: reported {} envy pair(s), recounted {pairs}",
+            report.envy_pairs
+        ));
+    }
+    if report.justified_complaints != complaints {
+        violations.push(format!(
+            "envy accounting violated: reported {} justified complaint(s), recounted {complaints}",
+            report.justified_complaints
+        ));
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two lanes, three principals: p0 CPU-heavy, p1 bandwidth-heavy,
+    /// p2 starved and rejected. p2 envies both (two pairs, one
+    /// justified complaint).
+    fn sample() -> EpochLog {
+        EpochLog {
+            capacity: vec![10.0, 5.0],
+            allocated: vec![vec![6.0, 0.5], vec![1.0, 3.0], vec![0.5, 0.25]],
+            rejected: vec![2],
+        }
+    }
+
+    #[test]
+    fn dominant_share_is_the_max_lane_fraction() {
+        let log = sample();
+        let s = dominant_shares(&log.capacity, &log.allocated);
+        assert!((s[0] - 0.6).abs() < 1e-12, "p0 dominates CPU: 6/10");
+        assert!((s[1] - 0.6).abs() < 1e-12, "p1 dominates bandwidth: 3/5");
+        assert!((s[2] - 0.05).abs() < 1e-12, "p2's max is 0.5/10 = 0.25/5");
+    }
+
+    #[test]
+    fn analyze_counts_envy_from_the_rejected_side_only() {
+        let r = analyze_epoch(&sample());
+        assert_eq!(r.envy_pairs, 2, "p2 envies p0 and p1");
+        assert_eq!(r.justified_complaints, 1);
+        // A rejected principal already holding the top share has no
+        // justified complaint.
+        let mut log = sample();
+        log.rejected = vec![0];
+        let r = analyze_epoch(&log);
+        assert_eq!(r.envy_pairs, 0);
+        assert_eq!(r.justified_complaints, 0);
+        // No rejections, no envy — regardless of share spread.
+        let mut log = sample();
+        log.rejected.clear();
+        assert_eq!(analyze_epoch(&log).envy_pairs, 0);
+    }
+
+    #[test]
+    fn tied_shares_do_not_register_envy() {
+        let log = EpochLog {
+            capacity: vec![4.0],
+            allocated: vec![vec![1.0], vec![1.0 + 0.5 * SHARE_EPS]],
+            rejected: vec![0],
+        };
+        let r = analyze_epoch(&log);
+        assert_eq!(r.envy_pairs, 0, "within-eps difference is a tie");
+    }
+
+    #[test]
+    fn faithful_report_passes() {
+        let log = sample();
+        let report = analyze_epoch(&log);
+        let v = check_fairness(&log, &report);
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
+    }
+
+    #[test]
+    fn stolen_units_are_caught() {
+        let mut log = sample();
+        let report = analyze_epoch(&log);
+        // A lane allocated beyond its pool.
+        log.allocated[0][1] = 4.0; // lane 1 now sums to 7.25 of 5.0
+        let v = check_fairness(&log, &report);
+        assert!(v.iter().any(|l| l.contains("conservation")), "got {v:?}");
+        // A negative allocation.
+        let mut log = sample();
+        log.allocated[1][0] = -0.5;
+        let v = check_fairness(&log, &analyze_epoch(&sample()));
+        assert!(v.iter().any(|l| l.contains("negative")), "got {v:?}");
+    }
+
+    #[test]
+    fn drifted_shares_are_caught() {
+        let log = sample();
+        let mut report = analyze_epoch(&log);
+        report.dominant_shares[1] += 0.01;
+        let v = check_fairness(&log, &report);
+        assert!(v.iter().any(|l| l.contains("share fidelity")), "got {v:?}");
+        // Within-tolerance drift is accepted (replay-order resummation).
+        let mut report = analyze_epoch(&log);
+        report.dominant_shares[1] += 0.1 * REL_TOL;
+        assert!(check_fairness(&log, &report).is_empty());
+    }
+
+    #[test]
+    fn fabricated_envy_is_caught() {
+        let log = sample();
+        let mut report = analyze_epoch(&log);
+        report.envy_pairs += 1;
+        let v = check_fairness(&log, &report);
+        assert!(v.iter().any(|l| l.contains("envy pair")), "got {v:?}");
+        let mut report = analyze_epoch(&log);
+        report.justified_complaints = 0;
+        let v = check_fairness(&log, &report);
+        assert!(v.iter().any(|l| l.contains("justified complaint")), "got {v:?}");
+    }
+
+    #[test]
+    fn malformed_logs_are_refused() {
+        let mut log = sample();
+        log.allocated[1] = vec![1.0]; // wrong lane count
+        assert!(!check_fairness(&log, &analyze_epoch(&sample())).is_empty());
+        let mut log = sample();
+        log.rejected = vec![2, 2];
+        assert!(check_fairness(&log, &analyze_epoch(&log))
+            .iter()
+            .any(|l| l.contains("duplicates")));
+        let mut log = sample();
+        log.rejected = vec![9];
+        assert!(check_fairness(&log, &analyze_epoch(&log))
+            .iter()
+            .any(|l| l.contains("unknown principals")));
+    }
+}

@@ -8,6 +8,8 @@
 //! `EXPERIMENTS.md`.
 
 pub mod checker;
+pub mod fairness;
+pub mod multires;
 
 use agreements_flow::{AgreementMatrix, Structure};
 use agreements_proxysim::{PolicyKind, SharingConfig, SimConfig, SimResult, Simulator};

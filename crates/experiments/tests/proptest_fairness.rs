@@ -1,0 +1,216 @@
+//! Property oracle for the DRF fairness checker.
+//!
+//! Two sides of the same coin, in the `proptest_checker.rs` mold:
+//! (1) **soundness of the pass verdict** — any epoch log synthesized to
+//! respect the invariants (lane-conservative, non-negative allocations,
+//! well-formed rejected set) paired with its own honestly computed
+//! report passes, and keeps passing when the rejected list is permuted
+//! (the metrics are set-valued, not sequence-valued); (2) **sensitivity**
+//! — each of the three mutation classes the scaled replay could emit if
+//! buggy is caught: **stolen units** (a lane's allocations inflated past
+//! its pool, or pushed negative), **drifted shares** (a reported
+//! dominant share nudged beyond tolerance), and **fabricated envy**
+//! (envy-pair or justified-complaint counts that disagree with the log).
+
+use agreements_experiments::fairness::{
+    analyze_epoch, check_fairness, dominant_shares, EpochLog, FairnessReport, REL_TOL,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    capacity: Vec<f64>,
+    /// Per-principal, per-lane allocation *fractions* of each lane's
+    /// pool; realized so each lane's column sums below its capacity.
+    fracs: Vec<Vec<f64>>,
+    /// Rejection coin per principal.
+    rejected: Vec<bool>,
+    /// Argsort keys permuting the rejected list (no shuffle combinator
+    /// in the vendored proptest).
+    keys: Vec<u64>,
+    /// Mutation targets, reduced modulo the relevant dimension.
+    pick_principal: usize,
+    pick_lane: usize,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (2usize..=8, 1usize..=3).prop_flat_map(|(n, rk)| {
+        (
+            proptest::collection::vec(1u32..=40, rk),
+            proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, rk), n),
+            proptest::collection::vec(any::<bool>(), n),
+            proptest::collection::vec(0u64..u64::MAX, n),
+            0usize..n,
+            0usize..rk,
+        )
+            .prop_map(
+                |(capacity, fracs, mut rejected, keys, pick_principal, pick_lane)| {
+                    // Guarantee at least one rejected principal so the envy
+                    // mutations below have something to corrupt.
+                    rejected[0] = true;
+                    Scenario {
+                        capacity: capacity.into_iter().map(f64::from).collect(),
+                        fracs,
+                        rejected,
+                        keys,
+                        pick_principal,
+                        pick_lane,
+                    }
+                },
+            )
+    })
+}
+
+/// Realize the fractions into a conservative log: lane `r`'s column is
+/// scaled so its sum is at most 90% of the pool, so conservation holds
+/// with margin and every allocation is non-negative by construction.
+fn realize(sc: &Scenario) -> EpochLog {
+    let n = sc.fracs.len();
+    let rk = sc.capacity.len();
+    let mut allocated = vec![vec![0.0f64; rk]; n];
+    for r in 0..rk {
+        let raw: f64 = sc.fracs.iter().map(|row| row[r]).sum();
+        let scale = if raw > 0.0 { 0.9 * sc.capacity[r] / raw.max(1.0) } else { 0.0 };
+        for (i, row) in sc.fracs.iter().enumerate() {
+            allocated[i][r] = row[r] * scale;
+        }
+    }
+    let rejected = (0..n).filter(|&p| sc.rejected[p]).collect();
+    EpochLog { capacity: sc.capacity.clone(), allocated, rejected }
+}
+
+fn permuted_rejected(log: &EpochLog, keys: &[u64]) -> Vec<usize> {
+    let mut order = log.rejected.clone();
+    order.sort_by_key(|&p| keys[p]);
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// An honest report over a conservative log passes, in any order of
+    /// the rejected list, and the report itself is order-insensitive.
+    #[test]
+    fn honest_reports_pass(sc in arb_scenario()) {
+        let log = realize(&sc);
+        let report = analyze_epoch(&log);
+        let v = check_fairness(&log, &report);
+        prop_assert!(v.is_empty(), "honest report rejected: {v:?}");
+
+        let mut shuffled = log.clone();
+        shuffled.rejected = permuted_rejected(&log, &sc.keys);
+        prop_assert_eq!(&analyze_epoch(&shuffled), &report,
+            "metrics must not depend on rejected-list order");
+        let v = check_fairness(&shuffled, &report);
+        prop_assert!(v.is_empty(), "permuted log rejected: {v:?}");
+    }
+
+    /// Stolen units: inflating any principal's allocation past what the
+    /// lane's pool can cover — or stealing into the negative — is
+    /// caught by the conservation section.
+    #[test]
+    fn stolen_units_are_caught(sc in arb_scenario()) {
+        let log = realize(&sc);
+        let report = analyze_epoch(&log);
+        let (p, r) = (sc.pick_principal, sc.pick_lane);
+
+        let mut over = log.clone();
+        // The realized lane sums to <= 90% of capacity; adding 1.2
+        // pools' worth overflows it regardless of the starting point.
+        over.allocated[p][r] += 1.2 * log.capacity[r];
+        let v = check_fairness(&over, &report);
+        prop_assert!(v.iter().any(|l| l.contains("conservation")),
+            "overdrawn lane not caught: {v:?}");
+
+        let mut negative = log.clone();
+        negative.allocated[p][r] = -0.5;
+        let v = check_fairness(&negative, &report);
+        prop_assert!(v.iter().any(|l| l.contains("conservation")),
+            "negative allocation not caught: {v:?}");
+    }
+
+    /// Drifted shares: nudging one reported dominant share beyond the
+    /// audit tolerance is caught; within-tolerance resummation noise is
+    /// not (the replay accumulates in a different order than the
+    /// auditor).
+    #[test]
+    fn drifted_shares_are_caught(sc in arb_scenario()) {
+        let log = realize(&sc);
+        let mut report = analyze_epoch(&log);
+        let p = sc.pick_principal;
+
+        let mut fine = report.clone();
+        fine.dominant_shares[p] += 0.5 * REL_TOL;
+        prop_assert!(check_fairness(&log, &fine).is_empty(),
+            "within-tolerance drift must pass");
+
+        report.dominant_shares[p] += 3.0 * REL_TOL + 0.01;
+        let v = check_fairness(&log, &report);
+        prop_assert!(v.iter().any(|l| l.contains("share fidelity")),
+            "drifted share not caught: {v:?}");
+    }
+
+    /// Fabricated envy: envy-pair or complaint counts that disagree
+    /// with a recount from the log are caught — in both directions.
+    #[test]
+    fn fabricated_envy_is_caught(sc in arb_scenario()) {
+        let log = realize(&sc);
+        let report = analyze_epoch(&log);
+
+        let more = FairnessReport { envy_pairs: report.envy_pairs + 1, ..report.clone() };
+        let v = check_fairness(&log, &more);
+        prop_assert!(v.iter().any(|l| l.contains("envy pair")),
+            "inflated envy pairs not caught: {v:?}");
+
+        let happier = FairnessReport {
+            justified_complaints: report.justified_complaints + 1,
+            ..report.clone()
+        };
+        let v = check_fairness(&log, &happier);
+        prop_assert!(v.iter().any(|l| l.contains("justified complaint")),
+            "inflated complaints not caught: {v:?}");
+
+        if report.envy_pairs > 0 {
+            let fewer = FairnessReport {
+                envy_pairs: report.envy_pairs - 1,
+                ..report.clone()
+            };
+            let v = check_fairness(&log, &fewer);
+            prop_assert!(v.iter().any(|l| l.contains("envy pair")),
+                "suppressed envy pairs not caught: {v:?}");
+        }
+    }
+
+    /// Cross-validation against first principles: the dominant share is
+    /// literally the max over lanes of allocated/capacity, and every
+    /// envy pair's shares actually satisfy the defining inequality.
+    #[test]
+    fn report_matches_first_principles(sc in arb_scenario()) {
+        let log = realize(&sc);
+        let report = analyze_epoch(&log);
+        let shares = dominant_shares(&log.capacity, &log.allocated);
+        for (i, row) in log.allocated.iter().enumerate() {
+            let want = row
+                .iter()
+                .zip(&log.capacity)
+                .map(|(&a, &c)| a / c)
+                .fold(0.0f64, f64::max);
+            prop_assert!((shares[i] - want).abs() <= 1e-12);
+        }
+        // Recount envy pairs the slow, definitional way.
+        let mut pairs = 0usize;
+        let mut complaints = 0usize;
+        for &i in &log.rejected {
+            let mut envied = 0usize;
+            for (j, &s) in shares.iter().enumerate() {
+                if j != i && s > shares[i] + 1e-9 {
+                    envied += 1;
+                }
+            }
+            pairs += envied;
+            complaints += usize::from(envied > 0);
+        }
+        prop_assert_eq!(report.envy_pairs, pairs);
+        prop_assert_eq!(report.justified_complaints, complaints);
+    }
+}

@@ -142,6 +142,7 @@ impl Lrm {
                         requester: self.id,
                         capacity: pool,
                         requested: amount,
+                        resource: None,
                     }));
                 }
                 self.degraded.lock().push((id, amount));

@@ -10,8 +10,9 @@
 
 use agreements_flow::{AgreementMatrix, FlowError, IncrementalFlow};
 use agreements_sched::{
-    admission_bound, exceeds_bound, AdmissionRequest, Allocation, AllocationSolver,
-    BatchedAdmission, HierarchicalScheduler, SchedError, SystemState,
+    admission_bound, exceeds_bound, first_binding_resource, AdmissionRequest, Allocation,
+    AllocationSolver, BatchedAdmission, HierarchicalScheduler, MultiAdmission, MultiAllocation,
+    MultiSolver, SchedError, SystemState,
 };
 use agreements_telemetry::{HistKind, Telemetry, TelemetryEvent};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -149,6 +150,8 @@ pub const DEDUP_WINDOW: usize = 1024;
 pub enum RecordedDecision {
     /// The id decided an allocation request.
     Grant(Result<Allocation, GrmError>),
+    /// The id decided a multi-resource allocation request.
+    GrantMulti(Result<MultiAllocation, GrmError>),
     /// The id decided a release.
     Release(Result<(), GrmError>),
     /// The id decided a degraded-grant replay.
@@ -181,6 +184,20 @@ enum Msg {
         /// a clock read, so it is only taken when someone will look).
         enqueued: Option<Instant>,
         reply: Sender<Result<Allocation, GrmError>>,
+    },
+    RequestMulti {
+        lrm: usize,
+        amounts: Vec<f64>,
+        req_id: Option<RequestId>,
+        enqueued: Option<Instant>,
+        reply: Sender<Result<MultiAllocation, GrmError>>,
+    },
+    ReportMulti {
+        lrm: usize,
+        available: Vec<f64>,
+    },
+    AvailabilityMulti {
+        reply: Sender<Result<Vec<Vec<f64>>, GrmError>>,
     },
     Release {
         alloc: Allocation,
@@ -382,6 +399,65 @@ impl GrmHandle {
             .send(Msg::Request { lrm, amount, req_id, enqueued: self.telemetry.start(), reply })
             .map_err(|_| GrmError::Disconnected)?;
         Ok(rx)
+    }
+
+    /// Multi-resource availability report: LRM `lrm`'s free capacity in
+    /// every resource lane (the server's lane order; see
+    /// [`GrmHandle::availability_multi`]). Single-resource GRMs ignore
+    /// multi reports, as flat GRMs ignore malformed single ones.
+    pub fn report_multi(&self, lrm: usize, available: Vec<f64>) -> Result<(), GrmError> {
+        self.tx.send(Msg::ReportMulti { lrm, available }).map_err(|_| GrmError::Disconnected)
+    }
+
+    /// Multi-resource allocation RPC: LRM `lrm` requests `amounts`
+    /// units, one entry per resource lane, granted only when **every**
+    /// lane's LP admits; a capacity rejection names the binding
+    /// resource. Single-resource GRMs answer
+    /// [`GrmError::Unsupported`].
+    pub fn request_multi(&self, lrm: usize, amounts: &[f64]) -> Result<MultiAllocation, GrmError> {
+        let rx = self.issue_request_multi(lrm, amounts.to_vec(), None)?;
+        rx.recv().map_err(|_| GrmError::Disconnected)?
+    }
+
+    /// [`GrmHandle::request_multi`] with an idempotency id: a duplicated
+    /// or retried send inside the dedup window replays the original
+    /// multi-resource decision instead of granting twice.
+    pub fn request_multi_idempotent(
+        &self,
+        lrm: usize,
+        amounts: &[f64],
+        req_id: RequestId,
+    ) -> Result<MultiAllocation, GrmError> {
+        let rx = self.issue_request_multi(lrm, amounts.to_vec(), Some(req_id))?;
+        rx.recv().map_err(|_| GrmError::Disconnected)?
+    }
+
+    pub(crate) fn issue_request_multi(
+        &self,
+        lrm: usize,
+        amounts: Vec<f64>,
+        req_id: Option<RequestId>,
+    ) -> Result<Receiver<Result<MultiAllocation, GrmError>>, GrmError> {
+        let (reply, rx) = unbounded();
+        self.tx
+            .send(Msg::RequestMulti {
+                lrm,
+                amounts,
+                req_id,
+                enqueued: self.telemetry.start(),
+                reply,
+            })
+            .map_err(|_| GrmError::Disconnected)?;
+        Ok(rx)
+    }
+
+    /// Snapshot of a multi-resource GRM's per-lane availability view
+    /// (outer index = resource lane, inner = principal).
+    /// Single-resource GRMs answer [`GrmError::Unsupported`].
+    pub fn availability_multi(&self) -> Result<Vec<Vec<f64>>, GrmError> {
+        let (reply, rx) = unbounded();
+        self.tx.send(Msg::AvailabilityMulti { reply }).map_err(|_| GrmError::Disconnected)?;
+        rx.recv().map_err(|_| GrmError::Disconnected)?
     }
 
     /// Send a request without blocking for the decision; returns the
@@ -682,6 +758,70 @@ impl GrmServer {
         GrmServer { handle: GrmHandle { tx: tx.clone(), telemetry }, control: tx, join: Some(join) }
     }
 
+    /// Spawn a **multi-resource** GRM: one warm LP lane per resource
+    /// name, all over the same agreement economy (the agreements govern
+    /// the principals, not any single resource). Clients use
+    /// [`GrmHandle::request_multi`] / [`GrmHandle::report_multi`] /
+    /// [`GrmHandle::availability_multi`]; a request is granted only when
+    /// every lane's LP admits it, and a capacity rejection names the
+    /// binding resource. The single-resource RPCs
+    /// (`request`/`release`/`replay_grant`) and membership/agreement
+    /// mutations answer [`GrmError::Unsupported`] — the engines do not
+    /// mix inside one server.
+    pub fn spawn_multi(
+        names: Vec<&'static str>,
+        agreements: AgreementMatrix,
+        level: usize,
+    ) -> GrmServer {
+        Self::spawn_multi_with_telemetry(names, agreements, level, Telemetry::default())
+    }
+
+    /// [`GrmServer::spawn_multi`] with a telemetry plane attached.
+    pub fn spawn_multi_with_telemetry(
+        names: Vec<&'static str>,
+        agreements: AgreementMatrix,
+        level: usize,
+        telemetry: Telemetry,
+    ) -> GrmServer {
+        let (tx, rx) = unbounded();
+        let thread_telemetry = telemetry.clone();
+        let join = std::thread::Builder::new()
+            .name("grm-server".into())
+            .spawn(move || {
+                let core =
+                    ServerCore::multi_flat(names, agreements, level, thread_telemetry.clone());
+                serve_core(core, rx, thread_telemetry);
+            })
+            .expect("spawn GRM thread");
+        GrmServer { handle: GrmHandle { tx: tx.clone(), telemetry }, control: tx, join: Some(join) }
+    }
+
+    /// Spawn a multi-resource GRM whose lanes are hierarchical: one
+    /// [`HierarchicalScheduler`] per resource over a shared partition,
+    /// wrapped in [`MultiAdmission`]. Same RPC surface as
+    /// [`GrmServer::spawn_multi`]; inter-group renegotiation via
+    /// [`GrmHandle::set_inter_group`] applies to every lane.
+    pub fn spawn_multi_hierarchical(front: MultiAdmission) -> GrmServer {
+        Self::spawn_multi_hierarchical_with_telemetry(front, Telemetry::default())
+    }
+
+    /// [`GrmServer::spawn_multi_hierarchical`] with a telemetry plane.
+    pub fn spawn_multi_hierarchical_with_telemetry(
+        front: MultiAdmission,
+        telemetry: Telemetry,
+    ) -> GrmServer {
+        let (tx, rx) = unbounded();
+        let thread_telemetry = telemetry.clone();
+        let join = std::thread::Builder::new()
+            .name("grm-server".into())
+            .spawn(move || {
+                let core = ServerCore::multi_hierarchical(front, thread_telemetry.clone());
+                serve_core(core, rx, thread_telemetry);
+            })
+            .expect("spawn GRM thread");
+        GrmServer { handle: GrmHandle { tx: tx.clone(), telemetry }, control: tx, join: Some(join) }
+    }
+
     fn spawn_inner(
         agreements: AgreementMatrix,
         level: usize,
@@ -766,6 +906,7 @@ enum RunSlot {
 /// What the server remembers about an already-decided idempotent call.
 enum CachedReply {
     Grant(Result<Allocation, GrmError>),
+    GrantMulti(Result<MultiAllocation, GrmError>),
     Release(Result<(), GrmError>),
     Replay(Result<(), GrmError>),
 }
@@ -774,8 +915,82 @@ impl From<RecordedDecision> for CachedReply {
     fn from(d: RecordedDecision) -> Self {
         match d {
             RecordedDecision::Grant(r) => CachedReply::Grant(r),
+            RecordedDecision::GrantMulti(r) => CachedReply::GrantMulti(r),
             RecordedDecision::Release(r) => CachedReply::Release(r),
             RecordedDecision::Replay(r) => CachedReply::Replay(r),
+        }
+    }
+}
+
+/// The multi-resource decision engine, mirroring the single-resource
+/// engine split (flat LP vs hierarchical front door) one level up.
+/// Exactly one engine family is live per server: a multi core's flat
+/// `state`/`policy` machinery is retained only for the shared
+/// lease/clock plumbing and is never consulted for a decision.
+enum MultiEngine {
+    /// One warm LP lane per resource over a shared agreement economy.
+    Flat {
+        /// Per-lane persistent state: each shares the core's flow
+        /// snapshot but owns its availability vector.
+        states: Vec<SystemState>,
+        solver: MultiSolver,
+        /// Fast-reject bound scratch.
+        bound: Vec<f64>,
+    },
+    /// One hierarchical scheduler per resource behind [`MultiAdmission`].
+    Hier {
+        front: MultiAdmission,
+        /// Per-lane availability (outer = resource, inner = principal).
+        avail: Vec<Vec<f64>>,
+    },
+}
+
+impl MultiEngine {
+    fn num_resources(&self) -> usize {
+        match self {
+            MultiEngine::Flat { states, .. } => states.len(),
+            MultiEngine::Hier { front, .. } => front.num_resources(),
+        }
+    }
+
+    /// Write one LRM's per-lane availability (validated by the caller).
+    fn set_availability(&mut self, lrm: usize, available: &[f64]) {
+        match self {
+            MultiEngine::Flat { states, .. } => {
+                for (st, &v) in states.iter_mut().zip(available) {
+                    st.availability[lrm] = v;
+                }
+            }
+            MultiEngine::Hier { avail, .. } => {
+                for (lane, &v) in avail.iter_mut().zip(available) {
+                    lane[lrm] = v;
+                }
+            }
+        }
+    }
+
+    /// Zero one LRM's availability in every lane (lease expiry).
+    fn zero_principal(&mut self, lrm: usize) {
+        match self {
+            MultiEngine::Flat { states, .. } => {
+                for st in states.iter_mut() {
+                    st.availability[lrm] = 0.0;
+                }
+            }
+            MultiEngine::Hier { avail, .. } => {
+                for lane in avail.iter_mut() {
+                    lane[lrm] = 0.0;
+                }
+            }
+        }
+    }
+
+    fn availability(&self) -> Vec<Vec<f64>> {
+        match self {
+            MultiEngine::Flat { states, .. } => {
+                states.iter().map(|st| st.availability.clone()).collect()
+            }
+            MultiEngine::Hier { avail, .. } => avail.clone(),
         }
     }
 }
@@ -873,6 +1088,10 @@ struct ServerCore {
     /// (the executor keeps a cumulative counter; telemetry counters are
     /// additive, so the server publishes deltas).
     last_fallbacks: u64,
+    /// The multi-resource decision engine. `Some` makes this a
+    /// multi-resource server: `RequestMulti`/`ReportMulti` are the data
+    /// path and the single-resource RPCs answer `Unsupported`.
+    multi: Option<MultiEngine>,
 }
 
 impl ServerCore {
@@ -910,6 +1129,7 @@ impl ServerCore {
             telemetry,
             front: None,
             last_fallbacks: 0,
+            multi: None,
         }
     }
 
@@ -924,6 +1144,44 @@ impl ServerCore {
         front.set_telemetry(telemetry.clone());
         let mut core = Self::with_telemetry(AgreementMatrix::zeros(n), 1, telemetry);
         core.front = Some(front);
+        core
+    }
+
+    /// A flat multi-resource core: one warm LP lane per resource name,
+    /// every lane's [`SystemState`] sharing the core's flow snapshot
+    /// over the given economy. The core's own `state`/`policy` stay (the
+    /// lease machinery and snapshot plumbing are one code path) but are
+    /// never consulted for a decision.
+    fn multi_flat(
+        names: Vec<&'static str>,
+        agreements: AgreementMatrix,
+        level: usize,
+        telemetry: Telemetry,
+    ) -> ServerCore {
+        let n = agreements.n();
+        let mut core = Self::with_telemetry(agreements, level, telemetry.clone());
+        let states = (0..names.len())
+            .map(|_| SystemState {
+                flow: core.incflow.snapshot(),
+                absolute: None,
+                availability: vec![0.0; n],
+            })
+            .collect();
+        let mut solver = MultiSolver::reduced(names);
+        solver.set_telemetry(telemetry);
+        core.multi = Some(MultiEngine::Flat { states, solver, bound: Vec::new() });
+        core
+    }
+
+    /// A hierarchical multi-resource core over a prebuilt
+    /// [`MultiAdmission`] (the lanes share one partition by
+    /// construction).
+    fn multi_hierarchical(mut front: MultiAdmission, telemetry: Telemetry) -> ServerCore {
+        let n = front.num_principals();
+        let rk = front.num_resources();
+        front.set_telemetry(telemetry.clone());
+        let mut core = Self::with_telemetry(AgreementMatrix::zeros(n), 1, telemetry);
+        core.multi = Some(MultiEngine::Hier { front, avail: vec![vec![0.0; n]; rk] });
         core
     }
 
@@ -952,11 +1210,36 @@ impl ServerCore {
         }
     }
 
+    /// Apply one multi-resource availability report: all lanes of one
+    /// LRM move together (a torn report — some lanes fresh, some stale —
+    /// would let a request be judged against a view no report ever
+    /// described). Malformed reports are dropped, as on the flat path;
+    /// multi reports are not run-coalesced (they are rare relative to
+    /// request traffic).
+    fn apply_report_multi(&mut self, lrm: usize, available: &[f64]) {
+        let n = self.state.n();
+        let Some(multi) = self.multi.as_mut() else { return };
+        if lrm < n
+            && available.len() == multi.num_resources()
+            && available.iter().all(|v| v.is_finite() && *v >= 0.0)
+        {
+            multi.set_availability(lrm, available);
+            self.last_report[lrm] = self.clock;
+            self.stats.reports += 1;
+        }
+    }
+
     fn apply_tick(&mut self, now: u64, lease: u64) {
         self.clock = self.clock.max(now);
         for i in 0..self.state.n() {
             if self.clock.saturating_sub(self.last_report[i]) > lease {
                 self.state.availability[i] = 0.0;
+                // A lease-expired LRM vanishes from every resource lane
+                // at once — scheduling any lane against a dead LRM is as
+                // wrong as scheduling the only one.
+                if let Some(multi) = self.multi.as_mut() {
+                    multi.zero_principal(i);
+                }
             }
         }
     }
@@ -1054,6 +1337,7 @@ impl ServerCore {
                     requester: lrm,
                     capacity: reachable,
                     requested: amount,
+                    resource: None,
                 }));
             }
         }
@@ -1072,6 +1356,76 @@ impl ServerCore {
                     theta: alloc.theta,
                     draws: alloc.draws.clone(),
                 });
+                Ok(alloc)
+            }
+            Err(e) => {
+                if matches!(e, SchedError::InsufficientCapacity { .. }) {
+                    self.stats.rejected_capacity += 1;
+                }
+                Err(GrmError::Sched(e))
+            }
+        }
+    }
+
+    /// Decide an in-range multi-resource request. Flat engine: the
+    /// poisoned-availability and capacity fast-reject guards mirror
+    /// [`ServerCore::decide`] lane by lane — the fast reject runs only
+    /// when every amount is valid (an invalid amount must surface as the
+    /// lane-ordered validation error the solver would report, not as a
+    /// later lane's capacity verdict) and produces exactly the tagged
+    /// error the solver's own lane-order evaluation would. Hierarchical
+    /// engine: [`MultiAdmission::admit_one`] carries its own guards.
+    /// Either way the grant commits every lane or none.
+    fn decide_multi(&mut self, lrm: usize, amounts: &[f64]) -> Result<MultiAllocation, GrmError> {
+        let multi = self.multi.as_mut().expect("multi engine");
+        let res = match multi {
+            MultiEngine::Flat { states, solver, bound } => {
+                if let Some(bad) = states
+                    .iter()
+                    .flat_map(|st| st.availability.iter())
+                    .copied()
+                    .find(|v| !v.is_finite() || *v < 0.0)
+                {
+                    return Err(GrmError::Sched(SchedError::InvalidRequest { amount: bad }));
+                }
+                if amounts.len() == states.len()
+                    && amounts.iter().all(|a| a.is_finite() && *a >= 0.0)
+                {
+                    if let Some((lane, reachable)) =
+                        first_binding_resource(states, lrm, amounts, bound)
+                    {
+                        self.stats.fast_rejects += 1;
+                        self.stats.rejected_capacity += 1;
+                        self.telemetry.add("grm.fast_rejects", 1);
+                        self.telemetry.record_with(|| TelemetryEvent::FastReject {
+                            requester: lrm,
+                            requested: amounts[lane],
+                            bound: reachable,
+                            clamped: false,
+                        });
+                        return Err(GrmError::Sched(SchedError::InsufficientCapacity {
+                            requester: lrm,
+                            capacity: reachable,
+                            requested: amounts[lane],
+                            resource: Some(solver.names()[lane]),
+                        }));
+                    }
+                }
+                solver.allocate(states, lrm, amounts).inspect(|alloc| {
+                    for (st, lane) in states.iter_mut().zip(&alloc.lanes) {
+                        for (v, d) in st.availability.iter_mut().zip(&lane.draws) {
+                            *v = (*v - d).max(0.0);
+                        }
+                    }
+                })
+            }
+            MultiEngine::Hier { front, avail } => front.admit_one(avail, lrm, amounts),
+        };
+        match res {
+            Ok(alloc) => {
+                self.stats.granted += 1;
+                self.granted_units.add(alloc.total());
+                self.telemetry.add("grm.granted", 1);
                 Ok(alloc)
             }
             Err(e) => {
@@ -1106,9 +1460,7 @@ impl ServerCore {
                     self.stats.duplicate_requests += 1;
                     let res = match cached {
                         CachedReply::Grant(r) => r.clone(),
-                        CachedReply::Release(_) | CachedReply::Replay(_) => {
-                            Err(GrmError::Sched(SchedError::InvalidRequest { amount: q.amount }))
-                        }
+                        _ => Err(GrmError::Sched(SchedError::InvalidRequest { amount: q.amount })),
                     };
                     let _ = q.reply.send(res);
                     slots.push(RunSlot::Answered);
@@ -1205,10 +1557,11 @@ impl ServerCore {
                 self.apply_tick(now, lease);
             }
             Msg::Join { reply } => {
-                if self.front.is_some() {
-                    // The hierarchical partition is fixed at
-                    // construction; `Sender<usize>` cannot carry an
-                    // error, so the sentinel answers "no index".
+                if self.front.is_some() || self.multi.is_some() {
+                    // The hierarchical partition (and a multi engine's
+                    // lane dimensions) are fixed at construction;
+                    // `Sender<usize>` cannot carry an error, so the
+                    // sentinel answers "no index".
                     let _ = reply.send(usize::MAX);
                     return true;
                 }
@@ -1225,6 +1578,8 @@ impl ServerCore {
             Msg::Leave { lrm, reply } => {
                 let res = if self.front.is_some() {
                     Err(GrmError::Unsupported("leave on a hierarchical GRM (fixed partition)"))
+                } else if self.multi.is_some() {
+                    Err(GrmError::Unsupported("leave on a multi-resource GRM (fixed membership)"))
                 } else if lrm < n {
                     self.incflow.isolate(lrm).map_err(GrmError::Flow).map(|()| {
                         self.state.availability[lrm] = 0.0;
@@ -1246,9 +1601,7 @@ impl ServerCore {
                             CachedReply::Grant(r) => r.clone(),
                             // An id reused across call kinds is a client
                             // bug; fail the request rather than grant.
-                            CachedReply::Release(_) | CachedReply::Replay(_) => {
-                                Err(GrmError::Sched(SchedError::InvalidRequest { amount }))
-                            }
+                            _ => Err(GrmError::Sched(SchedError::InvalidRequest { amount })),
                         };
                         let _ = reply.send(res);
                         return true;
@@ -1257,7 +1610,11 @@ impl ServerCore {
                 self.stats.requests += 1;
                 self.telemetry.add("grm.requests", 1);
                 let span = self.telemetry.start();
-                let res = if lrm >= n {
+                let res = if self.multi.is_some() {
+                    Err(GrmError::Unsupported(
+                        "single-resource request on a multi-resource GRM; use request_multi",
+                    ))
+                } else if lrm >= n {
                     Err(GrmError::UnknownLrm(lrm))
                 } else if self.front.is_some() {
                     self.decide_hier(lrm, amount)
@@ -1270,13 +1627,60 @@ impl ServerCore {
                 }
                 let _ = reply.send(res);
             }
+            Msg::RequestMulti { lrm, amounts, req_id, enqueued, reply } => {
+                self.telemetry.stop(HistKind::QueueWaitSeconds, enqueued);
+                if let Some(id) = req_id {
+                    if let Some(cached) = self.dedup.get(&id) {
+                        self.stats.duplicate_requests += 1;
+                        let res = match cached {
+                            CachedReply::GrantMulti(r) => r.clone(),
+                            // An id reused across call kinds is a client
+                            // bug; fail the request rather than grant.
+                            _ => Err(GrmError::Sched(SchedError::InvalidRequest {
+                                amount: amounts.first().copied().unwrap_or(f64::NAN),
+                            })),
+                        };
+                        let _ = reply.send(res);
+                        return true;
+                    }
+                }
+                self.stats.requests += 1;
+                self.telemetry.add("grm.requests", 1);
+                let span = self.telemetry.start();
+                let res = if self.multi.is_none() {
+                    Err(GrmError::Unsupported("multi-resource request on a single-resource GRM"))
+                } else if lrm >= n {
+                    Err(GrmError::UnknownLrm(lrm))
+                } else {
+                    self.decide_multi(lrm, &amounts)
+                };
+                self.telemetry.stop(HistKind::RequestLatencySeconds, span);
+                if let Some(id) = req_id {
+                    self.dedup.insert(id, CachedReply::GrantMulti(res.clone()));
+                }
+                let _ = reply.send(res);
+            }
+            Msg::ReportMulti { lrm, available } => {
+                self.apply_report_multi(lrm, &available);
+            }
+            Msg::AvailabilityMulti { reply } => {
+                let res = match &self.multi {
+                    Some(engine) => Ok(engine.availability()),
+                    None => {
+                        Err(GrmError::Unsupported("availability_multi on a single-resource GRM"))
+                    }
+                };
+                let _ = reply.send(res);
+            }
             Msg::Release { alloc, req_id, reply } => {
                 if let Some(id) = req_id {
                     if let Some(cached) = self.dedup.get(&id) {
                         self.stats.duplicate_requests += 1;
                         let res = match cached {
                             CachedReply::Release(r) => r.clone(),
-                            CachedReply::Grant(_) | CachedReply::Replay(_) => {
+                            CachedReply::Grant(_)
+                            | CachedReply::GrantMulti(_)
+                            | CachedReply::Replay(_) => {
                                 Err(GrmError::Sched(SchedError::InvalidRequest {
                                     amount: alloc.amount,
                                 }))
@@ -1286,7 +1690,11 @@ impl ServerCore {
                         return true;
                     }
                 }
-                let res = if alloc.draws.len() != n {
+                let res = if self.multi.is_some() {
+                    // A single-lane release cannot say which lane to
+                    // credit; multi engines are grant-only for now.
+                    Err(GrmError::Unsupported("release on a multi-resource GRM"))
+                } else if alloc.draws.len() != n {
                     Err(GrmError::Sched(SchedError::DimensionMismatch {
                         expected: n,
                         got: alloc.draws.len(),
@@ -1311,15 +1719,21 @@ impl ServerCore {
                         // the client fell back to degraded mode (its
                         // reply was lost): the intent is settled; the
                         // replay must not count it a second time.
-                        CachedReply::Grant(Ok(_)) => Ok(()),
-                        CachedReply::Grant(Err(_)) | CachedReply::Release(_) => {
+                        CachedReply::Grant(Ok(_)) | CachedReply::GrantMulti(Ok(_)) => Ok(()),
+                        CachedReply::Grant(Err(_))
+                        | CachedReply::GrantMulti(Err(_))
+                        | CachedReply::Release(_) => {
                             Err(GrmError::Sched(SchedError::InvalidRequest { amount }))
                         }
                     };
                     let _ = reply.send(res);
                     return true;
                 }
-                let res = if lrm >= n {
+                let res = if self.multi.is_some() {
+                    // Degraded-mode draws are single-pool units; a multi
+                    // LRM has no single pool to have drawn them from.
+                    Err(GrmError::Unsupported("replay_grant on a multi-resource GRM"))
+                } else if lrm >= n {
                     Err(GrmError::UnknownLrm(lrm))
                 } else if !(amount.is_finite() && amount > 0.0) {
                     Err(GrmError::Sched(SchedError::InvalidRequest { amount }))
@@ -1348,6 +1762,12 @@ impl ServerCore {
                     Err(GrmError::Unsupported(
                         "set_agreement on a hierarchical GRM; renegotiate with set_inter_group",
                     ))
+                } else if self.multi.is_some() {
+                    // A flat multi core's lane states hold clones of the
+                    // flow snapshot; renegotiation would have to
+                    // republish into every lane atomically. Out of scope
+                    // until someone needs it.
+                    Err(GrmError::Unsupported("set_agreement on a multi-resource GRM"))
                 } else {
                     self.incflow.set(from, to, share).map_err(GrmError::Flow).map(|rows| {
                         self.stats.agreement_updates += 1;
@@ -1364,7 +1784,27 @@ impl ServerCore {
                 let _ = reply.send(res);
             }
             Msg::SetInterGroup { from_group, to_group, share, reply } => {
-                let res = if let Some(front) = self.front.as_mut() {
+                let res = if let Some(MultiEngine::Hier { front, .. }) = self.multi.as_mut() {
+                    // Renegotiation on a hierarchical multi engine
+                    // applies to every lane: the inter-group agreement
+                    // is between principals, not resources.
+                    match front.set_inter(from_group, to_group, share) {
+                        Ok(rows) => {
+                            self.stats.agreement_updates += 1;
+                            self.telemetry.add("grm.agreement_updates", 1);
+                            self.telemetry.record_with(|| TelemetryEvent::AgreementSet {
+                                from: from_group,
+                                to: to_group,
+                                share,
+                                dirty_rows: rows as u64,
+                            });
+                            Ok(())
+                        }
+                        Err(e) => Err(GrmError::Sched(e)),
+                    }
+                } else if self.multi.is_some() {
+                    Err(GrmError::Unsupported("set_inter_group on a flat multi-resource GRM"))
+                } else if let Some(front) = self.front.as_mut() {
                     match front.set_inter(from_group, to_group, share) {
                         Ok(rows) => {
                             self.stats.agreement_updates += 1;
@@ -2121,6 +2561,7 @@ mod tests {
                 requester,
                 capacity,
                 requested,
+                ..
             }) => {
                 assert_eq!(requester, 0);
                 assert!((capacity - 15.0).abs() < 1e-9, "capacity {capacity}");
@@ -2345,6 +2786,177 @@ mod tests {
         assert!((alloc.amount - 6.0).abs() < 1e-9);
         let avail = h.availability().unwrap();
         assert!((avail.iter().sum::<f64>() - 14.0).abs() < 1e-9);
+        grm.shutdown();
+    }
+
+    // ---- multi-resource engine ----------------------------------------
+
+    fn spawn_two_lane(share: f64) -> GrmServer {
+        GrmServer::spawn_multi(vec!["cpu", "bandwidth"], complete(2, share), 1)
+    }
+
+    /// Satellite of the multi-resource work: a request that fits in CPU
+    /// but not in bandwidth must be rejected *citing bandwidth* — the
+    /// binding resource, not the first lane.
+    #[test]
+    fn multi_rejection_names_the_binding_resource() {
+        let grm = spawn_two_lane(0.5);
+        let h = grm.handle();
+        h.report_multi(0, vec![10.0, 0.2]).unwrap();
+        h.report_multi(1, vec![10.0, 0.2]).unwrap();
+        // CPU reachable for 0: 10 + 0.5*10 = 15; bandwidth: 0.2 + 0.1 = 0.3.
+        let err = h.request_multi(0, &[1.0, 2.0]).unwrap_err();
+        match err {
+            GrmError::Sched(SchedError::InsufficientCapacity {
+                requester,
+                requested,
+                resource,
+                ..
+            }) => {
+                assert_eq!(requester, 0);
+                assert_eq!(resource, Some("bandwidth"), "must cite the binding lane, not cpu");
+                assert!((requested - 2.0).abs() < 1e-12);
+            }
+            other => panic!("expected a bandwidth capacity rejection, got {other:?}"),
+        }
+        // Flip the pressure: now CPU binds and is cited.
+        let err = h.request_multi(0, &[40.0, 0.1]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                GrmError::Sched(SchedError::InsufficientCapacity { resource: Some("cpu"), .. })
+            ),
+            "got {err:?}"
+        );
+        // The rejections moved nothing.
+        let lanes = h.availability_multi().unwrap();
+        assert_eq!(lanes, vec![vec![10.0, 10.0], vec![0.2, 0.2]]);
+        grm.shutdown();
+    }
+
+    #[test]
+    fn multi_grant_commits_every_lane_and_books_the_total() {
+        let grm = spawn_two_lane(0.5);
+        let h = grm.handle();
+        h.report_multi(0, vec![4.0, 3.0]).unwrap();
+        h.report_multi(1, vec![4.0, 3.0]).unwrap();
+        let alloc = h.request_multi(0, &[2.0, 1.0]).unwrap();
+        assert_eq!(alloc.lanes.len(), 2);
+        assert!((alloc.lanes[0].amount - 2.0).abs() < 1e-9);
+        assert!((alloc.lanes[1].amount - 1.0).abs() < 1e-9);
+        let lanes = h.availability_multi().unwrap();
+        assert!((lanes[0].iter().sum::<f64>() - 6.0).abs() < 1e-9, "cpu pool down by 2");
+        assert!((lanes[1].iter().sum::<f64>() - 5.0).abs() < 1e-9, "bandwidth pool down by 1");
+        let stats = h.stats().unwrap();
+        assert_eq!(stats.granted, 1);
+        assert!((stats.granted_units - 3.0).abs() < 1e-9, "units sum across lanes");
+        grm.shutdown();
+    }
+
+    #[test]
+    fn multi_fast_reject_skips_the_solver_and_counts() {
+        let grm = spawn_two_lane(0.5);
+        let h = grm.handle();
+        h.report_multi(0, vec![4.0, 3.0]).unwrap();
+        h.report_multi(1, vec![4.0, 3.0]).unwrap();
+        // Hopeless in bandwidth: reachable is 3 + 1.5 = 4.5.
+        let err = h.request_multi(0, &[1.0, 100.0]).unwrap_err();
+        assert!(matches!(
+            err,
+            GrmError::Sched(SchedError::InsufficientCapacity { resource: Some("bandwidth"), .. })
+        ));
+        let stats = h.stats().unwrap();
+        assert_eq!(stats.fast_rejects, 1);
+        assert_eq!(stats.rejected_capacity, 1);
+        // A grantable request never fast-rejects.
+        h.request_multi(0, &[1.0, 1.0]).unwrap();
+        assert_eq!(h.stats().unwrap().fast_rejects, 1);
+        grm.shutdown();
+    }
+
+    #[test]
+    fn multi_request_is_idempotent_under_the_dedup_window() {
+        let grm = spawn_two_lane(0.5);
+        let h = grm.handle();
+        h.report_multi(0, vec![4.0, 3.0]).unwrap();
+        h.report_multi(1, vec![4.0, 3.0]).unwrap();
+        let id = RequestId { client: 7, seq: 1 };
+        let first = h.request_multi_idempotent(0, &[2.0, 1.0], id).unwrap();
+        let after_first = h.availability_multi().unwrap();
+        let replay = h.request_multi_idempotent(0, &[2.0, 1.0], id).unwrap();
+        assert_eq!(first, replay, "the retry replays the original decision");
+        assert_eq!(h.availability_multi().unwrap(), after_first, "no double grant");
+        let stats = h.stats().unwrap();
+        assert_eq!(stats.requests, 1, "dedup hits are not new requests");
+        assert_eq!(stats.duplicate_requests, 1);
+        // A single-resource call reusing the id is a client bug and fails.
+        assert!(matches!(
+            h.request_idempotent(0, 1.0, id),
+            Err(GrmError::Sched(SchedError::InvalidRequest { .. }))
+        ));
+        grm.shutdown();
+    }
+
+    #[test]
+    fn cross_engine_calls_are_unsupported() {
+        let multi = spawn_two_lane(0.5);
+        let h = multi.handle();
+        h.report_multi(0, vec![4.0, 3.0]).unwrap();
+        assert!(matches!(h.request(0, 1.0), Err(GrmError::Unsupported(_))));
+        assert!(matches!(h.leave(0), Err(GrmError::Unsupported(_))));
+        assert!(matches!(h.set_agreement(0, 1, 0.2), Err(GrmError::Unsupported(_))));
+        assert!(matches!(h.set_inter_group(0, 1, 0.2), Err(GrmError::Unsupported(_))));
+        assert_eq!(h.join().unwrap(), usize::MAX, "fixed membership sentinel");
+        multi.shutdown();
+
+        let flat = GrmServer::spawn(complete(2, 0.5), 1);
+        let h = flat.handle();
+        assert!(matches!(h.request_multi(0, &[1.0, 1.0]), Err(GrmError::Unsupported(_))));
+        assert!(matches!(h.availability_multi(), Err(GrmError::Unsupported(_))));
+        flat.shutdown();
+    }
+
+    #[test]
+    fn multi_lease_expiry_zeroes_every_lane() {
+        let grm = spawn_two_lane(0.5);
+        let h = grm.handle();
+        h.tick(10, 5).unwrap();
+        h.report_multi(0, vec![4.0, 3.0]).unwrap();
+        h.report_multi(1, vec![4.0, 3.0]).unwrap();
+        h.tick(16, 5).unwrap();
+        let lanes = h.availability_multi().unwrap();
+        assert_eq!(lanes, vec![vec![0.0, 0.0], vec![0.0, 0.0]], "stale LRMs vanish everywhere");
+        grm.shutdown();
+    }
+
+    #[test]
+    fn multi_hierarchical_engine_grants_and_renegotiates_all_lanes() {
+        use agreements_sched::MultiAdmission;
+
+        // Two groups of two per lane, symmetric 50% inter-group sharing —
+        // the same shape as `hier_sched`, once per resource.
+        let lanes: Vec<HierarchicalScheduler> = (0..2).map(|_| hier_sched(false)).collect();
+        let front = MultiAdmission::new(vec!["cpu", "bandwidth"], lanes).unwrap();
+        let grm = GrmServer::spawn_multi_hierarchical(front);
+        let h = grm.handle();
+        for p in 0..4 {
+            h.report_multi(p, vec![5.0, 2.0]).unwrap();
+        }
+        let alloc = h.request_multi(0, &[3.0, 1.0]).unwrap();
+        assert!((alloc.total() - 4.0).abs() < 1e-9);
+        let err = h.request_multi(1, &[0.5, 50.0]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                GrmError::Sched(SchedError::InsufficientCapacity {
+                    resource: Some("bandwidth"),
+                    ..
+                })
+            ),
+            "got {err:?}"
+        );
+        // Inter-group renegotiation reaches every lane (no Unsupported).
+        h.set_inter_group(0, 1, 0.9).unwrap();
         grm.shutdown();
     }
 }

@@ -43,7 +43,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use agreements_grm::{GrmClient, GrmError, GrmStats, RequestId};
-use agreements_sched::Allocation;
+use agreements_sched::{Allocation, MultiAllocation};
 use agreements_telemetry::{HistKind, Telemetry};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -146,6 +146,8 @@ enum Pending {
     Unit(Sender<Result<(), GrmError>>),
     Availability(Sender<Result<Vec<f64>, GrmError>>),
     Stats(Sender<Result<GrmStats, GrmError>>),
+    GrantMulti(Sender<Result<MultiAllocation, GrmError>>),
+    AvailabilityMulti(Sender<Result<Vec<Vec<f64>>, GrmError>>),
 }
 
 impl Pending {
@@ -161,6 +163,12 @@ impl Pending {
                 let _ = tx.send(Err(e));
             }
             Pending::Stats(tx) => {
+                let _ = tx.send(Err(e));
+            }
+            Pending::GrantMulti(tx) => {
+                let _ = tx.send(Err(e));
+            }
+            Pending::AvailabilityMulti(tx) => {
                 let _ = tx.send(Err(e));
             }
         }
@@ -183,6 +191,12 @@ impl Pending {
             }
             (Pending::Stats(tx), WireResponse::Stats(s)) => {
                 let _ = tx.send(Ok(*s));
+            }
+            (Pending::GrantMulti(tx), WireResponse::GrantMulti(r)) => {
+                let _ = tx.send(r);
+            }
+            (Pending::AvailabilityMulti(tx), WireResponse::AvailabilityMulti(lanes)) => {
+                let _ = tx.send(Ok(lanes));
             }
             (p, WireResponse::Unit(Err(e))) => p.fail(e),
             (p, _) => p.fail(GrmError::FrameDecode {
@@ -524,6 +538,59 @@ impl NetGrmClient {
             Pending::Grant(tx),
         )?;
         Ok((rx, gen))
+    }
+
+    // ----- multi-resource calls --------------------------------------
+
+    /// Blocking multi-resource allocation request: one amount per lane,
+    /// admitted lane-conjunctively by a multi-engine daemon. A daemon
+    /// serving a single-resource GRM answers [`GrmError::Unsupported`].
+    pub fn request_multi(&self, lrm: usize, amounts: &[f64]) -> Result<MultiAllocation, GrmError> {
+        let (tx, rx) = bounded(1);
+        self.send(
+            WireRequest::RequestMulti { lrm: lrm as u64, amounts: amounts.to_vec(), req_id: None },
+            None,
+            Pending::GrantMulti(tx),
+        )?;
+        rx.recv().map_err(|_| GrmError::ConnectionReset)?
+    }
+
+    /// [`NetGrmClient::request_multi`] with an idempotency id: retries
+    /// reusing `id` replay the original decision out of the daemon's
+    /// dedup window instead of double-granting.
+    pub fn request_multi_idempotent(
+        &self,
+        lrm: usize,
+        amounts: &[f64],
+        id: RequestId,
+    ) -> Result<MultiAllocation, GrmError> {
+        let (tx, rx) = bounded(1);
+        self.send(
+            WireRequest::RequestMulti {
+                lrm: lrm as u64,
+                amounts: amounts.to_vec(),
+                req_id: Some(id),
+            },
+            None,
+            Pending::GrantMulti(tx),
+        )?;
+        rx.recv().map_err(|_| GrmError::ConnectionReset)?
+    }
+
+    /// Fire-and-forget multi-resource availability report (all lanes of
+    /// one LRM move atomically), mirroring [`GrmClient::report`].
+    pub fn report_multi(&self, lrm: usize, available: Vec<f64>) -> Result<(), GrmError> {
+        let (tx, _rx) = bounded(1);
+        self.send(WireRequest::ReportMulti { lrm: lrm as u64, available }, None, Pending::Unit(tx))
+            .map(|_gen| ())
+    }
+
+    /// Blocking snapshot of the daemon's per-lane availability view
+    /// (`[lane][principal]`).
+    pub fn availability_multi(&self) -> Result<Vec<Vec<f64>>, GrmError> {
+        let (tx, rx) = bounded(1);
+        self.send(WireRequest::AvailabilityMulti, None, Pending::AvailabilityMulti(tx))?;
+        rx.recv().map_err(|_| GrmError::ConnectionReset)?
     }
 
     /// Blocking snapshot of the daemon's availability view.

@@ -38,7 +38,7 @@ use std::path::{Path, PathBuf};
 
 use agreements_flow::AgreementMatrix;
 use agreements_grm::{GrmError, GrmServer, RecordedDecision, RequestId};
-use agreements_sched::Allocation;
+use agreements_sched::{Allocation, MultiAllocation};
 use agreements_telemetry::{HistKind, Telemetry};
 
 use crate::frame::{encode_frame_limited, FrameDecoder};
@@ -108,6 +108,12 @@ pub enum DecisionBody {
         /// The decision served to the client.
         result: Result<(), GrmError>,
     },
+    /// A multi-resource allocation decision. Recovery seeds the dedup
+    /// window from it (retries straddling a crash replay the original
+    /// decision) but folds no pool effect: the recovery mirror's
+    /// availability is single-lane, and multi-lane pools are soft state
+    /// rebuilt by the first `ReportMulti` round after a respawn.
+    GrantMulti(Result<MultiAllocation, GrmError>),
 }
 
 impl DecisionBody {
@@ -117,6 +123,7 @@ impl DecisionBody {
             DecisionBody::Grant(r) => RecordedDecision::Grant(r.clone()),
             DecisionBody::Release { result, .. } => RecordedDecision::Release(result.clone()),
             DecisionBody::Replay { result, .. } => RecordedDecision::Replay(result.clone()),
+            DecisionBody::GrantMulti(r) => RecordedDecision::GrantMulti(r.clone()),
         }
     }
 }
@@ -275,6 +282,14 @@ impl JournalRecord {
                         w.f64s(draws);
                         put_unit_res(&mut w, result);
                     }
+                    DecisionBody::GrantMulti(res) => {
+                        w.u8(3);
+                        let bytes = encode_decision(&RecordedDecision::GrantMulti(res.clone()));
+                        w.u32(bytes.len() as u32);
+                        for &b in &bytes {
+                            w.u8(b);
+                        }
+                    }
                     DecisionBody::Replay { lrm, amount, result } => {
                         w.u8(2);
                         w.u64(*lrm);
@@ -337,6 +352,14 @@ impl JournalRecord {
                         amount: r.f64()?,
                         result: get_unit_res(&mut r)?,
                     },
+                    3 => {
+                        let n = r.u32()? as usize;
+                        let bytes = r.take(n)?;
+                        match decode_decision(bytes).map_err(|e| e.to_string())? {
+                            RecordedDecision::GrantMulti(res) => DecisionBody::GrantMulti(res),
+                            _ => return Err("wrong decision kind for GrantMulti body".into()),
+                        }
+                    }
                     t => return Err(format!("bad DecisionBody tag {t}")),
                 };
                 JournalRecord::Decision { seq, id, body }

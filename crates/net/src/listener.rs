@@ -890,6 +890,39 @@ fn execute(req: &WireRequest, seq: Option<u64>, shared: &Shared) -> (WireRespons
             Ok(s) => (WireResponse::Stats(Box::new(s)), 0),
             Err(e) => (WireResponse::Unit(Err(e)), 0),
         },
+        WireRequest::RequestMulti { lrm, amounts, req_id } => {
+            let mut guard = shared.journal.lock();
+            let result = match req_id {
+                Some(id) => h.request_multi_idempotent(*lrm as usize, amounts, *id),
+                None => h.request_multi(*lrm as usize, amounts),
+            };
+            let gate = if result.as_ref().err().is_none_or(journalable) {
+                let rec = JournalRecord::Decision {
+                    seq,
+                    id: *req_id,
+                    body: DecisionBody::GrantMulti(result.clone()),
+                };
+                match shared.journal_locked(&mut guard, &rec) {
+                    Ok(g) => g,
+                    Err(_) => return (WireResponse::GrantMulti(Err(JOURNAL_DOWN)), 0),
+                }
+            } else {
+                0
+            };
+            shared.publish_durability(&guard);
+            drop(guard);
+            (WireResponse::GrantMulti(result), gate)
+        }
+        // Multi-lane pools are soft state (re-reported each round) and
+        // the recovery mirror's availability is single-lane, so multi
+        // reports are not journaled — like `Tick`, not like `Report`.
+        WireRequest::ReportMulti { lrm, available } => {
+            (WireResponse::Unit(h.report_multi(*lrm as usize, available.clone())), 0)
+        }
+        WireRequest::AvailabilityMulti => match h.availability_multi() {
+            Ok(lanes) => (WireResponse::AvailabilityMulti(lanes), 0),
+            Err(e) => (WireResponse::Unit(Err(e)), 0),
+        },
     }
 }
 
@@ -941,6 +974,24 @@ fn execute_stale(req: &WireRequest, shared: &Shared) -> (WireResponse, u64) {
         },
         WireRequest::Stats => match h.stats() {
             Ok(s) => (WireResponse::Stats(Box::new(s)), 0),
+            Err(e) => (WireResponse::Unit(Err(e)), 0),
+        },
+        WireRequest::RequestMulti { lrm, amounts, req_id } => match req_id {
+            Some(id) => {
+                let res = h.request_multi_idempotent(*lrm as usize, amounts, *id);
+                (WireResponse::GrantMulti(res), cursor_gate(shared))
+            }
+            None => (
+                WireResponse::GrantMulti(Err(GrmError::Unsupported(
+                    "stale sequenced request without an idempotency id",
+                ))),
+                0,
+            ),
+        },
+        // Stale multi reports ack without re-applying, like `Report`.
+        WireRequest::ReportMulti { .. } => (WireResponse::Unit(Ok(())), 0),
+        WireRequest::AvailabilityMulti => match h.availability_multi() {
+            Ok(lanes) => (WireResponse::AvailabilityMulti(lanes), 0),
             Err(e) => (WireResponse::Unit(Err(e)), 0),
         },
     }

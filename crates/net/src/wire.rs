@@ -20,7 +20,7 @@
 use agreements_flow::FlowError;
 use agreements_grm::{GrmError, GrmStats, RecordedDecision, RequestId};
 use agreements_lp::LpError;
-use agreements_sched::{Allocation, SchedError};
+use agreements_sched::{Allocation, MultiAllocation, SchedError};
 
 /// One client→server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,6 +68,26 @@ pub enum WireRequest {
     Availability,
     /// Operational counters.
     Stats,
+    /// Multi-resource allocation request: one amount per lane, admitted
+    /// lane-conjunctively by a multi-engine server.
+    RequestMulti {
+        /// Requesting LRM.
+        lrm: u64,
+        /// Requested units, one per resource lane.
+        amounts: Vec<f64>,
+        /// Idempotency id, if the call may be retried.
+        req_id: Option<RequestId>,
+    },
+    /// Fire-and-forget multi-resource availability report (all lanes of
+    /// one LRM move atomically).
+    ReportMulti {
+        /// Reporting LRM index.
+        lrm: u64,
+        /// Its current pool, one entry per resource lane.
+        available: Vec<f64>,
+    },
+    /// Snapshot of the per-lane availability view.
+    AvailabilityMulti,
 }
 
 /// One server→client message.
@@ -83,6 +103,10 @@ pub enum WireResponse {
     Availability(Vec<f64>),
     /// Reply to `Stats`.
     Stats(Box<GrmStats>),
+    /// Decision for a `RequestMulti`.
+    GrantMulti(Result<MultiAllocation, GrmError>),
+    /// Reply to `AvailabilityMulti`: `[lane][principal]` pools.
+    AvailabilityMulti(Vec<Vec<f64>>),
 }
 
 /// A framed request: correlation id for the client's demux, an optional
@@ -217,6 +241,10 @@ impl<'a> Reader<'a> {
         String::from_utf8(s.to_vec()).map_err(|_| "non-UTF-8 string".to_string())
     }
 
+    pub(crate) fn remaining(&self) -> usize {
+        self.b.len() - self.pos
+    }
+
     pub(crate) fn f64s(&mut self) -> WireResult<Vec<f64>> {
         let n = self.u32()? as usize;
         // Guard before allocating: a corrupt count must not OOM.
@@ -276,6 +304,26 @@ pub(crate) fn get_allocation(r: &mut Reader) -> WireResult<Allocation> {
         draws: r.f64s()?,
         theta: r.f64()?,
     })
+}
+
+fn put_multi_allocation(w: &mut Writer, a: &MultiAllocation) {
+    w.u32(a.lanes.len() as u32);
+    for lane in &a.lanes {
+        put_allocation(w, lane);
+    }
+}
+
+fn get_multi_allocation(r: &mut Reader) -> WireResult<MultiAllocation> {
+    let n = r.u32()? as usize;
+    // Every lane allocation is ≥ 33 bytes; bound before allocating.
+    if n * 33 > r.remaining() {
+        return Err(format!("lane count {n} exceeds remaining bytes"));
+    }
+    let mut lanes = Vec::with_capacity(n);
+    for _ in 0..n {
+        lanes.push(get_allocation(r)?);
+    }
+    Ok(MultiAllocation { lanes })
 }
 
 fn put_lp_error(w: &mut Writer, e: &LpError) {
@@ -356,11 +404,21 @@ fn get_flow_error(r: &mut Reader) -> WireResult<FlowError> {
 
 fn put_sched_error(w: &mut Writer, e: &SchedError) {
     match e {
-        SchedError::InsufficientCapacity { requester, capacity, requested } => {
+        SchedError::InsufficientCapacity { requester, capacity, requested, resource } => {
             w.u8(0);
             w.u64(*requester as u64);
             w.f64(*capacity);
             w.f64(*requested);
+            // Binding-resource tag: presence byte then the name, so
+            // single-resource payloads stay distinguishable from a
+            // multi-resource rejection naming its binding lane.
+            match resource {
+                Some(name) => {
+                    w.u8(1);
+                    w.str(name);
+                }
+                None => w.u8(0),
+            }
         }
         SchedError::UnknownPrincipal { index, n } => {
             w.u8(1);
@@ -397,6 +455,11 @@ fn get_sched_error(r: &mut Reader) -> WireResult<SchedError> {
             requester: r.u64()? as usize,
             capacity: r.f64()?,
             requested: r.f64()?,
+            resource: match r.u8()? {
+                0 => None,
+                1 => Some(leak(r.str()?)),
+                t => return Err(format!("bad resource presence byte {t}")),
+            },
         },
         1 => SchedError::UnknownPrincipal { index: r.u64()? as usize, n: r.u64()? as usize },
         2 => SchedError::InvalidRequest { amount: r.f64()? },
@@ -481,6 +544,27 @@ fn put_grant_result(w: &mut Writer, res: &Result<Allocation, GrmError>) {
 fn get_grant_result(r: &mut Reader) -> WireResult<Result<Allocation, GrmError>> {
     match r.u8()? {
         0 => Ok(Ok(get_allocation(r)?)),
+        1 => Ok(Err(get_grm_error(r)?)),
+        t => Err(format!("bad Result tag {t}")),
+    }
+}
+
+fn put_grant_multi_result(w: &mut Writer, res: &Result<MultiAllocation, GrmError>) {
+    match res {
+        Ok(a) => {
+            w.u8(0);
+            put_multi_allocation(w, a);
+        }
+        Err(e) => {
+            w.u8(1);
+            put_grm_error(w, e);
+        }
+    }
+}
+
+fn get_grant_multi_result(r: &mut Reader) -> WireResult<Result<MultiAllocation, GrmError>> {
+    match r.u8()? {
+        0 => Ok(Ok(get_multi_allocation(r)?)),
         1 => Ok(Err(get_grm_error(r)?)),
         t => Err(format!("bad Result tag {t}")),
     }
@@ -590,6 +674,18 @@ impl RequestFrame {
             }
             WireRequest::Availability => w.u8(5),
             WireRequest::Stats => w.u8(6),
+            WireRequest::RequestMulti { lrm, amounts, req_id } => {
+                w.u8(7);
+                w.u64(*lrm);
+                w.f64s(amounts);
+                put_opt_request_id(&mut w, req_id);
+            }
+            WireRequest::ReportMulti { lrm, available } => {
+                w.u8(8);
+                w.u64(*lrm);
+                w.f64s(available);
+            }
+            WireRequest::AvailabilityMulti => w.u8(9),
         }
         w.into_bytes()
     }
@@ -627,6 +723,13 @@ fn decode_request(bytes: &[u8]) -> WireResult<RequestFrame> {
         },
         5 => WireRequest::Availability,
         6 => WireRequest::Stats,
+        7 => WireRequest::RequestMulti {
+            lrm: r.u64()?,
+            amounts: r.f64s()?,
+            req_id: get_opt_request_id(&mut r)?,
+        },
+        8 => WireRequest::ReportMulti { lrm: r.u64()?, available: r.f64s()? },
+        9 => WireRequest::AvailabilityMulti,
         t => return Err(format!("bad WireRequest tag {t}")),
     };
     r.finish()?;
@@ -655,6 +758,17 @@ impl ResponseFrame {
                 w.u8(3);
                 put_stats(&mut w, s);
             }
+            WireResponse::GrantMulti(res) => {
+                w.u8(4);
+                put_grant_multi_result(&mut w, res);
+            }
+            WireResponse::AvailabilityMulti(lanes) => {
+                w.u8(5);
+                w.u32(lanes.len() as u32);
+                for lane in lanes {
+                    w.f64s(lane);
+                }
+            }
         }
         w.into_bytes()
     }
@@ -673,6 +787,19 @@ fn decode_response(bytes: &[u8]) -> WireResult<ResponseFrame> {
         1 => WireResponse::Unit(get_unit_result(&mut r)?),
         2 => WireResponse::Availability(r.f64s()?),
         3 => WireResponse::Stats(Box::new(get_stats(&mut r)?)),
+        4 => WireResponse::GrantMulti(get_grant_multi_result(&mut r)?),
+        5 => {
+            let n = r.u32()? as usize;
+            // Each lane is at least a 4-byte count; bound before allocating.
+            if n * 4 > r.remaining() {
+                return Err(format!("lane count {n} exceeds remaining bytes"));
+            }
+            let mut lanes = Vec::with_capacity(n);
+            for _ in 0..n {
+                lanes.push(r.f64s()?);
+            }
+            WireResponse::AvailabilityMulti(lanes)
+        }
         t => return Err(format!("bad WireResponse tag {t}")),
     };
     r.finish()?;
@@ -696,6 +823,10 @@ pub fn encode_decision(d: &RecordedDecision) -> Vec<u8> {
             w.u8(2);
             put_unit_result(&mut w, res);
         }
+        RecordedDecision::GrantMulti(res) => {
+            w.u8(3);
+            put_grant_multi_result(&mut w, res);
+        }
     }
     w.into_bytes()
 }
@@ -708,6 +839,7 @@ pub fn decode_decision(bytes: &[u8]) -> Result<RecordedDecision, GrmError> {
             0 => RecordedDecision::Grant(get_grant_result(&mut r)?),
             1 => RecordedDecision::Release(get_unit_result(&mut r)?),
             2 => RecordedDecision::Replay(get_unit_result(&mut r)?),
+            3 => RecordedDecision::GrantMulti(get_grant_multi_result(&mut r)?),
             t => return Err(format!("bad RecordedDecision tag {t}")),
         };
         r.finish()?;
@@ -776,6 +908,13 @@ mod tests {
                 requester: 1,
                 capacity: 2.0,
                 requested: 3.0,
+                resource: None,
+            }),
+            GrmError::Sched(SchedError::InsufficientCapacity {
+                requester: 1,
+                capacity: 2.0,
+                requested: 3.0,
+                resource: Some("bandwidth"),
             }),
             GrmError::Sched(SchedError::Lp(LpError::Infeasible { residual: 1e-6 })),
             GrmError::Sched(SchedError::Lp(LpError::InvalidModel("nan coeff".into()))),
@@ -817,6 +956,66 @@ mod tests {
     }
 
     #[test]
+    fn multi_messages_round_trip() {
+        let frames = vec![
+            RequestFrame {
+                corr: 7,
+                replay_seq: Some(12),
+                req: WireRequest::RequestMulti {
+                    lrm: 2,
+                    amounts: vec![1.0, 0.5, -0.0],
+                    req_id: Some(RequestId { client: 3, seq: 4 }),
+                },
+            },
+            RequestFrame {
+                corr: 8,
+                replay_seq: None,
+                req: WireRequest::ReportMulti { lrm: 1, available: vec![10.0, 6.0, 0.0] },
+            },
+            RequestFrame { corr: 9, replay_seq: None, req: WireRequest::AvailabilityMulti },
+        ];
+        for f in frames {
+            assert_eq!(RequestFrame::decode(&f.encode()).unwrap(), f);
+        }
+
+        let multi = MultiAllocation { lanes: vec![alloc(), alloc()] };
+        let grant = ResponseFrame { corr: 1, resp: WireResponse::GrantMulti(Ok(multi)) };
+        assert_eq!(ResponseFrame::decode(&grant.encode()).unwrap(), grant);
+        let rejected = ResponseFrame {
+            corr: 2,
+            resp: WireResponse::GrantMulti(Err(GrmError::Sched(
+                SchedError::InsufficientCapacity {
+                    requester: 1,
+                    capacity: 0.25,
+                    requested: 2.0,
+                    resource: Some("bandwidth"),
+                },
+            ))),
+        };
+        assert_eq!(ResponseFrame::decode(&rejected.encode()).unwrap(), rejected);
+        let lanes = ResponseFrame {
+            corr: 3,
+            resp: WireResponse::AvailabilityMulti(vec![vec![1.0, 2.0], vec![0.0, 0.5], vec![]]),
+        };
+        assert_eq!(ResponseFrame::decode(&lanes.encode()).unwrap(), lanes);
+    }
+
+    #[test]
+    fn corrupt_multi_counts_do_not_allocate() {
+        // A GrantMulti Ok whose lane count claims far more lanes than the
+        // payload holds must fail the pre-allocation bound, not OOM.
+        let mut w = Writer::new();
+        w.u64(1); // corr
+        w.u8(4); // GrantMulti
+        w.u8(0); // Ok
+        w.u32(u32::MAX); // absurd lane count
+        assert!(matches!(
+            ResponseFrame::decode(&w.into_bytes()),
+            Err(GrmError::FrameDecode { .. })
+        ));
+    }
+
+    #[test]
     fn decision_round_trips() {
         let ds = vec![
             RecordedDecision::Grant(Ok(alloc())),
@@ -825,6 +1024,8 @@ mod tests {
             RecordedDecision::Replay(Err(GrmError::Sched(SchedError::InvalidRequest {
                 amount: -1.0,
             }))),
+            RecordedDecision::GrantMulti(Ok(MultiAllocation { lanes: vec![alloc()] })),
+            RecordedDecision::GrantMulti(Err(GrmError::Unsupported("single-engine server"))),
         ];
         for d in ds {
             assert_eq!(decode_decision(&encode_decision(&d)).unwrap(), d);

@@ -312,3 +312,98 @@ fn partitioned_proxy_stalls_then_heals() {
     proxy.shutdown();
     daemon.shutdown();
 }
+
+/// A multi-resource daemon: a lane-per-resource snapshot with no
+/// single-lane availability (multi pools are soft state the listener
+/// never journals), respawned onto a `spawn_multi` engine.
+fn spawn_multi_daemon(dir: &Path, sock: &Path) -> GrmListener {
+    let snapshot = || Snapshot {
+        matrix: complete(2, 0.5),
+        level: 1,
+        availability: Vec::new(),
+        next_seq: 0,
+        dedup: Vec::new(),
+    };
+    let (journal, state) = DurableJournal::open_or_create(
+        &dir.join("journal"),
+        snapshot,
+        FsyncPolicy::EveryOp,
+        Telemetry::disabled(),
+    )
+    .unwrap();
+    let server = state
+        .respawn_with(GrmServer::spawn_multi(
+            vec!["cpu", "bandwidth"],
+            state.matrix.clone(),
+            state.level,
+        ))
+        .unwrap();
+    GrmListener::bind_uds(
+        sock,
+        server,
+        journal,
+        state,
+        ListenerConfig { sequenced: false, compact_every: 0, ..ListenerConfig::default() },
+    )
+    .unwrap()
+}
+
+/// End-to-end multi-resource enforcement over a real socket: grants
+/// commit every lane, a bandwidth-bound rejection names bandwidth on
+/// the client side of the wire, single-resource calls are refused, and
+/// a retry straddling a daemon restart replays the journaled decision
+/// bit-for-bit instead of double-granting.
+#[test]
+fn multi_resource_rpcs_over_the_socket_and_across_a_restart() {
+    use agreements_sched::SchedError;
+
+    let dir = scratch("multi");
+    let sock = dir.join("grm.sock");
+    let daemon = spawn_multi_daemon(&dir, &sock);
+    let net = NetGrmClient::uds(&sock);
+
+    net.report_multi(0, vec![10.0, 3.0]).unwrap();
+    net.report_multi(1, vec![10.0, 3.0]).unwrap();
+    let id = RequestId { client: 42, seq: 0 };
+    let granted = net.request_multi_idempotent(0, &[2.0, 1.0], id).unwrap();
+    assert_eq!(granted.lanes.len(), 2);
+    assert!((granted.total() - 3.0).abs() < 1e-9);
+    let lanes = net.availability_multi().unwrap();
+    assert!((lanes[0].iter().sum::<f64>() - 18.0).abs() < 1e-9, "cpu pool down by 2");
+    assert!((lanes[1].iter().sum::<f64>() - 5.0).abs() < 1e-9, "bandwidth pool down by 1");
+
+    // The binding resource survives the wire round-trip by name.
+    match net.request_multi(0, &[1.0, 50.0]) {
+        Err(GrmError::Sched(SchedError::InsufficientCapacity { resource: Some(name), .. })) => {
+            assert_eq!(name, "bandwidth")
+        }
+        other => panic!("expected a bandwidth-bound rejection, got {other:?}"),
+    }
+    // Cross-engine guard holds across the socket too.
+    match net.issue_request(0, 1.0, None).unwrap().recv().unwrap() {
+        Err(GrmError::Unsupported(_)) => {}
+        other => panic!("expected Unsupported for a single-resource call, got {other:?}"),
+    }
+
+    daemon.shutdown();
+
+    // Restart from the journal: the grant decision was journaled
+    // write-ahead, so the recovered dedup window replays it for the
+    // retry even though the fresh engine's pools are empty (multi
+    // reports are soft state and deliberately not journaled).
+    let daemon = spawn_multi_daemon(&dir, &sock);
+    net.disconnect();
+    let replayed = net.request_multi_idempotent(0, &[2.0, 1.0], id).unwrap();
+    for (a, b) in replayed.lanes.iter().zip(&granted.lanes) {
+        assert_eq!(a.amount.to_bits(), b.amount.to_bits(), "replay must be bit-identical");
+        for (x, y) in a.draws.iter().zip(&b.draws) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+    let lanes = net.availability_multi().unwrap();
+    assert!(
+        lanes.iter().all(|lane| lane.iter().all(|&v| v == 0.0)),
+        "the replayed grant must not touch the fresh pools: {lanes:?}"
+    );
+    daemon.shutdown();
+}

@@ -54,6 +54,32 @@ pub fn exceeds_bound(requested: f64, reachable: f64) -> bool {
     requested > reachable + ADMISSION_SLACK
 }
 
+/// Multi-resource fast reject: scan the per-resource lanes in ascending
+/// lane order and return the first whose bound refuses its amount —
+/// `(lane index, reachable capacity)` — or `None` when every lane's
+/// fast check admits. Lanes whose amount is non-positive or non-finite
+/// are skipped, mirroring the single-resource GRM guard (validation
+/// errors belong to the solver, not the fast path). The returned lane
+/// is by construction the **binding resource** a full per-lane
+/// evaluation in the same order would report.
+pub fn first_binding_resource(
+    states: &[SystemState],
+    requester: usize,
+    amounts: &[f64],
+    scratch: &mut Vec<f64>,
+) -> Option<(usize, f64)> {
+    for (r, (state, &amount)) in states.iter().zip(amounts).enumerate() {
+        if !(amount.is_finite() && amount > 0.0) {
+            continue;
+        }
+        let reachable = admission_bound(state, requester, scratch);
+        if exceeds_bound(amount, reachable) {
+            return Some((r, reachable));
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,6 +113,25 @@ mod tests {
         let reachable = admission_bound(&st, 0, &mut bound);
         assert_eq!(bound.len(), 2);
         assert!((reachable - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binding_resource_is_first_refusing_lane() {
+        // Lane 0 (cpu) is roomy; lane 1 (bandwidth) is nearly empty.
+        let cpu = state(2, &[(1, 0, 0.5)], vec![4.0, 4.0]);
+        let bw = state(2, &[(1, 0, 0.5)], vec![0.1, 0.1]);
+        let states = [cpu, bw];
+        let mut scratch = Vec::new();
+        assert_eq!(first_binding_resource(&states, 0, &[1.0, 0.1], &mut scratch), None);
+        let (lane, reachable) =
+            first_binding_resource(&states, 0, &[1.0, 2.0], &mut scratch).unwrap();
+        assert_eq!(lane, 1, "bandwidth binds, not cpu");
+        assert!((reachable - 0.15).abs() < 1e-12, "reachable {reachable}");
+        // Non-positive and non-finite lanes are skipped, so a hopeless
+        // amount there never masks the true binding lane.
+        let (lane, _) = first_binding_resource(&states, 0, &[f64::NAN, 2.0], &mut scratch).unwrap();
+        assert_eq!(lane, 1);
+        assert_eq!(first_binding_resource(&states, 0, &[0.0, 0.1], &mut scratch), None);
     }
 
     #[test]

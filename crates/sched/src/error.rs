@@ -16,6 +16,12 @@ pub enum SchedError {
         capacity: f64,
         /// Requested amount `x`.
         requested: f64,
+        /// Which resource's admission failed, for multi-resource
+        /// requests (`"cpu"`, `"bandwidth"`, …): the *binding* resource
+        /// — the first lane, in resource order, whose LP refused. Always
+        /// `None` on the single-resource paths, so their payloads (and
+        /// golden fingerprints) are unchanged.
+        resource: Option<&'static str>,
     },
     /// Requester index out of range.
     UnknownPrincipal {
@@ -53,10 +59,16 @@ pub enum SchedError {
 impl fmt::Display for SchedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SchedError::InsufficientCapacity { requester, capacity, requested } => write!(
-                f,
-                "principal {requester} can reach only {capacity:.4} of the {requested:.4} requested"
-            ),
+            SchedError::InsufficientCapacity { requester, capacity, requested, resource } => {
+                write!(
+                    f,
+                    "principal {requester} can reach only {capacity:.4} of the {requested:.4} requested"
+                )?;
+                if let Some(name) = resource {
+                    write!(f, " (binding resource: {name})")?;
+                }
+                Ok(())
+            }
             SchedError::UnknownPrincipal { index, n } => {
                 write!(f, "principal {index} out of range for {n} principals")
             }
@@ -97,8 +109,21 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = SchedError::InsufficientCapacity { requester: 2, capacity: 1.5, requested: 3.0 };
+        let e = SchedError::InsufficientCapacity {
+            requester: 2,
+            capacity: 1.5,
+            requested: 3.0,
+            resource: None,
+        };
         assert!(e.to_string().contains("principal 2"));
+        assert!(!e.to_string().contains("binding resource"));
+        let tagged = SchedError::InsufficientCapacity {
+            requester: 2,
+            capacity: 1.5,
+            requested: 3.0,
+            resource: Some("bandwidth"),
+        };
+        assert!(tagged.to_string().contains("binding resource: bandwidth"));
         let lp = SchedError::Lp(LpError::IterationLimit { limit: 5 });
         assert!(std::error::Error::source(&lp).is_some());
         assert!(std::error::Error::source(&e).is_none());

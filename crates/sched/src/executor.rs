@@ -435,6 +435,7 @@ fn execute_run(
                     requester: run.first_member,
                     capacity: home_avail,
                     requested: solve_amt,
+                    resource: None,
                 }),
             }),
             Err(other) => {

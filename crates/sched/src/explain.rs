@@ -97,6 +97,7 @@ pub fn explain_allocation(
             requester,
             capacity: reachable,
             requested: x,
+            resource: None,
         });
     }
     let x = x.min(reachable);

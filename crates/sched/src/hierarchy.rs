@@ -334,7 +334,12 @@ impl HierarchicalScheduler {
         let coarse = solve_allocation(&coarse_state, home, x, Formulation::Reduced, &self.opts)
             .map_err(|e| match e {
                 SchedError::InsufficientCapacity { capacity, .. } => {
-                    SchedError::InsufficientCapacity { requester, capacity, requested: x }
+                    SchedError::InsufficientCapacity {
+                        requester,
+                        capacity,
+                        requested: x,
+                        resource: None,
+                    }
                 }
                 other => other,
             })?;
@@ -413,6 +418,7 @@ impl HierarchicalScheduler {
                     requester: self.groups[gi][0],
                     capacity: self.groups[gi].iter().map(|&m| availability[m]).sum(),
                     requested: share,
+                    resource: None,
                 },
                 other => SchedError::Lp(other),
             })?;
@@ -442,6 +448,7 @@ impl HierarchicalScheduler {
                 requester: members[0],
                 capacity: mavail.iter().sum(),
                 requested: amount,
+                resource: None,
             },
             other => SchedError::Lp(other),
         })

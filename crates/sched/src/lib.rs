@@ -64,18 +64,23 @@ pub mod explain;
 pub mod hierarchy;
 pub mod lp_model;
 pub mod multi;
+pub mod multires;
 pub mod objectives;
 pub mod policy;
 pub mod solver;
 pub mod state;
 
-pub use admission::{admission_bound, exceeds_bound, ADMISSION_SLACK};
+pub use admission::{admission_bound, exceeds_bound, first_binding_resource, ADMISSION_SLACK};
 pub use batch::{AdmissionRequest, BatchedAdmission};
 pub use error::SchedError;
 pub use executor::ExecutorStats;
 pub use explain::{explain_allocation, Explanation};
 pub use hierarchy::HierarchicalScheduler;
 pub use lp_model::Formulation;
+pub use multires::{
+    MultiAdmission, MultiAdmissionRequest, MultiAllocation, MultiSolver, ResourceVector,
+    STANDARD_RESOURCES,
+};
 pub use objectives::{CostAwareLpPolicy, FairShareLpPolicy};
 pub use policy::{AllocationPolicy, CachedLpPolicy, GreedyPolicy, LpPolicy, ProportionalPolicy};
 pub use solver::{AllocationSolver, SolverStats};

@@ -53,6 +53,7 @@ pub fn solve_allocation(
             requester: a,
             capacity: reachable,
             requested: x,
+            resource: None,
         });
     }
     // Floating-point slack: if x is within tolerance of the reachable

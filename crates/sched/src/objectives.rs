@@ -38,6 +38,7 @@ fn draw_bounds(state: &SystemState, a: usize, x: f64) -> Result<Vec<f64>, SchedE
             requester: a,
             capacity: reachable,
             requested: x,
+            resource: None,
         });
     }
     Ok(bound)

@@ -275,7 +275,12 @@ impl AllocationPolicy for ProportionalPolicy {
         }
         if overflow > 1e-9 {
             let capacity = x - overflow;
-            return Err(SchedError::InsufficientCapacity { requester, capacity, requested: x });
+            return Err(SchedError::InsufficientCapacity {
+                requester,
+                capacity,
+                requested: x,
+                resource: None,
+            });
         }
         // Assign residual rounding dust to the requester's local draw.
         let sum: f64 = draws.iter().sum();
@@ -377,6 +382,7 @@ impl AllocationPolicy for GreedyPolicy {
                 requester,
                 capacity: x - remaining,
                 requested: x,
+                resource: None,
             });
         }
         let theta = perturbation(state, requester, &draws);

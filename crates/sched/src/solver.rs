@@ -235,6 +235,7 @@ impl AllocationSolver {
                     requester: a,
                     capacity: reachable,
                     requested: x,
+                    resource: None,
                 });
             }
         } else {

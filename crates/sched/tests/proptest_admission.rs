@@ -106,7 +106,7 @@ proptest! {
                         );
                     }
                 }
-                Err(SchedError::InsufficientCapacity { requester, capacity, requested }) => {
+                Err(SchedError::InsufficientCapacity { requester, capacity, requested, .. }) => {
                     prop_assert!(
                         rejected,
                         "LP refused x={x} the fast-reject admitted (reachable={reachable})"

@@ -272,8 +272,8 @@ proptest! {
                 // capacity C_A), so InsufficientCapacity payloads get
                 // the same tolerance; structural errors stay exact.
                 (
-                    Err(SchedError::InsufficientCapacity { requester: rx, capacity: cx, requested: qx }),
-                    Err(SchedError::InsufficientCapacity { requester: ry, capacity: cy, requested: qy }),
+                    Err(SchedError::InsufficientCapacity { requester: rx, capacity: cx, requested: qx, .. }),
+                    Err(SchedError::InsufficientCapacity { requester: ry, capacity: cy, requested: qy, .. }),
                 ) => {
                     prop_assert_eq!(rx, ry, "slot {}", i);
                     prop_assert_eq!(qx.to_bits(), qy.to_bits(), "slot {}", i);
@@ -293,5 +293,163 @@ proptest! {
         for (p, (x, y)) in avail_c.iter().zip(&avail_w).enumerate() {
             prop_assert!(close(*x, *y), "availability[{}] {} vs {}", p, x, y);
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multi-resource batched admission: the same bit-identity contracts,
+// lane-wise. Each lane gets its own availability vector and its own
+// per-request amount; batched ≡ one-by-one and sequential ≡ parallel
+// must hold with every lane's final availability compared bitwise.
+// ---------------------------------------------------------------------
+
+use agreements_sched::{MultiAdmission, MultiAdmissionRequest, MultiAllocation};
+
+#[derive(Debug, Clone)]
+struct MultiBatchScenario {
+    num_groups: usize,
+    group_size: usize,
+    num_resources: usize,
+    beta: f64,
+    /// One availability vector per resource lane.
+    avail: Vec<Vec<f64>>,
+    /// (requester, per-lane amounts) stream; requesters past `n` cover
+    /// the unknown-principal path, negative amounts the invalid path.
+    reqs: Vec<(usize, Vec<f64>)>,
+}
+
+fn arb_multi_batch() -> impl Strategy<Value = MultiBatchScenario> {
+    (2usize..=4, 1usize..=4, 2usize..=3).prop_flat_map(|(num_groups, group_size, num_resources)| {
+        let n = num_groups * group_size;
+        (
+            proptest::collection::vec(proptest::collection::vec(0u32..=20, n), num_resources),
+            0.05f64..0.45,
+            proptest::collection::vec(
+                (0usize..n + 2, proptest::collection::vec(-2.0f64..40.0, num_resources)),
+                1..=16,
+            ),
+        )
+            .prop_map(move |(avail, beta, reqs)| MultiBatchScenario {
+                num_groups,
+                group_size,
+                num_resources,
+                beta,
+                avail: avail.iter().map(|lane| lane.iter().map(|&a| a as f64).collect()).collect(),
+                reqs,
+            })
+    })
+}
+
+fn build_multi(sc: &MultiBatchScenario, parallel: bool) -> MultiAdmission {
+    const NAMES: [&str; 3] = ["cpu", "bandwidth", "storage"];
+    let lanes = (0..sc.num_resources)
+        .map(|_| {
+            let single = BatchScenario {
+                num_groups: sc.num_groups,
+                group_size: sc.group_size,
+                beta: sc.beta,
+                avail: Vec::new(),
+                reqs: Vec::new(),
+                split: 0,
+                new_share: 0.0,
+            };
+            build_sched(&single, parallel)
+        })
+        .collect();
+    MultiAdmission::new(NAMES[..sc.num_resources].to_vec(), lanes).unwrap()
+}
+
+fn to_multi_reqs(pairs: &[(usize, Vec<f64>)]) -> Vec<MultiAdmissionRequest> {
+    pairs
+        .iter()
+        .map(|(requester, amounts)| MultiAdmissionRequest {
+            requester: *requester,
+            amounts: amounts.clone(),
+        })
+        .collect()
+}
+
+/// Bitwise comparison of two multi-resource decision streams.
+fn assert_multi_decisions_identical(
+    one: &[Result<MultiAllocation, SchedError>],
+    bat: &[Result<MultiAllocation, SchedError>],
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(one.len(), bat.len());
+    for (i, (a, b)) in one.iter().zip(bat).enumerate() {
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(x.lanes.len(), y.lanes.len(), "slot {}", i);
+                for (r, (p, q)) in x.lanes.iter().zip(&y.lanes).enumerate() {
+                    prop_assert_eq!(p.requester, q.requester, "slot {} lane {}", i, r);
+                    prop_assert_eq!(
+                        p.amount.to_bits(),
+                        q.amount.to_bits(),
+                        "slot {} lane {}",
+                        i,
+                        r
+                    );
+                    prop_assert_eq!(p.theta.to_bits(), q.theta.to_bits(), "slot {} lane {}", i, r);
+                    prop_assert_eq!(bits(&p.draws), bits(&q.draws), "slot {} lane {}", i, r);
+                }
+            }
+            (Err(x), Err(y)) => {
+                prop_assert_eq!(format!("{x:?}"), format!("{y:?}"), "slot {}", i);
+            }
+            (a, b) => {
+                return Err(TestCaseError::fail(format!(
+                    "slot {i}: verdicts diverge: one-by-one {a:?} vs batched {b:?}"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn assert_lanes_bitwise(a: &[Vec<f64>], b: &[Vec<f64>]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.len(), b.len());
+    for (r, (x, y)) in a.iter().zip(b).enumerate() {
+        prop_assert_eq!(bits(x), bits(y), "lane {} availability diverged", r);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Multi-resource force-parallel admit_batch ≡ sequential admit_one
+    /// per request, with every lane's availability compared bitwise.
+    #[test]
+    fn multi_batched_parallel_equals_sequential_one_by_one(sc in arb_multi_batch()) {
+        let reference = build_multi(&sc, false);
+        let subject = build_multi(&sc, true);
+        let reqs = to_multi_reqs(&sc.reqs);
+
+        let mut avail_one = sc.avail.clone();
+        let one: Vec<_> = reqs
+            .iter()
+            .map(|q| reference.admit_one(&mut avail_one, q.requester, &q.amounts))
+            .collect();
+        let mut avail_bat = sc.avail.clone();
+        let bat = subject.admit_batch(&mut avail_bat, &reqs);
+
+        assert_multi_decisions_identical(&one, &bat)?;
+        assert_lanes_bitwise(&avail_one, &avail_bat)?;
+    }
+
+    /// Multi-resource admit_batch on sequential lanes (the internal
+    /// fallback loop) ≡ admit_batch on force-parallel lanes.
+    #[test]
+    fn multi_batched_sequential_equals_batched_parallel(sc in arb_multi_batch()) {
+        let seq = build_multi(&sc, false);
+        let par = build_multi(&sc, true);
+        let reqs = to_multi_reqs(&sc.reqs);
+
+        let mut avail_seq = sc.avail.clone();
+        let a = seq.admit_batch(&mut avail_seq, &reqs);
+        let mut avail_par = sc.avail.clone();
+        let b = par.admit_batch(&mut avail_par, &reqs);
+
+        assert_multi_decisions_identical(&a, &b)?;
+        assert_lanes_bitwise(&avail_seq, &avail_par)?;
     }
 }

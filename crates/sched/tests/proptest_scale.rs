@@ -170,3 +170,138 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Per-resource differential oracle: the multi-resource hierarchical
+// verdict must be the *conjunction* of per-resource flat-LP verdicts —
+// admitted iff every resource's flat level-1 LP admits its lane — and a
+// rejection must name the first denying lane in resource order. All on
+// the same uniform-block economies, so each lane's verdict is also
+// checkable against the closed-form reach.
+// ---------------------------------------------------------------------
+
+use agreements_sched::MultiAdmission;
+
+#[derive(Debug, Clone)]
+struct MultiScaleScenario {
+    num_groups: usize,
+    group_size: usize,
+    beta: f64,
+    requester: usize,
+    /// One (availability, request fraction, deny?) triple per resource.
+    lanes: Vec<(Vec<f64>, f64, bool)>,
+}
+
+fn arb_multi_scale() -> impl Strategy<Value = MultiScaleScenario> {
+    (2usize..=6, 2usize..=6, 2usize..=3).prop_flat_map(|(num_groups, group_size, rk)| {
+        let n = num_groups * group_size;
+        (
+            0.05f64..0.45,
+            0usize..n,
+            proptest::collection::vec(
+                (proptest::collection::vec(0u32..=40, n), 0.05f64..0.95, any::<bool>()),
+                rk,
+            ),
+        )
+            .prop_map(move |(beta, requester, lanes)| MultiScaleScenario {
+                num_groups,
+                group_size,
+                beta,
+                requester,
+                lanes: lanes
+                    .into_iter()
+                    .map(|(avail, frac, over)| {
+                        (avail.iter().map(|&a| a as f64).collect(), frac, over)
+                    })
+                    .collect(),
+            })
+    })
+}
+
+fn base_of(sc: &MultiScaleScenario, avail: &[f64], frac: f64, over: bool) -> ScaleScenario {
+    ScaleScenario {
+        num_groups: sc.num_groups,
+        group_size: sc.group_size,
+        beta: sc.beta,
+        avail: avail.to_vec(),
+        requester: sc.requester,
+        frac,
+        over,
+    }
+}
+
+const LANE_NAMES: [&str; 3] = ["cpu", "bandwidth", "storage"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Multi-resource hierarchical verdict ≡ conjunction of per-resource
+    /// flat-LP verdicts; rejections name the first denying resource; and
+    /// grants conserve each resource's pool independently.
+    #[test]
+    fn multi_verdict_is_conjunction_of_flat_lane_verdicts(sc in arb_multi_scale()) {
+        let s = economy(&base_of(&sc, &sc.lanes[0].0, 0.5, false));
+        let rk = sc.lanes.len();
+        let schedulers: Vec<_> = (0..rk)
+            .map(|_| HierarchicalScheduler::auto(&s, &PartitionOptions::default(), 1).unwrap())
+            .collect();
+        let multi = MultiAdmission::new(LANE_NAMES[..rk].to_vec(), schedulers).unwrap();
+
+        let flow = Arc::new(TransitiveFlow::compute(&s, 1));
+        let mut amounts = Vec::with_capacity(rk);
+        let mut flat_verdicts = Vec::with_capacity(rk);
+        for (avail, frac, over) in &sc.lanes {
+            let lane_sc = base_of(&sc, avail, *frac, *over);
+            let x = amount(&lane_sc);
+            prop_assume!(x > 1e-9);
+            amounts.push(x);
+            let state = SystemState::new(flow.clone(), None, avail.clone()).unwrap();
+            let mut flat = AllocationSolver::reduced();
+            let ok = match flat.allocate(&state, sc.requester, x) {
+                Ok(_) => true,
+                Err(SchedError::InsufficientCapacity { .. }) => false,
+                Err(e) => return Err(TestCaseError::fail(format!("flat oracle failed: {e}"))),
+            };
+            // The flat verdict itself must match the closed-form reach.
+            prop_assert_eq!(ok, !*over, "flat verdict contradicts closed-form reach");
+            flat_verdicts.push(ok);
+        }
+
+        let mut avail: Vec<Vec<f64>> =
+            sc.lanes.iter().map(|(a, _, _)| a.clone()).collect();
+        let before: Vec<f64> = avail.iter().map(|a| a.iter().sum()).collect();
+        match multi.admit_one(&mut avail, sc.requester, &amounts) {
+            Ok(grant) => {
+                prop_assert!(flat_verdicts.iter().all(|&v| v),
+                    "multi admitted but a flat lane denies: {:?}", flat_verdicts);
+                // Per-resource pool conservation.
+                prop_assert_eq!(grant.lanes.len(), rk);
+                for (r, alloc) in grant.lanes.iter().enumerate() {
+                    let drawn: f64 = alloc.draws.iter().sum();
+                    prop_assert!((drawn - amounts[r]).abs() < 1e-6,
+                        "lane {}: drew {}, granted {}", r, drawn, amounts[r]);
+                    let remaining: f64 = avail[r].iter().sum();
+                    prop_assert!((remaining + drawn - before[r]).abs() < 1e-6,
+                        "lane {}: pool not conserved", r);
+                    for (m, &v) in avail[r].iter().enumerate() {
+                        prop_assert!(v > -1e-9, "lane {} member {} oversubscribed", r, m);
+                    }
+                }
+            }
+            Err(SchedError::InsufficientCapacity { resource, .. }) => {
+                let first_deny = flat_verdicts.iter().position(|&v| !v);
+                prop_assert!(first_deny.is_some(),
+                    "multi denied but every flat lane admits");
+                prop_assert_eq!(resource, Some(LANE_NAMES[first_deny.unwrap()]),
+                    "rejection names the wrong binding resource");
+                // A rejection must leave every lane's pool untouched.
+                for (r, (start, _, _)) in sc.lanes.iter().enumerate() {
+                    let now: f64 = avail[r].iter().sum();
+                    let was: f64 = start.iter().sum();
+                    prop_assert!((now - was).abs() == 0.0, "lane {} moved on rejection", r);
+                }
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("multi failed: {e}"))),
+        }
+    }
+}

@@ -26,6 +26,7 @@ pub mod analysis;
 pub mod generator;
 pub mod io;
 pub mod lengths;
+pub mod multiscale;
 pub mod profile;
 pub mod request;
 pub mod scale;
@@ -34,6 +35,7 @@ pub mod slots;
 pub use analysis::{capacity_for_peak_rho, mean_demand, peak_rho};
 pub use generator::{ProxyTrace, SkewMode, TraceConfig};
 pub use lengths::ResponseLenDist;
+pub use multiscale::{MultiDemand, MultiScaleConfig, MultiScaleWorkload, RESOURCE_NAMES};
 pub use profile::DiurnalProfile;
 pub use request::{Request, ServiceModel};
 pub use scale::{Demand, ScaleConfig, ScaleWorkload};

@@ -229,3 +229,45 @@ fn lp_beats_endpoint_at_peak() {
         ep.proxy_peak_slot_avg_wait(P)
     );
 }
+
+/// Golden fingerprints of the fixed-seed *multi-resource* scale run at
+/// n = 100: the same day replay `multires_scale` performs, through the
+/// lane-conjunctive [`MultiAdmission`] path, with every granted draw in
+/// every lane folded into the draws checksum and every hourly epoch's
+/// dominant shares and envy counts folded into the fairness checksum.
+/// Locks the workload expansion, the per-lane multigrid schedulers, the
+/// binding-resource attribution, and the DRF fairness series together
+/// end to end. The single-resource goldens above must not move when
+/// this path changes — and vice versa.
+#[test]
+fn golden_multires_scale_checksums_at_n100() {
+    use agreements_experiments::multires::{build_admission, run_multi_day};
+    use sharing_agreements::telemetry::Telemetry;
+    use sharing_agreements::trace::MultiScaleConfig;
+
+    const SEED: u64 = 20_000;
+    let cfg = MultiScaleConfig::isp_multi(100, 2_000, SEED);
+    let workload = cfg.generate();
+    let adm = build_admission(&cfg);
+    // check = true: the replay audits every epoch's fairness report and
+    // per-lane conservation inline, so this golden also re-runs the
+    // checker battery over the real day.
+    let r = run_multi_day(&adm, &workload, &Telemetry::default(), true);
+
+    assert_eq!(r.admitted + r.denied, 2_000);
+    assert!(r.admitted > r.denied, "workload should be mostly admissible");
+    assert_eq!(r.denied_by_lane.iter().sum::<usize>(), r.denied);
+    assert_eq!(r.epochs.len(), 24, "one fairness epoch per hour");
+    assert_eq!(
+        r.draws_checksum, 0xafc6_3d73_4075_4461,
+        "multires draws fingerprint drifted: got {:#018x} \
+         (re-pin only if the change to the pipeline is intentional)",
+        r.draws_checksum
+    );
+    assert_eq!(
+        r.fairness_checksum, 0xa1ab_2ebc_5d15_0dbb,
+        "multires fairness fingerprint drifted: got {:#018x} \
+         (re-pin only if the change to the pipeline is intentional)",
+        r.fairness_checksum
+    );
+}
